@@ -1,0 +1,181 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//   (1) the alpha/beta parameter sweep behind f1's 0.7/0.3 default (the
+//       paper's appendix-C pre-experiment, step 0.1, alpha + beta = 1);
+//   (2) register count: why three PHV registers (§4.1.2);
+//   (3) address translation: mask-based vs shift-based vs TCAM-based
+//       (§4.1.2 / §7), including the internal fragmentation the power-of-
+//       two round-up costs on the real catalog;
+//   (4) trailing-primitive replication (DESIGN.md §2.3): the entry price
+//       of the branch-rejoin semantics;
+//   (5) recirculation vs multi-switch chains (§4.1.3).
+#include <cstdio>
+
+#include "analysis/throughput_model.h"
+#include "baselines/activermt.h"
+#include "bench_util.h"
+#include "compiler/compiler.h"
+#include "compiler/translate.h"
+#include "traffic/workloads.h"
+
+namespace {
+
+using namespace p4runpro;
+
+// ---------------------------------------------------------------------------
+// (1) alpha/beta sweep.
+// ---------------------------------------------------------------------------
+void sweep_alpha_beta() {
+  bench::heading("Ablation 1: f1 = a*xL - b*x1 parameter sweep (a + b = 1, all-mixed)");
+  std::printf("%-12s | %9s | %10s | %10s\n", "a / b", "capacity", "mem util",
+              "entry util");
+  bench::rule(52);
+  for (int step = 1; step <= 9; ++step) {
+    const double alpha = step / 10.0;
+    bench::Testbed bed(rp::Objective{rp::ObjectiveKind::F1, alpha, 1.0 - alpha});
+    auto workload = traffic::WorkloadGenerator::all_mixed(256, 2, 99);
+    int capacity = 0;
+    while (capacity <= 20000) {
+      if (!bed.controller.link_single(workload.next().source).ok()) break;
+      ++capacity;
+    }
+    std::printf("%4.1f / %-4.1f | %9d | %9.1f%% | %9.1f%%\n", alpha, 1.0 - alpha,
+                capacity,
+                100.0 * bed.controller.resources().total_memory_utilization(),
+                100.0 * bed.controller.resources().total_entry_utilization());
+  }
+  std::printf(
+      "\nThe paper's pre-experiment picked a = 0.7, b = 0.3. In this\n"
+      "reproduction the capacity knee sits at a ~ 0.4-0.5: our trailing-\n"
+      "primitive replication makes ingress entries scarcer, so weighting the\n"
+      "egress-push term (b, maximizing x1) harder pays off — the same\n"
+      "workload-dependence the paper flags when it says the objective should\n"
+      "be 'empirically adjusted according to the distribution of input\n"
+      "programs' (§6.2.4).\n");
+}
+
+// ---------------------------------------------------------------------------
+// (2) register count.
+// ---------------------------------------------------------------------------
+void register_count() {
+  bench::heading("Ablation 2: PHV register count (atomic-operation blow-up)");
+  std::printf("%-10s | %16s | %22s | %s\n", "registers", "ADD variants",
+              "hdr-interaction ops", "note");
+  bench::rule(90);
+  constexpr int kFields = 23;  // supported header/metadata fields
+  for (int n = 2; n <= 5; ++n) {
+    const int add_variants = n * (n - 1);     // C(n,1) * C(n-1,1), §4.1.2
+    const int hdr_ops = 2 * n * kFields;      // EXTRACT + MODIFY per reg per field
+    const char* note = n == 2   ? "cannot express 2-operand ops + address + operand"
+                       : n == 3 ? "<- chosen: flexible and fits the VLIW budget"
+                                : "VLIW demand grows ~n^2, crowds out header ops";
+    std::printf("%10d | %16d | %22d | %s\n", n, add_variants, hdr_ops, note);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (3) address translation mechanisms.
+// ---------------------------------------------------------------------------
+void address_translation() {
+  bench::heading("Ablation 3: address translation mechanisms (per memory op)");
+  std::printf("%-12s | %10s | %11s | %12s | %s\n", "mechanism", "VLIW ops",
+              "TCAM blocks", "granularity", "source");
+  bench::rule(84);
+  std::printf("%-12s | %10d | %11d | %12s | %s\n", "mask-based", 1, 0, "2^k",
+              "this system (mask merged into hash, offset one action)");
+  std::printf("%-12s | %10d | %11d | %12s | %s\n", "shift-based", 3, 0, "2^k",
+              "FlyMon: shift+mask+offset costs extra VLIW and a stage");
+  std::printf("%-12s | %10d | %11d | %12s | %s\n", "TCAM-based", 2, 4, "arbitrary",
+              "FlyMon: translation table burns TCAM per program");
+
+  // Internal fragmentation of the power-of-two constraint on the catalog.
+  double requested = 0;
+  double granted = 0;
+  for (std::uint32_t size : {10u, 100u, 256u, 300u, 1000u, 1024u, 5000u}) {
+    requested += size;
+    granted += rp::round_pow2(size);
+  }
+  std::printf("\nInternal fragmentation of 2^k rounding over representative\n"
+              "requests (10..5000 buckets): %.1f%% memory overhead — the price\n"
+              "of saving TCAM/VLIW relative to arbitrary-granularity schemes.\n",
+              100.0 * (granted - requested) / requested);
+}
+
+// ---------------------------------------------------------------------------
+// (4) trailing replication cost.
+// ---------------------------------------------------------------------------
+void replication_cost() {
+  bench::heading("Ablation 4: trailing-primitive replication cost (entries per program)");
+  std::printf("%-10s | %8s | %16s | %15s\n", "program", "elastic",
+              "entries (repl.)", "lower bound*");
+  bench::rule(60);
+  for (const char* key : {"lb", "calculator"}) {
+    for (int elastic : {2, 4, 8}) {
+      apps::ProgramConfig config;
+      config.instance_name = key;
+      config.elastic_cases = elastic;
+      auto ir = rp::compile_single(apps::make_program_source(key, config));
+      if (!ir.ok()) continue;
+      // Lower bound: count nodes deduplicated by (depth, op kind) — what a
+      // rejoin-based encoding without replication would install.
+      std::set<std::pair<int, int>> unique_slots;
+      for (const auto& node : ir.value().nodes) {
+        unique_slots.insert({node.depth, static_cast<int>(node.op.kind)});
+      }
+      std::printf("%-10s | %8d | %16d | %15zu\n", key, elastic,
+                  ir.value().total_entries(), unique_slots.size());
+    }
+  }
+  std::printf("\n* a branch-id-rejoin encoding would merge the replicas but needs\n"
+              "per-entry rejoin actions; replication is why our lb capacity is\n"
+              "~2.0K vs the paper's ~2.8K (EXPERIMENTS.md).\n");
+}
+
+// ---------------------------------------------------------------------------
+// (5) recirculation vs chain.
+// ---------------------------------------------------------------------------
+void recirc_vs_chain() {
+  bench::heading("Ablation 5: recirculation vs multi-switch chain (2-round programs)");
+  const analysis::RecirculationModel model;
+  std::printf("%-14s | %16s | %13s | %s\n", "deployment", "tput loss (128B)",
+              "extra latency", "hardware");
+  bench::rule(70);
+  std::printf("%-14s | %15.1f%% | %10.2f ms | 1 switch\n", "recirculation",
+              100.0 * analysis::throughput_loss(model, 128, 1),
+              model.per_pass_latency_ms);
+  std::printf("%-14s | %15.1f%% | %10.2f ms | 2 switches\n", "chain", 0.0,
+              0.002 /*one extra line-rate pipeline traversal*/);
+  std::printf("\nChains trade hardware for bandwidth: zero recirculation loss and\n"
+              "negligible added latency, at the cost of one switch per extra round\n"
+              "and no cross-round access to the same memory (constraint-(5)\n"
+              "adjustment, see dataplane/switch_chain.h).\n");
+}
+
+// ---------------------------------------------------------------------------
+// (6) end-host overhead: capsule goodput.
+// ---------------------------------------------------------------------------
+void goodput_overhead() {
+  bench::heading("Ablation 6: end-host overhead (goodput fraction of wire bytes)");
+  std::printf("%-10s | %12s | %22s | %22s\n", "payload", "P4runpro",
+              "ActiveRMT (10 instr)", "ActiveRMT (30 instr)");
+  bench::rule(76);
+  for (int size : {64, 128, 256, 512, 1024, 1460}) {
+    std::printf("%7d B  | %11.1f%% | %21.1f%% | %21.1f%%\n", size, 100.0,
+                100.0 * baselines::ActiveRmtAllocator::goodput_fraction(size, 10),
+                100.0 * baselines::ActiveRmtAllocator::goodput_fraction(size, 30));
+  }
+  std::printf("\nP4runpro makes no assumptions about incoming packets (no capsule\n"
+              "header), so end hosts pay nothing; ActiveRMT's active headers cost\n"
+              "up to ~60%% of small-packet goodput (§2.2/§6.3).\n");
+}
+
+}  // namespace
+
+int main() {
+  sweep_alpha_beta();
+  register_count();
+  address_translation();
+  replication_cost();
+  recirc_vs_chain();
+  goodput_overhead();
+  return 0;
+}

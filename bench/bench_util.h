@@ -1,0 +1,37 @@
+// Shared helpers for the benchmark harnesses: canonical experiment setup
+// (provisioned data plane + controller) and table printing.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "control/controller.h"
+#include "dataplane/runpro_dataplane.h"
+
+namespace p4runpro::bench {
+
+/// A freshly provisioned switch with the paper's prototype geometry and the
+/// default parser configuration (application headers on the catalog ports).
+struct Testbed {
+  SimClock clock;
+  dp::RunproDataplane dataplane;
+  ctrl::Controller controller;
+
+  explicit Testbed(rp::Objective objective = {})
+      : dataplane(dp::DataplaneSpec{},
+                  rmt::ParserConfig{{7777, 7788, 9999, 5555}}),
+        controller(dataplane, clock, objective) {}
+};
+
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void rule(int width = 96) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace p4runpro::bench

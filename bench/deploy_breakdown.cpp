@@ -1,0 +1,41 @@
+// Deployment-delay breakdown (§6.2.1: deployment delay = allocation delay
+// + update delay, parsing negligible at ~2 ms): the per-phase cost of
+// linking each catalog program to a fresh switch, plus the revoke cost.
+#include <cstdio>
+
+#include "apps/program_library.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace p4runpro;
+  bench::heading("Deployment-delay breakdown per program (ms)");
+  std::printf("%-28s | %8s | %8s | %8s | %8s | %8s\n", "program", "parse",
+              "alloc", "update", "deploy", "revoke");
+  bench::rule(90);
+
+  for (const auto& info : apps::program_catalog()) {
+    bench::Testbed bed;
+    apps::ProgramConfig config;
+    config.instance_name = info.key;
+    auto linked = bed.controller.link_single(
+        apps::make_program_source(info.key, config));
+    if (!linked.ok()) {
+      std::fprintf(stderr, "link failed for %s\n", info.key.c_str());
+      return 1;
+    }
+    const auto& stats = linked.value().stats;
+    const double before_revoke = bed.clock.now_ms();
+    if (!bed.controller.revoke(linked.value().id).ok()) return 1;
+    const double revoke_ms = bed.clock.now_ms() - before_revoke;
+    std::printf("%-28s | %8.2f | %8.3f | %8.2f | %8.2f | %8.2f\n",
+                info.display.c_str(), stats.parse_ms, stats.alloc_ms,
+                stats.update_ms, stats.deploy_ms(), revoke_ms);
+  }
+
+  std::printf("\nShape check: the update (bfrt writes) dominates; allocation is\n"
+              "microseconds (vs the paper's Z3 at hundreds of ms — same rank,\n"
+              "different solver); parsing is the flat ~2 ms the paper reports.\n"
+              "Compare with the conventional workflow: minutes of P4 compilation\n"
+              "plus seconds of reprovisioning blackout.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig. 10: hardware resource overhead of the provisioned data planes —
+// PHV, hash units, SRAM, TCAM, VLIW, SALU and logical table IDs — for
+// P4runpro, ActiveRMT and FlyMon, as percentages of a Tofino-class chip
+// budget (the paper computes these with P4C + P4 Insight).
+#include <cstdio>
+
+#include "analysis/static_analyzer.h"
+#include "bench_util.h"
+#include "dataplane/dataplane_spec.h"
+
+int main() {
+  using namespace p4runpro;
+  bench::heading("Fig. 10: resource usage (% of chip budget)");
+
+  const analysis::SystemProfile profiles[] = {
+      analysis::profile_p4runpro(dp::DataplaneSpec{}),
+      analysis::profile_activermt(),
+      analysis::profile_flymon(),
+  };
+
+  std::printf("%-10s", "resource");
+  for (const auto& p : profiles) std::printf(" | %9s", p.name.c_str());
+  std::printf("\n");
+  bench::rule(50);
+  for (int r = 0; r < rmt::kNumResources; ++r) {
+    const auto resource = static_cast<rmt::Resource>(r);
+    std::printf("%-10s", std::string(rmt::resource_name(resource)).c_str());
+    for (const auto& p : profiles) {
+      std::printf(" | %8.1f%%", p.usage.percent(resource, p.budget));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nShape check (paper §6.3): P4runpro uses almost all VLIW (atomic\n"
+      "operations), TCAM is its scalability limit, SRAM stays moderate\n"
+      "(free SRAM can scale memory), hash/SALU exceed ActiveRMT's (22 vs 20\n"
+      "execution stages), and the one-big-table design keeps LTID low where\n"
+      "ActiveRMT burns many logical tables. FlyMon stays small everywhere\n"
+      "(measurement-only scope).\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 11: impact of recirculation — maximum lossless throughput loss and
+// normalized zero-queue RTT versus the recirculation iteration number, for
+// packet sizes 128 B to 1,500 B on a 100G port pair. The paper measures
+// 1-10% loss at one iteration (packet-size dependent) and only 2.2-7.2%
+// RTT growth even at 6 iterations.
+#include <cstdio>
+
+#include "analysis/throughput_model.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace p4runpro;
+  const analysis::RecirculationModel model;
+
+  bench::heading("Fig. 11(a): throughput loss vs recirculation iterations");
+  const int kSizes[] = {128, 256, 512, 1024, 1500};
+  std::printf("%-10s", "pkt size");
+  for (int it = 0; it <= 6; ++it) std::printf(" | iter %d", it);
+  std::printf("\n");
+  bench::rule(80);
+  for (int size : kSizes) {
+    std::printf("%7d B ", size);
+    for (int it = 0; it <= 6; ++it) {
+      std::printf(" | %5.1f%%", 100.0 * analysis::throughput_loss(model, size, it));
+    }
+    std::printf("\n");
+  }
+
+  bench::heading("Fig. 11(b): normalized zero-queue RTT vs recirculation iterations");
+  std::printf("%-10s", "");
+  for (int it = 0; it <= 6; ++it) std::printf(" | iter %d", it);
+  std::printf("\n");
+  bench::rule(80);
+  std::printf("%-10s", "norm. RTT");
+  for (int it = 0; it <= 6; ++it) {
+    std::printf(" | %6.3f", analysis::normalized_rtt(model, it));
+  }
+  std::printf("\n");
+  const double growth6 = 100.0 * (analysis::normalized_rtt(model, 6) - 1.0);
+  std::printf("\nRTT growth at 6 iterations: %.1f%% (paper: 2.2-7.2%%).\n", growth6);
+
+  std::printf("Shape check: one iteration costs 1-10%% throughput depending on\n"
+              "packet size (worst for small packets); latency growth stays minimal.\n"
+              "With R = 1 (the prototype default) the overhead is manageable while\n"
+              "all 15 programs fit; 13 of 15 need no recirculation at all.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Fig. 12: performance of the four allocation objective functions under
+// the all-mixed workload deployed until failure —
+//   f1 = a*xL - b*x1 (a=0.7, b=0.3, the prototype default),
+//   f2 = xL,
+//   f3 = xL / x1 (non-linear),
+//   hierarchical (min xL then max x1).
+// Reports per-scheme program capacity, final memory / entry utilization,
+// and the allocation-delay profile. The paper finds f3 best on capacity
+// but an order of magnitude slower, f2/hierarchical worst on capacity, and
+// f1 the best balance — hence the prototype default.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/metrics.h"
+#include "bench_util.h"
+#include "compiler/solver.h"
+#include "traffic/workloads.h"
+
+namespace {
+
+using namespace p4runpro;
+
+struct SchemeResult {
+  int capacity = 0;
+  double mem_util = 0.0;
+  double entry_util = 0.0;
+  double mean_delay_ms = 0.0;
+  double max_delay_ms = 0.0;
+  std::uint64_t mean_nodes = 0;
+};
+
+SchemeResult run(rp::Objective objective) {
+  bench::Testbed bed(objective);
+  auto workload = traffic::WorkloadGenerator::all_mixed(256, 2, 99);
+  SchemeResult out;
+  double delay_sum = 0.0;
+  std::uint64_t node_sum = 0;
+  for (;;) {
+    const auto request = workload.next();
+    auto linked = bed.controller.link_single(request.source);
+    if (!linked.ok()) break;
+    ++out.capacity;
+    delay_sum += linked.value().stats.alloc_ms;
+    out.max_delay_ms = std::max(out.max_delay_ms, linked.value().stats.alloc_ms);
+    const auto* installed = bed.controller.program(linked.value().id);
+    if (installed != nullptr) node_sum += installed->alloc.nodes_explored;
+    if (out.capacity > 20000) break;
+  }
+  out.mem_util = bed.controller.resources().total_memory_utilization();
+  out.entry_util = bed.controller.resources().total_entry_utilization();
+  out.mean_delay_ms = out.capacity ? delay_sum / out.capacity : 0.0;
+  out.mean_nodes = out.capacity ? node_sum / static_cast<std::uint64_t>(out.capacity) : 0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Fig. 12: objective-function comparison (all-mixed workload to failure)");
+  std::printf("%-30s | %8s | %9s | %9s | %12s | %12s | %10s\n", "objective",
+              "capacity", "mem util", "ent util", "mean alloc ms",
+              "max alloc ms", "mean nodes");
+  bench::rule(110);
+
+  const struct {
+    const char* name;
+    rp::Objective objective;
+  } kSchemes[] = {
+      {"f1 = 0.7*xL - 0.3*x1", {rp::ObjectiveKind::F1, 0.7, 0.3}},
+      {"f2 = xL", {rp::ObjectiveKind::F2}},
+      {"f3 = xL / x1", {rp::ObjectiveKind::F3}},
+      {"hierarchical", {rp::ObjectiveKind::Hierarchical}},
+  };
+  for (const auto& scheme : kSchemes) {
+    const SchemeResult r = run(scheme.objective);
+    std::printf("%-30s | %8d | %8.1f%% | %8.1f%% | %12.4f | %12.4f | %10llu\n",
+                scheme.name, r.capacity, 100.0 * r.mem_util, 100.0 * r.entry_util,
+                r.mean_delay_ms, r.max_delay_ms,
+                static_cast<unsigned long long>(r.mean_nodes));
+  }
+
+  std::printf(
+      "\nShape check (paper §6.2.4): f2 and hierarchical stack everything onto\n"
+      "the earliest RPBs and run out of ingress entries first (lowest capacity\n"
+      "and utilization); f3 spreads programs best (highest capacity) but its\n"
+      "non-linear objective costs by far the most search effort; f1 balances\n"
+      "both, which is why the prototype ships with it.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Figs. 18 & 19 (appendix C): per-RPB memory and table-entry utilization
+// heatmaps over the deployment epochs of the all-mixed workload, one map
+// per objective function. Rows are the 22 RPBs (1-10 ingress, 11-22
+// egress); columns are 100-epoch segments; cells are the average
+// utilization within the segment, rendered as a coarse percentage.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "compiler/solver.h"
+#include "traffic/workloads.h"
+
+namespace {
+
+using namespace p4runpro;
+
+constexpr int kSegmentEpochs = 100;
+
+struct Heatmaps {
+  // [segment][rpb-1] average utilization in [0,1].
+  std::vector<std::vector<double>> memory;
+  std::vector<std::vector<double>> entries;
+};
+
+Heatmaps run(rp::Objective objective) {
+  bench::Testbed bed(objective);
+  auto workload = traffic::WorkloadGenerator::all_mixed(256, 2, 99);
+  const auto& spec = bed.dataplane.spec();
+  const int rpbs = spec.total_rpbs();
+
+  Heatmaps maps;
+  std::vector<double> mem_acc(static_cast<std::size_t>(rpbs), 0.0);
+  std::vector<double> entry_acc(static_cast<std::size_t>(rpbs), 0.0);
+  int in_segment = 0;
+
+  auto flush = [&] {
+    if (in_segment < kSegmentEpochs) return;  // discard short final segment
+    std::vector<double> mem_row, entry_row;
+    for (int r = 0; r < rpbs; ++r) {
+      mem_row.push_back(mem_acc[static_cast<std::size_t>(r)] / in_segment);
+      entry_row.push_back(entry_acc[static_cast<std::size_t>(r)] / in_segment);
+    }
+    maps.memory.push_back(std::move(mem_row));
+    maps.entries.push_back(std::move(entry_row));
+    std::fill(mem_acc.begin(), mem_acc.end(), 0.0);
+    std::fill(entry_acc.begin(), entry_acc.end(), 0.0);
+    in_segment = 0;
+  };
+
+  for (;;) {
+    const auto request = workload.next();
+    auto linked = bed.controller.link_single(request.source);
+    if (!linked.ok()) break;
+    for (int r = 1; r <= rpbs; ++r) {
+      mem_acc[static_cast<std::size_t>(r - 1)] +=
+          static_cast<double>(bed.controller.resources().memory_used(r)) /
+          spec.memory_per_rpb;
+      entry_acc[static_cast<std::size_t>(r - 1)] +=
+          static_cast<double>(bed.controller.resources().entries_used(r)) /
+          spec.entries_per_rpb;
+    }
+    if (++in_segment == kSegmentEpochs) flush();
+  }
+  flush();
+  return maps;
+}
+
+void print_map(const char* title, const std::vector<std::vector<double>>& map) {
+  std::printf("\n%s (rows = RPB 1..22, cols = %d-epoch segments, cell = %%)\n",
+              title, kSegmentEpochs);
+  if (map.empty()) {
+    std::printf("  (fewer than %d successful epochs)\n", kSegmentEpochs);
+    return;
+  }
+  const int rpbs = static_cast<int>(map[0].size());
+  for (int r = 0; r < rpbs; ++r) {
+    std::printf("  RPB%-3d%s |", r + 1, r < 10 ? " (in)" : " (eg)");
+    for (const auto& segment : map) {
+      std::printf(" %3.0f", 100.0 * segment[static_cast<std::size_t>(r)]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Figs. 18/19: per-RPB utilization heatmaps (all-mixed workload)");
+
+  const struct {
+    const char* name;
+    rp::Objective objective;
+  } kSchemes[] = {
+      {"f1 = 0.7*xL - 0.3*x1", {rp::ObjectiveKind::F1, 0.7, 0.3}},
+      {"f2 = xL", {rp::ObjectiveKind::F2}},
+      {"f3 = xL / x1", {rp::ObjectiveKind::F3}},
+      {"hierarchical", {rp::ObjectiveKind::Hierarchical}},
+  };
+
+  for (const auto& scheme : kSchemes) {
+    std::printf("\n######## objective: %s ########\n", scheme.name);
+    const Heatmaps maps = run(scheme.objective);
+    print_map("Fig. 18: memory utilization per RPB", maps.memory);
+    print_map("Fig. 19: table-entry utilization per RPB", maps.entries);
+  }
+
+  std::printf(
+      "\nShape check (appendix C): f2/hierarchical exhaust the early ingress\n"
+      "RPBs' entries while egress RPBs idle; f3 spreads most uniformly; f1 is\n"
+      "in between. Memory fills non-uniformly (first-fit + non-uniform demand).\n");
+  return 0;
+}

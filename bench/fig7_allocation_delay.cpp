@@ -1,0 +1,139 @@
+// Fig. 7: allocation delay.
+//  (a) Delay per deployment epoch during 500 sequential program arrivals
+//      (10 runs, moving average window 31) for the cache / lb / hh / mixed
+//      workloads, P4runpro vs the ActiveRMT baseline allocator. Failed
+//      allocations record 0 (as in the paper).
+//  (b) Allocation delay vs requested memory granularity (128 B - 1,024 B)
+//      under the mixed workload: P4runpro is insensitive, ActiveRMT's
+//      fixed-granularity model degrades with finer granules.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/metrics.h"
+#include "baselines/activermt.h"
+#include "bench_util.h"
+#include "traffic/workloads.h"
+
+namespace {
+
+using namespace p4runpro;
+
+constexpr int kEpochs = 500;
+constexpr int kRuns = 10;
+constexpr int kWindow = 31;
+
+/// One P4runpro run: returns per-epoch allocation delay (ms), 0 on failure.
+std::vector<double> run_p4runpro(traffic::WorkloadGenerator workload) {
+  bench::Testbed bed;
+  std::vector<double> delays;
+  delays.reserve(kEpochs);
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    const auto request = workload.next();
+    auto linked = bed.controller.link_single(request.source);
+    delays.push_back(linked.ok() ? linked.value().stats.alloc_ms : 0.0);
+  }
+  return delays;
+}
+
+std::vector<double> run_activermt(std::uint32_t granularity) {
+  baselines::ActiveRmtConfig config;
+  config.granularity = granularity;
+  baselines::ActiveRmtAllocator allocator(config);
+  Rng rng(7);
+  std::vector<double> delays;
+  delays.reserve(kEpochs);
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    baselines::ActiveRequest request;
+    switch (rng.uniform(3)) {
+      case 0: request = {12, 256, true}; break;   // cache (elastic)
+      case 1: request = {20, 256, false}; break;  // lb
+      default: request = {30, 256, false}; break; // hh
+    }
+    WallTimer timer;
+    auto r = allocator.allocate(request);
+    delays.push_back(r.ok() ? timer.elapsed_ms() : 0.0);
+  }
+  return delays;
+}
+
+std::vector<double> average_runs(const std::vector<std::vector<double>>& runs) {
+  std::vector<double> avg(runs[0].size(), 0.0);
+  for (const auto& run : runs) {
+    for (std::size_t i = 0; i < avg.size(); ++i) avg[i] += run[i];
+  }
+  for (auto& v : avg) v /= static_cast<double>(runs.size());
+  return avg;
+}
+
+void print_series(const char* name, const std::vector<double>& series) {
+  std::printf("%-18s", name);
+  for (std::size_t i = 0; i < series.size(); i += 50) {
+    std::printf(" %8.4f", series[i]);
+  }
+  std::printf(" %8.4f\n", series.back());
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Fig. 7(a): allocation delay during continuous deployment (ms)");
+  std::printf("%-18s", "epoch ->");
+  for (int e = 0; e < kEpochs; e += 50) std::printf(" %8d", e);
+  std::printf(" %8d\n", kEpochs - 1);
+  bench::rule(120);
+
+  for (const char* key : {"cache", "lb", "hh"}) {
+    std::vector<std::vector<double>> runs;
+    for (int run = 0; run < kRuns; ++run) {
+      runs.push_back(run_p4runpro(
+          traffic::WorkloadGenerator::single(key, 256, 2, 7 + run)));
+    }
+    print_series(key, analysis::moving_average(average_runs(runs), kWindow));
+  }
+  {
+    std::vector<std::vector<double>> runs;
+    for (int run = 0; run < kRuns; ++run) {
+      runs.push_back(run_p4runpro(traffic::WorkloadGenerator::mixed(256, 2, 7 + run)));
+    }
+    print_series("mixed", analysis::moving_average(average_runs(runs), kWindow));
+  }
+  {
+    std::vector<std::vector<double>> runs;
+    for (int run = 0; run < kRuns; ++run) runs.push_back(run_activermt(256));
+    print_series("ActiveRMT(mixed)",
+                 analysis::moving_average(average_runs(runs), kWindow));
+  }
+  std::printf("\nShape check: P4runpro delay is flat per workload; ActiveRMT's grows\n"
+              "with the number of installed programs (global fair-remap model).\n");
+
+  bench::heading("Fig. 7(b): allocation delay vs memory granularity (mixed workload)");
+  std::printf("%-14s | %18s | %18s\n", "granularity", "P4runpro mean (ms)",
+              "ActiveRMT mean (ms)");
+  bench::rule(60);
+  for (std::uint32_t buckets : {32u, 64u, 128u, 256u}) {  // 128 B .. 1,024 B
+    double p4_sum = 0.0;
+    int p4_count = 0;
+    auto delays = run_p4runpro(traffic::WorkloadGenerator::mixed(buckets, 2, 11));
+    for (double d : delays) {
+      if (d > 0) {
+        p4_sum += d;
+        ++p4_count;
+      }
+    }
+    auto armt = run_activermt(buckets);
+    double armt_sum = 0.0;
+    int armt_count = 0;
+    for (double d : armt) {
+      if (d > 0) {
+        armt_sum += d;
+        ++armt_count;
+      }
+    }
+    std::printf("%10u B   | %18.4f | %18.4f\n", buckets * 4,
+                p4_count ? p4_sum / p4_count : 0.0,
+                armt_count ? armt_sum / armt_count : 0.0);
+  }
+  std::printf("\nShape check: the requested memory size does not affect P4runpro's\n"
+              "allocation time (paper §6.2.1); finer granularity slows ActiveRMT.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Fig. 8: memory and table-entry utilization when programs are deployed
+// continuously until the first allocation failure, for the cache / lb / hh
+// / mixed workloads (P4runpro) and the ActiveRMT baseline (memory only).
+// The paper reports 60-80% typical utilization, with lb reaching 100%
+// memory and cache/hh capped by primitive dependencies (ingress entries).
+#include <cstdio>
+
+#include "baselines/activermt.h"
+#include "bench_util.h"
+#include "traffic/workloads.h"
+
+namespace {
+
+using namespace p4runpro;
+
+struct Outcome {
+  int programs = 0;
+  double mem_util = 0.0;
+  double entry_util = 0.0;
+  std::string reason;
+};
+
+Outcome run_until_failure(traffic::WorkloadGenerator workload) {
+  bench::Testbed bed;
+  Outcome out;
+  for (;;) {
+    const auto request = workload.next();
+    auto linked = bed.controller.link_single(request.source);
+    if (!linked.ok()) {
+      out.reason = linked.error().message;
+      break;
+    }
+    ++out.programs;
+    if (out.programs > 20000) {
+      out.reason = "stopped (safety cap)";
+      break;
+    }
+  }
+  out.mem_util = bed.controller.resources().total_memory_utilization();
+  out.entry_util = bed.controller.resources().total_entry_utilization();
+  return out;
+}
+
+double activermt_until_failure(bool elastic, int instructions) {
+  baselines::ActiveRmtAllocator allocator;
+  for (;;) {
+    baselines::ActiveRequest request{instructions, 256, elastic};
+    if (!allocator.allocate(request).ok()) break;
+    if (allocator.program_count() > 20000) break;
+  }
+  return allocator.memory_utilization();
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Fig. 8: resource utilization at first allocation failure");
+  std::printf("%-10s | %9s | %12s | %12s | %s\n", "workload", "programs",
+              "memory util", "entry util", "failure cause");
+  bench::rule(110);
+
+  const struct {
+    const char* name;
+    traffic::WorkloadGenerator workload;
+  } kWorkloads[] = {
+      {"cache", traffic::WorkloadGenerator::single("cache")},
+      {"lb", traffic::WorkloadGenerator::single("lb")},
+      {"hh", traffic::WorkloadGenerator::single("hh")},
+      {"mixed", traffic::WorkloadGenerator::mixed()},
+  };
+  for (const auto& w : kWorkloads) {
+    const Outcome out = run_until_failure(w.workload);
+    std::printf("%-10s | %9d | %11.1f%% | %11.1f%% | %s\n", w.name, out.programs,
+                100.0 * out.mem_util, 100.0 * out.entry_util, out.reason.c_str());
+  }
+
+  bench::heading("ActiveRMT baseline (memory utilization at failure)");
+  std::printf("cache (elastic): %5.1f%%\n",
+              100.0 * activermt_until_failure(true, 12));
+  std::printf("lb:              %5.1f%%\n",
+              100.0 * activermt_until_failure(false, 20));
+  std::printf("hh:              %5.1f%%\n",
+              100.0 * activermt_until_failure(false, 30));
+
+  std::printf("\nShape check (paper §6.2.2): utilization lands in the 60-80%% band;\n"
+              "lb exhausts memory (highest memory util); cache/hh are limited by\n"
+              "ingress table entries (forwarding primitives), leaving memory free;\n"
+              "ActiveRMT's elastic cache reaches ~100%% by shrinking programs.\n");
+  return 0;
+}

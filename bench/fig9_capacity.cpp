@@ -1,0 +1,60 @@
+// Fig. 9: program capacity — how many program instances can run
+// concurrently — for the cache / lb / hh / nc / all-mixed workloads, under
+// the baseline configuration (1,024 B memory, 2 elastic case blocks) and
+// with doubled/quadrupled memory or 16/256 elastic case blocks. The paper
+// reports ~2.8K (lb) down to ~0.6K (nc), 77-1351 for all-mixed, and that
+// elastic-block growth hurts capacity more than memory growth (TCAM is the
+// scarcer resource).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "traffic/workloads.h"
+
+namespace {
+
+using namespace p4runpro;
+
+int capacity(traffic::WorkloadGenerator workload) {
+  bench::Testbed bed;
+  int count = 0;
+  for (;;) {
+    const auto request = workload.next();
+    auto linked = bed.controller.link_single(request.source);
+    if (!linked.ok()) break;
+    if (++count > 20000) break;  // safety cap
+  }
+  return count;
+}
+
+traffic::WorkloadGenerator make(const std::string& key, std::uint32_t mem,
+                                int elastic) {
+  if (key == "all-mixed") return traffic::WorkloadGenerator::all_mixed(mem, elastic);
+  return traffic::WorkloadGenerator::single(key, mem, elastic);
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Fig. 9: program capacity");
+  std::printf("%-10s | %9s | %9s | %9s | %11s | %11s\n", "workload",
+              "base", "mem 2KB", "mem 4KB", "elastic 16", "elastic 256");
+  bench::rule(80);
+
+  const char* kWorkloads[] = {"cache", "lb", "hh", "nc", "all-mixed"};
+  for (const char* key : kWorkloads) {
+    const int base = capacity(make(key, 256, 2));
+    const int mem2k = capacity(make(key, 512, 2));
+    const int mem4k = capacity(make(key, 1024, 2));
+    const int el16 = capacity(make(key, 256, 16));
+    const int el256 = capacity(make(key, 256, 256));
+    std::printf("%-10s | %9d | %9d | %9d | %11d | %11d\n", key, base, mem2k,
+                mem4k, el16, el256);
+  }
+
+  std::printf("\nShape check (paper §6.2.3): lb tops out near ~2.8K, nc near ~0.6K;\n"
+              "doubling memory does NOT halve capacity, while raising the elastic\n"
+              "case-block count collapses it (table entries are the scarce resource).\n"
+              "Note: programs without elastic case blocks (e.g. hh) ignore the\n"
+              "elastic columns.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Micro-benchmarks (google-benchmark) of the compiler pipeline stages:
+// lexing, parsing, translation, allocation solving per objective, and the
+// full link path. These quantify the "allocation delay is insensitive to
+// allocated resources but grows with AST depth" claim (§6.2.1).
+#include <benchmark/benchmark.h>
+
+#include "apps/program_library.h"
+#include "compiler/compiler.h"
+#include "compiler/solver.h"
+#include "control/resource_manager.h"
+#include "lang/lexer.h"
+#include "lang/parser.h"
+
+namespace {
+
+using namespace p4runpro;
+
+std::string source_for(const std::string& key) {
+  apps::ProgramConfig config;
+  config.instance_name = key;
+  return apps::make_program_source(key, config);
+}
+
+void BM_Lex(benchmark::State& state) {
+  const std::string src = source_for("cache");
+  for (auto _ : state) {
+    auto tokens = lang::lex(src);
+    benchmark::DoNotOptimize(tokens);
+  }
+}
+BENCHMARK(BM_Lex);
+
+void BM_Parse(benchmark::State& state) {
+  const std::string src = source_for("hh");
+  for (auto _ : state) {
+    auto unit = lang::parse(src);
+    benchmark::DoNotOptimize(unit);
+  }
+}
+BENCHMARK(BM_Parse);
+
+void BM_Translate(benchmark::State& state) {
+  const char* kKeys[] = {"l3", "cache", "hh", "hll"};
+  const std::string src = source_for(kKeys[state.range(0)]);
+  for (auto _ : state) {
+    auto program = rp::compile_single(src);
+    benchmark::DoNotOptimize(program);
+  }
+}
+BENCHMARK(BM_Translate)->DenseRange(0, 3)
+    ->ArgNames({"program(l3/cache/hh/hll)"});
+
+void BM_Solve(benchmark::State& state) {
+  const char* kKeys[] = {"l3", "cache", "hh", "hll"};
+  auto program = rp::compile_single(source_for(kKeys[state.range(1)]));
+  const dp::DataplaneSpec spec;
+  ctrl::ResourceManager resources(spec);
+  const auto snapshot = resources.snapshot();
+  const rp::ObjectiveKind kinds[] = {rp::ObjectiveKind::F1, rp::ObjectiveKind::F2,
+                                     rp::ObjectiveKind::F3,
+                                     rp::ObjectiveKind::Hierarchical};
+  rp::Objective objective{kinds[state.range(0)], 0.7, 0.3};
+  for (auto _ : state) {
+    auto alloc = rp::solve_allocation(program.value(), spec, snapshot, objective);
+    benchmark::DoNotOptimize(alloc);
+  }
+}
+BENCHMARK(BM_Solve)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1, 2, 3}})
+    ->ArgNames({"objective(f1/f2/f3/hier)", "program(l3/cache/hh/hll)"});
+
+void BM_SnapshotUnderLoad(benchmark::State& state) {
+  // Snapshot cost with fragmented free lists.
+  const dp::DataplaneSpec spec;
+  ctrl::ResourceManager resources(spec);
+  std::vector<std::pair<int, ctrl::MemBlock>> held;
+  for (int rpb = 1; rpb <= spec.total_rpbs(); ++rpb) {
+    for (int i = 0; i < 64; ++i) {
+      auto block = resources.allocate_memory(rpb, 256);
+      if (block.ok()) held.emplace_back(rpb, block.value());
+    }
+  }
+  for (std::size_t i = 0; i < held.size(); i += 2) {
+    resources.free_memory(held[i].first, held[i].second);
+  }
+  for (auto _ : state) {
+    auto snapshot = resources.snapshot();
+    benchmark::DoNotOptimize(snapshot);
+  }
+}
+BENCHMARK(BM_SnapshotUnderLoad);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Data-plane micro-benchmarks (google-benchmark): simulator packet rates
+// for the main program shapes. These measure the SIMULATOR, not the
+// switch — useful for knowing how much virtual traffic the case studies
+// can afford — plus the per-entry install/remove cost of the table layer.
+#include <benchmark/benchmark.h>
+
+#include "apps/program_library.h"
+#include "common/clock.h"
+#include "control/controller.h"
+#include "dataplane/runpro_dataplane.h"
+#include "traffic/workloads.h"
+
+namespace {
+
+using namespace p4runpro;
+
+struct Bed {
+  SimClock clock;
+  dp::RunproDataplane dataplane{dp::DataplaneSpec{},
+                                rmt::ParserConfig{{7777, 9999}}};
+  ctrl::Controller controller{dataplane, clock};
+};
+
+rmt::Packet cache_packet() {
+  rmt::Packet pkt;
+  pkt.ipv4 = rmt::Ipv4Header{.src = 0x0a000001, .dst = 0x0a000002, .proto = 17};
+  pkt.udp = rmt::UdpHeader{4000, 7777};
+  pkt.app = rmt::AppHeader{1, 0x8888, 0, 0};
+  pkt.ingress_port = 5;
+  return pkt;
+}
+
+rmt::Packet hh_packet() {
+  rmt::Packet pkt;
+  pkt.ipv4 = rmt::Ipv4Header{.src = 0x0a000010, .dst = 0x0b000001, .proto = 17};
+  pkt.udp = rmt::UdpHeader{5000, 6000};
+  pkt.ingress_port = 1;
+  return pkt;
+}
+
+void BM_InjectUnclaimed(benchmark::State& state) {
+  Bed bed;
+  const auto pkt = hh_packet();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bed.dataplane.inject(pkt));
+  }
+}
+BENCHMARK(BM_InjectUnclaimed);
+
+void BM_InjectCacheHit(benchmark::State& state) {
+  Bed bed;
+  apps::ProgramConfig config;
+  config.instance_name = "cache";
+  (void)bed.controller.link_single(apps::make_program_source("cache", config));
+  const auto pkt = cache_packet();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bed.dataplane.inject(pkt));
+  }
+}
+BENCHMARK(BM_InjectCacheHit);
+
+void BM_InjectHhWithRecirculation(benchmark::State& state) {
+  Bed bed;
+  apps::ProgramConfig config;
+  config.instance_name = "hh";
+  (void)bed.controller.link_single(apps::make_program_source("hh", config));
+  const auto pkt = hh_packet();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bed.dataplane.inject(pkt));
+  }
+}
+BENCHMARK(BM_InjectHhWithRecirculation);
+
+void BM_InjectWithManyPrograms(benchmark::State& state) {
+  // Lookup cost with a populated switch (program-id indexed tables).
+  Bed bed;
+  auto workload = p4runpro::traffic::WorkloadGenerator::all_mixed(64, 2, 3);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    (void)bed.controller.link_single(workload.next().source);
+  }
+  const auto pkt = hh_packet();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bed.dataplane.inject(pkt));
+  }
+}
+BENCHMARK(BM_InjectWithManyPrograms)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_LinkRevokeCycle(benchmark::State& state) {
+  Bed bed;
+  apps::ProgramConfig config;
+  config.instance_name = "cache";
+  const std::string source = apps::make_program_source("cache", config);
+  for (auto _ : state) {
+    auto linked = bed.controller.link_single(source);
+    benchmark::DoNotOptimize(linked);
+    (void)bed.controller.revoke(linked.value().id);
+  }
+}
+BENCHMARK(BM_LinkRevokeCycle);
+
+}  // namespace
+
+
+BENCHMARK_MAIN();

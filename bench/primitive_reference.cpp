@@ -1,0 +1,82 @@
+// Tables 3 & 4 (appendix A): the primitive / pseudo-primitive reference,
+// generated FROM THE IMPLEMENTATION — each pseudo primitive is compiled
+// through the real translator and its expansion printed, which both
+// documents and verifies the Fig. 14 translations.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "compiler/compiler.h"
+#include "dataplane/atomic_op.h"
+
+namespace {
+
+using namespace p4runpro;
+
+void show_expansion(const char* pseudo, const char* body, const char* note = "") {
+  const std::string source =
+      std::string("@ m 64\nprogram p(<hdr.ipv4.src, 1, 0xff>) {\n") + body + "}\n";
+  auto ir = rp::compile_single(source);
+  if (!ir.ok()) {
+    std::printf("%-22s -> COMPILE ERROR: %s\n", pseudo, ir.error().str().c_str());
+    return;
+  }
+  std::printf("%-22s ->", pseudo);
+  for (const auto& node : ir.value().nodes) {
+    dp::AtomicOp op;
+    op.kind = node.op.kind;
+    op.field = node.op.field;
+    op.reg0 = node.op.reg0;
+    op.reg1 = node.op.reg1;
+    op.imm = node.op.imm;
+    op.salu = node.op.salu;
+    std::string text = op.str();
+    if (!node.op.vmem.empty()) text += "[" + node.op.vmem + "]";
+    std::printf(" %s;", text.c_str());
+  }
+  if (*note) std::printf("   (%s)", note);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Table 3: primitive set (kinds implemented by every RPB)");
+  std::printf(
+      "  header interaction : EXTRACT(field, reg)   MODIFY(field, reg)\n"
+      "  hash               : HASH_5_TUPLE  HASH  HASH_5_TUPLE_MEM(mem)  HASH_MEM(mem)\n"
+      "  conditional branch : BRANCH + case blocks on <reg, value, mask>\n"
+      "  memory             : MEMADD MEMSUB MEMAND MEMOR MEMREAD MEMWRITE MEMMAX\n"
+      "  arithmetic & logic : LOADI(reg, i)  ADD AND OR MAX MIN XOR (reg0, reg1)\n"
+      "  forwarding         : FORWARD(port) DROP RETURN REPORT MULTICAST(group)\n");
+
+  bench::heading("Fig. 14: pseudo-primitive translations (compiled live)");
+  show_expansion("MOVE(har, sar)", "  MOVE(har, sar);\n");
+  show_expansion("NOT(har)", "  NOT(har);\n");
+  show_expansion("ADDI(har, 5)", "  ADDI(har, 5);\n");
+  show_expansion("ANDI(har, 0xff)", "  ANDI(har, 0xff);\n");
+  show_expansion("XORI(har, 0xff)", "  XORI(har, 0xff);\n");
+  show_expansion("SUBI(har, 7)", "  SUBI(har, 7);\n",
+                 "loads 2^32-7, the two's complement");
+  show_expansion("EQUAL(har, sar)", "  EQUAL(har, sar);\n", "har == 0 iff equal");
+  show_expansion("SGT(har, sar)", "  SGT(har, sar);\n", "har == 0 iff har >= sar");
+  show_expansion("SLT(har, sar)", "  SLT(har, sar);\n", "har == 0 iff har <= sar");
+  show_expansion("SUB(har, sar)", "  SUB(har, sar);\n",
+                 "corrected 6-op a + ~b + 1; the paper's listing omits the +1");
+
+  bench::heading("Supportive-register liveness (register-lifetime optimization)");
+  show_expansion("ADDI, support dead", "  ADDI(har, 5);\n",
+                 "no BACKUP/RESTORE: sar/mar never read again");
+  show_expansion("ADDI, support live",
+                 "  EXTRACT(hdr.ipv4.src, sar);\n  EXTRACT(hdr.ipv4.dst, mar);\n"
+                 "  ADDI(har, 5);\n  ADD(sar, mar);\n",
+                 "BACKUP/RESTORE wrap the clobbered register");
+
+  bench::heading("Address translation (mask + offset steps)");
+  show_expansion("MEMADD via hash", "  HASH_5_TUPLE_MEM(m);\n  MEMADD(m);\n",
+                 "mask merged into the hash, OFFSET as its own depth");
+
+  std::printf("\nTable 4 argument kinds: FIELD (hdr.*/meta.*), IDENTIFIER (memory),\n"
+              "REGISTER (har/sar/mar), and 32-bit INT (dec/hex/bin/IPv4 literal).\n");
+  return 0;
+}

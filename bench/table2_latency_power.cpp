@@ -1,0 +1,51 @@
+// Table 2: pipeline latency (clock cycles, ingress/egress/total),
+// worst-case power, and the traffic-limit load the 40 W power budget
+// imposes, for P4runpro / ActiveRMT / FlyMon (the paper's numbers come
+// from P4C's simulation + P4 Insight).
+#include <cstdio>
+
+#include "analysis/static_analyzer.h"
+#include "bench_util.h"
+#include "dataplane/dataplane_spec.h"
+
+int main() {
+  using namespace p4runpro;
+  bench::heading("Table 2: latency, worst-case power, traffic-limit load");
+
+  struct Row {
+    analysis::SystemProfile profile;
+    const char* paper_latency;
+    const char* paper_power;
+    const char* paper_load;
+  };
+  const Row rows[] = {
+      {analysis::profile_p4runpro(dp::DataplaneSpec{}), "306/316/622",
+       "19.32/21.42/40.74", "98%"},
+      {analysis::profile_activermt(), "312/308/620", "23.36/20.34/43.7", "91%"},
+      {analysis::profile_flymon(), "54/282/336", "0/34.05/34.05", "100%"},
+  };
+
+  std::printf("%-10s | %-20s %-14s | %-22s %-19s | %-5s %-6s\n", "system",
+              "latency (in/eg/total)", "paper", "power W (in/eg/total)", "paper",
+              "load", "paper");
+  bench::rule(120);
+  for (const auto& row : rows) {
+    const auto lp = analysis::analyze(row.profile);
+    char latency[32];
+    std::snprintf(latency, sizeof latency, "%.0f/%.0f/%.0f", lp.ingress_cycles,
+                  lp.egress_cycles, lp.total_cycles);
+    char power[40];
+    std::snprintf(power, sizeof power, "%.2f/%.2f/%.2f", lp.ingress_power_w,
+                  lp.egress_power_w, lp.total_power_w);
+    std::printf("%-10s | %-20s %-14s | %-22s %-19s | %3d%%  %-6s\n",
+                row.profile.name.c_str(), latency, row.paper_latency, power,
+                row.paper_power, lp.traffic_limit_load_pct, row.paper_load);
+  }
+
+  std::printf(
+      "\nShape check: P4runpro and ActiveRMT add comparable pipeline latency;\n"
+      "ActiveRMT's per-stage capsule activity pushes it over the 40 W budget\n"
+      "(forwarding limited to ~91%%), P4runpro stays at ~98%%, FlyMon at 100%%\n"
+      "with near-zero ingress latency.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Runtime load-balancer reconfiguration: a stateless L4 load balancer is
+// linked at runtime; when a backend is drained for maintenance, the
+// operator reassigns its buckets through control-plane memory writes —
+// no relink, no traffic disturbance (the "just-in-time optimization"
+// story of §2.1).
+#include <cstdio>
+
+#include "apps/program_library.h"
+#include "common/clock.h"
+#include "control/controller.h"
+#include "dataplane/runpro_dataplane.h"
+#include "traffic/flowgen.h"
+
+using namespace p4runpro;
+
+namespace {
+
+void measure(dp::RunproDataplane& dataplane, const traffic::Trace& trace,
+             const char* label) {
+  std::uint64_t port_pkts[3] = {0, 0, 0};
+  for (const auto& tp : trace.packets) {
+    const auto result = dataplane.inject(tp.pkt);
+    if (result.fate == rmt::PacketFate::Forwarded && result.egress_port < 3) {
+      ++port_pkts[result.egress_port];
+    }
+  }
+  const auto total = port_pkts[0] + port_pkts[1] + port_pkts[2];
+  std::printf("%-28s port0 %5.1f%%  port1 %5.1f%%  port2 %5.1f%%\n", label,
+              100.0 * port_pkts[0] / total, 100.0 * port_pkts[1] / total,
+              100.0 * port_pkts[2] / total);
+}
+
+}  // namespace
+
+int main() {
+  SimClock clock;
+  dp::RunproDataplane dataplane(dp::DataplaneSpec{}, rmt::ParserConfig{});
+  ctrl::Controller controller(dataplane, clock);
+
+  // Link a 3-backend load balancer (elastic FORWARD cases 0..2).
+  apps::ProgramConfig config;
+  config.instance_name = "vip_lb";
+  config.elastic_cases = 3;
+  auto linked = controller.link_single(apps::make_program_source("lb", config));
+  if (!linked.ok()) {
+    std::fprintf(stderr, "link failed: %s\n", linked.error().str().c_str());
+    return 1;
+  }
+  const ProgramId id = linked.value().id;
+
+  // Spread the 256 hash buckets over three DIPs/ports.
+  const auto* placements = controller.resources().program_placements(id);
+  const std::uint32_t buckets = placements->at("port_pool").block.size;
+  for (std::uint32_t b = 0; b < buckets; ++b) {
+    if (!controller.write_memory(id, "port_pool", b, b % 3).ok()) return 1;
+    if (!controller.write_memory(id, "dip_pool", b, 0xac100000u + b % 3).ok()) return 1;
+  }
+
+  traffic::CampusTraceConfig trace_config;
+  trace_config.duration_s = 3.0;
+  trace_config.zipf_skew = 0.5;
+  const auto trace = traffic::make_campus_trace(trace_config);
+
+  measure(dataplane, trace, "3 backends:");
+
+  // Backend 2 goes into maintenance: reassign its buckets to 0/1 with raw
+  // memory writes — the running program is never touched.
+  for (std::uint32_t b = 0; b < buckets; ++b) {
+    if (b % 3 == 2) {
+      if (!controller.write_memory(id, "port_pool", b, b % 2).ok()) return 1;
+      if (!controller.write_memory(id, "dip_pool", b, 0xac100000u + b % 2).ok()) return 1;
+    }
+  }
+  measure(dataplane, trace, "backend 2 drained:");
+
+  // Backend 2 returns.
+  for (std::uint32_t b = 0; b < buckets; ++b) {
+    if (b % 3 == 2) {
+      if (!controller.write_memory(id, "port_pool", b, 2).ok()) return 1;
+      if (!controller.write_memory(id, "dip_pool", b, 0xac100002u).ok()) return 1;
+    }
+  }
+  measure(dataplane, trace, "backend 2 restored:");
+
+  std::printf("\nAll reconfiguration happened through virtual-memory writes on the\n"
+              "running program (resource manager address translation) — zero\n"
+              "entry updates, zero disturbance.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Multi-tenant scenario (§2.1: runtime programmability makes the switch
+// cloud-native): three tenants offload unrelated network functions —
+// a stateful firewall, a heavy-hitter detector and an in-network
+// calculator — to the same switch at runtime. Each is isolated by its
+// program id; revoking one tenant leaves the others untouched.
+#include <cstdio>
+
+#include "apps/program_library.h"
+#include "common/clock.h"
+#include "control/controller.h"
+#include "dataplane/runpro_dataplane.h"
+
+using namespace p4runpro;
+
+namespace {
+
+rmt::Packet tcp_packet(std::uint32_t src, std::uint32_t dst, std::uint16_t sport,
+                       std::uint16_t dport) {
+  rmt::Packet pkt;
+  pkt.ipv4 = rmt::Ipv4Header{.src = src, .dst = dst, .proto = 6};
+  pkt.tcp = rmt::TcpHeader{sport, dport, 0x10};
+  pkt.payload_len = 256;
+  pkt.ingress_port = 1;
+  return pkt;
+}
+
+rmt::Packet calc_packet(Word op, Word a, Word b) {
+  rmt::Packet pkt;
+  pkt.ipv4 = rmt::Ipv4Header{.src = 0x0a000009, .dst = 0x0a0000ff, .proto = 17};
+  pkt.udp = rmt::UdpHeader{.src_port = 1111, .dst_port = 9999};
+  pkt.app = rmt::AppHeader{op, a, b, 0};
+  pkt.ingress_port = 2;
+  return pkt;
+}
+
+}  // namespace
+
+int main() {
+  SimClock clock;
+  dp::RunproDataplane dataplane(dp::DataplaneSpec{}, rmt::ParserConfig{{9999}});
+  ctrl::Controller controller(dataplane, clock);
+
+  // Tenant A: stateful firewall for the 10.0.0.0/16 enterprise prefix.
+  apps::ProgramConfig fw;
+  fw.instance_name = "tenantA_firewall";
+  auto firewall = controller.link_single(apps::make_program_source("firewall", fw));
+  // Tenant B: heavy hitter detection over its own traffic (11.7.0.0/16).
+  apps::ProgramConfig hh;
+  hh.instance_name = "tenantB_hh";
+  hh.filter_value = 0x0b070000;
+  hh.threshold = 5;
+  auto hitter = controller.link_single(apps::make_program_source("hh", hh));
+  // Tenant C: in-network calculator on UDP port 9999.
+  apps::ProgramConfig calc;
+  calc.instance_name = "tenantC_calc";
+  auto calculator = controller.link_single(apps::make_program_source("calculator", calc));
+
+  if (!firewall.ok() || !hitter.ok() || !calculator.ok()) {
+    std::fprintf(stderr, "tenant deployment failed\n");
+    return 1;
+  }
+  std::printf("3 tenants running concurrently (%zu programs total)\n",
+              controller.program_count());
+  std::printf("resource usage: memory %.1f%%, table entries %.1f%%\n",
+              100.0 * controller.resources().total_memory_utilization(),
+              100.0 * controller.resources().total_entry_utilization());
+
+  // Tenant A's firewall at work: outbound opens a pinhole, inbound passes.
+  (void)dataplane.inject(tcp_packet(0x0a000001, 0x0b070001, 4000, 80));
+  const auto inbound = dataplane.inject(tcp_packet(0x0a000001, 0x0b070001, 4000, 80));
+  std::printf("tenant A: established inbound flow %s\n",
+              inbound.fate == rmt::PacketFate::Dropped ? "DROPPED" : "admitted");
+
+  // Tenant B sees a burst from its prefix and gets a heavy-hitter report.
+  int reports = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (dataplane.inject(tcp_packet(0x0b070042, 0x0c000001, 999, 80)).fate ==
+        rmt::PacketFate::Reported) {
+      ++reports;
+    }
+  }
+  std::printf("tenant B: heavy flow reported %d time(s)\n", reports);
+
+  // Tenant C computes.
+  const auto sum = dataplane.inject(calc_packet(1, 40, 2));
+  std::printf("tenant C: 40 + 2 = %u\n", sum.packet.app->value);
+
+  // Tenant B leaves; A and C keep working, untouched, mid-traffic.
+  if (!controller.revoke(hitter.value().id).ok()) return 1;
+  std::printf("tenant B revoked; %zu programs remain\n", controller.program_count());
+  const auto still_inbound =
+      dataplane.inject(tcp_packet(0x0a000001, 0x0b070001, 4000, 80));
+  const auto still_calc = dataplane.inject(calc_packet(7, 40, 2));
+  std::printf("tenant A still %s, tenant C still computes min(40,2) = %u\n",
+              still_inbound.fate == rmt::PacketFate::Dropped ? "DROPPING" : "admitting",
+              still_calc.packet.app->value);
+  return 0;
+}

@@ -1,0 +1,27 @@
+#include "analysis/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p4runpro::analysis {
+
+double load_imbalance(double rx_port1, double rx_port2) {
+  const double total = rx_port1 + rx_port2;
+  if (total <= 0) return 0.0;
+  return std::abs(rx_port1 - rx_port2) / total;
+}
+
+std::vector<double> moving_average(const std::vector<double>& series, int window) {
+  std::vector<double> out(series.size(), 0.0);
+  const int half = window / 2;
+  for (int i = 0; i < static_cast<int>(series.size()); ++i) {
+    const int lo = std::max(0, i - half);
+    const int hi = std::min(static_cast<int>(series.size()) - 1, i + half);
+    double sum = 0.0;
+    for (int j = lo; j <= hi; ++j) sum += series[static_cast<std::size_t>(j)];
+    out[static_cast<std::size_t>(i)] = sum / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+}  // namespace p4runpro::analysis

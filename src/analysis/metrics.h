@@ -1,0 +1,45 @@
+// Evaluation metrics used across the benchmarks: F1 score (heavy-hitter
+// accuracy, Fig. 13d), load-imbalance rate (Fig. 13c) and the moving
+// average used for the allocation-delay series (Fig. 7a, window 31).
+#pragma once
+
+#include <set>
+#include <vector>
+
+namespace p4runpro::analysis {
+
+/// Precision/recall/F1 of a reported set against ground truth.
+struct Accuracy {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+template <typename T>
+[[nodiscard]] Accuracy f1_score(const std::set<T>& reported, const std::set<T>& truth) {
+  if (reported.empty() || truth.empty()) {
+    return {reported.empty() && truth.empty() ? 1.0 : 0.0,
+            truth.empty() ? 1.0 : 0.0, 0.0};
+  }
+  std::size_t hits = 0;
+  for (const auto& r : reported) {
+    if (truth.count(r) != 0) ++hits;
+  }
+  Accuracy acc;
+  acc.precision = static_cast<double>(hits) / static_cast<double>(reported.size());
+  acc.recall = static_cast<double>(hits) / static_cast<double>(truth.size());
+  acc.f1 = (acc.precision + acc.recall) > 0
+               ? 2.0 * acc.precision * acc.recall / (acc.precision + acc.recall)
+               : 0.0;
+  return acc;
+}
+
+/// |rx_port1 - rx_port2| / total (paper §6.4, stateless load balancer).
+[[nodiscard]] double load_imbalance(double rx_port1, double rx_port2);
+
+/// Centered moving average with the given window (Fig. 7a uses 31); edges
+/// use the available neighborhood.
+[[nodiscard]] std::vector<double> moving_average(const std::vector<double>& series,
+                                                 int window);
+
+}  // namespace p4runpro::analysis

@@ -1,0 +1,46 @@
+#include "analysis/sketches.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p4runpro::analysis {
+
+Word cms_point_query(std::span<const Word> row1, std::span<const Word> row2,
+                     std::uint32_t index1, std::uint32_t index2) {
+  const Word a = index1 < row1.size() ? row1[index1] : 0;
+  const Word b = index2 < row2.size() ? row2[index2] : 0;
+  return std::min(a, b);
+}
+
+double hll_estimate(std::span<const Word> registers) {
+  const auto m = static_cast<double>(registers.size());
+  if (registers.empty()) return 0.0;
+
+  // Bias-correction constant alpha_m (Flajolet et al. 2007).
+  double alpha;
+  if (registers.size() <= 16) {
+    alpha = 0.673;
+  } else if (registers.size() <= 32) {
+    alpha = 0.697;
+  } else if (registers.size() <= 64) {
+    alpha = 0.709;
+  } else {
+    alpha = 0.7213 / (1.0 + 1.079 / m);
+  }
+
+  double harmonic = 0.0;
+  int zeros = 0;
+  for (Word rank : registers) {
+    harmonic += std::pow(2.0, -static_cast<double>(rank));
+    if (rank == 0) ++zeros;
+  }
+  double estimate = alpha * m * m / harmonic;
+
+  // Small-range correction: linear counting while empty registers remain.
+  if (estimate <= 2.5 * m && zeros > 0) {
+    estimate = m * std::log(m / static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+}  // namespace p4runpro::analysis

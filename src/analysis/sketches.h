@@ -1,0 +1,26 @@
+// Sketch estimators over program memories dumped by the control plane:
+// the offline halves of the measurement programs (CMS point queries,
+// HyperLogLog cardinality). These operate on the raw 32-bit register
+// values that `Controller::dump_memory` returns.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace p4runpro::analysis {
+
+/// Count-Min Sketch point query: the minimum across the row counters the
+/// flow hashes to. (The data-plane program already computes this online
+/// into `har`; this is the control-plane query path.)
+[[nodiscard]] Word cms_point_query(std::span<const Word> row1, std::span<const Word> row2,
+                                   std::uint32_t index1, std::uint32_t index2);
+
+/// HyperLogLog cardinality estimate from the rank registers the `hll`
+/// program maintains (registers hold rank = leading zeros + 1, 0 = empty).
+/// Standard HLL estimator with small-range (linear counting) correction.
+[[nodiscard]] double hll_estimate(std::span<const Word> registers);
+
+}  // namespace p4runpro::analysis

@@ -1,0 +1,189 @@
+#include "analysis/static_analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p4runpro::analysis {
+
+namespace {
+
+// --- calibration constants (documented in DESIGN.md §1) -------------------
+// Latency: cycles = kCycleBase + kCyclesPerStage * stages + system extras.
+// Fit once against the paper's FlyMon ingress (2 stages -> 54 cycles) and
+// P4runpro ingress (12 stages -> 306 cycles).
+constexpr double kCycleBase = 4.0;
+constexpr double kCyclesPerStage = 25.2;
+
+// Power: static component per resource unit plus per-system dynamic and
+// fixed terms. Units follow ChipBudget (SRAM/TCAM blocks, SALU/hash units).
+constexpr double kBasePowerW = 12.0;
+constexpr double kPowerPerSramBlock = 0.030;
+constexpr double kPowerPerTcamBlock = 0.020;
+constexpr double kPowerPerSalu = 0.25;
+constexpr double kPowerPerHashUnit = 0.080;
+
+/// TCAM blocks (44b x 512) needed for a table of `entries` with `key_bits`
+/// wide ternary keys.
+[[nodiscard]] int tcam_blocks(int entries, int key_bits) {
+  const int width_blocks = (key_bits + 43) / 44;
+  const int depth_blocks = (entries + 511) / 512;
+  return width_blocks * depth_blocks;
+}
+
+/// SRAM unit rams (16 KB) for `words` 32-bit registers.
+[[nodiscard]] int sram_blocks_for_words(std::uint32_t words) {
+  return static_cast<int>((words * 4 + 16383) / 16384);
+}
+
+}  // namespace
+
+SystemProfile profile_p4runpro(const dp::DataplaneSpec& spec) {
+  SystemProfile p;
+  p.name = "P4runpro";
+  const int rpbs = spec.total_rpbs();
+
+  // PHV: parsed headers + intrinsic metadata + the P4runpro additions
+  // (three registers, backup slot, physical address, control flags, parse
+  // bitmap), counted in both gresses, with a container-fragmentation
+  // factor of 1.35 (8/16/32-bit container rounding).
+  const int header_bits = 112 /*eth*/ + 160 /*ipv4*/ + 160 /*tcp*/ + 64 /*udp*/ +
+                          128 /*app*/ + 128 /*intrinsic*/;
+  const int runpro_bits = 3 * 32 /*har,sar,mar*/ + 32 /*backup*/ + 32 /*phys addr*/ +
+                          16 + 8 + 8 + 8 /*prog,branch,recirc,salu flags*/ +
+                          8 /*parse bitmap*/;
+  p.usage.set(rmt::Resource::Phv,
+              static_cast<int>(1.35 * static_cast<double>(header_bits + runpro_bits) *
+                               2.0 /*both gresses*/));
+
+  // Hash units: every RPB configures two CRC engines (5-tuple and har
+  // re-hash) plus one in the initialization stage for the parser bitmap.
+  p.usage.set(rmt::Resource::Hash, 2 * rpbs + 1);
+
+  // SRAM: the per-RPB stateful memory plus two unit rams per stage of
+  // action/overhead data.
+  p.usage.set(rmt::Resource::Sram,
+              rpbs * sram_blocks_for_words(spec.memory_per_rpb) + 2 * 12);
+
+  // TCAM: each RPB is one large ternary table keyed on
+  // (program 16b, branch 8b, recirc 8b, har/sar/mar 3x32b) = 128 bits;
+  // plus the five filtering tables and the recirculation table.
+  const int rpb_key_bits = 16 + 8 + 8 + 3 * 32;
+  int tcam = rpbs * tcam_blocks(static_cast<int>(spec.entries_per_rpb), rpb_key_bits);
+  tcam += 5 * tcam_blocks(512, 7 * 32 / 2);  // filtering tables
+  tcam += tcam_blocks(256, 24);              // recirculation block
+  p.usage.set(rmt::Resource::Tcam, tcam);
+
+  // VLIW: derived from the pre-installed atomic-operation variants every
+  // RPB carries — header interaction (EXTRACT/MODIFY x registers x packed
+  // field groups), hash (4 variants), SALU selectors (7), ALU
+  // (6 ops x 3x2 register pairs), LOADI/offset/backup/restore and the
+  // forwarding actions — packed into VLIW words at kVliwPacking ops/word,
+  // clamped to the per-stage budget ("uses almost all the VLIW", §6.3).
+  constexpr int kFieldGroups = 12;  // 23 fields packed into 32-bit lanes
+  constexpr double kVliwPacking = 4.0;
+  const int op_variants = 2 * 3 * kFieldGroups /*hdr interaction*/ +
+                          4 /*hash*/ + 7 /*salu select*/ +
+                          6 * 6 /*ALU reg pairs*/ + 3 /*loadi per reg*/ +
+                          2 /*offset + salu flag*/ + 2 /*backup/restore*/ +
+                          5 /*forwarding*/;
+  const int vliw_words_per_stage =
+      std::min(p.budget.vliw_slots_per_stage,
+               static_cast<int>(std::ceil(op_variants / kVliwPacking)));
+  p.usage.set(rmt::Resource::Vliw, vliw_words_per_stage * 12);
+
+  // SALU: one per RPB plus one for recirculation bookkeeping.
+  p.usage.set(rmt::Resource::Salu, rpbs + 1);
+
+  // LTID: one logical table per RPB + 5 filtering + 1 recirculation —
+  // P4runpro's single-big-table design keeps this low.
+  p.usage.set(rmt::Resource::Ltid, rpbs + 6);
+
+  p.ingress_stages = 12;  // init + 10 ingress RPBs + recirc block
+  p.egress_stages = 12;   // 12 egress RPBs
+  p.ingress_extra_cycles = 2;   // parse-bitmap maintenance
+  p.egress_extra_cycles = 12;   // P4runpro header rewrite before recirculation
+  p.activity_power_w = 3.5;
+  p.fixed_power_w = 0.0;
+  return p;
+}
+
+SystemProfile profile_activermt() {
+  SystemProfile p;
+  p.name = "ActiveRMT";
+  // 20 memory-capable stages; capsule instructions decoded in every stage.
+  p.usage.set(rmt::Resource::Phv, static_cast<int>(1.35 * (624 + 128 + 420) * 2.0));
+  p.usage.set(rmt::Resource::Hash, 2 * 20);
+  p.usage.set(rmt::Resource::Sram, 20 * sram_blocks_for_words(65536) + 2 * 12);
+  p.usage.set(rmt::Resource::Tcam, 20 * tcam_blocks(512, 80) + 10);
+  p.usage.set(rmt::Resource::Vliw, 26 * 12);
+  p.usage.set(rmt::Resource::Salu, 20);
+  p.usage.set(rmt::Resource::Ltid, 8 * 20);  // many small per-stage tables
+  p.ingress_stages = 12;
+  p.egress_stages = 12;
+  p.ingress_extra_cycles = 8;  // capsule parsing
+  p.egress_extra_cycles = 4;
+  // Active packets perform a memory read-modify-write in every stage —
+  // the dynamic component that pushes ActiveRMT past the power budget.
+  p.activity_power_w = 13.6;
+  p.fixed_power_w = 0.0;
+  return p;
+}
+
+SystemProfile profile_flymon() {
+  SystemProfile p;
+  p.name = "FlyMon";
+  // 9 transformable measurement units, egress-heavy placement.
+  p.usage.set(rmt::Resource::Phv, static_cast<int>(1.35 * (624 + 128 + 96)));
+  p.usage.set(rmt::Resource::Hash, 9);
+  p.usage.set(rmt::Resource::Sram, 9 * sram_blocks_for_words(65536 / 2) + 12);
+  p.usage.set(rmt::Resource::Tcam, 9 * tcam_blocks(256, 48));
+  p.usage.set(rmt::Resource::Vliw, 8 * 12);
+  p.usage.set(rmt::Resource::Salu, 12);
+  p.usage.set(rmt::Resource::Ltid, 30);
+  p.ingress_stages = 2;
+  p.egress_stages = 11;
+  p.ingress_extra_cycles = 0;
+  p.egress_extra_cycles = 3;
+  p.activity_power_w = 2.0;
+  // Measurement pipeline blocks retained from the baseline image.
+  p.fixed_power_w = 13.0;
+  return p;
+}
+
+LatencyPower analyze(const SystemProfile& profile, double power_budget_w) {
+  LatencyPower out;
+  out.ingress_cycles = profile.ingress_stages == 0
+                           ? 0.0
+                           : kCycleBase + kCyclesPerStage * profile.ingress_stages +
+                                 profile.ingress_extra_cycles;
+  out.egress_cycles = profile.egress_stages == 0
+                          ? 0.0
+                          : kCycleBase + kCyclesPerStage * profile.egress_stages +
+                                profile.egress_extra_cycles;
+  out.total_cycles = out.ingress_cycles + out.egress_cycles;
+
+  const double static_power =
+      kBasePowerW +
+      kPowerPerSramBlock * profile.usage.get(rmt::Resource::Sram) +
+      kPowerPerTcamBlock * profile.usage.get(rmt::Resource::Tcam) +
+      kPowerPerSalu * profile.usage.get(rmt::Resource::Salu) +
+      kPowerPerHashUnit * profile.usage.get(rmt::Resource::Hash);
+  out.total_power_w = static_power + profile.activity_power_w + profile.fixed_power_w;
+
+  // Split by gress proportionally to active stages (FlyMon's power is
+  // reported almost entirely in egress).
+  const double stages_total =
+      std::max(1, profile.ingress_stages + profile.egress_stages);
+  out.ingress_power_w =
+      out.total_power_w * static_cast<double>(profile.ingress_stages) / stages_total;
+  out.egress_power_w = out.total_power_w - out.ingress_power_w;
+
+  out.traffic_limit_load_pct = out.total_power_w <= power_budget_w
+                                   ? 100
+                                   : static_cast<int>(
+                                         std::floor(100.0 * power_budget_w /
+                                                    out.total_power_w + 0.5));
+  return out;
+}
+
+}  // namespace p4runpro::analysis

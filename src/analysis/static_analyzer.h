@@ -1,0 +1,54 @@
+// Static resource / latency / power analysis — the stand-in for P4C +
+// P4 Insight (paper §6.3, Fig. 10 and Table 2). Resource usage is computed
+// structurally from each system's data-plane geometry against a
+// Tofino-class chip budget; latency and power use a linear stage/activity
+// model whose coefficients are calibrated once (documented below) and then
+// applied uniformly to all three systems.
+#pragma once
+
+#include <string>
+
+#include "dataplane/dataplane_spec.h"
+#include "rmt/resources.h"
+
+namespace p4runpro::analysis {
+
+/// Structural description of one system's provisioned data plane.
+struct SystemProfile {
+  std::string name;
+  rmt::ChipBudget budget;
+  rmt::ResourceUsage usage;     ///< absolute units (see ChipBudget)
+  int ingress_stages = 0;       ///< MAU stages active in ingress
+  int egress_stages = 0;
+  double ingress_extra_cycles = 0;  ///< parser/deparser specifics
+  double egress_extra_cycles = 0;
+  double activity_power_w = 0;  ///< dynamic (per-packet work) component
+  double fixed_power_w = 0;     ///< retained fixed-function blocks
+};
+
+/// Build the P4runpro profile from the provisioned geometry. All counts
+/// are derived from the spec (RPB tables, stateful memory, hash units,
+/// SALUs, key widths); see the .cpp for the formulas.
+[[nodiscard]] SystemProfile profile_p4runpro(const dp::DataplaneSpec& spec);
+/// ActiveRMT (20 memory stages, capsule processing on every stage).
+[[nodiscard]] SystemProfile profile_activermt();
+/// FlyMon (9 transformable measurement units, measurement-only scope).
+[[nodiscard]] SystemProfile profile_flymon();
+
+/// Table 2 outputs.
+struct LatencyPower {
+  double ingress_cycles = 0;
+  double egress_cycles = 0;
+  double total_cycles = 0;
+  double ingress_power_w = 0;
+  double egress_power_w = 0;
+  double total_power_w = 0;
+  int traffic_limit_load_pct = 100;  ///< forwarding-rate cap under the power budget
+};
+
+/// Apply the calibrated latency/power model. `power_budget_w` defaults to
+/// the hardware's 40.00 W budget (§6.3).
+[[nodiscard]] LatencyPower analyze(const SystemProfile& profile,
+                                   double power_budget_w = 40.0);
+
+}  // namespace p4runpro::analysis

@@ -1,0 +1,36 @@
+#include "analysis/throughput_model.h"
+
+#include <algorithm>
+
+namespace p4runpro::analysis {
+
+double max_lossless_gbps(const RecirculationModel& model, int packet_bytes,
+                         int iterations) {
+  if (iterations <= 0) return model.port_gbps;
+  // Offered rate T (Gbps of wire bytes) produces a packet rate of
+  // T / (packet + overhead); each packet makes `iterations` extra passes of
+  // (packet + header + overhead) bytes over the recirculation path.
+  // Lossless requires demand <= recirc capacity:
+  //   T * iterations * (pkt + hdr + ovh) / (pkt + ovh) <= recirc_gbps.
+  const double in_bytes = static_cast<double>(packet_bytes + model.wire_overhead_bytes);
+  const double recirc_bytes = static_cast<double>(
+      packet_bytes + model.runpro_header_bytes + model.wire_overhead_bytes);
+  const double cap =
+      model.recirc_gbps * in_bytes / (static_cast<double>(iterations) * recirc_bytes);
+  return std::min(model.port_gbps, cap);
+}
+
+double throughput_loss(const RecirculationModel& model, int packet_bytes,
+                       int iterations) {
+  const double base = max_lossless_gbps(model, packet_bytes, 0);
+  const double with = max_lossless_gbps(model, packet_bytes, iterations);
+  return base <= 0 ? 0.0 : (base - with) / base;
+}
+
+double normalized_rtt(const RecirculationModel& model, int iterations) {
+  const double rtt =
+      model.base_rtt_ms + model.per_pass_latency_ms * static_cast<double>(iterations);
+  return rtt / model.base_rtt_ms;
+}
+
+}  // namespace p4runpro::analysis

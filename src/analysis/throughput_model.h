@@ -1,0 +1,34 @@
+// Recirculation impact model (paper §6.3, Fig. 11). Recirculated passes
+// consume recirculation-port bandwidth and carry the P4runpro header, so
+// the maximum lossless throughput drops with the iteration count and the
+// relative header overhead (worst for small packets); added latency grows
+// slowly thanks to the line-rate pipeline.
+#pragma once
+
+#include <vector>
+
+namespace p4runpro::analysis {
+
+struct RecirculationModel {
+  double port_gbps = 100.0;        ///< tested port pair speed
+  double recirc_gbps = 100.0;      ///< recirculation-path capacity
+  int runpro_header_bytes = 16;    ///< registers/flags attached across passes
+  int wire_overhead_bytes = 20;    ///< preamble + IPG per packet
+  double base_rtt_ms = 20.8;       ///< zero-queue RTT incl. host stack (normalization base)
+  double per_pass_latency_ms = 0.24;  ///< pipeline + recirc-port pass cost
+};
+
+/// Maximum lossless throughput (Gbps) at `iterations` recirculations for a
+/// given packet size.
+[[nodiscard]] double max_lossless_gbps(const RecirculationModel& model,
+                                       int packet_bytes, int iterations);
+
+/// Relative throughput loss in [0, 1] versus the no-recirculation case.
+[[nodiscard]] double throughput_loss(const RecirculationModel& model,
+                                     int packet_bytes, int iterations);
+
+/// Normalized zero-queue RTT (relative to the minimum RTT) after
+/// `iterations` recirculations.
+[[nodiscard]] double normalized_rtt(const RecirculationModel& model, int iterations);
+
+}  // namespace p4runpro::analysis

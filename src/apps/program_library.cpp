@@ -1,0 +1,583 @@
+#include "apps/program_library.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "lang/lexer.h"
+
+namespace p4runpro::apps {
+
+namespace {
+
+/// Template-local helpers -------------------------------------------------
+
+
+[[nodiscard]] std::string hex(Word v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%x", v);
+  return buf;
+}
+
+/// In-network cache (Fig. 2). Opcode 1 = cache read, 2 = cache write; the
+/// elastic case blocks are the per-key read/write pairs.
+[[nodiscard]] std::string make_cache(const ProgramConfig& c) {
+  const Word port = c.filter_value != 0 ? c.filter_value : 7777;
+  const int keys = std::max(1, c.elastic_cases / 2);
+  std::ostringstream out;
+  out << "@ mem1 " << c.mem_buckets << "\n";
+  out << "program " << c.instance_name << "(\n";
+  out << "    /*filtering traffic*/\n";
+  out << "    <hdr.udp.dst_port, " << port << ", 0xffff>) {\n";
+  out << "  EXTRACT(hdr.nc.op, har);   //get opcode\n";
+  out << "  EXTRACT(hdr.nc.key1, sar); //get key[0:31]\n";
+  out << "  EXTRACT(hdr.nc.key2, mar); //get key[32:63]\n";
+  out << "  BRANCH:\n";
+  for (int k = 0; k < keys; ++k) {
+    const Word key = 0x8888 + static_cast<Word>(k);
+    const Word addr = static_cast<Word>(k) % c.mem_buckets;
+    out << "  /*cache hit and cache read*/\n";
+    out << "  case(<har, 1, 0xff>,\n";
+    out << "       <sar, " << hex(key) << ", 0xffffffff>,\n";
+    out << "       <mar, 0, 0xffffffff>) {\n";
+    out << "    RETURN;               //return to client\n";
+    out << "    LOADI(mar, " << addr << ");  //load address\n";
+    out << "    MEMREAD(mem1);        //read cache\n";
+    out << "    MODIFY(hdr.nc.value, sar);\n";
+    out << "  };\n";
+    out << "  /*cache hit and cache write*/\n";
+    out << "  case(<har, 2, 0xff>,\n";
+    out << "       <sar, " << hex(key) << ", 0xffffffff>,\n";
+    out << "       <mar, 0, 0xffffffff>) {\n";
+    out << "    DROP;                 //drop the packet\n";
+    out << "    LOADI(mar, " << addr << ");  //load address\n";
+    out << "    EXTRACT(hdr.nc.val, sar); //get value\n";
+    out << "    MEMWRITE(mem1);       //write cache\n";
+    out << "  };\n";
+  }
+  out << "  FORWARD(32); //cache miss\n";
+  out << "}\n";
+  return out.str();
+}
+
+/// Stateless load balancer (Fig. 16): hash the 5-tuple to a bucket, read
+/// the egress port and the DIP from two memory pools.
+[[nodiscard]] std::string make_lb(const ProgramConfig& c) {
+  const Word prefix = c.filter_value != 0 ? c.filter_value : 0x0a000000;  // 10.0.0.0
+  std::ostringstream out;
+  out << "@ dip_pool " << c.mem_buckets << "\n";
+  out << "@ port_pool " << c.mem_buckets << "\n";
+  out << "program " << c.instance_name << "(\n";
+  out << "    /*filtering traffic*/\n";
+  out << "    <hdr.ipv4.dst, " << hex(prefix) << ", 0xffff0000>) {\n";
+  out << "  HASH_5_TUPLE_MEM(port_pool); //locate bucket\n";
+  out << "  MEMREAD(port_pool);          //get egress port\n";
+  out << "  BRANCH:\n";
+  for (int p = 0; p < std::max(1, c.elastic_cases); ++p) {
+    out << "  case(<sar, " << p << ", 0xffffffff>) {\n";
+    out << "    FORWARD(" << (p % 64) << ");\n";
+    out << "  };\n";
+  }
+  out << "  MEMREAD(dip_pool);           //get DIP\n";
+  out << "  MODIFY(hdr.ipv4.dst, sar);   //write DIP\n";
+  out << "}\n";
+  return out.str();
+}
+
+/// Heavy hitter detector (Fig. 17): 2-row CMS frequency estimate guarded by
+/// a 2-row Bloom filter that deduplicates reports.
+[[nodiscard]] std::string make_hh(const ProgramConfig& c) {
+  const Word prefix = c.filter_value != 0 ? c.filter_value : 0x0a000000;
+  const Word t = c.threshold;
+  std::ostringstream out;
+  out << "@ mem_cms_row1 " << c.mem_buckets << " //CMS with two rows\n";
+  out << "@ mem_cms_row2 " << c.mem_buckets << "\n";
+  out << "@ mem_bf_row1 " << c.mem_buckets << "  //BF with two rows\n";
+  out << "@ mem_bf_row2 " << c.mem_buckets << "\n";
+  out << "program " << c.instance_name << "(\n";
+  out << "    /*filtering traffic*/\n";
+  out << "    <hdr.ipv4.src, " << hex(prefix) << ", 0xffff0000>) {\n";
+  out << "  LOADI(sar, 1);\n";
+  out << "  HASH_5_TUPLE_MEM(mem_cms_row1);\n";
+  out << "  MEMADD(mem_cms_row1);  //count packet\n";
+  out << "  LOADI(har, " << t << ");  //set threshold\n";
+  out << "  MIN(har, sar);         //compare with threshold\n";
+  out << "  LOADI(sar, 1);\n";
+  out << "  HASH_5_TUPLE_MEM(mem_cms_row2);\n";
+  out << "  MEMADD(mem_cms_row2);\n";
+  out << "  MIN(har, sar);\n";
+  out << "  BRANCH:\n";
+  out << "  /*flow count exceeds the threshold*/\n";
+  out << "  case(<har, " << t << ", 0xffffffff>) {\n";
+  out << "    LOADI(sar, 1);\n";
+  out << "    HASH_5_TUPLE_MEM(mem_bf_row1);\n";
+  out << "    MEMOR(mem_bf_row1);  //check existence\n";
+  out << "    BRANCH:\n";
+  out << "    /*exists in row 1: check row 2 against hash collisions*/\n";
+  out << "    case(<sar, 1, 0xffffffff>) {\n";
+  out << "      LOADI(sar, 1);\n";
+  out << "      HASH_5_TUPLE_MEM(mem_bf_row2);\n";
+  out << "      MEMOR(mem_bf_row2); //check another\n";
+  out << "      BRANCH:\n";
+  out << "      case(<sar, 0, 0xffffffff>) {\n";
+  out << "        REPORT; //report this packet\n";
+  out << "      };\n";
+  out << "    };\n";
+  out << "    /*does not exist: first detection*/\n";
+  out << "    case(<sar, 0, 0xffffffff>) {\n";
+  out << "      LOADI(sar, 1);\n";
+  out << "      HASH_5_TUPLE_MEM(mem_bf_row2);\n";
+  out << "      MEMOR(mem_bf_row2); //update another\n";
+  out << "      REPORT; //report this packet\n";
+  out << "    };\n";
+  out << "  };\n";
+  out << "}\n";
+  return out.str();
+}
+
+/// NetCache: the in-network cache composed with hot-key detection on the
+/// cache-miss path (the paper's most complex program).
+[[nodiscard]] std::string make_netcache(const ProgramConfig& c) {
+  const Word port = c.filter_value != 0 ? c.filter_value : 7788;
+  const int keys = std::max(1, c.elastic_cases / 2);
+  const Word t = c.threshold;
+  std::ostringstream out;
+  out << "@ nc_values " << c.mem_buckets << "\n";
+  out << "@ nc_cms_row1 " << c.mem_buckets << "\n";
+  out << "@ nc_cms_row2 " << c.mem_buckets << "\n";
+  out << "@ nc_bf " << c.mem_buckets << "\n";
+  out << "program " << c.instance_name << "(\n";
+  out << "    <hdr.udp.dst_port, " << port << ", 0xffff>) {\n";
+  out << "  EXTRACT(hdr.nc.op, har);\n";
+  out << "  EXTRACT(hdr.nc.key1, sar);\n";
+  out << "  EXTRACT(hdr.nc.key2, mar);\n";
+  out << "  BRANCH:\n";
+  for (int k = 0; k < keys; ++k) {
+    const Word key = 0x7000 + static_cast<Word>(k);
+    const Word addr = static_cast<Word>(k) % c.mem_buckets;
+    out << "  case(<har, 1, 0xff>, <sar, " << hex(key) << ", 0xffffffff>) {\n";
+    out << "    RETURN;\n";
+    out << "    LOADI(mar, " << addr << ");\n";
+    out << "    MEMREAD(nc_values);\n";
+    out << "    MODIFY(hdr.nc.value, sar);\n";
+    out << "  };\n";
+    out << "  case(<har, 2, 0xff>, <sar, " << hex(key) << ", 0xffffffff>) {\n";
+    out << "    DROP;\n";
+    out << "    LOADI(mar, " << addr << ");\n";
+    out << "    EXTRACT(hdr.nc.val, sar);\n";
+    out << "    MEMWRITE(nc_values);\n";
+    out << "  };\n";
+    out << "  /*cache delete: clear the value and ack the client*/\n";
+    out << "  case(<har, 3, 0xff>, <sar, " << hex(key) << ", 0xffffffff>) {\n";
+    out << "    RETURN;\n";
+    out << "    LOADI(mar, " << addr << ");\n";
+    out << "    LOADI(sar, 0);\n";
+    out << "    MEMWRITE(nc_values);\n";
+    out << "    MODIFY(hdr.nc.value, sar);\n";
+    out << "  };\n";
+  }
+  out << "  /*cache miss: count key popularity and report hot keys*/\n";
+  out << "  LOADI(sar, 1);\n";
+  out << "  HASH_5_TUPLE_MEM(nc_cms_row1);\n";
+  out << "  MEMADD(nc_cms_row1);\n";
+  out << "  LOADI(har, " << t << ");\n";
+  out << "  MIN(har, sar);\n";
+  out << "  LOADI(sar, 1);\n";
+  out << "  HASH_5_TUPLE_MEM(nc_cms_row2);\n";
+  out << "  MEMADD(nc_cms_row2);\n";
+  out << "  MIN(har, sar);\n";
+  out << "  BRANCH:\n";
+  out << "  /*hot key, not yet reported*/\n";
+  out << "  case(<har, " << t << ", 0xffffffff>) {\n";
+  out << "    LOADI(sar, 1);\n";
+  out << "    HASH_5_TUPLE_MEM(nc_bf);\n";
+  out << "    MEMOR(nc_bf);\n";
+  out << "    BRANCH:\n";
+  out << "    case(<sar, 0, 0xffffffff>) {\n";
+  out << "      REPORT;\n";
+  out << "    };\n";
+  out << "  };\n";
+  out << "  FORWARD(32); //to the storage server\n";
+  out << "}\n";
+  return out.str();
+}
+
+/// DQAcc: in-network distributed-query acceleration (ClickINC-style): the
+/// switch folds partial aggregates into per-query buckets.
+[[nodiscard]] std::string make_dqacc(const ProgramConfig& c) {
+  const Word port = c.filter_value != 0 ? c.filter_value : 5555;
+  std::ostringstream out;
+  out << "@ agg_pool " << c.mem_buckets << "\n";
+  out << "program " << c.instance_name << "(\n";
+  out << "    <hdr.udp.dst_port, " << port << ", 0xffff>) {\n";
+  std::uint32_t pow2 = 1;
+  while (pow2 < c.mem_buckets) pow2 <<= 1;
+  out << "  EXTRACT(hdr.nc.op, har);    //query opcode\n";
+  out << "  EXTRACT(hdr.nc.key1, mar);  //aggregate bucket id\n";
+  out << "  ANDI(mar, " << hex(pow2 - 1) << "); //clamp to the pool (valid-address contract)\n";
+  out << "  EXTRACT(hdr.nc.val, sar);   //partial aggregate\n";
+  out << "  BRANCH:\n";
+  out << "  case(<har, 1, 0xff>) {      //fold partial value\n";
+  out << "    RETURN;\n";
+  out << "    MEMADD(agg_pool);\n";
+  out << "    MODIFY(hdr.nc.val, sar);  //running total back to worker\n";
+  out << "  };\n";
+  out << "  case(<har, 2, 0xff>) {      //read aggregate\n";
+  out << "    RETURN;\n";
+  out << "    MEMREAD(agg_pool);\n";
+  out << "    MODIFY(hdr.nc.val, sar);\n";
+  out << "  };\n";
+  out << "  FORWARD(1);\n";
+  out << "}\n";
+  return out.str();
+}
+
+/// Stateful firewall: outbound flows (internal prefix) insert themselves
+/// into a Bloom filter; inbound packets are only admitted on a hit.
+[[nodiscard]] std::string make_firewall(const ProgramConfig& c) {
+  const Word prefix = c.filter_value != 0 ? c.filter_value : 0x0a000000;
+  std::ostringstream out;
+  out << "@ fw_bf " << c.mem_buckets << "\n";
+  out << "program " << c.instance_name << "(\n";
+  out << "    <hdr.ipv4.proto, 6, 0xff>) {\n";
+  out << "  EXTRACT(hdr.ipv4.src, har);\n";
+  out << "  ANDI(har, 0xffff0000);\n";
+  out << "  BRANCH:\n";
+  out << "  /*outbound: remember the connection*/\n";
+  out << "  case(<har, " << hex(prefix) << ", 0xffffffff>) {\n";
+  out << "    LOADI(sar, 1);\n";
+  out << "    HASH_5_TUPLE_MEM(fw_bf);\n";
+  out << "    MEMOR(fw_bf);\n";
+  out << "    FORWARD(1);\n";
+  out << "  };\n";
+  out << "  /*inbound: admit only established connections*/\n";
+  out << "  case(<har, 0, 0>) {\n";
+  out << "    LOADI(sar, 0);\n";
+  out << "    HASH_5_TUPLE_MEM(fw_bf);\n";
+  out << "    MEMOR(fw_bf);  //query only (or with 0)\n";
+  out << "    BRANCH:\n";
+  out << "    case(<sar, 0, 0xffffffff>) {\n";
+  out << "      DROP;\n";
+  out << "    };\n";
+  out << "    FORWARD(0);\n";
+  out << "  };\n";
+  out << "}\n";
+  return out.str();
+}
+
+/// L2 forwarding: exact destination-MAC match, elastic per-host entries.
+[[nodiscard]] std::string make_l2(const ProgramConfig& c) {
+  std::ostringstream out;
+  out << "program " << c.instance_name << "(\n";
+  out << "    <hdr.eth.type, 0x0800, 0xffff>) {\n";
+  out << "  EXTRACT(hdr.eth.dst_hi, har);\n";
+  out << "  EXTRACT(hdr.eth.dst_lo, sar);\n";
+  out << "  BRANCH:\n";
+  for (int k = 0; k < std::max(1, c.elastic_cases); ++k) {
+    const Word hi = 0xaa000000u + static_cast<Word>(k >> 16);
+    const Word lo = static_cast<Word>(k & 0xffff);
+    out << "  case(<har, " << hex(hi) << ", 0xffffffff>, <sar, " << hex(lo)
+        << ", 0xffffffff>) {\n";
+    out << "    FORWARD(" << (k % 64) << ");\n";
+    out << "  };\n";
+  }
+  out << "  FORWARD(63); //flood port\n";
+  out << "}\n";
+  return out.str();
+}
+
+/// L3 routing: longest-prefix-style ternary match on the destination.
+[[nodiscard]] std::string make_l3(const ProgramConfig& c) {
+  std::ostringstream out;
+  out << "program " << c.instance_name << "(\n";
+  out << "    <hdr.eth.type, 0x0800, 0xffff>) {\n";
+  out << "  EXTRACT(hdr.ipv4.dst, har);\n";
+  out << "  BRANCH:\n";
+  for (int k = 0; k < std::max(1, c.elastic_cases); ++k) {
+    const Word net = (10u << 24) | (static_cast<Word>(k) << 16);
+    out << "  case(<har, " << hex(net) << ", 0xffff0000>) {\n";
+    out << "    FORWARD(" << (k % 64) << ");\n";
+    out << "  };\n";
+  }
+  out << "  FORWARD(62); //default route\n";
+  out << "}\n";
+  return out.str();
+}
+
+/// Tunnel ingress: rewrite the destination to the tunnel endpoint.
+[[nodiscard]] std::string make_tunnel(const ProgramConfig& c) {
+  std::ostringstream out;
+  out << "program " << c.instance_name << "(\n";
+  out << "    <hdr.eth.type, 0x0800, 0xffff>) {\n";
+  out << "  EXTRACT(hdr.ipv4.dst, har);\n";
+  out << "  BRANCH:\n";
+  for (int k = 0; k < std::max(1, c.elastic_cases); ++k) {
+    const Word net = (192u << 24) | (168u << 16) | (static_cast<Word>(k) << 8);
+    const Word endpoint = (172u << 24) | (16u << 16) | static_cast<Word>(k);
+    out << "  case(<har, " << hex(net) << ", 0xffffff00>) {\n";
+    out << "    LOADI(sar, " << hex(endpoint) << ");\n";
+    out << "    MODIFY(hdr.ipv4.dst, sar);\n";
+    out << "    FORWARD(" << (k % 64) << ");\n";
+    out << "  };\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+/// Calculator: in-network compute on the application header
+/// (op, a, b) -> result; exercises the arithmetic & logic primitive set.
+[[nodiscard]] std::string make_calculator(const ProgramConfig& c) {
+  const Word port = c.filter_value != 0 ? c.filter_value : 9999;
+  std::ostringstream out;
+  out << "program " << c.instance_name << "(\n";
+  out << "    <hdr.udp.dst_port, " << port << ", 0xffff>) {\n";
+  out << "  EXTRACT(hdr.nc.op, har);\n";
+  out << "  EXTRACT(hdr.nc.key1, sar); //operand a\n";
+  out << "  EXTRACT(hdr.nc.key2, mar); //operand b\n";
+  out << "  BRANCH:\n";
+  out << "  case(<har, 1, 0xff>) { ADD(sar, mar); };\n";
+  out << "  case(<har, 2, 0xff>) { SUB(sar, mar); };\n";
+  out << "  case(<har, 3, 0xff>) { AND(sar, mar); };\n";
+  out << "  case(<har, 4, 0xff>) { OR(sar, mar); };\n";
+  out << "  case(<har, 5, 0xff>) { XOR(sar, mar); };\n";
+  out << "  case(<har, 6, 0xff>) { MAX(sar, mar); };\n";
+  out << "  case(<har, 7, 0xff>) { MIN(sar, mar); };\n";
+  out << "  case(<har, 8, 0xff>) { NOT(sar); };\n";
+  out << "  /*comparisons: result 0 encodes true (Table 3)*/\n";
+  out << "  case(<har, 9, 0xff>) { EQUAL(sar, mar); };\n";
+  out << "  case(<har, 10, 0xff>) { SGT(sar, mar); };\n";
+  out << "  case(<har, 11, 0xff>) { SLT(sar, mar); };\n";
+  out << "  case(<har, 12, 0xff>) { MOVE(sar, mar); };\n";
+  out << "  MODIFY(hdr.nc.val, sar); //result\n";
+  out << "  RETURN;\n";
+  out << "}\n";
+  return out.str();
+}
+
+/// ECN marking: mark CE when the queue depth reaches the threshold.
+[[nodiscard]] std::string make_ecn(const ProgramConfig& c) {
+  const Word k = c.threshold != 0 ? c.threshold : 128;
+  std::ostringstream out;
+  out << "program " << c.instance_name << "(\n";
+  out << "    <hdr.ipv4.proto, 6, 0xff>) {\n";
+  out << "  EXTRACT(meta.qdepth, sar);\n";
+  out << "  LOADI(har, " << k << ");\n";
+  out << "  MIN(har, sar);  //har == threshold iff qdepth >= threshold\n";
+  out << "  BRANCH:\n";
+  out << "  case(<har, " << k << ", 0xffffffff>) {\n";
+  out << "    LOADI(sar, 3);\n";
+  out << "    MODIFY(hdr.ipv4.ecn, sar); //mark CE\n";
+  out << "  };\n";
+  out << "}\n";
+  return out.str();
+}
+
+/// Count-Min Sketch: two rows + running minimum estimate in har.
+[[nodiscard]] std::string make_cms(const ProgramConfig& c) {
+  const Word prefix = c.filter_value != 0 ? c.filter_value : 0x0a000000;
+  std::ostringstream out;
+  out << "@ cms_row1 " << c.mem_buckets << "\n";
+  out << "@ cms_row2 " << c.mem_buckets << "\n";
+  out << "program " << c.instance_name << "(\n";
+  out << "    <hdr.ipv4.src, " << hex(prefix) << ", 0xffff0000>) {\n";
+  out << "  LOADI(sar, 1);\n";
+  out << "  HASH_5_TUPLE_MEM(cms_row1);\n";
+  out << "  MEMADD(cms_row1);\n";
+  out << "  MOVE(har, sar);  //row-1 count\n";
+  out << "  LOADI(sar, 1);\n";
+  out << "  HASH_5_TUPLE_MEM(cms_row2);\n";
+  out << "  MEMADD(cms_row2);\n";
+  out << "  MIN(har, sar);   //CMS estimate\n";
+  out << "  FORWARD(1);\n";
+  out << "}\n";
+  return out.str();
+}
+
+/// Bloom-filter blacklist packet filter: drop flows present in both rows.
+[[nodiscard]] std::string make_bf(const ProgramConfig& c) {
+  const Word prefix = c.filter_value != 0 ? c.filter_value : 0x0a000000;
+  std::ostringstream out;
+  out << "@ bf_row1 " << c.mem_buckets << "\n";
+  out << "@ bf_row2 " << c.mem_buckets << "\n";
+  out << "program " << c.instance_name << "(\n";
+  out << "    <hdr.ipv4.src, " << hex(prefix) << ", 0xffff0000>) {\n";
+  out << "  LOADI(sar, 0);\n";
+  out << "  HASH_5_TUPLE_MEM(bf_row1);\n";
+  out << "  MEMOR(bf_row1);  //query row 1\n";
+  out << "  MOVE(har, sar);\n";
+  out << "  LOADI(sar, 0);\n";
+  out << "  HASH_5_TUPLE_MEM(bf_row2);\n";
+  out << "  MEMOR(bf_row2);  //query row 2\n";
+  out << "  MIN(har, sar);   //1 iff blacklisted in both rows\n";
+  out << "  BRANCH:\n";
+  out << "  case(<har, 1, 0xffffffff>) {\n";
+  out << "    DROP;\n";
+  out << "  };\n";
+  out << "  FORWARD(1);\n";
+  out << "}\n";
+  return out.str();
+}
+
+/// SuMax sketchlet (LightGuardian): per-bucket maximum packet length plus a
+/// packet counter.
+[[nodiscard]] std::string make_sumax(const ProgramConfig& c) {
+  const Word prefix = c.filter_value != 0 ? c.filter_value : 0x0a000000;
+  std::ostringstream out;
+  out << "@ sm_max1 " << c.mem_buckets << "\n";
+  out << "@ sm_max2 " << c.mem_buckets << "\n";
+  out << "@ sm_cnt " << c.mem_buckets << "\n";
+  out << "program " << c.instance_name << "(\n";
+  out << "    <hdr.ipv4.src, " << hex(prefix) << ", 0xffff0000>) {\n";
+  out << "  EXTRACT(hdr.ipv4.len, sar);\n";
+  out << "  HASH_5_TUPLE_MEM(sm_max1);\n";
+  out << "  MEMMAX(sm_max1);\n";
+  out << "  HASH_5_TUPLE_MEM(sm_max2);\n";
+  out << "  MEMMAX(sm_max2);\n";
+  out << "  LOADI(sar, 1);\n";
+  out << "  HASH_5_TUPLE_MEM(sm_cnt);\n";
+  out << "  MEMADD(sm_cnt);\n";
+  out << "  FORWARD(1);\n";
+  out << "}\n";
+  return out.str();
+}
+
+/// HyperLogLog: bucket index from the per-stage 16-bit hash, rank (leading
+/// zeros + 1 of the 32-bit hash) matched by 33 inelastic ternary case
+/// blocks — this is why HLL has by far the largest update delay in Table 1.
+[[nodiscard]] std::string make_hll(const ProgramConfig& c) {
+  const Word prefix = c.filter_value != 0 ? c.filter_value : 0x0a000000;
+  std::ostringstream out;
+  out << "@ hll_regs " << c.mem_buckets << "\n";
+  out << "program " << c.instance_name << "(\n";
+  out << "    <hdr.ipv4.src, " << hex(prefix) << ", 0xffff0000>) {\n";
+  out << "  HASH_5_TUPLE;            //32-bit hash in har\n";
+  out << "  HASH_5_TUPLE_MEM(hll_regs); //bucket index in mar\n";
+  out << "  BRANCH:\n";
+  // Rank r: the top r-1 bits are zero and bit (32-r) is one.
+  for (int r = 1; r <= 32; ++r) {
+    const Word bit = 1u << (32 - r);
+    const Word mask = r == 32 ? 0xffffffffu : ~(bit - 1);
+    out << "  case(<har, " << hex(bit) << ", " << hex(mask) << ">) {\n";
+    out << "    LOADI(sar, " << r << ");\n";
+    out << "    MEMMAX(hll_regs);\n";
+    out << "  };\n";
+  }
+  out << "  /*hash == 0: maximal rank*/\n";
+  out << "  case(<har, 0, 0xffffffff>) {\n";
+  out << "    LOADI(sar, 33);\n";
+  out << "    MEMMAX(hll_regs);\n";
+  out << "  };\n";
+  out << "}\n";
+  return out.str();
+}
+
+/// SwitchML-style in-network gradient aggregation (§7: "implementing the
+/// simple aggregation logic in SwitchML requires only modifying P4runpro
+/// to support multicast"). Workers send chunk updates; the switch folds
+/// them into per-chunk accumulators and, when the last worker arrives,
+/// multicasts the aggregated value back to the worker group. The control
+/// plane resets the accumulators between training rounds.
+[[nodiscard]] std::string make_agg(const ProgramConfig& c) {
+  const Word port = c.filter_value != 0 ? c.filter_value : 4242;
+  std::uint32_t pow2 = 1;
+  while (pow2 < c.mem_buckets) pow2 <<= 1;
+  std::ostringstream out;
+  out << "@ agg_val " << c.mem_buckets << "\n";
+  out << "@ agg_cnt " << c.mem_buckets << "\n";
+  out << "program " << c.instance_name << "(\n";
+  out << "    <hdr.udp.dst_port, " << port << ", 0xffff>) {\n";
+  out << "  EXTRACT(hdr.nc.key1, mar);  //gradient chunk index\n";
+  out << "  ANDI(mar, " << hex(pow2 - 1) << ");\n";
+  out << "  EXTRACT(hdr.nc.val, sar);   //worker's gradient value\n";
+  out << "  MEMADD(agg_val);            //fold; sar = running aggregate\n";
+  out << "  MODIFY(hdr.nc.val, sar);    //carry the aggregate in the packet\n";
+  out << "  LOADI(sar, 1);\n";
+  out << "  MEMADD(agg_cnt);            //arrival count; sar = count\n";
+  out << "  BRANCH:\n";
+  out << "  /*last worker: broadcast the aggregated chunk*/\n";
+  out << "  case(<sar, " << c.workers << ", 0xffffffff>) {\n";
+  out << "    MULTICAST(" << c.mcast_group << ");\n";
+  out << "  };\n";
+  out << "  DROP; //absorb non-final updates\n";
+  out << "}\n";
+  return out.str();
+}
+
+struct TemplateEntry {
+  ProgramInfo info;
+  std::string (*make)(const ProgramConfig&);
+};
+
+const std::vector<TemplateEntry>& templates() {
+  static const std::vector<TemplateEntry> kTemplates = {
+      {{"cache", "In-network Cache", 26, 77, 11.47, "194.30 (ActiveRMT)", true, true}, make_cache},
+      {{"lb", "Stateless Load Balancer", 15, 63, 10.63, "225.46 (ActiveRMT)", true, true}, make_lb},
+      {{"hh", "Heavy Hitter Detector", 36, 109, 30.64, "228.70 (ActiveRMT)", false, true}, make_hh},
+      {{"nc", "NetCache", 60, 152, 40.06, "", true, true}, make_netcache},
+      {{"dqacc", "DQAcc", 16, 137, 15.45, "", false, true}, make_dqacc},
+      {{"firewall", "Stateful Firewall", 22, 88, 19.70, "", false, true}, make_firewall},
+      {{"l2", "L2 Forwarding", 10, 33, 2.98, "", true, false}, make_l2},
+      {{"l3", "L3 Routing", 6, 34, 1.88, "", true, false}, make_l3},
+      {{"tunnel", "Tunnel", 6, 51, 2.38, "", true, false}, make_tunnel},
+      {{"calculator", "Calculator", 26, 53, 26.74, "", false, false}, make_calculator},
+      {{"ecn", "ECN", 9, 18, 4.84, "", false, false}, make_ecn},
+      {{"cms", "Count-Min Sketch (CMS)", 14, 78, 14.21, "27.46 (FlyMon)", false, true}, make_cms},
+      {{"bf", "Bloom Filter (BF)", 14, 78, 12.51, "32.09 (FlyMon)", false, true}, make_bf},
+      {{"sumax", "SuMax", 14, 80, 19.94, "22.88 (FlyMon)", false, true}, make_sumax},
+      {{"hll", "HyperLogLog (HLL)", 167, 180, 166.90, "17.37 (FlyMon)", false, true}, make_hll},
+      {{"agg", "In-network Aggregation (SwitchML-style)", 0, 0, 0.0, "", false, true,
+        /*extension=*/true}, make_agg},
+  };
+  return kTemplates;
+}
+
+}  // namespace
+
+const std::vector<ProgramInfo>& program_catalog() {
+  static const std::vector<ProgramInfo> kCatalog = [] {
+    std::vector<ProgramInfo> out;
+    for (const auto& t : templates()) {
+      if (!t.info.extension) out.push_back(t.info);
+    }
+    return out;
+  }();
+  return kCatalog;
+}
+
+const std::vector<ProgramInfo>& extension_catalog() {
+  static const std::vector<ProgramInfo> kExtensions = [] {
+    std::vector<ProgramInfo> out;
+    for (const auto& t : templates()) {
+      if (t.info.extension) out.push_back(t.info);
+    }
+    return out;
+  }();
+  return kExtensions;
+}
+
+const ProgramInfo* find_program(const std::string& key) {
+  for (const auto& info : program_catalog()) {
+    if (info.key == key) return &info;
+  }
+  return nullptr;
+}
+
+std::string make_program_source(const std::string& key, const ProgramConfig& config) {
+  for (const auto& t : templates()) {
+    if (t.info.key == key) {
+      ProgramConfig c = config;
+      if (c.instance_name.empty()) c.instance_name = key;
+      return t.make(c);
+    }
+  }
+  assert(false && "unknown program key");
+  return {};
+}
+
+int template_loc(const std::string& key) {
+  ProgramConfig config;
+  config.instance_name = key;
+  config.elastic_cases = 2;
+  return lang::count_loc(make_program_source(key, config));
+}
+
+}  // namespace p4runpro::apps

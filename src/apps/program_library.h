@@ -1,0 +1,60 @@
+// The 15 example runtime programs of Table 1, expressed in the P4runpro
+// DSL. Sources are generated from templates so that workloads can vary the
+// requested memory size and the number of *elastic* case blocks (the case
+// blocks that correspond to non-constant table entries in a conventional P4
+// program — cache keys, load-balancer ports, L2/L3 entries; §6.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace p4runpro::apps {
+
+/// Per-instance generation knobs.
+struct ProgramConfig {
+  std::string instance_name;       ///< program name in the source (must be unique per controller)
+  std::uint32_t mem_buckets = 256; ///< per-structure memory request (256 x 32b = 1,024 B, §6.2)
+  int elastic_cases = 2;           ///< elastic case blocks, where applicable
+  Word threshold = 1024;           ///< heavy-hitter threshold
+  Word filter_value = 0;           ///< optional override of the filter value (0 = template default)
+  int workers = 4;                 ///< aggregation fan-in (agg extension)
+  Word mcast_group = 1;            ///< multicast group broadcast target (agg extension)
+};
+
+/// Catalog entry: template key, paper-reported numbers for Table 1, and
+/// structural traits.
+struct ProgramInfo {
+  std::string key;            // "cache", "lb", "hh", ...
+  std::string display;        // "In-network Cache"
+  int paper_loc_ours;         // Table 1 "LoC Ours"
+  int paper_loc_p4;           // Table 1 "LoC P4"
+  double paper_update_ms;     // Table 1 "Update Delay Ours"
+  std::string others_update;  // Table 1 "Others" (* ActiveRMT, ** FlyMon)
+  bool elastic;               // has elastic case blocks
+  bool uses_memory;           // requests virtual memory
+  bool extension = false;     // beyond Table 1 (§7 future-work features)
+};
+
+/// The 15 programs of Table 1, in table order (extensions excluded).
+[[nodiscard]] const std::vector<ProgramInfo>& program_catalog();
+
+/// Extension programs beyond Table 1 (e.g. the SwitchML-style in-network
+/// aggregation enabled by the MULTICAST primitive, §7).
+[[nodiscard]] const std::vector<ProgramInfo>& extension_catalog();
+
+/// Find a catalog entry by key; returns nullptr if unknown.
+[[nodiscard]] const ProgramInfo* find_program(const std::string& key);
+
+/// Generate the P4runpro source for `key` with the given configuration.
+/// Aborts on unknown keys (programmer error).
+[[nodiscard]] std::string make_program_source(const std::string& key,
+                                              const ProgramConfig& config);
+
+/// LoC of the template instantiated with the paper's minimal configuration
+/// (elastic case blocks excluded from the count, as in §6.1).
+[[nodiscard]] int template_loc(const std::string& key);
+
+}  // namespace p4runpro::apps

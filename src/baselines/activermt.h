@@ -1,0 +1,81 @@
+// ActiveRMT baseline (Das & Snoeren, SIGCOMM'23), reimplemented from the
+// paper's description for the comparative experiments (Figs. 7-10, Tables
+// 1-2). ActiveRMT runs capsule-based *active programs*: every packet
+// carries an active header with memory-centric instructions; the allocator
+// uses a fair worst-fit scheme that REMAPS the memory of elastic programs
+// on every allocation, so its allocation delay grows with the number of
+// installed programs — the scaling the paper contrasts with P4runpro's
+// per-program constraint model.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace p4runpro::baselines {
+
+/// Workload description of one active program.
+struct ActiveRequest {
+  int instructions = 10;          ///< active instruction count (capsule length)
+  std::uint32_t mem_buckets = 256;///< requested memory (32-bit buckets)
+  bool elastic = false;           ///< memory may be shrunk for newcomers
+};
+
+struct ActiveAllocation {
+  int id = 0;
+  std::vector<std::pair<int, std::uint32_t>> shares;  ///< (stage, buckets)
+};
+
+/// Geometry of the ActiveRMT prototype, set to the paper's comparison
+/// configuration (§6.2: "memory size of 65,536" per stage, least-constraint
+/// allocation model).
+struct ActiveRmtConfig {
+  int stages = 20;                     ///< memory-capable stages on Tofino
+  std::uint32_t mem_per_stage = 65536;
+  std::uint32_t granularity = 256;     ///< fixed allocation granularity (buckets)
+  std::uint32_t min_elastic = 256;     ///< smallest share an elastic program keeps
+};
+
+class ActiveRmtAllocator {
+ public:
+  explicit ActiveRmtAllocator(ActiveRmtConfig config = {});
+
+  /// Allocate a new active program; measures (real) computation of the fair
+  /// worst-fit remap. Fails when memory cannot be found even after
+  /// shrinking elastic programs.
+  Result<ActiveAllocation> allocate(const ActiveRequest& request);
+  void deallocate(int id);
+
+  [[nodiscard]] std::size_t program_count() const noexcept { return programs_.size(); }
+  [[nodiscard]] double memory_utilization() const;
+  [[nodiscard]] const ActiveRmtConfig& config() const noexcept { return config_; }
+
+  /// Capsule/active-header throughput overhead: goodput fraction for a
+  /// given packet size (the active header steals wire bytes; §2.2).
+  [[nodiscard]] static double goodput_fraction(int payload_bytes, int instructions);
+
+  /// Update delay model (ms) for installing a program of this complexity
+  /// (Table 1 "Others" column: 194.30 / 225.46 / 228.70 for cache/lb/hh).
+  [[nodiscard]] static double update_delay_ms(const ActiveRequest& request);
+
+ private:
+  struct Program {
+    ActiveRequest request;
+    std::vector<std::pair<int, std::uint32_t>> shares;
+  };
+
+  /// Fair remap pass: recompute every elastic program's share against the
+  /// current population (this is the work that grows with program count).
+  void fair_remap(std::uint32_t needed);
+
+  [[nodiscard]] std::uint32_t free_in_stage(int stage) const;
+
+  ActiveRmtConfig config_;
+  std::vector<std::vector<std::uint8_t>> occupancy_;  ///< per stage, per granule
+  std::map<int, Program> programs_;
+  int next_id_ = 1;
+};
+
+}  // namespace p4runpro::baselines

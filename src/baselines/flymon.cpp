@@ -1,0 +1,29 @@
+#include "baselines/flymon.h"
+
+namespace p4runpro::baselines {
+
+bool Flymon::supports(const std::string& program_key) {
+  return task_for(program_key).has_value();
+}
+
+std::optional<FlymonTask> Flymon::task_for(const std::string& program_key) {
+  if (program_key == "cms") return FlymonTask{FlymonAttribute::FrequencyCms, 1024};
+  if (program_key == "bf") return FlymonTask{FlymonAttribute::ExistenceBf, 1024};
+  if (program_key == "sumax") return FlymonTask{FlymonAttribute::MaxSuMax, 1024};
+  if (program_key == "hll") return FlymonTask{FlymonAttribute::CardinalityHll, 1024};
+  return std::nullopt;  // general programs are outside FlyMon's task model
+}
+
+double Flymon::update_delay_ms(FlymonAttribute attribute) {
+  // Entry-rewiring counts of the composable measurement units differ per
+  // attribute; the constants reproduce the paper's measured values.
+  switch (attribute) {
+    case FlymonAttribute::FrequencyCms: return 27.46;
+    case FlymonAttribute::ExistenceBf: return 32.09;
+    case FlymonAttribute::MaxSuMax: return 22.88;
+    case FlymonAttribute::CardinalityHll: return 17.37;
+  }
+  return 0.0;
+}
+
+}  // namespace p4runpro::baselines

@@ -1,0 +1,45 @@
+// FlyMon baseline (Zheng et al., SIGCOMM'22), modeled from the paper's
+// description for the Table 1 / Fig. 10 / Table 2 comparisons. FlyMon
+// reconfigures *network measurement* tasks only: a task is a (flow key,
+// flow attribute) pair mapped onto pre-built composable measurement units —
+// no general programs, hence no extra generality overhead.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+
+namespace p4runpro::baselines {
+
+/// Measurement attributes FlyMon supports (fixed set; anything else is out
+/// of scope — the generality gap §2.2 describes).
+enum class FlymonAttribute : std::uint8_t {
+  FrequencyCms,   ///< per-flow frequency (CMS)
+  ExistenceBf,    ///< flow existence (Bloom filter)
+  MaxSuMax,       ///< per-flow maximum (SuMax)
+  CardinalityHll, ///< cardinality (HyperLogLog)
+};
+
+struct FlymonTask {
+  FlymonAttribute attribute;
+  std::uint32_t mem_buckets = 1024;
+};
+
+class Flymon {
+ public:
+  /// Can FlyMon express this task at all? General programs (forwarding,
+  /// caching, compute) are rejected.
+  [[nodiscard]] static bool supports(const std::string& program_key);
+
+  /// Map a P4runpro catalog key onto a FlyMon task, if supported.
+  [[nodiscard]] static std::optional<FlymonTask> task_for(const std::string& program_key);
+
+  /// Task reconfiguration delay in ms (Table 1 "Others" **: CMS 27.46,
+  /// BF 32.09, SuMax 22.88, HLL 17.37 — proportional to the number of
+  /// transformable-measurement-unit entries each attribute rewires).
+  [[nodiscard]] static double update_delay_ms(FlymonAttribute attribute);
+};
+
+}  // namespace p4runpro::baselines

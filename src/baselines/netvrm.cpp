@@ -1,0 +1,47 @@
+#include "baselines/netvrm.h"
+
+#include <algorithm>
+
+namespace p4runpro::baselines {
+
+void NetvrmManager::reallocate() {
+  if (apps_.empty()) return;
+  // Start from the minimum viable allocation.
+  std::uint32_t used = 0;
+  for (auto& app : apps_) {
+    app.pages = app.min_pages;
+    used += app.min_pages;
+  }
+  // Greedy water-filling: hand each remaining page to the application with
+  // the highest marginal utility. Optimal for concave utilities.
+  while (used < total_pages_) {
+    NetvrmApp* best = nullptr;
+    double best_gain = 0.0;
+    for (auto& app : apps_) {
+      const double gain = app.utility(app.pages + 1) - app.utility(app.pages);
+      if (best == nullptr || gain > best_gain) {
+        best = &app;
+        best_gain = gain;
+      }
+    }
+    if (best == nullptr || best_gain <= 0.0) break;  // utility saturated
+    ++best->pages;
+    ++used;
+  }
+}
+
+void NetvrmManager::partition_statically() {
+  if (apps_.empty()) return;
+  const std::uint32_t share = total_pages_ / static_cast<std::uint32_t>(apps_.size());
+  for (auto& app : apps_) {
+    app.pages = std::max(app.min_pages, share);
+  }
+}
+
+double NetvrmManager::total_utility() const {
+  double sum = 0.0;
+  for (const auto& app : apps_) sum += app.utility(app.pages);
+  return sum;
+}
+
+}  // namespace p4runpro::baselines

@@ -1,0 +1,54 @@
+// NetVRM baseline (Zhu et al., NSDI'22), modeled from the paper's §2.2
+// description: a dynamic *memory* management system where the register
+// memory of applications that are fixed at compile time is periodically
+// reallocated according to per-application utility functions. NetVRM
+// cannot add new application types at runtime — the generality gap
+// P4runpro fills — but it beats static partitioning on memory efficiency
+// for its predefined applications.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace p4runpro::baselines {
+
+/// One predefined NetVRM application with a measured utility curve:
+/// utility(pages) is concave non-decreasing (e.g. sketch accuracy vs
+/// memory).
+struct NetvrmApp {
+  std::string name;
+  /// Utility at a given number of memory pages.
+  std::function<double(std::uint32_t)> utility;
+  std::uint32_t min_pages = 1;
+  std::uint32_t pages = 0;  ///< current allocation (managed)
+};
+
+class NetvrmManager {
+ public:
+  /// `total_pages`: the register memory pool shared by all applications.
+  explicit NetvrmManager(std::uint32_t total_pages) : total_pages_(total_pages) {}
+
+  /// Register a compile-time application. Fails (returns false) once the
+  /// reallocation epoch has started only in spirit — NetVRM has no runtime
+  /// program addition at all, so this models provisioning time.
+  void add_app(NetvrmApp app) { apps_.push_back(std::move(app)); }
+
+  /// One reallocation epoch: greedy marginal-utility water-filling of the
+  /// page pool (the utility-function-driven allocation of §2.2).
+  void reallocate();
+
+  [[nodiscard]] double total_utility() const;
+  [[nodiscard]] const std::vector<NetvrmApp>& apps() const noexcept { return apps_; }
+  [[nodiscard]] std::uint32_t total_pages() const noexcept { return total_pages_; }
+
+  /// Static equal-share partitioning, for comparison.
+  void partition_statically();
+
+ private:
+  std::uint32_t total_pages_;
+  std::vector<NetvrmApp> apps_;
+};
+
+}  // namespace p4runpro::baselines

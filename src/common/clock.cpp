@@ -1,0 +1,33 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <cmath>
+
+namespace p4runpro {
+
+namespace {
+[[nodiscard]] std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+void SimClock::advance_us(double us) noexcept {
+  advance_ns(static_cast<Nanos>(std::llround(us * 1e3)));
+}
+
+void SimClock::advance_ms(double ms) noexcept {
+  advance_ns(static_cast<Nanos>(std::llround(ms * 1e6)));
+}
+
+WallTimer::WallTimer() : start_ns_(steady_now_ns()) {}
+
+double WallTimer::elapsed_ms() const {
+  return static_cast<double>(steady_now_ns() - start_ns_) / 1e6;
+}
+
+void WallTimer::restart() { start_ns_ = steady_now_ns(); }
+
+}  // namespace p4runpro

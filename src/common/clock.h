@@ -1,0 +1,48 @@
+// Virtual time. The simulated control-plane channel (bfrt writes), traffic
+// replay, and the case-study harnesses all charge time to a SimClock so that
+// experiments are deterministic and run in milliseconds of wall time.
+#pragma once
+
+#include <cstdint>
+
+namespace p4runpro {
+
+/// Nanosecond-resolution virtual clock. Monotonic; advanced explicitly by
+/// the components that model latency.
+class SimClock {
+ public:
+  using Nanos = std::uint64_t;
+
+  [[nodiscard]] Nanos now_ns() const noexcept { return now_; }
+  [[nodiscard]] double now_ms() const noexcept { return static_cast<double>(now_) / 1e6; }
+  [[nodiscard]] double now_s() const noexcept { return static_cast<double>(now_) / 1e9; }
+
+  void advance_ns(Nanos delta) noexcept { now_ += delta; }
+  void advance_us(double us) noexcept;
+  void advance_ms(double ms) noexcept;
+
+  /// Move the clock forward to an absolute instant; no-op if already past it.
+  void advance_to_ns(Nanos t) noexcept {
+    if (t > now_) now_ = t;
+  }
+
+  void reset() noexcept { now_ = 0; }
+
+ private:
+  Nanos now_ = 0;
+};
+
+/// RAII stopwatch over real (wall) time, used where the experiment measures
+/// genuine computation cost (e.g. allocation-scheme solving, Fig. 7/12).
+class WallTimer {
+ public:
+  WallTimer();
+  /// Elapsed wall time in milliseconds since construction or last restart.
+  [[nodiscard]] double elapsed_ms() const;
+  void restart();
+
+ private:
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace p4runpro

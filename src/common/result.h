@@ -1,0 +1,74 @@
+// Minimal expected-like result type (the toolchain targets C++20, which
+// lacks std::expected). Used for fallible operations that should not throw,
+// e.g. compilation and resource allocation.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace p4runpro {
+
+/// Error payload carried by Result. `where` is a coarse source location or
+/// subsystem tag, `message` is human-readable.
+struct Error {
+  std::string message;
+  std::string where;
+
+  [[nodiscard]] std::string str() const {
+    return where.empty() ? message : where + ": " + message;
+  }
+};
+
+/// Either a value of type T or an Error. Intentionally tiny: just enough to
+/// propagate compiler/allocator failures without exceptions.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error err) : storage_(std::move(err)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+  [[nodiscard]] const Error& error() const& {
+    assert(!ok());
+    return std::get<Error>(storage_);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Result specialization for operations with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error err) : error_(std::move(err)), failed_(true) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const noexcept { return !failed_; }
+  explicit operator bool() const noexcept { return ok(); }
+  [[nodiscard]] const Error& error() const& {
+    assert(failed_);
+    return error_;
+  }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+}  // namespace p4runpro

@@ -1,0 +1,42 @@
+// Deterministic random number generation for workload synthesis.
+// All experiments seed their generators explicitly so every bench run is
+// reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace p4runpro {
+
+/// xoshiro256** — small, fast, high-quality PRNG. Deterministic across
+/// platforms (unlike std::mt19937 distributions).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+  [[nodiscard]] std::uint32_t next_u32() noexcept;
+  /// Uniform integer in [0, bound) with rejection to avoid modulo bias.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t bound) noexcept;
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf(s) sampler over {0, .., n-1} via precomputed CDF and binary search.
+/// Used to synthesize heavy-tailed flow-size distributions (campus-like
+/// traffic for the Fig. 13 case studies).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double skew);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace p4runpro

@@ -1,0 +1,50 @@
+// Fundamental value types shared across the P4runpro reproduction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace p4runpro {
+
+/// Machine word of the data plane. The prototype sets the PHV register and
+/// memory bucket width to 32 bits, the maximum operable width of the
+/// hardware ALUs (paper §5).
+using Word = std::uint32_t;
+
+/// Identifier of a linked runtime program, assigned by the controller.
+/// Program id 0 is reserved for "no program" (plain forwarding).
+using ProgramId = std::uint16_t;
+
+/// Program-local conditional-branch identifier set by the BRANCH primitive.
+/// Branch id 0 is the root branch of every program.
+using BranchId = std::uint16_t;
+
+/// Packet-local recirculation iteration counter (0 on first pass).
+using RecircId = std::uint8_t;
+
+/// Front-panel port number.
+using Port = std::uint16_t;
+
+/// Virtual/physical address into a stage's stateful memory.
+using MemAddr = std::uint32_t;
+
+/// The three PHV "registers" the data plane arranges for runtime programs
+/// (paper §4.1.2): hash register, SALU register, and memory address register.
+enum class Reg : std::uint8_t { Har = 0, Sar = 1, Mar = 2 };
+
+inline constexpr int kNumRegs = 3;
+
+[[nodiscard]] constexpr const char* to_string(Reg r) noexcept {
+  switch (r) {
+    case Reg::Har: return "har";
+    case Reg::Sar: return "sar";
+    case Reg::Mar: return "mar";
+  }
+  return "?";
+}
+
+/// Maximum representable register value; used by pseudo-primitive
+/// translations (two's-complement tricks in Fig. 14).
+inline constexpr Word kRegMax = 0xffffffffu;
+
+}  // namespace p4runpro

@@ -1,0 +1,33 @@
+#include "compiler/compiler.h"
+
+#include "compiler/semcheck.h"
+#include "compiler/translate.h"
+#include "lang/parser.h"
+
+namespace p4runpro::rp {
+
+Result<std::vector<TranslatedProgram>> compile_source(std::string_view source) {
+  auto unit = lang::parse(source);
+  if (!unit.ok()) return unit.error();
+  if (auto s = check_unit(unit.value()); !s.ok()) return s.error();
+
+  std::vector<TranslatedProgram> out;
+  out.reserve(unit.value().programs.size());
+  for (const auto& decl : unit.value().programs) {
+    auto translated = translate(unit.value(), decl);
+    if (!translated.ok()) return translated.error();
+    out.push_back(std::move(translated).take());
+  }
+  return out;
+}
+
+Result<TranslatedProgram> compile_single(std::string_view source) {
+  auto programs = compile_source(source);
+  if (!programs.ok()) return programs.error();
+  if (programs.value().size() != 1) {
+    return Error{"expected exactly one program in source unit", "compiler"};
+  }
+  return std::move(programs.value().front());
+}
+
+}  // namespace p4runpro::rp

@@ -1,0 +1,21 @@
+// Compiler facade: source text -> checked, translated programs. The
+// allocation step is separate (solver.h) because it depends on the live
+// resource snapshot; the controller drives the full pipeline
+// parse -> check -> translate -> allocate -> generate entries -> update.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "compiler/ir.h"
+
+namespace p4runpro::rp {
+
+/// Parse, check and translate every program in a source unit.
+[[nodiscard]] Result<std::vector<TranslatedProgram>> compile_source(std::string_view source);
+
+/// Convenience: compile a unit expected to contain exactly one program.
+[[nodiscard]] Result<TranslatedProgram> compile_single(std::string_view source);
+
+}  // namespace p4runpro::rp

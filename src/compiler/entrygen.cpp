@@ -1,0 +1,94 @@
+#include "compiler/entrygen.h"
+
+#include <cassert>
+
+namespace p4runpro::rp {
+
+namespace {
+
+[[nodiscard]] dp::AtomicOp bind_op(const IrOp& ir,
+                                   const std::map<std::string, ctrl::VmemPlacement>& placements,
+                                   const TranslatedProgram& program) {
+  dp::AtomicOp op;
+  op.kind = ir.kind;
+  op.field = ir.field;
+  op.reg0 = ir.reg0;
+  op.reg1 = ir.reg1;
+  op.imm = ir.imm;
+  op.salu = ir.salu;
+  switch (ir.kind) {
+    case dp::OpKind::Offset: {
+      const auto it = placements.find(ir.vmem);
+      assert(it != placements.end() && "memory op without placement");
+      op.imm = it->second.block.base;
+      break;
+    }
+    case dp::OpKind::Hash5TupleMem:
+    case dp::OpKind::HashHarMem: {
+      // Mask step: adjust the 16-bit hash output to the virtual size.
+      const std::uint32_t size = program.vmem_sizes.at(ir.vmem);
+      op.mask = size - 1;
+      break;
+    }
+    default:
+      break;
+  }
+  return op;
+}
+
+}  // namespace
+
+EntryPlan generate_entries(const TranslatedProgram& program,
+                           const AllocationResult& alloc, ProgramId id,
+                           const std::map<std::string, ctrl::VmemPlacement>& placements,
+                           const dp::DataplaneSpec& spec) {
+  EntryPlan plan;
+  plan.program = id;
+  plan.filters = program.filters;
+  plan.rounds = alloc.rounds;
+
+  const int total_rpbs = spec.total_rpbs();
+  for (const auto& node : program.nodes) {
+    const int logical = alloc.x[static_cast<std::size_t>(node.depth - 1)];
+    const int phys = dp::physical_rpb(logical, total_rpbs);
+    const int round = dp::recirc_round(logical, total_rpbs);
+
+    // Common control-flag keys.
+    std::vector<rmt::TernaryKey> base_keys(dp::kRpbKeyWidth, rmt::TernaryKey::any());
+    base_keys[dp::kKeyProgram] = rmt::TernaryKey::exact(id);
+    base_keys[dp::kKeyBranch] = rmt::TernaryKey::exact(node.branch);
+    base_keys[dp::kKeyRecirc] = rmt::TernaryKey::exact(static_cast<Word>(round));
+
+    if (node.op.kind == dp::OpKind::Branch) {
+      // One entry per case; earlier cases take higher priority.
+      const int cases = static_cast<int>(node.op.cases.size());
+      for (int c = 0; c < cases; ++c) {
+        const CaseRule& rule = node.op.cases[static_cast<std::size_t>(c)];
+        RpbEntrySpec spec_entry;
+        spec_entry.rpb = phys;
+        spec_entry.keys = base_keys;
+        for (const auto& cond : rule.conditions) {
+          const int slot = cond.reg == Reg::Har   ? dp::kKeyHar
+                           : cond.reg == Reg::Sar ? dp::kKeySar
+                                                  : dp::kKeyMar;
+          spec_entry.keys[static_cast<std::size_t>(slot)] =
+              rmt::TernaryKey{cond.value, cond.mask};
+        }
+        spec_entry.priority = cases - c;
+        spec_entry.action = dp::RpbAction{dp::AtomicOp::branch(), rule.target};
+        plan.rpb_entries.push_back(std::move(spec_entry));
+      }
+      continue;
+    }
+
+    RpbEntrySpec spec_entry;
+    spec_entry.rpb = phys;
+    spec_entry.keys = std::move(base_keys);
+    spec_entry.priority = 0;
+    spec_entry.action = dp::RpbAction{bind_op(node.op, placements, program), std::nullopt};
+    plan.rpb_entries.push_back(std::move(spec_entry));
+  }
+  return plan;
+}
+
+}  // namespace p4runpro::rp

@@ -1,0 +1,49 @@
+// Entry generation: the final compilation step (Fig. 5c -> "generates table
+// entries"). Maps every IR node to a concrete RPB table entry with ternary
+// keys over (program id, branch id, recirculation id, har, sar, mar),
+// binding physical memory bases (offset step), hash masks (mask step) and
+// SALU selectors from the allocation result.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "compiler/ir.h"
+#include "compiler/solver.h"
+#include "control/resource_manager.h"
+#include "dataplane/rpb.h"
+
+namespace p4runpro::rp {
+
+/// One planned RPB entry.
+struct RpbEntrySpec {
+  int rpb = 0;  // physical RPB id
+  std::vector<rmt::TernaryKey> keys;
+  int priority = 0;
+  dp::RpbAction action;
+};
+
+/// Everything the update engine needs to (consistently) install or remove
+/// one program.
+struct EntryPlan {
+  ProgramId program = 0;
+  std::vector<RpbEntrySpec> rpb_entries;
+  std::vector<dp::FilterTuple> filters;
+  /// Filtering-table priority; the controller assigns a fresh generation
+  /// per install so that an incremental update's new version outranks the
+  /// old one while both are briefly present.
+  int filter_priority = 0;
+  int rounds = 1;  // recirculation entries: rounds - 1
+};
+
+/// Build the plan for a translated+allocated program. `placements` gives
+/// the physical base of each virtual memory block (from the resource
+/// manager commit).
+[[nodiscard]] EntryPlan generate_entries(
+    const TranslatedProgram& program, const AllocationResult& alloc,
+    ProgramId id, const std::map<std::string, ctrl::VmemPlacement>& placements,
+    const dp::DataplaneSpec& spec);
+
+}  // namespace p4runpro::rp

@@ -1,0 +1,87 @@
+// Translated intermediate representation. After semantic checking, pseudo-
+// primitive translation, offset-step insertion and memory alignment, a
+// program is a DAG of IR nodes; every node carries its final AST depth
+// (§4.3: "the depth of the AST node refers to the primitive execution
+// dependency") and its branch id. Nodes at the same depth execute in the
+// same logical RPB.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "dataplane/atomic_op.h"
+#include "dataplane/init_block.h"
+#include "lang/ast.h"
+
+namespace p4runpro::rp {
+
+/// One case rule of a translated BRANCH node.
+struct CaseRule {
+  std::vector<lang::Condition> conditions;
+  BranchId target = 0;
+};
+
+/// A translated operation. For memory-touching kinds (Mem / Offset /
+/// Hash*Mem) `vmem` names the virtual memory block; physical base and mask
+/// are bound at entry generation after allocation.
+struct IrOp {
+  dp::OpKind kind = dp::OpKind::Nop;
+  rmt::FieldId field = rmt::FieldId::Ipv4Src;
+  Reg reg0 = Reg::Har;
+  Reg reg1 = Reg::Sar;
+  Word imm = 0;
+  rmt::SaluOp salu = rmt::SaluOp::Read;
+  std::string vmem;
+  std::vector<CaseRule> cases;  // Branch kind only
+
+  /// Table entries this op consumes in its RPB.
+  [[nodiscard]] int entry_count() const noexcept {
+    return kind == dp::OpKind::Branch ? static_cast<int>(cases.size()) : 1;
+  }
+};
+
+/// DAG node: op + branch id + dependency edges + resolved depth.
+struct IrNode {
+  int id = 0;
+  BranchId branch = 0;
+  IrOp op;
+  std::vector<int> preds;
+  int depth = 0;  // 1-based; assigned by the depth/alignment pass
+};
+
+/// Aggregated per-depth requirements consumed by the allocation solver.
+struct DepthRequirement {
+  int entries = 0;                  // te_req
+  std::vector<std::string> vmems;   // virtual memory blocks accessed here
+  bool forwarding = false;          // contains a forwarding primitive (F set)
+  bool memory = false;              // contains a Mem op
+};
+
+/// Fully translated program, ready for allocation.
+struct TranslatedProgram {
+  std::string name;
+  std::vector<dp::FilterTuple> filters;
+  std::map<std::string, std::uint32_t> vmem_sizes;  // rounded to powers of 2
+  std::vector<IrNode> nodes;
+  int depth = 0;  // L
+  int num_branches = 1;
+
+  /// depths[d-1] = requirement of depth d.
+  std::vector<DepthRequirement> depth_reqs;
+  /// For each vmem, the ordered list of depths that access it (aligned
+  /// levels). Consecutive levels form the B pairs of constraint (5).
+  std::map<std::string, std::vector<int>> vmem_depths;
+
+  [[nodiscard]] int total_entries() const noexcept {
+    int n = 0;
+    for (const auto& node : nodes) n += node.op.entry_count();
+    return n;
+  }
+};
+
+}  // namespace p4runpro::rp

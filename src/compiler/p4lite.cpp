@@ -1,0 +1,540 @@
+#include "compiler/p4lite.h"
+
+#include <cctype>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace p4runpro::rp {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer: identifiers (dotted), integers / IPv4 literals, punctuation
+// and the compound assignment operators.
+// ---------------------------------------------------------------------------
+
+struct Tok {
+  enum Kind {
+    kIdent,
+    kInt,
+    kPunct,  // single char in text[0]
+    kOp,     // "==", "+=", "-=", "&=", "|=", "^="
+    kEnd,
+  } kind = kEnd;
+  std::string text;
+  std::uint32_t value = 0;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Tok>> run() {
+    std::vector<Tok> out;
+    while (true) {
+      skip_ws();
+      if (pos_ >= src_.size()) break;
+      Tok tok;
+      tok.line = line_;
+      const char c = src_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tok.kind = Tok::kIdent;
+        while (pos_ < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '_' || src_[pos_] == '.')) {
+          tok.text += src_[pos_++];
+        }
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        tok.kind = Tok::kInt;
+        std::string text;
+        while (pos_ < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '.')) {
+          text += src_[pos_++];
+        }
+        tok.text = text;
+        if (!parse_number(text, tok.value)) {
+          return Error{"bad numeric literal '" + text + "'",
+                       "p4lite line " + std::to_string(tok.line)};
+        }
+      } else if (std::string("+-&|^").find(c) != std::string::npos &&
+                 pos_ + 1 < src_.size() && src_[pos_ + 1] == '=') {
+        tok.kind = Tok::kOp;
+        tok.text = std::string(1, c) + "=";
+        pos_ += 2;
+      } else if (c == '=') {
+        tok.kind = Tok::kOp;
+        if (pos_ + 1 < src_.size() && src_[pos_ + 1] == '=') {
+          tok.text = "==";
+          pos_ += 2;
+        } else {
+          tok.text = "=";
+          ++pos_;
+        }
+      } else if (std::string("(){}[];,").find(c) != std::string::npos) {
+        tok.kind = Tok::kPunct;
+        tok.text = std::string(1, c);
+        ++pos_;
+      } else {
+        return Error{std::string("unexpected character '") + c + "'",
+                     "p4lite line " + std::to_string(line_)};
+      }
+      out.push_back(std::move(tok));
+    }
+    out.push_back(Tok{});
+    out.back().line = line_;
+    return out;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+        ++pos_;
+      } else if (src_[pos_] == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  static bool parse_number(const std::string& text, std::uint32_t& out) {
+    if (text.find('.') != std::string::npos) {
+      // dotted-quad IPv4
+      std::uint32_t value = 0;
+      int octets = 0;
+      std::size_t i = 0;
+      while (i < text.size()) {
+        std::uint32_t octet = 0;
+        std::size_t digits = 0;
+        while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+          octet = octet * 10 + static_cast<std::uint32_t>(text[i] - '0');
+          ++digits;
+          ++i;
+        }
+        if (digits == 0 || octet > 255) return false;
+        value = (value << 8) | octet;
+        ++octets;
+        if (i < text.size() && text[i] == '.') ++i;
+      }
+      if (octets != 4) return false;
+      out = value;
+      return true;
+    }
+    try {
+      out = static_cast<std::uint32_t>(std::stoul(text, nullptr, 0));
+    } catch (...) {
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Parser + code generator (source-to-source, emits P4runpro DSL).
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] bool is_reg(const std::string& name) {
+  return name == "har" || name == "sar" || name == "mar";
+}
+
+class Translator {
+ public:
+  explicit Translator(std::vector<Tok> toks) : toks_(std::move(toks)) {}
+
+  Result<std::string> run() {
+    while (at_ident("memory")) {
+      if (auto s = parse_memory(); !s.ok()) return s.error();
+    }
+    bool any = false;
+    while (at_ident("program")) {
+      if (auto s = parse_program(); !s.ok()) return s.error();
+      any = true;
+    }
+    if (!any) return fail("expected at least one program");
+    if (peek().kind != Tok::kEnd) return fail("trailing tokens after last program");
+    return header_.str() + body_.str();
+  }
+
+ private:
+  const Tok& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Tok& take() {
+    const Tok& t = peek();
+    if (pos_ + 1 < toks_.size()) ++pos_;
+    return t;
+  }
+  bool at_ident(const char* name) const {
+    return peek().kind == Tok::kIdent && peek().text == name;
+  }
+  bool at_punct(char c) const {
+    return peek().kind == Tok::kPunct && peek().text[0] == c;
+  }
+  bool eat_punct(char c) {
+    if (!at_punct(c)) return false;
+    take();
+    return true;
+  }
+  Error fail(const std::string& message) const {
+    return Error{message, "p4lite line " + std::to_string(peek().line)};
+  }
+  Status expect_punct(char c) {
+    if (eat_punct(c)) return {};
+    return fail(std::string("expected '") + c + "'");
+  }
+
+  Status parse_memory() {
+    take();  // 'memory'
+    if (peek().kind != Tok::kIdent) return fail("expected memory name");
+    const std::string name = take().text;
+    if (!mems_.insert(name).second) return fail("duplicate memory '" + name + "'");
+    if (auto s = expect_punct('['); !s.ok()) return s;
+    if (peek().kind != Tok::kInt) return fail("expected memory size");
+    const std::uint32_t size = take().value;
+    if (auto s = expect_punct(']'); !s.ok()) return s;
+    if (auto s = expect_punct(';'); !s.ok()) return s;
+    header_ << "@ " << name << " " << size << "\n";
+    return {};
+  }
+
+  Status parse_program() {
+    take();  // 'program'
+    if (peek().kind != Tok::kIdent) return fail("expected program name");
+    const std::string name = take().text;
+    if (!at_ident("on")) return fail("expected 'on' after the program name");
+    take();
+    body_ << "program " << name << "(";
+    bool first = true;
+    do {
+      if (peek().kind != Tok::kIdent) return fail("expected filter field");
+      const std::string field = take().text;
+      if (peek().kind != Tok::kOp || peek().text != "==") {
+        return fail("expected '==' in the filter");
+      }
+      take();
+      if (peek().kind != Tok::kInt) return fail("expected filter value");
+      const std::uint32_t value = take().value;
+      std::uint32_t mask = 0xffffffffu;
+      if (at_ident("mask")) {
+        take();
+        if (peek().kind != Tok::kInt) return fail("expected mask value");
+        mask = take().value;
+      }
+      body_ << (first ? "" : ", ") << "<" << qualify_field(field) << ", " << value
+            << ", 0x" << std::hex << mask << std::dec << ">";
+      first = false;
+    } while (at_ident("and") && (take(), true));
+    body_ << ") {\n";
+    if (auto s = expect_punct('{'); !s.ok()) return s;
+    if (auto s = parse_block_body(1); !s.ok()) return s;
+    body_ << "}\n";
+    return {};
+  }
+
+  void emit(int depth, const std::string& text) {
+    for (int i = 0; i < depth; ++i) body_ << "  ";
+    body_ << text << "\n";
+  }
+
+  /// Statements until the closing '}' (consumed).
+  Status parse_block_body(int depth) {
+    while (!at_punct('}')) {
+      if (peek().kind == Tok::kEnd) return fail("unterminated block");
+      if (auto s = parse_statement(depth); !s.ok()) return s;
+    }
+    take();  // '}'
+    return {};
+  }
+
+  Status parse_statement(int depth) {
+    if (at_ident("if")) return parse_if(depth);
+
+    // Zero-argument / action calls.
+    for (const auto& [name, prim] :
+         {std::pair<const char*, const char*>{"drop", "DROP;"},
+          {"return_packet", "RETURN;"},
+          {"report", "REPORT;"}}) {
+      if (at_ident(name)) {
+        take();
+        if (auto s = expect_punct('('); !s.ok()) return s;
+        if (auto s = expect_punct(')'); !s.ok()) return s;
+        if (auto s = expect_punct(';'); !s.ok()) return s;
+        emit(depth, prim);
+        return {};
+      }
+    }
+    if (at_ident("forward") || at_ident("multicast")) {
+      const std::string prim = take().text == "forward" ? "FORWARD" : "MULTICAST";
+      if (auto s = expect_punct('('); !s.ok()) return s;
+      if (peek().kind != Tok::kInt) return fail("expected an integer argument");
+      const std::uint32_t arg = take().value;
+      if (auto s = expect_punct(')'); !s.ok()) return s;
+      if (auto s = expect_punct(';'); !s.ok()) return s;
+      emit(depth, prim + "(" + std::to_string(arg) + ");");
+      return {};
+    }
+
+    if (peek().kind != Tok::kIdent) return fail("expected a statement");
+    const std::string target = take().text;
+
+    if (is_reg(target)) return parse_register_statement(depth, target);
+    if (mems_.count(target) != 0) return parse_memory_statement(depth, target);
+    // A header field assignment: field = reg;
+    if (peek().kind == Tok::kOp && peek().text == "==") {
+      return fail("comparisons are only valid inside 'if (...)'");
+    }
+    if (auto s = expect_assign(); !s.ok()) return s;
+    if (peek().kind != Tok::kIdent || !is_reg(peek().text)) {
+      return fail("a header field can only be assigned from a register");
+    }
+    const std::string reg = take().text;
+    if (auto s = expect_punct(';'); !s.ok()) return s;
+    emit(depth, "MODIFY(" + qualify_field(target) + ", " + reg + ");");
+    return {};
+  }
+
+  /// Consume a single '=' (lexed as kOp "==" only when doubled; a single
+  /// '=' appears as kOp "=" via the '+='-family path with c=='=').
+  Status expect_assign() {
+    if (peek().kind == Tok::kOp && (peek().text == "=" || peek().text == "==")) {
+      if (peek().text == "==") return fail("'==' is only valid inside 'if (...)'");
+      take();
+      return {};
+    }
+    return fail("expected '='");
+  }
+
+  static std::string qualify_field(const std::string& field) {
+    if (field.rfind("meta.", 0) == 0 || field.rfind("hdr.", 0) == 0) return field;
+    return "hdr." + field;
+  }
+
+  Status parse_register_statement(int depth, const std::string& reg) {
+    if (peek().kind == Tok::kOp && peek().text != "=" && peek().text != "==") {
+      // Compound assignment: reg op= (reg | int)
+      const std::string op = take().text;
+      const bool imm = peek().kind == Tok::kInt;
+      std::string rhs;
+      std::uint32_t value = 0;
+      if (imm) {
+        value = take().value;
+      } else if (peek().kind == Tok::kIdent && is_reg(peek().text)) {
+        rhs = take().text;
+      } else {
+        return fail("expected a register or integer operand");
+      }
+      if (auto s = expect_punct(';'); !s.ok()) return s;
+      static const std::pair<const char*, std::pair<const char*, const char*>> kOps[] = {
+          {"+=", {"ADD", "ADDI"}}, {"-=", {"SUB", "SUBI"}}, {"&=", {"AND", "ANDI"}},
+          {"|=", {"OR", "ORI"}},   {"^=", {"XOR", "XORI"}},
+      };
+      for (const auto& [text, prims] : kOps) {
+        if (op == text) {
+          if (imm) {
+            if (op == "|=") return fail("no ORI pseudo primitive; use a register");
+            emit(depth, std::string(prims.second) + "(" + reg + ", " +
+                            std::to_string(value) + ");");
+          } else {
+            emit(depth, std::string(prims.first) + "(" + reg + ", " + rhs + ");");
+          }
+          return {};
+        }
+      }
+      return fail("unsupported operator '" + op + "'");
+    }
+
+    if (auto s = expect_assign(); !s.ok()) return s;
+
+    if (peek().kind == Tok::kInt) {
+      const std::uint32_t value = take().value;
+      if (auto s = expect_punct(';'); !s.ok()) return s;
+      emit(depth, "LOADI(" + reg + ", " + std::to_string(value) + ");");
+      return {};
+    }
+    if (peek().kind != Tok::kIdent) return fail("expected an expression");
+    const std::string rhs = take().text;
+
+    if (rhs == "hash5" || rhs == "hash") {
+      if (auto s = expect_punct('('); !s.ok()) return s;
+      std::string mem;
+      if (peek().kind == Tok::kIdent) mem = take().text;
+      if (auto s = expect_punct(')'); !s.ok()) return s;
+      if (auto s = expect_punct(';'); !s.ok()) return s;
+      if (!mem.empty() && mems_.count(mem) == 0) {
+        return fail("unknown memory '" + mem + "'");
+      }
+      if (rhs == "hash5") {
+        emit(depth, mem.empty() ? "HASH_5_TUPLE;" : "HASH_5_TUPLE_MEM(" + mem + ");");
+      } else {
+        emit(depth, mem.empty() ? "HASH;" : "HASH_MEM(" + mem + ");");
+      }
+      return {};
+    }
+    if (rhs == "max" || rhs == "min") {
+      if (auto s = expect_punct('('); !s.ok()) return s;
+      if (peek().kind != Tok::kIdent || peek().text != reg) {
+        return fail("first operand of max/min must be the destination register");
+      }
+      take();
+      if (auto s = expect_punct(','); !s.ok()) return s;
+      if (peek().kind != Tok::kIdent || !is_reg(peek().text)) {
+        return fail("expected a register operand");
+      }
+      const std::string other = take().text;
+      if (auto s = expect_punct(')'); !s.ok()) return s;
+      if (auto s = expect_punct(';'); !s.ok()) return s;
+      emit(depth, std::string(rhs == "max" ? "MAX" : "MIN") + "(" + reg + ", " +
+                      other + ");");
+      return {};
+    }
+    if (is_reg(rhs)) {
+      if (auto s = expect_punct(';'); !s.ok()) return s;
+      emit(depth, "MOVE(" + reg + ", " + rhs + ");");
+      return {};
+    }
+    if (mems_.count(rhs) != 0) {
+      // sar = mem[mar];
+      if (reg != "sar") return fail("memory reads land in sar");
+      if (auto s = expect_punct('['); !s.ok()) return s;
+      if (!(peek().kind == Tok::kIdent && peek().text == "mar")) {
+        return fail("memory is addressed by mar");
+      }
+      take();
+      if (auto s = expect_punct(']'); !s.ok()) return s;
+      if (auto s = expect_punct(';'); !s.ok()) return s;
+      emit(depth, "MEMREAD(" + rhs + ");");
+      return {};
+    }
+    // reg = field;
+    if (auto s = expect_punct(';'); !s.ok()) return s;
+    emit(depth, "EXTRACT(" + qualify_field(rhs) + ", " + reg + ");");
+    return {};
+  }
+
+  Status parse_memory_statement(int depth, const std::string& mem) {
+    if (auto s = expect_punct('['); !s.ok()) return s;
+    if (!(peek().kind == Tok::kIdent && peek().text == "mar")) {
+      return fail("memory is addressed by mar");
+    }
+    take();
+    if (auto s = expect_punct(']'); !s.ok()) return s;
+
+    if (peek().kind == Tok::kOp && peek().text != "=" && peek().text != "==") {
+      const std::string op = take().text;
+      if (!(peek().kind == Tok::kIdent && peek().text == "sar")) {
+        return fail("memory operations use sar as the operand");
+      }
+      take();
+      if (auto s = expect_punct(';'); !s.ok()) return s;
+      const char* prim = op == "+="   ? "MEMADD"
+                         : op == "-=" ? "MEMSUB"
+                         : op == "&=" ? "MEMAND"
+                         : op == "|=" ? "MEMOR"
+                                      : nullptr;
+      if (prim == nullptr) return fail("unsupported memory operator '" + op + "'");
+      emit(depth, std::string(prim) + "(" + mem + ");");
+      return {};
+    }
+
+    if (auto s = expect_assign(); !s.ok()) return s;
+    if (peek().kind == Tok::kIdent && peek().text == "sar") {
+      take();
+      if (auto s = expect_punct(';'); !s.ok()) return s;
+      emit(depth, "MEMWRITE(" + mem + ");");
+      return {};
+    }
+    if (peek().kind == Tok::kIdent && peek().text == "max") {
+      take();
+      if (auto s = expect_punct('('); !s.ok()) return s;
+      if (!(peek().kind == Tok::kIdent && take().text == mem)) {
+        return fail("MEMMAX operand must be the same memory bucket");
+      }
+      if (auto s = expect_punct('['); !s.ok()) return s;
+      take();  // mar
+      if (auto s = expect_punct(']'); !s.ok()) return s;
+      if (auto s = expect_punct(','); !s.ok()) return s;
+      if (!(peek().kind == Tok::kIdent && take().text == "sar")) {
+        return fail("MEMMAX compares against sar");
+      }
+      if (auto s = expect_punct(')'); !s.ok()) return s;
+      if (auto s = expect_punct(';'); !s.ok()) return s;
+      emit(depth, "MEMMAX(" + mem + ");");
+      return {};
+    }
+    return fail("unsupported memory assignment");
+  }
+
+  Status parse_if(int depth) {
+    emit(depth, "BRANCH:");
+    bool saw_else = false;
+    while (true) {
+      take();  // 'if' (the caller/loop guarantees it)
+      if (auto s = expect_punct('('); !s.ok()) return s;
+      if (peek().kind != Tok::kIdent || !is_reg(peek().text)) {
+        return fail("conditions test a register");
+      }
+      const std::string reg = take().text;
+      if (!(peek().kind == Tok::kOp && peek().text == "==")) {
+        return fail("only '==' conditions are supported (use SGT/SLT encodings)");
+      }
+      take();
+      if (peek().kind != Tok::kInt) return fail("expected comparison value");
+      const std::uint32_t value = take().value;
+      std::uint32_t mask = 0xffffffffu;
+      if (at_ident("mask")) {
+        take();
+        if (peek().kind != Tok::kInt) return fail("expected mask value");
+        mask = take().value;
+      }
+      if (auto s = expect_punct(')'); !s.ok()) return s;
+      if (auto s = expect_punct('{'); !s.ok()) return s;
+      std::ostringstream cond;
+      cond << "case(<" << reg << ", " << value << ", 0x" << std::hex << mask
+           << std::dec << ">) {";
+      emit(depth, cond.str());
+      if (auto s = parse_block_body(depth + 1); !s.ok()) return s;
+      emit(depth, "};");
+
+      if (!at_ident("else")) break;
+      take();
+      if (at_ident("if")) continue;  // else if -> next case
+      // final else: a wildcard case.
+      if (auto s = expect_punct('{'); !s.ok()) return s;
+      emit(depth, "case(<har, 0, 0>) {");
+      if (auto s = parse_block_body(depth + 1); !s.ok()) return s;
+      emit(depth, "};");
+      saw_else = true;
+      break;
+    }
+    (void)saw_else;
+    return {};
+  }
+
+  std::vector<Tok> toks_;
+  std::size_t pos_ = 0;
+  std::set<std::string> mems_;
+  std::ostringstream header_;
+  std::ostringstream body_;
+};
+
+}  // namespace
+
+Result<std::string> compile_p4lite(std::string_view source) {
+  auto toks = Lexer(source).run();
+  if (!toks.ok()) return toks.error();
+  return Translator(std::move(toks).take()).run();
+}
+
+}  // namespace p4runpro::rp

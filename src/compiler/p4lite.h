@@ -1,0 +1,52 @@
+// P4lite: an imperative, P4-flavoured front end that compiles into the
+// P4runpro DSL — a working sketch of the paper's stated future work of
+// "making the P4runpro compiler a back end of P4C, directly updating P4
+// programs to the data plane at runtime" (§8). Operators write familiar
+// assignment / if-else code; the front end lowers it source-to-source into
+// primitives, which then flow through the normal link pipeline.
+//
+// Grammar (EBNF):
+//   unit      ::= memory* program+
+//   memory    ::= 'memory' NAME '[' INT ']' ';'
+//   program   ::= 'program' NAME 'on' cond ('and' cond)* '{' stmt* '}'
+//   cond      ::= FIELD '==' VALUE ('mask' MASK)?
+//   stmt      ::= REG '=' FIELD ';'                  -> EXTRACT
+//               | FIELD '=' REG ';'                  -> MODIFY
+//               | REG '=' INT ';'                    -> LOADI
+//               | REG '=' 'hash5' '(' NAME? ')' ';'  -> HASH_5_TUPLE[_MEM]
+//               | REG '=' 'hash' '(' NAME? ')' ';'   -> HASH / HASH_MEM
+//               | REG op= REG ';'                    -> ADD/AND/OR/XOR/SUB
+//               | REG op= INT ';'                    -> ADDI/ANDI/XORI/SUBI
+//               | REG '=' ('max'|'min') '(' REG ',' REG ')' ';' -> MAX/MIN
+//               | NAME '[' 'mar' ']' op= 'sar' ';'   -> MEMADD/SUB/AND/OR
+//               | 'sar' '=' NAME '[' 'mar' ']' ';'   -> MEMREAD
+//               | NAME '[' 'mar' ']' '=' 'sar' ';'   -> MEMWRITE
+//               | NAME '[' 'mar' ']' '=' 'max' '(' NAME '[' 'mar' ']' ',' 'sar' ')' ';' -> MEMMAX
+//               | 'if' '(' REG '==' VALUE ('mask' MASK)? ')' block
+//                 ('else' 'if' ...)* ('else' block)?  -> BRANCH + cases
+//               | 'forward' '(' INT ')' ';' | 'drop' '(' ')' ';'
+//               | 'return_packet' '(' ')' ';' | 'report' '(' ')' ';'
+//               | 'multicast' '(' INT ')' ';'
+//   with op= one of += -= &= |= ^= .
+//
+// if/else compiles each arm (including `else`) to a BRANCH case; `else`
+// becomes a wildcard case, so the join statements after the conditional
+// run for every arm (the trailing-replication rule does the rest). One
+// inherited wrinkle: an arm containing a terminal action ANYWHERE in its
+// subtree (drop/return_packet/report/multicast, even under a nested if)
+// is treated as terminal and skips the join — put shared continuations
+// before the conditional when an arm reports conditionally.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace p4runpro::rp {
+
+/// Translate P4lite source into P4runpro DSL source (annotations +
+/// programs), ready for Controller::link.
+[[nodiscard]] Result<std::string> compile_p4lite(std::string_view source);
+
+}  // namespace p4runpro::rp

@@ -1,0 +1,20 @@
+// Semantic checking of a parsed P4runpro unit: primitive argument typing
+// (the semantics of the DSL are simple enough that a type check suffices,
+// §4.3), field-name resolution, virtual-memory declaration checks, and
+// filter validation.
+#pragma once
+
+#include "common/result.h"
+#include "lang/ast.h"
+
+namespace p4runpro::rp {
+
+/// Check one program declaration against the unit's annotations. On
+/// success, translation may assume all names resolve and all arguments are
+/// well-typed.
+[[nodiscard]] Status check_program(const lang::Unit& unit, const lang::ProgramDecl& program);
+
+/// Check every program in the unit.
+[[nodiscard]] Status check_unit(const lang::Unit& unit);
+
+}  // namespace p4runpro::rp

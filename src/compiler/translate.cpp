@@ -1,0 +1,604 @@
+#include "compiler/translate.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "rmt/packet.h"
+
+namespace p4runpro::rp {
+
+namespace {
+
+using lang::Primitive;
+using lang::PrimKind;
+
+/// Register read/write sets of a *surface* primitive, used by the liveness
+/// query that decides whether a supportive register needs backup (Fig. 4b).
+struct RegUse {
+  std::set<Reg> reads;
+  std::set<Reg> writes;
+};
+
+[[nodiscard]] RegUse reg_use(const Primitive& prim) {
+  RegUse use;
+  auto arg_reg = [&prim](std::size_t i) { return prim.args[i].reg; };
+  switch (prim.kind) {
+    case PrimKind::Extract:
+      use.writes.insert(arg_reg(1));
+      break;
+    case PrimKind::Modify:
+      use.reads.insert(arg_reg(1));
+      break;
+    case PrimKind::Hash5Tuple:
+      use.writes.insert(Reg::Har);
+      break;
+    case PrimKind::Hash:
+      use.reads.insert(Reg::Har);
+      use.writes.insert(Reg::Har);
+      break;
+    case PrimKind::Hash5TupleMem:
+      use.writes.insert(Reg::Mar);
+      break;
+    case PrimKind::HashMem:
+      use.reads.insert(Reg::Har);
+      use.writes.insert(Reg::Mar);
+      break;
+    case PrimKind::Branch:
+      // The BRANCH key inspects all three registers.
+      use.reads = {Reg::Har, Reg::Sar, Reg::Mar};
+      break;
+    case PrimKind::MemAdd:
+    case PrimKind::MemSub:
+    case PrimKind::MemAnd:
+    case PrimKind::MemOr:
+      use.reads = {Reg::Mar, Reg::Sar};
+      use.writes.insert(Reg::Sar);
+      break;
+    case PrimKind::MemRead:
+      use.reads.insert(Reg::Mar);
+      use.writes.insert(Reg::Sar);
+      break;
+    case PrimKind::MemWrite:
+    case PrimKind::MemMax:
+      use.reads = {Reg::Mar, Reg::Sar};
+      break;
+    case PrimKind::Loadi:
+      use.writes.insert(arg_reg(0));
+      break;
+    case PrimKind::Add:
+    case PrimKind::And:
+    case PrimKind::Or:
+    case PrimKind::Max:
+    case PrimKind::Min:
+    case PrimKind::Xor:
+    case PrimKind::Sub:
+    case PrimKind::Equal:
+    case PrimKind::Sgt:
+    case PrimKind::Slt:
+      use.reads = {arg_reg(0), arg_reg(1)};
+      use.writes.insert(arg_reg(0));
+      break;
+    case PrimKind::Move:
+      use.reads.insert(arg_reg(1));
+      use.writes.insert(arg_reg(0));
+      break;
+    case PrimKind::Not:
+      use.reads.insert(arg_reg(0));
+      use.writes.insert(arg_reg(0));
+      break;
+    case PrimKind::Addi:
+    case PrimKind::Andi:
+    case PrimKind::Xori:
+    case PrimKind::Subi:
+      use.reads.insert(arg_reg(0));
+      use.writes.insert(arg_reg(0));
+      break;
+    case PrimKind::Forward:
+    case PrimKind::Drop:
+    case PrimKind::Return:
+    case PrimKind::Report:
+    case PrimKind::Multicast:
+      break;
+  }
+  return use;
+}
+
+/// Does this subtree contain a terminal forwarding op (RETURN/DROP/REPORT)?
+/// Such case branches end the packet's processing and do not receive the
+/// trailing-primitive replica (DESIGN.md §2.3).
+[[nodiscard]] bool contains_terminal(const std::vector<Primitive>& body) {
+  for (const auto& prim : body) {
+    if (prim.kind == PrimKind::Drop || prim.kind == PrimKind::Return ||
+        prim.kind == PrimKind::Report || prim.kind == PrimKind::Multicast) {
+      return true;
+    }
+    for (const auto& c : prim.cases) {
+      if (contains_terminal(c.body)) return true;
+    }
+  }
+  return false;
+}
+
+[[nodiscard]] rmt::SaluOp salu_of(PrimKind kind) {
+  switch (kind) {
+    case PrimKind::MemAdd: return rmt::SaluOp::Add;
+    case PrimKind::MemSub: return rmt::SaluOp::Sub;
+    case PrimKind::MemAnd: return rmt::SaluOp::And;
+    case PrimKind::MemOr: return rmt::SaluOp::Or;
+    case PrimKind::MemRead: return rmt::SaluOp::Read;
+    case PrimKind::MemWrite: return rmt::SaluOp::Write;
+    case PrimKind::MemMax: return rmt::SaluOp::Max;
+    default: assert(false); return rmt::SaluOp::Read;
+  }
+}
+
+class Translator {
+ public:
+  Translator(const lang::Unit& unit, const lang::ProgramDecl& program)
+      : program_(program) {
+    for (const auto& ann : unit.annotations) {
+      mem_sizes_[ann.name] = round_pow2(ann.size);
+    }
+  }
+
+  Result<TranslatedProgram> run() {
+    TranslatedProgram out;
+    out.name = program_.name;
+    for (const auto& f : program_.filters) {
+      const auto field = rmt::field_from_name(f.field);
+      assert(field && "semcheck guarantees resolvable filter fields");
+      out.filters.push_back(dp::FilterTuple{*field, f.value, f.mask});
+    }
+
+    walk_seq(program_.body, /*bid=*/0, /*preds=*/{}, /*tail_live=*/false);
+    if (failed_) return error_;
+
+    assign_depths();
+    if (failed_) return error_;
+
+    out.nodes = std::move(nodes_);
+    out.num_branches = next_branch_;
+    finalize(out);
+    return out;
+  }
+
+ private:
+  // --- node construction -------------------------------------------------
+
+  int emit(IrOp op, BranchId bid, const std::vector<int>& preds) {
+    IrNode node;
+    node.id = static_cast<int>(nodes_.size());
+    node.branch = bid;
+    node.op = std::move(op);
+    node.preds = preds;
+    nodes_.push_back(std::move(node));
+    return nodes_.back().id;
+  }
+
+  void fail(int line, std::string message) {
+    if (failed_) return;
+    failed_ = true;
+    error_ = Error{std::move(message), "line " + std::to_string(line)};
+  }
+
+  /// Walk a primitive sequence under branch `bid`, chaining dependencies
+  /// from `preds`. `tail_live` tells the liveness query whether registers
+  /// can still be read after this sequence ends (i.e. it is a case body
+  /// whose enclosing context continues).
+  void walk_seq(const std::vector<Primitive>& prims, BranchId bid,
+                std::vector<int> preds, bool tail_live) {
+    for (std::size_t i = 0; i < prims.size(); ++i) {
+      if (failed_) return;
+      const Primitive& prim = prims[i];
+
+      if (prim.kind == PrimKind::Branch) {
+        walk_branch(prim, prims, i, bid, std::move(preds), tail_live);
+        return;  // the branch consumed the remainder of the sequence
+      }
+
+      for (IrOp& op : lower(prim, prims, i, tail_live)) {
+        const int id = emit(std::move(op), bid, preds);
+        preds = {id};
+      }
+    }
+  }
+
+  void walk_branch(const Primitive& branch, const std::vector<Primitive>& prims,
+                   std::size_t index, BranchId bid, std::vector<int> preds,
+                   bool tail_live) {
+    IrOp op;
+    op.kind = dp::OpKind::Branch;
+    std::vector<BranchId> case_bids;
+    for (const auto& c : branch.cases) {
+      if (next_branch_ > 65535) {
+        fail(branch.line, "too many conditional branches (branch id overflow)");
+        return;
+      }
+      const auto target = static_cast<BranchId>(next_branch_++);
+      case_bids.push_back(target);
+      op.cases.push_back(CaseRule{c.conditions, target});
+    }
+    const int branch_node = emit(std::move(op), bid, preds);
+
+    const std::vector<Primitive> rest(prims.begin() + static_cast<std::ptrdiff_t>(index) + 1,
+                                      prims.end());
+
+    for (std::size_t c = 0; c < branch.cases.size(); ++c) {
+      const auto& case_block = branch.cases[c];
+      // Non-terminal case branches continue into the trailing primitives
+      // (replication); terminal branches end the packet's processing.
+      if (!rest.empty() && !contains_terminal(case_block.body)) {
+        std::vector<Primitive> merged = case_block.body;
+        merged.insert(merged.end(), rest.begin(), rest.end());
+        walk_seq(merged, case_bids[c], {branch_node}, tail_live);
+      } else {
+        walk_seq(case_block.body, case_bids[c], {branch_node},
+                 tail_live || !rest.empty());
+      }
+    }
+
+    // Miss path: no case matched, the packet keeps the enclosing branch id
+    // and executes the trailing primitives (Fig. 2's cache-miss FORWARD).
+    if (!rest.empty()) {
+      walk_seq(rest, bid, {branch_node}, tail_live);
+    }
+  }
+
+  // --- primitive lowering ------------------------------------------------
+
+  /// Lower one non-branch surface primitive into IR ops. `prims`/`index`
+  /// give the context for the supportive-register liveness query.
+  std::vector<IrOp> lower(const Primitive& prim, const std::vector<Primitive>& prims,
+                          std::size_t index, bool tail_live) {
+    std::vector<IrOp> ops;
+    auto reg_arg = [&prim](std::size_t i) { return prim.args[i].reg; };
+    auto int_arg = [&prim](std::size_t i) { return prim.args[i].value; };
+
+    switch (prim.kind) {
+      case PrimKind::Extract: {
+        const auto field = rmt::field_from_name(prim.args[0].text);
+        assert(field);
+        ops.push_back(make(dp::AtomicOp::extract(*field, reg_arg(1))));
+        break;
+      }
+      case PrimKind::Modify: {
+        const auto field = rmt::field_from_name(prim.args[0].text);
+        assert(field);
+        ops.push_back(make(dp::AtomicOp::modify(*field, reg_arg(1))));
+        break;
+      }
+      case PrimKind::Hash5Tuple:
+        ops.push_back(make(dp::AtomicOp::hash_5_tuple()));
+        break;
+      case PrimKind::Hash:
+        ops.push_back(make(dp::AtomicOp::hash_har()));
+        break;
+      case PrimKind::Hash5TupleMem:
+      case PrimKind::HashMem: {
+        const std::string& mem = prim.args[0].text;
+        IrOp op = make(prim.kind == PrimKind::Hash5TupleMem
+                           ? dp::AtomicOp::hash_5_tuple_mem(0)
+                           : dp::AtomicOp::hash_har_mem(0));
+        op.vmem = mem;  // mask = size - 1 bound at entry generation
+        ops.push_back(std::move(op));
+        break;
+      }
+      case PrimKind::MemAdd:
+      case PrimKind::MemSub:
+      case PrimKind::MemAnd:
+      case PrimKind::MemOr:
+      case PrimKind::MemRead:
+      case PrimKind::MemWrite:
+      case PrimKind::MemMax: {
+        const std::string& mem = prim.args[0].text;
+        // Offset step first (separate AST node / depth, Fig. 5b), then the
+        // SALU operation.
+        IrOp offset = make(dp::AtomicOp::offset(0));
+        offset.vmem = mem;
+        ops.push_back(std::move(offset));
+        IrOp memop = make(dp::AtomicOp::mem(salu_of(prim.kind)));
+        memop.vmem = mem;
+        ops.push_back(std::move(memop));
+        break;
+      }
+      case PrimKind::Loadi:
+        ops.push_back(make(dp::AtomicOp::loadi(reg_arg(0), int_arg(1))));
+        break;
+      case PrimKind::Add:
+      case PrimKind::And:
+      case PrimKind::Or:
+      case PrimKind::Max:
+      case PrimKind::Min:
+      case PrimKind::Xor:
+        ops.push_back(make(dp::AtomicOp::alu(alu_kind(prim.kind), reg_arg(0), reg_arg(1))));
+        break;
+
+      // ---- pseudo primitives (Fig. 14) ---------------------------------
+      case PrimKind::Move:
+        // MOVE(A, B) = LOADI(A, 0); ADD(A, B)
+        ops.push_back(make(dp::AtomicOp::loadi(reg_arg(0), 0)));
+        ops.push_back(make(dp::AtomicOp::alu(dp::OpKind::Add, reg_arg(0), reg_arg(1))));
+        break;
+      case PrimKind::Equal:
+        // EQUAL(A, B) = XOR(A, B): A == 0 iff equal
+        ops.push_back(make(dp::AtomicOp::alu(dp::OpKind::Xor, reg_arg(0), reg_arg(1))));
+        break;
+      case PrimKind::Sgt:
+        // SGT(A, B) = MIN(A, B); XOR(A, B): A == 0 iff A >= B
+        ops.push_back(make(dp::AtomicOp::alu(dp::OpKind::Min, reg_arg(0), reg_arg(1))));
+        ops.push_back(make(dp::AtomicOp::alu(dp::OpKind::Xor, reg_arg(0), reg_arg(1))));
+        break;
+      case PrimKind::Slt:
+        ops.push_back(make(dp::AtomicOp::alu(dp::OpKind::Max, reg_arg(0), reg_arg(1))));
+        ops.push_back(make(dp::AtomicOp::alu(dp::OpKind::Xor, reg_arg(0), reg_arg(1))));
+        break;
+      case PrimKind::Not: {
+        // NOT(A) = LOADI(C, 0xffffffff); XOR(A, C)
+        with_support(prim, prims, index, tail_live, {reg_arg(0)}, ops,
+                     [&](Reg c, std::vector<IrOp>& seq) {
+                       seq.push_back(make(dp::AtomicOp::loadi(c, kRegMax)));
+                       seq.push_back(make(dp::AtomicOp::alu(dp::OpKind::Xor, reg_arg(0), c)));
+                     });
+        break;
+      }
+      case PrimKind::Addi:
+      case PrimKind::Andi:
+      case PrimKind::Xori: {
+        const dp::OpKind alu = prim.kind == PrimKind::Addi   ? dp::OpKind::Add
+                               : prim.kind == PrimKind::Andi ? dp::OpKind::And
+                                                             : dp::OpKind::Xor;
+        with_support(prim, prims, index, tail_live, {reg_arg(0)}, ops,
+                     [&](Reg c, std::vector<IrOp>& seq) {
+                       seq.push_back(make(dp::AtomicOp::loadi(c, int_arg(1))));
+                       seq.push_back(make(dp::AtomicOp::alu(alu, reg_arg(0), c)));
+                     });
+        break;
+      }
+      case PrimKind::Subi: {
+        // SUBI(A, i) = LOADI(C, 2^32 - i); ADD(A, C)
+        with_support(prim, prims, index, tail_live, {reg_arg(0)}, ops,
+                     [&](Reg c, std::vector<IrOp>& seq) {
+                       seq.push_back(make(dp::AtomicOp::loadi(c, 0u - int_arg(1))));
+                       seq.push_back(make(dp::AtomicOp::alu(dp::OpKind::Add, reg_arg(0), c)));
+                     });
+        break;
+      }
+      case PrimKind::Sub: {
+        // SUB(A, B) = A + ~B + 1 via the supportive register. The paper's
+        // Fig. 14 listing omits the final +1 correction; we emit the
+        // corrected 6-op sequence (see DESIGN.md §2).
+        with_support(prim, prims, index, tail_live, {reg_arg(0), reg_arg(1)}, ops,
+                     [&](Reg c, std::vector<IrOp>& seq) {
+                       const Reg a = reg_arg(0);
+                       const Reg b = reg_arg(1);
+                       seq.push_back(make(dp::AtomicOp::loadi(c, kRegMax)));
+                       seq.push_back(make(dp::AtomicOp::alu(dp::OpKind::Xor, b, c)));  // b = ~b
+                       seq.push_back(make(dp::AtomicOp::alu(dp::OpKind::Add, a, b)));  // a += ~b
+                       seq.push_back(make(dp::AtomicOp::alu(dp::OpKind::Xor, b, c)));  // restore b
+                       seq.push_back(make(dp::AtomicOp::loadi(c, 1)));
+                       seq.push_back(make(dp::AtomicOp::alu(dp::OpKind::Add, a, c)));  // a += 1
+                     });
+        break;
+      }
+
+      // ---- forwarding ---------------------------------------------------
+      case PrimKind::Forward:
+        ops.push_back(make(dp::AtomicOp::forward(static_cast<Port>(int_arg(0)))));
+        break;
+      case PrimKind::Multicast:
+        ops.push_back(make(dp::AtomicOp::multicast(int_arg(0))));
+        break;
+      case PrimKind::Drop:
+        ops.push_back(make(dp::AtomicOp::drop()));
+        break;
+      case PrimKind::Return:
+        ops.push_back(make(dp::AtomicOp::ret()));
+        break;
+      case PrimKind::Report:
+        ops.push_back(make(dp::AtomicOp::report()));
+        break;
+
+      case PrimKind::Branch:
+        assert(false && "handled in walk_branch");
+        break;
+    }
+    return ops;
+  }
+
+  [[nodiscard]] static dp::OpKind alu_kind(PrimKind kind) {
+    switch (kind) {
+      case PrimKind::Add: return dp::OpKind::Add;
+      case PrimKind::And: return dp::OpKind::And;
+      case PrimKind::Or: return dp::OpKind::Or;
+      case PrimKind::Max: return dp::OpKind::Max;
+      case PrimKind::Min: return dp::OpKind::Min;
+      case PrimKind::Xor: return dp::OpKind::Xor;
+      default: assert(false); return dp::OpKind::Nop;
+    }
+  }
+
+  [[nodiscard]] static IrOp make(const dp::AtomicOp& op) {
+    IrOp ir;
+    ir.kind = op.kind;
+    ir.field = op.field;
+    ir.reg0 = op.reg0;
+    ir.reg1 = op.reg1;
+    ir.imm = op.imm;
+    ir.salu = op.salu;
+    return ir;
+  }
+
+  /// Run `body(C, seq)` with a supportive register C not in `used`,
+  /// wrapping with BACKUP/RESTORE unless C is dead after this primitive
+  /// (register-lifetime optimization, §4.2).
+  template <typename Body>
+  void with_support(const Primitive&, const std::vector<Primitive>& prims,
+                    std::size_t index, bool tail_live, std::set<Reg> used,
+                    std::vector<IrOp>& ops, Body body) {
+    // Candidate supportive registers: prefer a dead one.
+    Reg support = Reg::Har;
+    bool found_dead = false;
+    for (Reg r : {Reg::Har, Reg::Sar, Reg::Mar}) {
+      if (used.count(r) != 0) continue;
+      if (!live_after(r, prims, index, tail_live)) {
+        support = r;
+        found_dead = true;
+        break;
+      }
+      support = r;  // fall back to any unused register
+    }
+    if (!found_dead) ops.push_back(make(dp::AtomicOp::backup(support)));
+    body(support, ops);
+    if (!found_dead) ops.push_back(make(dp::AtomicOp::restore(support)));
+  }
+
+  /// Is register `r` live after primitive `index` of `prims`? Scans the
+  /// remaining primitives in order; a read before a write keeps it live,
+  /// a write first kills it. Falling off the end defers to `tail_live`.
+  [[nodiscard]] bool live_after(Reg r, const std::vector<Primitive>& prims,
+                                std::size_t index, bool tail_live) const {
+    for (std::size_t i = index + 1; i < prims.size(); ++i) {
+      // A BRANCH reads all three registers (key match), so any later
+      // conditional keeps the register live.
+      const RegUse use = reg_use(prims[i]);
+      if (use.reads.count(r) != 0) return true;
+      if (use.writes.count(r) != 0) return false;
+    }
+    return tail_live;
+  }
+
+  // --- depth assignment and alignment ------------------------------------
+
+  void assign_depths() {
+    const std::size_t n = nodes_.size();
+    // Successor lists for reachability.
+    std::vector<std::vector<int>> succs(n);
+    for (const auto& node : nodes_) {
+      for (int p : node.preds) succs[static_cast<std::size_t>(p)].push_back(node.id);
+    }
+
+    // Memory alignment classes: for each vmem, partition its Mem nodes into
+    // levels by DAG reachability; nodes in the same level (parallel
+    // branches) must share a depth (same physical stage, Fig. 5b).
+    std::map<std::string, std::vector<int>> mem_nodes;
+    for (const auto& node : nodes_) {
+      if (node.op.kind == dp::OpKind::Mem) mem_nodes[node.op.vmem].push_back(node.id);
+    }
+    // Reachability via DFS (node counts are small).
+    auto reaches = [&](int from, int to) {
+      std::vector<int> stack{from};
+      std::vector<bool> seen(n, false);
+      while (!stack.empty()) {
+        const int cur = stack.back();
+        stack.pop_back();
+        if (cur == to) return true;
+        if (seen[static_cast<std::size_t>(cur)]) continue;
+        seen[static_cast<std::size_t>(cur)] = true;
+        for (int s : succs[static_cast<std::size_t>(cur)]) stack.push_back(s);
+      }
+      return false;
+    };
+
+    align_classes_.clear();
+    for (auto& [vmem, ids] : mem_nodes) {
+      // level[i] = 1 + max level of same-vmem ancestors.
+      std::vector<int> level(ids.size(), 1);
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        for (std::size_t j = 0; j < ids.size(); ++j) {
+          if (i == j) continue;
+          if (reaches(ids[j], ids[i])) level[i] = std::max(level[i], level[j] + 1);
+        }
+      }
+      const int max_level = *std::max_element(level.begin(), level.end());
+      for (int lv = 1; lv <= max_level; ++lv) {
+        std::vector<int> cls;
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          if (level[i] == lv) cls.push_back(ids[i]);
+        }
+        if (cls.size() > 1) align_classes_.push_back(cls);
+      }
+    }
+
+    // Fixpoint: longest-path depths, then raise alignment classes.
+    for (auto& node : nodes_) node.depth = 0;
+    bool changed = true;
+    int iterations = 0;
+    while (changed) {
+      changed = false;
+      if (++iterations > static_cast<int>(n) + 8) {
+        fail(program_.line, "internal: depth assignment did not converge");
+        return;
+      }
+      for (auto& node : nodes_) {  // nodes_ is already in topological order
+        int d = 1;
+        for (int p : node.preds) {
+          d = std::max(d, nodes_[static_cast<std::size_t>(p)].depth + 1);
+        }
+        if (d > node.depth) {
+          node.depth = d;
+          changed = true;
+        }
+      }
+      for (const auto& cls : align_classes_) {
+        int dmax = 0;
+        for (int id : cls) dmax = std::max(dmax, nodes_[static_cast<std::size_t>(id)].depth);
+        for (int id : cls) {
+          if (nodes_[static_cast<std::size_t>(id)].depth < dmax) {
+            nodes_[static_cast<std::size_t>(id)].depth = dmax;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  void finalize(TranslatedProgram& out) {
+    out.depth = 0;
+    for (const auto& node : out.nodes) out.depth = std::max(out.depth, node.depth);
+    out.depth_reqs.assign(static_cast<std::size_t>(out.depth), DepthRequirement{});
+    std::map<std::string, std::set<int>> vmem_depth_sets;
+    for (const auto& node : out.nodes) {
+      auto& req = out.depth_reqs[static_cast<std::size_t>(node.depth - 1)];
+      req.entries += node.op.entry_count();
+      if (dp::is_forwarding(node.op.kind)) req.forwarding = true;
+      if (node.op.kind == dp::OpKind::Mem) {
+        req.memory = true;
+        if (std::find(req.vmems.begin(), req.vmems.end(), node.op.vmem) == req.vmems.end()) {
+          req.vmems.push_back(node.op.vmem);
+        }
+        vmem_depth_sets[node.op.vmem].insert(node.depth);
+      }
+      if (!node.op.vmem.empty()) {
+        // Record the sizes of every referenced vmem (hash/offset included).
+        out.vmem_sizes[node.op.vmem] = mem_sizes_.at(node.op.vmem);
+      }
+    }
+    for (auto& [vmem, depths] : vmem_depth_sets) {
+      out.vmem_depths[vmem] = std::vector<int>(depths.begin(), depths.end());
+    }
+  }
+
+  const lang::ProgramDecl& program_;
+  std::map<std::string, std::uint32_t> mem_sizes_;
+  std::vector<IrNode> nodes_;
+  std::vector<std::vector<int>> align_classes_;
+  int next_branch_ = 1;
+  bool failed_ = false;
+  Error error_;
+};
+
+}  // namespace
+
+std::uint32_t round_pow2(std::uint32_t size) noexcept {
+  std::uint32_t p = 1;
+  while (p < size) p <<= 1;
+  return p;
+}
+
+Result<TranslatedProgram> translate(const lang::Unit& unit,
+                                    const lang::ProgramDecl& program) {
+  return Translator(unit, program).run();
+}
+
+}  // namespace p4runpro::rp

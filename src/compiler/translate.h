@@ -1,0 +1,27 @@
+// Translation pass (paper §4.3 "Primitive Translation"): lowers a checked
+// program AST into the IR DAG. This performs
+//   * pseudo-primitive expansion (Fig. 14) with supportive-register
+//     backup/restore elided via register liveness,
+//   * offset-step insertion before every memory primitive (Fig. 5b),
+//   * branch-id assignment and trailing-primitive replication into
+//     non-terminal case branches (DESIGN.md §2.3),
+//   * memory alignment across branches (same virtual memory, same depth;
+//     nop padding is implicit in the depth numbering), and
+//   * final AST-depth assignment.
+#pragma once
+
+#include "common/result.h"
+#include "compiler/ir.h"
+#include "lang/ast.h"
+
+namespace p4runpro::rp {
+
+/// Translate one (already semantically checked) program of a unit.
+[[nodiscard]] Result<TranslatedProgram> translate(const lang::Unit& unit,
+                                                  const lang::ProgramDecl& program);
+
+/// Round a virtual memory request up to the next power of two (internal
+/// fragmentation of the mask-based address translation, §7).
+[[nodiscard]] std::uint32_t round_pow2(std::uint32_t size) noexcept;
+
+}  // namespace p4runpro::rp

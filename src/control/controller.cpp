@@ -1,0 +1,296 @@
+#include "control/controller.h"
+
+#include <cassert>
+
+namespace p4runpro::ctrl {
+
+Controller::Controller(dp::RunproDataplane& dataplane, SimClock& clock,
+                       rp::Objective objective, BfrtCostModel cost)
+    : dataplane_(dataplane),
+      clock_(clock),
+      objective_(objective),
+      resources_(dataplane.spec()),
+      updates_(dataplane, resources_, clock, cost) {}
+
+ProgramId Controller::next_program_id() {
+  if (!free_ids_.empty()) {
+    const ProgramId id = free_ids_.back();
+    free_ids_.pop_back();
+    return id;
+  }
+  return next_id_++;
+}
+
+void Controller::record_event(ControlEvent::Kind kind, ProgramId id,
+                              const std::string& name, const std::string& detail) {
+  events_.push_back(ControlEvent{kind, clock_.now_ms(), id, name, detail});
+  if (events_.size() > 1024) events_.pop_front();
+}
+
+Result<std::vector<LinkResult>> Controller::link(std::string_view source) {
+  // Parse + check + translate. The paper measures ~2 ms average parse time
+  // on the switch CPU; charge it to the simulated clock.
+  const double parse_start_ms = clock_.now_ms();
+  auto compiled = rp::compile_source(source);
+  clock_.advance_ms(2.0);
+  if (!compiled.ok()) {
+    record_event(ControlEvent::Kind::LinkFailed, 0, "<compile>",
+                 compiled.error().str());
+    return compiled.error();
+  }
+  const double parse_ms = clock_.now_ms() - parse_start_ms;
+
+  std::vector<LinkResult> results;
+  for (const auto& ir : compiled.value()) {
+    auto linked = link_one(ir);
+    if (!linked.ok()) {
+      record_event(ControlEvent::Kind::LinkFailed, 0, ir.name,
+                   linked.error().str());
+      // All-or-nothing: revoke programs linked earlier in this unit.
+      for (const auto& r : results) {
+        const Status s = revoke(r.id);
+        assert(s.ok());
+        (void)s;
+      }
+      return linked.error();
+    }
+    record_event(ControlEvent::Kind::Link, linked.value().id, ir.name);
+    results.push_back(std::move(linked).take());
+    results.back().stats.parse_ms = parse_ms / static_cast<double>(compiled.value().size());
+  }
+  return results;
+}
+
+Result<LinkResult> Controller::link_single(std::string_view source) {
+  auto results = link(source);
+  if (!results.ok()) return results.error();
+  if (results.value().size() != 1) {
+    return Error{"expected exactly one program in source unit", "Controller"};
+  }
+  return std::move(results.value().front());
+}
+
+Result<LinkResult> Controller::link_one(const rp::TranslatedProgram& ir,
+                                        ProgramId replacing) {
+  if (const InstalledProgram* existing = program_by_name(ir.name);
+      existing != nullptr && existing->id != replacing) {
+    return Error{"a program named '" + ir.name + "' is already running", "Controller"};
+  }
+
+  // Allocation (real measured solver time, §6.2.1 "allocation delay").
+  WallTimer timer;
+  const auto snapshot = resources_.snapshot();
+  auto alloc = rp::solve_allocation(ir, dataplane_.spec(), snapshot, objective_);
+  const double alloc_ms = timer.elapsed_ms();
+  clock_.advance_ms(alloc_ms);
+  if (!alloc.ok()) return alloc.error();
+
+  // Commit resources: memory blocks at the pinned stages, then table
+  // entries per physical RPB.
+  const ProgramId id = next_program_id();
+  std::map<std::string, VmemPlacement> placements;
+  auto release_all = [&] {
+    for (const auto& [vmem, placement] : placements) {
+      resources_.free_memory(placement.rpb, placement.block);
+    }
+    free_ids_.push_back(id);
+  };
+
+  for (const auto& [vmem, rpb] : alloc.value().vmem_rpb) {
+    auto block = resources_.allocate_memory(rpb, ir.vmem_sizes.at(vmem));
+    if (!block.ok()) {
+      release_all();
+      return block.error();
+    }
+    placements[vmem] = VmemPlacement{rpb, block.value()};
+  }
+
+  auto plan = rp::generate_entries(ir, alloc.value(), id, placements, dataplane_.spec());
+  plan.filter_priority = ++filter_generation_;
+
+  // Incremental update: carry over the contents of virtual memories that
+  // survive the version change, before the new version becomes visible.
+  if (replacing != 0) {
+    if (const auto* old_placements = resources_.program_placements(replacing)) {
+      for (const auto& [vmem, placement] : placements) {
+        const auto old_it = old_placements->find(vmem);
+        if (old_it == old_placements->end()) continue;
+        const std::uint32_t count =
+            std::min(placement.block.size, old_it->second.block.size);
+        const auto& old_mem = dataplane_.rpb(old_it->second.rpb).memory();
+        auto& new_mem = dataplane_.rpb(placement.rpb).memory();
+        for (std::uint32_t a = 0; a < count; ++a) {
+          new_mem.write(placement.block.base + a,
+                        old_mem.read(old_it->second.block.base + a));
+        }
+      }
+    }
+  }
+
+  std::map<int, std::uint32_t> entries_per_rpb;
+  for (const auto& e : plan.rpb_entries) ++entries_per_rpb[e.rpb];
+  std::vector<int> reserved;
+  for (const auto& [rpb, count] : entries_per_rpb) {
+    if (auto s = resources_.reserve_entries(rpb, count); !s.ok()) {
+      for (int r : reserved) {
+        resources_.release_entries(r, entries_per_rpb.at(r));
+      }
+      release_all();
+      return s.error();
+    }
+    reserved.push_back(rpb);
+  }
+
+  // Consistent update (simulated bfrt writes; §6.2.1 "update delay").
+  const double update_start_ms = clock_.now_ms();
+  auto installed = updates_.install(ir, alloc.value(), std::move(plan),
+                                    placements, ir.name);
+  const double update_ms = clock_.now_ms() - update_start_ms;
+  if (!installed.ok()) {
+    for (int r : reserved) resources_.release_entries(r, entries_per_rpb.at(r));
+    release_all();
+    return installed.error();
+  }
+
+  resources_.record_program(id, placements);
+  programs_.emplace(id, std::move(installed).take());
+
+  LinkResult result;
+  result.id = id;
+  result.name = ir.name;
+  result.stats.alloc_ms = alloc_ms;
+  result.stats.update_ms = update_ms;
+  return result;
+}
+
+Result<LinkResult> Controller::relink(ProgramId old_id, std::string_view source) {
+  if (program(old_id) == nullptr) {
+    return Error{"no running program with id " + std::to_string(old_id), "Controller"};
+  }
+  auto compiled = rp::compile_source(source);
+  clock_.advance_ms(2.0);
+  if (!compiled.ok()) return compiled.error();
+  if (compiled.value().size() != 1) {
+    return Error{"relink expects exactly one program", "Controller"};
+  }
+
+  // Install the new version first (it stays invisible until its filter
+  // lands, which outranks the old one), then retire the old version.
+  auto linked = link_one(compiled.value().front(), old_id);
+  if (!linked.ok()) {
+    record_event(ControlEvent::Kind::LinkFailed, old_id,
+                 compiled.value().front().name, linked.error().str());
+    return linked.error();
+  }
+  record_event(ControlEvent::Kind::Relink, linked.value().id,
+               compiled.value().front().name);
+  if (auto s = revoke(old_id); !s.ok()) {
+    const Status undo = revoke(linked.value().id);
+    assert(undo.ok());
+    (void)undo;
+    return s.error();
+  }
+  return linked;
+}
+
+Status Controller::revoke(ProgramId id) {
+  const auto it = programs_.find(id);
+  if (it == programs_.end()) {
+    return Error{"no running program with id " + std::to_string(id), "Controller"};
+  }
+  InstalledProgram& program = it->second;
+
+  std::map<int, std::uint32_t> entries_per_rpb;
+  for (const auto& [rpb, handle] : program.rpb_handles) {
+    (void)handle;
+    ++entries_per_rpb[rpb];
+  }
+
+  updates_.remove(program);
+
+  for (const auto& [rpb, count] : entries_per_rpb) {
+    resources_.release_entries(rpb, count);
+  }
+  resources_.erase_program(id);
+  dataplane_.init_block().clear_counter(id);
+  record_event(ControlEvent::Kind::Revoke, id, program.name);
+  free_ids_.push_back(id);
+  programs_.erase(it);
+  return {};
+}
+
+Status Controller::revoke_by_name(const std::string& name) {
+  for (const auto& [id, program] : programs_) {
+    if (program.name == name) return revoke(id);
+  }
+  return Error{"no running program named '" + name + "'", "Controller"};
+}
+
+const InstalledProgram* Controller::program(ProgramId id) const {
+  const auto it = programs_.find(id);
+  return it == programs_.end() ? nullptr : &it->second;
+}
+
+const InstalledProgram* Controller::program_by_name(const std::string& name) const {
+  for (const auto& [id, program] : programs_) {
+    if (program.name == name) return &program;
+  }
+  return nullptr;
+}
+
+std::vector<ProgramId> Controller::running_programs() const {
+  std::vector<ProgramId> ids;
+  ids.reserve(programs_.size());
+  for (const auto& [id, program] : programs_) ids.push_back(id);
+  return ids;
+}
+
+Result<Word> Controller::read_memory(ProgramId id, const std::string& vmem,
+                                     MemAddr vaddr) const {
+  return resources_.read_virtual(dataplane_, id, vmem, vaddr);
+}
+
+std::vector<rmt::Packet> Controller::drain_reports() {
+  return dataplane_.pipeline().drain_cpu_queue();
+}
+
+std::uint64_t Controller::program_packets(ProgramId id) const {
+  return dataplane_.init_block().claimed_packets(id);
+}
+
+Result<std::vector<Word>> Controller::dump_memory(ProgramId id,
+                                                  const std::string& vmem) const {
+  const auto* placements = resources_.program_placements(id);
+  if (placements == nullptr) return Error{"unknown program", "Controller"};
+  const auto it = placements->find(vmem);
+  if (it == placements->end()) return Error{"unknown memory '" + vmem + "'", "Controller"};
+  std::vector<Word> out;
+  out.reserve(it->second.block.size);
+  const auto& memory = dataplane_.rpb(it->second.rpb).memory();
+  for (std::uint32_t a = 0; a < it->second.block.size; ++a) {
+    out.push_back(memory.read(it->second.block.base + a));
+  }
+  return out;
+}
+
+Result<rmt::HashAlgo> Controller::hash_algo_for(ProgramId id,
+                                                const std::string& vmem) const {
+  const InstalledProgram* prog = program(id);
+  if (prog == nullptr) return Error{"unknown program", "Controller"};
+  for (const auto& node : prog->ir.nodes) {
+    const bool hashes_mem = node.op.kind == dp::OpKind::Hash5TupleMem ||
+                            node.op.kind == dp::OpKind::HashHarMem;
+    if (!hashes_mem || node.op.vmem != vmem) continue;
+    const int logical = prog->alloc.x[static_cast<std::size_t>(node.depth - 1)];
+    const int phys = dp::physical_rpb(logical, dataplane_.spec().total_rpbs());
+    return dataplane_.rpb(phys).hash16_algo();
+  }
+  return Error{"program has no hash-addressed access to '" + vmem + "'", "Controller"};
+}
+
+Status Controller::write_memory(ProgramId id, const std::string& vmem, MemAddr vaddr,
+                                Word value) {
+  return resources_.write_virtual(dataplane_, id, vmem, vaddr, value);
+}
+
+}  // namespace p4runpro::ctrl

@@ -1,0 +1,136 @@
+// P4runpro control plane controller: the public runtime-programming API.
+// Drives the full link pipeline (parse -> check -> translate -> allocate ->
+// generate entries -> consistent update) and program lifecycle
+// (monitor / revoke), mirroring the prototype's runtime CLI (paper §5).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "compiler/compiler.h"
+#include "compiler/solver.h"
+#include "control/resource_manager.h"
+#include "control/update_engine.h"
+#include "dataplane/runpro_dataplane.h"
+
+namespace p4runpro::ctrl {
+
+/// Timing breakdown of one program deployment (§6.2.1: deployment delay =
+/// allocation delay + update delay; parsing is negligible). `alloc_ms` is
+/// real measured solver time; `parse_ms`/`update_ms` come from the
+/// simulated control channel.
+struct LinkStats {
+  double parse_ms = 0.0;
+  double alloc_ms = 0.0;
+  double update_ms = 0.0;
+
+  [[nodiscard]] double deploy_ms() const noexcept {
+    return parse_ms + alloc_ms + update_ms;
+  }
+};
+
+struct LinkResult {
+  ProgramId id = 0;
+  std::string name;
+  LinkStats stats;
+};
+
+/// One control-plane lifecycle event (operator audit log).
+struct ControlEvent {
+  enum class Kind : std::uint8_t { Link, Relink, Revoke, LinkFailed } kind;
+  double t_ms = 0.0;  ///< virtual time
+  ProgramId id = 0;
+  std::string name;
+  std::string detail;  ///< error text for LinkFailed
+};
+
+class Controller {
+ public:
+  Controller(dp::RunproDataplane& dataplane, SimClock& clock,
+             rp::Objective objective = {}, BfrtCostModel cost = {});
+
+  /// Link every program of a source unit to the running data plane.
+  /// All-or-nothing: on failure no program of the unit stays linked.
+  Result<std::vector<LinkResult>> link(std::string_view source);
+
+  /// Link a unit expected to contain exactly one program.
+  Result<LinkResult> link_single(std::string_view source);
+
+  /// Incremental update (paper §7): atomically replace a running program
+  /// with a new version compiled from `source`, preserving the contents of
+  /// virtual memories present in both versions. The new version is fully
+  /// installed before the old one is disabled, so traffic always sees
+  /// exactly one complete version.
+  Result<LinkResult> relink(ProgramId old_id, std::string_view source);
+
+  /// Consistently remove a running program and release its resources.
+  Status revoke(ProgramId id);
+  /// Revoke by program name (names are unique among running programs).
+  Status revoke_by_name(const std::string& name);
+
+  // --- monitoring --------------------------------------------------------
+  [[nodiscard]] const InstalledProgram* program(ProgramId id) const;
+  [[nodiscard]] const InstalledProgram* program_by_name(const std::string& name) const;
+  [[nodiscard]] std::vector<ProgramId> running_programs() const;
+  [[nodiscard]] std::size_t program_count() const noexcept { return programs_.size(); }
+
+  /// Control-plane memory access (virtual addresses).
+  [[nodiscard]] Result<Word> read_memory(ProgramId id, const std::string& vmem,
+                                         MemAddr vaddr) const;
+  /// Drain the packets REPORTed to the switch CPU since the last drain
+  /// (e.g. heavy-hitter notifications).
+  [[nodiscard]] std::vector<rmt::Packet> drain_reports();
+  /// Packets the program's filter has claimed since it was linked.
+  [[nodiscard]] std::uint64_t program_packets(ProgramId id) const;
+  /// Dump a whole virtual memory block (the resource manager's
+  /// memory-monitoring path, §3.1).
+  [[nodiscard]] Result<std::vector<Word>> dump_memory(ProgramId id,
+                                                      const std::string& vmem) const;
+  /// The hash algorithm whose (masked) output indexes `vmem` — i.e. the
+  /// hash unit of the stage that executes the program's HASH_*_MEM on that
+  /// memory. Lets the control plane compute bucket indices when populating
+  /// or monitoring sketch memories.
+  [[nodiscard]] Result<rmt::HashAlgo> hash_algo_for(ProgramId id,
+                                                    const std::string& vmem) const;
+  Status write_memory(ProgramId id, const std::string& vmem, MemAddr vaddr, Word value);
+
+  /// Lifecycle audit log (most recent last; bounded to the last 1,024
+  /// events).
+  [[nodiscard]] const std::deque<ControlEvent>& events() const noexcept {
+    return events_;
+  }
+
+  [[nodiscard]] ResourceManager& resources() noexcept { return resources_; }
+  [[nodiscard]] UpdateEngine& updates() noexcept { return updates_; }
+  [[nodiscard]] const ResourceManager& resources() const noexcept { return resources_; }
+  [[nodiscard]] rp::Objective objective() const noexcept { return objective_; }
+  void set_objective(rp::Objective objective) noexcept { objective_ = objective; }
+
+ private:
+  Result<LinkResult> link_one(const rp::TranslatedProgram& ir,
+                              ProgramId replacing = 0);
+  [[nodiscard]] ProgramId next_program_id();
+
+  dp::RunproDataplane& dataplane_;
+  SimClock& clock_;
+  rp::Objective objective_;
+  ResourceManager resources_;
+  UpdateEngine updates_;
+  void record_event(ControlEvent::Kind kind, ProgramId id, const std::string& name,
+                    const std::string& detail = "");
+
+  std::deque<ControlEvent> events_;
+  std::map<ProgramId, InstalledProgram> programs_;
+  ProgramId next_id_ = 1;
+  std::vector<ProgramId> free_ids_;
+  int filter_generation_ = 0;
+};
+
+}  // namespace p4runpro::ctrl

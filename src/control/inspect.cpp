@@ -1,0 +1,76 @@
+#include "control/inspect.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace p4runpro::ctrl {
+
+namespace {
+
+[[nodiscard]] std::string key_str(const rmt::TernaryKey& key) {
+  if (key.mask == 0) return "*";
+  char buf[32];
+  if (key.mask == 0xffffffffu) {
+    std::snprintf(buf, sizeof buf, "0x%x", key.value);
+  } else {
+    std::snprintf(buf, sizeof buf, "0x%x/0x%x", key.value, key.mask);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string disassemble(const InstalledProgram& program, const dp::DataplaneSpec& spec) {
+  std::ostringstream out;
+  out << "program '" << program.name << "' (id " << program.id << "): depth "
+      << program.ir.depth << ", " << program.alloc.rounds << " round(s), "
+      << program.plan.rpb_entries.size() << " RPB entries\n";
+
+  out << "  filters:";
+  for (const auto& f : program.ir.filters) {
+    out << " <" << rmt::field_name(f.field) << ", 0x" << std::hex << f.value
+        << "/0x" << f.mask << std::dec << ">";
+  }
+  out << "\n";
+
+  if (!program.placements.empty()) {
+    out << "  memory:\n";
+    for (const auto& [vmem, placement] : program.placements) {
+      out << "    " << vmem << ": RPB " << placement.rpb << " ["
+          << placement.block.base << ", "
+          << placement.block.base + placement.block.size << ") ("
+          << placement.block.size << " buckets)\n";
+    }
+  }
+
+  // Entries ordered by (round, physical RPB, branch).
+  auto entries = program.plan.rpb_entries;
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const rp::RpbEntrySpec& a, const rp::RpbEntrySpec& b) {
+                     const auto ka = std::make_tuple(a.keys[dp::kKeyRecirc].value, a.rpb,
+                                                     a.keys[dp::kKeyBranch].value);
+                     const auto kb = std::make_tuple(b.keys[dp::kKeyRecirc].value, b.rpb,
+                                                     b.keys[dp::kKeyBranch].value);
+                     return ka < kb;
+                   });
+  out << "  entries (round / RPB / branch -> operation):\n";
+  for (const auto& entry : entries) {
+    const Word round = entry.keys[dp::kKeyRecirc].value;
+    const Word branch = entry.keys[dp::kKeyBranch].value;
+    out << "    r" << round << "  RPB" << entry.rpb
+        << (dp::is_ingress_rpb(entry.rpb, spec.ingress_rpbs) ? " (in)" : " (eg)")
+        << "  b" << branch << "  " << entry.action.op.str();
+    if (entry.action.op.kind == dp::OpKind::Branch) {
+      out << " [har=" << key_str(entry.keys[dp::kKeyHar])
+          << " sar=" << key_str(entry.keys[dp::kKeySar])
+          << " mar=" << key_str(entry.keys[dp::kKeyMar]) << "]";
+    }
+    if (entry.action.next_branch) {
+      out << " -> b" << static_cast<int>(*entry.action.next_branch);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace p4runpro::ctrl

@@ -1,0 +1,19 @@
+// Introspection / debugging tools for linked programs: a disassembler that
+// renders the compiled allocation (which atomic operation runs in which
+// physical RPB, round and branch) — the moral equivalent of dumping the
+// bfrt tables from the prototype's CLI.
+#pragma once
+
+#include <string>
+
+#include "control/update_engine.h"
+#include "dataplane/dataplane_spec.h"
+
+namespace p4runpro::ctrl {
+
+/// Human-readable dump of a linked program: one line per RPB entry, in
+/// execution order (round, physical RPB, branch), plus the memory map.
+[[nodiscard]] std::string disassemble(const InstalledProgram& program,
+                                      const dp::DataplaneSpec& spec);
+
+}  // namespace p4runpro::ctrl

@@ -1,0 +1,195 @@
+#include "control/resource_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace p4runpro::ctrl {
+
+ResourceManager::ResourceManager(const dp::DataplaneSpec& spec) : spec_(spec) {
+  const int total = spec_.total_rpbs();
+  free_mem_.resize(static_cast<std::size_t>(total));
+  for (auto& list : free_mem_) {
+    list.push_back(MemBlock{0, spec_.memory_per_rpb});
+  }
+  entries_used_.assign(static_cast<std::size_t>(total), 0);
+  memory_used_.assign(static_cast<std::size_t>(total), 0);
+}
+
+std::list<MemBlock>& ResourceManager::free_list(int rpb) {
+  assert(rpb >= 1 && rpb <= spec_.total_rpbs());
+  return free_mem_[static_cast<std::size_t>(rpb - 1)];
+}
+
+const std::list<MemBlock>& ResourceManager::free_list(int rpb) const {
+  assert(rpb >= 1 && rpb <= spec_.total_rpbs());
+  return free_mem_[static_cast<std::size_t>(rpb - 1)];
+}
+
+bool ResourceManager::Snapshot::can_allocate(
+    int rpb, std::span<const std::uint32_t> sizes) const {
+  if (rpb < 1 || static_cast<std::size_t>(rpb) > free_mem.size()) return false;
+  // Simulate first-fit carving on a copy of the free list.
+  std::vector<MemBlock> blocks = free_mem[static_cast<std::size_t>(rpb - 1)];
+  for (std::uint32_t size : sizes) {
+    bool placed = false;
+    for (auto& b : blocks) {
+      if (b.size >= size) {
+        b.base += size;
+        b.size -= size;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return false;
+  }
+  return true;
+}
+
+ResourceManager::Snapshot ResourceManager::snapshot() const {
+  Snapshot snap;
+  const int total = spec_.total_rpbs();
+  snap.free_entries.reserve(static_cast<std::size_t>(total));
+  snap.free_mem.reserve(static_cast<std::size_t>(total));
+  for (int rpb = 1; rpb <= total; ++rpb) {
+    snap.free_entries.push_back(spec_.entries_per_rpb -
+                                entries_used_[static_cast<std::size_t>(rpb - 1)]);
+    const auto& list = free_list(rpb);
+    snap.free_mem.emplace_back(list.begin(), list.end());
+  }
+  return snap;
+}
+
+Result<MemBlock> ResourceManager::allocate_memory(int rpb, std::uint32_t size) {
+  auto& list = free_list(rpb);
+  for (auto it = list.begin(); it != list.end(); ++it) {
+    if (it->size >= size) {
+      const MemBlock out{it->base, size};
+      it->base += size;
+      it->size -= size;
+      if (it->size == 0) list.erase(it);
+      memory_used_[static_cast<std::size_t>(rpb - 1)] += size;
+      return out;
+    }
+  }
+  return Error{"no contiguous free block of size " + std::to_string(size) +
+                   " in RPB " + std::to_string(rpb),
+               "ResourceManager"};
+}
+
+void ResourceManager::insert_coalesced(std::list<MemBlock>& list, MemBlock block) {
+  auto it = list.begin();
+  while (it != list.end() && it->base < block.base) ++it;
+  it = list.insert(it, block);
+  // Coalesce with successor.
+  auto next = std::next(it);
+  if (next != list.end() && it->base + it->size == next->base) {
+    it->size += next->size;
+    list.erase(next);
+  }
+  // Coalesce with predecessor.
+  if (it != list.begin()) {
+    auto prev = std::prev(it);
+    if (prev->base + prev->size == it->base) {
+      prev->size += it->size;
+      list.erase(it);
+    }
+  }
+}
+
+void ResourceManager::free_memory(int rpb, const MemBlock& block) {
+  insert_coalesced(free_list(rpb), block);
+  auto& used = memory_used_[static_cast<std::size_t>(rpb - 1)];
+  assert(used >= block.size);
+  used -= block.size;
+}
+
+void ResourceManager::lock_memory(int rpb, const MemBlock& block) {
+  // The block simply stays out of the free list; accounting keeps it
+  // "used" so it cannot be reallocated while resetting.
+  (void)rpb;
+  (void)block;
+}
+
+void ResourceManager::unlock_memory(int rpb, const MemBlock& block) {
+  free_memory(rpb, block);
+}
+
+Status ResourceManager::reserve_entries(int rpb, std::uint32_t count) {
+  auto& used = entries_used_[static_cast<std::size_t>(rpb - 1)];
+  if (used + count > spec_.entries_per_rpb) {
+    return Error{"table entries exhausted in RPB " + std::to_string(rpb),
+                 "ResourceManager"};
+  }
+  used += count;
+  return {};
+}
+
+void ResourceManager::release_entries(int rpb, std::uint32_t count) {
+  auto& used = entries_used_[static_cast<std::size_t>(rpb - 1)];
+  assert(used >= count);
+  used -= count;
+}
+
+void ResourceManager::record_program(ProgramId id,
+                                     std::map<std::string, VmemPlacement> placements) {
+  programs_[id] = std::move(placements);
+}
+
+void ResourceManager::erase_program(ProgramId id) { programs_.erase(id); }
+
+const std::map<std::string, VmemPlacement>* ResourceManager::program_placements(
+    ProgramId id) const {
+  const auto it = programs_.find(id);
+  return it == programs_.end() ? nullptr : &it->second;
+}
+
+Result<Word> ResourceManager::read_virtual(const dp::RunproDataplane& dataplane,
+                                           ProgramId id, const std::string& vmem,
+                                           MemAddr vaddr) const {
+  const auto* placements = program_placements(id);
+  if (placements == nullptr) return Error{"unknown program", "ResourceManager"};
+  const auto it = placements->find(vmem);
+  if (it == placements->end()) return Error{"unknown memory '" + vmem + "'", "ResourceManager"};
+  if (vaddr >= it->second.block.size) return Error{"virtual address out of range", "ResourceManager"};
+  return dataplane.rpb(it->second.rpb).memory().read(it->second.block.base + vaddr);
+}
+
+Status ResourceManager::write_virtual(dp::RunproDataplane& dataplane, ProgramId id,
+                                      const std::string& vmem, MemAddr vaddr,
+                                      Word value) const {
+  const auto* placements = program_placements(id);
+  if (placements == nullptr) return Error{"unknown program", "ResourceManager"};
+  const auto it = placements->find(vmem);
+  if (it == placements->end()) return Error{"unknown memory '" + vmem + "'", "ResourceManager"};
+  if (vaddr >= it->second.block.size) return Error{"virtual address out of range", "ResourceManager"};
+  dataplane.rpb(it->second.rpb).memory().write(it->second.block.base + vaddr, value);
+  return {};
+}
+
+std::uint32_t ResourceManager::entries_used(int rpb) const {
+  return entries_used_[static_cast<std::size_t>(rpb - 1)];
+}
+
+std::uint32_t ResourceManager::memory_used(int rpb) const {
+  return memory_used_[static_cast<std::size_t>(rpb - 1)];
+}
+
+double ResourceManager::total_entry_utilization() const {
+  std::uint64_t used = 0;
+  for (auto u : entries_used_) used += u;
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(spec_.entries_per_rpb) *
+      static_cast<std::uint64_t>(spec_.total_rpbs());
+  return total == 0 ? 0.0 : static_cast<double>(used) / static_cast<double>(total);
+}
+
+double ResourceManager::total_memory_utilization() const {
+  std::uint64_t used = 0;
+  for (auto u : memory_used_) used += u;
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(spec_.memory_per_rpb) *
+      static_cast<std::uint64_t>(spec_.total_rpbs());
+  return total == 0 ? 0.0 : static_cast<double>(used) / static_cast<double>(total);
+}
+
+}  // namespace p4runpro::ctrl

@@ -1,0 +1,109 @@
+#include "control/update_engine.h"
+
+#include <cassert>
+
+namespace p4runpro::ctrl {
+
+void UpdateEngine::charge_entries(std::size_t count) {
+  clock_.advance_us(cost_.per_batch_overhead_us +
+                    cost_.per_entry_write_us * static_cast<double>(count));
+}
+
+Result<InstalledProgram> UpdateEngine::install(
+    const rp::TranslatedProgram& ir, const rp::AllocationResult& alloc,
+    rp::EntryPlan plan, std::map<std::string, VmemPlacement> placements,
+    const std::string& name) {
+  InstalledProgram out;
+  out.id = plan.program;
+  out.name = name;
+  out.ir = ir;
+  out.alloc = alloc;
+  out.placements = std::move(placements);
+
+  auto rollback = [&] {
+    for (const auto& [rpb, handle] : out.rpb_handles) {
+      dataplane_.rpb(rpb).table().erase(handle);
+    }
+    dataplane_.recirc_block().remove(out.recirc_handles);
+    dataplane_.init_block().remove(out.filter_handles);
+  };
+
+  // Step 1: recirculation entries (invisible without a program id).
+  if (inject_fault()) return Error{"injected control-channel fault", "bfrt"};
+  auto recirc = dataplane_.recirc_block().install(plan.program, plan.rounds);
+  if (!recirc.ok()) return recirc.error();
+  out.recirc_handles = std::move(recirc).take();
+  charge_entries(out.recirc_handles.size());
+  observe_step();
+
+  // Step 2: RPB entries, batched per program.
+  for (auto& spec : plan.rpb_entries) {
+    if (inject_fault()) {
+      rollback();
+      return Error{"injected control-channel fault", "bfrt"};
+    }
+    auto handle = dataplane_.rpb(spec.rpb).table().insert(spec.keys, spec.priority,
+                                                          spec.action);
+    if (!handle.ok()) {
+      rollback();
+      return handle.error();
+    }
+    out.rpb_handles.emplace_back(spec.rpb, handle.value());
+    observe_step();
+  }
+  charge_entries(out.rpb_handles.size());
+
+  // Step 3: init filters last — this atomically activates the program.
+  if (inject_fault()) {
+    rollback();
+    return Error{"injected control-channel fault", "bfrt"};
+  }
+  auto filters = dataplane_.init_block().install(plan.program, plan.filters,
+                                                 plan.filter_priority);
+  if (!filters.ok()) {
+    rollback();
+    return filters.error();
+  }
+  out.filter_handles = std::move(filters).take();
+  charge_entries(out.filter_handles.size());
+  observe_step();
+
+  out.plan = std::move(plan);
+  return out;
+}
+
+void UpdateEngine::remove(InstalledProgram& program) {
+  // Step 1: delete the init filters first; without a program id every
+  // later component of the program stops matching at once.
+  dataplane_.init_block().remove(program.filter_handles);
+  charge_entries(program.filter_handles.size());
+  program.filter_handles.clear();
+  observe_step();
+
+  // Step 2: remove the remaining entries.
+  for (const auto& [rpb, handle] : program.rpb_handles) {
+    const bool erased = dataplane_.rpb(rpb).table().erase(handle);
+    assert(erased);
+    (void)erased;
+    observe_step();
+  }
+  charge_entries(program.rpb_handles.size());
+  program.rpb_handles.clear();
+  dataplane_.recirc_block().remove(program.recirc_handles);
+  charge_entries(program.recirc_handles.size());
+  program.recirc_handles.clear();
+
+  // Step 3: lock, reset and release the program's memory (Fig. 6 step 4).
+  for (const auto& [vmem, placement] : program.placements) {
+    resources_.lock_memory(placement.rpb, placement.block);
+    dataplane_.rpb(placement.rpb).memory().reset_range(placement.block.base,
+                                                       placement.block.size);
+    clock_.advance_us(cost_.memory_reset_us_per_kb *
+                      static_cast<double>(placement.block.size) * 4.0 / 1024.0);
+    resources_.unlock_memory(placement.rpb, placement.block);
+    observe_step();
+  }
+  program.placements.clear();
+}
+
+}  // namespace p4runpro::ctrl

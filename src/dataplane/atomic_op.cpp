@@ -1,0 +1,217 @@
+#include "dataplane/atomic_op.h"
+
+#include <cstdio>
+
+namespace p4runpro::dp {
+
+const char* op_kind_name(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::Nop: return "NOP";
+    case OpKind::Extract: return "EXTRACT";
+    case OpKind::Modify: return "MODIFY";
+    case OpKind::Hash5Tuple: return "HASH_5_TUPLE";
+    case OpKind::HashHar: return "HASH";
+    case OpKind::Hash5TupleMem: return "HASH_5_TUPLE_MEM";
+    case OpKind::HashHarMem: return "HASH_MEM";
+    case OpKind::Branch: return "BRANCH";
+    case OpKind::Offset: return "OFFSET";
+    case OpKind::Mem: return "MEM";
+    case OpKind::Loadi: return "LOADI";
+    case OpKind::Add: return "ADD";
+    case OpKind::And: return "AND";
+    case OpKind::Or: return "OR";
+    case OpKind::Max: return "MAX";
+    case OpKind::Min: return "MIN";
+    case OpKind::Xor: return "XOR";
+    case OpKind::Backup: return "BACKUP";
+    case OpKind::Restore: return "RESTORE";
+    case OpKind::Forward: return "FORWARD";
+    case OpKind::Drop: return "DROP";
+    case OpKind::Return: return "RETURN";
+    case OpKind::Report: return "REPORT";
+    case OpKind::Multicast: return "MULTICAST";
+  }
+  return "?";
+}
+
+std::string AtomicOp::str() const {
+  char buf[96];
+  switch (kind) {
+    case OpKind::Extract:
+    case OpKind::Modify:
+      std::snprintf(buf, sizeof buf, "%s(%s, %s)", op_kind_name(kind),
+                    std::string(rmt::field_name(field)).c_str(), to_string(reg0));
+      break;
+    case OpKind::Loadi:
+      std::snprintf(buf, sizeof buf, "LOADI(%s, %u)", to_string(reg0), imm);
+      break;
+    case OpKind::Offset:
+      std::snprintf(buf, sizeof buf, "OFFSET(+%u)", imm);
+      break;
+    case OpKind::Forward:
+      std::snprintf(buf, sizeof buf, "FORWARD(%u)", imm);
+      break;
+    case OpKind::Multicast:
+      std::snprintf(buf, sizeof buf, "MULTICAST(%u)", imm);
+      break;
+    case OpKind::Add:
+    case OpKind::And:
+    case OpKind::Or:
+    case OpKind::Max:
+    case OpKind::Min:
+    case OpKind::Xor:
+      std::snprintf(buf, sizeof buf, "%s(%s, %s)", op_kind_name(kind),
+                    to_string(reg0), to_string(reg1));
+      break;
+    case OpKind::Mem:
+      std::snprintf(buf, sizeof buf, "MEM(salu=%d)", static_cast<int>(salu));
+      break;
+    case OpKind::Hash5TupleMem:
+    case OpKind::HashHarMem:
+      std::snprintf(buf, sizeof buf, "%s(mask=0x%x)", op_kind_name(kind), mask);
+      break;
+    default:
+      std::snprintf(buf, sizeof buf, "%s", op_kind_name(kind));
+      break;
+  }
+  return buf;
+}
+
+AtomicOp AtomicOp::extract(rmt::FieldId f, Reg r) {
+  AtomicOp op;
+  op.kind = OpKind::Extract;
+  op.field = f;
+  op.reg0 = r;
+  return op;
+}
+
+AtomicOp AtomicOp::modify(rmt::FieldId f, Reg r) {
+  AtomicOp op;
+  op.kind = OpKind::Modify;
+  op.field = f;
+  op.reg0 = r;
+  return op;
+}
+
+AtomicOp AtomicOp::hash_5_tuple() {
+  AtomicOp op;
+  op.kind = OpKind::Hash5Tuple;
+  return op;
+}
+
+AtomicOp AtomicOp::hash_har() {
+  AtomicOp op;
+  op.kind = OpKind::HashHar;
+  return op;
+}
+
+AtomicOp AtomicOp::hash_5_tuple_mem(Word mask) {
+  AtomicOp op;
+  op.kind = OpKind::Hash5TupleMem;
+  op.mask = mask;
+  return op;
+}
+
+AtomicOp AtomicOp::hash_har_mem(Word mask) {
+  AtomicOp op;
+  op.kind = OpKind::HashHarMem;
+  op.mask = mask;
+  return op;
+}
+
+AtomicOp AtomicOp::branch() {
+  AtomicOp op;
+  op.kind = OpKind::Branch;
+  return op;
+}
+
+AtomicOp AtomicOp::offset(Word phys_base) {
+  AtomicOp op;
+  op.kind = OpKind::Offset;
+  op.imm = phys_base;
+  return op;
+}
+
+AtomicOp AtomicOp::mem(rmt::SaluOp salu) {
+  AtomicOp op;
+  op.kind = OpKind::Mem;
+  op.salu = salu;
+  return op;
+}
+
+AtomicOp AtomicOp::loadi(Reg r, Word imm) {
+  AtomicOp op;
+  op.kind = OpKind::Loadi;
+  op.reg0 = r;
+  op.imm = imm;
+  return op;
+}
+
+AtomicOp AtomicOp::alu(OpKind kind, Reg r0, Reg r1) {
+  AtomicOp op;
+  op.kind = kind;
+  op.reg0 = r0;
+  op.reg1 = r1;
+  return op;
+}
+
+AtomicOp AtomicOp::backup(Reg r) {
+  AtomicOp op;
+  op.kind = OpKind::Backup;
+  op.reg0 = r;
+  return op;
+}
+
+AtomicOp AtomicOp::restore(Reg r) {
+  AtomicOp op;
+  op.kind = OpKind::Restore;
+  op.reg0 = r;
+  return op;
+}
+
+AtomicOp AtomicOp::forward(Port port) {
+  AtomicOp op;
+  op.kind = OpKind::Forward;
+  op.imm = port;
+  return op;
+}
+
+AtomicOp AtomicOp::multicast(Word group) {
+  AtomicOp op;
+  op.kind = OpKind::Multicast;
+  op.imm = group;
+  return op;
+}
+
+AtomicOp AtomicOp::drop() {
+  AtomicOp op;
+  op.kind = OpKind::Drop;
+  return op;
+}
+
+AtomicOp AtomicOp::ret() {
+  AtomicOp op;
+  op.kind = OpKind::Return;
+  return op;
+}
+
+AtomicOp AtomicOp::report() {
+  AtomicOp op;
+  op.kind = OpKind::Report;
+  return op;
+}
+
+bool is_forwarding(OpKind kind) noexcept {
+  return kind == OpKind::Forward || kind == OpKind::Drop ||
+         kind == OpKind::Return || kind == OpKind::Report ||
+         kind == OpKind::Multicast;
+}
+
+bool is_memory(OpKind kind) noexcept { return kind == OpKind::Mem; }
+
+bool is_hash(OpKind kind) noexcept {
+  return kind == OpKind::Hash5Tuple || kind == OpKind::HashHar ||
+         kind == OpKind::Hash5TupleMem || kind == OpKind::HashHarMem;
+}
+
+}  // namespace p4runpro::dp

@@ -1,0 +1,98 @@
+// Atomic operations: the general, pre-installed packet-processing steps
+// that RPB table entries select at runtime (paper §4.1.2 / Table 3). An
+// AtomicOp is the *action* side of an RPB entry; the six primitive types of
+// the DSL map 1:1 onto these kinds after pseudo-primitive translation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+#include "rmt/memory.h"
+#include "rmt/packet.h"
+
+namespace p4runpro::dp {
+
+enum class OpKind : std::uint8_t {
+  Nop,
+  // Header interaction
+  Extract,  ///< reg0 = field
+  Modify,   ///< field = reg0
+  // Hash
+  Hash5Tuple,     ///< har = hash(5_tuple)           (32-bit output)
+  HashHar,        ///< har = hash(har)               (32-bit output)
+  Hash5TupleMem,  ///< mar = hash16(5_tuple) & mask  (mask step merged)
+  HashHarMem,     ///< mar = hash16(har) & mask
+  // Conditional branch: the matching case entry's action; the new branch id
+  // travels in RpbAction::next_branch.
+  Branch,
+  // Address translation offset step: phys_addr = mar + imm (and SALU-flag
+  // set); a separate AST node/depth, see Fig. 5(b).
+  Offset,
+  // Memory (executes the SALU of this stage at phys_addr)
+  Mem,  ///< salu selects MEMADD/...; result register handling per Table 3
+  // Arithmetic & logic
+  Loadi,  ///< reg0 = imm
+  Add,    ///< reg0 += reg1
+  And,
+  Or,
+  Max,
+  Min,
+  Xor,
+  // Supportive-register save/restore for pseudo-primitive translation
+  Backup,   ///< backup = reg0
+  Restore,  ///< reg0 = backup
+  // Forwarding (ingress RPBs only)
+  Forward,   ///< egress port = imm
+  Drop,
+  Return,
+  Report,
+  Multicast,  ///< replicate to multicast group imm (§7 extension)
+};
+
+[[nodiscard]] const char* op_kind_name(OpKind kind) noexcept;
+
+/// A fully-specified atomic operation (OpKind + arguments). Only the fields
+/// relevant to the kind are meaningful.
+struct AtomicOp {
+  OpKind kind = OpKind::Nop;
+  rmt::FieldId field = rmt::FieldId::Ipv4Src;  // Extract / Modify
+  Reg reg0 = Reg::Har;
+  Reg reg1 = Reg::Sar;
+  Word imm = 0;               // Loadi / Offset / Forward(port)
+  Word mask = 0xffffffffu;    // merged mask step of Hash*Mem
+  rmt::SaluOp salu = rmt::SaluOp::Read;  // Mem
+
+  [[nodiscard]] std::string str() const;
+
+  // Convenience constructors --------------------------------------------
+  [[nodiscard]] static AtomicOp nop() { return {}; }
+  [[nodiscard]] static AtomicOp extract(rmt::FieldId f, Reg r);
+  [[nodiscard]] static AtomicOp modify(rmt::FieldId f, Reg r);
+  [[nodiscard]] static AtomicOp hash_5_tuple();
+  [[nodiscard]] static AtomicOp hash_har();
+  [[nodiscard]] static AtomicOp hash_5_tuple_mem(Word mask);
+  [[nodiscard]] static AtomicOp hash_har_mem(Word mask);
+  [[nodiscard]] static AtomicOp branch();
+  [[nodiscard]] static AtomicOp offset(Word phys_base);
+  [[nodiscard]] static AtomicOp mem(rmt::SaluOp salu);
+  [[nodiscard]] static AtomicOp loadi(Reg r, Word imm);
+  [[nodiscard]] static AtomicOp alu(OpKind kind, Reg r0, Reg r1);
+  [[nodiscard]] static AtomicOp backup(Reg r);
+  [[nodiscard]] static AtomicOp restore(Reg r);
+  [[nodiscard]] static AtomicOp forward(Port port);
+  [[nodiscard]] static AtomicOp multicast(Word group);
+  [[nodiscard]] static AtomicOp drop();
+  [[nodiscard]] static AtomicOp ret();
+  [[nodiscard]] static AtomicOp report();
+};
+
+/// True for the forwarding kinds that only ingress RPBs may execute.
+[[nodiscard]] bool is_forwarding(OpKind kind) noexcept;
+/// True for the kinds that access this stage's stateful memory.
+[[nodiscard]] bool is_memory(OpKind kind) noexcept;
+/// True for the hash kinds (consume the stage's hash unit).
+[[nodiscard]] bool is_hash(OpKind kind) noexcept;
+
+}  // namespace p4runpro::dp

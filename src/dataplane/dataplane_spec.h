@@ -1,0 +1,45 @@
+// Compile-time geometry of the P4runpro data plane (paper §5): the numbers
+// an operator fixes when provisioning the switch once.
+#pragma once
+
+#include <cstdint>
+
+namespace p4runpro::dp {
+
+struct DataplaneSpec {
+  /// Physical RPBs in the ingress pipeline (stage 0 holds the
+  /// initialization block, the last ingress stage the recirculation block).
+  int ingress_rpbs = 10;
+  /// Physical RPBs in the egress pipeline.
+  int egress_rpbs = 12;
+  /// 32-bit buckets of stateful memory attached to each RPB.
+  std::uint32_t memory_per_rpb = 65536;
+  /// Ternary table entries per RPB.
+  std::uint32_t entries_per_rpb = 2048;
+  /// Maximum recirculation iteration number R accepted by the compiler.
+  int max_recirculations = 1;
+  /// Hash output width of the per-stage hash units before the mask step.
+  int hash_output_bits = 16;
+
+  /// Total physical RPBs (M in the allocation model).
+  [[nodiscard]] int total_rpbs() const noexcept { return ingress_rpbs + egress_rpbs; }
+  /// Logical RPB count M * (R + 1).
+  [[nodiscard]] int logical_rpbs() const noexcept {
+    return total_rpbs() * (max_recirculations + 1);
+  }
+};
+
+/// Logical -> physical RPB mapping helpers. Logical RPBs are numbered from
+/// 1 as in the paper's model: x in [1, M*(R+1)], physical = ((x-1) mod M)+1,
+/// recirculation round = (x-1) / M.
+[[nodiscard]] constexpr int physical_rpb(int logical, int total_rpbs) noexcept {
+  return (logical - 1) % total_rpbs + 1;
+}
+[[nodiscard]] constexpr int recirc_round(int logical, int total_rpbs) noexcept {
+  return (logical - 1) / total_rpbs;
+}
+[[nodiscard]] constexpr bool is_ingress_rpb(int physical, int ingress_rpbs) noexcept {
+  return physical >= 1 && physical <= ingress_rpbs;
+}
+
+}  // namespace p4runpro::dp

@@ -1,0 +1,69 @@
+// Runtime programming block: one per pipeline stage (except the stages the
+// initialization and recirculation blocks occupy). An RPB is "a large table
+// with the keys of control flags and registers and the actions implementing
+// the atomic operations" (paper §5), plus this stage's stateful memory and
+// hash unit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.h"
+#include "dataplane/atomic_op.h"
+#include "rmt/crc.h"
+#include "rmt/memory.h"
+#include "rmt/pipeline.h"
+#include "rmt/tables.h"
+
+namespace p4runpro::dp {
+
+/// Action payload of an RPB entry: the atomic operation plus an optional
+/// branch-id transition (BRANCH case entries and the case-body rejoin).
+struct RpbAction {
+  AtomicOp op;
+  std::optional<BranchId> next_branch;
+};
+
+/// Exact/ternary key layout of the RPB table, in order.
+enum RpbKeyField : int {
+  kKeyProgram = 0,
+  kKeyBranch = 1,
+  kKeyRecirc = 2,
+  kKeyHar = 3,
+  kKeySar = 4,
+  kKeyMar = 5,
+};
+inline constexpr int kRpbKeyWidth = 6;
+
+class Rpb final : public rmt::PipelineStage {
+ public:
+  /// `physical_id` is 1-based over all RPBs (ingress then egress); the hash
+  /// unit algorithm cycles through the four CRC-16 variants per stage so
+  /// that multi-row sketches get independent hash functions (Fig. 13d).
+  Rpb(int physical_id, bool ingress, std::uint32_t memory_size,
+      std::uint32_t table_capacity);
+
+  void process(rmt::Phv& phv) override;
+
+  /// Entry management (called by the update engine).
+  rmt::TernaryTable<RpbAction>& table() noexcept { return table_; }
+  [[nodiscard]] const rmt::TernaryTable<RpbAction>& table() const noexcept { return table_; }
+
+  rmt::StageMemory& memory() noexcept { return memory_; }
+  [[nodiscard]] const rmt::StageMemory& memory() const noexcept { return memory_; }
+
+  [[nodiscard]] int physical_id() const noexcept { return physical_id_; }
+  [[nodiscard]] bool is_ingress() const noexcept { return ingress_; }
+  [[nodiscard]] rmt::HashAlgo hash16_algo() const noexcept { return hash16_; }
+
+ private:
+  void execute(const AtomicOp& op, rmt::Phv& phv);
+
+  int physical_id_;
+  bool ingress_;
+  rmt::TernaryTable<RpbAction> table_;
+  rmt::StageMemory memory_;
+  rmt::HashAlgo hash16_;
+};
+
+}  // namespace p4runpro::dp

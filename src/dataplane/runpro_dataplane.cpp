@@ -1,0 +1,46 @@
+#include "dataplane/runpro_dataplane.h"
+
+#include <cassert>
+
+namespace p4runpro::dp {
+
+RunproDataplane::RunproDataplane(DataplaneSpec spec, rmt::ParserConfig parser_config)
+    : spec_(spec),
+      // The pipeline's recirculation allowance is a hardware property; the
+      // compiler-facing R in the spec bounds *programs*, while the frame
+      // tolerates one extra pass as headroom for misconfigured entries.
+      pipeline_(std::move(parser_config), spec.max_recirculations + 1) {
+  // The filtering tables sit in stage 0 alongside no RPB, so they get a
+  // deeper TCAM share: program capacity must not be bottlenecked by
+  // filters (the paper's lb capacity of ~2.8K programs needs > 2048
+  // filter entries per parse path).
+  init_ = std::make_shared<InitBlock>(spec_.entries_per_rpb * 4);
+  recirc_ = std::make_shared<RecircBlock>(spec_.entries_per_rpb);
+
+  pipeline_.add_ingress_stage(init_);
+  for (int i = 1; i <= spec_.ingress_rpbs; ++i) {
+    auto rpb = std::make_shared<Rpb>(i, /*ingress=*/true, spec_.memory_per_rpb,
+                                     spec_.entries_per_rpb);
+    rpbs_.push_back(rpb);
+    pipeline_.add_ingress_stage(rpb);
+  }
+  pipeline_.add_ingress_stage(recirc_);
+  for (int i = 1; i <= spec_.egress_rpbs; ++i) {
+    auto rpb = std::make_shared<Rpb>(spec_.ingress_rpbs + i, /*ingress=*/false,
+                                     spec_.memory_per_rpb, spec_.entries_per_rpb);
+    rpbs_.push_back(rpb);
+    pipeline_.add_egress_stage(rpb);
+  }
+}
+
+Rpb& RunproDataplane::rpb(int physical_id) {
+  assert(physical_id >= 1 && physical_id <= spec_.total_rpbs());
+  return *rpbs_[static_cast<std::size_t>(physical_id - 1)];
+}
+
+const Rpb& RunproDataplane::rpb(int physical_id) const {
+  assert(physical_id >= 1 && physical_id <= spec_.total_rpbs());
+  return *rpbs_[static_cast<std::size_t>(physical_id - 1)];
+}
+
+}  // namespace p4runpro::dp

@@ -1,0 +1,43 @@
+// The provisioned P4runpro data plane: wires the initialization block, the
+// ingress/egress RPBs and the recirculation block into an RMT pipeline
+// (Fig. 1). Provisioned once; afterwards only table entries change.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dataplane/dataplane_spec.h"
+#include "dataplane/init_block.h"
+#include "dataplane/recirc_block.h"
+#include "dataplane/rpb.h"
+#include "rmt/pipeline.h"
+
+namespace p4runpro::dp {
+
+class RunproDataplane {
+ public:
+  RunproDataplane(DataplaneSpec spec, rmt::ParserConfig parser_config);
+
+  /// Run one packet through the pipeline (including recirculations).
+  rmt::PipelineResult inject(const rmt::Packet& pkt) { return pipeline_.inject(pkt); }
+
+  [[nodiscard]] const DataplaneSpec& spec() const noexcept { return spec_; }
+
+  /// Physical RPB access, 1-based id in [1, total_rpbs()].
+  [[nodiscard]] Rpb& rpb(int physical_id);
+  [[nodiscard]] const Rpb& rpb(int physical_id) const;
+
+  [[nodiscard]] InitBlock& init_block() noexcept { return *init_; }
+  [[nodiscard]] RecircBlock& recirc_block() noexcept { return *recirc_; }
+  [[nodiscard]] rmt::Pipeline& pipeline() noexcept { return pipeline_; }
+  [[nodiscard]] const rmt::Pipeline& pipeline() const noexcept { return pipeline_; }
+
+ private:
+  DataplaneSpec spec_;
+  rmt::Pipeline pipeline_;
+  std::shared_ptr<InitBlock> init_;
+  std::vector<std::shared_ptr<Rpb>> rpbs_;  // index i -> physical id i+1
+  std::shared_ptr<RecircBlock> recirc_;
+};
+
+}  // namespace p4runpro::dp

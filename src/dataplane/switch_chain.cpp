@@ -1,0 +1,52 @@
+#include "dataplane/switch_chain.h"
+
+#include <set>
+
+namespace p4runpro::dp {
+
+SwitchChain::SwitchChain(int length, DataplaneSpec spec,
+                         rmt::ParserConfig parser_config) {
+  for (int i = 0; i < length; ++i) {
+    switches_.push_back(std::make_unique<RunproDataplane>(spec, parser_config));
+  }
+}
+
+rmt::PipelineResult SwitchChain::inject(const rmt::Packet& pkt) {
+  rmt::PipelineResult result;
+  rmt::Phv phv = switches_.front()->pipeline().parse_packet(pkt);
+  for (std::size_t hop = 0; hop < switches_.size(); ++hop) {
+    const auto step = switches_[hop]->pipeline().process_pass(phv);
+    if (step.outcome == rmt::Pipeline::PassOutcome::Recirculate) {
+      ++result.recirc_passes;  // counted as chain hops here
+      if (hop + 1 == switches_.size()) {
+        // Ran off the end of the chain: the program needed more rounds
+        // than there are switches.
+        result.fate = rmt::PacketFate::RecircLimit;
+        result.packet = phv.pkt;
+        return result;
+      }
+      continue;  // hand the PHV (the P4runpro header) to the next switch
+    }
+    result.fate = step.fate;
+    result.egress_port = step.egress_port;
+    result.packet = phv.pkt;
+    return result;
+  }
+  result.packet = phv.pkt;
+  return result;
+}
+
+bool SwitchChain::chain_compatible(
+    const std::map<std::string, std::vector<int>>& vmem_depths,
+    const std::vector<int>& x, int total_rpbs) {
+  for (const auto& [vmem, depths] : vmem_depths) {
+    std::set<int> rounds;
+    for (int depth : depths) {
+      rounds.insert(recirc_round(x[static_cast<std::size_t>(depth - 1)], total_rpbs));
+    }
+    if (rounds.size() > 1) return false;
+  }
+  return true;
+}
+
+}  // namespace p4runpro::dp

@@ -1,0 +1,50 @@
+// Multi-switch alternative to recirculation (paper §4.1.3 / §5): "the
+// recirculation block is not indispensable, as it can be replaced by
+// multiple switches processing sequentially". A SwitchChain runs a packet
+// through K identically-provisioned P4runpro switches; when switch j flags
+// the packet for another round, it travels to switch j+1 instead of
+// looping — the recirculation id doubles as the hop count, so the very
+// same table entries work unchanged on the switch of their round.
+//
+// Deployment model (the simple "mirror" mode): the operator links the same
+// programs on every switch of the chain, so round-j entries exist on
+// switch j (they match nowhere else: the recirculation id in their keys is
+// exact). Programs whose memory is touched in more than one round are
+// rejected for chains — the rounds live on different switches with
+// different physical memories (this is the constraint-(5) adjustment the
+// paper notes).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dataplane/runpro_dataplane.h"
+
+namespace p4runpro::dp {
+
+class SwitchChain {
+ public:
+  /// Build a chain of `length` switches with the given per-switch spec
+  /// (its max_recirculations bounds the compiler, and therefore the number
+  /// of rounds = hops a program may use; it should equal length - 1).
+  SwitchChain(int length, DataplaneSpec spec, rmt::ParserConfig parser_config);
+
+  /// Run one packet across the chain. Throughput is unaffected by long
+  /// programs: every hop is a fresh pipeline at line rate (the trade-off
+  /// is one switch per extra round instead of recirculation bandwidth).
+  rmt::PipelineResult inject(const rmt::Packet& pkt);
+
+  [[nodiscard]] int length() const noexcept { return static_cast<int>(switches_.size()); }
+  [[nodiscard]] RunproDataplane& switch_at(int hop) { return *switches_[static_cast<std::size_t>(hop)]; }
+
+  /// True iff a program's allocation is chain-compatible: no virtual
+  /// memory is accessed in more than one round.
+  [[nodiscard]] static bool chain_compatible(const std::map<std::string, std::vector<int>>& vmem_depths,
+                                             const std::vector<int>& x, int total_rpbs);
+
+ private:
+  std::vector<std::unique_ptr<RunproDataplane>> switches_;
+};
+
+}  // namespace p4runpro::dp

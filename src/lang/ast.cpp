@@ -1,0 +1,81 @@
+#include "lang/ast.h"
+
+#include <array>
+#include <utility>
+
+namespace p4runpro::lang {
+
+namespace {
+constexpr std::pair<const char*, PrimKind> kPrimNames[] = {
+    {"EXTRACT", PrimKind::Extract},
+    {"MODIFY", PrimKind::Modify},
+    {"HASH_5_TUPLE", PrimKind::Hash5Tuple},
+    {"HASH", PrimKind::Hash},
+    {"HASH_5_TUPLE_MEM", PrimKind::Hash5TupleMem},
+    {"HASH_MEM", PrimKind::HashMem},
+    {"BRANCH", PrimKind::Branch},
+    {"MEMADD", PrimKind::MemAdd},
+    {"MEMSUB", PrimKind::MemSub},
+    {"MEMAND", PrimKind::MemAnd},
+    {"MEMOR", PrimKind::MemOr},
+    {"MEMREAD", PrimKind::MemRead},
+    {"MEMWRITE", PrimKind::MemWrite},
+    {"MEMMAX", PrimKind::MemMax},
+    {"LOADI", PrimKind::Loadi},
+    {"ADD", PrimKind::Add},
+    {"AND", PrimKind::And},
+    {"OR", PrimKind::Or},
+    {"MAX", PrimKind::Max},
+    {"MIN", PrimKind::Min},
+    {"XOR", PrimKind::Xor},
+    {"MOVE", PrimKind::Move},
+    {"NOT", PrimKind::Not},
+    {"SUB", PrimKind::Sub},
+    {"EQUAL", PrimKind::Equal},
+    {"SGT", PrimKind::Sgt},
+    {"SLT", PrimKind::Slt},
+    {"ADDI", PrimKind::Addi},
+    {"ANDI", PrimKind::Andi},
+    {"XORI", PrimKind::Xori},
+    {"SUBI", PrimKind::Subi},
+    {"FORWARD", PrimKind::Forward},
+    {"MULTICAST", PrimKind::Multicast},
+    {"DROP", PrimKind::Drop},
+    {"RETURN", PrimKind::Return},
+    {"REPORT", PrimKind::Report},
+};
+}  // namespace
+
+const char* prim_name(PrimKind kind) noexcept {
+  for (const auto& [name, k] : kPrimNames) {
+    if (k == kind) return name;
+  }
+  return "?";
+}
+
+std::optional<PrimKind> prim_from_name(const std::string& name) noexcept {
+  for (const auto& [n, k] : kPrimNames) {
+    if (name == n) return k;
+  }
+  return std::nullopt;
+}
+
+bool is_pseudo(PrimKind kind) noexcept {
+  switch (kind) {
+    case PrimKind::Move:
+    case PrimKind::Not:
+    case PrimKind::Sub:
+    case PrimKind::Equal:
+    case PrimKind::Sgt:
+    case PrimKind::Slt:
+    case PrimKind::Addi:
+    case PrimKind::Andi:
+    case PrimKind::Xori:
+    case PrimKind::Subi:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace p4runpro::lang

@@ -1,0 +1,130 @@
+// Abstract syntax tree of the P4runpro DSL (paper Fig. 15). Each primitive
+// statement becomes an AST node; a BRANCH node owns its case blocks, whose
+// bodies are sub-trees ("each branch of the AST represents a conditional
+// branch", §4.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace p4runpro::lang {
+
+/// Surface-level primitive / pseudo-primitive names (Table 3). Pseudo
+/// primitives are lowered by the compiler's translation pass.
+enum class PrimKind : std::uint8_t {
+  // header interaction
+  Extract,
+  Modify,
+  // hash
+  Hash5Tuple,
+  Hash,
+  Hash5TupleMem,
+  HashMem,
+  // conditional branch
+  Branch,
+  // memory
+  MemAdd,
+  MemSub,
+  MemAnd,
+  MemOr,
+  MemRead,
+  MemWrite,
+  MemMax,
+  // arithmetic & logic
+  Loadi,
+  Add,
+  And,
+  Or,
+  Max,
+  Min,
+  Xor,
+  // pseudo primitives (Fig. 14)
+  Move,
+  Not,
+  Sub,
+  Equal,
+  Sgt,
+  Slt,
+  Addi,
+  Andi,
+  Xori,
+  Subi,
+  // forwarding
+  Forward,
+  Drop,
+  Return,
+  Report,
+  Multicast,  ///< §7 extension: replicate via a traffic-manager group
+};
+
+[[nodiscard]] const char* prim_name(PrimKind kind) noexcept;
+[[nodiscard]] std::optional<PrimKind> prim_from_name(const std::string& name) noexcept;
+[[nodiscard]] bool is_pseudo(PrimKind kind) noexcept;
+
+/// `@ IDENTIFIER INT` — virtual memory block request.
+struct Annotation {
+  std::string name;
+  std::uint32_t size = 0;  // 32-bit buckets
+  int line = 0;
+};
+
+/// `<FIELD, VALUE, MASK>` traffic filter of a program declaration.
+struct Filter {
+  std::string field;
+  Word value = 0;
+  Word mask = 0;
+  int line = 0;
+};
+
+/// `<REGISTER, VALUE, MASK>` condition inside a case block.
+struct Condition {
+  Reg reg = Reg::Har;
+  Word value = 0;
+  Word mask = 0;
+  int line = 0;
+};
+
+/// Primitive argument as written; classified by the semantic checker.
+struct Argument {
+  enum class Kind : std::uint8_t { Field, Identifier, Register, Integer } kind;
+  std::string text;  // Field / Identifier spelling
+  Reg reg = Reg::Har;
+  Word value = 0;
+  int line = 0;
+};
+
+struct Primitive;
+
+/// One `case(<...>) { ... }` block of a BRANCH.
+struct Case {
+  std::vector<Condition> conditions;
+  std::vector<Primitive> body;
+  int line = 0;
+};
+
+struct Primitive {
+  PrimKind kind = PrimKind::Drop;
+  std::vector<Argument> args;
+  std::vector<Case> cases;  // BRANCH only
+  int line = 0;
+};
+
+/// `program NAME (filters) { body }`.
+struct ProgramDecl {
+  std::string name;
+  std::vector<Filter> filters;
+  std::vector<Primitive> body;
+  int line = 0;
+};
+
+/// A parsed source unit: annotations followed by one or more programs.
+struct Unit {
+  std::vector<Annotation> annotations;
+  std::vector<ProgramDecl> programs;
+};
+
+}  // namespace p4runpro::lang

@@ -1,0 +1,253 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <string>
+
+namespace p4runpro::lang {
+
+namespace {
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> tokens;
+    while (true) {
+      if (!skip_trivia()) return Error{error_, location()};
+      if (at_end()) break;
+      Token tok;
+      tok.line = line_;
+      tok.column = column_;
+      const char c = peek();
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        if (!scan_number(tok)) return Error{error_, location()};
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        scan_identifier(tok);
+      } else {
+        if (!scan_punct(tok)) return Error{error_, location()};
+      }
+      tokens.push_back(std::move(tok));
+    }
+    Token end;
+    end.kind = TokenKind::End;
+    end.line = line_;
+    end.column = column_;
+    tokens.push_back(end);
+    return tokens;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() noexcept {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  [[nodiscard]] std::string location() const {
+    return "line " + std::to_string(line_) + ":" + std::to_string(column_);
+  }
+
+  /// Skip whitespace and comments; false on unterminated block comment.
+  bool skip_trivia() {
+    while (!at_end()) {
+      const char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (!at_end() && peek() != '\n') advance();
+      } else if (c == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        while (!at_end() && !(peek() == '*' && peek(1) == '/')) advance();
+        if (at_end()) {
+          error_ = "unterminated block comment";
+          return false;
+        }
+        advance();
+        advance();
+      } else {
+        break;
+      }
+    }
+    return true;
+  }
+
+  bool scan_number(Token& tok) {
+    tok.kind = TokenKind::Integer;
+    std::string text;
+    // Collect the maximal run of digits, hex letters, '.', 'x', 'b'.
+    while (!at_end()) {
+      const char c = peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '.') {
+        text.push_back(advance());
+      } else {
+        break;
+      }
+    }
+    tok.text = text;
+    if (text.find('.') != std::string::npos) return parse_ipv4(text, tok);
+    std::uint64_t value = 0;
+    std::size_t i = 0;
+    int base = 10;
+    if (text.size() > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+      base = 16;
+      i = 2;
+    } else if (text.size() > 2 && text[0] == '0' && (text[1] == 'b' || text[1] == 'B')) {
+      base = 2;
+      i = 2;
+    }
+    if (i >= text.size()) {
+      error_ = "malformed integer literal '" + text + "'";
+      return false;
+    }
+    for (; i < text.size(); ++i) {
+      const char c = text[i];
+      int digit;
+      if (c >= '0' && c <= '9') {
+        digit = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        digit = c - 'a' + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = c - 'A' + 10;
+      } else {
+        error_ = "bad digit in integer literal '" + text + "'";
+        return false;
+      }
+      if (digit >= base) {
+        error_ = "bad digit in integer literal '" + text + "'";
+        return false;
+      }
+      value = value * static_cast<std::uint64_t>(base) + static_cast<std::uint64_t>(digit);
+      if (value > 0xffffffffull) {
+        error_ = "integer literal out of 32-bit range: '" + text + "'";
+        return false;
+      }
+    }
+    tok.value = static_cast<std::uint32_t>(value);
+    return true;
+  }
+
+  bool parse_ipv4(const std::string& text, Token& tok) {
+    std::uint32_t value = 0;
+    int octets = 0;
+    std::size_t i = 0;
+    while (i < text.size()) {
+      std::uint32_t octet = 0;
+      std::size_t digits = 0;
+      while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+        octet = octet * 10 + static_cast<std::uint32_t>(text[i] - '0');
+        ++digits;
+        ++i;
+      }
+      if (digits == 0 || digits > 3 || octet > 255) {
+        error_ = "malformed IPv4 literal '" + text + "'";
+        return false;
+      }
+      value = (value << 8) | octet;
+      ++octets;
+      if (i < text.size()) {
+        if (text[i] != '.') {
+          error_ = "malformed IPv4 literal '" + text + "'";
+          return false;
+        }
+        ++i;
+      }
+    }
+    if (octets != 4) {
+      error_ = "malformed IPv4 literal '" + text + "'";
+      return false;
+    }
+    tok.value = value;
+    return true;
+  }
+
+  void scan_identifier(Token& tok) {
+    tok.kind = TokenKind::Identifier;
+    std::string text;
+    while (!at_end()) {
+      const char c = peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.') {
+        text.push_back(advance());
+      } else {
+        break;
+      }
+    }
+    tok.text = std::move(text);
+  }
+
+  bool scan_punct(Token& tok) {
+    const char c = advance();
+    switch (c) {
+      case '@': tok.kind = TokenKind::At; return true;
+      case '(': tok.kind = TokenKind::LParen; return true;
+      case ')': tok.kind = TokenKind::RParen; return true;
+      case '{': tok.kind = TokenKind::LBrace; return true;
+      case '}': tok.kind = TokenKind::RBrace; return true;
+      case '<': tok.kind = TokenKind::Less; return true;
+      case '>': tok.kind = TokenKind::Greater; return true;
+      case ',': tok.kind = TokenKind::Comma; return true;
+      case ';': tok.kind = TokenKind::Semicolon; return true;
+      case ':': tok.kind = TokenKind::Colon; return true;
+      default:
+        error_ = std::string("unexpected character '") + c + "'";
+        return false;
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  std::string error_;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> lex(std::string_view source) {
+  return Scanner(source).run();
+}
+
+int count_loc(std::string_view source) {
+  int loc = 0;
+  bool in_block_comment = false;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    const std::size_t eol = source.find('\n', pos);
+    const std::string_view line =
+        source.substr(pos, eol == std::string_view::npos ? source.size() - pos
+                                                         : eol - pos);
+    bool has_code = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (in_block_comment) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block_comment = false;
+          ++i;
+        }
+        continue;
+      }
+      if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+      if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        ++i;
+        continue;
+      }
+      if (!std::isspace(static_cast<unsigned char>(line[i]))) has_code = true;
+    }
+    if (has_code) ++loc;
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  return loc;
+}
+
+}  // namespace p4runpro::lang

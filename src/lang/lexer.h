@@ -1,0 +1,22 @@
+// Hand-written scanner for the P4runpro DSL. Replaces the prototype's
+// Python Lex half of PLY (paper §5).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "lang/token.h"
+
+namespace p4runpro::lang {
+
+/// Tokenize a whole program text. Handles `//` and `/* */` comments,
+/// binary / decimal / hexadecimal integers, dotted-quad IPv4 values and
+/// dotted field identifiers.
+[[nodiscard]] Result<std::vector<Token>> lex(std::string_view source);
+
+/// Count the non-blank, non-comment source lines (the LoC metric of
+/// Table 1).
+[[nodiscard]] int count_loc(std::string_view source);
+
+}  // namespace p4runpro::lang

@@ -1,0 +1,241 @@
+#include "lang/parser.h"
+
+#include <utility>
+
+#include "lang/lexer.h"
+
+namespace p4runpro::lang {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Unit> run() {
+    Unit unit;
+    while (peek().kind == TokenKind::At) {
+      auto ann = parse_annotation();
+      if (!ann.ok()) return ann.error();
+      unit.annotations.push_back(std::move(ann).take());
+    }
+    while (peek().kind != TokenKind::End) {
+      auto prog = parse_program();
+      if (!prog.ok()) return prog.error();
+      unit.programs.push_back(std::move(prog).take());
+    }
+    if (unit.programs.empty()) return fail<Unit>("expected at least one program");
+    return unit;
+  }
+
+ private:
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const noexcept {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& advance() noexcept {
+    const Token& t = peek();
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+  [[nodiscard]] bool check(TokenKind kind) const noexcept { return peek().kind == kind; }
+  bool match(TokenKind kind) noexcept {
+    if (!check(kind)) return false;
+    advance();
+    return true;
+  }
+
+  template <typename T>
+  Result<T> fail(std::string message) const {
+    const Token& t = peek();
+    return Error{std::move(message),
+                 "line " + std::to_string(t.line) + ":" + std::to_string(t.column)};
+  }
+  Status expect(TokenKind kind, const char* what) {
+    if (match(kind)) return {};
+    const Token& t = peek();
+    return Error{std::string("expected ") + what + ", found '" +
+                     (t.kind == TokenKind::Identifier ? t.text
+                                                      : token_kind_name(t.kind)) +
+                     "'",
+                 "line " + std::to_string(t.line) + ":" + std::to_string(t.column)};
+  }
+
+  Result<Annotation> parse_annotation() {
+    Annotation ann;
+    ann.line = peek().line;
+    advance();  // '@'
+    if (!check(TokenKind::Identifier)) return fail<Annotation>("expected memory identifier after '@'");
+    ann.name = advance().text;
+    if (!check(TokenKind::Integer)) return fail<Annotation>("expected memory size after identifier");
+    ann.size = advance().value;
+    return ann;
+  }
+
+  Result<ProgramDecl> parse_program() {
+    ProgramDecl prog;
+    prog.line = peek().line;
+    if (!check(TokenKind::Identifier) || peek().text != "program") {
+      return fail<ProgramDecl>("expected 'program'");
+    }
+    advance();
+    if (!check(TokenKind::Identifier)) return fail<ProgramDecl>("expected program name");
+    prog.name = advance().text;
+    if (auto s = expect(TokenKind::LParen, "'('"); !s.ok()) return s.error();
+    do {
+      auto filter = parse_filter();
+      if (!filter.ok()) return filter.error();
+      prog.filters.push_back(std::move(filter).take());
+    } while (match(TokenKind::Comma));
+    if (auto s = expect(TokenKind::RParen, "')'"); !s.ok()) return s.error();
+    if (auto s = expect(TokenKind::LBrace, "'{'"); !s.ok()) return s.error();
+    auto body = parse_body();
+    if (!body.ok()) return body.error();
+    prog.body = std::move(body).take();
+    if (auto s = expect(TokenKind::RBrace, "'}'"); !s.ok()) return s.error();
+    return prog;
+  }
+
+  Result<Filter> parse_filter() {
+    Filter f;
+    f.line = peek().line;
+    if (auto s = expect(TokenKind::Less, "'<'"); !s.ok()) return s.error();
+    if (!check(TokenKind::Identifier)) return fail<Filter>("expected field name in filter");
+    f.field = advance().text;
+    if (auto s = expect(TokenKind::Comma, "','"); !s.ok()) return s.error();
+    if (!check(TokenKind::Integer)) return fail<Filter>("expected value in filter");
+    f.value = advance().value;
+    if (auto s = expect(TokenKind::Comma, "','"); !s.ok()) return s.error();
+    if (!check(TokenKind::Integer)) return fail<Filter>("expected mask in filter");
+    f.mask = advance().value;
+    if (auto s = expect(TokenKind::Greater, "'>'"); !s.ok()) return s.error();
+    return f;
+  }
+
+  /// primitive* up to (not consuming) '}'.
+  Result<std::vector<Primitive>> parse_body() {
+    std::vector<Primitive> body;
+    while (!check(TokenKind::RBrace) && !check(TokenKind::End)) {
+      auto prim = parse_primitive();
+      if (!prim.ok()) return prim.error();
+      body.push_back(std::move(prim).take());
+    }
+    return body;
+  }
+
+  Result<Primitive> parse_primitive() {
+    Primitive prim;
+    prim.line = peek().line;
+    if (!check(TokenKind::Identifier)) return fail<Primitive>("expected primitive name");
+    const std::string name = advance().text;
+    const auto kind = prim_from_name(name);
+    if (!kind) return fail<Primitive>("unknown primitive '" + name + "'");
+    prim.kind = *kind;
+
+    if (prim.kind == PrimKind::Branch) {
+      if (auto s = expect(TokenKind::Colon, "':' after BRANCH"); !s.ok()) return s.error();
+      while (check(TokenKind::Identifier) && peek().text == "case") {
+        auto c = parse_case();
+        if (!c.ok()) return c.error();
+        prim.cases.push_back(std::move(c).take());
+      }
+      if (prim.cases.empty()) return fail<Primitive>("BRANCH needs at least one case");
+      match(TokenKind::Semicolon);  // optional terminator after the last case
+      return prim;
+    }
+
+    if (match(TokenKind::LParen)) {
+      if (!check(TokenKind::RParen)) {
+        do {
+          auto arg = parse_argument();
+          if (!arg.ok()) return arg.error();
+          prim.args.push_back(std::move(arg).take());
+        } while (match(TokenKind::Comma));
+      }
+      if (auto s = expect(TokenKind::RParen, "')'"); !s.ok()) return s.error();
+    }
+    if (auto s = expect(TokenKind::Semicolon, "';'"); !s.ok()) return s.error();
+    return prim;
+  }
+
+  Result<Case> parse_case() {
+    Case c;
+    c.line = peek().line;
+    advance();  // 'case'
+    if (auto s = expect(TokenKind::LParen, "'(' after case"); !s.ok()) return s.error();
+    do {
+      auto cond = parse_condition();
+      if (!cond.ok()) return cond.error();
+      c.conditions.push_back(std::move(cond).take());
+    } while (match(TokenKind::Comma));
+    if (auto s = expect(TokenKind::RParen, "')'"); !s.ok()) return s.error();
+    if (auto s = expect(TokenKind::LBrace, "'{'"); !s.ok()) return s.error();
+    auto body = parse_body();
+    if (!body.ok()) return body.error();
+    c.body = std::move(body).take();
+    if (auto s = expect(TokenKind::RBrace, "'}'"); !s.ok()) return s.error();
+    match(TokenKind::Semicolon);  // case blocks are conventionally ';'-terminated
+    return c;
+  }
+
+  Result<Condition> parse_condition() {
+    Condition cond;
+    cond.line = peek().line;
+    if (auto s = expect(TokenKind::Less, "'<'"); !s.ok()) return s.error();
+    if (!check(TokenKind::Identifier)) return fail<Condition>("expected register in condition");
+    const std::string reg = advance().text;
+    if (reg == "har") {
+      cond.reg = Reg::Har;
+    } else if (reg == "sar") {
+      cond.reg = Reg::Sar;
+    } else if (reg == "mar") {
+      cond.reg = Reg::Mar;
+    } else {
+      return fail<Condition>("condition must name har, sar or mar (got '" + reg + "')");
+    }
+    if (auto s = expect(TokenKind::Comma, "','"); !s.ok()) return s.error();
+    if (!check(TokenKind::Integer)) return fail<Condition>("expected value in condition");
+    cond.value = advance().value;
+    if (auto s = expect(TokenKind::Comma, "','"); !s.ok()) return s.error();
+    if (!check(TokenKind::Integer)) return fail<Condition>("expected mask in condition");
+    cond.mask = advance().value;
+    if (auto s = expect(TokenKind::Greater, "'>'"); !s.ok()) return s.error();
+    return cond;
+  }
+
+  Result<Argument> parse_argument() {
+    Argument arg;
+    arg.line = peek().line;
+    if (check(TokenKind::Integer)) {
+      arg.kind = Argument::Kind::Integer;
+      arg.value = advance().value;
+      return arg;
+    }
+    if (!check(TokenKind::Identifier)) return fail<Argument>("expected argument");
+    const std::string text = advance().text;
+    if (text == "har" || text == "sar" || text == "mar") {
+      arg.kind = Argument::Kind::Register;
+      arg.reg = text == "har" ? Reg::Har : text == "sar" ? Reg::Sar : Reg::Mar;
+    } else if (text.find('.') != std::string::npos) {
+      arg.kind = Argument::Kind::Field;
+      arg.text = text;
+    } else {
+      arg.kind = Argument::Kind::Identifier;
+      arg.text = text;
+    }
+    return arg;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Unit> parse(std::string_view source) {
+  auto tokens = lex(source);
+  if (!tokens.ok()) return tokens.error();
+  return Parser(std::move(tokens).take()).run();
+}
+
+}  // namespace p4runpro::lang

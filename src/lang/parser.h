@@ -1,0 +1,15 @@
+// Recursive-descent parser for the P4runpro DSL; replaces the prototype's
+// Yacc half of PLY. Produces the AST of lang/ast.h or a diagnostic.
+#pragma once
+
+#include <string_view>
+
+#include "common/result.h"
+#include "lang/ast.h"
+
+namespace p4runpro::lang {
+
+/// Parse a whole source unit (annotations + one or more programs).
+[[nodiscard]] Result<Unit> parse(std::string_view source);
+
+}  // namespace p4runpro::lang

@@ -1,0 +1,24 @@
+#include "lang/token.h"
+
+namespace p4runpro::lang {
+
+const char* token_kind_name(TokenKind kind) noexcept {
+  switch (kind) {
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::Integer: return "integer";
+    case TokenKind::At: return "@";
+    case TokenKind::LParen: return "(";
+    case TokenKind::RParen: return ")";
+    case TokenKind::LBrace: return "{";
+    case TokenKind::RBrace: return "}";
+    case TokenKind::Less: return "<";
+    case TokenKind::Greater: return ">";
+    case TokenKind::Comma: return ",";
+    case TokenKind::Semicolon: return ";";
+    case TokenKind::Colon: return ":";
+    case TokenKind::End: return "<eof>";
+  }
+  return "?";
+}
+
+}  // namespace p4runpro::lang

@@ -1,0 +1,35 @@
+// Token stream of the P4runpro DSL (grammar in paper Fig. 15).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace p4runpro::lang {
+
+enum class TokenKind : std::uint8_t {
+  Identifier,  // program / memory / primitive / field names (may be dotted)
+  Integer,     // binary (0b..), decimal, hexadecimal (0x..) or IPv4 dotted quad
+  At,          // @
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  Less,
+  Greater,
+  Comma,
+  Semicolon,
+  Colon,
+  End,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  std::string text;          // raw spelling (identifiers)
+  std::uint32_t value = 0;   // parsed value for Integer
+  int line = 0;
+  int column = 0;
+};
+
+[[nodiscard]] const char* token_kind_name(TokenKind kind) noexcept;
+
+}  // namespace p4runpro::lang

@@ -1,0 +1,101 @@
+#include "p4baseline/fixed_function.h"
+
+namespace p4runpro::p4fix {
+
+namespace {
+[[nodiscard]] rmt::PipelineResult forwarded(const rmt::Packet& pkt, Port port) {
+  rmt::PipelineResult result;
+  result.fate = rmt::PacketFate::Forwarded;
+  result.egress_port = port;
+  result.packet = pkt;
+  return result;
+}
+}  // namespace
+
+rmt::PipelineResult FixedForward::process(const rmt::Packet& pkt) {
+  return forwarded(pkt, port_);
+}
+
+rmt::PipelineResult FixedCache::process(const rmt::Packet& pkt) {
+  if (!pkt.app || !pkt.udp) return forwarded(pkt, 0);
+  rmt::PipelineResult result;
+  result.packet = pkt;
+  const auto it = pkt.app->key2 == 0 ? values_.find(pkt.app->key1) : values_.end();
+  if (it == values_.end()) {
+    // Cache miss: to the storage server.
+    result.fate = rmt::PacketFate::Forwarded;
+    result.egress_port = server_port_;
+    return result;
+  }
+  if (pkt.app->op == 1) {  // cache read
+    result.packet.app->value = it->second;
+    result.fate = rmt::PacketFate::Returned;
+    result.egress_port = pkt.ingress_port;
+    return result;
+  }
+  if (pkt.app->op == 2) {  // cache write
+    it->second = pkt.app->value;
+    result.fate = rmt::PacketFate::Dropped;
+    return result;
+  }
+  result.fate = rmt::PacketFate::Forwarded;
+  result.egress_port = server_port_;
+  return result;
+}
+
+rmt::PipelineResult FixedLoadBalancer::process(const rmt::Packet& pkt) {
+  if (!pkt.ipv4 || (pkt.ipv4->dst & vip_mask_) != (vip_prefix_ & vip_mask_)) {
+    return forwarded(pkt, 0);
+  }
+  const auto bytes = pkt.five_tuple().bytes();
+  const std::uint32_t bucket =
+      rmt::crc16_buypass(bytes) & static_cast<std::uint32_t>(ports_.size() - 1);
+  rmt::PipelineResult result;
+  result.packet = pkt;
+  result.packet.ipv4->dst = dips_[bucket];
+  result.fate = rmt::PacketFate::Forwarded;
+  result.egress_port = ports_[bucket];
+  return result;
+}
+
+rmt::PipelineResult FixedHeavyHitter::process(const rmt::Packet& pkt) {
+  if (!pkt.ipv4) return forwarded(pkt, 0);
+  const auto bytes = pkt.five_tuple().bytes();
+  const auto mask = static_cast<std::uint32_t>(cms_row1_.size() - 1);
+  const std::uint32_t b1 = rmt::crc16_buypass(bytes) & mask;
+  const std::uint32_t b2 = rmt::crc16_mcrf4xx(bytes) & mask;
+  const Word count = std::min(++cms_row1_[b1], ++cms_row2_[b2]);
+  if (count >= threshold_) {
+    const std::uint32_t f1 = rmt::crc16_aug_ccitt(bytes) & mask;
+    const std::uint32_t f2 = rmt::crc16_dds110(bytes) & mask;
+    const bool seen = bf_row1_[f1] != 0 && bf_row2_[f2] != 0;
+    bf_row1_[f1] = 1;
+    bf_row2_[f2] = 1;
+    if (!seen) {
+      rmt::PipelineResult result;
+      result.packet = pkt;
+      result.fate = rmt::PacketFate::Reported;
+      return result;
+    }
+  }
+  return forwarded(pkt, 0);
+}
+
+void ConventionalSwitch::provision(std::unique_ptr<FixedProgram> program,
+                                   double reprovision_seconds) {
+  program_ = std::move(program);
+  ready_at_s_ = clock_.now_s() + reprovision_seconds;
+}
+
+rmt::PipelineResult ConventionalSwitch::inject(const rmt::Packet& pkt) {
+  rmt::PipelineResult result;
+  if (provisioning() || program_ == nullptr) {
+    // The switch is down: ports disabled, every packet lost.
+    result.fate = rmt::PacketFate::Dropped;
+    result.packet = pkt;
+    return result;
+  }
+  return program_->process(pkt);
+}
+
+}  // namespace p4runpro::p4fix

@@ -1,0 +1,118 @@
+// Conventional-P4 baseline: compile-time, fixed-function switch programs.
+// The paper's case studies (§6.4) run each P4runpro program side-by-side
+// with a standalone P4 program of equivalent function; this module provides
+// those standalone equivalents as native implementations, plus the
+// conventional workflow's defining cost — reprovisioning the switch blacks
+// out ALL traffic until the new image is loaded and ports re-enabled.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/types.h"
+#include "rmt/crc.h"
+#include "rmt/pipeline.h"
+
+namespace p4runpro::p4fix {
+
+/// One compiled-in P4 program: the whole pipeline behavior of the switch.
+class FixedProgram {
+ public:
+  virtual ~FixedProgram() = default;
+  virtual rmt::PipelineResult process(const rmt::Packet& pkt) = 0;
+};
+
+/// Plain L2 pass-through (the "program with only a forwarding table" the
+/// paper runs before the case studies start).
+class FixedForward final : public FixedProgram {
+ public:
+  explicit FixedForward(Port port = 0) : port_(port) {}
+  rmt::PipelineResult process(const rmt::Packet& pkt) override;
+
+ private:
+  Port port_;
+};
+
+/// The in-network cache as a standalone P4 program: exact-match key table
+/// maintained by the control plane, value registers, read/write opcodes.
+class FixedCache final : public FixedProgram {
+ public:
+  explicit FixedCache(Port server_port = 32) : server_port_(server_port) {}
+
+  rmt::PipelineResult process(const rmt::Packet& pkt) override;
+
+  // Control-plane API.
+  void insert(Word key, Word value) { values_[key] = value; }
+  void erase(Word key) { values_.erase(key); }
+  [[nodiscard]] std::size_t entries() const noexcept { return values_.size(); }
+
+ private:
+  Port server_port_;
+  std::map<Word, Word> values_;
+};
+
+/// Stateless L4 load balancer: CRC16 bucket -> (port, DIP).
+class FixedLoadBalancer final : public FixedProgram {
+ public:
+  FixedLoadBalancer(std::uint32_t buckets, Word vip_prefix, Word vip_mask)
+      : ports_(buckets, 0), dips_(buckets, 0), vip_prefix_(vip_prefix),
+        vip_mask_(vip_mask) {}
+
+  rmt::PipelineResult process(const rmt::Packet& pkt) override;
+
+  void set_bucket(std::uint32_t bucket, Port port, Word dip) {
+    ports_[bucket % ports_.size()] = port;
+    dips_[bucket % dips_.size()] = dip;
+  }
+
+ private:
+  std::vector<Port> ports_;
+  std::vector<Word> dips_;
+  Word vip_prefix_;
+  Word vip_mask_;
+};
+
+/// Heavy hitter detector: 2-row CMS + 2-row BF, reporting each heavy flow
+/// once (the P4 implementation of [52] the paper compares against).
+class FixedHeavyHitter final : public FixedProgram {
+ public:
+  FixedHeavyHitter(std::uint32_t row_size, Word threshold)
+      : cms_row1_(row_size, 0), cms_row2_(row_size, 0), bf_row1_(row_size, 0),
+        bf_row2_(row_size, 0), threshold_(threshold) {}
+
+  rmt::PipelineResult process(const rmt::Packet& pkt) override;
+
+ private:
+  std::vector<Word> cms_row1_, cms_row2_;
+  std::vector<std::uint8_t> bf_row1_, bf_row2_;
+  Word threshold_;
+};
+
+/// A switch running the conventional P4 workflow: exactly one compiled
+/// program at a time; swapping it requires reprovisioning, which drops all
+/// traffic until the switch is back up (the disruption P4runpro removes).
+class ConventionalSwitch {
+ public:
+  explicit ConventionalSwitch(SimClock& clock) : clock_(clock) {}
+
+  /// Load a new binary image. All traffic is dropped for
+  /// `reprovision_seconds` of virtual time (image load + port re-enable;
+  /// the preceding P4 compile takes minutes and happens offline, §6.2.1).
+  void provision(std::unique_ptr<FixedProgram> program, double reprovision_seconds);
+
+  rmt::PipelineResult inject(const rmt::Packet& pkt);
+
+  [[nodiscard]] bool provisioning() const {
+    return clock_.now_s() < ready_at_s_;
+  }
+
+ private:
+  SimClock& clock_;
+  std::unique_ptr<FixedProgram> program_;
+  double ready_at_s_ = 0.0;
+};
+
+}  // namespace p4runpro::p4fix

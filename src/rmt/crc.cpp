@@ -1,0 +1,72 @@
+#include "rmt/crc.h"
+
+namespace p4runpro::rmt {
+
+namespace {
+[[nodiscard]] std::uint32_t reflect_bits(std::uint32_t v, int width) noexcept {
+  std::uint32_t r = 0;
+  for (int i = 0; i < width; ++i) {
+    if (v & (1u << i)) r |= 1u << (width - 1 - i);
+  }
+  return r;
+}
+}  // namespace
+
+std::uint32_t crc_generic(const CrcParams& params,
+                          std::span<const std::uint8_t> data) noexcept {
+  const std::uint32_t top_bit = 1u << (params.width - 1);
+  const std::uint32_t mask =
+      params.width == 32 ? 0xffffffffu : ((1u << params.width) - 1u);
+  std::uint32_t crc = params.init;
+  for (std::uint8_t byte : data) {
+    std::uint32_t b = byte;
+    if (params.reflect_in) b = reflect_bits(b, 8);
+    crc ^= b << (params.width - 8);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & top_bit) ? ((crc << 1) ^ params.poly) : (crc << 1);
+      crc &= mask;
+    }
+  }
+  if (params.reflect_out) crc = reflect_bits(crc, params.width);
+  return (crc ^ params.xor_out) & mask;
+}
+
+std::uint16_t crc16_buypass(std::span<const std::uint8_t> data) noexcept {
+  static constexpr CrcParams kParams{16, 0x8005, 0x0000, false, false, 0x0000};
+  return static_cast<std::uint16_t>(crc_generic(kParams, data));
+}
+
+std::uint16_t crc16_mcrf4xx(std::span<const std::uint8_t> data) noexcept {
+  // Reflected algorithm expressed through the straight engine: reflect in/out.
+  static constexpr CrcParams kParams{16, 0x1021, 0xffff, true, true, 0x0000};
+  return static_cast<std::uint16_t>(crc_generic(kParams, data));
+}
+
+std::uint16_t crc16_aug_ccitt(std::span<const std::uint8_t> data) noexcept {
+  static constexpr CrcParams kParams{16, 0x1021, 0x1d0f, false, false, 0x0000};
+  return static_cast<std::uint16_t>(crc_generic(kParams, data));
+}
+
+std::uint16_t crc16_dds110(std::span<const std::uint8_t> data) noexcept {
+  static constexpr CrcParams kParams{16, 0x8005, 0x800d, false, false, 0x0000};
+  return static_cast<std::uint16_t>(crc_generic(kParams, data));
+}
+
+std::uint32_t crc32_iso_hdlc(std::span<const std::uint8_t> data) noexcept {
+  static constexpr CrcParams kParams{32, 0x04c11db7, 0xffffffffu, true, true,
+                                     0xffffffffu};
+  return crc_generic(kParams, data);
+}
+
+std::uint32_t run_hash(HashAlgo algo, std::span<const std::uint8_t> data) noexcept {
+  switch (algo) {
+    case HashAlgo::Crc16Buypass: return crc16_buypass(data);
+    case HashAlgo::Crc16Mcrf4xx: return crc16_mcrf4xx(data);
+    case HashAlgo::Crc16AugCcitt: return crc16_aug_ccitt(data);
+    case HashAlgo::Crc16Dds110: return crc16_dds110(data);
+    case HashAlgo::Crc32: return crc32_iso_hdlc(data);
+  }
+  return 0;
+}
+
+}  // namespace p4runpro::rmt

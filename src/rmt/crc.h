@@ -1,0 +1,50 @@
+// Hardware hash units of the RMT pipeline. Tofino exposes configurable CRC
+// engines; the paper's heavy-hitter case study (Fig. 13d) uses the standard
+// algorithms crc_16_buypass, crc_16_mcrf4xx, crc_aug_ccitt and
+// crc_16_dds_110 for the CMS/BF rows. We implement the generic
+// parameterized CRC plus those named instances and CRC-32.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace p4runpro::rmt {
+
+/// Rocksoft-style CRC parameterization (width <= 32).
+struct CrcParams {
+  int width;
+  std::uint32_t poly;
+  std::uint32_t init;
+  bool reflect_in;
+  bool reflect_out;
+  std::uint32_t xor_out;
+};
+
+/// Compute a CRC over `data` with the given parameters. Bitwise
+/// implementation; the simulator is functional, not throughput-bound.
+[[nodiscard]] std::uint32_t crc_generic(const CrcParams& params,
+                                        std::span<const std::uint8_t> data) noexcept;
+
+// Named instances (check values over "123456789" in parentheses).
+[[nodiscard]] std::uint16_t crc16_buypass(std::span<const std::uint8_t> data) noexcept;    // 0xFEE8
+[[nodiscard]] std::uint16_t crc16_mcrf4xx(std::span<const std::uint8_t> data) noexcept;    // 0x6F91
+[[nodiscard]] std::uint16_t crc16_aug_ccitt(std::span<const std::uint8_t> data) noexcept;  // 0xE5CC
+[[nodiscard]] std::uint16_t crc16_dds110(std::span<const std::uint8_t> data) noexcept;     // 0x9ECF
+[[nodiscard]] std::uint32_t crc32_iso_hdlc(std::span<const std::uint8_t> data) noexcept;   // 0xCBF43926
+
+/// Identifier of the per-stage hash engine configuration. Each RPB owns a
+/// hash unit; the prototype cycles through the four CRC-16 variants (as in
+/// the case study) widened to 32 bits by a second CRC-32 pass.
+enum class HashAlgo : std::uint8_t {
+  Crc16Buypass,
+  Crc16Mcrf4xx,
+  Crc16AugCcitt,
+  Crc16Dds110,
+  Crc32,
+};
+
+/// Run the selected algorithm. 16-bit algorithms return their value in the
+/// low 16 bits (the hardware hash output width before the mask step).
+[[nodiscard]] std::uint32_t run_hash(HashAlgo algo, std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace p4runpro::rmt

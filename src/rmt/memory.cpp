@@ -1,0 +1,46 @@
+#include "rmt/memory.h"
+
+#include <algorithm>
+
+namespace p4runpro::rmt {
+
+void StageMemory::reset_range(MemAddr base, std::size_t count) noexcept {
+  if (base >= buckets_.size()) return;
+  const std::size_t end = std::min(buckets_.size(), static_cast<std::size_t>(base) + count);
+  std::fill(buckets_.begin() + base, buckets_.begin() + static_cast<std::ptrdiff_t>(end), 0u);
+}
+
+SaluResult StageMemory::execute(SaluOp op, MemAddr addr, Word sar_in) noexcept {
+  if (addr >= buckets_.size()) {
+    // Invalid physical address: reads see 0, writes are dropped.
+    return {0, op != SaluOp::Write && op != SaluOp::Max};
+  }
+  Word& bucket = buckets_[addr];
+  switch (op) {
+    case SaluOp::Add:
+      bucket += sar_in;
+      return {bucket, true};
+    case SaluOp::Sub:
+      bucket -= sar_in;
+      return {bucket, true};
+    case SaluOp::And:
+      bucket &= sar_in;
+      return {bucket, true};
+    case SaluOp::Or: {
+      const Word old = bucket;
+      bucket |= sar_in;
+      return {old, true};
+    }
+    case SaluOp::Read:
+      return {bucket, true};
+    case SaluOp::Write:
+      bucket = sar_in;
+      return {sar_in, false};
+    case SaluOp::Max:
+      if (sar_in > bucket) bucket = sar_in;
+      return {sar_in, false};
+  }
+  return {0, false};
+}
+
+}  // namespace p4runpro::rmt

@@ -1,0 +1,64 @@
+// Per-stage stateful memory with SALU semantics. Each RMT stage owns a
+// register array that only its own stage can touch (no cross-stage memory
+// access — the constraint behind alignment and recirculation in §4.3), and
+// a stateful ALU that performs one read-modify-write per packet, optionally
+// guarded by a conditional comparison (used for MEMMAX, as in FlyMon).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace p4runpro::rmt {
+
+/// The memory operations the pre-installed SALU programs implement
+/// (Table 3). The `sar` result column encodes whether the SALU outputs the
+/// old or the new bucket value (see DESIGN.md §2.2).
+enum class SaluOp : std::uint8_t {
+  Add,    ///< bucket += sar;          sar = new value
+  Sub,    ///< bucket -= sar;          sar = new value
+  And,    ///< bucket &= sar;          sar = new value
+  Or,     ///< old = bucket; bucket |= sar; sar = old value
+  Read,   ///< sar = bucket
+  Write,  ///< bucket = sar;           sar unchanged
+  Max,    ///< bucket = sar if sar > bucket; sar unchanged
+};
+
+/// Result of one SALU execution.
+struct SaluResult {
+  Word sar_out;   ///< value to write back into the sar register
+  bool sar_set;   ///< whether sar is updated at all (Write/Max leave it)
+};
+
+/// A stage's register array + SALU.
+class StageMemory {
+ public:
+  explicit StageMemory(std::size_t size) : buckets_(size, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return buckets_.size(); }
+
+  /// Raw control-plane access (the resource manager's register read/write
+  /// path; bounds-checked).
+  [[nodiscard]] Word read(MemAddr addr) const noexcept {
+    return addr < buckets_.size() ? buckets_[addr] : 0;
+  }
+  void write(MemAddr addr, Word value) noexcept {
+    if (addr < buckets_.size()) buckets_[addr] = value;
+  }
+
+  /// Reset a contiguous range to zero (program-termination memory reset,
+  /// Fig. 6 step 4).
+  void reset_range(MemAddr base, std::size_t count) noexcept;
+
+  /// Execute one SALU operation at `addr` with stateless input `sar_in`.
+  /// Out-of-range addresses read as 0 and drop writes (the hardware would
+  /// wrap; the P4runpro compiler's mask step guarantees in-range addresses,
+  /// and the LOADI path makes validity the programmer's contract, §4.1.2).
+  [[nodiscard]] SaluResult execute(SaluOp op, MemAddr addr, Word sar_in) noexcept;
+
+ private:
+  std::vector<Word> buckets_;
+};
+
+}  // namespace p4runpro::rmt

@@ -1,0 +1,203 @@
+#include "rmt/packet.h"
+
+#include <unordered_map>
+
+namespace p4runpro::rmt {
+
+std::array<std::uint8_t, 13> FiveTuple::bytes() const noexcept {
+  std::array<std::uint8_t, 13> out{};
+  auto put32 = [&out](int at, std::uint32_t v) {
+    out[at] = static_cast<std::uint8_t>(v >> 24);
+    out[at + 1] = static_cast<std::uint8_t>(v >> 16);
+    out[at + 2] = static_cast<std::uint8_t>(v >> 8);
+    out[at + 3] = static_cast<std::uint8_t>(v);
+  };
+  auto put16 = [&out](int at, std::uint16_t v) {
+    out[at] = static_cast<std::uint8_t>(v >> 8);
+    out[at + 1] = static_cast<std::uint8_t>(v);
+  };
+  put32(0, src_ip);
+  put32(4, dst_ip);
+  put16(8, src_port);
+  put16(10, dst_port);
+  out[12] = proto;
+  return out;
+}
+
+FiveTuple Packet::five_tuple() const noexcept {
+  FiveTuple t;
+  if (ipv4) {
+    t.src_ip = ipv4->src;
+    t.dst_ip = ipv4->dst;
+    t.proto = ipv4->proto;
+  }
+  if (tcp) {
+    t.src_port = tcp->src_port;
+    t.dst_port = tcp->dst_port;
+  } else if (udp) {
+    t.src_port = udp->src_port;
+    t.dst_port = udp->dst_port;
+  }
+  return t;
+}
+
+std::uint32_t Packet::wire_len() const noexcept {
+  std::uint32_t len = 14;  // Ethernet
+  if (ipv4) len += 20;
+  if (tcp) len += 20;
+  if (udp) len += 8;
+  if (app) len += 16;
+  return len + payload_len;
+}
+
+Word read_field(const Packet& pkt, FieldId field, Word qdepth) noexcept {
+  switch (field) {
+    case FieldId::EthDstHi: return static_cast<Word>(pkt.eth.dst_mac >> 16);
+    case FieldId::EthDstLo: return static_cast<Word>(pkt.eth.dst_mac & 0xffff);
+    case FieldId::EthSrcHi: return static_cast<Word>(pkt.eth.src_mac >> 16);
+    case FieldId::EthSrcLo: return static_cast<Word>(pkt.eth.src_mac & 0xffff);
+    case FieldId::EthType: return pkt.eth.ether_type;
+    case FieldId::Ipv4Src: return pkt.ipv4 ? pkt.ipv4->src : 0;
+    case FieldId::Ipv4Dst: return pkt.ipv4 ? pkt.ipv4->dst : 0;
+    case FieldId::Ipv4Proto: return pkt.ipv4 ? pkt.ipv4->proto : 0;
+    case FieldId::Ipv4Ttl: return pkt.ipv4 ? pkt.ipv4->ttl : 0;
+    case FieldId::Ipv4Dscp: return pkt.ipv4 ? pkt.ipv4->dscp : 0;
+    case FieldId::Ipv4Ecn: return pkt.ipv4 ? pkt.ipv4->ecn : 0;
+    case FieldId::Ipv4Len: return pkt.ipv4 ? pkt.ipv4->total_len : 0;
+    case FieldId::TcpSrcPort: return pkt.tcp ? pkt.tcp->src_port : 0;
+    case FieldId::TcpDstPort: return pkt.tcp ? pkt.tcp->dst_port : 0;
+    case FieldId::TcpFlags: return pkt.tcp ? pkt.tcp->flags : 0;
+    case FieldId::UdpSrcPort: return pkt.udp ? pkt.udp->src_port : 0;
+    case FieldId::UdpDstPort: return pkt.udp ? pkt.udp->dst_port : 0;
+    case FieldId::AppOp: return pkt.app ? pkt.app->op : 0;
+    case FieldId::AppKey1: return pkt.app ? pkt.app->key1 : 0;
+    case FieldId::AppKey2: return pkt.app ? pkt.app->key2 : 0;
+    case FieldId::AppValue: return pkt.app ? pkt.app->value : 0;
+    case FieldId::MetaIngressPort: return pkt.ingress_port;
+    case FieldId::MetaQdepth: return qdepth;
+  }
+  return 0;
+}
+
+void write_field(Packet& pkt, FieldId field, Word value) noexcept {
+  switch (field) {
+    case FieldId::EthDstHi:
+      pkt.eth.dst_mac = (pkt.eth.dst_mac & 0xffffull) |
+                        (static_cast<std::uint64_t>(value) << 16);
+      return;
+    case FieldId::EthDstLo:
+      pkt.eth.dst_mac = (pkt.eth.dst_mac & ~0xffffull) | (value & 0xffff);
+      return;
+    case FieldId::EthSrcHi:
+      pkt.eth.src_mac = (pkt.eth.src_mac & 0xffffull) |
+                        (static_cast<std::uint64_t>(value) << 16);
+      return;
+    case FieldId::EthSrcLo:
+      pkt.eth.src_mac = (pkt.eth.src_mac & ~0xffffull) | (value & 0xffff);
+      return;
+    case FieldId::EthType:
+      pkt.eth.ether_type = static_cast<std::uint16_t>(value);
+      return;
+    case FieldId::Ipv4Src:
+      if (pkt.ipv4) pkt.ipv4->src = value;
+      return;
+    case FieldId::Ipv4Dst:
+      if (pkt.ipv4) pkt.ipv4->dst = value;
+      return;
+    case FieldId::Ipv4Proto:
+      if (pkt.ipv4) pkt.ipv4->proto = static_cast<std::uint8_t>(value);
+      return;
+    case FieldId::Ipv4Ttl:
+      if (pkt.ipv4) pkt.ipv4->ttl = static_cast<std::uint8_t>(value);
+      return;
+    case FieldId::Ipv4Dscp:
+      if (pkt.ipv4) pkt.ipv4->dscp = static_cast<std::uint8_t>(value);
+      return;
+    case FieldId::Ipv4Ecn:
+      if (pkt.ipv4) pkt.ipv4->ecn = static_cast<std::uint8_t>(value & 0x3);
+      return;
+    case FieldId::Ipv4Len:
+      if (pkt.ipv4) pkt.ipv4->total_len = static_cast<std::uint16_t>(value);
+      return;
+    case FieldId::TcpSrcPort:
+      if (pkt.tcp) pkt.tcp->src_port = static_cast<std::uint16_t>(value);
+      return;
+    case FieldId::TcpDstPort:
+      if (pkt.tcp) pkt.tcp->dst_port = static_cast<std::uint16_t>(value);
+      return;
+    case FieldId::TcpFlags:
+      if (pkt.tcp) pkt.tcp->flags = static_cast<std::uint8_t>(value);
+      return;
+    case FieldId::UdpSrcPort:
+      if (pkt.udp) pkt.udp->src_port = static_cast<std::uint16_t>(value);
+      return;
+    case FieldId::UdpDstPort:
+      if (pkt.udp) pkt.udp->dst_port = static_cast<std::uint16_t>(value);
+      return;
+    case FieldId::AppOp:
+      if (pkt.app) pkt.app->op = value;
+      return;
+    case FieldId::AppKey1:
+      if (pkt.app) pkt.app->key1 = value;
+      return;
+    case FieldId::AppKey2:
+      if (pkt.app) pkt.app->key2 = value;
+      return;
+    case FieldId::AppValue:
+      if (pkt.app) pkt.app->value = value;
+      return;
+    case FieldId::MetaIngressPort:
+    case FieldId::MetaQdepth:
+      return;  // intrinsic metadata is read-only from programs
+  }
+}
+
+namespace {
+struct FieldName {
+  std::string_view name;
+  FieldId id;
+};
+
+constexpr FieldName kFieldNames[] = {
+    {"hdr.eth.dst_hi", FieldId::EthDstHi},
+    {"hdr.eth.dst_lo", FieldId::EthDstLo},
+    {"hdr.eth.src_hi", FieldId::EthSrcHi},
+    {"hdr.eth.src_lo", FieldId::EthSrcLo},
+    {"hdr.eth.type", FieldId::EthType},
+    {"hdr.ipv4.src", FieldId::Ipv4Src},
+    {"hdr.ipv4.dst", FieldId::Ipv4Dst},
+    {"hdr.ipv4.proto", FieldId::Ipv4Proto},
+    {"hdr.ipv4.ttl", FieldId::Ipv4Ttl},
+    {"hdr.ipv4.dscp", FieldId::Ipv4Dscp},
+    {"hdr.ipv4.ecn", FieldId::Ipv4Ecn},
+    {"hdr.ipv4.len", FieldId::Ipv4Len},
+    {"hdr.tcp.src_port", FieldId::TcpSrcPort},
+    {"hdr.tcp.dst_port", FieldId::TcpDstPort},
+    {"hdr.tcp.flags", FieldId::TcpFlags},
+    {"hdr.udp.src_port", FieldId::UdpSrcPort},
+    {"hdr.udp.dst_port", FieldId::UdpDstPort},
+    {"hdr.nc.op", FieldId::AppOp},
+    {"hdr.nc.key1", FieldId::AppKey1},
+    {"hdr.nc.key2", FieldId::AppKey2},
+    {"hdr.nc.val", FieldId::AppValue},
+    {"hdr.nc.value", FieldId::AppValue},
+    {"meta.ingress_port", FieldId::MetaIngressPort},
+    {"meta.qdepth", FieldId::MetaQdepth},
+};
+}  // namespace
+
+std::optional<FieldId> field_from_name(std::string_view name) noexcept {
+  for (const auto& entry : kFieldNames) {
+    if (entry.name == name) return entry.id;
+  }
+  return std::nullopt;
+}
+
+std::string_view field_name(FieldId field) noexcept {
+  for (const auto& entry : kFieldNames) {
+    if (entry.id == field) return entry.name;
+  }
+  return "<unknown-field>";
+}
+
+}  // namespace p4runpro::rmt

@@ -1,0 +1,128 @@
+// Packet and header model. The simulator is header-structured rather than
+// byte-oriented: the compile-time parser of the P4runpro data plane defines
+// which headers exist (Ethernet / IPv4 / TCP / UDP plus the customized
+// NetCache-style application header used by the in-network compute
+// programs), and runtime programs may only touch parsed fields — exactly
+// the limitation §7 ("Header Parsing") describes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace p4runpro::rmt {
+
+struct EthernetHeader {
+  std::uint64_t dst_mac = 0;  // lower 48 bits significant
+  std::uint64_t src_mac = 0;
+  std::uint16_t ether_type = 0x0800;
+};
+
+struct Ipv4Header {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint8_t proto = 0;  // 6 TCP, 17 UDP
+  std::uint8_t ttl = 64;
+  std::uint8_t dscp = 0;
+  std::uint8_t ecn = 0;
+  std::uint16_t total_len = 0;
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t flags = 0;  // FIN=1, SYN=2, RST=4, PSH=8, ACK=16
+};
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+};
+
+/// Customized application header carried over UDP (the parser recognizes it
+/// on configured ports). Matches the in-network cache / calculator format of
+/// Fig. 2: an opcode, a 64-bit key split into two words, and a value word.
+struct AppHeader {
+  Word op = 0;
+  Word key1 = 0;
+  Word key2 = 0;
+  Word value = 0;
+};
+
+/// 5-tuple view used by the hardware hash units (HASH_5_TUPLE*).
+struct FiveTuple {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 0;
+
+  friend bool operator==(const FiveTuple&, const FiveTuple&) = default;
+  friend auto operator<=>(const FiveTuple&, const FiveTuple&) = default;
+
+  /// Canonical byte serialization fed to the CRC engines (13 bytes,
+  /// network order).
+  [[nodiscard]] std::array<std::uint8_t, 13> bytes() const noexcept;
+};
+
+/// A packet traversing the pipeline. `payload_len` stands in for the actual
+/// payload bytes (the case-study traces use duplicated payload anyway).
+struct Packet {
+  EthernetHeader eth;
+  std::optional<Ipv4Header> ipv4;
+  std::optional<TcpHeader> tcp;
+  std::optional<UdpHeader> udp;
+  std::optional<AppHeader> app;
+  std::uint32_t payload_len = 0;
+  Port ingress_port = 0;
+
+  [[nodiscard]] FiveTuple five_tuple() const noexcept;
+  /// Total wire length in bytes (structured headers + payload).
+  [[nodiscard]] std::uint32_t wire_len() const noexcept;
+};
+
+/// Identifiers for every header / intrinsic-metadata field a P4runpro
+/// program can name (the `FIELD` terminals of the grammar, Fig. 15).
+enum class FieldId : std::uint8_t {
+  EthDstHi,   // upper 32 bits of dst MAC
+  EthDstLo,   // lower 16 bits of dst MAC
+  EthSrcHi,
+  EthSrcLo,
+  EthType,
+  Ipv4Src,
+  Ipv4Dst,
+  Ipv4Proto,
+  Ipv4Ttl,
+  Ipv4Dscp,
+  Ipv4Ecn,
+  Ipv4Len,
+  TcpSrcPort,
+  TcpDstPort,
+  TcpFlags,
+  UdpSrcPort,
+  UdpDstPort,
+  AppOp,
+  AppKey1,
+  AppKey2,
+  AppValue,
+  MetaIngressPort,
+  MetaQdepth,  // queue depth from the traffic manager (ECN program)
+};
+
+/// Read a field as a 32-bit word; absent headers read as 0 (the hardware
+/// reads PHV containers that are simply not valid — programs filter on the
+/// parse bitmap precisely to avoid this).
+[[nodiscard]] Word read_field(const Packet& pkt, FieldId field, Word qdepth) noexcept;
+
+/// Write a field; writes to absent headers are dropped.
+void write_field(Packet& pkt, FieldId field, Word value) noexcept;
+
+/// Name table for diagnostics and the DSL front end.
+[[nodiscard]] std::optional<FieldId> field_from_name(std::string_view name) noexcept;
+[[nodiscard]] std::string_view field_name(FieldId field) noexcept;
+
+}  // namespace p4runpro::rmt

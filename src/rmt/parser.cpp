@@ -1,0 +1,26 @@
+#include "rmt/parser.h"
+
+#include <algorithm>
+
+namespace p4runpro::rmt {
+
+Phv Parser::parse(const Packet& pkt) const noexcept {
+  Phv phv;
+  phv.pkt = pkt;
+  phv.parse_bitmap = kParseEth;  // every frame starts at the Ethernet state
+  if (pkt.ipv4) {
+    phv.parse_bitmap |= kParseIpv4;
+    if (pkt.tcp) {
+      phv.parse_bitmap |= kParseTcp;
+    } else if (pkt.udp) {
+      phv.parse_bitmap |= kParseUdp;
+      const bool app_port =
+          std::find(config_.app_udp_ports.begin(), config_.app_udp_ports.end(),
+                    pkt.udp->dst_port) != config_.app_udp_ports.end();
+      if (app_port && pkt.app) phv.parse_bitmap |= kParseApp;
+    }
+  }
+  return phv;
+}
+
+}  // namespace p4runpro::rmt

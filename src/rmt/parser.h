@@ -1,0 +1,38 @@
+// Compile-time parsing state machine. RMT parsers cannot be reconfigured at
+// runtime (paper §7), so the set of recognized headers is fixed when the
+// P4runpro data plane is provisioned; only the application-header trigger
+// ports are a provisioning-time knob.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rmt/phv.h"
+
+namespace p4runpro::rmt {
+
+/// Parser configuration chosen at provisioning time.
+struct ParserConfig {
+  /// UDP destination ports whose payload is parsed as the customized
+  /// application header (in-network cache / calculator packets).
+  std::vector<std::uint16_t> app_udp_ports;
+};
+
+/// Walks the parse graph for a packet and produces the initial PHV with the
+/// parse-state bitmap set (paper §4.1.1: each new parser state sets the bit
+/// that represents its header).
+class Parser {
+ public:
+  explicit Parser(ParserConfig config) : config_(std::move(config)) {}
+
+  [[nodiscard]] Phv parse(const Packet& pkt) const noexcept;
+
+  /// Number of distinct parsing paths; the initialization block instantiates
+  /// one filtering table per path (paper §5: "K tables").
+  [[nodiscard]] int num_parse_paths() const noexcept { return 5; }
+
+ private:
+  ParserConfig config_;
+};
+
+}  // namespace p4runpro::rmt

@@ -1,0 +1,86 @@
+// Packet header vector: the stateless per-packet state travelling down the
+// pipeline. Besides the parsed headers it carries the three P4runpro
+// "registers", the control flags (program / branch / recirculation ids), the
+// translated physical memory address, and the forwarding intrinsic metadata
+// consumed by the traffic manager.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "rmt/packet.h"
+
+namespace p4runpro::rmt {
+
+/// Parse-state bitmap (paper §4.1.1): one bit per header recognized by the
+/// compile-time parser. Bit layout follows the paper's example (ETH..UDP)
+/// extended with the customized application header.
+enum ParseBit : std::uint8_t {
+  kParseUdp = 1u << 0,
+  kParseTcp = 1u << 1,
+  kParseIpv4 = 1u << 2,
+  kParseEth = 1u << 3,
+  kParseApp = 1u << 4,
+};
+
+/// Forwarding decision recorded in intrinsic metadata. Executed by the
+/// traffic manager between ingress and egress (which is why forwarding
+/// primitives are ingress-only).
+enum class FwdDecision : std::uint8_t {
+  None,       ///< no program decision; default L2 pass-through
+  Forward,    ///< send to `egress_port`
+  Return,     ///< reflect to the ingress port (RETURN)
+  Drop,       ///< drop (DROP)
+  Report,     ///< punt to CPU (REPORT)
+  Multicast,  ///< replicate to the ports of `mcast_group` (MULTICAST)
+};
+
+struct Phv {
+  Packet pkt;
+  std::uint8_t parse_bitmap = 0;
+
+  // --- P4runpro registers (§4.1.2) -------------------------------------
+  std::array<Word, kNumRegs> regs{};  // indexed by Reg
+
+  // --- control flags (RPB table keys) -----------------------------------
+  ProgramId program_id = 0;
+  BranchId branch_id = 0;
+  RecircId recirc_id = 0;
+
+  // --- address translation scratch --------------------------------------
+  /// Physical memory address produced by the offset step; stored in a
+  /// separate PHV field so `mar` keeps its virtual value (paper §4.1.2).
+  MemAddr phys_addr = 0;
+  /// Selects which of the paired SALU memory operations fires (set together
+  /// with the offset step).
+  std::uint8_t salu_flag = 0;
+
+  /// Backup slot for the supportive register of pseudo-primitive
+  /// translations (Fig. 4b).
+  Word backup = 0;
+
+  /// Queue-depth intrinsic metadata snapshot (read as meta.qdepth).
+  Word qdepth = 0;
+
+  // --- intrinsic forwarding metadata -------------------------------------
+  FwdDecision decision = FwdDecision::None;
+  Port egress_port = 0;
+  Word mcast_group = 0;  ///< multicast group id for FwdDecision::Multicast
+  bool recirculate = false;  ///< set by the recirculation block
+
+  /// Optional execution-trace sink (debugging, see Pipeline::set_tracing):
+  /// blocks append one line per executed operation.
+  std::vector<std::string>* trace = nullptr;
+
+  [[nodiscard]] Word reg(Reg r) const noexcept {
+    return regs[static_cast<std::size_t>(r)];
+  }
+  void set_reg(Reg r, Word v) noexcept {
+    regs[static_cast<std::size_t>(r)] = v;
+  }
+};
+
+}  // namespace p4runpro::rmt

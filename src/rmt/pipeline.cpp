@@ -1,0 +1,145 @@
+#include "rmt/pipeline.h"
+
+#include <cstdio>
+
+#include <cassert>
+
+namespace p4runpro::rmt {
+
+namespace {
+constexpr std::size_t kNumPorts = 256;
+}
+
+Pipeline::Pipeline(ParserConfig parser_config, int max_recirculations)
+    : parser_(std::move(parser_config)),
+      max_recirculations_(max_recirculations),
+      ports_(kNumPorts) {}
+
+Phv Pipeline::parse_packet(const Packet& pkt) {
+  ++packets_in_;
+  Phv phv = parser_.parse(pkt);
+  phv.qdepth = qdepth_;
+  if (tracing_) {
+    trace_.clear();
+    char line[64];
+    std::snprintf(line, sizeof line, "parser: bitmap=0b%u%u%u%u%u",
+                  (phv.parse_bitmap >> 4) & 1, (phv.parse_bitmap >> 3) & 1,
+                  (phv.parse_bitmap >> 2) & 1, (phv.parse_bitmap >> 1) & 1,
+                  phv.parse_bitmap & 1);
+    trace_.push_back(line);
+    phv.trace = &trace_;
+  }
+  return phv;
+}
+
+Pipeline::PassResult Pipeline::process_pass(Phv& phv) {
+  phv.recirculate = false;
+  for (auto& stage : ingress_) stage->process(phv);
+
+  // Traffic manager: recirculation wins over the (possibly still pending)
+  // forwarding decision; the decision travels with the packet in the
+  // P4runpro header and is applied on the final pass.
+  if (phv.recirculate) {
+    ++recirc_passes_;
+    // Egress pipeline still processes the pass on its way out (to the
+    // recirculation port, or toward the next switch of a chain).
+    for (auto& stage : egress_) stage->process(phv);
+    phv.recirc_id = static_cast<RecircId>(phv.recirc_id + 1);
+    PassResult recirc;
+    recirc.outcome = PassOutcome::Recirculate;
+    return recirc;
+  }
+
+  PassResult result;
+  result.outcome = PassOutcome::Exit;
+  switch (phv.decision) {
+    case FwdDecision::Drop:
+      ++packets_dropped_;
+      result.fate = PacketFate::Dropped;
+      return result;
+    case FwdDecision::Report:
+      ++packets_reported_;
+      // Bounded CPU queue: the switch CPU PCIe channel drops under burst.
+      if (cpu_queue_.size() < 65536) cpu_queue_.push_back(phv.pkt);
+      result.fate = PacketFate::Reported;
+      return result;
+    case FwdDecision::Multicast: {
+      result.fate = PacketFate::Multicasted;
+      if (const auto* ports = multicast_group(phv.mcast_group)) {
+        result.multicast_ports = *ports;
+      }
+      for (auto& stage : egress_) stage->process(phv);
+      for (Port port : result.multicast_ports) {
+        auto& ctr = ports_[port % kNumPorts];
+        ++ctr.packets;
+        ctr.bytes += phv.pkt.wire_len();
+      }
+      return result;
+    }
+    case FwdDecision::Return:
+      result.fate = PacketFate::Returned;
+      result.egress_port = phv.pkt.ingress_port;
+      break;
+    case FwdDecision::Forward:
+      result.fate = PacketFate::Forwarded;
+      result.egress_port = phv.egress_port;
+      break;
+    case FwdDecision::None:
+      // No program claimed the packet: default pass-through behavior of
+      // the provisioned data plane (egress port 0).
+      result.fate = PacketFate::Forwarded;
+      result.egress_port = 0;
+      break;
+  }
+
+  for (auto& stage : egress_) stage->process(phv);
+
+  auto& ctr = ports_[result.egress_port % kNumPorts];
+  ++ctr.packets;
+  ctr.bytes += phv.pkt.wire_len();
+  return result;
+}
+
+PipelineResult Pipeline::inject(const Packet& pkt) {
+  Phv phv = parse_packet(pkt);
+  PipelineResult result;
+  for (int pass = 0;; ++pass) {
+    const PassResult step = process_pass(phv);
+    if (step.outcome == PassOutcome::Recirculate) {
+      ++result.recirc_passes;
+      if (pass >= max_recirculations_) {
+        ++packets_dropped_;
+        result.fate = PacketFate::RecircLimit;
+        result.packet = phv.pkt;
+        return result;
+      }
+      continue;
+    }
+    result.fate = step.fate;
+    result.egress_port = step.egress_port;
+    result.multicast_ports = step.multicast_ports;
+    result.packet = phv.pkt;
+    return result;
+  }
+}
+
+std::vector<Packet> Pipeline::drain_cpu_queue() {
+  std::vector<Packet> out;
+  out.swap(cpu_queue_);
+  return out;
+}
+
+const PortCounters& Pipeline::port_counters(Port port) const {
+  return ports_[port % kNumPorts];
+}
+
+void Pipeline::clear_counters() {
+  for (auto& p : ports_) p = PortCounters{};
+  cpu_queue_.clear();
+  recirc_passes_ = 0;
+  packets_in_ = 0;
+  packets_dropped_ = 0;
+  packets_reported_ = 0;
+}
+
+}  // namespace p4runpro::rmt

@@ -1,0 +1,139 @@
+// The RMT pipeline frame: parser -> ingress stages -> traffic manager ->
+// egress stages -> (out | recirculate). Stage contents are supplied by the
+// P4runpro data plane (or any other program); the frame owns forwarding,
+// recirculation and port accounting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "rmt/parser.h"
+#include "rmt/phv.h"
+
+namespace p4runpro::rmt {
+
+/// One pipeline stage. Implementations are the P4runpro blocks (init block,
+/// RPBs, recirculation block).
+class PipelineStage {
+ public:
+  virtual ~PipelineStage() = default;
+  virtual void process(Phv& phv) = 0;
+};
+
+/// Final fate of an injected packet.
+enum class PacketFate : std::uint8_t {
+  Forwarded,  ///< left through `egress_port`
+  Returned,   ///< reflected to its ingress port
+  Dropped,
+  Reported,       ///< punted to the CPU
+  RecircLimit,    ///< exceeded the hardware recirculation allowance (dropped)
+  Multicasted,    ///< replicated to `multicast_ports` by the traffic manager
+};
+
+struct PipelineResult {
+  PacketFate fate = PacketFate::Dropped;
+  Port egress_port = 0;
+  std::vector<Port> multicast_ports;  ///< copies emitted on Multicasted
+  Packet packet;       ///< packet as it left the pipeline
+  int recirc_passes = 0;
+};
+
+/// Per-port TX counters for rate measurement in the case studies.
+struct PortCounters {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Pipeline {
+ public:
+  Pipeline(ParserConfig parser_config, int max_recirculations);
+
+  // Stage wiring (done once by the data plane at provisioning time).
+  void add_ingress_stage(std::shared_ptr<PipelineStage> stage) {
+    ingress_.push_back(std::move(stage));
+  }
+  void add_egress_stage(std::shared_ptr<PipelineStage> stage) {
+    egress_.push_back(std::move(stage));
+  }
+
+  /// Run one packet to completion (including recirculation passes).
+  PipelineResult inject(const Packet& pkt);
+
+  /// Outcome of a single pipeline pass (ingress + traffic manager +
+  /// egress). Used by inject()'s recirculation loop and by multi-switch
+  /// chains (§4.1.3: recirculation "can also be replaced by multiple
+  /// switches deployed on the same path").
+  enum class PassOutcome : std::uint8_t { Exit, Recirculate };
+  struct PassResult {
+    PassOutcome outcome = PassOutcome::Exit;
+    PacketFate fate = PacketFate::Dropped;
+    Port egress_port = 0;
+    std::vector<Port> multicast_ports;
+  };
+
+  /// Parse a raw packet into a PHV (counts it as an arrival).
+  [[nodiscard]] Phv parse_packet(const Packet& pkt);
+
+  /// One full pass of an already-parsed PHV. On Recirculate the caller
+  /// decides whether to loop (recirculation) or to hand the PHV to the
+  /// next switch of a chain; the recirculation id is already incremented.
+  PassResult process_pass(Phv& phv);
+
+  /// Per-packet execution tracing (debugging): when enabled, every block
+  /// appends one line per executed operation; read the last packet's trace
+  /// with last_trace().
+  void set_tracing(bool enabled) noexcept { tracing_ = enabled; }
+  [[nodiscard]] const std::vector<std::string>& last_trace() const noexcept {
+    return trace_;
+  }
+
+  /// Configure a traffic-manager multicast group (the control plane's PRE
+  /// programming; enables the SwitchML-style aggregation of §7).
+  void set_multicast_group(Word group, std::vector<Port> ports) {
+    mcast_groups_[group] = std::move(ports);
+  }
+  [[nodiscard]] const std::vector<Port>* multicast_group(Word group) const {
+    const auto it = mcast_groups_.find(group);
+    return it == mcast_groups_.end() ? nullptr : &it->second;
+  }
+
+  /// Queue-depth signal exposed to programs as meta.qdepth (the functional
+  /// model does not simulate queuing; tests and workloads set it).
+  void set_qdepth(Word qdepth) noexcept { qdepth_ = qdepth; }
+  [[nodiscard]] Word qdepth() const noexcept { return qdepth_; }
+
+  /// Packets punted to the switch CPU (REPORT) since the last drain; the
+  /// control plane consumes them via Controller::drain_reports().
+  [[nodiscard]] std::vector<Packet> drain_cpu_queue();
+  [[nodiscard]] std::size_t cpu_queue_depth() const noexcept { return cpu_queue_.size(); }
+
+  [[nodiscard]] const PortCounters& port_counters(Port port) const;
+  [[nodiscard]] std::uint64_t total_recirc_passes() const noexcept { return recirc_passes_; }
+  [[nodiscard]] std::uint64_t packets_in() const noexcept { return packets_in_; }
+  [[nodiscard]] std::uint64_t packets_dropped() const noexcept { return packets_dropped_; }
+  [[nodiscard]] std::uint64_t packets_reported() const noexcept { return packets_reported_; }
+  void clear_counters();
+
+  [[nodiscard]] const Parser& parser() const noexcept { return parser_; }
+
+ private:
+  Parser parser_;
+  int max_recirculations_;
+  std::vector<std::shared_ptr<PipelineStage>> ingress_;
+  std::vector<std::shared_ptr<PipelineStage>> egress_;
+  Word qdepth_ = 0;
+
+  bool tracing_ = false;
+  std::vector<std::string> trace_;
+  std::vector<PortCounters> ports_;
+  std::vector<Packet> cpu_queue_;
+  std::map<Word, std::vector<Port>> mcast_groups_;
+  std::uint64_t recirc_passes_ = 0;
+  std::uint64_t packets_in_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+  std::uint64_t packets_reported_ = 0;
+};
+
+}  // namespace p4runpro::rmt

@@ -1,0 +1,27 @@
+#include "rmt/resources.h"
+
+#include <algorithm>
+
+namespace p4runpro::rmt {
+
+int ChipBudget::total(Resource r) const noexcept {
+  switch (r) {
+    case Resource::Phv: return phv_bits;
+    case Resource::Hash: return hash_units_per_stage * stages;
+    case Resource::Sram: return sram_blocks_per_stage * stages;
+    case Resource::Tcam: return tcam_blocks_per_stage * stages;
+    case Resource::Vliw: return vliw_slots_per_stage * stages;
+    case Resource::Salu: return salus_per_stage * stages;
+    case Resource::Ltid: return ltids_per_stage * stages;
+  }
+  return 0;
+}
+
+double ResourceUsage::percent(Resource r, const ChipBudget& budget) const noexcept {
+  const int total = budget.total(r);
+  if (total <= 0) return 0.0;
+  const double pct = 100.0 * static_cast<double>(get(r)) / static_cast<double>(total);
+  return std::clamp(pct, 0.0, 100.0);
+}
+
+}  // namespace p4runpro::rmt

@@ -1,0 +1,67 @@
+// Resource model of the RMT ASIC. The seven resource classes reported in
+// the paper's Fig. 10 (PHV, hash unit, SRAM, TCAM, VLIW, SALU, LTID) are
+// tracked against per-chip budgets patterned after a Tofino-class device
+// (12 MAU stages per pipe; figures are simulator calibration constants, see
+// DESIGN.md §1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace p4runpro::rmt {
+
+enum class Resource : std::uint8_t {
+  Phv,   ///< packet header vector bits
+  Hash,  ///< hash distribution / generation units
+  Sram,  ///< SRAM unit rams (stateful memory + exact tables)
+  Tcam,  ///< TCAM blocks (ternary tables)
+  Vliw,  ///< VLIW action instruction slots
+  Salu,  ///< stateful ALUs
+  Ltid,  ///< logical table IDs
+};
+
+inline constexpr int kNumResources = 7;
+
+[[nodiscard]] constexpr std::string_view resource_name(Resource r) noexcept {
+  switch (r) {
+    case Resource::Phv: return "PHV";
+    case Resource::Hash: return "Hash";
+    case Resource::Sram: return "SRAM";
+    case Resource::Tcam: return "TCAM";
+    case Resource::Vliw: return "VLIW";
+    case Resource::Salu: return "SALU";
+    case Resource::Ltid: return "LTID";
+  }
+  return "?";
+}
+
+/// Whole-chip budgets (single pipe).
+struct ChipBudget {
+  int stages = 12;
+  int phv_bits = 4096;             // 64x8b + 96x16b + 64x32b containers
+  int hash_units_per_stage = 6;    // hash distribution units
+  int sram_blocks_per_stage = 80;  // 16 KB unit rams
+  int tcam_blocks_per_stage = 24;  // 44b x 512 blocks
+  int vliw_slots_per_stage = 32;   // action instruction words
+  int salus_per_stage = 4;
+  int ltids_per_stage = 16;
+
+  [[nodiscard]] int total(Resource r) const noexcept;
+};
+
+/// Absolute usage counts in the same units as ChipBudget.
+struct ResourceUsage {
+  std::array<int, kNumResources> used{};
+
+  [[nodiscard]] int get(Resource r) const noexcept {
+    return used[static_cast<std::size_t>(r)];
+  }
+  void set(Resource r, int v) noexcept { used[static_cast<std::size_t>(r)] = v; }
+  void add(Resource r, int v) noexcept { used[static_cast<std::size_t>(r)] += v; }
+
+  /// Percentage of the budget consumed, clamped to [0, 100].
+  [[nodiscard]] double percent(Resource r, const ChipBudget& budget) const noexcept;
+};
+
+}  // namespace p4runpro::rmt

@@ -1,0 +1,15 @@
+#include "rmt/tables.h"
+
+#include <cstdio>
+#include <string>
+
+namespace p4runpro::rmt {
+
+/// Debug formatting of a ternary key, e.g. "0x00001e61/0xffff".
+std::string to_string(const TernaryKey& key) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%08x/0x%08x", key.value, key.mask);
+  return buf;
+}
+
+}  // namespace p4runpro::rmt

@@ -1,0 +1,140 @@
+// Ternary match-action table. All P4runpro tables use ternary match with
+// (value, mask) keys and priorities (paper §7 "Entry Expansion"), backed by
+// TCAM on the ASIC. The simulator models capacity and accelerates lookup
+// with an index on exact-match first-key entries (the RPB tables key
+// entries on the program id, which is always exact), mimicking the O(1)
+// TCAM lookup without a full TCAM model.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace p4runpro::rmt {
+
+/// One ternary key component: matches iff (packet_value & mask) == (value & mask).
+struct TernaryKey {
+  Word value = 0;
+  Word mask = 0;
+
+  [[nodiscard]] bool matches(Word field) const noexcept {
+    return (field & mask) == (value & mask);
+  }
+  /// Wildcard component (matches anything).
+  [[nodiscard]] static TernaryKey any() noexcept { return {0, 0}; }
+  /// Exact-match component.
+  [[nodiscard]] static TernaryKey exact(Word v) noexcept { return {v, 0xffffffffu}; }
+};
+
+using EntryHandle = std::uint64_t;
+
+/// Match-action table with ternary keys and an arbitrary action payload.
+/// Width (number of key components) is fixed per table; capacity models the
+/// TCAM budget of the stage.
+template <typename Action>
+class TernaryTable {
+ public:
+  TernaryTable(int key_width, std::size_t capacity)
+      : key_width_(key_width), capacity_(capacity) {}
+
+  /// Insert an entry; higher `priority` wins on overlap, ties resolve to
+  /// the earlier insertion. Fails when the table is full (the allocator
+  /// must prevent this; hitting it at runtime indicates an accounting bug).
+  Result<EntryHandle> insert(std::vector<TernaryKey> keys, int priority, Action action) {
+    if (keys.size() != static_cast<std::size_t>(key_width_)) {
+      return Error{"key width mismatch", "TernaryTable"};
+    }
+    if (size_ >= capacity_) {
+      return Error{"table full", "TernaryTable"};
+    }
+    const EntryHandle handle = next_handle_++;
+    Entry entry{std::move(keys), priority, std::move(action), handle};
+    if (entry.keys[0].mask == 0xffffffffu) {
+      indexed_[entry.keys[0].value].push_back(std::move(entry));
+    } else {
+      unindexed_.push_back(std::move(entry));
+    }
+    ++size_;
+    return handle;
+  }
+
+  /// Remove by handle; returns false if the handle is unknown.
+  bool erase(EntryHandle handle) {
+    for (auto it = indexed_.begin(); it != indexed_.end(); ++it) {
+      if (erase_from(it->second, handle)) {
+        if (it->second.empty()) indexed_.erase(it);
+        --size_;
+        return true;
+      }
+    }
+    if (erase_from(unindexed_, handle)) {
+      --size_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Highest-priority matching action, or nullptr on miss.
+  [[nodiscard]] const Action* lookup(std::span<const Word> fields) const noexcept {
+    const Entry* best = nullptr;
+    const auto bucket = indexed_.find(fields[0]);
+    if (bucket != indexed_.end()) scan(bucket->second, fields, best);
+    scan(unindexed_, fields, best);
+    return best == nullptr ? nullptr : &best->action;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t free_entries() const noexcept { return capacity_ - size_; }
+  [[nodiscard]] int key_width() const noexcept { return key_width_; }
+
+ private:
+  struct Entry {
+    std::vector<TernaryKey> keys;
+    int priority;
+    Action action;
+    EntryHandle handle;
+  };
+
+  static bool erase_from(std::vector<Entry>& entries, EntryHandle handle) {
+    const auto it = std::find_if(entries.begin(), entries.end(),
+                                 [handle](const Entry& e) { return e.handle == handle; });
+    if (it == entries.end()) return false;
+    entries.erase(it);
+    return true;
+  }
+
+  void scan(const std::vector<Entry>& entries, std::span<const Word> fields,
+            const Entry*& best) const noexcept {
+    for (const auto& entry : entries) {
+      if (best != nullptr && (entry.priority < best->priority ||
+                              (entry.priority == best->priority &&
+                               entry.handle > best->handle))) {
+        continue;
+      }
+      bool hit = true;
+      for (int i = 0; i < key_width_; ++i) {
+        if (!entry.keys[static_cast<std::size_t>(i)].matches(
+                fields[static_cast<std::size_t>(i)])) {
+          hit = false;
+          break;
+        }
+      }
+      if (hit) best = &entry;
+    }
+  }
+
+  int key_width_;
+  std::size_t capacity_;
+  std::size_t size_ = 0;
+  std::unordered_map<Word, std::vector<Entry>> indexed_;
+  std::vector<Entry> unindexed_;
+  EntryHandle next_handle_ = 1;
+};
+
+}  // namespace p4runpro::rmt

@@ -1,0 +1,197 @@
+#include "rmt/wire.h"
+
+#include <algorithm>
+
+namespace p4runpro::rmt {
+
+namespace {
+
+void put8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put16(out, static_cast<std::uint16_t>(v >> 16));
+  put16(out, static_cast<std::uint16_t>(v));
+}
+void put48(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put16(out, static_cast<std::uint16_t>(v >> 32));
+  put32(out, static_cast<std::uint32_t>(v));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] bool have(std::size_t n) const { return pos_ + n <= bytes_.size(); }
+  std::uint8_t u8() { return bytes_[pos_++]; }
+  std::uint16_t u16() {
+    const std::uint16_t v = static_cast<std::uint16_t>(bytes_[pos_] << 8) |
+                            bytes_[pos_ + 1];
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    const std::uint32_t hi = u16();
+    return (hi << 16) | u16();
+  }
+  std::uint64_t u48() {
+    const std::uint64_t hi = u16();
+    return (hi << 32) | u32();
+  }
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+  void skip(std::size_t n) { pos_ += n; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::uint16_t ipv4_checksum(std::span<const std::uint8_t> header) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < header.size(); i += 2) {
+    sum += static_cast<std::uint32_t>(header[i] << 8) | header[i + 1];
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::vector<std::uint8_t> serialize(const Packet& pkt) {
+  std::vector<std::uint8_t> out;
+  out.reserve(pkt.wire_len());
+
+  // Ethernet II.
+  put48(out, pkt.eth.dst_mac);
+  put48(out, pkt.eth.src_mac);
+  put16(out, pkt.eth.ether_type);
+
+  if (pkt.ipv4) {
+    const std::size_t ip_start = out.size();
+    std::uint16_t l4_len = 0;
+    if (pkt.tcp) l4_len = 20;
+    if (pkt.udp) l4_len = 8;
+    if (pkt.app) l4_len = static_cast<std::uint16_t>(l4_len + 16);
+    const auto total_len =
+        static_cast<std::uint16_t>(20 + l4_len + pkt.payload_len);
+
+    put8(out, 0x45);  // version 4, IHL 5
+    put8(out, static_cast<std::uint8_t>((pkt.ipv4->dscp << 2) | pkt.ipv4->ecn));
+    put16(out, total_len);
+    put16(out, 0);       // identification
+    put16(out, 0x4000);  // DF
+    put8(out, pkt.ipv4->ttl);
+    put8(out, pkt.ipv4->proto);
+    put16(out, 0);  // checksum placeholder
+    put32(out, pkt.ipv4->src);
+    put32(out, pkt.ipv4->dst);
+    const std::uint16_t csum =
+        ipv4_checksum(std::span(out).subspan(ip_start, 20));
+    out[ip_start + 10] = static_cast<std::uint8_t>(csum >> 8);
+    out[ip_start + 11] = static_cast<std::uint8_t>(csum);
+
+    if (pkt.tcp) {
+      put16(out, pkt.tcp->src_port);
+      put16(out, pkt.tcp->dst_port);
+      put32(out, 0);  // seq
+      put32(out, 0);  // ack
+      put8(out, 0x50);  // data offset 5
+      put8(out, pkt.tcp->flags);
+      put16(out, 0xffff);  // window
+      put16(out, 0);       // checksum (omitted)
+      put16(out, 0);       // urgent
+    } else if (pkt.udp) {
+      put16(out, pkt.udp->src_port);
+      put16(out, pkt.udp->dst_port);
+      put16(out, static_cast<std::uint16_t>(8 + (pkt.app ? 16 : 0) + pkt.payload_len));
+      put16(out, 0);  // checksum (optional in IPv4)
+    }
+    if (pkt.app) {
+      put32(out, pkt.app->op);
+      put32(out, pkt.app->key1);
+      put32(out, pkt.app->key2);
+      put32(out, pkt.app->value);
+    }
+  }
+
+  out.insert(out.end(), pkt.payload_len, 0);  // anonymized payload
+  return out;
+}
+
+Result<Packet> parse_bytes(std::span<const std::uint8_t> bytes,
+                           std::span<const std::uint16_t> app_udp_ports) {
+  Reader in(bytes);
+  Packet pkt;
+  if (!in.have(14)) return Error{"truncated Ethernet header", "wire"};
+  pkt.eth.dst_mac = in.u48();
+  pkt.eth.src_mac = in.u48();
+  pkt.eth.ether_type = in.u16();
+  if (pkt.eth.ether_type != 0x0800) {
+    pkt.payload_len = static_cast<std::uint32_t>(in.remaining());
+    return pkt;  // non-IP frame: L2 only
+  }
+
+  if (!in.have(20)) return Error{"truncated IPv4 header", "wire"};
+  const std::uint8_t vihl = in.u8();
+  if ((vihl >> 4) != 4) return Error{"not IPv4", "wire"};
+  const std::size_t ihl_bytes = static_cast<std::size_t>(vihl & 0x0f) * 4;
+  if (ihl_bytes < 20) return Error{"bad IPv4 IHL", "wire"};
+  Ipv4Header ip;
+  const std::uint8_t tos = in.u8();
+  ip.dscp = tos >> 2;
+  ip.ecn = tos & 0x3;
+  ip.total_len = in.u16();
+  in.skip(4);  // id + flags/fragment
+  ip.ttl = in.u8();
+  ip.proto = in.u8();
+  in.skip(2);  // checksum (not validated: anonymized traces rewrite IPs)
+  ip.src = in.u32();
+  ip.dst = in.u32();
+  if (ihl_bytes > 20) {
+    if (!in.have(ihl_bytes - 20)) return Error{"truncated IPv4 options", "wire"};
+    in.skip(ihl_bytes - 20);
+  }
+  pkt.ipv4 = ip;
+
+  if (ip.proto == 6) {
+    if (!in.have(20)) return Error{"truncated TCP header", "wire"};
+    TcpHeader tcp;
+    tcp.src_port = in.u16();
+    tcp.dst_port = in.u16();
+    in.skip(8);
+    const std::uint8_t offset = in.u8();
+    tcp.flags = in.u8();
+    in.skip(6);
+    const std::size_t hdr_bytes = static_cast<std::size_t>(offset >> 4) * 4;
+    if (hdr_bytes < 20) return Error{"bad TCP data offset", "wire"};
+    if (hdr_bytes > 20) {
+      if (!in.have(hdr_bytes - 20)) return Error{"truncated TCP options", "wire"};
+      in.skip(hdr_bytes - 20);
+    }
+    pkt.tcp = tcp;
+  } else if (ip.proto == 17) {
+    if (!in.have(8)) return Error{"truncated UDP header", "wire"};
+    UdpHeader udp;
+    udp.src_port = in.u16();
+    udp.dst_port = in.u16();
+    in.skip(4);
+    pkt.udp = udp;
+    const bool app_port = std::find(app_udp_ports.begin(), app_udp_ports.end(),
+                                    udp.dst_port) != app_udp_ports.end();
+    if (app_port && in.have(16)) {
+      AppHeader app;
+      app.op = in.u32();
+      app.key1 = in.u32();
+      app.key2 = in.u32();
+      app.value = in.u32();
+      pkt.app = app;
+    }
+  }
+
+  pkt.payload_len = static_cast<std::uint32_t>(in.remaining());
+  return pkt;
+}
+
+}  // namespace p4runpro::rmt

@@ -1,0 +1,30 @@
+// Wire-format serialization: turns the structured Packet into the bytes a
+// real NIC would see, and parses such bytes back. Used by the pcap-style
+// tooling and by tests that validate the structured model against a real
+// byte-level parse (what the Tofino parser actually consumes).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "rmt/packet.h"
+
+namespace p4runpro::rmt {
+
+/// Serialize to wire bytes (Ethernet II framing; IPv4 header checksum
+/// computed; payload rendered as zero bytes of the recorded length, like
+/// the anonymized campus trace whose payloads were replaced).
+[[nodiscard]] std::vector<std::uint8_t> serialize(const Packet& pkt);
+
+/// Parse wire bytes back into a structured Packet. `app_udp_ports` mirrors
+/// the provisioning-time parser configuration: UDP payloads on these
+/// destination ports are parsed as the application header.
+[[nodiscard]] Result<Packet> parse_bytes(std::span<const std::uint8_t> bytes,
+                                         std::span<const std::uint16_t> app_udp_ports);
+
+/// The IPv4 header checksum (RFC 1071 over the 20-byte header).
+[[nodiscard]] std::uint16_t ipv4_checksum(std::span<const std::uint8_t> header);
+
+}  // namespace p4runpro::rmt

@@ -1,0 +1,153 @@
+#include "traffic/flowgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p4runpro::traffic {
+
+namespace {
+
+/// Wire-time of a packet at a given rate, including Ethernet preamble+IPG.
+[[nodiscard]] std::uint64_t wire_time_ns(std::uint32_t wire_len, double rate_mbps) {
+  const double bits = static_cast<double>(wire_len + 20) * 8.0;
+  return static_cast<std::uint64_t>(bits / (rate_mbps * 1e6) * 1e9);
+}
+
+struct FlowDef {
+  rmt::FiveTuple tuple;
+  bool tcp;
+};
+
+[[nodiscard]] std::vector<FlowDef> make_flows(int count, double tcp_fraction, Rng& rng) {
+  std::vector<FlowDef> flows;
+  flows.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    FlowDef flow;
+    flow.tcp = rng.uniform01() < tcp_fraction;
+    flow.tuple.src_ip = 0x0a000000u | (static_cast<std::uint32_t>(i) & 0xffff);
+    flow.tuple.dst_ip = 0x0a000000u | ((static_cast<std::uint32_t>(i * 2654435761u) >> 16) & 0xffff);
+    flow.tuple.src_port = static_cast<std::uint16_t>(1024 + (i % 50000));
+    flow.tuple.dst_port = flow.tcp ? 443 : 53;
+    flow.tuple.proto = flow.tcp ? 6 : 17;
+    flows.push_back(flow);
+  }
+  return flows;
+}
+
+[[nodiscard]] rmt::Packet make_packet(const FlowDef& flow, std::uint32_t payload) {
+  rmt::Packet pkt;
+  pkt.eth.dst_mac = 0xaa0000000000ull | flow.tuple.dst_ip;
+  pkt.eth.src_mac = 0xbb0000000000ull | flow.tuple.src_ip;
+  pkt.ipv4 = rmt::Ipv4Header{.src = flow.tuple.src_ip,
+                             .dst = flow.tuple.dst_ip,
+                             .proto = flow.tuple.proto,
+                             .ttl = 64,
+                             .dscp = 0,
+                             .ecn = 0,
+                             .total_len = static_cast<std::uint16_t>(20 + payload)};
+  if (flow.tcp) {
+    pkt.tcp = rmt::TcpHeader{flow.tuple.src_port, flow.tuple.dst_port, 0x10};
+  } else {
+    pkt.udp = rmt::UdpHeader{flow.tuple.src_port, flow.tuple.dst_port};
+  }
+  pkt.payload_len = payload;
+  pkt.ingress_port = 1;
+  return pkt;
+}
+
+}  // namespace
+
+Trace make_campus_trace(const CampusTraceConfig& config) {
+  Rng rng(config.seed);
+  const auto flows = make_flows(config.flows, config.tcp_fraction, rng);
+  const ZipfSampler sampler(static_cast<std::size_t>(config.flows), config.zipf_skew);
+
+  Trace trace;
+  trace.duration_ns = static_cast<std::uint64_t>(config.duration_s * 1e9);
+  std::uint64_t t = 0;
+  while (t < trace.duration_ns) {
+    const FlowDef& flow = flows[sampler.sample(rng)];
+    // Packet size mix: TCP flows occasionally burst MTU-sized transfers
+    // (the spikes of Fig. 13a); otherwise a typical small/medium mix.
+    std::uint32_t payload;
+    const double roll = rng.uniform01();
+    if (flow.tcp && roll < 0.18) {
+      payload = 1400 + static_cast<std::uint32_t>(rng.uniform(60));
+    } else if (roll < 0.55) {
+      payload = 20 + static_cast<std::uint32_t>(rng.uniform(100));
+    } else {
+      payload = 200 + static_cast<std::uint32_t>(rng.uniform(400));
+    }
+    rmt::Packet pkt = make_packet(flow, payload);
+    trace.packets.push_back(TimedPacket{t, pkt});
+    trace.total_bytes += pkt.wire_len();
+    t += wire_time_ns(pkt.wire_len(), config.rate_mbps);
+  }
+  return trace;
+}
+
+CacheWorkload make_cache_workload(const CacheWorkloadConfig& config) {
+  Rng rng(config.seed);
+  const ZipfSampler sampler(static_cast<std::size_t>(config.keys), config.zipf_skew);
+
+  // Choose the cached key set: most popular keys until the probability
+  // mass reaches the target hit rate (keys are Zipf-ranked, so key i has
+  // probability ~ 1/(i+1)^s).
+  std::vector<double> mass(static_cast<std::size_t>(config.keys));
+  double total = 0;
+  for (int i = 0; i < config.keys; ++i) {
+    mass[static_cast<std::size_t>(i)] =
+        1.0 / std::pow(static_cast<double>(i + 1), config.zipf_skew);
+    total += mass[static_cast<std::size_t>(i)];
+  }
+  CacheWorkload out;
+  double cum = 0.0;
+  for (int i = 0; i < config.keys; ++i) {
+    if (cum / total >= config.target_hit_rate) break;
+    cum += mass[static_cast<std::size_t>(i)];
+    out.cached_keys.push_back(0x8888u + static_cast<Word>(i));
+  }
+  out.expected_hit_rate = cum / total;
+
+  out.trace.duration_ns = static_cast<std::uint64_t>(config.duration_s * 1e9);
+  std::uint64_t t = 0;
+  while (t < out.trace.duration_ns) {
+    const std::size_t rank = sampler.sample(rng);
+    rmt::Packet pkt;
+    pkt.ipv4 = rmt::Ipv4Header{.src = 0x0a000000u | static_cast<std::uint32_t>(rank & 0xffff),
+                               .dst = 0x0a010001u,
+                               .proto = 17,
+                               .ttl = 64,
+                               .dscp = 0,
+                               .ecn = 0,
+                               .total_len = 64};
+    pkt.udp = rmt::UdpHeader{static_cast<std::uint16_t>(2000 + (rank % 1000)),
+                             config.udp_port};
+    pkt.app = rmt::AppHeader{.op = 1,  // cache read
+                             .key1 = 0x8888u + static_cast<Word>(rank),
+                             .key2 = 0,
+                             .value = 0};
+    pkt.payload_len = 0;
+    pkt.ingress_port = 1;
+    out.trace.packets.push_back(TimedPacket{t, pkt});
+    out.trace.total_bytes += pkt.wire_len();
+    t += wire_time_ns(pkt.wire_len(), config.rate_mbps);
+  }
+  return out;
+}
+
+std::map<rmt::FiveTuple, std::uint64_t> flow_counts(const Trace& trace) {
+  std::map<rmt::FiveTuple, std::uint64_t> counts;
+  for (const auto& tp : trace.packets) ++counts[tp.pkt.five_tuple()];
+  return counts;
+}
+
+std::vector<rmt::FiveTuple> heavy_hitters(const Trace& trace, std::uint64_t threshold) {
+  std::vector<rmt::FiveTuple> out;
+  for (const auto& [tuple, count] : flow_counts(trace)) {
+    if (count > threshold) out.push_back(tuple);
+  }
+  return out;
+}
+
+}  // namespace p4runpro::traffic

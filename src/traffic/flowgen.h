@@ -1,0 +1,67 @@
+// Synthetic traffic generation: the stand-in for the paper's TRex +
+// tcpreplay setup and the anonymized campus trace (~1.3 GB TCP/UDP, 4,096
+// distinct 5-tuples, Zipf-ish flow sizes with occasional large TCP
+// transfers — the spikes in Fig. 13a). Deterministic given a seed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "rmt/packet.h"
+
+namespace p4runpro::traffic {
+
+struct TimedPacket {
+  std::uint64_t t_ns = 0;
+  rmt::Packet pkt;
+};
+
+struct Trace {
+  std::vector<TimedPacket> packets;
+  std::uint64_t duration_ns = 0;
+  std::uint64_t total_bytes = 0;
+};
+
+/// Campus-like mixed TCP/UDP trace. Flows live in 10.0.0.0/16 on both
+/// sides so the measurement programs' filters (hdr.ipv4.src/dst 10.0/16)
+/// match.
+struct CampusTraceConfig {
+  int flows = 4096;
+  double zipf_skew = 1.1;
+  double rate_mbps = 100.0;
+  double duration_s = 30.0;
+  double tcp_fraction = 0.7;
+  std::uint64_t seed = 1;
+};
+[[nodiscard]] Trace make_campus_trace(const CampusTraceConfig& config);
+
+/// In-network cache workload: UDP packets with the application header
+/// (cache reads over a Zipf key popularity), plus the set of keys that must
+/// be cached to achieve the requested hit rate (Fig. 13b: 0.6).
+struct CacheWorkloadConfig {
+  int keys = 4096;
+  double zipf_skew = 1.5;  // heavy-tailed key popularity: few keys cover 60%
+  double target_hit_rate = 0.6;
+  double rate_mbps = 100.0;
+  double duration_s = 30.0;
+  std::uint16_t udp_port = 7777;
+  std::uint64_t seed = 2;
+};
+struct CacheWorkload {
+  Trace trace;
+  std::vector<Word> cached_keys;  ///< keys the switch must cache for the hit rate
+  double expected_hit_rate = 0.0;
+};
+[[nodiscard]] CacheWorkload make_cache_workload(const CacheWorkloadConfig& config);
+
+/// Per-flow packet counts of a trace (heavy-hitter ground truth, Fig. 13d).
+[[nodiscard]] std::map<rmt::FiveTuple, std::uint64_t> flow_counts(const Trace& trace);
+
+/// Flows whose packet count exceeds `threshold`.
+[[nodiscard]] std::vector<rmt::FiveTuple> heavy_hitters(const Trace& trace,
+                                                        std::uint64_t threshold);
+
+}  // namespace p4runpro::traffic

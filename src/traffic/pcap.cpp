@@ -1,0 +1,102 @@
+#include "traffic/pcap.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "rmt/wire.h"
+
+namespace p4runpro::traffic {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;  // microsecond timestamps
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+struct PcapGlobalHeader {
+  std::uint32_t magic;
+  std::uint16_t version_major;
+  std::uint16_t version_minor;
+  std::int32_t thiszone;
+  std::uint32_t sigfigs;
+  std::uint32_t snaplen;
+  std::uint32_t network;
+};
+
+struct PcapRecordHeader {
+  std::uint32_t ts_sec;
+  std::uint32_t ts_usec;
+  std::uint32_t incl_len;
+  std::uint32_t orig_len;
+};
+
+static_assert(sizeof(PcapGlobalHeader) == 24);
+static_assert(sizeof(PcapRecordHeader) == 16);
+
+}  // namespace
+
+Status write_pcap(const std::string& path, const Trace& trace) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Error{"cannot open '" + path + "' for writing", "pcap"};
+
+  const PcapGlobalHeader global{kMagic, 2, 4, 0, 0, 65535, kLinkTypeEthernet};
+  out.write(reinterpret_cast<const char*>(&global), sizeof global);
+
+  for (const auto& tp : trace.packets) {
+    const auto bytes = rmt::serialize(tp.pkt);
+    PcapRecordHeader record;
+    record.ts_sec = static_cast<std::uint32_t>(tp.t_ns / 1000000000ull);
+    record.ts_usec = static_cast<std::uint32_t>((tp.t_ns / 1000ull) % 1000000ull);
+    record.incl_len = static_cast<std::uint32_t>(bytes.size());
+    record.orig_len = static_cast<std::uint32_t>(bytes.size());
+    out.write(reinterpret_cast<const char*>(&record), sizeof record);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  if (!out) return Error{"write failed for '" + path + "'", "pcap"};
+  return {};
+}
+
+Result<Trace> read_pcap(const std::string& path,
+                        const rmt::ParserConfig& parser_config) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error{"cannot open '" + path + "'", "pcap"};
+
+  PcapGlobalHeader global{};
+  in.read(reinterpret_cast<char*>(&global), sizeof global);
+  if (!in || global.magic != kMagic) {
+    return Error{"not a classic little-endian pcap file", "pcap"};
+  }
+  if (global.network != kLinkTypeEthernet) {
+    return Error{"unsupported link type " + std::to_string(global.network), "pcap"};
+  }
+
+  std::vector<std::uint16_t> app_ports = parser_config.app_udp_ports;
+  Trace trace;
+  std::vector<std::uint8_t> buffer;
+  for (;;) {
+    PcapRecordHeader record{};
+    in.read(reinterpret_cast<char*>(&record), sizeof record);
+    if (!in) break;  // clean EOF
+    if (record.incl_len > global.snaplen && record.incl_len > 1u << 20) {
+      return Error{"corrupt record length", "pcap"};
+    }
+    buffer.resize(record.incl_len);
+    in.read(reinterpret_cast<char*>(buffer.data()), record.incl_len);
+    if (!in) return Error{"truncated packet record", "pcap"};
+
+    auto parsed = rmt::parse_bytes(buffer, app_ports);
+    if (!parsed.ok()) continue;  // skip frames we cannot model
+    TimedPacket tp;
+    tp.t_ns = static_cast<std::uint64_t>(record.ts_sec) * 1000000000ull +
+              static_cast<std::uint64_t>(record.ts_usec) * 1000ull;
+    tp.pkt = std::move(parsed).take();
+    trace.total_bytes += tp.pkt.wire_len();
+    trace.duration_ns = std::max(trace.duration_ns, tp.t_ns);
+    trace.packets.push_back(std::move(tp));
+  }
+  return trace;
+}
+
+}  // namespace p4runpro::traffic

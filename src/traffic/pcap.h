@@ -1,0 +1,25 @@
+// Classic pcap (libpcap) file I/O for traces — the stand-in for the
+// paper's tcpreplay + libpcap tooling (§5). Traces written here open in
+// tcpdump/Wireshark; traces captured elsewhere can be replayed through the
+// simulated switch.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "rmt/parser.h"
+#include "traffic/flowgen.h"
+
+namespace p4runpro::traffic {
+
+/// Write a trace as a classic little-endian pcap file (magic 0xa1b2c3d4,
+/// LINKTYPE_ETHERNET). Timestamps come from the trace's virtual clock.
+[[nodiscard]] Status write_pcap(const std::string& path, const Trace& trace);
+
+/// Read a classic pcap file back into a trace. Non-IPv4 frames are kept as
+/// L2-only packets; UDP payloads on `parser_config.app_udp_ports` parse as
+/// the application header.
+[[nodiscard]] Result<Trace> read_pcap(const std::string& path,
+                                      const rmt::ParserConfig& parser_config);
+
+}  // namespace p4runpro::traffic

@@ -1,0 +1,77 @@
+#include "traffic/replay.h"
+
+namespace p4runpro::traffic {
+
+std::vector<RateSample> Replayer::run(const Trace& trace, const Options& options) {
+  std::vector<RateSample> samples;
+  const std::uint64_t t0 = clock_.now_ns();
+  const auto bucket_ns = static_cast<std::uint64_t>(options.bucket_ms * 1e6);
+
+  RateSample current;
+  std::uint64_t bucket_start = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t fwd_bytes = 0;
+  std::uint64_t ret_bytes = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t port_bytes[2] = {0, 0};
+
+  auto flush_bucket = [&](std::uint64_t bucket_end) {
+    const double seconds = static_cast<double>(bucket_end - bucket_start) / 1e9;
+    if (seconds <= 0) return;
+    current.t_s = static_cast<double>(bucket_start) / 1e9;
+    current.rx_mbps = static_cast<double>(rx_bytes) * 8.0 / seconds / 1e6;
+    current.fwd_mbps = static_cast<double>(fwd_bytes) * 8.0 / seconds / 1e6;
+    current.ret_mbps = static_cast<double>(ret_bytes) * 8.0 / seconds / 1e6;
+    current.tx_mbps = static_cast<double>(tx_bytes) * 8.0 / seconds / 1e6;
+    current.port_mbps[0] = static_cast<double>(port_bytes[0]) * 8.0 / seconds / 1e6;
+    current.port_mbps[1] = static_cast<double>(port_bytes[1]) * 8.0 / seconds / 1e6;
+    samples.push_back(current);
+    current = RateSample{};
+    rx_bytes = fwd_bytes = ret_bytes = tx_bytes = 0;
+    port_bytes[0] = port_bytes[1] = 0;
+    bucket_start = bucket_end;
+    if (options.on_bucket) options.on_bucket(static_cast<double>(bucket_end) / 1e9);
+  };
+
+  for (const auto& tp : trace.packets) {
+    while (tp.t_ns >= bucket_start + bucket_ns) flush_bucket(bucket_start + bucket_ns);
+    clock_.advance_to_ns(t0 + tp.t_ns);
+
+    tx_bytes += tp.pkt.wire_len();
+    const rmt::PipelineResult result = injector_(tp.pkt);
+    switch (result.fate) {
+      case rmt::PacketFate::Forwarded:
+      case rmt::PacketFate::Returned:
+        rx_bytes += result.packet.wire_len();
+        if (result.fate == rmt::PacketFate::Forwarded) {
+          fwd_bytes += result.packet.wire_len();
+        } else {
+          ret_bytes += result.packet.wire_len();
+        }
+        if (result.egress_port < 2) {
+          port_bytes[result.egress_port] += result.packet.wire_len();
+        }
+        break;
+      case rmt::PacketFate::Multicasted:
+        for (Port port : result.multicast_ports) {
+          rx_bytes += result.packet.wire_len();
+          if (port < 2) port_bytes[port] += result.packet.wire_len();
+        }
+        break;
+      case rmt::PacketFate::Reported:
+        ++current.reported;
+        if (options.collect_reports) {
+          reported_flows_.insert(result.packet.five_tuple());
+        }
+        break;
+      case rmt::PacketFate::Dropped:
+      case rmt::PacketFate::RecircLimit:
+        ++current.dropped;
+        break;
+    }
+  }
+  flush_bucket(trace.duration_ns);
+  return samples;
+}
+
+}  // namespace p4runpro::traffic

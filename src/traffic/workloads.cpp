@@ -1,0 +1,53 @@
+#include "traffic/workloads.h"
+
+namespace p4runpro::traffic {
+
+WorkloadGenerator::WorkloadGenerator(std::vector<std::string> keys,
+                                     std::uint32_t mem_buckets, int elastic_cases,
+                                     std::uint64_t seed)
+    : keys_(std::move(keys)),
+      mem_buckets_(mem_buckets),
+      elastic_cases_(elastic_cases),
+      rng_(seed) {}
+
+WorkloadGenerator WorkloadGenerator::single(const std::string& key,
+                                            std::uint32_t mem_buckets,
+                                            int elastic_cases, std::uint64_t seed) {
+  return WorkloadGenerator({key}, mem_buckets, elastic_cases, seed);
+}
+
+WorkloadGenerator WorkloadGenerator::mixed(std::uint32_t mem_buckets, int elastic_cases,
+                                           std::uint64_t seed) {
+  return WorkloadGenerator({"cache", "lb", "hh"}, mem_buckets, elastic_cases, seed);
+}
+
+WorkloadGenerator WorkloadGenerator::all_mixed(std::uint32_t mem_buckets,
+                                               int elastic_cases, std::uint64_t seed) {
+  std::vector<std::string> keys;
+  for (const auto& info : apps::program_catalog()) keys.push_back(info.key);
+  return WorkloadGenerator(std::move(keys), mem_buckets, elastic_cases, seed);
+}
+
+DeployRequest WorkloadGenerator::next() {
+  DeployRequest request;
+  request.key = keys_[rng_.uniform(keys_.size())];
+  request.config.instance_name = request.key + "_" + std::to_string(epoch_);
+  request.config.mem_buckets = mem_buckets_;
+  request.config.elastic_cases = elastic_cases_;
+  // Give instances distinct traffic filters where the template supports an
+  // override (UDP-port based programs get unique ports; prefix-based ones
+  // cycle the second octet).
+  if (request.key == "cache" || request.key == "nc" || request.key == "dqacc" ||
+      request.key == "calculator") {
+    request.config.filter_value = 10000u + static_cast<Word>(epoch_ % 50000);
+  } else if (request.key == "lb" || request.key == "hh" || request.key == "cms" ||
+             request.key == "bf" || request.key == "sumax" || request.key == "hll") {
+    request.config.filter_value =
+        (10u << 24) | (static_cast<Word>(epoch_ % 256) << 16);
+  }
+  request.source = apps::make_program_source(request.key, request.config);
+  ++epoch_;
+  return request;
+}
+
+}  // namespace p4runpro::traffic

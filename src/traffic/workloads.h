@@ -1,0 +1,52 @@
+// Deployment-workload generators for the allocation experiments (Figs.
+// 7-9, 12, 18-19): streams of program-link requests drawn from the 15-
+// program catalog with unique instance names and (where possible) distinct
+// traffic filters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/program_library.h"
+#include "common/rng.h"
+
+namespace p4runpro::traffic {
+
+/// One program-deployment request of a workload epoch.
+struct DeployRequest {
+  std::string key;             ///< catalog key ("cache", "lb", ...)
+  apps::ProgramConfig config;  ///< instance configuration
+  std::string source;          ///< generated P4runpro source
+};
+
+/// The workloads of §6.2: single-program streams (cache / lb / hh / nc),
+/// the 3-program mix, and the all-15 mix.
+class WorkloadGenerator {
+ public:
+  /// `keys`: candidate program keys, one chosen uniformly per epoch.
+  WorkloadGenerator(std::vector<std::string> keys, std::uint32_t mem_buckets,
+                    int elastic_cases, std::uint64_t seed);
+
+  [[nodiscard]] static WorkloadGenerator single(const std::string& key,
+                                                std::uint32_t mem_buckets = 256,
+                                                int elastic_cases = 2,
+                                                std::uint64_t seed = 7);
+  [[nodiscard]] static WorkloadGenerator mixed(std::uint32_t mem_buckets = 256,
+                                               int elastic_cases = 2,
+                                               std::uint64_t seed = 7);
+  [[nodiscard]] static WorkloadGenerator all_mixed(std::uint32_t mem_buckets = 256,
+                                                   int elastic_cases = 2,
+                                                   std::uint64_t seed = 7);
+
+  /// Produce the next deployment request (unique instance name/filter).
+  [[nodiscard]] DeployRequest next();
+
+ private:
+  std::vector<std::string> keys_;
+  std::uint32_t mem_buckets_;
+  int elastic_cases_;
+  Rng rng_;
+  int epoch_ = 0;
+};
+
+}  // namespace p4runpro::traffic

@@ -1,0 +1,167 @@
+// Analysis-module tests: metrics (F1, imbalance, moving average), the
+// recirculation throughput/latency model (Fig. 11 invariants), and the
+// static resource/latency/power analyzer (Fig. 10 / Table 2 shape).
+#include <gtest/gtest.h>
+
+#include "analysis/metrics.h"
+#include "analysis/static_analyzer.h"
+#include "analysis/throughput_model.h"
+#include "dataplane/dataplane_spec.h"
+
+namespace p4runpro::analysis {
+namespace {
+
+// --- metrics ---------------------------------------------------------------
+
+TEST(Metrics, F1Score) {
+  const std::set<int> truth{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(f1_score(std::set<int>{1, 2, 3, 4}, truth).f1, 1.0);
+  const auto half = f1_score(std::set<int>{1, 2}, truth);
+  EXPECT_DOUBLE_EQ(half.precision, 1.0);
+  EXPECT_DOUBLE_EQ(half.recall, 0.5);
+  EXPECT_NEAR(half.f1, 2.0 / 3.0, 1e-12);
+  const auto noisy = f1_score(std::set<int>{1, 2, 9, 10}, truth);
+  EXPECT_DOUBLE_EQ(noisy.precision, 0.5);
+  EXPECT_DOUBLE_EQ(noisy.recall, 0.5);
+  EXPECT_DOUBLE_EQ(f1_score(std::set<int>{}, truth).f1, 0.0);
+  EXPECT_DOUBLE_EQ(f1_score(std::set<int>{}, std::set<int>{}).precision, 1.0);
+}
+
+TEST(Metrics, LoadImbalance) {
+  EXPECT_DOUBLE_EQ(load_imbalance(50, 50), 0.0);
+  EXPECT_DOUBLE_EQ(load_imbalance(100, 0), 1.0);
+  EXPECT_DOUBLE_EQ(load_imbalance(75, 25), 0.5);
+  EXPECT_DOUBLE_EQ(load_imbalance(0, 0), 0.0);
+}
+
+TEST(Metrics, MovingAverage) {
+  const std::vector<double> series{0, 0, 0, 10, 0, 0, 0};
+  const auto smoothed = moving_average(series, 3);
+  ASSERT_EQ(smoothed.size(), series.size());
+  EXPECT_NEAR(smoothed[3], 10.0 / 3.0, 1e-12);
+  EXPECT_NEAR(smoothed[2], 10.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(smoothed[0], 0.0);
+  // Window 1 is the identity.
+  EXPECT_EQ(moving_average(series, 1), series);
+}
+
+// --- recirculation model -----------------------------------------------------
+
+TEST(Recirculation, NoIterationsNoLoss) {
+  const RecirculationModel model;
+  for (int size : {128, 512, 1500}) {
+    EXPECT_DOUBLE_EQ(throughput_loss(model, size, 0), 0.0);
+  }
+}
+
+TEST(Recirculation, LossGrowsWithIterations) {
+  const RecirculationModel model;
+  for (int size : {128, 512, 1500}) {
+    double prev = 0.0;
+    for (int it = 1; it <= 6; ++it) {
+      const double loss = throughput_loss(model, size, it);
+      EXPECT_GT(loss, prev) << size << " " << it;
+      EXPECT_LE(loss, 1.0);
+      prev = loss;
+    }
+  }
+}
+
+TEST(Recirculation, SmallPacketsSufferMore) {
+  const RecirculationModel model;
+  for (int it = 1; it <= 6; ++it) {
+    EXPECT_GT(throughput_loss(model, 128, it), throughput_loss(model, 1500, it));
+  }
+}
+
+TEST(Recirculation, OneIterationWithinPaperBand) {
+  // Paper: 1-10% loss at one iteration, depending on packet size.
+  const RecirculationModel model;
+  for (int size : {128, 256, 512, 1024, 1500}) {
+    const double loss = throughput_loss(model, size, 1);
+    EXPECT_GE(loss, 0.005) << size;
+    EXPECT_LE(loss, 0.105) << size;
+  }
+}
+
+TEST(Recirculation, RttGrowthWithinPaperBand) {
+  const RecirculationModel model;
+  EXPECT_DOUBLE_EQ(normalized_rtt(model, 0), 1.0);
+  const double growth = normalized_rtt(model, 6) - 1.0;
+  EXPECT_GE(growth, 0.022);
+  EXPECT_LE(growth, 0.072);
+  for (int it = 1; it <= 6; ++it) {
+    EXPECT_GT(normalized_rtt(model, it), normalized_rtt(model, it - 1));
+  }
+}
+
+// --- static analyzer ----------------------------------------------------------
+
+TEST(StaticAnalyzer, UsageWithinBudgets) {
+  for (const auto& profile : {profile_p4runpro(dp::DataplaneSpec{}),
+                              profile_activermt(), profile_flymon()}) {
+    for (int r = 0; r < rmt::kNumResources; ++r) {
+      const auto resource = static_cast<rmt::Resource>(r);
+      const double pct = profile.usage.percent(resource, profile.budget);
+      EXPECT_GE(pct, 0.0) << profile.name;
+      EXPECT_LE(pct, 100.0) << profile.name;
+    }
+  }
+}
+
+TEST(StaticAnalyzer, P4runproShapeClaims) {
+  const auto p4 = profile_p4runpro(dp::DataplaneSpec{});
+  const auto armt = profile_activermt();
+  const auto flymon = profile_flymon();
+  auto pct = [](const SystemProfile& p, rmt::Resource r) {
+    return p.usage.percent(r, p.budget);
+  };
+  // "P4runpro uses almost all the VLIW".
+  EXPECT_GT(pct(p4, rmt::Resource::Vliw), 85.0);
+  // "TCAM usage limits the scalability of the table size per RPB".
+  EXPECT_GT(pct(p4, rmt::Resource::Tcam), 80.0);
+  // "does not heavily rely on SRAM".
+  EXPECT_LT(pct(p4, rmt::Resource::Sram), 60.0);
+  // "hash unit and SALU exceed ActiveRMT (two extra RPB stages)".
+  EXPECT_GT(pct(p4, rmt::Resource::Hash), pct(armt, rmt::Resource::Hash));
+  EXPECT_GT(pct(p4, rmt::Resource::Salu), pct(armt, rmt::Resource::Salu));
+  // One big table per RPB keeps LTID low; ActiveRMT burns many tables.
+  EXPECT_LT(pct(p4, rmt::Resource::Ltid), 30.0);
+  EXPECT_GT(pct(armt, rmt::Resource::Ltid), 60.0);
+  // FlyMon small everywhere.
+  for (int r = 0; r < rmt::kNumResources; ++r) {
+    EXPECT_LT(pct(flymon, static_cast<rmt::Resource>(r)), 40.0);
+  }
+}
+
+TEST(StaticAnalyzer, LatencyPowerShape) {
+  const auto p4 = analyze(profile_p4runpro(dp::DataplaneSpec{}));
+  const auto armt = analyze(profile_activermt());
+  const auto flymon = analyze(profile_flymon());
+
+  // Latency within a few cycles of the paper's Table 2.
+  EXPECT_NEAR(p4.total_cycles, 622, 15);
+  EXPECT_NEAR(armt.total_cycles, 620, 15);
+  EXPECT_NEAR(flymon.total_cycles, 336, 15);
+  EXPECT_LT(flymon.ingress_cycles, 60);
+
+  // Power ordering and the 40 W budget consequence.
+  EXPECT_GT(armt.total_power_w, p4.total_power_w);
+  EXPECT_GT(p4.total_power_w, flymon.total_power_w);
+  EXPECT_GT(armt.total_power_w, 40.0);
+  EXPECT_LT(armt.traffic_limit_load_pct, 95);
+  EXPECT_GE(p4.traffic_limit_load_pct, 93);
+  EXPECT_EQ(flymon.traffic_limit_load_pct, 100);
+}
+
+TEST(StaticAnalyzer, PowerBudgetParameter) {
+  const auto profile = profile_activermt();
+  // A generous budget removes the traffic limit.
+  EXPECT_EQ(analyze(profile, 100.0).traffic_limit_load_pct, 100);
+  // A tight one throttles harder.
+  EXPECT_LT(analyze(profile, 30.0).traffic_limit_load_pct,
+            analyze(profile, 40.0).traffic_limit_load_pct);
+}
+
+}  // namespace
+}  // namespace p4runpro::analysis

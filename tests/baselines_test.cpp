@@ -1,0 +1,139 @@
+// Baseline-model tests: ActiveRMT allocator behaviour (worst-fit spread,
+// elastic shrinking, exhaustion, deallocation) and the FlyMon task model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/activermt.h"
+#include "baselines/flymon.h"
+#include "common/clock.h"
+
+namespace p4runpro::baselines {
+namespace {
+
+TEST(ActiveRmt, AllocatesAndTracksUtilization) {
+  ActiveRmtAllocator allocator;
+  EXPECT_DOUBLE_EQ(allocator.memory_utilization(), 0.0);
+  auto a = allocator.allocate({10, 1024, false});
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(allocator.program_count(), 1u);
+  std::uint32_t granted = 0;
+  for (const auto& [stage, share] : a.value().shares) granted += share;
+  EXPECT_GE(granted, 1024u);
+  EXPECT_GT(allocator.memory_utilization(), 0.0);
+}
+
+TEST(ActiveRmt, WorstFitSpreadsAcrossStages) {
+  ActiveRmtAllocator allocator;
+  // Two large programs should not land on the same stage while emptier
+  // stages exist.
+  auto a = allocator.allocate({10, 65536, false});
+  auto b = allocator.allocate({10, 65536, false});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().shares.size(), 1u);
+  ASSERT_EQ(b.value().shares.size(), 1u);
+  EXPECT_NE(a.value().shares[0].first, b.value().shares[0].first);
+}
+
+TEST(ActiveRmt, ElasticProgramsShrinkForNewcomers) {
+  ActiveRmtConfig config;
+  config.stages = 2;
+  config.mem_per_stage = 4096;
+  config.granularity = 256;
+  config.min_elastic = 256;
+  ActiveRmtAllocator allocator(config);
+  // One elastic program takes everything.
+  ASSERT_TRUE(allocator.allocate({10, 8192, true}).ok());
+  EXPECT_DOUBLE_EQ(allocator.memory_utilization(), 1.0);
+  // A newcomer still fits: the elastic program is remapped down to its
+  // fair share (half of 8,192 = 4,096 buckets), leaving room for the
+  // 1,024-bucket newcomer.
+  EXPECT_TRUE(allocator.allocate({10, 1024, false}).ok());
+  EXPECT_DOUBLE_EQ(allocator.memory_utilization(), (4096.0 + 1024.0) / 8192.0);
+}
+
+TEST(ActiveRmt, InelasticExhaustionFails) {
+  ActiveRmtConfig config;
+  config.stages = 1;
+  config.mem_per_stage = 1024;
+  ActiveRmtAllocator allocator(config);
+  ASSERT_TRUE(allocator.allocate({10, 1024, false}).ok());
+  EXPECT_FALSE(allocator.allocate({10, 256, false}).ok());
+}
+
+TEST(ActiveRmt, DeallocateFreesMemory) {
+  ActiveRmtAllocator allocator;
+  auto a = allocator.allocate({10, 4096, false});
+  ASSERT_TRUE(a.ok());
+  const double used = allocator.memory_utilization();
+  allocator.deallocate(a.value().id);
+  EXPECT_LT(allocator.memory_utilization(), used);
+  EXPECT_EQ(allocator.program_count(), 0u);
+}
+
+TEST(ActiveRmt, GoodputFractionShrinksWithInstructions) {
+  // Capsule overhead: more instructions -> bigger active header -> less
+  // goodput; smaller packets suffer more (§2.2 end-host overhead).
+  const double small_few = ActiveRmtAllocator::goodput_fraction(128, 5);
+  const double small_many = ActiveRmtAllocator::goodput_fraction(128, 30);
+  const double big_many = ActiveRmtAllocator::goodput_fraction(1500, 30);
+  EXPECT_GT(small_few, small_many);
+  EXPECT_GT(big_many, small_many);
+  EXPECT_LT(small_many, 1.0);
+  EXPECT_GT(small_many, 0.0);
+}
+
+TEST(ActiveRmt, UpdateDelayInPaperRange) {
+  // cache/lb/hh measured at 194.30 / 225.46 / 228.70 ms in Table 1.
+  EXPECT_NEAR(ActiveRmtAllocator::update_delay_ms({12, 1024, true}), 194.3, 30.0);
+  EXPECT_NEAR(ActiveRmtAllocator::update_delay_ms({30, 4096, false}), 228.7, 30.0);
+}
+
+TEST(Flymon, SupportsOnlyMeasurementTasks) {
+  EXPECT_TRUE(Flymon::supports("cms"));
+  EXPECT_TRUE(Flymon::supports("bf"));
+  EXPECT_TRUE(Flymon::supports("sumax"));
+  EXPECT_TRUE(Flymon::supports("hll"));
+  // The generality gap: no forwarding, caching or compute tasks.
+  EXPECT_FALSE(Flymon::supports("cache"));
+  EXPECT_FALSE(Flymon::supports("lb"));
+  EXPECT_FALSE(Flymon::supports("firewall"));
+  EXPECT_FALSE(Flymon::supports("calculator"));
+}
+
+TEST(Flymon, UpdateDelaysMatchPaper) {
+  EXPECT_DOUBLE_EQ(Flymon::update_delay_ms(FlymonAttribute::FrequencyCms), 27.46);
+  EXPECT_DOUBLE_EQ(Flymon::update_delay_ms(FlymonAttribute::ExistenceBf), 32.09);
+  EXPECT_DOUBLE_EQ(Flymon::update_delay_ms(FlymonAttribute::MaxSuMax), 22.88);
+  EXPECT_DOUBLE_EQ(Flymon::update_delay_ms(FlymonAttribute::CardinalityHll), 17.37);
+}
+
+TEST(ActiveRmt, AllocationDelayGrowsWithPopulation) {
+  // The Fig. 7a scaling property as a test: allocating the ~400th program
+  // costs measurably more than the ~10th (global fair-remap evaluation).
+  // Compare medians of wall-clock samples to be robust against scheduler
+  // noise on the microsecond-scale early measurements.
+  ActiveRmtAllocator allocator;
+  auto time_one = [&allocator] {
+    WallTimer timer;
+    (void)allocator.allocate({10, 256, false});
+    return timer.elapsed_ms();
+  };
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  std::vector<double> early;
+  for (int i = 0; i < 20; ++i) early.push_back(time_one());
+  for (int i = 0; i < 2000; ++i) (void)allocator.allocate({10, 256, false});
+  std::vector<double> late;
+  for (int i = 0; i < 20; ++i) late.push_back(time_one());
+  // With 2,000 installed programs the per-allocation population scan
+  // dominates: demand a clear multiple, not a hair's breadth.
+  EXPECT_GT(median(late), 1.5 * median(early));
+}
+
+}  // namespace
+}  // namespace p4runpro::baselines

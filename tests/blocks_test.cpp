@@ -1,0 +1,199 @@
+// Data-plane block unit tests: initialization block (parse-path routing,
+// filter compatibility, rollback), recirculation block, logical/physical
+// RPB mapping helpers, and atomic-op plumbing.
+#include <gtest/gtest.h>
+
+#include "dataplane/atomic_op.h"
+#include "dataplane/dataplane_spec.h"
+#include "dataplane/init_block.h"
+#include "dataplane/recirc_block.h"
+#include "rmt/parser.h"
+
+namespace p4runpro::dp {
+namespace {
+
+// --- logical / physical mapping --------------------------------------------
+
+TEST(DataplaneSpec, LogicalPhysicalMapping) {
+  const DataplaneSpec spec;
+  EXPECT_EQ(spec.total_rpbs(), 22);
+  EXPECT_EQ(spec.logical_rpbs(), 44);  // R = 1
+
+  EXPECT_EQ(physical_rpb(1, 22), 1);
+  EXPECT_EQ(physical_rpb(22, 22), 22);
+  EXPECT_EQ(physical_rpb(23, 22), 1);
+  EXPECT_EQ(physical_rpb(44, 22), 22);
+  EXPECT_EQ(recirc_round(1, 22), 0);
+  EXPECT_EQ(recirc_round(22, 22), 0);
+  EXPECT_EQ(recirc_round(23, 22), 1);
+  EXPECT_EQ(recirc_round(44, 22), 1);
+
+  EXPECT_TRUE(is_ingress_rpb(1, 10));
+  EXPECT_TRUE(is_ingress_rpb(10, 10));
+  EXPECT_FALSE(is_ingress_rpb(11, 10));
+  EXPECT_FALSE(is_ingress_rpb(0, 10));
+}
+
+// --- initialization block ----------------------------------------------------
+
+TEST(InitBlock, FilterKeySlots) {
+  EXPECT_EQ(filter_key_slot(rmt::FieldId::MetaIngressPort), kFilterIngressPort);
+  EXPECT_EQ(filter_key_slot(rmt::FieldId::Ipv4Src), kFilterIpv4Src);
+  EXPECT_EQ(filter_key_slot(rmt::FieldId::TcpDstPort), kFilterL4Dst);
+  EXPECT_EQ(filter_key_slot(rmt::FieldId::UdpDstPort), kFilterL4Dst);
+  EXPECT_EQ(filter_key_slot(rmt::FieldId::EthType), kFilterEthType);
+  // Non-filterable fields.
+  EXPECT_EQ(filter_key_slot(rmt::FieldId::AppOp), std::nullopt);
+  EXPECT_EQ(filter_key_slot(rmt::FieldId::Ipv4Ttl), std::nullopt);
+}
+
+TEST(InitBlock, CompatiblePaths) {
+  // A UDP-port filter matches the UDP and App paths.
+  const auto udp = compatible_paths({{rmt::FieldId::UdpDstPort, 7777, 0xffff}});
+  EXPECT_EQ(udp, (std::vector<ParsePath>{ParsePath::Udp, ParsePath::App}));
+  // A TCP filter only the TCP path.
+  const auto tcp = compatible_paths({{rmt::FieldId::TcpDstPort, 80, 0xffff}});
+  EXPECT_EQ(tcp, (std::vector<ParsePath>{ParsePath::Tcp}));
+  // An IPv4 filter matches every IPv4-bearing path.
+  const auto ip = compatible_paths({{rmt::FieldId::Ipv4Src, 1, 0xff}});
+  EXPECT_EQ(ip, (std::vector<ParsePath>{ParsePath::Ipv4, ParsePath::Tcp,
+                                        ParsePath::Udp, ParsePath::App}));
+  // Port / ethertype filters match all five paths.
+  const auto port = compatible_paths({{rmt::FieldId::MetaIngressPort, 3, 0xffff}});
+  EXPECT_EQ(port.size(), 5u);
+  // Conflicting TCP+UDP requirements match nothing.
+  const auto none = compatible_paths({{rmt::FieldId::TcpDstPort, 80, 0xffff},
+                                      {rmt::FieldId::UdpDstPort, 53, 0xffff}});
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(InitBlock, AssignsProgramIdByPath) {
+  InitBlock block(64);
+  auto handles =
+      block.install(7, {{rmt::FieldId::UdpDstPort, 7777, 0xffff}}, /*priority=*/1);
+  ASSERT_TRUE(handles.ok());
+  EXPECT_EQ(handles.value().size(), 2u);  // UDP + App paths
+  EXPECT_EQ(block.total_entries(), 2u);
+
+  rmt::Parser parser(rmt::ParserConfig{{7777}});
+  rmt::Packet pkt;
+  pkt.ipv4 = rmt::Ipv4Header{.proto = 17};
+  pkt.udp = rmt::UdpHeader{1000, 7777};
+  auto phv = parser.parse(pkt);
+  block.process(phv);
+  EXPECT_EQ(phv.program_id, 7);
+
+  // Wrong port: untouched.
+  pkt.udp->dst_port = 7778;
+  phv = parser.parse(pkt);
+  block.process(phv);
+  EXPECT_EQ(phv.program_id, 0);
+
+  // TCP packet never hits a UDP filter.
+  rmt::Packet tcp;
+  tcp.ipv4 = rmt::Ipv4Header{.proto = 6};
+  tcp.tcp = rmt::TcpHeader{1000, 7777, 0};
+  phv = parser.parse(tcp);
+  block.process(phv);
+  EXPECT_EQ(phv.program_id, 0);
+
+  block.remove(handles.value());
+  EXPECT_EQ(block.total_entries(), 0u);
+}
+
+TEST(InitBlock, RecirculatedPacketsBypassFiltering) {
+  InitBlock block(64);
+  ASSERT_TRUE(block.install(9, {{rmt::FieldId::Ipv4Src, 0x0a000000, 0xff000000}}, 1).ok());
+  rmt::Parser parser(rmt::ParserConfig{});
+  rmt::Packet pkt;
+  pkt.ipv4 = rmt::Ipv4Header{.src = 0x0a000001, .proto = 17};
+  pkt.udp = rmt::UdpHeader{1, 2};
+  auto phv = parser.parse(pkt);
+  phv.recirc_id = 1;
+  phv.program_id = 3;  // carried in the P4runpro header
+  block.process(phv);
+  EXPECT_EQ(phv.program_id, 3);  // unchanged
+}
+
+TEST(InitBlock, HigherPriorityWinsOnOverlap) {
+  InitBlock block(64);
+  ASSERT_TRUE(block.install(1, {{rmt::FieldId::Ipv4Src, 0x0a000000, 0xff000000}}, 1).ok());
+  ASSERT_TRUE(block.install(2, {{rmt::FieldId::Ipv4Src, 0x0a000000, 0xffff0000}}, 2).ok());
+  rmt::Parser parser(rmt::ParserConfig{});
+  rmt::Packet pkt;
+  pkt.ipv4 = rmt::Ipv4Header{.src = 0x0a000005, .proto = 17};
+  pkt.udp = rmt::UdpHeader{1, 2};
+  auto phv = parser.parse(pkt);
+  block.process(phv);
+  EXPECT_EQ(phv.program_id, 2);
+}
+
+TEST(InitBlock, UnfilterableFieldRejected) {
+  InitBlock block(64);
+  auto r = block.install(1, {{rmt::FieldId::AppValue, 1, 0xff}}, 1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(block.total_entries(), 0u);
+}
+
+// --- recirculation block -------------------------------------------------------
+
+TEST(RecircBlock, FlagsNonFinalRounds) {
+  RecircBlock block(64);
+  auto handles = block.install(5, /*rounds=*/3);
+  ASSERT_TRUE(handles.ok());
+  EXPECT_EQ(handles.value().size(), 2u);  // rounds 0 and 1 recirculate
+
+  rmt::Phv phv;
+  phv.program_id = 5;
+  phv.recirc_id = 0;
+  block.process(phv);
+  EXPECT_TRUE(phv.recirculate);
+
+  phv.recirculate = false;
+  phv.recirc_id = 1;
+  block.process(phv);
+  EXPECT_TRUE(phv.recirculate);
+
+  phv.recirculate = false;
+  phv.recirc_id = 2;  // final round
+  block.process(phv);
+  EXPECT_FALSE(phv.recirculate);
+
+  // Other programs unaffected.
+  phv.program_id = 6;
+  phv.recirc_id = 0;
+  phv.recirculate = false;
+  block.process(phv);
+  EXPECT_FALSE(phv.recirculate);
+
+  block.remove(handles.value());
+  EXPECT_EQ(block.entries(), 0u);
+}
+
+TEST(RecircBlock, SingleRoundProgramsInstallNothing) {
+  RecircBlock block(64);
+  auto handles = block.install(5, 1);
+  ASSERT_TRUE(handles.ok());
+  EXPECT_TRUE(handles.value().empty());
+}
+
+// --- atomic ops ------------------------------------------------------------------
+
+TEST(AtomicOp, ClassifiersAndNames) {
+  EXPECT_TRUE(is_forwarding(OpKind::Forward));
+  EXPECT_TRUE(is_forwarding(OpKind::Drop));
+  EXPECT_TRUE(is_forwarding(OpKind::Return));
+  EXPECT_TRUE(is_forwarding(OpKind::Report));
+  EXPECT_FALSE(is_forwarding(OpKind::Mem));
+  EXPECT_TRUE(is_memory(OpKind::Mem));
+  EXPECT_FALSE(is_memory(OpKind::Offset));
+  EXPECT_TRUE(is_hash(OpKind::Hash5TupleMem));
+  EXPECT_FALSE(is_hash(OpKind::Loadi));
+
+  EXPECT_EQ(AtomicOp::loadi(Reg::Sar, 9).str(), "LOADI(sar, 9)");
+  EXPECT_EQ(AtomicOp::forward(3).str(), "FORWARD(3)");
+  EXPECT_EQ(AtomicOp::alu(OpKind::Add, Reg::Har, Reg::Mar).str(), "ADD(har, mar)");
+}
+
+}  // namespace
+}  // namespace p4runpro::dp

@@ -1,0 +1,57 @@
+// Hash-unit tests: the named CRC algorithms against their published check
+// values, and structural properties the data plane relies on.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <set>
+
+#include "rmt/crc.h"
+
+namespace p4runpro::rmt {
+namespace {
+
+std::span<const std::uint8_t> check_input() {
+  static const std::uint8_t kData[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  return kData;
+}
+
+TEST(Crc, Buypass) { EXPECT_EQ(crc16_buypass(check_input()), 0xFEE8); }
+TEST(Crc, Mcrf4xx) { EXPECT_EQ(crc16_mcrf4xx(check_input()), 0x6F91); }
+TEST(Crc, AugCcitt) { EXPECT_EQ(crc16_aug_ccitt(check_input()), 0xE5CC); }
+TEST(Crc, Dds110) { EXPECT_EQ(crc16_dds110(check_input()), 0x9ECF); }
+TEST(Crc, Crc32IsoHdlc) { EXPECT_EQ(crc32_iso_hdlc(check_input()), 0xCBF43926u); }
+
+TEST(Crc, EmptyInputIsDefined) {
+  const std::span<const std::uint8_t> empty;
+  // init ^ xorout for straight algorithms.
+  EXPECT_EQ(crc16_buypass(empty), 0x0000);
+  EXPECT_EQ(crc16_aug_ccitt(empty), 0x1D0F);
+}
+
+TEST(Crc, DifferentAlgorithmsDisagree) {
+  // The four 16-bit variants must behave as independent hash functions:
+  // on a set of inputs they should almost never all coincide.
+  std::set<std::array<std::uint16_t, 4>> signatures;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    std::uint8_t buf[4];
+    std::memcpy(buf, &i, sizeof buf);
+    signatures.insert({crc16_buypass(buf), crc16_mcrf4xx(buf),
+                       crc16_aug_ccitt(buf), crc16_dds110(buf)});
+  }
+  EXPECT_EQ(signatures.size(), 64u);
+}
+
+TEST(Crc, RunHashDispatch) {
+  EXPECT_EQ(run_hash(HashAlgo::Crc16Buypass, check_input()), 0xFEE8u);
+  EXPECT_EQ(run_hash(HashAlgo::Crc32, check_input()), 0xCBF43926u);
+}
+
+TEST(Crc, Deterministic) {
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(crc16_mcrf4xx(check_input()), crc16_mcrf4xx(check_input()));
+  }
+}
+
+}  // namespace
+}  // namespace p4runpro::rmt

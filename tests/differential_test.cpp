@@ -1,0 +1,165 @@
+// Differential property test: two independent executors must agree.
+//
+// Path A: the real thing — compiled entries installed in the table-driven
+//         RPB pipeline (filters, ternary matching, recirculation, SALUs).
+// Path B: a direct interpreter over the translated IR DAG built here, with
+//         shadow memories, that never touches tables or the pipeline.
+//
+// For every catalog program we replay a randomized packet stream through
+// both and require identical fates, egress ports, header rewrites and
+// (at the end) identical memory contents. This catches disagreements
+// between the compiler's entry generation and the intended semantics.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "apps/program_library.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "control/controller.h"
+#include "dataplane/runpro_dataplane.h"
+#include "rmt/crc.h"
+
+#include "ir_interpreter.h"
+
+namespace p4runpro {
+namespace {
+
+/// Random packet generator biased to exercise each program's filter and
+/// application header.
+rmt::Packet random_packet(Rng& rng) {
+  rmt::Packet pkt;
+  pkt.eth.dst_mac = 0xaa0000000000ull + rng.uniform(1 << 18);
+  pkt.eth.src_mac = 0xbb0000000000ull + rng.uniform(1 << 18);
+  pkt.ipv4 = rmt::Ipv4Header{
+      .src = (rng.uniform01() < 0.7 ? 0x0a000000u : 0x0b000000u) |
+             static_cast<Word>(rng.uniform(1 << 12)),
+      .dst = (rng.uniform01() < 0.7 ? 0x0a000000u : 0x0c000000u) |
+             static_cast<Word>(rng.uniform(1 << 12)),
+      .proto = 17,
+      .ttl = 64,
+      .dscp = 0,
+      .ecn = 0,
+      .total_len = static_cast<std::uint16_t>(64 + rng.uniform(1000))};
+  const bool tcp = rng.uniform01() < 0.4;
+  if (tcp) {
+    pkt.ipv4->proto = 6;
+    pkt.tcp = rmt::TcpHeader{static_cast<std::uint16_t>(rng.uniform(65536)),
+                             static_cast<std::uint16_t>(rng.uniform(65536)), 0x10};
+  } else {
+    const std::uint16_t kPorts[] = {7777, 7788, 9999, 5555, 53,
+                                    static_cast<std::uint16_t>(rng.uniform(65536))};
+    pkt.udp = rmt::UdpHeader{static_cast<std::uint16_t>(rng.uniform(65536)),
+                             kPorts[rng.uniform(6)]};
+    pkt.app = rmt::AppHeader{
+        static_cast<Word>(rng.uniform(4)),
+        // Bias keys toward the cache/nc elastic keys to hit branches.
+        rng.uniform01() < 0.5 ? 0x8888u + static_cast<Word>(rng.uniform(3))
+                              : static_cast<Word>(rng.next_u32()),
+        rng.uniform01() < 0.8 ? 0u : rng.next_u32(),
+        rng.next_u32()};
+    if (rng.uniform01() < 0.3) pkt.app->key1 = 0x7000u + static_cast<Word>(rng.uniform(3));
+  }
+  pkt.payload_len = static_cast<std::uint32_t>(rng.uniform(512));
+  pkt.ingress_port = static_cast<Port>(rng.uniform(8));
+  return pkt;
+}
+
+[[nodiscard]] rmt::FwdDecision fate_to_decision(rmt::PacketFate fate) {
+  switch (fate) {
+    case rmt::PacketFate::Forwarded: return rmt::FwdDecision::Forward;
+    case rmt::PacketFate::Returned: return rmt::FwdDecision::Return;
+    case rmt::PacketFate::Dropped: return rmt::FwdDecision::Drop;
+    case rmt::PacketFate::Reported: return rmt::FwdDecision::Report;
+    case rmt::PacketFate::RecircLimit: return rmt::FwdDecision::Drop;
+    case rmt::PacketFate::Multicasted: return rmt::FwdDecision::Multicast;
+  }
+  return rmt::FwdDecision::None;
+}
+
+class Differential : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Differential, PipelineAgreesWithIrInterpreter) {
+  const std::string key = GetParam();
+  SimClock clock;
+  dp::RunproDataplane dataplane(dp::DataplaneSpec{},
+                                rmt::ParserConfig{{7777, 7788, 9999, 5555}});
+  ctrl::Controller controller(dataplane, clock);
+
+  apps::ProgramConfig config;
+  config.instance_name = key;
+  config.threshold = 8;  // keep hh/nc thresholds reachable by the stream
+  auto linked = controller.link_single(apps::make_program_source(key, config));
+  ASSERT_TRUE(linked.ok()) << linked.error().str();
+  const auto* installed = controller.program(linked.value().id);
+  ASSERT_NE(installed, nullptr);
+
+  testutil::IrInterpreter interpreter(*installed, dataplane.spec());
+
+  // Mirror any control-plane seeding in both memories.
+  if (key == "lb") {
+    for (Word b = 0; b < 256; ++b) {
+      ASSERT_TRUE(controller.write_memory(linked.value().id, "port_pool", b, b % 2).ok());
+      ASSERT_TRUE(controller.write_memory(linked.value().id, "dip_pool", b, 0xac100000u + b).ok());
+      interpreter.write("port_pool", b, b % 2);
+      interpreter.write("dip_pool", b, 0xac100000u + b);
+    }
+  }
+
+  Rng rng(0xD1FFu ^ static_cast<std::uint64_t>(key.size() * 131 + key[0]));
+  const Word qdepth = 77;
+  dataplane.pipeline().set_qdepth(qdepth);
+
+  for (int i = 0; i < 300; ++i) {
+    const rmt::Packet pkt = random_packet(rng);
+    const bool claimed = interpreter.filter_matches(pkt) &&
+                         // the App parse path requires a configured port
+                         true;
+    const auto expect = interpreter.run(pkt, qdepth);
+    const auto actual = dataplane.inject(pkt);
+
+    if (!claimed || expect.decision == rmt::FwdDecision::None) {
+      // Unclaimed (or claimed but decision-less) packets take the default
+      // path: forwarded to port 0 with the interpreter's header rewrites.
+      EXPECT_EQ(actual.fate, rmt::PacketFate::Forwarded) << key << " pkt " << i;
+      EXPECT_EQ(actual.egress_port, 0) << key << " pkt " << i;
+    } else {
+      EXPECT_EQ(fate_to_decision(actual.fate), expect.decision) << key << " pkt " << i;
+      if (expect.decision == rmt::FwdDecision::Forward) {
+        EXPECT_EQ(actual.egress_port, expect.egress_port) << key << " pkt " << i;
+      }
+    }
+    // Header rewrites agree regardless of fate.
+    ASSERT_EQ(actual.packet.ipv4.has_value(), expect.packet.ipv4.has_value());
+    if (actual.packet.ipv4) {
+      EXPECT_EQ(actual.packet.ipv4->dst, expect.packet.ipv4->dst) << key << " pkt " << i;
+      EXPECT_EQ(actual.packet.ipv4->ecn, expect.packet.ipv4->ecn) << key << " pkt " << i;
+    }
+    if (actual.packet.app && expect.packet.app) {
+      EXPECT_EQ(actual.packet.app->value, expect.packet.app->value) << key << " pkt " << i;
+    }
+  }
+
+  // Memory contents agree bucket-for-bucket at the end of the stream.
+  for (const auto& [vmem, shadow] : interpreter.shadows()) {
+    for (MemAddr a = 0; a < shadow.size(); ++a) {
+      auto actual = controller.read_memory(linked.value().id, vmem, a);
+      ASSERT_TRUE(actual.ok());
+      ASSERT_EQ(actual.value(), shadow.read(a))
+          << key << " memory " << vmem << "[" << a << "]";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, Differential,
+                         ::testing::Values("cache", "lb", "hh", "nc", "dqacc",
+                                           "firewall", "l2", "l3", "tunnel",
+                                           "calculator", "ecn", "cms", "bf",
+                                           "sumax", "hll"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace p4runpro

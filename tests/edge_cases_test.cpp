@@ -1,0 +1,171 @@
+// Targeted edge cases: depth limits, empty case bodies, branch-only
+// programs, deep nesting, and the controller's all-or-nothing unit link.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/program_library.h"
+#include "common/clock.h"
+#include "compiler/compiler.h"
+#include "control/controller.h"
+#include "dataplane/runpro_dataplane.h"
+
+namespace p4runpro {
+namespace {
+
+rmt::Packet udp_ttl(std::uint8_t ttl) {
+  rmt::Packet pkt;
+  pkt.ipv4 = rmt::Ipv4Header{.src = 1, .dst = 2, .proto = 17, .ttl = ttl};
+  pkt.udp = rmt::UdpHeader{1, 2};
+  pkt.ingress_port = 1;
+  return pkt;
+}
+
+TEST(EdgeCases, ProgramAtExactlyTheLogicalDepthLimit) {
+  // 44 logical RPBs with R = 1: a 44-op dependency chain fits, 45 fails.
+  auto make_chain = [](int ops) {
+    std::ostringstream out;
+    out << "program chain(<hdr.ipv4.proto, 17, 0xff>) {\n";
+    for (int i = 0; i < ops; ++i) out << "  ADD(har, sar);\n";
+    out << "}\n";
+    return out.str();
+  };
+  const dp::DataplaneSpec spec;
+  SimClock clock;
+  dp::RunproDataplane dataplane(spec, rmt::ParserConfig{});
+  ctrl::Controller controller(dataplane, clock);
+
+  auto fits = controller.link_single(make_chain(spec.logical_rpbs()));
+  ASSERT_TRUE(fits.ok()) << fits.error().str();
+  EXPECT_EQ(controller.program(fits.value().id)->ir.depth, spec.logical_rpbs());
+  EXPECT_EQ(controller.program(fits.value().id)->alloc.rounds, 2);
+  ASSERT_TRUE(controller.revoke(fits.value().id).ok());
+
+  auto too_deep = controller.link_single(make_chain(spec.logical_rpbs() + 1));
+  ASSERT_FALSE(too_deep.ok());
+  EXPECT_NE(too_deep.error().str().find("too deep"), std::string::npos);
+}
+
+TEST(EdgeCases, EmptyNonTerminalCaseReceivesTrailingReplica) {
+  // An empty case body is non-terminal, so the trailing primitives run for
+  // packets matching it — the footgun DESIGN.md documents (put terminal
+  // decisions inside the case to opt out).
+  SimClock clock;
+  dp::RunproDataplane dataplane(dp::DataplaneSpec{}, rmt::ParserConfig{});
+  ctrl::Controller controller(dataplane, clock);
+  auto linked = controller.link_single(
+      "program e(<hdr.ipv4.proto, 17, 0xff>) {\n"
+      "  EXTRACT(hdr.ipv4.ttl, har);\n"
+      "  BRANCH:\n"
+      "  case(<har, 64, 0xff>) { };\n"
+      "  FORWARD(5);\n"
+      "}\n");
+  ASSERT_TRUE(linked.ok()) << linked.error().str();
+  EXPECT_EQ(dataplane.inject(udp_ttl(64)).egress_port, 5);  // replica fired
+  EXPECT_EQ(dataplane.inject(udp_ttl(32)).egress_port, 5);  // miss path
+}
+
+TEST(EdgeCases, BranchOnlyProgram) {
+  SimClock clock;
+  dp::RunproDataplane dataplane(dp::DataplaneSpec{}, rmt::ParserConfig{});
+  ctrl::Controller controller(dataplane, clock);
+  auto linked = controller.link_single(
+      "program b(<hdr.ipv4.proto, 17, 0xff>) {\n"
+      "  BRANCH:\n"
+      "  case(<har, 0, 0xffffffff>) { DROP; };\n"
+      "}\n");
+  ASSERT_TRUE(linked.ok()) << linked.error().str();
+  // Registers start at 0, so har == 0 matches: dropped.
+  EXPECT_EQ(dataplane.inject(udp_ttl(64)).fate, rmt::PacketFate::Dropped);
+}
+
+TEST(EdgeCases, TrailingForwardOverridesCaseForwards) {
+  // FORWARD is non-terminal, so a trailing FORWARD replicates into the
+  // case branches and runs LAST — it overrides the per-case decision (the
+  // idiom behind the lb program's DIP rewrite; use wildcard default cases
+  // for dispatch instead).
+  SimClock clock;
+  dp::RunproDataplane dataplane(dp::DataplaneSpec{}, rmt::ParserConfig{});
+  ctrl::Controller controller(dataplane, clock);
+  auto linked = controller.link_single(
+      "program o(<hdr.ipv4.proto, 17, 0xff>) {\n"
+      "  EXTRACT(hdr.ipv4.ttl, har);\n"
+      "  BRANCH:\n"
+      "  case(<har, 64, 0xff>) { FORWARD(1); };\n"
+      "  FORWARD(9);\n"
+      "}\n");
+  ASSERT_TRUE(linked.ok()) << linked.error().str();
+  EXPECT_EQ(dataplane.inject(udp_ttl(64)).egress_port, 9);  // overridden
+  EXPECT_EQ(dataplane.inject(udp_ttl(32)).egress_port, 9);  // miss path
+}
+
+TEST(EdgeCases, TripleNestedBranchesWithWildcardDefaults) {
+  // Correct dispatch idiom: every level ends in a wildcard default case,
+  // so each packet takes exactly one arm.
+  SimClock clock;
+  dp::RunproDataplane dataplane(dp::DataplaneSpec{}, rmt::ParserConfig{});
+  ctrl::Controller controller(dataplane, clock);
+  auto linked = controller.link_single(
+      "program n(<hdr.ipv4.proto, 17, 0xff>) {\n"
+      "  EXTRACT(hdr.ipv4.ttl, har);\n"
+      "  BRANCH:\n"
+      "  case(<har, 0, 0x01>) {\n"
+      "    BRANCH:\n"
+      "    case(<har, 0, 0x02>) {\n"
+      "      BRANCH:\n"
+      "      case(<har, 0, 0x04>) { FORWARD(1); };\n"
+      "      case(<har, 0, 0>) { FORWARD(2); };\n"
+      "    };\n"
+      "    case(<har, 0, 0>) { FORWARD(3); };\n"
+      "  };\n"
+      "  case(<har, 0, 0>) { FORWARD(4); };\n"
+      "}\n");
+  ASSERT_TRUE(linked.ok()) << linked.error().str();
+  EXPECT_EQ(dataplane.inject(udp_ttl(0b000)).egress_port, 1);
+  EXPECT_EQ(dataplane.inject(udp_ttl(0b100)).egress_port, 2);
+  EXPECT_EQ(dataplane.inject(udp_ttl(0b010)).egress_port, 3);
+  EXPECT_EQ(dataplane.inject(udp_ttl(0b001)).egress_port, 4);
+}
+
+TEST(EdgeCases, UnitLinkIsAllOrNothing) {
+  // A two-program unit whose second program cannot link (name collision
+  // with a running program) must leave NEITHER program installed.
+  SimClock clock;
+  dp::RunproDataplane dataplane(dp::DataplaneSpec{}, rmt::ParserConfig{});
+  ctrl::Controller controller(dataplane, clock);
+
+  ASSERT_TRUE(controller
+                  .link_single("program taken(<hdr.ipv4.proto, 6, 0xff>) { DROP; }")
+                  .ok());
+  const auto before = controller.resources().total_entry_utilization();
+
+  auto unit = controller.link(
+      "program fresh(<hdr.ipv4.proto, 17, 0xff>) { FORWARD(1); }\n"
+      "program taken(<hdr.ipv4.proto, 1, 0xff>) { FORWARD(2); }\n");
+  ASSERT_FALSE(unit.ok());
+  EXPECT_EQ(controller.program_count(), 1u);  // only the original survives
+  EXPECT_EQ(controller.program_by_name("fresh"), nullptr);
+  EXPECT_DOUBLE_EQ(controller.resources().total_entry_utilization(), before);
+  // The would-be program claims nothing.
+  EXPECT_EQ(dataplane.inject(udp_ttl(64)).egress_port, 0);
+}
+
+TEST(EdgeCases, SameFilterTwoProgramsPriorityIsDeterministic) {
+  // Overlapping filters: the later-linked program's filter wins (higher
+  // install generation), and revoking it re-exposes the earlier one.
+  SimClock clock;
+  dp::RunproDataplane dataplane(dp::DataplaneSpec{}, rmt::ParserConfig{});
+  ctrl::Controller controller(dataplane, clock);
+  auto first = controller.link_single(
+      "program a(<hdr.ipv4.proto, 17, 0xff>) { FORWARD(1); }");
+  auto second = controller.link_single(
+      "program b(<hdr.ipv4.proto, 17, 0xff>) { FORWARD(2); }");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(dataplane.inject(udp_ttl(64)).egress_port, 2);
+  ASSERT_TRUE(controller.revoke(second.value().id).ok());
+  EXPECT_EQ(dataplane.inject(udp_ttl(64)).egress_port, 1);
+}
+
+}  // namespace
+}  // namespace p4runpro

@@ -1,0 +1,130 @@
+// Randomized lifecycle fuzzing: long random sequences of link / revoke /
+// memory-write operations across the whole catalog, with global invariants
+// checked throughout:
+//   * the resource manager's accounting equals the data plane's tables,
+//   * memory free lists stay disjoint, sorted and within bounds,
+//   * revoking everything returns the switch to a pristine state,
+//   * program ids never collide.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "apps/program_library.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "control/controller.h"
+#include "dataplane/runpro_dataplane.h"
+
+namespace p4runpro {
+namespace {
+
+class LifecycleFuzz : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  LifecycleFuzz()
+      : dataplane_(dp::DataplaneSpec{}, rmt::ParserConfig{{7777, 7788, 9999, 5555}}),
+        controller_(dataplane_, clock_) {}
+
+  void check_invariants() {
+    const auto& spec = dataplane_.spec();
+    std::size_t total_rpb_entries = 0;
+    for (int rpb = 1; rpb <= spec.total_rpbs(); ++rpb) {
+      // Accounting mirrors the actual tables.
+      ASSERT_EQ(controller_.resources().entries_used(rpb),
+                dataplane_.rpb(rpb).table().size())
+          << "rpb " << rpb;
+      total_rpb_entries += dataplane_.rpb(rpb).table().size();
+    }
+    (void)total_rpb_entries;
+
+    // Free lists: sorted, disjoint, within bounds; free + used == total.
+    const auto snap = controller_.resources().snapshot();
+    for (int rpb = 1; rpb <= spec.total_rpbs(); ++rpb) {
+      const auto& blocks = snap.free_mem[static_cast<std::size_t>(rpb - 1)];
+      std::uint64_t free_total = 0;
+      std::uint32_t prev_end = 0;
+      for (std::size_t i = 0; i < blocks.size(); ++i) {
+        ASSERT_GT(blocks[i].size, 0u);
+        if (i > 0) {
+          // Strictly after the previous block, not adjacent (coalesced).
+          ASSERT_GT(blocks[i].base, prev_end) << "rpb " << rpb;
+        }
+        prev_end = blocks[i].base + blocks[i].size;
+        ASSERT_LE(prev_end, spec.memory_per_rpb);
+        free_total += blocks[i].size;
+      }
+      ASSERT_EQ(free_total + controller_.resources().memory_used(rpb),
+                spec.memory_per_rpb)
+          << "rpb " << rpb;
+    }
+  }
+
+  SimClock clock_;
+  dp::RunproDataplane dataplane_;
+  ctrl::Controller controller_;
+};
+
+TEST_P(LifecycleFuzz, RandomLinkRevokeSequences) {
+  Rng rng(GetParam());
+  std::vector<ProgramId> live;
+  std::set<ProgramId> live_set;
+  const auto& catalog = apps::program_catalog();
+  int epoch = 0;
+
+  for (int step = 0; step < 400; ++step) {
+    const double roll = rng.uniform01();
+    if (roll < 0.55 || live.empty()) {
+      const auto& info = catalog[rng.uniform(catalog.size())];
+      apps::ProgramConfig config;
+      config.instance_name = info.key + "_f" + std::to_string(epoch++);
+      config.mem_buckets = 64u << rng.uniform(4);  // 64..512 buckets
+      config.elastic_cases = 1 + static_cast<int>(rng.uniform(6));
+      auto linked =
+          controller_.link_single(apps::make_program_source(info.key, config));
+      if (linked.ok()) {
+        // Ids must be unique among live programs.
+        ASSERT_TRUE(live_set.insert(linked.value().id).second);
+        live.push_back(linked.value().id);
+      }
+    } else if (roll < 0.85) {
+      const std::size_t pick = rng.uniform(live.size());
+      ASSERT_TRUE(controller_.revoke(live[pick]).ok());
+      live_set.erase(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else if (!live.empty()) {
+      // Random memory write to a random program's first vmem (if any).
+      const ProgramId id = live[rng.uniform(live.size())];
+      const auto* placements = controller_.resources().program_placements(id);
+      if (placements != nullptr && !placements->empty()) {
+        const auto& [vmem, placement] = *placements->begin();
+        const MemAddr addr = static_cast<MemAddr>(rng.uniform(placement.block.size));
+        ASSERT_TRUE(controller_.write_memory(id, vmem, addr, rng.next_u32()).ok());
+      }
+    }
+    if (step % 23 == 0) check_invariants();
+  }
+  check_invariants();
+
+  // Tear everything down: the switch must be pristine.
+  for (ProgramId id : live) ASSERT_TRUE(controller_.revoke(id).ok());
+  check_invariants();
+  EXPECT_EQ(controller_.program_count(), 0u);
+  EXPECT_DOUBLE_EQ(controller_.resources().total_memory_utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(controller_.resources().total_entry_utilization(), 0.0);
+  EXPECT_EQ(dataplane_.init_block().total_entries(), 0u);
+  EXPECT_EQ(dataplane_.recirc_block().entries(), 0u);
+  // All stage memory zeroed (lock-and-reset on every termination).
+  for (int rpb = 1; rpb <= dataplane_.spec().total_rpbs(); ++rpb) {
+    const auto& mem = dataplane_.rpb(rpb).memory();
+    for (MemAddr a = 0; a < 4096; a += 257) {
+      ASSERT_EQ(mem.read(a), 0u) << "rpb " << rpb << " addr " << a;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LifecycleFuzz,
+                         ::testing::Values(1ull, 42ull, 1337ull, 0xdeadbeefull));
+
+}  // namespace
+}  // namespace p4runpro

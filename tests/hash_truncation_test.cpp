@@ -1,0 +1,87 @@
+// Hash-truncation property (paper §6.4 / FlyMon): "if the hash algorithms
+// are perfectly uniform, truncating the hash algorithm with a high output
+// width has the same collision probability as one with the same lower
+// output width". The mask step of the address translation relies on this:
+// masked CRC16 outputs must spread keys uniformly over any power-of-two
+// bucket count.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "rmt/crc.h"
+
+namespace p4runpro::rmt {
+namespace {
+
+class HashTruncation : public ::testing::TestWithParam<std::tuple<HashAlgo, int>> {};
+
+TEST_P(HashTruncation, MaskedOutputIsUniform) {
+  const auto [algo, bits] = GetParam();
+  const std::uint32_t buckets = 1u << bits;
+  std::vector<std::uint32_t> counts(buckets, 0);
+  constexpr int kSamples = 1 << 15;
+  for (std::uint32_t i = 0; i < kSamples; ++i) {
+    // 13-byte keys shaped like 5-tuples.
+    std::array<std::uint8_t, 13> key{};
+    std::memcpy(key.data(), &i, sizeof i);
+    key[12] = static_cast<std::uint8_t>(i * 7);
+    ++counts[run_hash(algo, key) & (buckets - 1)];
+  }
+  // Chi-square statistic against the uniform expectation; df = buckets-1.
+  const double expected = static_cast<double>(kSamples) / buckets;
+  double chi2 = 0.0;
+  for (auto c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  // Very generous bound: mean of the chi-square distribution is df; allow
+  // 1.5x (a broken truncation blows this up by orders of magnitude).
+  EXPECT_LT(chi2, 1.5 * static_cast<double>(buckets - 1))
+      << "algo " << static_cast<int>(algo) << " bits " << bits;
+  // Every bucket gets hit.
+  for (std::uint32_t b = 0; b < buckets; ++b) {
+    EXPECT_GT(counts[b], 0u) << "bucket " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgosByWidth, HashTruncation,
+    ::testing::Combine(::testing::Values(HashAlgo::Crc16Buypass,
+                                         HashAlgo::Crc16Mcrf4xx,
+                                         HashAlgo::Crc16AugCcitt,
+                                         HashAlgo::Crc16Dds110),
+                       ::testing::Values(4, 8, 10)),
+    [](const ::testing::TestParamInfo<std::tuple<HashAlgo, int>>& info) {
+      return "algo" + std::to_string(static_cast<int>(std::get<0>(info.param))) +
+             "_bits" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(HashTruncation, TruncationPreservesCollisionRate) {
+  // Empirically compare collisions of (CRC16 & 0x3ff) against an ideal
+  // 10-bit spread: the birthday-bound collision count over N samples must
+  // be within a factor of ~1.3 of the expectation N - B(1 - (1-1/B)^N).
+  constexpr std::uint32_t kBuckets = 1024;
+  constexpr int kSamples = 2048;
+  std::vector<bool> seen(kBuckets, false);
+  int collisions = 0;
+  for (std::uint32_t i = 0; i < kSamples; ++i) {
+    std::array<std::uint8_t, 13> key{};
+    std::memcpy(key.data(), &i, sizeof i);
+    const auto bucket = run_hash(HashAlgo::Crc16Mcrf4xx, key) & (kBuckets - 1);
+    if (seen[bucket]) {
+      ++collisions;
+    } else {
+      seen[bucket] = true;
+    }
+  }
+  const double expected =
+      kSamples - kBuckets * (1.0 - std::pow(1.0 - 1.0 / kBuckets, kSamples));
+  EXPECT_GT(collisions, expected * 0.7);
+  EXPECT_LT(collisions, expected * 1.3);
+}
+
+}  // namespace
+}  // namespace p4runpro::rmt

@@ -1,0 +1,151 @@
+// Lexer and parser tests for the P4runpro DSL, including the paper's
+// literal programs (Fig. 2, Fig. 16, Fig. 17).
+#include <gtest/gtest.h>
+
+#include "apps/program_library.h"
+#include "lang/lexer.h"
+#include "lang/parser.h"
+
+namespace p4runpro::lang {
+namespace {
+
+TEST(Lexer, IntegerBases) {
+  auto tokens = lex("10 0x1f 0b1101");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens.value().size(), 4u);  // three ints + End
+  EXPECT_EQ(tokens.value()[0].value, 10u);
+  EXPECT_EQ(tokens.value()[1].value, 0x1fu);
+  EXPECT_EQ(tokens.value()[2].value, 0b1101u);
+}
+
+TEST(Lexer, Ipv4Literal) {
+  auto tokens = lex("10.0.0.0 192.168.1.255");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].value, 0x0a000000u);
+  EXPECT_EQ(tokens.value()[1].value, 0xc0a801ffu);
+}
+
+TEST(Lexer, BadIpv4Rejected) {
+  EXPECT_FALSE(lex("10.0.0").ok());
+  EXPECT_FALSE(lex("10.0.0.256").ok());
+  EXPECT_FALSE(lex("1.2.3.4.5").ok());
+}
+
+TEST(Lexer, DottedFieldIsIdentifier) {
+  auto tokens = lex("hdr.udp.dst_port");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].kind, TokenKind::Identifier);
+  EXPECT_EQ(tokens.value()[0].text, "hdr.udp.dst_port");
+}
+
+TEST(Lexer, Comments) {
+  auto tokens = lex("LOADI // line comment\n/* block\ncomment */ 5");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens.value().size(), 3u);
+  EXPECT_EQ(tokens.value()[0].text, "LOADI");
+  EXPECT_EQ(tokens.value()[1].value, 5u);
+}
+
+TEST(Lexer, UnterminatedBlockCommentFails) {
+  EXPECT_FALSE(lex("/* never closed").ok());
+}
+
+TEST(Lexer, OutOfRangeIntegerFails) {
+  EXPECT_FALSE(lex("0x100000000").ok());
+  EXPECT_TRUE(lex("0xffffffff").ok());
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  auto tokens = lex("a\nb\n  c");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].line, 1);
+  EXPECT_EQ(tokens.value()[1].line, 2);
+  EXPECT_EQ(tokens.value()[2].line, 3);
+  EXPECT_EQ(tokens.value()[2].column, 3);
+}
+
+TEST(CountLoc, SkipsBlanksAndComments) {
+  EXPECT_EQ(count_loc("a;\n\n// comment only\nb;\n/* multi\nline */\nc;\n"), 3);
+  EXPECT_EQ(count_loc(""), 0);
+  EXPECT_EQ(count_loc("x /* inline */ y\n"), 1);
+}
+
+TEST(Parser, CacheProgramStructure) {
+  apps::ProgramConfig config;
+  config.instance_name = "cache";
+  const std::string source = apps::make_program_source("cache", config);
+  auto unit = parse(source);
+  ASSERT_TRUE(unit.ok()) << unit.error().str();
+  ASSERT_EQ(unit.value().annotations.size(), 1u);
+  EXPECT_EQ(unit.value().annotations[0].name, "mem1");
+  EXPECT_EQ(unit.value().annotations[0].size, 256u);
+  ASSERT_EQ(unit.value().programs.size(), 1u);
+  const auto& prog = unit.value().programs[0];
+  EXPECT_EQ(prog.name, "cache");
+  ASSERT_EQ(prog.filters.size(), 1u);
+  EXPECT_EQ(prog.filters[0].field, "hdr.udp.dst_port");
+  EXPECT_EQ(prog.filters[0].value, 7777u);
+  // Body: 3 EXTRACT, BRANCH (2 cases), trailing FORWARD.
+  ASSERT_EQ(prog.body.size(), 5u);
+  EXPECT_EQ(prog.body[3].kind, PrimKind::Branch);
+  EXPECT_EQ(prog.body[3].cases.size(), 2u);
+  EXPECT_EQ(prog.body[3].cases[0].conditions.size(), 3u);
+  EXPECT_EQ(prog.body[4].kind, PrimKind::Forward);
+}
+
+TEST(Parser, AllCatalogProgramsParse) {
+  for (const auto& info : apps::program_catalog()) {
+    apps::ProgramConfig config;
+    config.instance_name = info.key;
+    const std::string source = apps::make_program_source(info.key, config);
+    auto unit = parse(source);
+    EXPECT_TRUE(unit.ok()) << info.key << ": "
+                           << (unit.ok() ? "" : unit.error().str());
+  }
+}
+
+TEST(Parser, NestedBranches) {
+  apps::ProgramConfig config;
+  config.instance_name = "hh";
+  auto unit = parse(apps::make_program_source("hh", config));
+  ASSERT_TRUE(unit.ok()) << unit.error().str();
+  const auto& branch = unit.value().programs[0].body.back();
+  ASSERT_EQ(branch.kind, PrimKind::Branch);
+  ASSERT_EQ(branch.cases.size(), 1u);
+  const auto& inner = branch.cases[0].body.back();
+  EXPECT_EQ(inner.kind, PrimKind::Branch);
+  EXPECT_EQ(inner.cases.size(), 2u);
+}
+
+TEST(Parser, ErrorsCarryLocation) {
+  auto r = parse("program p(<hdr.ipv4.src, 1, 0xff>) { BOGUS; }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().str().find("BOGUS"), std::string::npos);
+  EXPECT_NE(r.error().str().find("line 1"), std::string::npos);
+}
+
+TEST(Parser, RequiresFilter) {
+  EXPECT_FALSE(parse("program p() { DROP; }").ok());
+}
+
+TEST(Parser, RequiresProgram) {
+  EXPECT_FALSE(parse("@ mem 64").ok());
+}
+
+TEST(Parser, ConditionMustNameRegister) {
+  auto r = parse(
+      "program p(<hdr.ipv4.src, 1, 0xff>) { BRANCH: case(<foo, 1, 0xff>) { DROP; }; }");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Parser, MultiplePrograms) {
+  auto r = parse(
+      "@ m 64\n"
+      "program a(<hdr.ipv4.src, 1, 0xff>) { DROP; }\n"
+      "program b(<hdr.ipv4.src, 2, 0xff>) { FORWARD(3); }\n");
+  ASSERT_TRUE(r.ok()) << r.error().str();
+  EXPECT_EQ(r.value().programs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace p4runpro::lang

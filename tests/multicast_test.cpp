@@ -1,0 +1,137 @@
+// MULTICAST primitive and the SwitchML-style aggregation extension (§7):
+// traffic-manager group replication, end-to-end gradient aggregation with
+// fan-in counting, and the broadcast of the final aggregate.
+#include <gtest/gtest.h>
+
+#include "apps/program_library.h"
+#include "common/clock.h"
+#include "control/controller.h"
+#include "dataplane/runpro_dataplane.h"
+
+namespace p4runpro {
+namespace {
+
+rmt::Packet gradient(Word chunk, Word value, std::uint16_t worker_port) {
+  rmt::Packet pkt;
+  pkt.ipv4 = rmt::Ipv4Header{.src = 0x0a000000u + worker_port,
+                             .dst = 0x0a0000ff, .proto = 17};
+  pkt.udp = rmt::UdpHeader{worker_port, 4242};
+  pkt.app = rmt::AppHeader{.op = 0, .key1 = chunk, .key2 = 0, .value = value};
+  pkt.ingress_port = 1;
+  return pkt;
+}
+
+class AggregationTest : public ::testing::Test {
+ protected:
+  AggregationTest()
+      : dataplane_(dp::DataplaneSpec{}, rmt::ParserConfig{{4242}}),
+        controller_(dataplane_, clock_) {
+    // PRE programming: group 1 = the four worker-facing ports.
+    dataplane_.pipeline().set_multicast_group(1, {10, 11, 12, 13});
+  }
+
+  ProgramId link_agg(int workers = 4) {
+    apps::ProgramConfig config;
+    config.instance_name = "agg";
+    config.workers = workers;
+    config.mem_buckets = 64;
+    auto linked = controller_.link_single(apps::make_program_source("agg", config));
+    EXPECT_TRUE(linked.ok()) << (linked.ok() ? "" : linked.error().str());
+    return linked.ok() ? linked.value().id : 0;
+  }
+
+  SimClock clock_;
+  dp::RunproDataplane dataplane_;
+  ctrl::Controller controller_;
+};
+
+TEST_F(AggregationTest, AggregatesAndBroadcastsOnLastWorker) {
+  const ProgramId id = link_agg(4);
+
+  // Workers 1-3 are absorbed (dropped) while the fold accumulates.
+  EXPECT_EQ(dataplane_.inject(gradient(5, 10, 9001)).fate, rmt::PacketFate::Dropped);
+  EXPECT_EQ(dataplane_.inject(gradient(5, 20, 9002)).fate, rmt::PacketFate::Dropped);
+  EXPECT_EQ(dataplane_.inject(gradient(5, 30, 9003)).fate, rmt::PacketFate::Dropped);
+  EXPECT_EQ(controller_.read_memory(id, "agg_val", 5).value(), 60u);
+  EXPECT_EQ(controller_.read_memory(id, "agg_cnt", 5).value(), 3u);
+
+  // Worker 4 completes the chunk: the aggregate is multicast to the group.
+  const auto last = dataplane_.inject(gradient(5, 40, 9004));
+  EXPECT_EQ(last.fate, rmt::PacketFate::Multicasted);
+  EXPECT_EQ(last.multicast_ports, (std::vector<Port>{10, 11, 12, 13}));
+  ASSERT_TRUE(last.packet.app.has_value());
+  EXPECT_EQ(last.packet.app->value, 100u);  // 10+20+30+40
+
+  // Each group port saw one copy.
+  for (Port port : {10, 11, 12, 13}) {
+    EXPECT_EQ(dataplane_.pipeline().port_counters(port).packets, 1u) << port;
+  }
+}
+
+TEST_F(AggregationTest, ChunksAreIndependent) {
+  link_agg(2);
+  EXPECT_EQ(dataplane_.inject(gradient(1, 100, 9001)).fate, rmt::PacketFate::Dropped);
+  EXPECT_EQ(dataplane_.inject(gradient(2, 5, 9001)).fate, rmt::PacketFate::Dropped);
+  // Chunk 1 completes without touching chunk 2.
+  const auto done = dataplane_.inject(gradient(1, 11, 9002));
+  EXPECT_EQ(done.fate, rmt::PacketFate::Multicasted);
+  EXPECT_EQ(done.packet.app->value, 111u);
+  // Chunk 2 still waiting.
+  const auto pending = dataplane_.inject(gradient(2, 6, 9002));
+  EXPECT_EQ(pending.fate, rmt::PacketFate::Multicasted);
+  EXPECT_EQ(pending.packet.app->value, 11u);
+}
+
+TEST_F(AggregationTest, ControlPlaneResetsBetweenRounds) {
+  const ProgramId id = link_agg(2);
+  (void)dataplane_.inject(gradient(0, 1, 9001));
+  (void)dataplane_.inject(gradient(0, 2, 9002));  // round 1 complete
+  // Reset the accumulators for the next training round.
+  ASSERT_TRUE(controller_.write_memory(id, "agg_val", 0, 0).ok());
+  ASSERT_TRUE(controller_.write_memory(id, "agg_cnt", 0, 0).ok());
+  (void)dataplane_.inject(gradient(0, 7, 9001));
+  const auto done = dataplane_.inject(gradient(0, 8, 9002));
+  EXPECT_EQ(done.fate, rmt::PacketFate::Multicasted);
+  EXPECT_EQ(done.packet.app->value, 15u);
+}
+
+TEST_F(AggregationTest, UnconfiguredGroupReplicatesToNobody) {
+  apps::ProgramConfig config;
+  config.instance_name = "agg2";
+  config.workers = 1;
+  config.mcast_group = 99;  // never programmed into the PRE
+  config.filter_value = 4242;
+  ASSERT_TRUE(controller_.link_single(apps::make_program_source("agg", config)).ok());
+  const auto result = dataplane_.inject(gradient(3, 1, 9001));
+  EXPECT_EQ(result.fate, rmt::PacketFate::Multicasted);
+  EXPECT_TRUE(result.multicast_ports.empty());
+}
+
+TEST(MulticastPrimitive, IsTerminalForTrailingPrimitives) {
+  // The trailing DROP must not execute in the MULTICAST case branch
+  // (terminal-op rule); otherwise the broadcast would be overridden.
+  SimClock clock;
+  dp::RunproDataplane dataplane(dp::DataplaneSpec{}, rmt::ParserConfig{});
+  ctrl::Controller controller(dataplane, clock);
+  dataplane.pipeline().set_multicast_group(7, {2, 3});
+  auto linked = controller.link_single(
+      "program m(<hdr.ipv4.proto, 17, 0xff>) {\n"
+      "  EXTRACT(hdr.ipv4.ttl, har);\n"
+      "  BRANCH:\n"
+      "  case(<har, 64, 0xff>) {\n"
+      "    MULTICAST(7);\n"
+      "  };\n"
+      "  DROP;\n"
+      "}\n");
+  ASSERT_TRUE(linked.ok()) << linked.error().str();
+
+  rmt::Packet pkt;
+  pkt.ipv4 = rmt::Ipv4Header{.src = 1, .dst = 2, .proto = 17, .ttl = 64};
+  pkt.udp = rmt::UdpHeader{1, 2};
+  EXPECT_EQ(dataplane.inject(pkt).fate, rmt::PacketFate::Multicasted);
+  pkt.ipv4->ttl = 63;  // miss path -> trailing DROP
+  EXPECT_EQ(dataplane.inject(pkt).fate, rmt::PacketFate::Dropped);
+}
+
+}  // namespace
+}  // namespace p4runpro

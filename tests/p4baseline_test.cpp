@@ -1,0 +1,137 @@
+// Conventional-P4 baseline tests: the fixed-function programs behave like
+// their P4runpro counterparts (the §6.4 "same functionality" claim), and
+// the conventional workflow's reprovisioning blackout drops all traffic.
+#include <gtest/gtest.h>
+
+#include "analysis/metrics.h"
+#include "apps/program_library.h"
+#include "common/clock.h"
+#include "control/controller.h"
+#include "dataplane/runpro_dataplane.h"
+#include "p4baseline/fixed_function.h"
+#include "traffic/flowgen.h"
+
+namespace p4runpro {
+namespace {
+
+rmt::Packet cache_read(Word key, std::uint16_t port = 7777) {
+  rmt::Packet pkt;
+  pkt.ipv4 = rmt::Ipv4Header{.src = 0x0a000001, .dst = 0x0a000002, .proto = 17};
+  pkt.udp = rmt::UdpHeader{.src_port = 4000, .dst_port = port};
+  pkt.app = rmt::AppHeader{.op = 1, .key1 = key, .key2 = 0, .value = 0};
+  pkt.ingress_port = 5;
+  return pkt;
+}
+
+TEST(FixedFunction, CacheEquivalentToP4runproCache) {
+  // Same key set, same workload: identical fates and values per packet.
+  SimClock clock;
+  dp::RunproDataplane dataplane(dp::DataplaneSpec{}, rmt::ParserConfig{{7777}});
+  ctrl::Controller controller(dataplane, clock);
+  apps::ProgramConfig config;
+  config.instance_name = "cache";
+  config.elastic_cases = 6;  // keys 0x8888..0x888a
+  auto linked = controller.link_single(apps::make_program_source("cache", config));
+  ASSERT_TRUE(linked.ok());
+
+  p4fix::FixedCache fixed;
+  for (Word k = 0; k < 3; ++k) {
+    ASSERT_TRUE(controller.write_memory(linked.value().id, "mem1", k, 0xC0DE + k).ok());
+    fixed.insert(0x8888 + k, 0xC0DE + k);
+  }
+
+  for (Word key : {0x8888u, 0x8889u, 0x888au, 0x9999u, 0x1u}) {
+    const auto runpro = dataplane.inject(cache_read(key));
+    const auto conventional = fixed.process(cache_read(key));
+    EXPECT_EQ(runpro.fate, conventional.fate) << key;
+    EXPECT_EQ(runpro.egress_port, conventional.egress_port) << key;
+    if (runpro.packet.app && conventional.packet.app) {
+      EXPECT_EQ(runpro.packet.app->value, conventional.packet.app->value) << key;
+    }
+  }
+
+  // Cache write: both drop and store.
+  auto write = cache_read(0x8888);
+  write.app->op = 2;
+  write.app->value = 777;
+  EXPECT_EQ(dataplane.inject(write).fate, rmt::PacketFate::Dropped);
+  EXPECT_EQ(fixed.process(write).fate, rmt::PacketFate::Dropped);
+  EXPECT_EQ(dataplane.inject(cache_read(0x8888)).packet.app->value,
+            fixed.process(cache_read(0x8888)).packet.app->value);
+}
+
+TEST(FixedFunction, HeavyHitterSameAggregateBehaviour) {
+  // Both detectors report each heavy flow exactly once and ignore mice.
+  p4fix::FixedHeavyHitter fixed(1024, 10);
+
+  SimClock clock;
+  dp::RunproDataplane dataplane(dp::DataplaneSpec{}, rmt::ParserConfig{});
+  ctrl::Controller controller(dataplane, clock);
+  apps::ProgramConfig config;
+  config.instance_name = "hh";
+  config.mem_buckets = 1024;
+  config.threshold = 10;
+  ASSERT_TRUE(controller.link_single(apps::make_program_source("hh", config)).ok());
+
+  rmt::Packet heavy;
+  heavy.ipv4 = rmt::Ipv4Header{.src = 0x0a000007, .dst = 0x0b000001, .proto = 17};
+  heavy.udp = rmt::UdpHeader{5000, 6000};
+  heavy.ingress_port = 1;
+
+  int fixed_reports = 0;
+  int runpro_reports = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (fixed.process(heavy).fate == rmt::PacketFate::Reported) ++fixed_reports;
+    if (dataplane.inject(heavy).fate == rmt::PacketFate::Reported) ++runpro_reports;
+  }
+  EXPECT_EQ(fixed_reports, 1);
+  EXPECT_EQ(runpro_reports, 1);
+}
+
+TEST(FixedFunction, LoadBalancerBalancesComparably) {
+  p4fix::FixedLoadBalancer fixed(256, 0x0a000000, 0xffff0000);
+  for (std::uint32_t b = 0; b < 256; ++b) {
+    fixed.set_bucket(b, static_cast<Port>(b % 2), 0xac100000u + (b % 2));
+  }
+  traffic::CampusTraceConfig config;
+  config.duration_s = 2.0;
+  config.zipf_skew = 0.5;
+  const auto trace = traffic::make_campus_trace(config);
+  std::uint64_t port_bytes[2] = {0, 0};
+  for (const auto& tp : trace.packets) {
+    const auto r = fixed.process(tp.pkt);
+    if (r.fate == rmt::PacketFate::Forwarded && r.egress_port < 2) {
+      port_bytes[r.egress_port] += r.packet.wire_len();
+    }
+  }
+  EXPECT_LT(analysis::load_imbalance(static_cast<double>(port_bytes[0]),
+                                     static_cast<double>(port_bytes[1])),
+            0.1);
+}
+
+TEST(ConventionalSwitch, ReprovisioningBlacksOutAllTraffic) {
+  SimClock clock;
+  p4fix::ConventionalSwitch sw(clock);
+  sw.provision(std::make_unique<p4fix::FixedForward>(), 0.0);
+  EXPECT_EQ(sw.inject(cache_read(1)).fate, rmt::PacketFate::Forwarded);
+
+  // Swap in the cache image: 8 s blackout.
+  sw.provision(std::make_unique<p4fix::FixedCache>(), 8.0);
+  EXPECT_TRUE(sw.provisioning());
+  EXPECT_EQ(sw.inject(cache_read(1)).fate, rmt::PacketFate::Dropped);
+  clock.advance_ms(7999.0);
+  EXPECT_EQ(sw.inject(cache_read(1)).fate, rmt::PacketFate::Dropped);
+  clock.advance_ms(2.0);
+  EXPECT_FALSE(sw.provisioning());
+  // Up again, running the new image (miss -> server port 32).
+  EXPECT_EQ(sw.inject(cache_read(1)).egress_port, 32);
+}
+
+TEST(ConventionalSwitch, UnprovisionedSwitchDropsEverything) {
+  SimClock clock;
+  p4fix::ConventionalSwitch sw(clock);
+  EXPECT_EQ(sw.inject(cache_read(1)).fate, rmt::PacketFate::Dropped);
+}
+
+}  // namespace
+}  // namespace p4runpro

@@ -1,0 +1,184 @@
+// P4lite front-end tests: the imperative mini-language compiles to valid
+// P4runpro DSL, links, and behaves correctly end-to-end (the paper's
+// "P4C back end" future-work direction, §8).
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "compiler/p4lite.h"
+#include "control/controller.h"
+#include "dataplane/runpro_dataplane.h"
+
+namespace p4runpro {
+namespace {
+
+rmt::Packet udp(std::uint32_t src, std::uint16_t dport, std::uint8_t ttl = 64) {
+  rmt::Packet pkt;
+  pkt.ipv4 = rmt::Ipv4Header{.src = src, .dst = 0x0b000001, .proto = 17, .ttl = ttl};
+  pkt.udp = rmt::UdpHeader{1000, dport};
+  pkt.ingress_port = 1;
+  return pkt;
+}
+
+class P4liteTest : public ::testing::Test {
+ protected:
+  P4liteTest()
+      : dataplane_(dp::DataplaneSpec{}, rmt::ParserConfig{}),
+        controller_(dataplane_, clock_) {}
+
+  ProgramId link_p4lite(const std::string& source) {
+    auto dsl = rp::compile_p4lite(source);
+    EXPECT_TRUE(dsl.ok()) << (dsl.ok() ? "" : dsl.error().str());
+    if (!dsl.ok()) return 0;
+    auto linked = controller_.link_single(dsl.value());
+    EXPECT_TRUE(linked.ok()) << (linked.ok() ? "" : linked.error().str())
+                             << "\ngenerated DSL:\n" << dsl.value();
+    return linked.ok() ? linked.value().id : 0;
+  }
+
+  SimClock clock_;
+  dp::RunproDataplane dataplane_;
+  ctrl::Controller controller_;
+};
+
+TEST_F(P4liteTest, GeneratesDslText) {
+  auto dsl = rp::compile_p4lite(
+      "memory counts[256];\n"
+      "program watch on udp.dst_port == 5353 {\n"
+      "  sar = 1;\n"
+      "  mar = hash5(counts);\n"
+      "  counts[mar] += sar;\n"
+      "  forward(3);\n"
+      "}\n");
+  ASSERT_TRUE(dsl.ok()) << dsl.error().str();
+  EXPECT_NE(dsl.value().find("@ counts 256"), std::string::npos);
+  EXPECT_NE(dsl.value().find("<hdr.udp.dst_port, 5353, 0xffffffff>"), std::string::npos);
+  EXPECT_NE(dsl.value().find("LOADI(sar, 1);"), std::string::npos);
+  EXPECT_NE(dsl.value().find("HASH_5_TUPLE_MEM(counts);"), std::string::npos);
+  EXPECT_NE(dsl.value().find("MEMADD(counts);"), std::string::npos);
+  EXPECT_NE(dsl.value().find("FORWARD(3);"), std::string::npos);
+}
+
+TEST_F(P4liteTest, CounterProgramEndToEnd) {
+  const ProgramId id = link_p4lite(
+      "memory counts[64];\n"
+      "program count on udp.dst_port == 5353 {\n"
+      "  sar = 1;\n"
+      "  mar = hash5(counts);\n"
+      "  counts[mar] += sar;\n"
+      "  forward(7);\n"
+      "}\n");
+  ASSERT_NE(id, 0);
+
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(dataplane_.inject(udp(0x0a000001, 5353)).egress_port, 7);
+  }
+  EXPECT_EQ(dataplane_.inject(udp(0x0a000001, 9999)).egress_port, 0);  // unclaimed
+
+  auto dump = controller_.dump_memory(id, "counts");
+  ASSERT_TRUE(dump.ok());
+  Word total = 0;
+  for (Word v : dump.value()) total += v;
+  EXPECT_EQ(total, 5u);
+}
+
+TEST_F(P4liteTest, IfElseCompilesToBranchWithWildcardElse) {
+  const ProgramId id = link_p4lite(
+      "program classify on ipv4.proto == 17 {\n"
+      "  har = hdr.ipv4.ttl;\n"
+      "  if (har == 64) {\n"
+      "    forward(1);\n"
+      "  } else if (har == 32) {\n"
+      "    forward(2);\n"
+      "  } else {\n"
+      "    drop();\n"
+      "  }\n"
+      "}\n");
+  ASSERT_NE(id, 0);
+  EXPECT_EQ(dataplane_.inject(udp(1, 2, 64)).egress_port, 1);
+  EXPECT_EQ(dataplane_.inject(udp(1, 2, 32)).egress_port, 2);
+  EXPECT_EQ(dataplane_.inject(udp(1, 2, 17)).fate, rmt::PacketFate::Dropped);
+}
+
+TEST_F(P4liteTest, JoinAfterIfRunsForAllArms) {
+  // Statements after the conditional execute for every non-terminal arm —
+  // the trailing-replication rule handles the join automatically.
+  const ProgramId id = link_p4lite(
+      "program mark on ipv4.proto == 17 {\n"
+      "  har = hdr.ipv4.ttl;\n"
+      "  if (har == 64) {\n"
+      "    sar = 1;\n"
+      "  } else {\n"
+      "    sar = 2;\n"
+      "  }\n"
+      "  hdr.ipv4.dscp = sar;\n"
+      "  forward(4);\n"
+      "}\n");
+  ASSERT_NE(id, 0);
+  const auto a = dataplane_.inject(udp(1, 2, 64));
+  const auto b = dataplane_.inject(udp(1, 2, 10));
+  EXPECT_EQ(a.packet.ipv4->dscp, 1);
+  EXPECT_EQ(b.packet.ipv4->dscp, 2);
+  EXPECT_EQ(a.egress_port, 4);
+  EXPECT_EQ(b.egress_port, 4);
+}
+
+TEST_F(P4liteTest, ArithmeticAndHeaderRewrites) {
+  const ProgramId id = link_p4lite(
+      "program math on udp.dst_port == 4000 {\n"
+      "  har = hdr.ipv4.src;\n"
+      "  sar = har;\n"      // MOVE
+      "  sar += 10;\n"      // ADDI
+      "  sar -= 3;\n"       // SUBI
+      "  sar ^= har;\n"     // XOR
+      "  hdr.ipv4.dst = sar;\n"
+      "  forward(9);\n"
+      "}\n");
+  ASSERT_NE(id, 0);
+  const Word src = 1000;
+  const auto result = dataplane_.inject(udp(src, 4000));
+  EXPECT_EQ(result.egress_port, 9);
+  EXPECT_EQ(result.packet.ipv4->dst, (src + 10 - 3) ^ src);
+}
+
+TEST_F(P4liteTest, MemMaxAndRead) {
+  const ProgramId id = link_p4lite(
+      "memory peaks[32];\n"
+      "program peak on udp.dst_port == 4001 {\n"
+      "  sar = hdr.ipv4.len;\n"
+      "  mar = hash5(peaks);\n"
+      "  peaks[mar] = max(peaks[mar], sar);\n"
+      "  forward(2);\n"
+      "}\n");
+  ASSERT_NE(id, 0);
+  auto big = udp(5, 4001);
+  big.ipv4->total_len = 900;
+  auto small = udp(5, 4001);
+  small.ipv4->total_len = 100;
+  (void)dataplane_.inject(small);
+  (void)dataplane_.inject(big);
+  (void)dataplane_.inject(small);
+  auto dump = controller_.dump_memory(id, "peaks");
+  ASSERT_TRUE(dump.ok());
+  Word max_seen = 0;
+  for (Word v : dump.value()) max_seen = std::max(max_seen, v);
+  EXPECT_EQ(max_seen, 900u);
+}
+
+TEST_F(P4liteTest, Diagnostics) {
+  // Unknown memory.
+  EXPECT_FALSE(rp::compile_p4lite("program p on ipv4.proto == 17 { mar = hash5(nope); }").ok());
+  // Comparison outside if.
+  EXPECT_FALSE(rp::compile_p4lite("program p on ipv4.proto == 17 { sar == 4; }").ok());
+  // Memory reads land in sar only.
+  EXPECT_FALSE(rp::compile_p4lite(
+      "memory m[8];\nprogram p on ipv4.proto == 17 { har = m[mar]; }").ok());
+  // No programs.
+  EXPECT_FALSE(rp::compile_p4lite("memory m[8];").ok());
+  // Errors carry line numbers.
+  auto bad = rp::compile_p4lite("program p on ipv4.proto == 17 {\n  sar = @;\n}");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().str().find("line 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p4runpro

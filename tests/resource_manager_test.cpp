@@ -1,0 +1,111 @@
+// Resource-manager tests: first-fit free-list behaviour, coalescing,
+// fragmentation, entry accounting and the allocator-facing snapshot.
+#include <gtest/gtest.h>
+
+#include "control/resource_manager.h"
+
+namespace p4runpro::ctrl {
+namespace {
+
+class ResourceManagerTest : public ::testing::Test {
+ protected:
+  dp::DataplaneSpec spec_;
+  ResourceManager rm_{spec_};
+};
+
+TEST_F(ResourceManagerTest, FirstFitAllocatesFromLowAddresses) {
+  auto a = rm_.allocate_memory(1, 256);
+  auto b = rm_.allocate_memory(1, 256);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().base, 0u);
+  EXPECT_EQ(b.value().base, 256u);
+}
+
+TEST_F(ResourceManagerTest, FreeCoalescesNeighbours) {
+  auto a = rm_.allocate_memory(1, 256).take();
+  auto b = rm_.allocate_memory(1, 256).take();
+  auto c = rm_.allocate_memory(1, 256).take();
+  rm_.free_memory(1, a);
+  rm_.free_memory(1, c);
+  // Free list: [0,256) + [512, end) — two fragments.
+  auto snap = rm_.snapshot();
+  EXPECT_EQ(snap.free_mem[0].size(), 2u);
+  rm_.free_memory(1, b);
+  snap = rm_.snapshot();
+  ASSERT_EQ(snap.free_mem[0].size(), 1u);
+  EXPECT_EQ(snap.free_mem[0][0].base, 0u);
+  EXPECT_EQ(snap.free_mem[0][0].size, spec_.memory_per_rpb);
+}
+
+TEST_F(ResourceManagerTest, ExternalFragmentationBlocksLargeRequests) {
+  // Carve the stage into alternating used/free 8K blocks, then ask for a
+  // block larger than any hole (continuous allocation only, §7).
+  std::vector<MemBlock> held;
+  for (int i = 0; i < 8; ++i) {
+    held.push_back(rm_.allocate_memory(1, 8192).take());
+  }
+  for (int i = 0; i < 8; i += 2) rm_.free_memory(1, held[static_cast<std::size_t>(i)]);
+  // 4 x 8K holes = 32K free, but no 16K hole.
+  EXPECT_FALSE(rm_.allocate_memory(1, 16384).ok());
+  EXPECT_TRUE(rm_.allocate_memory(1, 8192).ok());
+}
+
+TEST_F(ResourceManagerTest, SnapshotCanAllocateSimulatesFirstFit) {
+  auto a = rm_.allocate_memory(1, 60000).take();
+  (void)a;
+  const auto snap = rm_.snapshot();
+  const std::uint32_t small[] = {4096};
+  const std::uint32_t big[] = {8192};
+  EXPECT_TRUE(snap.can_allocate(1, small));
+  EXPECT_FALSE(snap.can_allocate(1, big));
+  // Multi-block requests are carved in order.
+  const std::uint32_t multi[] = {2048, 2048};
+  EXPECT_TRUE(snap.can_allocate(1, multi));
+  const std::uint32_t too_much[] = {4096, 4096};
+  EXPECT_FALSE(snap.can_allocate(1, too_much));
+}
+
+TEST_F(ResourceManagerTest, SnapshotIsIsolatedFromCommits) {
+  const auto snap = rm_.snapshot();
+  ASSERT_TRUE(rm_.allocate_memory(1, 1024).ok());
+  const std::uint32_t whole[] = {spec_.memory_per_rpb};
+  EXPECT_TRUE(snap.can_allocate(1, whole));  // old snapshot unchanged
+  EXPECT_FALSE(rm_.snapshot().can_allocate(1, whole));
+}
+
+TEST_F(ResourceManagerTest, EntryAccounting) {
+  EXPECT_TRUE(rm_.reserve_entries(3, 2000).ok());
+  EXPECT_FALSE(rm_.reserve_entries(3, 100).ok());  // 2048 cap
+  EXPECT_TRUE(rm_.reserve_entries(3, 48).ok());
+  rm_.release_entries(3, 1000);
+  EXPECT_EQ(rm_.entries_used(3), 1048u);
+  EXPECT_TRUE(rm_.reserve_entries(3, 1000).ok());
+}
+
+TEST_F(ResourceManagerTest, UtilizationMetrics) {
+  EXPECT_DOUBLE_EQ(rm_.total_memory_utilization(), 0.0);
+  ASSERT_TRUE(rm_.allocate_memory(1, spec_.memory_per_rpb).ok());
+  const double expected = 1.0 / static_cast<double>(spec_.total_rpbs());
+  EXPECT_NEAR(rm_.total_memory_utilization(), expected, 1e-9);
+  ASSERT_TRUE(rm_.reserve_entries(1, spec_.entries_per_rpb).ok());
+  EXPECT_NEAR(rm_.total_entry_utilization(), expected, 1e-9);
+}
+
+TEST_F(ResourceManagerTest, PerProgramPlacementRecords) {
+  auto block = rm_.allocate_memory(5, 512).take();
+  rm_.record_program(42, {{"m", VmemPlacement{5, block}}});
+  ASSERT_NE(rm_.program_placements(42), nullptr);
+  EXPECT_EQ(rm_.program_placements(42)->at("m").rpb, 5);
+  rm_.erase_program(42);
+  EXPECT_EQ(rm_.program_placements(42), nullptr);
+}
+
+TEST_F(ResourceManagerTest, StagesAreIndependent) {
+  ASSERT_TRUE(rm_.allocate_memory(1, spec_.memory_per_rpb).ok());
+  EXPECT_FALSE(rm_.allocate_memory(1, 1).ok());
+  EXPECT_TRUE(rm_.allocate_memory(2, spec_.memory_per_rpb).ok());
+}
+
+}  // namespace
+}  // namespace p4runpro::ctrl

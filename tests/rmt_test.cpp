@@ -1,0 +1,244 @@
+// RMT substrate unit tests: parser bitmap, SALU memory semantics, ternary
+// table priority/index behaviour, packet field access, pipeline counters.
+#include <gtest/gtest.h>
+
+#include "rmt/memory.h"
+#include "rmt/packet.h"
+#include "rmt/parser.h"
+#include "rmt/pipeline.h"
+#include "rmt/tables.h"
+
+namespace p4runpro::rmt {
+namespace {
+
+// --- parser ---------------------------------------------------------------
+
+TEST(Parser, BitmapMatchesPaperExamples) {
+  Parser parser(ParserConfig{{7777}});
+  // L2-only packet -> 0b1000 (paper §4.1.1).
+  Packet l2;
+  EXPECT_EQ(parser.parse(l2).parse_bitmap, 0b1000);
+
+  // UDP packet -> 0b1101.
+  Packet udp;
+  udp.ipv4 = Ipv4Header{.proto = 17};
+  udp.udp = UdpHeader{100, 200};
+  EXPECT_EQ(parser.parse(udp).parse_bitmap, 0b1101);
+
+  // TCP packet -> 0b1110.
+  Packet tcp;
+  tcp.ipv4 = Ipv4Header{.proto = 6};
+  tcp.tcp = TcpHeader{1, 2, 0};
+  EXPECT_EQ(parser.parse(tcp).parse_bitmap, 0b1110);
+
+  // Application header only on configured ports.
+  Packet app;
+  app.ipv4 = Ipv4Header{.proto = 17};
+  app.udp = UdpHeader{1, 7777};
+  app.app = AppHeader{};
+  EXPECT_EQ(parser.parse(app).parse_bitmap, 0b11101);
+  app.udp->dst_port = 7778;
+  EXPECT_EQ(parser.parse(app).parse_bitmap, 0b1101);
+}
+
+// --- stage memory / SALU ---------------------------------------------------
+
+TEST(StageMemory, SaluResultRegisterSemantics) {
+  StageMemory mem(16);
+  mem.write(3, 10);
+
+  // MEMADD returns the NEW value.
+  auto add = mem.execute(SaluOp::Add, 3, 5);
+  EXPECT_TRUE(add.sar_set);
+  EXPECT_EQ(add.sar_out, 15u);
+  EXPECT_EQ(mem.read(3), 15u);
+
+  // MEMOR returns the OLD value (Bloom-filter existence check).
+  auto or1 = mem.execute(SaluOp::Or, 4, 1);
+  EXPECT_EQ(or1.sar_out, 0u);
+  EXPECT_EQ(mem.read(4), 1u);
+  auto or2 = mem.execute(SaluOp::Or, 4, 1);
+  EXPECT_EQ(or2.sar_out, 1u);
+
+  // MEMWRITE leaves sar unchanged.
+  auto wr = mem.execute(SaluOp::Write, 5, 42);
+  EXPECT_FALSE(wr.sar_set);
+  EXPECT_EQ(mem.read(5), 42u);
+
+  // MEMMAX conditionally writes.
+  auto mx1 = mem.execute(SaluOp::Max, 6, 7);
+  EXPECT_FALSE(mx1.sar_set);
+  EXPECT_EQ(mem.read(6), 7u);
+  (void)mem.execute(SaluOp::Max, 6, 3);
+  EXPECT_EQ(mem.read(6), 7u);
+
+  // MEMSUB wraps like the hardware ALU.
+  mem.write(7, 2);
+  auto sub = mem.execute(SaluOp::Sub, 7, 5);
+  EXPECT_EQ(sub.sar_out, static_cast<Word>(2 - 5));
+}
+
+TEST(StageMemory, OutOfRangeAccessIsInert) {
+  StageMemory mem(8);
+  auto r = mem.execute(SaluOp::Read, 100, 0);
+  EXPECT_EQ(r.sar_out, 0u);
+  auto w = mem.execute(SaluOp::Write, 100, 5);
+  EXPECT_FALSE(w.sar_set);
+  EXPECT_EQ(mem.read(100), 0u);
+}
+
+TEST(StageMemory, ResetRange) {
+  StageMemory mem(64);
+  for (MemAddr a = 0; a < 64; ++a) mem.write(a, a + 1);
+  mem.reset_range(8, 16);
+  EXPECT_EQ(mem.read(7), 8u);
+  for (MemAddr a = 8; a < 24; ++a) EXPECT_EQ(mem.read(a), 0u);
+  EXPECT_EQ(mem.read(24), 25u);
+  mem.reset_range(60, 100);  // clipped at the end
+  EXPECT_EQ(mem.read(63), 0u);
+}
+
+// --- ternary table ----------------------------------------------------------
+
+TEST(TernaryTable, PriorityAndTernaryMatching) {
+  TernaryTable<int> table(2, 16);
+  ASSERT_TRUE(table.insert({TernaryKey::exact(1), TernaryKey{0x10, 0xf0}}, 1, 100).ok());
+  ASSERT_TRUE(table.insert({TernaryKey::exact(1), TernaryKey::any()}, 0, 200).ok());
+
+  const Word hit[] = {1, 0x15};
+  ASSERT_NE(table.lookup(hit), nullptr);
+  EXPECT_EQ(*table.lookup(hit), 100);  // higher priority wins
+
+  const Word fallback[] = {1, 0x25};
+  ASSERT_NE(table.lookup(fallback), nullptr);
+  EXPECT_EQ(*table.lookup(fallback), 200);
+
+  const Word miss[] = {2, 0x15};
+  EXPECT_EQ(table.lookup(miss), nullptr);
+}
+
+TEST(TernaryTable, TieBreaksToEarlierInsertion) {
+  TernaryTable<int> table(1, 4);
+  ASSERT_TRUE(table.insert({TernaryKey::any()}, 0, 1).ok());
+  ASSERT_TRUE(table.insert({TernaryKey::any()}, 0, 2).ok());
+  const Word f[] = {9};
+  EXPECT_EQ(*table.lookup(f), 1);
+}
+
+TEST(TernaryTable, IndexedAndWildcardFirstKeyCoexist) {
+  TernaryTable<int> table(1, 8);
+  ASSERT_TRUE(table.insert({TernaryKey::exact(7)}, 1, 10).ok());
+  ASSERT_TRUE(table.insert({TernaryKey{0, 0}}, 0, 20).ok());
+  const Word seven[] = {7};
+  const Word eight[] = {8};
+  EXPECT_EQ(*table.lookup(seven), 10);
+  EXPECT_EQ(*table.lookup(eight), 20);
+  // Wildcard with higher priority beats the indexed entry.
+  ASSERT_TRUE(table.insert({TernaryKey{0, 0}}, 5, 30).ok());
+  EXPECT_EQ(*table.lookup(seven), 30);
+}
+
+TEST(TernaryTable, CapacityEnforcedAndEraseWorks) {
+  TernaryTable<int> table(1, 2);
+  auto a = table.insert({TernaryKey::exact(1)}, 0, 1);
+  auto b = table.insert({TernaryKey::exact(2)}, 0, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(table.insert({TernaryKey::exact(3)}, 0, 3).ok());
+  EXPECT_TRUE(table.erase(a.value()));
+  EXPECT_FALSE(table.erase(a.value()));  // double erase
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.insert({TernaryKey::exact(3)}, 0, 3).ok());
+}
+
+TEST(TernaryTable, KeyWidthValidated) {
+  TernaryTable<int> table(2, 4);
+  EXPECT_FALSE(table.insert({TernaryKey::exact(1)}, 0, 1).ok());
+}
+
+// --- packet fields -----------------------------------------------------------
+
+TEST(PacketFields, RoundTrip) {
+  Packet pkt;
+  pkt.ipv4 = Ipv4Header{};
+  pkt.udp = UdpHeader{};
+  pkt.app = AppHeader{};
+  write_field(pkt, FieldId::Ipv4Dst, 0xc0a80101);
+  EXPECT_EQ(read_field(pkt, FieldId::Ipv4Dst, 0), 0xc0a80101u);
+  write_field(pkt, FieldId::AppValue, 99);
+  EXPECT_EQ(read_field(pkt, FieldId::AppValue, 0), 99u);
+  // ECN clamps to 2 bits.
+  write_field(pkt, FieldId::Ipv4Ecn, 0xff);
+  EXPECT_EQ(read_field(pkt, FieldId::Ipv4Ecn, 0), 3u);
+  // Absent header reads 0, writes dropped.
+  Packet bare;
+  write_field(bare, FieldId::TcpFlags, 1);
+  EXPECT_EQ(read_field(bare, FieldId::TcpFlags, 0), 0u);
+  // Field names resolve bidirectionally.
+  EXPECT_EQ(field_from_name("hdr.ipv4.dst"), FieldId::Ipv4Dst);
+  EXPECT_EQ(field_from_name("hdr.nc.val"), FieldId::AppValue);
+  EXPECT_EQ(field_from_name("no.such.field"), std::nullopt);
+  EXPECT_EQ(field_name(FieldId::UdpDstPort), "hdr.udp.dst_port");
+}
+
+TEST(PacketFields, MacSplitFields) {
+  Packet pkt;
+  pkt.eth.dst_mac = 0xaabbccddeeffull;
+  EXPECT_EQ(read_field(pkt, FieldId::EthDstHi, 0), 0xaabbccddu);
+  EXPECT_EQ(read_field(pkt, FieldId::EthDstLo, 0), 0xeeffu);
+  write_field(pkt, FieldId::EthDstLo, 0x1122);
+  EXPECT_EQ(pkt.eth.dst_mac, 0xaabbccdd1122ull);
+}
+
+TEST(PacketFields, FiveTupleBytesCanonical) {
+  Packet pkt;
+  pkt.ipv4 = Ipv4Header{.src = 0x01020304, .dst = 0x05060708, .proto = 17};
+  pkt.udp = UdpHeader{0x0a0b, 0x0c0d};
+  const auto bytes = pkt.five_tuple().bytes();
+  EXPECT_EQ(bytes[0], 0x01);
+  EXPECT_EQ(bytes[3], 0x04);
+  EXPECT_EQ(bytes[8], 0x0a);
+  EXPECT_EQ(bytes[12], 17);
+}
+
+// --- pipeline ---------------------------------------------------------------
+
+TEST(Pipeline, CountersAndDefaultForwarding) {
+  Pipeline pipeline(ParserConfig{}, 2);
+  Packet pkt;
+  pkt.ipv4 = Ipv4Header{.proto = 17};
+  pkt.udp = UdpHeader{1, 2};
+  pkt.payload_len = 100;
+
+  const auto result = pipeline.inject(pkt);
+  EXPECT_EQ(result.fate, PacketFate::Forwarded);
+  EXPECT_EQ(result.egress_port, 0);
+  EXPECT_EQ(pipeline.packets_in(), 1u);
+  EXPECT_EQ(pipeline.port_counters(0).packets, 1u);
+  EXPECT_EQ(pipeline.port_counters(0).bytes, result.packet.wire_len());
+
+  pipeline.clear_counters();
+  EXPECT_EQ(pipeline.packets_in(), 0u);
+  EXPECT_EQ(pipeline.port_counters(0).packets, 0u);
+}
+
+/// A stage that always requests recirculation: exercises the recirc limit.
+class AlwaysRecirc final : public PipelineStage {
+ public:
+  void process(Phv& phv) override {
+    phv.program_id = 1;
+    phv.recirculate = true;
+  }
+};
+
+TEST(Pipeline, RecirculationLimitDropsRunaways) {
+  Pipeline pipeline(ParserConfig{}, 3);
+  pipeline.add_ingress_stage(std::make_shared<AlwaysRecirc>());
+  const auto result = pipeline.inject(Packet{});
+  EXPECT_EQ(result.fate, PacketFate::RecircLimit);
+  EXPECT_EQ(result.recirc_passes, 4);  // 3 allowed + the one that hit the cap
+  EXPECT_EQ(pipeline.packets_dropped(), 1u);
+}
+
+}  // namespace
+}  // namespace p4runpro::rmt

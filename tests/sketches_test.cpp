@@ -1,0 +1,111 @@
+// Sketch-estimator tests: HyperLogLog cardinality from the hll program's
+// dumped registers (end-to-end!) and CMS point queries.
+#include <gtest/gtest.h>
+
+#include "analysis/sketches.h"
+#include "apps/program_library.h"
+#include "common/rng.h"
+#include "rmt/crc.h"
+#include "common/clock.h"
+#include "control/controller.h"
+#include "dataplane/runpro_dataplane.h"
+
+namespace p4runpro {
+namespace {
+
+TEST(Sketches, CmsPointQuery) {
+  const Word row1[] = {5, 9, 2};
+  const Word row2[] = {7, 1, 8};
+  EXPECT_EQ(analysis::cms_point_query(row1, row2, 0, 0), 5u);
+  EXPECT_EQ(analysis::cms_point_query(row1, row2, 1, 2), 8u);
+  EXPECT_EQ(analysis::cms_point_query(row1, row2, 9, 0), 0u);  // out of range
+}
+
+TEST(Sketches, HllEstimatorOnSyntheticRegisters) {
+  // All-empty -> 0.
+  std::vector<Word> empty(1024, 0);
+  EXPECT_NEAR(analysis::hll_estimate(empty), 0.0, 1e-6);
+
+  // Linear-counting regime: k distinct registers set to rank 1 from k
+  // distinct items (one per register) estimates ~k.
+  std::vector<Word> sparse(1024, 0);
+  for (int i = 0; i < 100; ++i) sparse[static_cast<std::size_t>(i * 7)] = 1;
+  const double est = analysis::hll_estimate(sparse);
+  EXPECT_GT(est, 70.0);
+  EXPECT_LT(est, 140.0);
+}
+
+TEST(Sketches, HllEndToEndCardinality) {
+  // Run the hll program over N distinct flows and estimate N from the
+  // dumped registers; HLL's error is ~1.04/sqrt(m), use a generous band.
+  SimClock clock;
+  dp::RunproDataplane dataplane(dp::DataplaneSpec{}, rmt::ParserConfig{});
+  ctrl::Controller controller(dataplane, clock);
+  apps::ProgramConfig config;
+  config.instance_name = "hll";
+  config.mem_buckets = 256;
+  auto linked = controller.link_single(apps::make_program_source("hll", config));
+  ASSERT_TRUE(linked.ok());
+
+  constexpr int kFlows = 5000;
+  for (int i = 0; i < kFlows; ++i) {
+    rmt::Packet pkt;
+    pkt.ipv4 = rmt::Ipv4Header{.src = 0x0a000000u + static_cast<Word>(i),
+                               .dst = 0x0b000001,
+                               .proto = 17};
+    pkt.udp = rmt::UdpHeader{static_cast<std::uint16_t>(1000 + (i % 5)), 2000};
+    pkt.ingress_port = 1;
+    // Duplicates must not change the estimate: send every flow twice.
+    (void)dataplane.inject(pkt);
+    (void)dataplane.inject(pkt);
+  }
+
+  auto dump = controller.dump_memory(linked.value().id, "hll_regs");
+  ASSERT_TRUE(dump.ok());
+  const double estimate = analysis::hll_estimate(dump.value());
+  EXPECT_GT(estimate, kFlows * 0.75);
+  EXPECT_LT(estimate, kFlows * 1.25);
+}
+
+TEST(Sketches, CmsNeverUnderestimates) {
+  // End-to-end CMS property: for EVERY flow in a replay, the sketch
+  // estimate is >= the true count (one-sided error of Count-Min).
+  SimClock clock;
+  dp::RunproDataplane dataplane(dp::DataplaneSpec{}, rmt::ParserConfig{});
+  ctrl::Controller controller(dataplane, clock);
+  apps::ProgramConfig config;
+  config.instance_name = "cms";
+  config.mem_buckets = 512;
+  auto linked = controller.link_single(apps::make_program_source("cms", config));
+  ASSERT_TRUE(linked.ok());
+
+  std::map<rmt::FiveTuple, Word> truth;
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    rmt::Packet pkt;
+    pkt.ipv4 = rmt::Ipv4Header{.src = 0x0a000000u + static_cast<Word>(rng.uniform(200)),
+                               .dst = 0x0b000001,
+                               .proto = 17};
+    pkt.udp = rmt::UdpHeader{1000, 2000};
+    pkt.ingress_port = 1;
+    ++truth[pkt.five_tuple()];
+    (void)dataplane.inject(pkt);
+  }
+
+  auto row1 = controller.dump_memory(linked.value().id, "cms_row1");
+  auto row2 = controller.dump_memory(linked.value().id, "cms_row2");
+  auto algo1 = controller.hash_algo_for(linked.value().id, "cms_row1");
+  auto algo2 = controller.hash_algo_for(linked.value().id, "cms_row2");
+  ASSERT_TRUE(row1.ok() && row2.ok() && algo1.ok() && algo2.ok());
+  const auto mask = static_cast<std::uint32_t>(row1.value().size() - 1);
+  for (const auto& [tuple, count] : truth) {
+    const auto bytes = tuple.bytes();
+    const Word estimate = analysis::cms_point_query(
+        row1.value(), row2.value(), rmt::run_hash(algo1.value(), bytes) & mask,
+        rmt::run_hash(algo2.value(), bytes) & mask);
+    ASSERT_GE(estimate, count);
+  }
+}
+
+}  // namespace
+}  // namespace p4runpro

@@ -1,0 +1,2 @@
+#include <gtest/gtest.h>
+TEST(Smoke, BuildWorks) { EXPECT_TRUE(true); }

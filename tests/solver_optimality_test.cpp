@@ -1,0 +1,218 @@
+// Solver optimality: on a small data plane the whole assignment space can
+// be enumerated, so the branch-and-bound result must equal the brute-force
+// optimum for every objective — not just a feasible solution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "compiler/solver.h"
+#include "control/resource_manager.h"
+
+namespace p4runpro::rp {
+namespace {
+
+/// Small geometry: 3 ingress + 3 egress RPBs, R = 1 -> 12 logical slots.
+dp::DataplaneSpec small_spec() {
+  dp::DataplaneSpec spec;
+  spec.ingress_rpbs = 3;
+  spec.egress_rpbs = 3;
+  spec.memory_per_rpb = 1024;
+  spec.entries_per_rpb = 16;
+  spec.max_recirculations = 1;
+  return spec;
+}
+
+/// Brute-force: enumerate every strictly increasing x over the logical
+/// slots, check all constraints exactly as the model defines them, and
+/// track the best objective.
+struct BruteForce {
+  const TranslatedProgram& program;
+  const dp::DataplaneSpec& spec;
+  const ctrl::ResourceManager::Snapshot& snapshot;
+
+  double best = std::numeric_limits<double>::infinity();
+  int best_x1 = 0;
+  int best_xl = 0;
+  int feasible_count = 0;
+
+  void run(const Objective& objective) {
+    std::vector<int> x(static_cast<std::size_t>(program.depth));
+    recurse(x, 0, 0, objective);
+  }
+
+  void recurse(std::vector<int>& x, std::size_t d, int prev, const Objective& objective) {
+    if (d == x.size()) {
+      if (!feasible(x)) return;
+      ++feasible_count;
+      double obj = 0;
+      switch (objective.kind) {
+        case ObjectiveKind::F1:
+          obj = objective.alpha * x.back() - objective.beta * x.front();
+          break;
+        case ObjectiveKind::F2:
+          obj = x.back();
+          break;
+        case ObjectiveKind::F3:
+          obj = static_cast<double>(x.back()) / x.front();
+          break;
+        case ObjectiveKind::Hierarchical:
+          // encoded as min xL then max x1: lexicographic pair
+          obj = x.back() * 1000.0 - x.front();
+          break;
+      }
+      if (obj < best) {
+        best = obj;
+        best_x1 = x.front();
+        best_xl = x.back();
+      }
+      return;
+    }
+    for (int v = prev + 1; v <= spec.logical_rpbs(); ++v) {
+      x[d] = v;
+      recurse(x, d + 1, v, objective);
+    }
+  }
+
+  [[nodiscard]] bool feasible(const std::vector<int>& x) const {
+    const int total = spec.total_rpbs();
+    std::vector<std::uint32_t> entries(static_cast<std::size_t>(total), 0);
+    std::map<std::string, int> pins;
+    std::map<int, std::vector<std::uint32_t>> mem_per_stage;
+    for (std::size_t d = 0; d < x.size(); ++d) {
+      const auto& req = program.depth_reqs[d];
+      const int phys = dp::physical_rpb(x[d], total);
+      if (req.forwarding && !dp::is_ingress_rpb(phys, spec.ingress_rpbs)) return false;
+      entries[static_cast<std::size_t>(phys - 1)] += static_cast<std::uint32_t>(req.entries);
+      if (entries[static_cast<std::size_t>(phys - 1)] >
+          snapshot.free_entries[static_cast<std::size_t>(phys - 1)]) {
+        return false;
+      }
+      for (const auto& vmem : req.vmems) {
+        const auto it = pins.find(vmem);
+        if (it != pins.end()) {
+          if (it->second != phys) return false;
+        } else {
+          pins.emplace(vmem, phys);
+          mem_per_stage[phys].push_back(program.vmem_sizes.at(vmem));
+        }
+      }
+    }
+    for (const auto& [phys, sizes] : mem_per_stage) {
+      if (!snapshot.can_allocate(phys, sizes)) return false;
+    }
+    return true;
+  }
+};
+
+class SolverOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverOptimality, MatchesBruteForceOnSmallModels) {
+  const char* kPrograms[] = {
+      // Plain ALU chain with a trailing forward.
+      "program a(<hdr.ipv4.src, 1, 0xff>) {\n"
+      "  EXTRACT(hdr.ipv4.ttl, har);\n"
+      "  ADD(har, har);\n"
+      "  FORWARD(1);\n"
+      "}\n",
+      // Memory pinning.
+      "@ m 64\n"
+      "program b(<hdr.ipv4.src, 1, 0xff>) {\n"
+      "  HASH_5_TUPLE_MEM(m);\n"
+      "  MEMADD(m);\n"
+      "}\n",
+      // Branch + case bodies.
+      "program c(<hdr.ipv4.src, 1, 0xff>) {\n"
+      "  EXTRACT(hdr.ipv4.ttl, har);\n"
+      "  BRANCH:\n"
+      "  case(<har, 1, 0xff>) { DROP; };\n"
+      "  FORWARD(2);\n"
+      "}\n",
+      // Sequential same-memory (constraint 5).
+      "@ m 64\n"
+      "program d(<hdr.ipv4.src, 1, 0xff>) {\n"
+      "  LOADI(mar, 0);\n"
+      "  MEMREAD(m);\n"
+      "  LOADI(mar, 1);\n"
+      "  MEMWRITE(m);\n"
+      "}\n",
+  };
+  const auto spec = small_spec();
+  ctrl::ResourceManager resources(spec);
+  // Perturb the snapshot: eat entries from RPB 2 to make it interesting.
+  ASSERT_TRUE(resources.reserve_entries(2, 15).ok());
+  const auto snapshot = resources.snapshot();
+
+  for (const char* source : kPrograms) {
+    auto ir = compile_single(source);
+    ASSERT_TRUE(ir.ok()) << ir.error().str();
+    const Objective objectives[] = {
+        {ObjectiveKind::F1, 0.7, 0.3},
+        {ObjectiveKind::F2, 0, 0},
+        {ObjectiveKind::F3, 0, 0},
+    };
+    const Objective& objective = objectives[GetParam()];
+
+    BruteForce brute{ir.value(), spec, snapshot};
+    brute.run(objective);
+
+    auto solved = solve_allocation(ir.value(), spec, snapshot, objective);
+    if (brute.feasible_count == 0) {
+      EXPECT_FALSE(solved.ok()) << source;
+      continue;
+    }
+    ASSERT_TRUE(solved.ok()) << source << ": " << solved.error().str();
+    double solver_obj = 0;
+    switch (objective.kind) {
+      case ObjectiveKind::F1:
+        solver_obj = 0.7 * solved.value().x.back() - 0.3 * solved.value().x.front();
+        break;
+      case ObjectiveKind::F2:
+        solver_obj = solved.value().x.back();
+        break;
+      case ObjectiveKind::F3:
+        solver_obj = static_cast<double>(solved.value().x.back()) /
+                     solved.value().x.front();
+        break;
+      default:
+        break;
+    }
+    EXPECT_NEAR(solver_obj, brute.best, 1e-9)
+        << source << "objective " << GetParam() << ": solver found x1="
+        << solved.value().x.front() << " xL=" << solved.value().x.back()
+        << ", brute force x1=" << brute.best_x1 << " xL=" << brute.best_xl;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Objectives, SolverOptimality, ::testing::Values(0, 1, 2),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::string(info.param == 0   ? "f1"
+                                              : info.param == 1 ? "f2"
+                                                                : "f3");
+                         });
+
+TEST(SolverOptimalityHierarchical, MinLastThenMaxFirst) {
+  const auto spec = small_spec();
+  ctrl::ResourceManager resources(spec);
+  const auto snapshot = resources.snapshot();
+  auto ir = compile_single(
+      "program h(<hdr.ipv4.src, 1, 0xff>) {\n"
+      "  EXTRACT(hdr.ipv4.ttl, har);\n"
+      "  ADD(har, har);\n"
+      "  XOR(har, har);\n"
+      "}\n");
+  ASSERT_TRUE(ir.ok());
+
+  BruteForce brute{ir.value(), spec, snapshot};
+  brute.run(Objective{ObjectiveKind::Hierarchical});
+  auto solved = solve_allocation(ir.value(), spec, snapshot,
+                                 Objective{ObjectiveKind::Hierarchical});
+  ASSERT_TRUE(solved.ok());
+  EXPECT_EQ(solved.value().x.back(), brute.best_xl);
+  EXPECT_EQ(solved.value().x.front(), brute.best_x1);
+}
+
+}  // namespace
+}  // namespace p4runpro::rp

@@ -1,0 +1,197 @@
+// Allocation-solver tests: the five constraint families of §4.3 and the
+// behaviour of the four objective functions (§6.2.4).
+#include <gtest/gtest.h>
+
+#include "apps/program_library.h"
+#include "compiler/compiler.h"
+#include "compiler/solver.h"
+#include "control/resource_manager.h"
+
+namespace p4runpro::rp {
+namespace {
+
+class SolverTest : public ::testing::Test {
+ protected:
+  SolverTest() : resources_(spec_) {}
+
+  TranslatedProgram compile_app(const std::string& key, int elastic = 2,
+                                std::uint32_t mem = 256) {
+    apps::ProgramConfig config;
+    config.instance_name = key;
+    config.elastic_cases = elastic;
+    config.mem_buckets = mem;
+    auto r = compile_single(apps::make_program_source(key, config));
+    EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().str());
+    return std::move(r).take();
+  }
+
+  AllocationResult solve(const TranslatedProgram& p,
+                         Objective objective = {}) {
+    auto r = solve_allocation(p, spec_, resources_.snapshot(), objective);
+    EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().str());
+    return r.ok() ? std::move(r).take() : AllocationResult{};
+  }
+
+  void check_constraints(const TranslatedProgram& p, const AllocationResult& a) {
+    ASSERT_EQ(a.x.size(), static_cast<std::size_t>(p.depth));
+    // (1) strictly increasing.
+    for (std::size_t i = 1; i < a.x.size(); ++i) EXPECT_LT(a.x[i - 1], a.x[i]);
+    const int total = spec_.total_rpbs();
+    for (std::size_t d = 0; d < a.x.size(); ++d) {
+      const int phys = dp::physical_rpb(a.x[d], total);
+      // (4) forwarding depths in ingress RPBs.
+      if (p.depth_reqs[d].forwarding) {
+        EXPECT_TRUE(dp::is_ingress_rpb(phys, spec_.ingress_rpbs));
+      }
+      // (5) memory depths pinned to the vmem's physical RPB.
+      for (const auto& vmem : p.depth_reqs[d].vmems) {
+        EXPECT_EQ(a.vmem_rpb.at(vmem), phys);
+      }
+    }
+    // logical bound.
+    EXPECT_LE(a.x.back(), spec_.logical_rpbs());
+  }
+
+  dp::DataplaneSpec spec_;
+  ctrl::ResourceManager resources_;
+};
+
+TEST_F(SolverTest, AllCatalogProgramsAllocateOnEmptySwitch) {
+  for (const auto& info : apps::program_catalog()) {
+    const auto p = compile_app(info.key);
+    auto r = solve_allocation(p, spec_, resources_.snapshot(), Objective{});
+    ASSERT_TRUE(r.ok()) << info.key << ": " << (r.ok() ? "" : r.error().str());
+    check_constraints(p, r.value());
+  }
+}
+
+TEST_F(SolverTest, CacheFitsWithoutRecirculation) {
+  const auto p = compile_app("cache");
+  const auto a = solve(p);
+  EXPECT_EQ(a.rounds, 1);
+  EXPECT_LE(a.x.back(), spec_.total_rpbs());
+}
+
+TEST_F(SolverTest, HeavyHitterNeedsRecirculation) {
+  // hh translates to more depths than the 22 physical RPBs; with R = 1 it
+  // must span two rounds (one of the 2-of-15 programs needing
+  // recirculation, §6.3).
+  const auto p = compile_app("hh");
+  EXPECT_GT(p.depth, spec_.total_rpbs());
+  const auto a = solve(p);
+  EXPECT_EQ(a.rounds, 2);
+}
+
+TEST_F(SolverTest, ForwardingConstraintRespectedUnderPressure) {
+  // Exhaust the entries of most ingress RPBs, then allocate a program with
+  // a late forwarding primitive: the solver must still land every
+  // forwarding depth on an ingress RPB (possibly in round 2).
+  for (int rpb = 2; rpb <= spec_.ingress_rpbs; ++rpb) {
+    ASSERT_TRUE(resources_.reserve_entries(rpb, spec_.entries_per_rpb).ok());
+  }
+  const auto p = compile_app("cache");
+  auto r = solve_allocation(p, spec_, resources_.snapshot(), Objective{});
+  ASSERT_TRUE(r.ok()) << r.error().str();
+  check_constraints(p, r.value());
+  EXPECT_EQ(r.value().rounds, 2);  // forced to wrap into the second round
+}
+
+TEST_F(SolverTest, FailsWhenMemoryExhausted) {
+  // Fill all stage memory.
+  for (int rpb = 1; rpb <= spec_.total_rpbs(); ++rpb) {
+    ASSERT_TRUE(resources_.allocate_memory(rpb, spec_.memory_per_rpb).ok());
+  }
+  const auto p = compile_app("cache");
+  EXPECT_FALSE(solve_allocation(p, spec_, resources_.snapshot(), Objective{}).ok());
+}
+
+TEST_F(SolverTest, FailsWhenEntriesExhausted) {
+  for (int rpb = 1; rpb <= spec_.total_rpbs(); ++rpb) {
+    ASSERT_TRUE(resources_.reserve_entries(rpb, spec_.entries_per_rpb - 1).ok());
+  }
+  const auto p = compile_app("cache");
+  EXPECT_FALSE(solve_allocation(p, spec_, resources_.snapshot(), Objective{}).ok());
+}
+
+TEST_F(SolverTest, ObjectiveF2MinimizesLastRpb) {
+  const auto p = compile_app("lb");
+  const auto f2 = solve(p, Objective{ObjectiveKind::F2});
+  // No other objective may find a smaller x_L than f2's optimum.
+  for (auto kind : {ObjectiveKind::F1, ObjectiveKind::F3, ObjectiveKind::Hierarchical}) {
+    const auto other = solve(p, Objective{kind});
+    EXPECT_GE(other.x.back(), f2.x.back());
+  }
+}
+
+TEST_F(SolverTest, HierarchicalMaximizesStartGivenMinLast) {
+  const auto p = compile_app("lb");
+  const auto f2 = solve(p, Objective{ObjectiveKind::F2});
+  const auto h = solve(p, Objective{ObjectiveKind::Hierarchical});
+  EXPECT_EQ(h.x.back(), f2.x.back());
+  EXPECT_GE(h.x.front(), f2.x.front());
+}
+
+TEST_F(SolverTest, F1PushesProgramsTowardEgress) {
+  // With a = 0.7, b = 0.3 the default objective should not start every
+  // program at RPB 1 once ingress entries tighten: deplete ingress RPB 1's
+  // entries and verify the start moves.
+  ASSERT_TRUE(resources_.reserve_entries(1, spec_.entries_per_rpb).ok());
+  const auto p = compile_app("cms");
+  const auto a = solve(p, Objective{ObjectiveKind::F1, 0.7, 0.3});
+  EXPECT_GT(a.x.front(), 1);
+}
+
+TEST_F(SolverTest, F3PrefersLargerStartThanF2) {
+  // f3 = xL/x1 rewards large starts; for a program without forwarding
+  // primitives it should start deeper in the pipeline than f2's solution.
+  const auto p = compile_app("hll");
+  const auto f2 = solve(p, Objective{ObjectiveKind::F2});
+  const auto f3 = solve(p, Objective{ObjectiveKind::F3});
+  EXPECT_GE(f3.x.front(), f2.x.front());
+  EXPECT_GE(f3.objective, 1.0);
+}
+
+TEST_F(SolverTest, SequentialSameMemoryForcesSamePhysicalStage) {
+  // A program reading then writing the same vmem in one path: constraint
+  // (5) — both depths on the same physical RPB in different rounds.
+  const char* source =
+      "@ m 64\n"
+      "program p(<hdr.ipv4.src, 1, 0xff>) {\n"
+      "  LOADI(mar, 0);\n"
+      "  MEMREAD(m);\n"
+      "  ADD(sar, sar);\n"
+      "  LOADI(mar, 1);\n"
+      "  MEMWRITE(m);\n"
+      "}\n";
+  auto p = compile_single(source);
+  ASSERT_TRUE(p.ok()) << p.error().str();
+  ASSERT_EQ(p.value().vmem_depths.at("m").size(), 2u);
+  const auto a = solve(p.value());
+  const int total = spec_.total_rpbs();
+  const auto& depths = p.value().vmem_depths.at("m");
+  const int phys1 = dp::physical_rpb(a.x[static_cast<std::size_t>(depths[0] - 1)], total);
+  const int phys2 = dp::physical_rpb(a.x[static_cast<std::size_t>(depths[1] - 1)], total);
+  EXPECT_EQ(phys1, phys2);
+  EXPECT_EQ(a.rounds, 2);
+}
+
+TEST_F(SolverTest, AggregateEntriesAcrossRoundsCounted) {
+  // A physical RPB visited in both rounds must satisfy the SUM of the
+  // entry demands. Leave exactly 1 free entry in every RPB and try a
+  // program needing 2 entries somewhere across rounds.
+  for (int rpb = 1; rpb <= spec_.total_rpbs(); ++rpb) {
+    ASSERT_TRUE(resources_.reserve_entries(rpb, spec_.entries_per_rpb - 1).ok());
+  }
+  // 44 logical slots, 23+ depths: would need some physical RPB twice.
+  const auto p = compile_app("hh");
+  EXPECT_FALSE(solve_allocation(p, spec_, resources_.snapshot(), Objective{}).ok());
+}
+
+TEST_F(SolverTest, ReportsSearchEffort) {
+  const auto p = compile_app("cache");
+  const auto a = solve(p);
+  EXPECT_GT(a.nodes_explored, 0u);
+}
+
+}  // namespace
+}  // namespace p4runpro::rp

@@ -1,0 +1,99 @@
+// Execution-tracing tests: a traced packet produces one line per executed
+// operation, in pipeline order, across recirculation rounds.
+#include <gtest/gtest.h>
+
+#include "apps/program_library.h"
+#include "common/clock.h"
+#include "control/controller.h"
+#include "dataplane/runpro_dataplane.h"
+
+namespace p4runpro {
+namespace {
+
+std::string joined(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& line : lines) out += line + "\n";
+  return out;
+}
+
+TEST(Tracing, CacheHitTraceShowsTheFigure3Walk) {
+  SimClock clock;
+  dp::RunproDataplane dataplane(dp::DataplaneSpec{}, rmt::ParserConfig{{7777}});
+  ctrl::Controller controller(dataplane, clock);
+  apps::ProgramConfig config;
+  config.instance_name = "cache";
+  auto linked = controller.link_single(apps::make_program_source("cache", config));
+  ASSERT_TRUE(linked.ok());
+  ASSERT_TRUE(controller.write_memory(linked.value().id, "mem1", 0, 5).ok());
+
+  dataplane.pipeline().set_tracing(true);
+  rmt::Packet pkt;
+  pkt.ipv4 = rmt::Ipv4Header{.src = 1, .dst = 2, .proto = 17};
+  pkt.udp = rmt::UdpHeader{4000, 7777};
+  pkt.app = rmt::AppHeader{1, 0x8888, 0, 0};
+  pkt.ingress_port = 5;
+  (void)dataplane.inject(pkt);
+
+  const auto& trace = dataplane.pipeline().last_trace();
+  const std::string text = joined(trace);
+  // The Fig. 3 walk: parse, claim, extracts, branch to the read case,
+  // address load, memory read, header modify.
+  EXPECT_NE(text.find("parser: bitmap=0b11101"), std::string::npos) << text;
+  EXPECT_NE(text.find("init: claimed by program"), std::string::npos);
+  EXPECT_NE(text.find("EXTRACT(hdr.nc.op, har)"), std::string::npos);
+  EXPECT_NE(text.find("BRANCH"), std::string::npos);
+  EXPECT_NE(text.find("-> b1"), std::string::npos);
+  EXPECT_NE(text.find("MEM(salu="), std::string::npos);
+  EXPECT_NE(text.find("MODIFY(hdr.nc.val, sar)"), std::string::npos);
+  // Order: claim before extract before branch before memory.
+  EXPECT_LT(text.find("init:"), text.find("EXTRACT"));
+  EXPECT_LT(text.find("EXTRACT"), text.find("BRANCH"));
+  EXPECT_LT(text.find("BRANCH"), text.find("MEM(salu="));
+
+  // Tracing off: the last trace stays as-is but new packets don't trace.
+  dataplane.pipeline().set_tracing(false);
+  (void)dataplane.inject(pkt);
+  EXPECT_EQ(dataplane.pipeline().last_trace(), trace);
+}
+
+TEST(Tracing, RecirculatedProgramShowsBothRounds) {
+  SimClock clock;
+  dp::RunproDataplane dataplane(dp::DataplaneSpec{}, rmt::ParserConfig{});
+  ctrl::Controller controller(dataplane, clock);
+  apps::ProgramConfig config;
+  config.instance_name = "hh";
+  config.threshold = 5;
+  ASSERT_TRUE(controller.link_single(apps::make_program_source("hh", config)).ok());
+
+  dataplane.pipeline().set_tracing(true);
+  rmt::Packet pkt;
+  pkt.ipv4 = rmt::Ipv4Header{.src = 0x0a000010, .dst = 0x0b000001, .proto = 17};
+  pkt.udp = rmt::UdpHeader{5000, 6000};
+  pkt.ingress_port = 1;
+  // Packet 5 crosses the threshold (count == 5): its trace shows the BF
+  // walk and the round-1 REPORT.
+  rmt::PipelineResult result;
+  for (int i = 0; i < 5; ++i) result = dataplane.inject(pkt);
+  EXPECT_EQ(result.fate, rmt::PacketFate::Reported);
+
+  const std::string text = joined(dataplane.pipeline().last_trace());
+  EXPECT_NE(text.find("recirc: another round (r1)"), std::string::npos) << text;
+  EXPECT_NE(text.find(" r0 "), std::string::npos);
+  EXPECT_NE(text.find(" r1 "), std::string::npos) << text;
+  EXPECT_NE(text.find("REPORT"), std::string::npos) << text;
+}
+
+TEST(Tracing, UnclaimedPacketTracesOnlyTheParser) {
+  SimClock clock;
+  dp::RunproDataplane dataplane(dp::DataplaneSpec{}, rmt::ParserConfig{});
+  dataplane.pipeline().set_tracing(true);
+  rmt::Packet pkt;
+  pkt.ipv4 = rmt::Ipv4Header{.src = 1, .dst = 2, .proto = 17};
+  pkt.udp = rmt::UdpHeader{1, 2};
+  (void)dataplane.inject(pkt);
+  ASSERT_EQ(dataplane.pipeline().last_trace().size(), 1u);
+  EXPECT_EQ(dataplane.pipeline().last_trace()[0].substr(0, 6), "parser");
+}
+
+}  // namespace
+}  // namespace p4runpro

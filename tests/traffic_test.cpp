@@ -1,0 +1,184 @@
+// Traffic-generation and replay tests: determinism, rate accuracy, flow
+// structure (Zipf heavy tail), cache-workload hit-rate engineering, and
+// the replayer's metering.
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "dataplane/runpro_dataplane.h"
+#include "traffic/flowgen.h"
+#include "traffic/replay.h"
+#include "traffic/workloads.h"
+
+namespace p4runpro::traffic {
+namespace {
+
+TEST(FlowGen, TraceIsDeterministic) {
+  CampusTraceConfig config;
+  config.duration_s = 0.5;
+  const auto a = make_campus_trace(config);
+  const auto b = make_campus_trace(config);
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  for (std::size_t i = 0; i < a.packets.size(); i += 97) {
+    EXPECT_EQ(a.packets[i].t_ns, b.packets[i].t_ns);
+    EXPECT_EQ(a.packets[i].pkt.five_tuple(), b.packets[i].pkt.five_tuple());
+  }
+}
+
+TEST(FlowGen, RateMatchesConfig) {
+  CampusTraceConfig config;
+  config.duration_s = 2.0;
+  config.rate_mbps = 100.0;
+  const auto trace = make_campus_trace(config);
+  // Offered rate (wire bytes + preamble/IPG are charged in spacing, so the
+  // payload-only rate is slightly below the configured one).
+  const double mbps = static_cast<double>(trace.total_bytes) * 8.0 /
+                      (config.duration_s * 1e6);
+  EXPECT_GT(mbps, 80.0);
+  EXPECT_LE(mbps, 101.0);
+}
+
+TEST(FlowGen, TimestampsMonotone) {
+  CampusTraceConfig config;
+  config.duration_s = 0.3;
+  const auto trace = make_campus_trace(config);
+  for (std::size_t i = 1; i < trace.packets.size(); ++i) {
+    EXPECT_GE(trace.packets[i].t_ns, trace.packets[i - 1].t_ns);
+  }
+}
+
+TEST(FlowGen, ZipfHeavyTail) {
+  CampusTraceConfig config;
+  config.duration_s = 3.0;
+  const auto trace = make_campus_trace(config);
+  const auto counts = flow_counts(trace);
+  std::uint64_t max_count = 0;
+  std::uint64_t total = 0;
+  for (const auto& [tuple, count] : counts) {
+    max_count = std::max(max_count, count);
+    total += count;
+  }
+  // The top flow dominates (skew 1.1) but does not monopolize.
+  EXPECT_GT(static_cast<double>(max_count) / static_cast<double>(total), 0.02);
+  EXPECT_LT(static_cast<double>(max_count) / static_cast<double>(total), 0.5);
+  // Plenty of distinct flows appear.
+  EXPECT_GT(counts.size(), 1000u);
+}
+
+TEST(FlowGen, FlowsMatchMeasurementFilters) {
+  CampusTraceConfig config;
+  config.duration_s = 0.2;
+  const auto trace = make_campus_trace(config);
+  for (const auto& tp : trace.packets) {
+    ASSERT_TRUE(tp.pkt.ipv4.has_value());
+    EXPECT_EQ(tp.pkt.ipv4->src & 0xffff0000u, 0x0a000000u);
+    EXPECT_EQ(tp.pkt.ipv4->dst & 0xffff0000u, 0x0a000000u);
+    EXPECT_TRUE(tp.pkt.tcp.has_value() || tp.pkt.udp.has_value());
+  }
+}
+
+TEST(FlowGen, HeavyHittersThresholdConsistent) {
+  CampusTraceConfig config;
+  config.duration_s = 2.0;
+  const auto trace = make_campus_trace(config);
+  const auto counts = flow_counts(trace);
+  const auto heavy = heavy_hitters(trace, 100);
+  for (const auto& tuple : heavy) {
+    EXPECT_GT(counts.at(tuple), 100u);
+  }
+  // Everything above the threshold is in the list.
+  std::size_t above = 0;
+  for (const auto& [tuple, count] : counts) {
+    if (count > 100) ++above;
+  }
+  EXPECT_EQ(heavy.size(), above);
+}
+
+TEST(CacheWorkload, HitRateEngineering) {
+  CacheWorkloadConfig config;
+  config.duration_s = 3.0;
+  const auto workload = make_cache_workload(config);
+  EXPECT_GE(workload.expected_hit_rate, 0.6);
+  EXPECT_LT(workload.expected_hit_rate, 0.85);
+  ASSERT_FALSE(workload.cached_keys.empty());
+
+  // Empirical hit rate of the trace against the cached key set.
+  std::uint64_t hits = 0;
+  for (const auto& tp : workload.trace.packets) {
+    ASSERT_TRUE(tp.pkt.app.has_value());
+    const Word key = tp.pkt.app->key1;
+    if (key >= 0x8888u &&
+        key < 0x8888u + workload.cached_keys.size()) {
+      ++hits;
+    }
+  }
+  const double rate = static_cast<double>(hits) /
+                      static_cast<double>(workload.trace.packets.size());
+  EXPECT_NEAR(rate, workload.expected_hit_rate, 0.05);
+}
+
+TEST(Replayer, MetersOfferedAndReceivedRates) {
+  SimClock clock;
+  dp::RunproDataplane dataplane(dp::DataplaneSpec{}, rmt::ParserConfig{});
+  Replayer replayer(dataplane, clock);
+  CampusTraceConfig config;
+  config.duration_s = 1.0;
+  const auto trace = make_campus_trace(config);
+
+  const auto samples = replayer.run(trace, {});
+  ASSERT_GE(samples.size(), 19u);  // 50 ms buckets over 1 s
+  for (const auto& s : samples) {
+    // Everything is default-forwarded: RX == TX, all on port 0.
+    EXPECT_NEAR(s.rx_mbps, s.tx_mbps, 1e-6);
+    EXPECT_NEAR(s.port_mbps[0], s.rx_mbps, 1e-6);
+    EXPECT_EQ(s.dropped, 0u);
+  }
+  // The virtual clock advanced by the trace duration.
+  EXPECT_NEAR(clock.now_s(), 1.0, 0.05);
+}
+
+TEST(Replayer, BucketCallbackFiresInOrder) {
+  SimClock clock;
+  dp::RunproDataplane dataplane(dp::DataplaneSpec{}, rmt::ParserConfig{});
+  Replayer replayer(dataplane, clock);
+  CampusTraceConfig config;
+  config.duration_s = 0.5;
+  const auto trace = make_campus_trace(config);
+
+  std::vector<double> ticks;
+  Replayer::Options options;
+  options.on_bucket = [&ticks](double t) { ticks.push_back(t); };
+  (void)replayer.run(trace, options);
+  ASSERT_GE(ticks.size(), 9u);
+  for (std::size_t i = 1; i < ticks.size(); ++i) EXPECT_GT(ticks[i], ticks[i - 1]);
+}
+
+TEST(Workloads, UniqueInstanceNames) {
+  auto workload = WorkloadGenerator::all_mixed();
+  std::set<std::string> names;
+  for (int i = 0; i < 200; ++i) {
+    const auto request = workload.next();
+    EXPECT_TRUE(names.insert(request.config.instance_name).second);
+    EXPECT_FALSE(request.source.empty());
+  }
+}
+
+TEST(Workloads, SingleGeneratorYieldsOneKey) {
+  auto workload = WorkloadGenerator::single("lb", 128, 4);
+  for (int i = 0; i < 10; ++i) {
+    const auto request = workload.next();
+    EXPECT_EQ(request.key, "lb");
+    EXPECT_EQ(request.config.mem_buckets, 128u);
+    EXPECT_EQ(request.config.elastic_cases, 4);
+  }
+}
+
+TEST(Workloads, MixedDrawsFromThreePrograms) {
+  auto workload = WorkloadGenerator::mixed();
+  std::set<std::string> seen;
+  for (int i = 0; i < 60; ++i) seen.insert(workload.next().key);
+  EXPECT_EQ(seen, (std::set<std::string>{"cache", "lb", "hh"}));
+}
+
+}  // namespace
+}  // namespace p4runpro::traffic

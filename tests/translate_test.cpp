@@ -1,0 +1,247 @@
+// Translation-pass tests: pseudo-primitive expansion, offset-step
+// insertion, memory alignment across branches, trailing replication, and
+// the paper's depth results (L = 10 for the cache program, Fig. 5).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/program_library.h"
+#include "compiler/compiler.h"
+#include "compiler/translate.h"
+
+namespace p4runpro::rp {
+namespace {
+
+TranslatedProgram must_compile(const std::string& source) {
+  auto r = compile_single(source);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().str());
+  return r.ok() ? std::move(r).take() : TranslatedProgram{};
+}
+
+TranslatedProgram compile_app(const std::string& key, int elastic = 2) {
+  apps::ProgramConfig config;
+  config.instance_name = key;
+  config.elastic_cases = elastic;
+  return must_compile(apps::make_program_source(key, config));
+}
+
+int count_kind(const TranslatedProgram& p, dp::OpKind kind) {
+  return static_cast<int>(
+      std::count_if(p.nodes.begin(), p.nodes.end(),
+                    [kind](const IrNode& n) { return n.op.kind == kind; }));
+}
+
+std::vector<int> depths_of(const TranslatedProgram& p, dp::OpKind kind) {
+  std::vector<int> out;
+  for (const auto& n : p.nodes) {
+    if (n.op.kind == kind) out.push_back(n.depth);
+  }
+  return out;
+}
+
+TEST(Translate, RoundPow2) {
+  EXPECT_EQ(round_pow2(1), 1u);
+  EXPECT_EQ(round_pow2(2), 2u);
+  EXPECT_EQ(round_pow2(3), 4u);
+  EXPECT_EQ(round_pow2(10), 16u);  // the paper's "@ port_pool 10"
+  EXPECT_EQ(round_pow2(1024), 1024u);
+  EXPECT_EQ(round_pow2(1025), 2048u);
+}
+
+TEST(Translate, CacheDepthMatchesPaper) {
+  // Fig. 5(b): the translated cache AST has L = 10 — offset steps inserted
+  // before MEMREAD/MEMWRITE, and the memory ops aligned to one depth.
+  const auto p = compile_app("cache");
+  EXPECT_EQ(p.depth, 10);
+
+  // Both memory ops (read + write branch) aligned at the same depth.
+  const auto mem_depths = depths_of(p, dp::OpKind::Mem);
+  ASSERT_EQ(mem_depths.size(), 2u);
+  EXPECT_EQ(mem_depths[0], mem_depths[1]);
+  EXPECT_EQ(mem_depths[0], 9);
+
+  // The miss-path FORWARD sits parallel to the case bodies at depth 5.
+  const auto fwd_depths = depths_of(p, dp::OpKind::Forward);
+  ASSERT_EQ(fwd_depths.size(), 1u);
+  EXPECT_EQ(fwd_depths[0], 5);
+}
+
+TEST(Translate, CacheBranchStructure) {
+  const auto p = compile_app("cache");
+  // One BRANCH with 2 elastic cases -> 2 entries; 3 branch ids (root + 2).
+  const auto branch_it =
+      std::find_if(p.nodes.begin(), p.nodes.end(),
+                   [](const IrNode& n) { return n.op.kind == dp::OpKind::Branch; });
+  ASSERT_NE(branch_it, p.nodes.end());
+  EXPECT_EQ(branch_it->op.cases.size(), 2u);
+  EXPECT_EQ(branch_it->op.entry_count(), 2);
+  EXPECT_EQ(p.num_branches, 3);
+  EXPECT_EQ(branch_it->depth, 4);
+}
+
+TEST(Translate, OffsetPrecedesEveryMemOp) {
+  for (const auto& key : {"cache", "lb", "hh", "cms", "bf", "sumax", "hll"}) {
+    const auto p = compile_app(key);
+    EXPECT_EQ(count_kind(p, dp::OpKind::Offset), count_kind(p, dp::OpKind::Mem))
+        << key;
+    // Each Mem node's (only) predecessor chain contains its offset at a
+    // strictly smaller depth.
+    for (const auto& n : p.nodes) {
+      if (n.op.kind != dp::OpKind::Mem) continue;
+      ASSERT_EQ(n.preds.size(), 1u);
+      const auto& pred = p.nodes[static_cast<std::size_t>(n.preds[0])];
+      EXPECT_EQ(pred.op.kind, dp::OpKind::Offset) << key;
+      EXPECT_EQ(pred.op.vmem, n.op.vmem) << key;
+      EXPECT_LT(pred.depth, n.depth) << key;
+    }
+  }
+}
+
+TEST(Translate, LbTrailingReplicatedIntoForwardCases) {
+  // Fig. 16: the DIP rewrite must execute for packets that matched a
+  // FORWARD case, so the trailing MEMREAD/MODIFY is replicated under each
+  // case branch plus the miss path: 3 copies with 2 elastic cases.
+  const auto p = compile_app("lb", 2);
+  EXPECT_EQ(count_kind(p, dp::OpKind::Modify), 3);
+  // dip_pool is read in 3 parallel branches -> one aligned depth.
+  std::vector<int> dip_depths;
+  for (const auto& n : p.nodes) {
+    if (n.op.kind == dp::OpKind::Mem && n.op.vmem == "dip_pool") {
+      dip_depths.push_back(n.depth);
+    }
+  }
+  ASSERT_EQ(dip_depths.size(), 3u);
+  EXPECT_EQ(dip_depths[0], dip_depths[1]);
+  EXPECT_EQ(dip_depths[1], dip_depths[2]);
+}
+
+TEST(Translate, CacheTerminalCasesDoNotReplicateTrailing) {
+  // The hit branches end in RETURN/DROP; the trailing FORWARD must exist
+  // exactly once (miss path only).
+  const auto p = compile_app("cache");
+  EXPECT_EQ(count_kind(p, dp::OpKind::Forward), 1);
+}
+
+TEST(Translate, PseudoMove) {
+  const auto p = must_compile(
+      "program p(<hdr.ipv4.src, 1, 0xff>) {\n"
+      "  MOVE(har, sar);\n"
+      "}\n");
+  ASSERT_EQ(p.nodes.size(), 2u);
+  EXPECT_EQ(p.nodes[0].op.kind, dp::OpKind::Loadi);
+  EXPECT_EQ(p.nodes[0].op.reg0, Reg::Har);
+  EXPECT_EQ(p.nodes[0].op.imm, 0u);
+  EXPECT_EQ(p.nodes[1].op.kind, dp::OpKind::Add);
+}
+
+TEST(Translate, PseudoAddiDeadSupportSkipsBackup) {
+  // mar is never used again -> supportive register needs no backup.
+  const auto p = must_compile(
+      "program p(<hdr.ipv4.src, 1, 0xff>) {\n"
+      "  ADDI(har, 5);\n"
+      "  MODIFY(hdr.ipv4.ttl, har);\n"
+      "}\n");
+  EXPECT_EQ(count_kind(p, dp::OpKind::Backup), 0);
+  EXPECT_EQ(count_kind(p, dp::OpKind::Restore), 0);
+  // LOADI(C, 5); ADD(har, C); MODIFY
+  ASSERT_EQ(p.nodes.size(), 3u);
+  EXPECT_EQ(p.nodes[0].op.kind, dp::OpKind::Loadi);
+  EXPECT_EQ(p.nodes[0].op.imm, 5u);
+}
+
+TEST(Translate, PseudoAddiLiveSupportGetsBackup) {
+  // Both sar and mar are read after the ADDI, so whichever supportive
+  // register is chosen must be backed up and restored (Fig. 4b).
+  const auto p = must_compile(
+      "program p(<hdr.ipv4.src, 1, 0xff>) {\n"
+      "  EXTRACT(hdr.ipv4.src, sar);\n"
+      "  EXTRACT(hdr.ipv4.dst, mar);\n"
+      "  ADDI(har, 5);\n"
+      "  ADD(sar, mar);\n"
+      "  MODIFY(hdr.ipv4.ttl, sar);\n"
+      "}\n");
+  EXPECT_EQ(count_kind(p, dp::OpKind::Backup), 1);
+  EXPECT_EQ(count_kind(p, dp::OpKind::Restore), 1);
+}
+
+TEST(Translate, SubiUsesTwosComplement) {
+  const auto p = must_compile(
+      "program p(<hdr.ipv4.src, 1, 0xff>) {\n"
+      "  SUBI(har, 7);\n"
+      "}\n");
+  ASSERT_GE(p.nodes.size(), 2u);
+  const auto loadi =
+      std::find_if(p.nodes.begin(), p.nodes.end(),
+                   [](const IrNode& n) { return n.op.kind == dp::OpKind::Loadi; });
+  ASSERT_NE(loadi, p.nodes.end());
+  EXPECT_EQ(loadi->op.imm, 0u - 7u);
+}
+
+TEST(Translate, DepthsStrictlyIncreaseAlongEdges) {
+  for (const auto& info : apps::program_catalog()) {
+    const auto p = compile_app(info.key);
+    for (const auto& n : p.nodes) {
+      for (int pred : n.preds) {
+        EXPECT_LT(p.nodes[static_cast<std::size_t>(pred)].depth, n.depth)
+            << info.key;
+      }
+    }
+  }
+}
+
+TEST(Translate, DepthRequirementsConsistent) {
+  for (const auto& info : apps::program_catalog()) {
+    const auto p = compile_app(info.key);
+    ASSERT_EQ(static_cast<int>(p.depth_reqs.size()), p.depth) << info.key;
+    int entries = 0;
+    for (const auto& req : p.depth_reqs) entries += req.entries;
+    EXPECT_EQ(entries, p.total_entries()) << info.key;
+    // Forwarding flags match the nodes.
+    for (const auto& n : p.nodes) {
+      if (dp::is_forwarding(n.op.kind)) {
+        EXPECT_TRUE(p.depth_reqs[static_cast<std::size_t>(n.depth - 1)].forwarding)
+            << info.key;
+      }
+    }
+  }
+}
+
+TEST(Translate, VmemSizesRounded) {
+  const auto p = must_compile(
+      "@ m 100\n"
+      "program p(<hdr.ipv4.src, 1, 0xff>) {\n"
+      "  HASH_5_TUPLE_MEM(m);\n"
+      "  MEMADD(m);\n"
+      "}\n");
+  EXPECT_EQ(p.vmem_sizes.at("m"), 128u);
+}
+
+TEST(Translate, HllHasManyInelasticCases) {
+  const auto p = compile_app("hll");
+  const auto branch_it =
+      std::find_if(p.nodes.begin(), p.nodes.end(),
+                   [](const IrNode& n) { return n.op.kind == dp::OpKind::Branch; });
+  ASSERT_NE(branch_it, p.nodes.end());
+  EXPECT_EQ(branch_it->op.cases.size(), 33u);
+  // All 33 MEMMAX ops on the same vmem align to a single depth.
+  const auto mem_depths = depths_of(p, dp::OpKind::Mem);
+  ASSERT_EQ(mem_depths.size(), 33u);
+  EXPECT_TRUE(std::all_of(mem_depths.begin(), mem_depths.end(),
+                          [&](int d) { return d == mem_depths[0]; }));
+}
+
+TEST(Translate, SemanticErrors) {
+  // Undeclared memory.
+  EXPECT_FALSE(compile_single("program p(<hdr.ipv4.src, 1, 0xff>) { MEMADD(nope); }").ok());
+  // Wrong argument type.
+  EXPECT_FALSE(compile_single("program p(<hdr.ipv4.src, 1, 0xff>) { LOADI(5, har); }").ok());
+  // Unknown field.
+  EXPECT_FALSE(compile_single("program p(<hdr.ipv4.src, 1, 0xff>) { EXTRACT(hdr.bogus.x, har); }").ok());
+  // Read-only metadata modification.
+  EXPECT_FALSE(compile_single("program p(<hdr.ipv4.src, 1, 0xff>) { MODIFY(meta.qdepth, har); }").ok());
+  // Unfilterable field in the traffic filter.
+  EXPECT_FALSE(compile_single("program p(<hdr.nc.op, 1, 0xff>) { DROP; }").ok());
+}
+
+}  // namespace
+}  // namespace p4runpro::rp

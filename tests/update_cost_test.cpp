@@ -1,0 +1,82 @@
+// Update-engine cost model tests: the virtual-clock charges must follow
+// the documented bfrt model exactly — per-entry writes, per-batch
+// overheads, and the memory-reset charge on termination.
+#include <gtest/gtest.h>
+
+#include "apps/program_library.h"
+#include "common/clock.h"
+#include "control/controller.h"
+#include "dataplane/runpro_dataplane.h"
+
+namespace p4runpro {
+namespace {
+
+TEST(UpdateCost, InstallChargeMatchesTheModel) {
+  SimClock clock;
+  dp::RunproDataplane dataplane(dp::DataplaneSpec{}, rmt::ParserConfig{{7777}});
+  ctrl::BfrtCostModel cost;  // defaults
+  ctrl::Controller controller(dataplane, clock, rp::Objective{}, cost);
+
+  apps::ProgramConfig config;
+  config.instance_name = "cache";
+  auto linked = controller.link_single(apps::make_program_source("cache", config));
+  ASSERT_TRUE(linked.ok());
+  const auto* installed = controller.program(linked.value().id);
+  ASSERT_NE(installed, nullptr);
+
+  const auto rpb_entries = installed->rpb_handles.size();
+  const auto recirc_entries = installed->recirc_handles.size();
+  const auto filter_entries = installed->filter_handles.size();
+  // Three batches (recirc, RPB, filters), one write per entry.
+  const double expected_us =
+      3 * cost.per_batch_overhead_us +
+      cost.per_entry_write_us *
+          static_cast<double>(rpb_entries + recirc_entries + filter_entries);
+  EXPECT_NEAR(linked.value().stats.update_ms, expected_us / 1000.0, 1e-6);
+}
+
+TEST(UpdateCost, RevokeChargesEntriesAndMemoryReset) {
+  SimClock clock;
+  dp::RunproDataplane dataplane(dp::DataplaneSpec{}, rmt::ParserConfig{{7777}});
+  ctrl::BfrtCostModel cost;
+  ctrl::Controller controller(dataplane, clock, rp::Objective{}, cost);
+
+  apps::ProgramConfig config;
+  config.instance_name = "cache";
+  config.mem_buckets = 256;  // 1 KB to reset
+  auto linked = controller.link_single(apps::make_program_source("cache", config));
+  ASSERT_TRUE(linked.ok());
+  const auto* installed = controller.program(linked.value().id);
+  const auto total_entries = installed->rpb_handles.size() +
+                             installed->recirc_handles.size() +
+                             installed->filter_handles.size();
+
+  const double before_ms = clock.now_ms();
+  ASSERT_TRUE(controller.revoke(linked.value().id).ok());
+  const double revoke_ms = clock.now_ms() - before_ms;
+  const double expected_us = 3 * cost.per_batch_overhead_us +
+                             cost.per_entry_write_us * static_cast<double>(total_entries) +
+                             cost.memory_reset_us_per_kb * 1.0 /*1 KB*/;
+  EXPECT_NEAR(revoke_ms, expected_us / 1000.0, 1e-6);
+}
+
+TEST(UpdateCost, DelayScalesWithEntryCount) {
+  // More elastic cases -> more entries -> strictly larger update delay
+  // (the Table-1 complexity correlation).
+  double previous = 0.0;
+  for (int elastic : {2, 8, 32, 128}) {
+    SimClock clock;
+    dp::RunproDataplane dataplane(dp::DataplaneSpec{}, rmt::ParserConfig{{7777}});
+    ctrl::Controller controller(dataplane, clock);
+    apps::ProgramConfig config;
+    config.instance_name = "cache";
+    config.elastic_cases = elastic;
+    auto linked = controller.link_single(apps::make_program_source("cache", config));
+    ASSERT_TRUE(linked.ok()) << elastic;
+    EXPECT_GT(linked.value().stats.update_ms, previous) << elastic;
+    previous = linked.value().stats.update_ms;
+  }
+}
+
+}  // namespace
+}  // namespace p4runpro
