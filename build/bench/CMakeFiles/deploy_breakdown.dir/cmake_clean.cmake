@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_breakdown.dir/deploy_breakdown.cpp.o"
+  "CMakeFiles/deploy_breakdown.dir/deploy_breakdown.cpp.o.d"
+  "deploy_breakdown"
+  "deploy_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

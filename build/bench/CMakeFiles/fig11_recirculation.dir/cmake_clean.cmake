@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_recirculation.dir/fig11_recirculation.cpp.o"
+  "CMakeFiles/fig11_recirculation.dir/fig11_recirculation.cpp.o.d"
+  "fig11_recirculation"
+  "fig11_recirculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_recirculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_objectives.dir/fig12_objectives.cpp.o"
+  "CMakeFiles/fig12_objectives.dir/fig12_objectives.cpp.o.d"
+  "fig12_objectives"
+  "fig12_objectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_objectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_case_studies.dir/fig13_case_studies.cpp.o"
+  "CMakeFiles/fig13_case_studies.dir/fig13_case_studies.cpp.o.d"
+  "fig13_case_studies"
+  "fig13_case_studies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_case_studies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_19_heatmaps.dir/fig18_19_heatmaps.cpp.o"
+  "CMakeFiles/fig18_19_heatmaps.dir/fig18_19_heatmaps.cpp.o.d"
+  "fig18_19_heatmaps"
+  "fig18_19_heatmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_19_heatmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primitive_reference.dir/primitive_reference.cpp.o"
+  "CMakeFiles/primitive_reference.dir/primitive_reference.cpp.o.d"
+  "primitive_reference"
+  "primitive_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primitive_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

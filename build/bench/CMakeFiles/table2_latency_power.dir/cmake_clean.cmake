@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_latency_power.dir/table2_latency_power.cpp.o"
+  "CMakeFiles/table2_latency_power.dir/table2_latency_power.cpp.o.d"
+  "table2_latency_power"
+  "table2_latency_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_latency_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

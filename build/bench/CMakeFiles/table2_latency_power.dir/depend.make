@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_latency_power.
+# This may be replaced when dependencies are built.

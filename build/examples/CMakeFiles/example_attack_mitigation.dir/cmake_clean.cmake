@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_attack_mitigation.dir/attack_mitigation.cpp.o"
+  "CMakeFiles/example_attack_mitigation.dir/attack_mitigation.cpp.o.d"
+  "example_attack_mitigation"
+  "example_attack_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_attack_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

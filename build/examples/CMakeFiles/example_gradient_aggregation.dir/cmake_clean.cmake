@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gradient_aggregation.dir/gradient_aggregation.cpp.o"
+  "CMakeFiles/example_gradient_aggregation.dir/gradient_aggregation.cpp.o.d"
+  "example_gradient_aggregation"
+  "example_gradient_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gradient_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_in_network_cache.dir/in_network_cache.cpp.o"
+  "CMakeFiles/example_in_network_cache.dir/in_network_cache.cpp.o.d"
+  "example_in_network_cache"
+  "example_in_network_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_in_network_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

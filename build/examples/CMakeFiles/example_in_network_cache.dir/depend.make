@@ -1,0 +1,2 @@
+# Empty dependencies file for example_in_network_cache.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_load_balancer_reconfig.dir/load_balancer_reconfig.cpp.o"
+  "CMakeFiles/example_load_balancer_reconfig.dir/load_balancer_reconfig.cpp.o.d"
+  "example_load_balancer_reconfig"
+  "example_load_balancer_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_load_balancer_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_p4runpro_cli.dir/p4runpro_cli.cpp.o"
+  "CMakeFiles/example_p4runpro_cli.dir/p4runpro_cli.cpp.o.d"
+  "example_p4runpro_cli"
+  "example_p4runpro_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_p4runpro_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

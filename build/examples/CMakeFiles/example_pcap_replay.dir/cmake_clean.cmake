@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pcap_replay.dir/pcap_replay.cpp.o"
+  "CMakeFiles/example_pcap_replay.dir/pcap_replay.cpp.o.d"
+  "example_pcap_replay"
+  "example_pcap_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pcap_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

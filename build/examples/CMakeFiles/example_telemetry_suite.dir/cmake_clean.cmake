@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_telemetry_suite.dir/telemetry_suite.cpp.o"
+  "CMakeFiles/example_telemetry_suite.dir/telemetry_suite.cpp.o.d"
+  "example_telemetry_suite"
+  "example_telemetry_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_telemetry_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/metrics.cpp" "src/CMakeFiles/p4runpro.dir/analysis/metrics.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/analysis/metrics.cpp.o.d"
+  "/root/repo/src/analysis/sketches.cpp" "src/CMakeFiles/p4runpro.dir/analysis/sketches.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/analysis/sketches.cpp.o.d"
+  "/root/repo/src/analysis/static_analyzer.cpp" "src/CMakeFiles/p4runpro.dir/analysis/static_analyzer.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/analysis/static_analyzer.cpp.o.d"
+  "/root/repo/src/analysis/throughput_model.cpp" "src/CMakeFiles/p4runpro.dir/analysis/throughput_model.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/analysis/throughput_model.cpp.o.d"
+  "/root/repo/src/apps/program_library.cpp" "src/CMakeFiles/p4runpro.dir/apps/program_library.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/apps/program_library.cpp.o.d"
+  "/root/repo/src/baselines/activermt.cpp" "src/CMakeFiles/p4runpro.dir/baselines/activermt.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/baselines/activermt.cpp.o.d"
+  "/root/repo/src/baselines/flymon.cpp" "src/CMakeFiles/p4runpro.dir/baselines/flymon.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/baselines/flymon.cpp.o.d"
+  "/root/repo/src/baselines/netvrm.cpp" "src/CMakeFiles/p4runpro.dir/baselines/netvrm.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/baselines/netvrm.cpp.o.d"
+  "/root/repo/src/common/clock.cpp" "src/CMakeFiles/p4runpro.dir/common/clock.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/common/clock.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/p4runpro.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/common/rng.cpp.o.d"
+  "/root/repo/src/compiler/compiler.cpp" "src/CMakeFiles/p4runpro.dir/compiler/compiler.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/compiler/compiler.cpp.o.d"
+  "/root/repo/src/compiler/entrygen.cpp" "src/CMakeFiles/p4runpro.dir/compiler/entrygen.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/compiler/entrygen.cpp.o.d"
+  "/root/repo/src/compiler/p4lite.cpp" "src/CMakeFiles/p4runpro.dir/compiler/p4lite.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/compiler/p4lite.cpp.o.d"
+  "/root/repo/src/compiler/semcheck.cpp" "src/CMakeFiles/p4runpro.dir/compiler/semcheck.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/compiler/semcheck.cpp.o.d"
+  "/root/repo/src/compiler/solver.cpp" "src/CMakeFiles/p4runpro.dir/compiler/solver.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/compiler/solver.cpp.o.d"
+  "/root/repo/src/compiler/translate.cpp" "src/CMakeFiles/p4runpro.dir/compiler/translate.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/compiler/translate.cpp.o.d"
+  "/root/repo/src/control/controller.cpp" "src/CMakeFiles/p4runpro.dir/control/controller.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/control/controller.cpp.o.d"
+  "/root/repo/src/control/inspect.cpp" "src/CMakeFiles/p4runpro.dir/control/inspect.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/control/inspect.cpp.o.d"
+  "/root/repo/src/control/resource_manager.cpp" "src/CMakeFiles/p4runpro.dir/control/resource_manager.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/control/resource_manager.cpp.o.d"
+  "/root/repo/src/control/update_engine.cpp" "src/CMakeFiles/p4runpro.dir/control/update_engine.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/control/update_engine.cpp.o.d"
+  "/root/repo/src/dataplane/atomic_op.cpp" "src/CMakeFiles/p4runpro.dir/dataplane/atomic_op.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/dataplane/atomic_op.cpp.o.d"
+  "/root/repo/src/dataplane/init_block.cpp" "src/CMakeFiles/p4runpro.dir/dataplane/init_block.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/dataplane/init_block.cpp.o.d"
+  "/root/repo/src/dataplane/recirc_block.cpp" "src/CMakeFiles/p4runpro.dir/dataplane/recirc_block.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/dataplane/recirc_block.cpp.o.d"
+  "/root/repo/src/dataplane/rpb.cpp" "src/CMakeFiles/p4runpro.dir/dataplane/rpb.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/dataplane/rpb.cpp.o.d"
+  "/root/repo/src/dataplane/runpro_dataplane.cpp" "src/CMakeFiles/p4runpro.dir/dataplane/runpro_dataplane.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/dataplane/runpro_dataplane.cpp.o.d"
+  "/root/repo/src/dataplane/switch_chain.cpp" "src/CMakeFiles/p4runpro.dir/dataplane/switch_chain.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/dataplane/switch_chain.cpp.o.d"
+  "/root/repo/src/lang/ast.cpp" "src/CMakeFiles/p4runpro.dir/lang/ast.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/lang/ast.cpp.o.d"
+  "/root/repo/src/lang/lexer.cpp" "src/CMakeFiles/p4runpro.dir/lang/lexer.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/lang/lexer.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/CMakeFiles/p4runpro.dir/lang/parser.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/lang/parser.cpp.o.d"
+  "/root/repo/src/lang/token.cpp" "src/CMakeFiles/p4runpro.dir/lang/token.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/lang/token.cpp.o.d"
+  "/root/repo/src/p4baseline/fixed_function.cpp" "src/CMakeFiles/p4runpro.dir/p4baseline/fixed_function.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/p4baseline/fixed_function.cpp.o.d"
+  "/root/repo/src/rmt/crc.cpp" "src/CMakeFiles/p4runpro.dir/rmt/crc.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/rmt/crc.cpp.o.d"
+  "/root/repo/src/rmt/memory.cpp" "src/CMakeFiles/p4runpro.dir/rmt/memory.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/rmt/memory.cpp.o.d"
+  "/root/repo/src/rmt/packet.cpp" "src/CMakeFiles/p4runpro.dir/rmt/packet.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/rmt/packet.cpp.o.d"
+  "/root/repo/src/rmt/parser.cpp" "src/CMakeFiles/p4runpro.dir/rmt/parser.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/rmt/parser.cpp.o.d"
+  "/root/repo/src/rmt/pipeline.cpp" "src/CMakeFiles/p4runpro.dir/rmt/pipeline.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/rmt/pipeline.cpp.o.d"
+  "/root/repo/src/rmt/resources.cpp" "src/CMakeFiles/p4runpro.dir/rmt/resources.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/rmt/resources.cpp.o.d"
+  "/root/repo/src/rmt/tables.cpp" "src/CMakeFiles/p4runpro.dir/rmt/tables.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/rmt/tables.cpp.o.d"
+  "/root/repo/src/rmt/wire.cpp" "src/CMakeFiles/p4runpro.dir/rmt/wire.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/rmt/wire.cpp.o.d"
+  "/root/repo/src/traffic/flowgen.cpp" "src/CMakeFiles/p4runpro.dir/traffic/flowgen.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/traffic/flowgen.cpp.o.d"
+  "/root/repo/src/traffic/pcap.cpp" "src/CMakeFiles/p4runpro.dir/traffic/pcap.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/traffic/pcap.cpp.o.d"
+  "/root/repo/src/traffic/replay.cpp" "src/CMakeFiles/p4runpro.dir/traffic/replay.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/traffic/replay.cpp.o.d"
+  "/root/repo/src/traffic/workloads.cpp" "src/CMakeFiles/p4runpro.dir/traffic/workloads.cpp.o" "gcc" "src/CMakeFiles/p4runpro.dir/traffic/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/blocks_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/blocks_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/blocks_test.cpp.o.d"
+  "/root/repo/tests/chain_sweep_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/chain_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/chain_sweep_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/consistency_negative_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/consistency_negative_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/consistency_negative_test.cpp.o.d"
+  "/root/repo/tests/consistency_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/consistency_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/consistency_test.cpp.o.d"
+  "/root/repo/tests/corpus_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/corpus_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/corpus_test.cpp.o.d"
+  "/root/repo/tests/crc_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/crc_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/crc_test.cpp.o.d"
+  "/root/repo/tests/differential_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/differential_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/differential_test.cpp.o.d"
+  "/root/repo/tests/edge_cases_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/entrygen_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/entrygen_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/entrygen_test.cpp.o.d"
+  "/root/repo/tests/events_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/events_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/events_test.cpp.o.d"
+  "/root/repo/tests/failure_injection_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/features_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/features_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/features_test.cpp.o.d"
+  "/root/repo/tests/fuzz_lifecycle_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/fuzz_lifecycle_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/fuzz_lifecycle_test.cpp.o.d"
+  "/root/repo/tests/hash_truncation_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/hash_truncation_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/hash_truncation_test.cpp.o.d"
+  "/root/repo/tests/inspect_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/inspect_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/inspect_test.cpp.o.d"
+  "/root/repo/tests/integration_cache_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/integration_cache_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/integration_cache_test.cpp.o.d"
+  "/root/repo/tests/integration_programs_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/integration_programs_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/integration_programs_test.cpp.o.d"
+  "/root/repo/tests/isolation_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/isolation_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/isolation_test.cpp.o.d"
+  "/root/repo/tests/lang_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/lang_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/lang_test.cpp.o.d"
+  "/root/repo/tests/multi_program_differential_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/multi_program_differential_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/multi_program_differential_test.cpp.o.d"
+  "/root/repo/tests/multicast_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/multicast_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/multicast_test.cpp.o.d"
+  "/root/repo/tests/netvrm_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/netvrm_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/netvrm_test.cpp.o.d"
+  "/root/repo/tests/p4baseline_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/p4baseline_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/p4baseline_test.cpp.o.d"
+  "/root/repo/tests/p4lite_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/p4lite_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/p4lite_test.cpp.o.d"
+  "/root/repo/tests/pcap_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/pcap_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/pcap_test.cpp.o.d"
+  "/root/repo/tests/program_sweep_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/program_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/program_sweep_test.cpp.o.d"
+  "/root/repo/tests/pseudo_semantics_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/pseudo_semantics_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/pseudo_semantics_test.cpp.o.d"
+  "/root/repo/tests/random_program_fuzz_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/random_program_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/random_program_fuzz_test.cpp.o.d"
+  "/root/repo/tests/resource_manager_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/resource_manager_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/resource_manager_test.cpp.o.d"
+  "/root/repo/tests/rmt_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/rmt_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/rmt_test.cpp.o.d"
+  "/root/repo/tests/sketches_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/sketches_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/sketches_test.cpp.o.d"
+  "/root/repo/tests/smoke_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/smoke_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/smoke_test.cpp.o.d"
+  "/root/repo/tests/solver_optimality_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/solver_optimality_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/solver_optimality_test.cpp.o.d"
+  "/root/repo/tests/solver_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/solver_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/solver_test.cpp.o.d"
+  "/root/repo/tests/tracing_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/tracing_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/tracing_test.cpp.o.d"
+  "/root/repo/tests/traffic_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/traffic_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/traffic_test.cpp.o.d"
+  "/root/repo/tests/translate_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/translate_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/translate_test.cpp.o.d"
+  "/root/repo/tests/update_cost_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/update_cost_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/update_cost_test.cpp.o.d"
+  "/root/repo/tests/wire_test.cpp" "tests/CMakeFiles/p4runpro_tests.dir/wire_test.cpp.o" "gcc" "tests/CMakeFiles/p4runpro_tests.dir/wire_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/p4runpro.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
