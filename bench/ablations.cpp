@@ -170,7 +170,8 @@ void goodput_overhead() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  p4runpro::bench::TelemetryScope telemetry_scope(argc, argv);
   sweep_alpha_beta();
   register_count();
   address_translation();

@@ -1,16 +1,88 @@
 // Shared helpers for the benchmark harnesses: canonical experiment setup
-// (provisioned data plane + controller) and table printing.
+// (provisioned data plane + controller), table printing, and the sidecar
+// telemetry artifact every bench binary can emit.
 #pragma once
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/clock.h"
 #include "control/controller.h"
 #include "dataplane/runpro_dataplane.h"
+#include "obs/telemetry.h"
 
 namespace p4runpro::bench {
+
+/// Sidecar telemetry artifact for bench binaries. Construct first thing in
+/// main(); recognizes
+///   --telemetry-out=<path>   JSON-lines metric dump of the default registry
+///   --trace-out=<path>       Chrome trace_event span dump (Perfetto-loadable)
+/// and writes the files when the scope dies, after the benchmark printed its
+/// regular stdout tables (which stay byte-for-byte unchanged). Unknown
+/// arguments are ignored so harness runners can pass extra flags through.
+class TelemetryScope {
+ public:
+  TelemetryScope(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (constexpr std::string_view kMetrics = "--telemetry-out=";
+          arg.rfind(kMetrics, 0) == 0) {
+        metrics_path_ = arg.substr(kMetrics.size());
+      } else if (constexpr std::string_view kTrace = "--trace-out=";
+                 arg.rfind(kTrace, 0) == 0) {
+        trace_path_ = arg.substr(kTrace.size());
+      }
+    }
+  }
+
+  ~TelemetryScope() {
+    const auto& telemetry = obs::default_telemetry();
+    if (!metrics_path_.empty()) {
+      std::ofstream out(metrics_path_);
+      if (out) export_metrics_jsonl(telemetry.metrics, out);
+    }
+    if (!trace_path_.empty()) {
+      std::ofstream out(trace_path_);
+      if (out) export_chrome_trace(telemetry.tracer, out, /*include_wall=*/true);
+    }
+  }
+
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+};
+
+/// main() body for google-benchmark binaries (replaces BENCHMARK_MAIN so the
+/// telemetry sidecar flags work there too). benchmark::Initialize rejects
+/// flags it does not know, so the telemetry arguments are stripped before
+/// handing argv over.
+inline int benchmark_main_with_telemetry(int argc, char** argv) {
+  TelemetryScope telemetry_scope(argc, argv);
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--telemetry-out=", 0) == 0 || arg.rfind("--trace-out=", 0) == 0) {
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
 
 /// A freshly provisioned switch with the paper's prototype geometry and the
 /// default parser configuration (application headers on the catalog ports).

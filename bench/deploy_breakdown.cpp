@@ -6,7 +6,8 @@
 #include "apps/program_library.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  p4runpro::bench::TelemetryScope telemetry_scope(argc, argv);
   using namespace p4runpro;
   bench::heading("Deployment-delay breakdown per program (ms)");
   std::printf("%-28s | %8s | %8s | %8s | %8s | %8s\n", "program", "parse",

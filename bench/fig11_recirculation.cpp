@@ -8,7 +8,8 @@
 #include "analysis/throughput_model.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  p4runpro::bench::TelemetryScope telemetry_scope(argc, argv);
   using namespace p4runpro;
   const analysis::RecirculationModel model;
 

@@ -55,7 +55,8 @@ SchemeResult run(rp::Objective objective) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  p4runpro::bench::TelemetryScope telemetry_scope(argc, argv);
   bench::heading("Fig. 12: objective-function comparison (all-mixed workload to failure)");
   std::printf("%-30s | %8s | %9s | %9s | %12s | %12s | %10s\n", "objective",
               "capacity", "mem util", "ent util", "mean alloc ms",

@@ -393,7 +393,8 @@ void case_d() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  p4runpro::bench::TelemetryScope telemetry_scope(argc, argv);
   case_a();
   case_b();
   case_c();

@@ -84,7 +84,8 @@ void print_map(const char* title, const std::vector<std::vector<double>>& map) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  p4runpro::bench::TelemetryScope telemetry_scope(argc, argv);
   bench::heading("Figs. 18/19: per-RPB utilization heatmaps (all-mixed workload)");
 
   const struct {

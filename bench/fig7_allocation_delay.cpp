@@ -75,7 +75,8 @@ void print_series(const char* name, const std::vector<double>& series) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  p4runpro::bench::TelemetryScope telemetry_scope(argc, argv);
   bench::heading("Fig. 7(a): allocation delay during continuous deployment (ms)");
   std::printf("%-18s", "epoch ->");
   for (int e = 0; e < kEpochs; e += 50) std::printf(" %8d", e);

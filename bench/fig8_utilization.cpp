@@ -53,7 +53,8 @@ double activermt_until_failure(bool elastic, int instructions) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  p4runpro::bench::TelemetryScope telemetry_scope(argc, argv);
   bench::heading("Fig. 8: resource utilization at first allocation failure");
   std::printf("%-10s | %9s | %12s | %12s | %s\n", "workload", "programs",
               "memory util", "entry util", "failure cause");

@@ -34,7 +34,8 @@ traffic::WorkloadGenerator make(const std::string& key, std::uint32_t mem,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  p4runpro::bench::TelemetryScope telemetry_scope(argc, argv);
   bench::heading("Fig. 9: program capacity");
   std::printf("%-10s | %9s | %9s | %9s | %11s | %11s\n", "workload",
               "base", "mem 2KB", "mem 4KB", "elastic 16", "elastic 256");

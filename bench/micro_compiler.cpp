@@ -11,6 +11,8 @@
 #include "lang/lexer.h"
 #include "lang/parser.h"
 
+#include "bench_util.h"
+
 namespace {
 
 using namespace p4runpro;
@@ -43,7 +45,7 @@ void BM_Translate(benchmark::State& state) {
   const char* kKeys[] = {"l3", "cache", "hh", "hll"};
   const std::string src = source_for(kKeys[state.range(0)]);
   for (auto _ : state) {
-    auto program = rp::compile_single(src);
+    auto program = rp::compile_source(src, &obs::default_telemetry());
     benchmark::DoNotOptimize(program);
   }
 }
@@ -61,7 +63,8 @@ void BM_Solve(benchmark::State& state) {
                                      rp::ObjectiveKind::Hierarchical};
   rp::Objective objective{kinds[state.range(0)], 0.7, 0.3};
   for (auto _ : state) {
-    auto alloc = rp::solve_allocation(program.value(), spec, snapshot, objective);
+    auto alloc = rp::solve_allocation(program.value(), spec, snapshot, objective,
+                                      &obs::default_telemetry());
     benchmark::DoNotOptimize(alloc);
   }
 }
@@ -92,4 +95,6 @@ BENCHMARK(BM_SnapshotUnderLoad);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return p4runpro::bench::benchmark_main_with_telemetry(argc, argv);
+}

@@ -10,6 +10,8 @@
 #include "dataplane/runpro_dataplane.h"
 #include "traffic/workloads.h"
 
+#include "bench_util.h"
+
 namespace {
 
 using namespace p4runpro;
@@ -101,4 +103,6 @@ BENCHMARK(BM_LinkRevokeCycle);
 }  // namespace
 
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return p4runpro::bench::benchmark_main_with_telemetry(argc, argv);
+}

@@ -40,7 +40,8 @@ void show_expansion(const char* pseudo, const char* body, const char* note = "")
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  p4runpro::bench::TelemetryScope telemetry_scope(argc, argv);
   bench::heading("Table 3: primitive set (kinds implemented by every RPB)");
   std::printf(
       "  header interaction : EXTRACT(field, reg)   MODIFY(field, reg)\n"

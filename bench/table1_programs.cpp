@@ -24,7 +24,8 @@ baselines::ActiveRequest activermt_request(const std::string& key) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  p4runpro::bench::TelemetryScope telemetry_scope(argc, argv);
   bench::heading("Table 1: programs implemented by P4runpro and update delay");
   std::printf("%-28s | %9s %7s | %12s %13s | %12s | %s\n", "Program", "LoC ours",
               "LoC P4", "update (ms)", "paper (ms)", "paper others", "others (model)");

@@ -8,7 +8,8 @@
 #include "bench_util.h"
 #include "dataplane/dataplane_spec.h"
 
-int main() {
+int main(int argc, char** argv) {
+  p4runpro::bench::TelemetryScope telemetry_scope(argc, argv);
   using namespace p4runpro;
   bench::heading("Table 2: latency, worst-case power, traffic-limit load");
 

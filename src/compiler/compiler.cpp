@@ -3,20 +3,42 @@
 #include "compiler/semcheck.h"
 #include "compiler/translate.h"
 #include "lang/parser.h"
+#include "obs/telemetry.h"
 
 namespace p4runpro::rp {
 
-Result<std::vector<TranslatedProgram>> compile_source(std::string_view source) {
+Result<std::vector<TranslatedProgram>> compile_source(std::string_view source,
+                                                      obs::Telemetry* telemetry) {
+  auto parse_span = obs::span(telemetry, "parse", "compiler");
+  parse_span.arg("source_bytes", static_cast<std::uint64_t>(source.size()));
   auto unit = lang::parse(source);
-  if (!unit.ok()) return unit.error();
-  if (auto s = check_unit(unit.value()); !s.ok()) return s.error();
+  if (!unit.ok()) {
+    if (telemetry != nullptr) telemetry->metrics.counter("compiler.parse_errors").inc();
+    return unit.error();
+  }
+  if (auto s = check_unit(unit.value()); !s.ok()) {
+    if (telemetry != nullptr) telemetry->metrics.counter("compiler.check_errors").inc();
+    return s.error();
+  }
+  parse_span.arg("programs", static_cast<std::uint64_t>(unit.value().programs.size()));
+  parse_span.end();
 
+  auto translate_span = obs::span(telemetry, "translate", "compiler");
   std::vector<TranslatedProgram> out;
   out.reserve(unit.value().programs.size());
   for (const auto& decl : unit.value().programs) {
     auto translated = translate(unit.value(), decl);
-    if (!translated.ok()) return translated.error();
+    if (!translated.ok()) {
+      if (telemetry != nullptr) {
+        telemetry->metrics.counter("compiler.translate_errors").inc();
+      }
+      return translated.error();
+    }
     out.push_back(std::move(translated).take());
+  }
+  translate_span.end();
+  if (telemetry != nullptr) {
+    telemetry->metrics.counter("compiler.programs_compiled").inc(out.size());
   }
   return out;
 }

@@ -10,10 +10,17 @@
 #include "common/result.h"
 #include "compiler/ir.h"
 
+namespace p4runpro::obs {
+struct Telemetry;
+}
+
 namespace p4runpro::rp {
 
-/// Parse, check and translate every program in a source unit.
-[[nodiscard]] Result<std::vector<TranslatedProgram>> compile_source(std::string_view source);
+/// Parse, check and translate every program in a source unit. With a
+/// telemetry bundle, emits "parse" and "translate" phase spans (nested
+/// under whatever span the caller holds open) and compiler counters.
+[[nodiscard]] Result<std::vector<TranslatedProgram>> compile_source(
+    std::string_view source, obs::Telemetry* telemetry = nullptr);
 
 /// Convenience: compile a unit expected to contain exactly one program.
 [[nodiscard]] Result<TranslatedProgram> compile_single(std::string_view source);

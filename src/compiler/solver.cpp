@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "obs/telemetry.h"
+
 namespace p4runpro::rp {
 
 namespace {
@@ -286,7 +288,9 @@ const char* objective_name(ObjectiveKind kind) noexcept {
   return "?";
 }
 
-Result<AllocationResult> solve_allocation(
+namespace {
+
+Result<AllocationResult> solve_allocation_impl(
     const TranslatedProgram& program, const dp::DataplaneSpec& spec,
     const ctrl::ResourceManager::Snapshot& snapshot, const Objective& objective) {
   if (program.depth == 0) return Error{"empty program", "solver"};
@@ -393,6 +397,29 @@ Result<AllocationResult> solve_allocation(
   best.objective = best_obj;
   best.nodes_explored = search.nodes_explored();
   return best;
+}
+
+}  // namespace
+
+Result<AllocationResult> solve_allocation(
+    const TranslatedProgram& program, const dp::DataplaneSpec& spec,
+    const ctrl::ResourceManager::Snapshot& snapshot, const Objective& objective,
+    obs::Telemetry* telemetry) {
+  auto result = solve_allocation_impl(program, spec, snapshot, objective);
+  if (telemetry != nullptr) {
+    auto& m = telemetry->metrics;
+    m.counter("compiler.solver.calls").inc();
+    if (result.ok()) {
+      const auto bounds = obs::Histogram::count_bounds();
+      m.histogram("compiler.solver.nodes_explored", bounds)
+          .observe(static_cast<double>(result.value().nodes_explored));
+      m.histogram("compiler.solver.rounds", bounds)
+          .observe(static_cast<double>(result.value().rounds));
+    } else {
+      m.counter("compiler.solver.infeasible").inc();
+    }
+  }
+  return result;
 }
 
 }  // namespace p4runpro::rp

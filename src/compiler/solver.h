@@ -27,6 +27,10 @@
 #include "control/resource_manager.h"
 #include "dataplane/dataplane_spec.h"
 
+namespace p4runpro::obs {
+struct Telemetry;
+}
+
 namespace p4runpro::rp {
 
 /// Objective function selection (Fig. 12).
@@ -55,9 +59,11 @@ struct AllocationResult {
 
 /// Solve the allocation for `program` against the free-resource snapshot.
 /// Fails when no feasible assignment exists (allocation failure, the
-/// stopping condition of Figs. 8/9/12).
+/// stopping condition of Figs. 8/9/12). With a telemetry bundle, records
+/// "compiler.solver.*" counters and the search-effort histogram.
 [[nodiscard]] Result<AllocationResult> solve_allocation(
     const TranslatedProgram& program, const dp::DataplaneSpec& spec,
-    const ctrl::ResourceManager::Snapshot& snapshot, const Objective& objective);
+    const ctrl::ResourceManager::Snapshot& snapshot, const Objective& objective,
+    obs::Telemetry* telemetry = nullptr);
 
 }  // namespace p4runpro::rp

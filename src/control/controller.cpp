@@ -2,15 +2,26 @@
 
 #include <cassert>
 
+#include "obs/telemetry.h"
+
 namespace p4runpro::ctrl {
 
 Controller::Controller(dp::RunproDataplane& dataplane, SimClock& clock,
-                       rp::Objective objective, BfrtCostModel cost)
+                       rp::Objective objective, BfrtCostModel cost,
+                       obs::Telemetry* telemetry)
     : dataplane_(dataplane),
       clock_(clock),
       objective_(objective),
+      telemetry_(&obs::telemetry_or_default(telemetry)),
       resources_(dataplane.spec()),
-      updates_(dataplane, resources_, clock, cost) {}
+      updates_(dataplane, resources_, clock, cost) {
+  // One bundle for the whole stack: phase spans are stamped with this
+  // controller's virtual clock, and every layer reports into one registry.
+  telemetry_->tracer.set_clock(&clock_);
+  dataplane_.pipeline().attach_telemetry(telemetry_);
+  resources_.attach_telemetry(telemetry_);
+  updates_.set_telemetry(telemetry_);
+}
 
 ProgramId Controller::next_program_id() {
   if (!free_ids_.empty()) {
@@ -25,13 +36,23 @@ void Controller::record_event(ControlEvent::Kind kind, ProgramId id,
                               const std::string& name, const std::string& detail) {
   events_.push_back(ControlEvent{kind, clock_.now_ms(), id, name, detail});
   if (events_.size() > 1024) events_.pop_front();
+  const char* counter = nullptr;
+  switch (kind) {
+    case ControlEvent::Kind::Link: counter = "ctrl.events.link"; break;
+    case ControlEvent::Kind::Relink: counter = "ctrl.events.relink"; break;
+    case ControlEvent::Kind::Revoke: counter = "ctrl.events.revoke"; break;
+    case ControlEvent::Kind::LinkFailed: counter = "ctrl.events.link_failed"; break;
+  }
+  if (counter != nullptr) telemetry_->metrics.counter(counter).inc();
 }
 
 Result<std::vector<LinkResult>> Controller::link(std::string_view source) {
+  auto link_span = telemetry_->tracer.span("link", "ctrl");
   // Parse + check + translate. The paper measures ~2 ms average parse time
-  // on the switch CPU; charge it to the simulated clock.
+  // on the switch CPU; charge it to the simulated clock. compile_source
+  // emits the "parse" and "translate" child spans.
   const double parse_start_ms = clock_.now_ms();
-  auto compiled = rp::compile_source(source);
+  auto compiled = rp::compile_source(source, telemetry_);
   clock_.advance_ms(2.0);
   if (!compiled.ok()) {
     record_event(ControlEvent::Kind::LinkFailed, 0, "<compile>",
@@ -58,6 +79,17 @@ Result<std::vector<LinkResult>> Controller::link(std::string_view source) {
     results.push_back(std::move(linked).take());
     results.back().stats.parse_ms = parse_ms / static_cast<double>(compiled.value().size());
   }
+
+  // Route the deployment-delay breakdown (LinkStats) through the registry:
+  // the §6.2.1 quantities become queryable histograms.
+  auto& m = telemetry_->metrics;
+  for (const auto& r : results) {
+    m.histogram("ctrl.link.parse_ms").observe(r.stats.parse_ms);
+    m.histogram("ctrl.link.alloc_ms").observe(r.stats.alloc_ms);
+    m.histogram("ctrl.link.update_ms").observe(r.stats.update_ms);
+    m.histogram("ctrl.link.deploy_ms").observe(r.stats.deploy_ms());
+  }
+  link_span.arg("programs", static_cast<std::uint64_t>(results.size()));
   return results;
 }
 
@@ -78,11 +110,19 @@ Result<LinkResult> Controller::link_one(const rp::TranslatedProgram& ir,
   }
 
   // Allocation (real measured solver time, §6.2.1 "allocation delay").
+  auto solve_span = telemetry_->tracer.span("solve", "ctrl");
   WallTimer timer;
   const auto snapshot = resources_.snapshot();
-  auto alloc = rp::solve_allocation(ir, dataplane_.spec(), snapshot, objective_);
-  const double alloc_ms = timer.elapsed_ms();
+  auto alloc = rp::solve_allocation(ir, dataplane_.spec(), snapshot, objective_,
+                                    telemetry_);
+  const double alloc_ms =
+      fixed_alloc_charge_ms_ ? *fixed_alloc_charge_ms_ : timer.elapsed_ms();
   clock_.advance_ms(alloc_ms);
+  if (alloc.ok()) {
+    solve_span.arg("nodes_explored", alloc.value().nodes_explored);
+    solve_span.arg("rounds", static_cast<std::uint64_t>(alloc.value().rounds));
+  }
+  solve_span.end();
   if (!alloc.ok()) return alloc.error();
 
   // Commit resources: memory blocks at the pinned stages, then table
@@ -105,8 +145,11 @@ Result<LinkResult> Controller::link_one(const rp::TranslatedProgram& ir,
     placements[vmem] = VmemPlacement{rpb, block.value()};
   }
 
+  auto entrygen_span = telemetry_->tracer.span("entrygen", "ctrl");
   auto plan = rp::generate_entries(ir, alloc.value(), id, placements, dataplane_.spec());
   plan.filter_priority = ++filter_generation_;
+  entrygen_span.arg("rpb_entries", static_cast<std::uint64_t>(plan.rpb_entries.size()));
+  entrygen_span.end();
 
   // Incremental update: carry over the contents of virtual memories that
   // survive the version change, before the new version becomes visible.
@@ -142,10 +185,12 @@ Result<LinkResult> Controller::link_one(const rp::TranslatedProgram& ir,
   }
 
   // Consistent update (simulated bfrt writes; §6.2.1 "update delay").
+  auto install_span = telemetry_->tracer.span("install", "ctrl");
   const double update_start_ms = clock_.now_ms();
   auto installed = updates_.install(ir, alloc.value(), std::move(plan),
                                     placements, ir.name);
   const double update_ms = clock_.now_ms() - update_start_ms;
+  install_span.end();
   if (!installed.ok()) {
     for (int r : reserved) resources_.release_entries(r, entries_per_rpb.at(r));
     release_all();
@@ -167,7 +212,8 @@ Result<LinkResult> Controller::relink(ProgramId old_id, std::string_view source)
   if (program(old_id) == nullptr) {
     return Error{"no running program with id " + std::to_string(old_id), "Controller"};
   }
-  auto compiled = rp::compile_source(source);
+  auto relink_span = telemetry_->tracer.span("relink", "ctrl");
+  auto compiled = rp::compile_source(source, telemetry_);
   clock_.advance_ms(2.0);
   if (!compiled.ok()) return compiled.error();
   if (compiled.value().size() != 1) {
@@ -198,6 +244,7 @@ Status Controller::revoke(ProgramId id) {
   if (it == programs_.end()) {
     return Error{"no running program with id " + std::to_string(id), "Controller"};
   }
+  auto revoke_span = telemetry_->tracer.span("revoke", "ctrl");
   InstalledProgram& program = it->second;
 
   std::map<int, std::uint32_t> entries_per_rpb;

@@ -20,6 +20,10 @@
 #include "control/update_engine.h"
 #include "dataplane/runpro_dataplane.h"
 
+namespace p4runpro::obs {
+struct Telemetry;
+}
+
 namespace p4runpro::ctrl {
 
 /// Timing breakdown of one program deployment (§6.2.1: deployment delay =
@@ -53,8 +57,12 @@ struct ControlEvent {
 
 class Controller {
  public:
+  /// `telemetry` routes all observations (metrics, phase spans) of this
+  /// controller, its update engine, resource manager and the dataplane's
+  /// pipeline through one bundle; null selects obs::default_telemetry().
   Controller(dp::RunproDataplane& dataplane, SimClock& clock,
-             rp::Objective objective = {}, BfrtCostModel cost = {});
+             rp::Objective objective = {}, BfrtCostModel cost = {},
+             obs::Telemetry* telemetry = nullptr);
 
   /// Link every program of a source unit to the running data plane.
   /// All-or-nothing: on failure no program of the unit stays linked.
@@ -113,6 +121,17 @@ class Controller {
   [[nodiscard]] rp::Objective objective() const noexcept { return objective_; }
   void set_objective(rp::Objective objective) noexcept { objective_ = objective; }
 
+  /// The telemetry bundle this controller reports into.
+  [[nodiscard]] obs::Telemetry& telemetry() noexcept { return *telemetry_; }
+  [[nodiscard]] const obs::Telemetry& telemetry() const noexcept { return *telemetry_; }
+
+  /// Charge a fixed virtual-time cost per allocation instead of the solver's
+  /// measured wall time. Makes full link runs deterministic in virtual time
+  /// (reproducible trace exports); reset with std::nullopt.
+  void set_fixed_alloc_charge_ms(std::optional<double> ms) noexcept {
+    fixed_alloc_charge_ms_ = ms;
+  }
+
  private:
   Result<LinkResult> link_one(const rp::TranslatedProgram& ir,
                               ProgramId replacing = 0);
@@ -121,6 +140,8 @@ class Controller {
   dp::RunproDataplane& dataplane_;
   SimClock& clock_;
   rp::Objective objective_;
+  obs::Telemetry* telemetry_;
+  std::optional<double> fixed_alloc_charge_ms_;
   ResourceManager resources_;
   UpdateEngine updates_;
   void record_event(ControlEvent::Kind kind, ProgramId id, const std::string& name,

@@ -1,7 +1,10 @@
 #include "control/inspect.h"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
+
+#include "obs/telemetry.h"
 
 namespace p4runpro::ctrl {
 
@@ -69,6 +72,72 @@ std::string disassemble(const InstalledProgram& program, const dp::DataplaneSpec
       out << " -> b" << static_cast<int>(*entry.action.next_branch);
     }
     out << "\n";
+  }
+  return out.str();
+}
+
+std::string telemetry_report(const obs::Telemetry& telemetry) {
+  std::ostringstream out;
+  char line[160];
+
+  const auto& metrics = telemetry.metrics;
+  if (!metrics.counters().empty()) {
+    out << "counters:\n";
+    for (const auto& [name, counter] : metrics.counters()) {
+      std::snprintf(line, sizeof line, "  %-44s %12llu\n", name.c_str(),
+                    static_cast<unsigned long long>(counter.value()));
+      out << line;
+    }
+  }
+
+  const auto gauges = metrics.sampled_gauges();
+  bool gauge_heading = false;
+  for (const auto& [name, value] : gauges) {
+    // Per-stage occupancy gauges are mostly idle; print only live stages.
+    if (value == 0.0 && name.find("ctrl.rpb.") == 0) continue;
+    if (!gauge_heading) {
+      out << "gauges:\n";
+      gauge_heading = true;
+    }
+    std::snprintf(line, sizeof line, "  %-44s %14.3f\n", name.c_str(), value);
+    out << line;
+  }
+
+  if (!metrics.histograms().empty()) {
+    out << "histograms:                                     count       p50       "
+           "p90       p99       sum\n";
+    for (const auto& [name, h] : metrics.histograms()) {
+      std::snprintf(line, sizeof line, "  %-44s %7llu %9.3f %9.3f %9.3f %9.3f\n",
+                    name.c_str(), static_cast<unsigned long long>(h.count()),
+                    h.quantile(0.5), h.quantile(0.9), h.quantile(0.99), h.sum());
+      out << line;
+    }
+  }
+
+  // Span summary: aggregate by name (chronological detail belongs to the
+  // Chrome-trace export).
+  struct SpanAgg {
+    std::uint64_t count = 0;
+    double virtual_ms = 0.0;
+    double wall_ms = 0.0;
+  };
+  std::map<std::string, SpanAgg> by_name;
+  for (const auto& span : telemetry.tracer.spans()) {
+    if (span.open) continue;
+    auto& agg = by_name[span.name];
+    ++agg.count;
+    agg.virtual_ms += span.virtual_ms();
+    agg.wall_ms += span.wall_ms;
+  }
+  if (!by_name.empty()) {
+    out << "spans:                                          count   virt_ms   "
+           "wall_ms\n";
+    for (const auto& [name, agg] : by_name) {
+      std::snprintf(line, sizeof line, "  %-44s %7llu %9.3f %9.3f\n", name.c_str(),
+                    static_cast<unsigned long long>(agg.count), agg.virtual_ms,
+                    agg.wall_ms);
+      out << line;
+    }
   }
   return out.str();
 }

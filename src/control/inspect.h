@@ -9,11 +9,21 @@
 #include "control/update_engine.h"
 #include "dataplane/dataplane_spec.h"
 
+namespace p4runpro::obs {
+struct Telemetry;
+}
+
 namespace p4runpro::ctrl {
 
 /// Human-readable dump of a linked program: one line per RPB entry, in
 /// execution order (round, physical RPB, branch), plus the memory map.
 [[nodiscard]] std::string disassemble(const InstalledProgram& program,
                                       const dp::DataplaneSpec& spec);
+
+/// Human-readable telemetry snapshot: counters, sampled gauges (zero-valued
+/// per-stage gauges suppressed), histogram quantiles, and a span summary
+/// aggregated by name. The operator-facing counterpart of the JSON-lines /
+/// Chrome-trace exporters.
+[[nodiscard]] std::string telemetry_report(const obs::Telemetry& telemetry);
 
 }  // namespace p4runpro::ctrl

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+
+#include "obs/telemetry.h"
 
 namespace p4runpro::ctrl {
 
@@ -13,6 +16,57 @@ ResourceManager::ResourceManager(const dp::DataplaneSpec& spec) : spec_(spec) {
   }
   entries_used_.assign(static_cast<std::size_t>(total), 0);
   memory_used_.assign(static_cast<std::size_t>(total), 0);
+}
+
+ResourceManager::~ResourceManager() {
+  if (telemetry_ != nullptr) telemetry_->metrics.unregister_probes(this);
+}
+
+std::uint32_t ResourceManager::stateful_programs(int rpb) const {
+  std::uint32_t count = 0;
+  for (const auto& [id, placements] : programs_) {
+    for (const auto& [vmem, placement] : placements) {
+      if (placement.rpb == rpb) {
+        ++count;
+        break;  // one occupancy slot per program, however many vmems
+      }
+    }
+  }
+  return count;
+}
+
+void ResourceManager::attach_telemetry(obs::Telemetry* telemetry) {
+  if (telemetry_ != nullptr) telemetry_->metrics.unregister_probes(this);
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) return;
+  auto& m = telemetry_->metrics;
+  for (int rpb = 1; rpb <= spec_.total_rpbs(); ++rpb) {
+    char name[64];
+    std::snprintf(name, sizeof name, "ctrl.rpb.%02d.tcam_used", rpb);
+    m.register_probe(name, this, [this, rpb] {
+      return static_cast<double>(entries_used(rpb));
+    });
+    std::snprintf(name, sizeof name, "ctrl.rpb.%02d.sram_used", rpb);
+    m.register_probe(name, this, [this, rpb] {
+      return static_cast<double>(memory_used(rpb));
+    });
+    // The stage has one SALU and one hash unit; both are occupied by every
+    // program with a virtual memory pinned here (hash-addressed access).
+    std::snprintf(name, sizeof name, "ctrl.rpb.%02d.salu_programs", rpb);
+    m.register_probe(name, this, [this, rpb] {
+      return static_cast<double>(stateful_programs(rpb));
+    });
+    std::snprintf(name, sizeof name, "ctrl.rpb.%02d.hash_programs", rpb);
+    m.register_probe(name, this, [this, rpb] {
+      return static_cast<double>(stateful_programs(rpb));
+    });
+  }
+  m.register_probe("ctrl.resources.entry_utilization", this,
+                   [this] { return total_entry_utilization(); });
+  m.register_probe("ctrl.resources.memory_utilization", this,
+                   [this] { return total_memory_utilization(); });
+  m.register_probe("ctrl.resources.programs", this,
+                   [this] { return static_cast<double>(programs_.size()); });
 }
 
 std::list<MemBlock>& ResourceManager::free_list(int rpb) {

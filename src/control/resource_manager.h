@@ -17,6 +17,10 @@
 #include "dataplane/dataplane_spec.h"
 #include "dataplane/runpro_dataplane.h"
 
+namespace p4runpro::obs {
+struct Telemetry;
+}
+
 namespace p4runpro::ctrl {
 
 /// A contiguous physical memory block inside one RPB's stage memory.
@@ -89,12 +93,27 @@ class ResourceManager {
   [[nodiscard]] double total_memory_utilization() const;
   [[nodiscard]] const dp::DataplaneSpec& spec() const noexcept { return spec_; }
 
+  /// Programs with a virtual memory pinned on this RPB — i.e. how many
+  /// programs occupy the stage's SALU and hash unit (one of each per stage).
+  [[nodiscard]] std::uint32_t stateful_programs(int rpb) const;
+
+  /// Publish per-stage occupancy gauges ("ctrl.rpb.NN.{tcam_used,sram_used,
+  /// salu_programs,hash_programs}") and the total-utilization gauges as
+  /// sampled probes of `telemetry`'s registry; the manager stays the source
+  /// of truth. The destructor unregisters.
+  void attach_telemetry(obs::Telemetry* telemetry);
+
+  ~ResourceManager();
+  ResourceManager(const ResourceManager&) = delete;
+  ResourceManager& operator=(const ResourceManager&) = delete;
+
  private:
   [[nodiscard]] std::list<MemBlock>& free_list(int rpb);
   [[nodiscard]] const std::list<MemBlock>& free_list(int rpb) const;
   void insert_coalesced(std::list<MemBlock>& list, MemBlock block);
 
   dp::DataplaneSpec spec_;
+  obs::Telemetry* telemetry_ = nullptr;
   std::vector<std::list<MemBlock>> free_mem_;       // [rpb-1]
   std::vector<std::uint32_t> entries_used_;         // [rpb-1]
   std::vector<std::uint32_t> memory_used_;          // [rpb-1]

@@ -2,11 +2,24 @@
 
 #include <cassert>
 
+#include "obs/telemetry.h"
+
 namespace p4runpro::ctrl {
 
-void UpdateEngine::charge_entries(std::size_t count) {
+void UpdateEngine::charge_entries(std::size_t count, const char* what) {
+  auto batch_span = obs::span(telemetry_, "bfrt.batch", "bfrt");
+  batch_span.arg("what", what);
+  batch_span.arg("entries", static_cast<std::uint64_t>(count));
   clock_.advance_us(cost_.per_batch_overhead_us +
                     cost_.per_entry_write_us * static_cast<double>(count));
+  if (telemetry_ != nullptr) {
+    auto& m = telemetry_->metrics;
+    m.counter("ctrl.bfrt.batches").inc();
+    m.counter("ctrl.bfrt.entry_writes").inc(count);
+    const auto bounds = obs::Histogram::count_bounds();
+    m.histogram("ctrl.bfrt.batch_entries", bounds)
+        .observe(static_cast<double>(count));
+  }
 }
 
 Result<InstalledProgram> UpdateEngine::install(
@@ -33,7 +46,7 @@ Result<InstalledProgram> UpdateEngine::install(
   auto recirc = dataplane_.recirc_block().install(plan.program, plan.rounds);
   if (!recirc.ok()) return recirc.error();
   out.recirc_handles = std::move(recirc).take();
-  charge_entries(out.recirc_handles.size());
+  charge_entries(out.recirc_handles.size(), "add.recirc");
   observe_step();
 
   // Step 2: RPB entries, batched per program.
@@ -51,7 +64,7 @@ Result<InstalledProgram> UpdateEngine::install(
     out.rpb_handles.emplace_back(spec.rpb, handle.value());
     observe_step();
   }
-  charge_entries(out.rpb_handles.size());
+  charge_entries(out.rpb_handles.size(), "add.rpb");
 
   // Step 3: init filters last — this atomically activates the program.
   if (inject_fault()) {
@@ -65,7 +78,7 @@ Result<InstalledProgram> UpdateEngine::install(
     return filters.error();
   }
   out.filter_handles = std::move(filters).take();
-  charge_entries(out.filter_handles.size());
+  charge_entries(out.filter_handles.size(), "add.filters");
   observe_step();
 
   out.plan = std::move(plan);
@@ -76,7 +89,7 @@ void UpdateEngine::remove(InstalledProgram& program) {
   // Step 1: delete the init filters first; without a program id every
   // later component of the program stops matching at once.
   dataplane_.init_block().remove(program.filter_handles);
-  charge_entries(program.filter_handles.size());
+  charge_entries(program.filter_handles.size(), "del.filters");
   program.filter_handles.clear();
   observe_step();
 
@@ -87,20 +100,26 @@ void UpdateEngine::remove(InstalledProgram& program) {
     (void)erased;
     observe_step();
   }
-  charge_entries(program.rpb_handles.size());
+  charge_entries(program.rpb_handles.size(), "del.rpb");
   program.rpb_handles.clear();
   dataplane_.recirc_block().remove(program.recirc_handles);
-  charge_entries(program.recirc_handles.size());
+  charge_entries(program.recirc_handles.size(), "del.recirc");
   program.recirc_handles.clear();
 
   // Step 3: lock, reset and release the program's memory (Fig. 6 step 4).
   for (const auto& [vmem, placement] : program.placements) {
+    auto reset_span = obs::span(telemetry_, "bfrt.mem_reset", "bfrt");
+    reset_span.arg("vmem", vmem);
+    reset_span.arg("buckets", static_cast<std::uint64_t>(placement.block.size));
     resources_.lock_memory(placement.rpb, placement.block);
     dataplane_.rpb(placement.rpb).memory().reset_range(placement.block.base,
                                                        placement.block.size);
     clock_.advance_us(cost_.memory_reset_us_per_kb *
                       static_cast<double>(placement.block.size) * 4.0 / 1024.0);
     resources_.unlock_memory(placement.rpb, placement.block);
+    if (telemetry_ != nullptr) {
+      telemetry_->metrics.counter("ctrl.bfrt.mem_resets").inc();
+    }
     observe_step();
   }
   program.placements.clear();

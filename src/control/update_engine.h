@@ -25,6 +25,10 @@
 #include "control/resource_manager.h"
 #include "dataplane/runpro_dataplane.h"
 
+namespace p4runpro::obs {
+struct Telemetry;
+}
+
 namespace p4runpro::ctrl {
 
 /// Latency model of the control channel (bfrt_grpc on the paper's 4-core
@@ -70,6 +74,10 @@ class UpdateEngine {
 
   [[nodiscard]] const BfrtCostModel& cost_model() const noexcept { return cost_; }
 
+  /// Telemetry sink for per-batch write spans ("bfrt.batch") and the
+  /// "ctrl.bfrt.*" write counters; null disables (set by the controller).
+  void set_telemetry(obs::Telemetry* telemetry) noexcept { telemetry_ = telemetry; }
+
   /// Fault injection (tests): make the Nth subsequent entry write fail,
   /// simulating a control-channel error mid-update. -1 disables.
   void set_fault_after_writes(int writes) { fault_after_ = writes; }
@@ -83,7 +91,9 @@ class UpdateEngine {
   }
 
  private:
-  void charge_entries(std::size_t count);
+  /// Charge one batched bfrt write of `count` entries to the virtual clock
+  /// and record it as a "bfrt.batch" span tagged with `what`.
+  void charge_entries(std::size_t count, const char* what);
   void observe_step() {
     if (step_observer_) step_observer_();
   }
@@ -98,6 +108,7 @@ class UpdateEngine {
 
   int fault_after_ = -1;
   std::function<void()> step_observer_;
+  obs::Telemetry* telemetry_ = nullptr;
   dp::RunproDataplane& dataplane_;
   ResourceManager& resources_;
   SimClock& clock_;

@@ -107,6 +107,14 @@ void InitBlock::process(rmt::Phv& phv) {
     if (phv.trace != nullptr) {
       phv.trace->push_back("init: claimed by program " + std::to_string(*program));
     }
+    if (phv.trace_events != nullptr) {
+      rmt::TraceEvent event;
+      event.block = rmt::TraceEvent::Block::Init;
+      event.round = phv.recirc_id;
+      event.op = "claim";
+      event.value = *program;
+      phv.trace_events->push_back(std::move(event));
+    }
   }
 }
 

@@ -16,6 +16,14 @@ void RecircBlock::process(rmt::Phv& phv) {
       phv.trace->push_back("recirc: another round (r" +
                            std::to_string(phv.recirc_id + 1) + ")");
     }
+    if (phv.trace_events != nullptr) {
+      rmt::TraceEvent event;
+      event.block = rmt::TraceEvent::Block::Recirc;
+      event.round = phv.recirc_id;
+      event.op = "recirculate";
+      event.value = static_cast<Word>(phv.recirc_id + 1);
+      phv.trace_events->push_back(std::move(event));
+    }
   }
 }
 

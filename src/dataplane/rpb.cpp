@@ -34,7 +34,14 @@ void Rpb::process(rmt::Phv& phv) {
       static_cast<Word>(phv.recirc_id),  phv.reg(Reg::Har),
       phv.reg(Reg::Sar),                 phv.reg(Reg::Mar)};
   const RpbAction* action = table_.lookup(fields);
-  if (action == nullptr) return;
+  if (action == nullptr) {
+    if (stats_ != nullptr) ++stats_->table_misses;
+    return;
+  }
+  if (stats_ != nullptr) {
+    ++stats_->table_hits;
+    if (action->op.kind == OpKind::Mem) ++stats_->salu_execs;
+  }
   if (phv.trace != nullptr) {
     phv.trace->push_back("RPB" + std::to_string(physical_id_) + " r" +
                          std::to_string(phv.recirc_id) + " b" +
@@ -42,6 +49,16 @@ void Rpb::process(rmt::Phv& phv) {
                          (action->next_branch
                               ? " -> b" + std::to_string(*action->next_branch)
                               : ""));
+  }
+  if (phv.trace_events != nullptr) {
+    rmt::TraceEvent event;
+    event.block = rmt::TraceEvent::Block::Rpb;
+    event.stage = physical_id_;
+    event.round = phv.recirc_id;
+    event.branch = phv.branch_id;
+    event.op = action->op.str();
+    if (action->next_branch) event.next_branch = *action->next_branch;
+    phv.trace_events->push_back(std::move(event));
   }
   execute(action->op, phv);
   if (action->next_branch) phv.branch_id = *action->next_branch;

@@ -56,6 +56,10 @@ class Rpb final : public rmt::PipelineStage {
   [[nodiscard]] bool is_ingress() const noexcept { return ingress_; }
   [[nodiscard]] rmt::HashAlgo hash16_algo() const noexcept { return hash16_; }
 
+  /// Execution-counter sink (the owning pipeline's StageStats); wired once
+  /// by the data plane at provisioning time.
+  void set_stage_stats(rmt::StageStats* stats) noexcept { stats_ = stats; }
+
  private:
   void execute(const AtomicOp& op, rmt::Phv& phv);
 
@@ -64,6 +68,7 @@ class Rpb final : public rmt::PipelineStage {
   rmt::TernaryTable<RpbAction> table_;
   rmt::StageMemory memory_;
   rmt::HashAlgo hash16_;
+  rmt::StageStats* stats_ = nullptr;
 };
 
 }  // namespace p4runpro::dp

@@ -21,6 +21,7 @@ RunproDataplane::RunproDataplane(DataplaneSpec spec, rmt::ParserConfig parser_co
   for (int i = 1; i <= spec_.ingress_rpbs; ++i) {
     auto rpb = std::make_shared<Rpb>(i, /*ingress=*/true, spec_.memory_per_rpb,
                                      spec_.entries_per_rpb);
+    rpb->set_stage_stats(&pipeline_.stage_stats());
     rpbs_.push_back(rpb);
     pipeline_.add_ingress_stage(rpb);
   }
@@ -28,6 +29,7 @@ RunproDataplane::RunproDataplane(DataplaneSpec spec, rmt::ParserConfig parser_co
   for (int i = 1; i <= spec_.egress_rpbs; ++i) {
     auto rpb = std::make_shared<Rpb>(spec_.ingress_rpbs + i, /*ingress=*/false,
                                      spec_.memory_per_rpb, spec_.entries_per_rpb);
+    rpb->set_stage_stats(&pipeline_.stage_stats());
     rpbs_.push_back(rpb);
     pipeline_.add_egress_stage(rpb);
   }

@@ -1,0 +1,10 @@
+#include "obs/telemetry.h"
+
+namespace p4runpro::obs {
+
+Telemetry& default_telemetry() {
+  static Telemetry instance;
+  return instance;
+}
+
+}  // namespace p4runpro::obs

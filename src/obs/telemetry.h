@@ -1,0 +1,42 @@
+// The telemetry bundle every layer shares: one metrics registry plus one
+// span tracer. Components take a `Telemetry*` (optional, defaulted); when
+// none is supplied they fall back to the process-wide default instance so
+// ad-hoc harnesses and the bench binaries get telemetry for free.
+//
+// Sharing rules: the tracer is bound to the clock of the last controller
+// constructed against the bundle, and probe names collide last-writer-wins.
+// Harnesses that need isolated observations (tests, multi-testbed
+// experiments) construct their own Telemetry and pass it explicitly.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace p4runpro::obs {
+
+struct Telemetry {
+  MetricsRegistry metrics;
+  SpanTracer tracer;
+
+  void clear() {
+    metrics.clear();
+    tracer.clear();
+  }
+};
+
+/// Process-wide default bundle (used when components get a null Telemetry*).
+[[nodiscard]] Telemetry& default_telemetry();
+
+/// `telemetry` if non-null, else the default bundle.
+[[nodiscard]] inline Telemetry& telemetry_or_default(Telemetry* telemetry) {
+  return telemetry != nullptr ? *telemetry : default_telemetry();
+}
+
+/// Null-safe span helper: no-op scope when `telemetry` is null.
+[[nodiscard]] inline SpanTracer::Scope span(Telemetry* telemetry, std::string_view name,
+                                            std::string_view cat = "") {
+  if (telemetry == nullptr) return {};
+  return telemetry->tracer.span(name, cat);
+}
+
+}  // namespace p4runpro::obs

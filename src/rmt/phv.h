@@ -7,6 +7,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,21 @@
 #include "rmt/packet.h"
 
 namespace p4runpro::rmt {
+
+/// One structured execution-trace event (the machine-readable counterpart
+/// of the string trace lines): which block acted, at which stage / round /
+/// branch, and what it executed. Tests and tools should match on these
+/// fields instead of substrings of the rendered text.
+struct TraceEvent {
+  enum class Block : std::uint8_t { Parser, Init, Rpb, Recirc };
+  Block block = Block::Parser;
+  int stage = 0;    ///< physical RPB id (Rpb events only)
+  int round = 0;    ///< recirculation id when the event fired
+  int branch = 0;   ///< branch id (Rpb events only)
+  std::string op;   ///< operation text, e.g. "EXTRACT(hdr.nc.op, har)"
+  std::optional<int> next_branch;  ///< branch transition (Rpb events only)
+  Word value = 0;   ///< parser: bitmap; init: program id; recirc: next round
+};
 
 /// Parse-state bitmap (paper §4.1.1): one bit per header recognized by the
 /// compile-time parser. Bit layout follows the paper's example (ETH..UDP)
@@ -71,9 +87,11 @@ struct Phv {
   Word mcast_group = 0;  ///< multicast group id for FwdDecision::Multicast
   bool recirculate = false;  ///< set by the recirculation block
 
-  /// Optional execution-trace sink (debugging, see Pipeline::set_tracing):
-  /// blocks append one line per executed operation.
+  /// Optional execution-trace sinks (debugging, see Pipeline::set_tracing):
+  /// blocks append one rendered line and one structured event per executed
+  /// operation. Both are set together by the pipeline.
   std::vector<std::string>* trace = nullptr;
+  std::vector<TraceEvent>* trace_events = nullptr;
 
   [[nodiscard]] Word reg(Reg r) const noexcept {
     return regs[static_cast<std::size_t>(r)];

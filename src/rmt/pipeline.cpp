@@ -4,6 +4,8 @@
 
 #include <cassert>
 
+#include "obs/telemetry.h"
+
 namespace p4runpro::rmt {
 
 namespace {
@@ -15,19 +17,50 @@ Pipeline::Pipeline(ParserConfig parser_config, int max_recirculations)
       max_recirculations_(max_recirculations),
       ports_(kNumPorts) {}
 
+Pipeline::~Pipeline() {
+  if (telemetry_ != nullptr) telemetry_->metrics.unregister_probes(this);
+}
+
+void Pipeline::attach_telemetry(obs::Telemetry* telemetry) {
+  if (telemetry_ != nullptr) telemetry_->metrics.unregister_probes(this);
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) return;
+  auto& m = telemetry_->metrics;
+  const auto probe = [&](std::string_view name, const std::uint64_t* value) {
+    m.register_probe(name, this,
+                     [value] { return static_cast<double>(*value); });
+  };
+  probe("rmt.pipeline.packets_in", &packets_in_);
+  probe("rmt.pipeline.packets_dropped", &packets_dropped_);
+  probe("rmt.pipeline.packets_reported", &packets_reported_);
+  probe("rmt.pipeline.recirc_passes", &recirc_passes_);
+  probe("rmt.stage.table_hits", &stage_stats_.table_hits);
+  probe("rmt.stage.table_misses", &stage_stats_.table_misses);
+  probe("rmt.stage.salu_execs", &stage_stats_.salu_execs);
+  m.register_probe("rmt.pipeline.cpu_queue_depth", this,
+                   [this] { return static_cast<double>(cpu_queue_.size()); });
+}
+
 Phv Pipeline::parse_packet(const Packet& pkt) {
   ++packets_in_;
   Phv phv = parser_.parse(pkt);
   phv.qdepth = qdepth_;
   if (tracing_) {
     trace_.clear();
+    trace_events_.clear();
     char line[64];
     std::snprintf(line, sizeof line, "parser: bitmap=0b%u%u%u%u%u",
                   (phv.parse_bitmap >> 4) & 1, (phv.parse_bitmap >> 3) & 1,
                   (phv.parse_bitmap >> 2) & 1, (phv.parse_bitmap >> 1) & 1,
                   phv.parse_bitmap & 1);
     trace_.push_back(line);
+    TraceEvent event;
+    event.block = TraceEvent::Block::Parser;
+    event.op = "parse";
+    event.value = phv.parse_bitmap;
+    trace_events_.push_back(std::move(event));
     phv.trace = &trace_;
+    phv.trace_events = &trace_events_;
   }
   return phv;
 }
@@ -140,6 +173,7 @@ void Pipeline::clear_counters() {
   packets_in_ = 0;
   packets_dropped_ = 0;
   packets_reported_ = 0;
+  stage_stats_ = StageStats{};
 }
 
 }  // namespace p4runpro::rmt

@@ -12,6 +12,10 @@
 #include "rmt/parser.h"
 #include "rmt/phv.h"
 
+namespace p4runpro::obs {
+struct Telemetry;
+}
+
 namespace p4runpro::rmt {
 
 /// One pipeline stage. Implementations are the P4runpro blocks (init block,
@@ -44,6 +48,15 @@ struct PipelineResult {
 struct PortCounters {
   std::uint64_t packets = 0;
   std::uint64_t bytes = 0;
+};
+
+/// Execution counters fed by the match-action stages (the RPBs): table
+/// lookups by claimed packets and stateful-ALU executions. Owned by the
+/// pipeline, incremented by the stages through a raw pointer (hot path).
+struct StageStats {
+  std::uint64_t table_hits = 0;
+  std::uint64_t table_misses = 0;
+  std::uint64_t salu_execs = 0;
 };
 
 class Pipeline {
@@ -83,10 +96,15 @@ class Pipeline {
 
   /// Per-packet execution tracing (debugging): when enabled, every block
   /// appends one line per executed operation; read the last packet's trace
-  /// with last_trace().
+  /// with last_trace(), or its structured form with last_trace_events().
   void set_tracing(bool enabled) noexcept { tracing_ = enabled; }
   [[nodiscard]] const std::vector<std::string>& last_trace() const noexcept {
     return trace_;
+  }
+  /// Machine-readable trace of the last traced packet, parallel to
+  /// last_trace(); prefer this over substring-matching the rendered lines.
+  [[nodiscard]] const std::vector<TraceEvent>& last_trace_events() const noexcept {
+    return trace_events_;
   }
 
   /// Configure a traffic-manager multicast group (the control plane's PRE
@@ -116,7 +134,21 @@ class Pipeline {
   [[nodiscard]] std::uint64_t packets_reported() const noexcept { return packets_reported_; }
   void clear_counters();
 
+  /// Match-action execution counters, incremented by the RPB stages.
+  [[nodiscard]] StageStats& stage_stats() noexcept { return stage_stats_; }
+  [[nodiscard]] const StageStats& stage_stats() const noexcept { return stage_stats_; }
+
+  /// Route the pipeline counters through a telemetry registry as sampled
+  /// probes under "rmt.pipeline.*" / "rmt.stage.*" (the members stay the
+  /// source of truth). Re-attaching replaces the previous registration;
+  /// the destructor unregisters.
+  void attach_telemetry(obs::Telemetry* telemetry);
+
   [[nodiscard]] const Parser& parser() const noexcept { return parser_; }
+
+  ~Pipeline();
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
 
  private:
   Parser parser_;
@@ -127,6 +159,7 @@ class Pipeline {
 
   bool tracing_ = false;
   std::vector<std::string> trace_;
+  std::vector<TraceEvent> trace_events_;
   std::vector<PortCounters> ports_;
   std::vector<Packet> cpu_queue_;
   std::map<Word, std::vector<Port>> mcast_groups_;
@@ -134,6 +167,8 @@ class Pipeline {
   std::uint64_t packets_in_ = 0;
   std::uint64_t packets_dropped_ = 0;
   std::uint64_t packets_reported_ = 0;
+  StageStats stage_stats_;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace p4runpro::rmt

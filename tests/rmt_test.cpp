@@ -2,6 +2,7 @@
 // table priority/index behaviour, packet field access, pipeline counters.
 #include <gtest/gtest.h>
 
+#include "obs/telemetry.h"
 #include "rmt/memory.h"
 #include "rmt/packet.h"
 #include "rmt/parser.h"
@@ -238,6 +239,32 @@ TEST(Pipeline, RecirculationLimitDropsRunaways) {
   EXPECT_EQ(result.fate, PacketFate::RecircLimit);
   EXPECT_EQ(result.recirc_passes, 4);  // 3 allowed + the one that hit the cap
   EXPECT_EQ(pipeline.packets_dropped(), 1u);
+}
+
+TEST(Pipeline, TelemetryProbesMatchInjectedPackets) {
+  obs::Telemetry telemetry;
+  {
+    Pipeline pipeline(ParserConfig{}, 2);
+    pipeline.attach_telemetry(&telemetry);
+
+    Packet pkt;
+    pkt.ipv4 = Ipv4Header{.proto = 17};
+    pkt.udp = UdpHeader{1, 2};
+    const int kInjected = 7;
+    for (int i = 0; i < kInjected; ++i) (void)pipeline.inject(pkt);
+
+    const auto& m = telemetry.metrics;
+    EXPECT_EQ(m.gauge_value("rmt.pipeline.packets_in"),
+              static_cast<double>(pipeline.packets_in()));
+    EXPECT_EQ(m.gauge_value("rmt.pipeline.packets_in"), kInjected);
+    EXPECT_EQ(m.gauge_value("rmt.pipeline.packets_dropped"),
+              static_cast<double>(pipeline.packets_dropped()));
+    EXPECT_EQ(m.gauge_value("rmt.pipeline.recirc_passes"),
+              static_cast<double>(pipeline.total_recirc_passes()));
+  }
+  // The pipeline's destructor froze the final probe samples into owned
+  // gauges, so a post-mortem export still reports them.
+  EXPECT_EQ(telemetry.metrics.gauge_value("rmt.pipeline.packets_in"), 7.0);
 }
 
 }  // namespace

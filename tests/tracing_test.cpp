@@ -76,11 +76,34 @@ TEST(Tracing, RecirculatedProgramShowsBothRounds) {
   for (int i = 0; i < 5; ++i) result = dataplane.inject(pkt);
   EXPECT_EQ(result.fate, rmt::PacketFate::Reported);
 
-  const std::string text = joined(dataplane.pipeline().last_trace());
-  EXPECT_NE(text.find("recirc: another round (r1)"), std::string::npos) << text;
-  EXPECT_NE(text.find(" r0 "), std::string::npos);
-  EXPECT_NE(text.find(" r1 "), std::string::npos) << text;
-  EXPECT_NE(text.find("REPORT"), std::string::npos) << text;
+  // Structured trace (last_trace_events): match on fields, not substrings.
+  const auto& events = dataplane.pipeline().last_trace_events();
+  ASSERT_FALSE(events.empty());
+  bool saw_recirc = false, saw_r0 = false, saw_r1 = false, saw_report = false;
+  for (const auto& event : events) {
+    if (event.block == rmt::TraceEvent::Block::Recirc) {
+      saw_recirc = true;
+      EXPECT_EQ(event.value, 1u);  // recirculated into round 1
+    }
+    if (event.block == rmt::TraceEvent::Block::Rpb) {
+      if (event.round == 0) saw_r0 = true;
+      if (event.round == 1) {
+        saw_r1 = true;
+        if (event.op.rfind("REPORT", 0) == 0) saw_report = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_recirc);
+  EXPECT_TRUE(saw_r0);
+  EXPECT_TRUE(saw_r1);
+  EXPECT_TRUE(saw_report);
+  // The structured stream mirrors the rendered one: round transitions are
+  // monotonic in recording order.
+  int last_round = 0;
+  for (const auto& event : events) {
+    EXPECT_GE(event.round, last_round);
+    last_round = event.round;
+  }
 }
 
 TEST(Tracing, UnclaimedPacketTracesOnlyTheParser) {
