@@ -1,6 +1,6 @@
 // Shared helpers for the benchmark harnesses: canonical experiment setup
 // (provisioned data plane + controller), table printing, and the sidecar
-// telemetry artifact every bench binary can emit.
+// telemetry artifacts every bench binary can emit.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -19,61 +19,108 @@
 
 namespace p4runpro::bench {
 
+/// Command-line sidecar flags shared by the bench binaries. Each flag is
+/// accepted in both spellings: `--flag=path` and `--flag path`. Consumed
+/// argv slots are marked so callers can strip exactly the recognized
+/// arguments before handing argv to pickier parsers (benchmark::Initialize).
+struct SidecarFlags {
+  std::string metrics_path;  ///< --telemetry-out: JSONL metric dump
+  std::string trace_path;    ///< --trace-out: Chrome trace_event span dump
+  std::string alerts_path;   ///< --alerts-out: monitor event/alert JSONL
+  std::string flight_path;   ///< --flight-out: flight-recorder journey JSONL
+  std::vector<bool> consumed;  ///< per-argv index, true = ours
+
+  [[nodiscard]] static SidecarFlags parse(int argc, char** argv) {
+    SidecarFlags flags;
+    flags.consumed.assign(static_cast<std::size_t>(argc), false);
+    const auto match = [&](int& i, std::string_view name, std::string& out) {
+      const std::string_view arg = argv[i];
+      if (arg.rfind(name, 0) != 0) return false;
+      const std::string_view rest = arg.substr(name.size());
+      if (rest.size() > 1 && rest.front() == '=') {
+        out = rest.substr(1);
+        flags.consumed[static_cast<std::size_t>(i)] = true;
+        return true;
+      }
+      // Space-separated form: the path is the next argv slot.
+      if (rest.empty() && i + 1 < argc) {
+        out = argv[i + 1];
+        flags.consumed[static_cast<std::size_t>(i)] = true;
+        flags.consumed[static_cast<std::size_t>(i + 1)] = true;
+        ++i;
+        return true;
+      }
+      return false;
+    };
+    for (int i = 1; i < argc; ++i) {
+      if (match(i, "--telemetry-out", flags.metrics_path)) continue;
+      if (match(i, "--trace-out", flags.trace_path)) continue;
+      if (match(i, "--alerts-out", flags.alerts_path)) continue;
+      if (match(i, "--flight-out", flags.flight_path)) continue;
+    }
+    return flags;
+  }
+};
+
 /// Sidecar telemetry artifact for bench binaries. Construct first thing in
-/// main(); recognizes
+/// main(); recognizes (each also in the space-separated spelling)
 ///   --telemetry-out=<path>   JSON-lines metric dump of the default registry
 ///   --trace-out=<path>       Chrome trace_event span dump (Perfetto-loadable)
+///   --alerts-out=<path>      health-monitor event stream (deploys + alerts)
+///   --flight-out=<path>      flight-recorder journey dump (enables 1-in-64
+///                            packet sampling for the whole run)
 /// and writes the files when the scope dies, after the benchmark printed its
 /// regular stdout tables (which stay byte-for-byte unchanged). Unknown
 /// arguments are ignored so harness runners can pass extra flags through.
 class TelemetryScope {
  public:
-  TelemetryScope(int argc, char** argv) {
-    for (int i = 1; i < argc; ++i) {
-      const std::string_view arg = argv[i];
-      if (constexpr std::string_view kMetrics = "--telemetry-out=";
-          arg.rfind(kMetrics, 0) == 0) {
-        metrics_path_ = arg.substr(kMetrics.size());
-      } else if (constexpr std::string_view kTrace = "--trace-out=";
-                 arg.rfind(kTrace, 0) == 0) {
-        trace_path_ = arg.substr(kTrace.size());
-      }
+  TelemetryScope(int argc, char** argv) : flags_(SidecarFlags::parse(argc, argv)) {
+    if (!flags_.flight_path.empty()) {
+      // Journey capture is off by default (it forces per-packet tracing);
+      // asking for the dump opts into sampling.
+      obs::default_telemetry().flight.set_sample_every(64);
     }
   }
 
   ~TelemetryScope() {
     const auto& telemetry = obs::default_telemetry();
-    if (!metrics_path_.empty()) {
-      std::ofstream out(metrics_path_);
+    if (!flags_.metrics_path.empty()) {
+      std::ofstream out(flags_.metrics_path);
       if (out) export_metrics_jsonl(telemetry.metrics, out);
     }
-    if (!trace_path_.empty()) {
-      std::ofstream out(trace_path_);
+    if (!flags_.trace_path.empty()) {
+      std::ofstream out(flags_.trace_path);
       if (out) export_chrome_trace(telemetry.tracer, out, /*include_wall=*/true);
     }
+    if (!flags_.alerts_path.empty()) {
+      std::ofstream out(flags_.alerts_path);
+      if (out) export_alerts_jsonl(telemetry.monitor, out);
+    }
+    if (!flags_.flight_path.empty()) {
+      std::ofstream out(flags_.flight_path);
+      if (out) export_flight_jsonl(telemetry.flight, out);
+    }
   }
+
+  [[nodiscard]] const SidecarFlags& flags() const noexcept { return flags_; }
 
   TelemetryScope(const TelemetryScope&) = delete;
   TelemetryScope& operator=(const TelemetryScope&) = delete;
 
  private:
-  std::string metrics_path_;
-  std::string trace_path_;
+  SidecarFlags flags_;
 };
 
 /// main() body for google-benchmark binaries (replaces BENCHMARK_MAIN so the
 /// telemetry sidecar flags work there too). benchmark::Initialize rejects
-/// flags it does not know, so the telemetry arguments are stripped before
-/// handing argv over.
+/// flags it does not know, so every argv slot the sidecar parser consumed is
+/// stripped before handing argv over.
 inline int benchmark_main_with_telemetry(int argc, char** argv) {
   TelemetryScope telemetry_scope(argc, argv);
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg.rfind("--telemetry-out=", 0) == 0 || arg.rfind("--trace-out=", 0) == 0) {
-      continue;
-    }
+    if (telemetry_scope.flags().consumed[static_cast<std::size_t>(i)]) continue;
     args.push_back(argv[i]);
   }
   int filtered_argc = static_cast<int>(args.size());

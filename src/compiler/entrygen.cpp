@@ -75,7 +75,7 @@ EntryPlan generate_entries(const TranslatedProgram& program,
               rmt::TernaryKey{cond.value, cond.mask};
         }
         spec_entry.priority = cases - c;
-        spec_entry.action = dp::RpbAction{dp::AtomicOp::branch(), rule.target};
+        spec_entry.action = dp::RpbAction{dp::AtomicOp::branch(), rule.target, id};
         plan.rpb_entries.push_back(std::move(spec_entry));
       }
       continue;
@@ -85,7 +85,8 @@ EntryPlan generate_entries(const TranslatedProgram& program,
     spec_entry.rpb = phys;
     spec_entry.keys = std::move(base_keys);
     spec_entry.priority = 0;
-    spec_entry.action = dp::RpbAction{bind_op(node.op, placements, program), std::nullopt};
+    spec_entry.action =
+        dp::RpbAction{bind_op(node.op, placements, program), std::nullopt, id};
     plan.rpb_entries.push_back(std::move(spec_entry));
   }
   return plan;

@@ -18,9 +18,23 @@ Controller::Controller(dp::RunproDataplane& dataplane, SimClock& clock,
   // One bundle for the whole stack: phase spans are stamped with this
   // controller's virtual clock, and every layer reports into one registry.
   telemetry_->tracer.set_clock(&clock_);
+  telemetry_->monitor.set_clock(&clock_);
   dataplane_.pipeline().attach_telemetry(telemetry_);
+  dataplane_.pipeline().set_observer(&telemetry_->monitor);
   resources_.attach_telemetry(telemetry_);
   updates_.set_telemetry(telemetry_);
+}
+
+obs::ProgramHealthMonitor& Controller::monitor() noexcept {
+  return telemetry_->monitor;
+}
+
+const obs::ProgramHealthMonitor& Controller::monitor() const noexcept {
+  return telemetry_->monitor;
+}
+
+obs::FlightRecorder& Controller::flight_recorder() noexcept {
+  return telemetry_->flight;
 }
 
 ProgramId Controller::next_program_id() {

@@ -22,7 +22,9 @@
 
 namespace p4runpro::obs {
 struct Telemetry;
-}
+class ProgramHealthMonitor;
+class FlightRecorder;
+}  // namespace p4runpro::obs
 
 namespace p4runpro::ctrl {
 
@@ -124,6 +126,13 @@ class Controller {
   /// The telemetry bundle this controller reports into.
   [[nodiscard]] obs::Telemetry& telemetry() noexcept { return *telemetry_; }
   [[nodiscard]] const obs::Telemetry& telemetry() const noexcept { return *telemetry_; }
+
+  /// Shortcuts into the bundle's data-plane health instrumentation: the
+  /// per-program monitor attached to the pipeline as packet observer, and
+  /// the flight recorder it freezes when an alert trips.
+  [[nodiscard]] obs::ProgramHealthMonitor& monitor() noexcept;
+  [[nodiscard]] const obs::ProgramHealthMonitor& monitor() const noexcept;
+  [[nodiscard]] obs::FlightRecorder& flight_recorder() noexcept;
 
   /// Charge a fixed virtual-time cost per allocation instead of the solver's
   /// measured wall time. Makes full link runs deterministic in virtual time

@@ -142,4 +142,98 @@ std::string telemetry_report(const obs::Telemetry& telemetry) {
   return out.str();
 }
 
+std::string health_report(const obs::Telemetry& telemetry, std::size_t event_tail) {
+  const obs::ProgramHealthMonitor& monitor = telemetry.monitor;
+  std::ostringstream out;
+  char line[200];
+
+  std::snprintf(line, sizeof line,
+                "health @ %.3f ms: %llu packets observed, %llu alerts\n",
+                monitor.now_ms(),
+                static_cast<unsigned long long>(monitor.packets_observed()),
+                static_cast<unsigned long long>(monitor.alerts_fired()));
+  out << line;
+
+  auto ids = monitor.known_programs();
+  // Busiest first; ties broken by id so the layout is deterministic.
+  std::stable_sort(ids.begin(), ids.end(), [&](ProgramId a, ProgramId b) {
+    return monitor.health(a)->packets > monitor.health(b)->packets;
+  });
+  if (!ids.empty()) {
+    out << "  id  name              st    entries    packets       hits "
+           "      salu     recirc      drops   pkt/s  rec/pkt   drop%\n";
+    for (ProgramId id : ids) {
+      const obs::ProgramHealth& h = *monitor.health(id);
+      std::snprintf(line, sizeof line,
+                    "  %-3u %-17s %-2s %10llu %10llu %10llu %10llu %10llu "
+                    "%10llu %7.0f %8.2f %7.2f\n",
+                    static_cast<unsigned>(id), h.name.c_str(),
+                    id == 0 ? "--" : (h.active ? "up" : "rm"),
+                    static_cast<unsigned long long>(h.entries),
+                    static_cast<unsigned long long>(h.packets),
+                    static_cast<unsigned long long>(h.table_hits),
+                    static_cast<unsigned long long>(h.salu_updates),
+                    static_cast<unsigned long long>(h.recirc_passes),
+                    static_cast<unsigned long long>(h.drops),
+                    monitor.packet_rate(id), monitor.recirc_per_packet(id),
+                    100.0 * monitor.drop_fraction(id));
+      out << line;
+    }
+  }
+
+  const auto& events = monitor.events();
+  if (!events.empty() && event_tail > 0) {
+    out << "events (most recent last):\n";
+    const std::size_t first =
+        events.size() > event_tail ? events.size() - event_tail : 0;
+    for (std::size_t i = first; i < events.size(); ++i) {
+      const obs::MonitorEvent& e = events[i];
+      switch (e.kind) {
+        case obs::MonitorEvent::Kind::Deploy:
+          std::snprintf(line, sizeof line,
+                        "  [%8.3f ms] deploy  %u '%s' (%llu entries)\n", e.t_ms,
+                        static_cast<unsigned>(e.program), e.program_name.c_str(),
+                        static_cast<unsigned long long>(e.entries));
+          break;
+        case obs::MonitorEvent::Kind::Revoke:
+          std::snprintf(line, sizeof line, "  [%8.3f ms] revoke  %u '%s'\n",
+                        e.t_ms, static_cast<unsigned>(e.program),
+                        e.program_name.c_str());
+          break;
+        case obs::MonitorEvent::Kind::Alert:
+          if (e.rpb != 0) {
+            std::snprintf(line, sizeof line,
+                          "  [%8.3f ms] ALERT   '%s' RPB%d value %.3f >= %.3f\n",
+                          e.t_ms, e.rule.c_str(), e.rpb, e.value, e.threshold);
+          } else {
+            std::snprintf(line, sizeof line,
+                          "  [%8.3f ms] ALERT   '%s' program %u '%s' value "
+                          "%.3f >= %.3f\n",
+                          e.t_ms, e.rule.c_str(), static_cast<unsigned>(e.program),
+                          e.program_name.c_str(), e.value, e.threshold);
+          }
+          break;
+      }
+      out << line;
+    }
+  }
+
+  if (const obs::FlightRecorder* flight = monitor.flight_recorder()) {
+    if (flight->frozen()) {
+      std::snprintf(line, sizeof line,
+                    "flight recorder: FROZEN at %.3f ms by '%s' (%zu journeys)\n",
+                    flight->frozen_at_ms(), flight->freeze_reason().c_str(),
+                    flight->journeys().size());
+    } else {
+      std::snprintf(line, sizeof line,
+                    "flight recorder: recording (%zu journeys buffered, %llu "
+                    "recorded)\n",
+                    flight->journeys().size(),
+                    static_cast<unsigned long long>(flight->recorded()));
+    }
+    out << line;
+  }
+  return out.str();
+}
+
 }  // namespace p4runpro::ctrl

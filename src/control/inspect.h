@@ -26,4 +26,12 @@ namespace p4runpro::ctrl {
 /// Chrome-trace exporters.
 [[nodiscard]] std::string telemetry_report(const obs::Telemetry& telemetry);
 
+/// Top-style data-plane health dashboard from the bundle's program monitor:
+/// one row per known program (busiest first) with lifetime attribution
+/// counters and rolling-window rates, the tail of the alert/lifecycle event
+/// stream, and the flight-recorder state. The operator-facing counterpart
+/// of obs::export_alerts_jsonl / obs::export_flight_jsonl.
+[[nodiscard]] std::string health_report(const obs::Telemetry& telemetry,
+                                        std::size_t event_tail = 8);
+
 }  // namespace p4runpro::ctrl

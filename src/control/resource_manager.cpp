@@ -175,6 +175,7 @@ Status ResourceManager::reserve_entries(int rpb, std::uint32_t count) {
                  "ResourceManager"};
   }
   used += count;
+  push_occupancy(rpb, used);
   return {};
 }
 
@@ -182,6 +183,13 @@ void ResourceManager::release_entries(int rpb, std::uint32_t count) {
   auto& used = entries_used_[static_cast<std::size_t>(rpb - 1)];
   assert(used >= count);
   used -= count;
+  push_occupancy(rpb, used);
+}
+
+void ResourceManager::push_occupancy(int rpb, std::uint32_t used) {
+  if (telemetry_ != nullptr) {
+    telemetry_->monitor.on_stage_occupancy(rpb, used, spec_.entries_per_rpb);
+  }
 }
 
 void ResourceManager::record_program(ProgramId id,

@@ -111,6 +111,9 @@ class ResourceManager {
   [[nodiscard]] std::list<MemBlock>& free_list(int rpb);
   [[nodiscard]] const std::list<MemBlock>& free_list(int rpb) const;
   void insert_coalesced(std::list<MemBlock>& list, MemBlock block);
+  /// Feed the health monitor's stage-occupancy watermark rules on every
+  /// entry reserve/release (no-op without attached telemetry).
+  void push_occupancy(int rpb, std::uint32_t used);
 
   dp::DataplaneSpec spec_;
   obs::Telemetry* telemetry_ = nullptr;

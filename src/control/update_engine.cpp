@@ -82,10 +82,24 @@ Result<InstalledProgram> UpdateEngine::install(
   observe_step();
 
   out.plan = std::move(plan);
+  if (telemetry_ != nullptr) {
+    // The program became visible to traffic with the last filter write:
+    // announce the deploy to the health monitor (entry count = everything
+    // the update wrote, the same figure the dashboard reports).
+    telemetry_->monitor.program_deployed(
+        out.id, out.name,
+        out.filter_handles.size() + out.rpb_handles.size() +
+            out.recirc_handles.size());
+  }
   return out;
 }
 
 void UpdateEngine::remove(InstalledProgram& program) {
+  if (telemetry_ != nullptr) {
+    // The first delete step (filters) atomically stops the program from
+    // claiming packets, so the revoke is effective from here on.
+    telemetry_->monitor.program_revoked(program.id);
+  }
   // Step 1: delete the init filters first; without a program id every
   // later component of the program stops matching at once.
   dataplane_.init_block().remove(program.filter_handles);

@@ -36,12 +36,18 @@ void Rpb::process(rmt::Phv& phv) {
   const RpbAction* action = table_.lookup(fields);
   if (action == nullptr) {
     if (stats_ != nullptr) ++stats_->table_misses;
+    ++phv.pkt_table_misses;
     return;
   }
+  // The entry's owner tag and the claiming program must agree: entries are
+  // keyed exactly on the program id, so a mismatch means a corrupted plan.
+  assert(action->owner == 0 || action->owner == phv.program_id);
   if (stats_ != nullptr) {
     ++stats_->table_hits;
     if (action->op.kind == OpKind::Mem) ++stats_->salu_execs;
   }
+  ++phv.pkt_table_hits;
+  if (action->op.kind == OpKind::Mem) ++phv.pkt_salu_execs;
   if (phv.trace != nullptr) {
     phv.trace->push_back("RPB" + std::to_string(physical_id_) + " r" +
                          std::to_string(phv.recirc_id) + " b" +

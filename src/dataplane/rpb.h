@@ -19,9 +19,14 @@ namespace p4runpro::dp {
 
 /// Action payload of an RPB entry: the atomic operation plus an optional
 /// branch-id transition (BRANCH case entries and the case-body rejoin).
+/// `owner` tags the entry with the program it belongs to (entry->program
+/// mapping for attribution); entry generation sets it, and because RPB
+/// entries match exactly on the program-id key it always equals the
+/// claiming packet's program id. 0 means untagged (hand-built entries).
 struct RpbAction {
   AtomicOp op;
   std::optional<BranchId> next_branch;
+  ProgramId owner = 0;
 };
 
 /// Exact/ternary key layout of the RPB table, in order.

@@ -1,0 +1,97 @@
+#include "obs/flight_recorder.h"
+
+#include "obs/json.h"
+
+namespace p4runpro::obs {
+
+namespace {
+
+[[nodiscard]] std::string_view block_name(rmt::TraceEvent::Block block) noexcept {
+  switch (block) {
+    case rmt::TraceEvent::Block::Parser: return "parser";
+    case rmt::TraceEvent::Block::Init: return "init";
+    case rmt::TraceEvent::Block::Rpb: return "rpb";
+    case rmt::TraceEvent::Block::Recirc: return "recirc";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string_view fate_name(rmt::PacketFate fate) noexcept {
+  switch (fate) {
+    case rmt::PacketFate::Forwarded: return "forwarded";
+    case rmt::PacketFate::Returned: return "returned";
+    case rmt::PacketFate::Dropped: return "dropped";
+    case rmt::PacketFate::Reported: return "reported";
+    case rmt::PacketFate::RecircLimit: return "recirc_limit";
+    case rmt::PacketFate::Multicasted: return "multicasted";
+  }
+  return "?";
+}
+
+void FlightRecorder::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  while (journeys_.size() > capacity_) journeys_.pop_front();
+}
+
+void FlightRecorder::record(PacketJourney journey) {
+  if (frozen_ || capacity_ == 0) return;
+  if (journeys_.size() >= capacity_) journeys_.pop_front();
+  journeys_.push_back(std::move(journey));
+  ++recorded_;
+}
+
+void FlightRecorder::freeze(std::string reason, double t_ms) {
+  if (frozen_) return;
+  frozen_ = true;
+  freeze_reason_ = std::move(reason);
+  frozen_at_ms_ = t_ms;
+}
+
+void FlightRecorder::clear() {
+  journeys_.clear();
+  seen_ = 0;
+  recorded_ = 0;
+  frozen_ = false;
+  freeze_reason_.clear();
+  frozen_at_ms_ = 0.0;
+}
+
+void export_flight_jsonl(const FlightRecorder& recorder, std::ostream& out) {
+  out << "{\"type\":\"flight_recorder\",\"frozen\":"
+      << (recorder.frozen() ? "true" : "false");
+  if (recorder.frozen()) {
+    out << ",\"reason\":\"" << json_escape(recorder.freeze_reason())
+        << "\",\"frozen_at_ms\":" << json_number(recorder.frozen_at_ms());
+  }
+  out << ",\"journeys\":" << recorder.journeys().size()
+      << ",\"recorded\":" << recorder.recorded() << "}\n";
+
+  for (const auto& j : recorder.journeys()) {
+    out << "{\"type\":\"journey\",\"seq\":" << j.seq
+        << ",\"t_ms\":" << json_number(j.t_ms) << ",\"program\":" << j.program
+        << ",\"name\":\"" << json_escape(j.program_name) << "\",\"fate\":\""
+        << fate_name(j.fate) << "\",\"ingress_port\":" << j.ingress_port
+        << ",\"egress_port\":" << j.egress_port
+        << ",\"recirc_passes\":" << j.recirc_passes
+        << ",\"table_hits\":" << j.table_hits << ",\"salu_execs\":" << j.salu_execs
+        << ",\"events\":[";
+    bool first = true;
+    for (const auto& e : j.events) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"block\":\"" << block_name(e.block) << "\"";
+      if (e.block == rmt::TraceEvent::Block::Rpb) {
+        out << ",\"stage\":" << e.stage << ",\"branch\":" << e.branch;
+      }
+      out << ",\"round\":" << e.round << ",\"op\":\"" << json_escape(e.op) << "\"";
+      if (e.next_branch) out << ",\"next_branch\":" << *e.next_branch;
+      if (e.block != rmt::TraceEvent::Block::Rpb) out << ",\"value\":" << e.value;
+      out << "}";
+    }
+    out << "]}\n";
+  }
+}
+
+}  // namespace p4runpro::obs

@@ -1,0 +1,50 @@
+// Shared JSON formatting helpers for the telemetry exporters (metrics
+// JSONL, Chrome trace, alerts, flight-recorder dumps). Everything here is
+// deterministic: identical inputs produce byte-identical output, which is
+// what makes "two identical runs export identical artifacts" testable.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace p4runpro::obs {
+
+/// Shortest round-trip decimal form (std::to_chars): deterministic for a
+/// given value. JSON has no inf/nan, so non-finite values render as 0.
+[[nodiscard]] inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
+}
+
+/// Escape a string for embedding inside a JSON string literal: quotes,
+/// backslashes and control characters are escaped; bytes >= 0x20 (including
+/// UTF-8 multi-byte sequences) pass through unchanged.
+[[nodiscard]] inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof esc, "\\u%04x", c);
+          out += esc;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace p4runpro::obs

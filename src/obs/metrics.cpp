@@ -1,46 +1,11 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
-#include <charconv>
 #include <cmath>
-#include <cstdio>
+
+#include "obs/json.h"
 
 namespace p4runpro::obs {
-
-namespace {
-
-/// Shortest round-trip decimal form (std::to_chars): deterministic for a
-/// given value, so identical registries export byte-identical JSON.
-[[nodiscard]] std::string json_number(double v) {
-  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan
-  char buf[32];
-  const auto res = std::to_chars(buf, buf + sizeof buf, v);
-  return std::string(buf, res.ptr);
-}
-
-[[nodiscard]] std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char esc[8];
-          std::snprintf(esc, sizeof esc, "\\u%04x", c);
-          out += esc;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 Histogram::Histogram(std::vector<double> upper_bounds)
     : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {

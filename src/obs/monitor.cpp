@@ -1,0 +1,331 @@
+#include "obs/monitor.h"
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace p4runpro::obs {
+
+namespace {
+
+[[nodiscard]] std::string_view event_kind_name(MonitorEvent::Kind kind) noexcept {
+  switch (kind) {
+    case MonitorEvent::Kind::Deploy: return "deploy";
+    case MonitorEvent::Kind::Revoke: return "revoke";
+    case MonitorEvent::Kind::Alert: return "alert";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string_view alert_kind_name(AlertKind kind) noexcept {
+  switch (kind) {
+    case AlertKind::PacketRate: return "packet_rate";
+    case AlertKind::RecircRate: return "recirc_rate";
+    case AlertKind::DropRate: return "drop_rate";
+    case AlertKind::RecircPerPacket: return "recirc_per_packet";
+    case AlertKind::DropFraction: return "drop_fraction";
+    case AlertKind::StageOccupancy: return "stage_occupancy";
+  }
+  return "?";
+}
+
+void ProgramHealthMonitor::attach_metrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    packets_counter_ = nullptr;
+    alerts_counter_ = nullptr;
+    return;
+  }
+  packets_counter_ = &registry->counter("obs.monitor.packets");
+  alerts_counter_ = &registry->counter("obs.monitor.alerts");
+}
+
+ProgramHealthMonitor::Slot& ProgramHealthMonitor::slot(ProgramId id) {
+  if (slots_.size() <= id) slots_.resize(id + 1u, Slot(config_));
+  Slot& s = slots_[id];
+  if (!s.health.known) {
+    s.health.known = true;
+    if (id == 0) s.health.name = "(unclaimed)";
+  }
+  return s;
+}
+
+const ProgramHealthMonitor::Slot* ProgramHealthMonitor::find_slot(ProgramId id) const {
+  if (slots_.size() <= id || !slots_[id].health.known) return nullptr;
+  return &slots_[id];
+}
+
+void ProgramHealthMonitor::program_deployed(ProgramId id, std::string_view name,
+                                            std::uint64_t entries) {
+  Slot& s = slot(id);
+  // Program ids are recycled: a redeploy under a reused id starts fresh
+  // (the event stream keeps the previous occupant's history).
+  s.health = ProgramHealth{};
+  s.health.known = true;
+  s.health.active = true;
+  s.health.name = std::string(name);
+  s.health.deployed_at_ms = now_ms();
+  s.health.entries = entries;
+  s.fired.assign(rules_.size(), false);
+
+  MonitorEvent event;
+  event.kind = MonitorEvent::Kind::Deploy;
+  event.program = id;
+  event.program_name = s.health.name;
+  event.entries = entries;
+  push_event(std::move(event));
+}
+
+void ProgramHealthMonitor::program_revoked(ProgramId id) {
+  Slot& s = slot(id);
+  s.health.active = false;
+  s.health.revoked_at_ms = now_ms();
+
+  MonitorEvent event;
+  event.kind = MonitorEvent::Kind::Revoke;
+  event.program = id;
+  event.program_name = s.health.name;
+  push_event(std::move(event));
+}
+
+void ProgramHealthMonitor::on_stage_occupancy(int rpb, std::uint32_t used,
+                                              std::uint32_t capacity) {
+  if (rpb < 0) return;
+  if (stages_.size() <= static_cast<std::size_t>(rpb)) {
+    stages_.resize(static_cast<std::size_t>(rpb) + 1);
+  }
+  StageState& stage = stages_[static_cast<std::size_t>(rpb)];
+  stage.used = used;
+  stage.capacity = capacity;
+  if (stage.fired.size() < rules_.size()) stage.fired.resize(rules_.size(), false);
+
+  const double frac =
+      capacity == 0 ? 0.0 : static_cast<double>(used) / static_cast<double>(capacity);
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    const AlertRule& rule = rules_[r];
+    if (rule.kind != AlertKind::StageOccupancy) continue;
+    if (rule.rpb != 0 && rule.rpb != rpb) continue;
+    if (frac >= rule.threshold) {
+      if (!stage.fired[r]) {
+        stage.fired[r] = true;
+        fire_alert(rule, r, 0, "", frac, rpb);
+      }
+    } else {
+      stage.fired[r] = false;
+    }
+  }
+}
+
+void ProgramHealthMonitor::add_rule(AlertRule rule) {
+  rules_.push_back(std::move(rule));
+  for (Slot& s : slots_) s.fired.resize(rules_.size(), false);
+  for (StageState& stage : stages_) stage.fired.resize(rules_.size(), false);
+}
+
+void ProgramHealthMonitor::clear_rules() {
+  rules_.clear();
+  for (Slot& s : slots_) s.fired.clear();
+  for (StageState& stage : stages_) stage.fired.clear();
+}
+
+void ProgramHealthMonitor::on_packet(const rmt::PacketObservation& obs) {
+  ++packets_observed_;
+  if (packets_counter_ != nullptr) packets_counter_->inc();
+
+  Slot& s = slot(obs.program);
+  ProgramHealth& h = s.health;
+  ++h.packets;
+  h.table_hits += obs.table_hits;
+  h.table_misses += obs.table_misses;
+  h.salu_updates += obs.salu_execs;
+  h.recirc_passes += static_cast<std::uint64_t>(obs.recirc_passes);
+  const bool dropped = obs.fate == rmt::PacketFate::Dropped ||
+                       obs.fate == rmt::PacketFate::RecircLimit;
+  if (dropped) ++h.drops;
+
+  const SimClock::Nanos now = now_ns();
+  s.packets_w.add(now);
+  if (obs.recirc_passes > 0) {
+    s.recirc_w.add(now, static_cast<std::uint64_t>(obs.recirc_passes));
+  }
+  if (dropped) s.drops_w.add(now);
+
+  // Journey capture first, rule evaluation second: when this packet trips
+  // an alert, its own journey is the newest entry of the frozen ring.
+  if (obs.events != nullptr && flight_ != nullptr && !flight_->frozen()) {
+    PacketJourney journey;
+    journey.seq = obs.seq;
+    journey.t_ms = now_ms();
+    journey.program = obs.program;
+    journey.program_name = h.name;
+    journey.fate = obs.fate;
+    journey.ingress_port = obs.ingress_port;
+    journey.egress_port = obs.egress_port;
+    journey.recirc_passes = obs.recirc_passes;
+    journey.table_hits = obs.table_hits;
+    journey.salu_execs = obs.salu_execs;
+    journey.events = *obs.events;
+    flight_->record(std::move(journey));
+  }
+
+  if (!rules_.empty()) evaluate_rules(obs.program, s);
+}
+
+double ProgramHealthMonitor::rule_value(const AlertRule& rule, const Slot& s,
+                                        SimClock::Nanos now) const {
+  switch (rule.kind) {
+    case AlertKind::PacketRate:
+      return s.packets_w.per_second(now);
+    case AlertKind::RecircRate:
+      return s.recirc_w.per_second(now);
+    case AlertKind::DropRate:
+      return s.drops_w.per_second(now);
+    case AlertKind::RecircPerPacket: {
+      const std::uint64_t pkts = s.packets_w.sum(now);
+      return pkts == 0 ? 0.0
+                       : static_cast<double>(s.recirc_w.sum(now)) /
+                             static_cast<double>(pkts);
+    }
+    case AlertKind::DropFraction: {
+      const std::uint64_t pkts = s.packets_w.sum(now);
+      return pkts == 0 ? 0.0
+                       : static_cast<double>(s.drops_w.sum(now)) /
+                             static_cast<double>(pkts);
+    }
+    case AlertKind::StageOccupancy:
+      return 0.0;  // evaluated in on_stage_occupancy, not per packet
+  }
+  return 0.0;
+}
+
+void ProgramHealthMonitor::evaluate_rules(ProgramId id, Slot& s) {
+  const SimClock::Nanos now = now_ns();
+  if (s.fired.size() < rules_.size()) s.fired.resize(rules_.size(), false);
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    const AlertRule& rule = rules_[r];
+    if (rule.kind == AlertKind::StageOccupancy) continue;
+    if (rule.program != 0 && rule.program != id) continue;
+    const double value = rule_value(rule, s, now);
+    if (value >= rule.threshold) {
+      if (!s.fired[r]) {
+        s.fired[r] = true;
+        fire_alert(rule, r, id, s.health.name, value, 0);
+      }
+    } else {
+      s.fired[r] = false;
+    }
+  }
+}
+
+void ProgramHealthMonitor::fire_alert(const AlertRule& rule, std::size_t rule_index,
+                                      ProgramId id, std::string_view name,
+                                      double value, int rpb) {
+  (void)rule_index;
+  ++alerts_fired_;
+  if (alerts_counter_ != nullptr) alerts_counter_->inc();
+
+  MonitorEvent event;
+  event.kind = MonitorEvent::Kind::Alert;
+  event.program = id;
+  event.program_name = std::string(name);
+  event.rule = rule.name;
+  event.value = value;
+  event.threshold = rule.threshold;
+  event.rpb = rpb;
+  push_event(std::move(event));
+
+  if (flight_ != nullptr) flight_->freeze(rule.name, now_ms());
+}
+
+void ProgramHealthMonitor::push_event(MonitorEvent event) {
+  event.seq = next_event_seq_++;
+  event.t_ms = now_ms();
+  events_.push_back(std::move(event));
+  if (events_.size() > config_.max_events) {
+    events_.pop_front();
+    ++events_dropped_;
+  }
+}
+
+const ProgramHealth* ProgramHealthMonitor::health(ProgramId id) const {
+  const Slot* s = find_slot(id);
+  return s == nullptr ? nullptr : &s->health;
+}
+
+std::vector<ProgramId> ProgramHealthMonitor::known_programs() const {
+  std::vector<ProgramId> ids;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].health.known) ids.push_back(static_cast<ProgramId>(i));
+  }
+  return ids;
+}
+
+double ProgramHealthMonitor::packet_rate(ProgramId id) const {
+  const Slot* s = find_slot(id);
+  return s == nullptr ? 0.0 : s->packets_w.per_second(now_ns());
+}
+
+double ProgramHealthMonitor::recirc_rate(ProgramId id) const {
+  const Slot* s = find_slot(id);
+  return s == nullptr ? 0.0 : s->recirc_w.per_second(now_ns());
+}
+
+double ProgramHealthMonitor::drop_rate(ProgramId id) const {
+  const Slot* s = find_slot(id);
+  return s == nullptr ? 0.0 : s->drops_w.per_second(now_ns());
+}
+
+double ProgramHealthMonitor::recirc_per_packet(ProgramId id) const {
+  const Slot* s = find_slot(id);
+  if (s == nullptr) return 0.0;
+  const SimClock::Nanos now = now_ns();
+  const std::uint64_t pkts = s->packets_w.sum(now);
+  return pkts == 0 ? 0.0
+                   : static_cast<double>(s->recirc_w.sum(now)) /
+                         static_cast<double>(pkts);
+}
+
+double ProgramHealthMonitor::drop_fraction(ProgramId id) const {
+  const Slot* s = find_slot(id);
+  if (s == nullptr) return 0.0;
+  const SimClock::Nanos now = now_ns();
+  const std::uint64_t pkts = s->packets_w.sum(now);
+  return pkts == 0 ? 0.0
+                   : static_cast<double>(s->drops_w.sum(now)) /
+                         static_cast<double>(pkts);
+}
+
+void ProgramHealthMonitor::clear() {
+  slots_.clear();
+  rules_.clear();
+  stages_.clear();
+  events_.clear();
+  next_event_seq_ = 0;
+  events_dropped_ = 0;
+  alerts_fired_ = 0;
+  packets_observed_ = 0;
+}
+
+void export_alerts_jsonl(const ProgramHealthMonitor& monitor, std::ostream& out) {
+  for (const auto& e : monitor.events()) {
+    out << "{\"seq\":" << e.seq << ",\"t_ms\":" << json_number(e.t_ms)
+        << ",\"kind\":\"" << event_kind_name(e.kind) << "\",\"program\":"
+        << e.program << ",\"name\":\"" << json_escape(e.program_name) << "\"";
+    switch (e.kind) {
+      case MonitorEvent::Kind::Deploy:
+        out << ",\"entries\":" << e.entries;
+        break;
+      case MonitorEvent::Kind::Revoke:
+        break;
+      case MonitorEvent::Kind::Alert:
+        out << ",\"rule\":\"" << json_escape(e.rule)
+            << "\",\"value\":" << json_number(e.value)
+            << ",\"threshold\":" << json_number(e.threshold);
+        if (e.rpb != 0) out << ",\"rpb\":" << e.rpb;
+        break;
+    }
+    out << "}\n";
+  }
+}
+
+}  // namespace p4runpro::obs

@@ -1,15 +1,20 @@
-// The telemetry bundle every layer shares: one metrics registry plus one
-// span tracer. Components take a `Telemetry*` (optional, defaulted); when
-// none is supplied they fall back to the process-wide default instance so
-// ad-hoc harnesses and the bench binaries get telemetry for free.
+// The telemetry bundle every layer shares: one metrics registry, one span
+// tracer, one per-program health monitor and its packet flight recorder.
+// Components take a `Telemetry*` (optional, defaulted); when none is
+// supplied they fall back to the process-wide default instance so ad-hoc
+// harnesses and the bench binaries get telemetry for free.
 //
-// Sharing rules: the tracer is bound to the clock of the last controller
-// constructed against the bundle, and probe names collide last-writer-wins.
-// Harnesses that need isolated observations (tests, multi-testbed
-// experiments) construct their own Telemetry and pass it explicitly.
+// Sharing rules: the tracer and monitor are bound to the clock of the last
+// controller constructed against the bundle, the pipeline observer is the
+// bundle's monitor (last controller wins), and probe names collide
+// last-writer-wins. Harnesses that need isolated observations (tests,
+// multi-testbed experiments) construct their own Telemetry and pass it
+// explicitly.
 #pragma once
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/monitor.h"
 #include "obs/trace.h"
 
 namespace p4runpro::obs {
@@ -17,10 +22,22 @@ namespace p4runpro::obs {
 struct Telemetry {
   MetricsRegistry metrics;
   SpanTracer tracer;
+  FlightRecorder flight;
+  ProgramHealthMonitor monitor;
+
+  Telemetry() {
+    monitor.set_flight_recorder(&flight);
+    monitor.attach_metrics(&metrics);
+  }
 
   void clear() {
     metrics.clear();
     tracer.clear();
+    flight.clear();
+    monitor.clear();
+    // clear() empties the registry, invalidating the monitor's cached
+    // counter handles — re-resolve them against the fresh registry.
+    monitor.attach_metrics(&metrics);
   }
 };
 

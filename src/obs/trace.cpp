@@ -3,31 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/json.h"
+
 namespace p4runpro::obs {
 
 namespace {
-
-[[nodiscard]] std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char esc[8];
-          std::snprintf(esc, sizeof esc, "\\u%04x", c);
-          out += esc;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 /// Nanoseconds rendered as microseconds with fixed 3 decimals, computed in
 /// integer arithmetic so the output is bit-for-bit deterministic.

@@ -81,6 +81,14 @@ struct Phv {
   /// Queue-depth intrinsic metadata snapshot (read as meta.qdepth).
   Word qdepth = 0;
 
+  // --- per-packet execution counters --------------------------------------
+  /// Accumulated across every pass of this packet by the match-action
+  /// stages; the pipeline folds them into the end-of-packet observation for
+  /// per-program attribution (plain increments, cheap enough for hot paths).
+  std::uint32_t pkt_table_hits = 0;
+  std::uint32_t pkt_table_misses = 0;
+  std::uint32_t pkt_salu_execs = 0;
+
   // --- intrinsic forwarding metadata -------------------------------------
   FwdDecision decision = FwdDecision::None;
   Port egress_port = 0;

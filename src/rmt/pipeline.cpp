@@ -134,6 +134,13 @@ Pipeline::PassResult Pipeline::process_pass(Phv& phv) {
 }
 
 PipelineResult Pipeline::inject(const Packet& pkt) {
+  // Sampling decision before parsing: a sampled packet gets per-packet
+  // tracing for exactly this injection so its journey can be recorded.
+  const bool sampled = observer_ != nullptr && observer_->sample_packet();
+  const bool saved_tracing = tracing_;
+  if (sampled) tracing_ = true;
+  const std::uint64_t seq = packets_in_;
+
   Phv phv = parse_packet(pkt);
   PipelineResult result;
   for (int pass = 0;; ++pass) {
@@ -144,7 +151,7 @@ PipelineResult Pipeline::inject(const Packet& pkt) {
         ++packets_dropped_;
         result.fate = PacketFate::RecircLimit;
         result.packet = phv.pkt;
-        return result;
+        break;
       }
       continue;
     }
@@ -152,8 +159,25 @@ PipelineResult Pipeline::inject(const Packet& pkt) {
     result.egress_port = step.egress_port;
     result.multicast_ports = step.multicast_ports;
     result.packet = phv.pkt;
-    return result;
+    break;
   }
+
+  if (observer_ != nullptr) {
+    PacketObservation obs;
+    obs.program = phv.program_id;
+    obs.fate = result.fate;
+    obs.ingress_port = pkt.ingress_port;
+    obs.egress_port = result.egress_port;
+    obs.seq = seq;
+    obs.recirc_passes = result.recirc_passes;
+    obs.table_hits = phv.pkt_table_hits;
+    obs.table_misses = phv.pkt_table_misses;
+    obs.salu_execs = phv.pkt_salu_execs;
+    obs.events = tracing_ ? &trace_events_ : nullptr;
+    observer_->on_packet(obs);
+  }
+  tracing_ = saved_tracing;
+  return result;
 }
 
 std::vector<Packet> Pipeline::drain_cpu_queue() {

@@ -59,6 +59,38 @@ struct StageStats {
   std::uint64_t salu_execs = 0;
 };
 
+/// Summary of one completed packet (all recirculation passes included),
+/// handed to the attached PacketObserver when inject() finishes. The
+/// pointers are valid only for the duration of the callback.
+struct PacketObservation {
+  ProgramId program = 0;  ///< claiming program (0 = unclaimed)
+  PacketFate fate = PacketFate::Dropped;
+  Port ingress_port = 0;
+  Port egress_port = 0;
+  std::uint64_t seq = 0;  ///< arrival index (== packets_in at parse time)
+  int recirc_passes = 0;
+  std::uint32_t table_hits = 0;
+  std::uint32_t table_misses = 0;
+  std::uint32_t salu_execs = 0;
+  /// Structured execution trace; non-null only when the packet was traced
+  /// (global tracing on, or the observer sampled this packet).
+  const std::vector<TraceEvent>* events = nullptr;
+};
+
+/// Per-packet attribution hook (implemented by obs::ProgramHealthMonitor).
+/// sample_packet() is consulted before parsing so the pipeline can enable
+/// tracing for exactly the packets whose journey the observer wants; both
+/// calls sit on the hot path and implementations must not do name lookups
+/// or allocation on the common path.
+class PacketObserver {
+ public:
+  virtual ~PacketObserver() = default;
+  /// Return true to force per-packet tracing (journey capture) for the
+  /// packet about to be injected.
+  [[nodiscard]] virtual bool sample_packet() = 0;
+  virtual void on_packet(const PacketObservation& obs) = 0;
+};
+
 class Pipeline {
  public:
   Pipeline(ParserConfig parser_config, int max_recirculations);
@@ -138,6 +170,13 @@ class Pipeline {
   [[nodiscard]] StageStats& stage_stats() noexcept { return stage_stats_; }
   [[nodiscard]] const StageStats& stage_stats() const noexcept { return stage_stats_; }
 
+  /// Per-packet attribution hook, invoked once per inject() with the
+  /// packet's claiming program and execution counters. Null disables (the
+  /// default). Packets driven through process_pass() directly (switch
+  /// chains) bypass the observer.
+  void set_observer(PacketObserver* observer) noexcept { observer_ = observer; }
+  [[nodiscard]] PacketObserver* observer() const noexcept { return observer_; }
+
   /// Route the pipeline counters through a telemetry registry as sampled
   /// probes under "rmt.pipeline.*" / "rmt.stage.*" (the members stay the
   /// source of truth). Re-attaching replaces the previous registration;
@@ -169,6 +208,7 @@ class Pipeline {
   std::uint64_t packets_reported_ = 0;
   StageStats stage_stats_;
   obs::Telemetry* telemetry_ = nullptr;
+  PacketObserver* observer_ = nullptr;
 };
 
 }  // namespace p4runpro::rmt

@@ -1,0 +1,416 @@
+// Tests for the per-program data-plane health monitor and the packet
+// flight recorder: rolling-window semantics, alert edge-triggering,
+// ring/freeze behavior, and the end-to-end multi-program scenario (two
+// deployed programs, attributed traffic, a recirculation alert that fires
+// for the offending program only and freezes the journey ring).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/program_library.h"
+#include "common/clock.h"
+#include "control/controller.h"
+#include "control/inspect.h"
+#include "dataplane/runpro_dataplane.h"
+#include "obs/monitor.h"
+#include "obs/telemetry.h"
+
+namespace p4runpro {
+namespace {
+
+// ------------------------------------------------------------ RateWindow
+
+TEST(RateWindow, SumCoversOnlyTheWindow) {
+  // 10 ms buckets, 4 buckets -> 40 ms window.
+  obs::RateWindow w(10'000'000, 4);
+  SimClock::Nanos t = 0;
+  w.add(t, 3);
+  EXPECT_EQ(w.sum(t), 3u);
+
+  t += 15'000'000;  // 15 ms: still inside the window
+  w.add(t, 2);
+  EXPECT_EQ(w.sum(t), 5u);
+
+  t += 30'000'000;  // 45 ms: the first bucket has aged out
+  EXPECT_EQ(w.sum(t), 2u);
+
+  t += 100'000'000;  // far future: everything aged out
+  EXPECT_EQ(w.sum(t), 0u);
+}
+
+TEST(RateWindow, SlotReuseDropsStaleCounts) {
+  obs::RateWindow w(1'000'000, 2);  // 1 ms buckets, 2 slots
+  w.add(0, 7);
+  // 5 ms later the same physical slot is reused for a new bucket index;
+  // the stale count must not leak into the new bucket.
+  w.add(4'000'000, 1);
+  EXPECT_EQ(w.sum(4'000'000), 1u);
+}
+
+TEST(RateWindow, PerSecondScalesBySpan) {
+  obs::RateWindow w(10'000'000, 10);  // 100 ms window
+  w.add(0, 50);
+  EXPECT_DOUBLE_EQ(w.per_second(0), 500.0);  // 50 events / 0.1 s
+}
+
+// -------------------------------------------------------- FlightRecorder
+
+obs::PacketJourney journey(std::uint64_t seq) {
+  obs::PacketJourney j;
+  j.seq = seq;
+  return j;
+}
+
+TEST(FlightRecorder, RingEvictsOldestWhenFull) {
+  obs::FlightRecorder rec(3);
+  for (std::uint64_t i = 0; i < 5; ++i) rec.record(journey(i));
+  ASSERT_EQ(rec.journeys().size(), 3u);
+  EXPECT_EQ(rec.journeys().front().seq, 2u);
+  EXPECT_EQ(rec.journeys().back().seq, 4u);
+  EXPECT_EQ(rec.recorded(), 5u);
+}
+
+TEST(FlightRecorder, SamplingIsOneInN) {
+  obs::FlightRecorder rec;
+  rec.set_sample_every(3);
+  int sampled = 0;
+  for (int i = 0; i < 9; ++i) sampled += rec.want_sample() ? 1 : 0;
+  EXPECT_EQ(sampled, 3);
+
+  // Disabled by default: a fresh recorder never samples.
+  obs::FlightRecorder off;
+  EXPECT_FALSE(off.want_sample());
+}
+
+TEST(FlightRecorder, FirstFreezeSticksAndThawResumes) {
+  obs::FlightRecorder rec(4);
+  rec.set_sample_every(1);
+  rec.record(journey(1));
+  rec.freeze("rule-a", 10.0);
+  rec.freeze("rule-b", 20.0);  // ignored: the first anomaly wins
+  EXPECT_TRUE(rec.frozen());
+  EXPECT_EQ(rec.freeze_reason(), "rule-a");
+  EXPECT_DOUBLE_EQ(rec.frozen_at_ms(), 10.0);
+
+  // Frozen: no sampling, no recording.
+  EXPECT_FALSE(rec.want_sample());
+  rec.record(journey(2));
+  EXPECT_EQ(rec.journeys().size(), 1u);
+
+  rec.thaw();
+  rec.record(journey(3));
+  EXPECT_EQ(rec.journeys().size(), 2u);
+}
+
+// ------------------------------------------------- monitor unit behavior
+
+rmt::PacketObservation observation(ProgramId program, rmt::PacketFate fate,
+                                   int recirc = 0) {
+  rmt::PacketObservation obs;
+  obs.program = program;
+  obs.fate = fate;
+  obs.recirc_passes = recirc;
+  return obs;
+}
+
+TEST(Monitor, LifecycleEventsAndCounterReset) {
+  SimClock clock;
+  obs::ProgramHealthMonitor monitor;
+  monitor.set_clock(&clock);
+
+  monitor.program_deployed(1, "alpha", 12);
+  monitor.on_packet(observation(1, rmt::PacketFate::Forwarded));
+  clock.advance_ms(5);
+  monitor.program_revoked(1);
+
+  const obs::ProgramHealth* h = monitor.health(1);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->name, "alpha");
+  EXPECT_FALSE(h->active);
+  EXPECT_EQ(h->packets, 1u);
+  EXPECT_DOUBLE_EQ(h->revoked_at_ms, 5.0);
+
+  // Ids are recycled: a redeploy under the same id starts fresh.
+  monitor.program_deployed(1, "beta", 7);
+  EXPECT_EQ(monitor.health(1)->packets, 0u);
+  EXPECT_EQ(monitor.health(1)->name, "beta");
+  EXPECT_TRUE(monitor.health(1)->active);
+
+  ASSERT_EQ(monitor.events().size(), 3u);
+  EXPECT_EQ(monitor.events()[0].kind, obs::MonitorEvent::Kind::Deploy);
+  EXPECT_EQ(monitor.events()[0].entries, 12u);
+  EXPECT_EQ(monitor.events()[1].kind, obs::MonitorEvent::Kind::Revoke);
+  EXPECT_DOUBLE_EQ(monitor.events()[1].t_ms, 5.0);
+  EXPECT_EQ(monitor.events()[2].kind, obs::MonitorEvent::Kind::Deploy);
+}
+
+TEST(Monitor, AlertsAreEdgeTriggeredPerProgram) {
+  SimClock clock;
+  obs::ProgramHealthMonitor monitor;
+  monitor.set_clock(&clock);
+  monitor.program_deployed(1, "p", 1);
+  monitor.add_rule({"high-drops", obs::AlertKind::DropFraction, 0.5});
+
+  // First drop: fraction 1.0 >= 0.5 -> one alert.
+  monitor.on_packet(observation(1, rmt::PacketFate::Dropped));
+  EXPECT_EQ(monitor.alerts_fired(), 1u);
+  // Fraction 0.5 stays at the threshold: still disarmed, no refire.
+  monitor.on_packet(observation(1, rmt::PacketFate::Forwarded));
+  EXPECT_EQ(monitor.alerts_fired(), 1u);
+  // Fraction 1/3 < 0.5 rearms the rule ...
+  monitor.on_packet(observation(1, rmt::PacketFate::Forwarded));
+  // ... so crossing again fires a second alert (2 drops / 4 packets).
+  monitor.on_packet(observation(1, rmt::PacketFate::Dropped));
+  EXPECT_EQ(monitor.alerts_fired(), 2u);
+
+  // A different program is independently armed.
+  monitor.program_deployed(2, "q", 1);
+  monitor.on_packet(observation(2, rmt::PacketFate::Dropped));
+  EXPECT_EQ(monitor.alerts_fired(), 3u);
+}
+
+TEST(Monitor, ProgramScopedRuleIgnoresOtherPrograms) {
+  obs::ProgramHealthMonitor monitor;
+  monitor.program_deployed(1, "p", 1);
+  monitor.program_deployed(2, "q", 1);
+  obs::AlertRule rule{"p-only", obs::AlertKind::DropFraction, 0.5};
+  rule.program = 1;
+  monitor.add_rule(rule);
+
+  monitor.on_packet(observation(2, rmt::PacketFate::Dropped));
+  EXPECT_EQ(monitor.alerts_fired(), 0u);
+  monitor.on_packet(observation(1, rmt::PacketFate::Dropped));
+  EXPECT_EQ(monitor.alerts_fired(), 1u);
+}
+
+TEST(Monitor, StageOccupancyWatermark) {
+  obs::ProgramHealthMonitor monitor;
+  obs::AlertRule rule{"stage-full", obs::AlertKind::StageOccupancy, 0.8};
+  monitor.add_rule(rule);
+
+  monitor.on_stage_occupancy(3, 70, 100);
+  EXPECT_EQ(monitor.alerts_fired(), 0u);
+  monitor.on_stage_occupancy(3, 85, 100);
+  EXPECT_EQ(monitor.alerts_fired(), 1u);
+  monitor.on_stage_occupancy(3, 95, 100);  // still above: edge-triggered
+  EXPECT_EQ(monitor.alerts_fired(), 1u);
+  monitor.on_stage_occupancy(3, 10, 100);  // rearm
+  monitor.on_stage_occupancy(3, 90, 100);
+  EXPECT_EQ(monitor.alerts_fired(), 2u);
+
+  const auto& alert = monitor.events().back();
+  EXPECT_EQ(alert.kind, obs::MonitorEvent::Kind::Alert);
+  EXPECT_EQ(alert.rpb, 3);
+  EXPECT_DOUBLE_EQ(alert.value, 0.9);
+}
+
+TEST(Monitor, MetricHandlesStayLiveAcrossBundleClear) {
+  obs::Telemetry telemetry;
+  telemetry.monitor.on_packet(observation(0, rmt::PacketFate::Forwarded));
+  EXPECT_EQ(telemetry.metrics.counter("obs.monitor.packets").value(), 1u);
+  telemetry.clear();
+  // The cached handle was re-resolved against the fresh registry.
+  telemetry.monitor.on_packet(observation(0, rmt::PacketFate::Forwarded));
+  EXPECT_EQ(telemetry.metrics.counter("obs.monitor.packets").value(), 1u);
+}
+
+// ------------------------------------------- end-to-end scenario harness
+
+rmt::Packet cache_packet() {
+  rmt::Packet pkt;
+  // src outside 10/8 so only the cache program's port filter matches.
+  pkt.ipv4 = rmt::Ipv4Header{.src = 0x0b000001, .dst = 0x0b000002, .proto = 17};
+  pkt.udp = rmt::UdpHeader{4000, 7777};
+  pkt.app = rmt::AppHeader{1, 0x8888, 0, 0};
+  pkt.ingress_port = 5;
+  return pkt;
+}
+
+rmt::Packet hh_packet() {
+  rmt::Packet pkt;
+  // src inside 10/8: claimed by the heavy-hitter program (which
+  // recirculates every packet for its Bloom-filter walk).
+  pkt.ipv4 = rmt::Ipv4Header{.src = 0x0a000010, .dst = 0x0b000001, .proto = 17};
+  pkt.udp = rmt::UdpHeader{5000, 6000};
+  pkt.ingress_port = 1;
+  return pkt;
+}
+
+rmt::Packet unclaimed_packet() {
+  rmt::Packet pkt;
+  pkt.ipv4 = rmt::Ipv4Header{.src = 0x0c000001, .dst = 0x0c000002, .proto = 17};
+  pkt.udp = rmt::UdpHeader{1, 2};
+  pkt.ingress_port = 9;
+  return pkt;
+}
+
+/// One full run of the multi-program scenario against a private telemetry
+/// bundle: deploy cache + hh, configure a recirculation alert, drive mixed
+/// traffic. Returns the JSONL dumps so runs can be compared byte-for-byte.
+struct ScenarioResult {
+  ProgramId cache_id = 0;
+  ProgramId hh_id = 0;
+  std::uint64_t packets_in = 0;
+  std::string alerts;
+  std::string flight;
+  std::string dashboard;
+};
+
+ScenarioResult run_scenario(obs::Telemetry& telemetry) {
+  SimClock clock;
+  dp::RunproDataplane dataplane(dp::DataplaneSpec{}, rmt::ParserConfig{{7777}});
+  ctrl::Controller controller(dataplane, clock, {}, {}, &telemetry);
+  controller.set_fixed_alloc_charge_ms(1.0);  // virtual-time determinism
+
+  telemetry.flight.set_sample_every(1);
+  obs::AlertRule rule{"recirc-storm", obs::AlertKind::RecircPerPacket, 0.5};
+  telemetry.monitor.add_rule(rule);
+
+  apps::ProgramConfig cache_config;
+  cache_config.instance_name = "cache";
+  auto cache = controller.link_single(apps::make_program_source("cache", cache_config));
+  EXPECT_TRUE(cache.ok()) << cache.error().message;
+  apps::ProgramConfig hh_config;
+  hh_config.instance_name = "hh";
+  auto hh = controller.link_single(apps::make_program_source("hh", hh_config));
+  EXPECT_TRUE(hh.ok()) << hh.error().message;
+
+  // Cache traffic first (well-behaved, no recirculation), then the
+  // recirculating heavy-hitter traffic that trips the alert, then traffic
+  // no program claims.
+  for (int i = 0; i < 10; ++i) (void)dataplane.inject(cache_packet());
+  for (int i = 0; i < 6; ++i) (void)dataplane.inject(hh_packet());
+  for (int i = 0; i < 4; ++i) (void)dataplane.inject(unclaimed_packet());
+
+  ScenarioResult result;
+  result.cache_id = cache.value().id;
+  result.hh_id = hh.value().id;
+  result.packets_in = dataplane.pipeline().packets_in();
+  std::ostringstream alerts, flight;
+  export_alerts_jsonl(telemetry.monitor, alerts);
+  export_flight_jsonl(telemetry.flight, flight);
+  result.alerts = alerts.str();
+  result.flight = flight.str();
+  result.dashboard = ctrl::health_report(telemetry);
+  return result;
+}
+
+TEST(MonitorScenario, AttributionAlertAndFlightDump) {
+  obs::Telemetry telemetry;
+  const ScenarioResult result = run_scenario(telemetry);
+  const obs::ProgramHealthMonitor& monitor = telemetry.monitor;
+
+  // Every injected packet was observed and attributed to exactly one
+  // program slot (slot 0 collects the unclaimed traffic).
+  EXPECT_EQ(monitor.packets_observed(), result.packets_in);
+  std::uint64_t attributed = 0;
+  for (ProgramId id : monitor.known_programs()) {
+    attributed += monitor.health(id)->packets;
+  }
+  EXPECT_EQ(attributed, result.packets_in);
+
+  const obs::ProgramHealth* cache = monitor.health(result.cache_id);
+  const obs::ProgramHealth* hh = monitor.health(result.hh_id);
+  const obs::ProgramHealth* unclaimed = monitor.health(0);
+  ASSERT_NE(cache, nullptr);
+  ASSERT_NE(hh, nullptr);
+  ASSERT_NE(unclaimed, nullptr);
+  EXPECT_EQ(cache->packets, 10u);
+  EXPECT_EQ(hh->packets, 6u);
+  EXPECT_EQ(unclaimed->packets, 4u);
+  // The claiming program's entries did the work: hits and stateful
+  // updates land on the right slot, recirculation only on hh.
+  EXPECT_GT(cache->table_hits, 0u);
+  EXPECT_GT(cache->salu_updates, 0u);
+  EXPECT_EQ(cache->recirc_passes, 0u);
+  EXPECT_GE(hh->recirc_passes, hh->packets);
+  EXPECT_EQ(unclaimed->table_hits, 0u);
+
+  // The recirculation alert fired exactly once, for hh only.
+  EXPECT_EQ(monitor.alerts_fired(), 1u);
+  int alert_count = 0;
+  for (const auto& event : monitor.events()) {
+    if (event.kind != obs::MonitorEvent::Kind::Alert) continue;
+    ++alert_count;
+    EXPECT_EQ(event.program, result.hh_id);
+    EXPECT_EQ(event.rule, "recirc-storm");
+    EXPECT_GE(event.value, 0.5);
+  }
+  EXPECT_EQ(alert_count, 1);
+
+  // The alert froze the flight recorder; the frozen ring holds the
+  // journeys leading up to the anomaly, newest being the offender.
+  const obs::FlightRecorder& flight = telemetry.flight;
+  EXPECT_TRUE(flight.frozen());
+  EXPECT_EQ(flight.freeze_reason(), "recirc-storm");
+  ASSERT_FALSE(flight.journeys().empty());
+  EXPECT_EQ(flight.journeys().back().program, result.hh_id);
+  EXPECT_GT(flight.journeys().back().recirc_passes, 0);
+  bool saw_hh_events = false;
+  for (const auto& j : flight.journeys()) {
+    if (j.program == result.hh_id && !j.events.empty()) saw_hh_events = true;
+  }
+  EXPECT_TRUE(saw_hh_events);
+
+  // Dumps reflect the same story.
+  EXPECT_NE(result.alerts.find("\"kind\":\"deploy\",\"program\":1,\"name\":\"cache\""),
+            std::string::npos)
+      << result.alerts;
+  EXPECT_NE(result.alerts.find("\"rule\":\"recirc-storm\""), std::string::npos);
+  EXPECT_NE(result.flight.find("\"frozen\":true"), std::string::npos);
+  EXPECT_NE(result.flight.find("\"reason\":\"recirc-storm\""), std::string::npos);
+  EXPECT_NE(result.flight.find("\"name\":\"hh\""), std::string::npos);
+
+  // The operator dashboard renders all three rows and the freeze.
+  EXPECT_NE(result.dashboard.find("cache"), std::string::npos) << result.dashboard;
+  EXPECT_NE(result.dashboard.find("hh"), std::string::npos);
+  EXPECT_NE(result.dashboard.find("(unclaimed)"), std::string::npos);
+  EXPECT_NE(result.dashboard.find("FROZEN"), std::string::npos);
+  EXPECT_NE(result.dashboard.find("ALERT"), std::string::npos);
+}
+
+TEST(MonitorScenario, IdenticalRunsProduceIdenticalDumps) {
+  obs::Telemetry first_bundle, second_bundle;
+  const ScenarioResult first = run_scenario(first_bundle);
+  const ScenarioResult second = run_scenario(second_bundle);
+  EXPECT_EQ(first.alerts, second.alerts);
+  EXPECT_EQ(first.flight, second.flight);
+  EXPECT_EQ(first.dashboard, second.dashboard);
+  EXPECT_FALSE(first.alerts.empty());
+  EXPECT_FALSE(first.flight.empty());
+}
+
+TEST(MonitorScenario, RevokeShowsUpInStreamAndHealth) {
+  obs::Telemetry telemetry;
+  SimClock clock;
+  dp::RunproDataplane dataplane(dp::DataplaneSpec{}, rmt::ParserConfig{{7777}});
+  ctrl::Controller controller(dataplane, clock, {}, {}, &telemetry);
+
+  apps::ProgramConfig config;
+  config.instance_name = "cache";
+  auto linked = controller.link_single(apps::make_program_source("cache", config));
+  ASSERT_TRUE(linked.ok());
+  (void)dataplane.inject(cache_packet());
+  ASSERT_TRUE(controller.revoke(linked.value().id).ok());
+
+  const obs::ProgramHealth* h = telemetry.monitor.health(linked.value().id);
+  ASSERT_NE(h, nullptr);
+  EXPECT_FALSE(h->active);
+  EXPECT_EQ(h->packets, 1u);  // history survives the revoke
+  bool saw_revoke = false;
+  for (const auto& event : telemetry.monitor.events()) {
+    if (event.kind == obs::MonitorEvent::Kind::Revoke &&
+        event.program == linked.value().id) {
+      saw_revoke = true;
+    }
+  }
+  EXPECT_TRUE(saw_revoke);
+
+  // Traffic after the revoke is unclaimed again.
+  (void)dataplane.inject(cache_packet());
+  EXPECT_EQ(h->packets, 1u);
+  EXPECT_EQ(telemetry.monitor.health(0)->packets, 1u);
+}
+
+}  // namespace
+}  // namespace p4runpro

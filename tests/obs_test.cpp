@@ -7,7 +7,9 @@
 #include <sstream>
 
 #include "common/clock.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/monitor.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 
@@ -260,6 +262,93 @@ TEST(Trace, ChromeExportUsesIntegerMicrosOfVirtualTime) {
   std::ostringstream again;
   export_chrome_trace(tracer, again);
   EXPECT_EQ(json, again.str());  // deterministic without wall time
+}
+
+// ------------------------------------------------------- string escaping
+
+TEST(Escaping, ChromeTraceEscapesNamesAndArgs) {
+  SpanTracer tracer;
+  {
+    auto scope = tracer.span("quote\" back\\slash", "cat\nline");
+    scope.arg("key\t", "value\r\n\"end\"");
+  }
+  std::ostringstream out;
+  export_chrome_trace(tracer, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"name\":\"quote\\\" back\\\\slash\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"cat\":\"cat\\nline\""), std::string::npos);
+  EXPECT_NE(json.find("\"key\\t\""), std::string::npos);
+  EXPECT_NE(json.find("value\\r\\n\\\"end\\\""), std::string::npos);
+  // No raw control characters survive into the output besides the
+  // format's own line breaks between events.
+  for (char c : json) {
+    if (c == '\n') continue;
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
+TEST(Escaping, MetricsJsonlEscapesNames) {
+  MetricsRegistry registry;
+  registry.counter("weird\"name\\with\nstuff").inc();
+  std::ostringstream out;
+  export_metrics_jsonl(registry, out);
+  EXPECT_NE(out.str().find("\"name\":\"weird\\\"name\\\\with\\nstuff\""),
+            std::string::npos)
+      << out.str();
+}
+
+TEST(Escaping, ControlCharactersUseUnicodeEscapes) {
+  MetricsRegistry registry;
+  registry.counter(std::string("bell\x07gauge")).inc();
+  std::ostringstream out;
+  export_metrics_jsonl(registry, out);
+  EXPECT_NE(out.str().find("bell\\u0007gauge"), std::string::npos) << out.str();
+}
+
+TEST(Escaping, NonAsciiUtf8PassesThroughUnchanged) {
+  MetricsRegistry registry;
+  registry.counter("greek.\xce\xbb.rate").inc();  // U+03BB
+  std::ostringstream out;
+  export_metrics_jsonl(registry, out);
+  EXPECT_NE(out.str().find("greek.\xce\xbb.rate"), std::string::npos);
+}
+
+TEST(Escaping, AlertsJsonlEscapesProgramAndRuleNames) {
+  ProgramHealthMonitor monitor;
+  monitor.program_deployed(1, "prog \"quoted\"\nname", 3);
+  monitor.add_rule({"rule\\one", AlertKind::DropFraction, 0.5});
+  rmt::PacketObservation obs;
+  obs.program = 1;
+  obs.fate = rmt::PacketFate::Dropped;
+  monitor.on_packet(obs);
+  ASSERT_EQ(monitor.alerts_fired(), 1u);
+
+  std::ostringstream out;
+  export_alerts_jsonl(monitor, out);
+  const std::string jsonl = out.str();
+  EXPECT_NE(jsonl.find("\"name\":\"prog \\\"quoted\\\"\\nname\""), std::string::npos)
+      << jsonl;
+  EXPECT_NE(jsonl.find("\"rule\":\"rule\\\\one\""), std::string::npos);
+}
+
+TEST(Escaping, FlightJsonlEscapesJourneyStrings) {
+  FlightRecorder recorder;
+  PacketJourney journey;
+  journey.program_name = "name\twith\"tabs\\";
+  rmt::TraceEvent event;
+  event.block = rmt::TraceEvent::Block::Rpb;
+  event.op = "OP(\"arg\")\n";
+  journey.events.push_back(std::move(event));
+  recorder.record(std::move(journey));
+  recorder.freeze("why \"so\"", 1.0);
+
+  std::ostringstream out;
+  export_flight_jsonl(recorder, out);
+  const std::string jsonl = out.str();
+  EXPECT_NE(jsonl.find("\"reason\":\"why \\\"so\\\"\""), std::string::npos) << jsonl;
+  EXPECT_NE(jsonl.find("name\\twith\\\"tabs\\\\"), std::string::npos);
+  EXPECT_NE(jsonl.find("OP(\\\"arg\\\")\\n"), std::string::npos);
 }
 
 TEST(Telemetry, NullSafeSpanHelper) {
