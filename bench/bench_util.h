@@ -28,6 +28,7 @@ struct SidecarFlags {
   std::string trace_path;    ///< --trace-out: Chrome trace_event span dump
   std::string alerts_path;   ///< --alerts-out: monitor event/alert JSONL
   std::string flight_path;   ///< --flight-out: flight-recorder journey JSONL
+  std::string bench_json_path;  ///< --bench-json-out: machine-readable rates
   std::vector<bool> consumed;  ///< per-argv index, true = ours
 
   [[nodiscard]] static SidecarFlags parse(int argc, char** argv) {
@@ -57,6 +58,7 @@ struct SidecarFlags {
       if (match(i, "--trace-out", flags.trace_path)) continue;
       if (match(i, "--alerts-out", flags.alerts_path)) continue;
       if (match(i, "--flight-out", flags.flight_path)) continue;
+      if (match(i, "--bench-json-out", flags.bench_json_path)) continue;
     }
     return flags;
   }
@@ -69,6 +71,9 @@ struct SidecarFlags {
 ///   --alerts-out=<path>      health-monitor event stream (deploys + alerts)
 ///   --flight-out=<path>      flight-recorder journey dump (enables 1-in-64
 ///                            packet sampling for the whole run)
+///   --bench-json-out=<path>  machine-readable packet-rate baseline (written
+///                            by the binaries that measure rates, e.g.
+///                            micro_dataplane -> BENCH_dataplane.json)
 /// and writes the files when the scope dies, after the benchmark printed its
 /// regular stdout tables (which stay byte-for-byte unchanged). Unknown
 /// arguments are ignored so harness runners can pass extra flags through.
@@ -133,15 +138,29 @@ inline int benchmark_main_with_telemetry(int argc, char** argv) {
 
 /// A freshly provisioned switch with the paper's prototype geometry and the
 /// default parser configuration (application headers on the catalog ports).
+/// Pass `telemetry` to isolate this bed's observations from the process-wide
+/// default bundle — REQUIRED when beds run on thread-pool workers (the
+/// default bundle is not thread-safe; see docs/PERFORMANCE.md).
 struct Testbed {
   SimClock clock;
   dp::RunproDataplane dataplane;
   ctrl::Controller controller;
 
-  explicit Testbed(rp::Objective objective = {})
+  explicit Testbed(rp::Objective objective = {},
+                   obs::Telemetry* telemetry = nullptr)
       : dataplane(dp::DataplaneSpec{},
                   rmt::ParserConfig{{7777, 7788, 9999, 5555}}),
-        controller(dataplane, clock, objective) {}
+        controller(dataplane, clock, objective, ctrl::BfrtCostModel{}, telemetry) {}
+};
+
+/// A Testbed plus the private telemetry bundle it reports into: the shard
+/// unit for parallel trials (one IsolatedTestbed per thread-pool task).
+struct IsolatedTestbed {
+  obs::Telemetry telemetry;  // must outlive the controller construction
+  Testbed bed;
+
+  explicit IsolatedTestbed(rp::Objective objective = {})
+      : bed(objective, &telemetry) {}
 };
 
 inline void heading(const std::string& title) {

@@ -6,8 +6,12 @@
 // elastic-block growth hurts capacity more than memory growth (TCAM is the
 // scarcer resource).
 #include <cstdio>
+#include <future>
+#include <iterator>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/thread_pool.h"
 #include "traffic/workloads.h"
 
 namespace {
@@ -15,11 +19,13 @@ namespace {
 using namespace p4runpro;
 
 int capacity(traffic::WorkloadGenerator workload) {
-  bench::Testbed bed;
+  // One isolated bed (own telemetry bundle) per trial: trials run
+  // concurrently on thread-pool workers and must not share state.
+  bench::IsolatedTestbed shard;
   int count = 0;
   for (;;) {
     const auto request = workload.next();
-    auto linked = bed.controller.link_single(request.source);
+    auto linked = shard.bed.controller.link_single(request.source);
     if (!linked.ok()) break;
     if (++count > 20000) break;  // safety cap
   }
@@ -41,15 +47,28 @@ int main(int argc, char** argv) {
               "base", "mem 2KB", "mem 4KB", "elastic 16", "elastic 256");
   bench::rule(80);
 
+  // Every (workload, configuration) capacity trial is independent: fan them
+  // all out over the thread pool and collect in print order.
   const char* kWorkloads[] = {"cache", "lb", "hh", "nc", "all-mixed"};
+  const struct {
+    std::uint32_t mem;
+    int elastic;
+  } kConfigs[] = {{256, 2}, {512, 2}, {1024, 2}, {256, 16}, {256, 256}};
+
+  common::ThreadPool pool;
+  std::vector<std::vector<std::future<int>>> trials;
   for (const char* key : kWorkloads) {
-    const int base = capacity(make(key, 256, 2));
-    const int mem2k = capacity(make(key, 512, 2));
-    const int mem4k = capacity(make(key, 1024, 2));
-    const int el16 = capacity(make(key, 256, 16));
-    const int el256 = capacity(make(key, 256, 256));
-    std::printf("%-10s | %9d | %9d | %9d | %11d | %11d\n", key, base, mem2k,
-                mem4k, el16, el256);
+    auto& row = trials.emplace_back();
+    for (const auto& config : kConfigs) {
+      row.push_back(pool.submit([key, config] {
+        return capacity(make(key, config.mem, config.elastic));
+      }));
+    }
+  }
+  for (std::size_t w = 0; w < std::size(kWorkloads); ++w) {
+    std::printf("%-10s | %9d | %9d | %9d | %11d | %11d\n", kWorkloads[w],
+                trials[w][0].get(), trials[w][1].get(), trials[w][2].get(),
+                trials[w][3].get(), trials[w][4].get());
   }
 
   std::printf("\nShape check (paper §6.2.3): lb tops out near ~2.8K, nc near ~0.6K;\n"

@@ -2,12 +2,26 @@
 // for the main program shapes. These measure the SIMULATOR, not the
 // switch — useful for knowing how much virtual traffic the case studies
 // can afford — plus the per-entry install/remove cost of the table layer.
+//
+// Besides the google-benchmark table, the binary measures a fixed suite of
+// packet-rate shapes and (with --bench-json-out=<path>) writes them as a
+// machine-readable baseline; the committed BENCH_dataplane.json at the repo
+// root is regenerated exactly this way (see docs/PERFORMANCE.md).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
 
 #include "apps/program_library.h"
 #include "common/clock.h"
+#include "common/thread_pool.h"
 #include "control/controller.h"
 #include "dataplane/runpro_dataplane.h"
+#include "obs/telemetry.h"
 #include "traffic/workloads.h"
 
 #include "bench_util.h"
@@ -16,11 +30,15 @@ namespace {
 
 using namespace p4runpro;
 
+/// A bed with its own telemetry bundle so instances can run on thread-pool
+/// workers without racing on the process-wide default registry.
 struct Bed {
+  obs::Telemetry telemetry;
   SimClock clock;
   dp::RunproDataplane dataplane{dp::DataplaneSpec{},
                                 rmt::ParserConfig{{7777, 9999}}};
-  ctrl::Controller controller{dataplane, clock};
+  ctrl::Controller controller{dataplane, clock, rp::Objective{},
+                              ctrl::BfrtCostModel{}, &telemetry};
 };
 
 rmt::Packet cache_packet() {
@@ -40,6 +58,28 @@ rmt::Packet hh_packet() {
   return pkt;
 }
 
+void link_program(Bed& bed, const char* key) {
+  apps::ProgramConfig config;
+  config.instance_name = key;
+  (void)bed.controller.link_single(apps::make_program_source(key, config));
+}
+
+void link_many(Bed& bed, int count) {
+  auto workload = traffic::WorkloadGenerator::all_mixed(64, 2, 3);
+  for (int i = 0; i < count; ++i) {
+    (void)bed.controller.link_single(workload.next().source);
+  }
+}
+
+constexpr std::size_t kBatch = 1024;
+
+std::vector<rmt::Packet> batch_of(const rmt::Packet& pkt) {
+  return std::vector<rmt::Packet>(kBatch, pkt);
+}
+
+// --- per-packet inject() shapes (health monitor attached, as in a live
+// --- deployment: the controller wires its monitor as packet observer) -----
+
 void BM_InjectUnclaimed(benchmark::State& state) {
   Bed bed;
   const auto pkt = hh_packet();
@@ -51,9 +91,7 @@ BENCHMARK(BM_InjectUnclaimed);
 
 void BM_InjectCacheHit(benchmark::State& state) {
   Bed bed;
-  apps::ProgramConfig config;
-  config.instance_name = "cache";
-  (void)bed.controller.link_single(apps::make_program_source("cache", config));
+  link_program(bed, "cache");
   const auto pkt = cache_packet();
   for (auto _ : state) {
     benchmark::DoNotOptimize(bed.dataplane.inject(pkt));
@@ -63,9 +101,7 @@ BENCHMARK(BM_InjectCacheHit);
 
 void BM_InjectHhWithRecirculation(benchmark::State& state) {
   Bed bed;
-  apps::ProgramConfig config;
-  config.instance_name = "hh";
-  (void)bed.controller.link_single(apps::make_program_source("hh", config));
+  link_program(bed, "hh");
   const auto pkt = hh_packet();
   for (auto _ : state) {
     benchmark::DoNotOptimize(bed.dataplane.inject(pkt));
@@ -76,16 +112,96 @@ BENCHMARK(BM_InjectHhWithRecirculation);
 void BM_InjectWithManyPrograms(benchmark::State& state) {
   // Lookup cost with a populated switch (program-id indexed tables).
   Bed bed;
-  auto workload = p4runpro::traffic::WorkloadGenerator::all_mixed(64, 2, 3);
-  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
-    (void)bed.controller.link_single(workload.next().source);
-  }
+  link_many(bed, static_cast<int>(state.range(0)));
   const auto pkt = hh_packet();
   for (auto _ : state) {
     benchmark::DoNotOptimize(bed.dataplane.inject(pkt));
   }
 }
 BENCHMARK(BM_InjectWithManyPrograms)->Arg(10)->Arg(100)->Arg(500);
+
+// --- batched fast-path shapes (observer detached: raw data-plane rate) ----
+
+void BM_InjectBatchUnclaimed(benchmark::State& state) {
+  Bed bed;
+  bed.dataplane.pipeline().set_observer(nullptr);
+  const auto pkts = batch_of(hh_packet());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bed.dataplane.inject_batch(pkts));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_InjectBatchUnclaimed);
+
+void BM_InjectBatchCacheHit(benchmark::State& state) {
+  Bed bed;
+  link_program(bed, "cache");
+  bed.dataplane.pipeline().set_observer(nullptr);
+  const auto pkts = batch_of(cache_packet());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bed.dataplane.inject_batch(pkts));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_InjectBatchCacheHit);
+
+void BM_InjectBatchHhWithRecirculation(benchmark::State& state) {
+  Bed bed;
+  link_program(bed, "hh");
+  bed.dataplane.pipeline().set_observer(nullptr);
+  const auto pkts = batch_of(hh_packet());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bed.dataplane.inject_batch(pkts));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_InjectBatchHhWithRecirculation);
+
+void BM_InjectBatchWithManyPrograms(benchmark::State& state) {
+  Bed bed;
+  link_many(bed, static_cast<int>(state.range(0)));
+  bed.dataplane.pipeline().set_observer(nullptr);
+  const auto pkts = batch_of(hh_packet());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bed.dataplane.inject_batch(pkts));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_InjectBatchWithManyPrograms)->Arg(10)->Arg(100)->Arg(500);
+
+// Workload sharded over independent Bed replicas, one per thread-pool
+// worker (pipelines are stateful: shard by replica, never share one
+// pipeline across threads).
+void BM_InjectBatchShardedReplicas(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  std::vector<std::unique_ptr<Bed>> beds;
+  for (int i = 0; i < shards; ++i) {
+    auto bed = std::make_unique<Bed>();
+    link_program(*bed, "cache");
+    bed->dataplane.pipeline().set_observer(nullptr);
+    beds.push_back(std::move(bed));
+  }
+  const auto pkts = batch_of(cache_packet());
+  common::ThreadPool pool(static_cast<unsigned>(shards));
+  for (auto _ : state) {
+    std::vector<std::future<rmt::Pipeline::BatchResult>> results;
+    results.reserve(beds.size());
+    for (auto& bed : beds) {
+      results.push_back(pool.submit(
+          [&bed, &pkts] { return bed->dataplane.inject_batch(pkts); }));
+    }
+    for (auto& r : results) benchmark::DoNotOptimize(r.get());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch) * shards);
+}
+// Real time, not CPU time: the work happens on pool workers whose CPU the
+// benchmark thread does not accumulate.
+BENCHMARK(BM_InjectBatchShardedReplicas)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_LinkRevokeCycle(benchmark::State& state) {
   Bed bed;
@@ -100,9 +216,134 @@ void BM_LinkRevokeCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_LinkRevokeCycle);
 
+// --- packet-rate baseline suite (BENCH_dataplane.json) --------------------
+
+struct RateSample {
+  std::string name;    ///< program shape, e.g. "cache_hit"
+  double batch_pps;    ///< inject_batch() fast path, observer detached
+  double inject_pps;   ///< per-packet inject() with the monitor attached
+};
+
+/// Packets/sec of repeatedly pushing `pkts` through `fn` for >= `budget`.
+template <typename F>
+double measure_pps(F&& fn, std::size_t pkts_per_call,
+                   std::chrono::milliseconds budget) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warm-up (fills caches, faults in tables)
+  std::uint64_t pkts = 0;
+  const auto start = clock::now();
+  auto now = start;
+  do {
+    fn();
+    pkts += pkts_per_call;
+    now = clock::now();
+  } while (now - start < budget);
+  const double secs = std::chrono::duration<double>(now - start).count();
+  return static_cast<double>(pkts) / secs;
+}
+
+std::vector<RateSample> run_rate_suite(std::chrono::milliseconds budget) {
+  struct Shape {
+    const char* name;
+    const char* program;  // nullptr = no program linked
+    int extra_programs;
+    rmt::Packet pkt;
+  };
+  const Shape kShapes[] = {
+      {"unclaimed", nullptr, 0, hh_packet()},
+      {"cache_hit", "cache", 0, cache_packet()},
+      {"hh_recirc", "hh", 0, hh_packet()},
+      {"many_programs_100", nullptr, 100, hh_packet()},
+  };
+
+  std::vector<RateSample> samples;
+  for (const Shape& shape : kShapes) {
+    Bed bed;
+    if (shape.program != nullptr) link_program(bed, shape.program);
+    if (shape.extra_programs > 0) link_many(bed, shape.extra_programs);
+    const auto pkts = batch_of(shape.pkt);
+
+    RateSample sample;
+    sample.name = shape.name;
+    sample.inject_pps = measure_pps(
+        [&] {
+          for (const auto& p : pkts) benchmark::DoNotOptimize(bed.dataplane.inject(p));
+        },
+        pkts.size(), budget);
+    bed.dataplane.pipeline().set_observer(nullptr);
+    sample.batch_pps = measure_pps(
+        [&] { benchmark::DoNotOptimize(bed.dataplane.inject_batch(pkts)); },
+        pkts.size(), budget);
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+void print_rate_suite(const std::vector<RateSample>& samples) {
+  bench::heading("Packet-rate baseline (pkts/sec)");
+  std::printf("%-20s | %14s | %14s\n", "shape", "batch fastpath", "inject+monitor");
+  bench::rule(56);
+  for (const auto& s : samples) {
+    std::printf("%-20s | %14.0f | %14.0f\n", s.name.c_str(), s.batch_pps,
+                s.inject_pps);
+  }
+}
+
+void write_rate_json(const std::vector<RateSample>& samples,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"micro_dataplane\",\n"
+      << "  \"unit\": \"packets_per_second\",\n  \"shapes\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto& s = samples[i];
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"batch_pps\": %.0f, "
+                  "\"inject_pps\": %.0f}%s\n",
+                  s.name.c_str(), s.batch_pps, s.inject_pps,
+                  i + 1 < samples.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
+
 }  // namespace
 
 
 int main(int argc, char** argv) {
-  return p4runpro::bench::benchmark_main_with_telemetry(argc, argv);
+  // Quick mode for CI smoke runs: tiny measurement budget per shape.
+  bool quick = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--rate-quick") {
+      quick = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+
+  p4runpro::bench::TelemetryScope telemetry_scope(filtered_argc, args.data());
+  std::vector<char*> bench_args;
+  for (int i = 0; i < filtered_argc; ++i) {
+    if (telemetry_scope.flags().consumed[static_cast<std::size_t>(i)]) continue;
+    bench_args.push_back(args[static_cast<std::size_t>(i)]);
+  }
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const auto budget = std::chrono::milliseconds(quick ? 20 : 300);
+  const auto samples = run_rate_suite(budget);
+  print_rate_suite(samples);
+  if (!telemetry_scope.flags().bench_json_path.empty()) {
+    write_rate_json(samples, telemetry_scope.flags().bench_json_path);
+  }
+  return 0;
 }

@@ -1,0 +1,66 @@
+// Minimal fixed-size thread pool for parallelizing INDEPENDENT work units:
+// bench trials, workload shards over separate pipeline replicas, batched
+// per-program solves. Pipelines / controllers / telemetry bundles are
+// stateful and not thread-safe — shard by replica (one Testbed per task,
+// each with its own obs::Telemetry), never share one across threads; see
+// docs/PERFORMANCE.md for the threading rules.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace p4runpro::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(unsigned threads = default_thread_count());
+
+  /// Drains nothing: outstanding tasks run to completion, then workers exit.
+  ~ThreadPool();
+
+  /// Schedule `fn` and get a future for its result. Exceptions propagate
+  /// through the future.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>&>> {
+    using R = std::invoke_result_t<std::decay_t<F>&>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task]() mutable { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Hardware concurrency, clamped to >= 1 (hardware_concurrency() may
+  /// report 0).
+  [[nodiscard]] static unsigned default_thread_count() noexcept;
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  void worker();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace p4runpro::common

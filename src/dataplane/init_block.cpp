@@ -65,11 +65,11 @@ std::vector<ParsePath> compatible_paths(const std::vector<FilterTuple>& filters)
 }
 
 InitBlock::InitBlock(std::uint32_t per_table_capacity)
-    : tables_{rmt::TernaryTable<ProgramId>(kFilterKeyWidth, per_table_capacity),
-              rmt::TernaryTable<ProgramId>(kFilterKeyWidth, per_table_capacity),
-              rmt::TernaryTable<ProgramId>(kFilterKeyWidth, per_table_capacity),
-              rmt::TernaryTable<ProgramId>(kFilterKeyWidth, per_table_capacity),
-              rmt::TernaryTable<ProgramId>(kFilterKeyWidth, per_table_capacity)} {}
+    : tables_{FilterTable(kFilterKeyWidth, per_table_capacity),
+              FilterTable(kFilterKeyWidth, per_table_capacity),
+              FilterTable(kFilterKeyWidth, per_table_capacity),
+              FilterTable(kFilterKeyWidth, per_table_capacity),
+              FilterTable(kFilterKeyWidth, per_table_capacity)} {}
 
 ParsePath InitBlock::path_of(const rmt::Phv& phv) noexcept {
   if (phv.parse_bitmap & rmt::kParseApp) return ParsePath::App;
@@ -103,6 +103,7 @@ void InitBlock::process(rmt::Phv& phv) {
   const ProgramId* program = tables_[static_cast<std::size_t>(path)].lookup(fields);
   if (program != nullptr) {
     phv.program_id = *program;
+    if (claimed_.size() <= *program) claimed_.resize(*program + 1u, 0);
     ++claimed_[*program];
     if (phv.trace != nullptr) {
       phv.trace->push_back("init: claimed by program " + std::to_string(*program));
@@ -150,16 +151,17 @@ void InitBlock::remove(const std::vector<InstalledFilter>& handles) {
   }
 }
 
-const rmt::TernaryTable<ProgramId>& InitBlock::table(ParsePath path) const {
+const FilterTable& InitBlock::table(ParsePath path) const {
   return tables_[static_cast<std::size_t>(path)];
 }
 
 std::uint64_t InitBlock::claimed_packets(ProgramId program) const {
-  const auto it = claimed_.find(program);
-  return it == claimed_.end() ? 0 : it->second;
+  return claimed_.size() <= program ? 0 : claimed_[program];
 }
 
-void InitBlock::clear_counter(ProgramId program) { claimed_.erase(program); }
+void InitBlock::clear_counter(ProgramId program) {
+  if (claimed_.size() > program) claimed_[program] = 0;
+}
 
 std::size_t InitBlock::total_entries() const noexcept {
   std::size_t n = 0;

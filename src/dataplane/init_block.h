@@ -6,7 +6,7 @@
 
 #include <array>
 #include <cstdint>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -32,6 +32,10 @@ enum FilterKeyField : int {
   kFilterEthType = 6,
 };
 inline constexpr int kFilterKeyWidth = 7;
+
+/// Filtering-table type: key width fixed at compile time so entries keep
+/// their keys inline (the filter scan is the hot path of unclaimed traffic).
+using FilterTable = rmt::TernaryTable<ProgramId, kFilterKeyWidth>;
 
 /// One `<field, value, mask>` filter tuple from a program declaration.
 struct FilterTuple {
@@ -66,7 +70,7 @@ class InitBlock final : public rmt::PipelineStage {
                                                int priority);
   void remove(const std::vector<InstalledFilter>& handles);
 
-  [[nodiscard]] const rmt::TernaryTable<ProgramId>& table(ParsePath path) const;
+  [[nodiscard]] const FilterTable& table(ParsePath path) const;
   [[nodiscard]] std::size_t total_entries() const noexcept;
 
   /// Which path a parsed packet takes (deepest parsed header wins).
@@ -78,8 +82,11 @@ class InitBlock final : public rmt::PipelineStage {
   void clear_counter(ProgramId program);
 
  private:
-  std::array<rmt::TernaryTable<ProgramId>, kNumParsePaths> tables_;
-  std::map<ProgramId, std::uint64_t> claimed_;
+  std::array<FilterTable, kNumParsePaths> tables_;
+  /// Per-program claim counters, indexed by program id (grown on demand;
+  /// program ids are small controller-assigned integers). Vector-indexed so
+  /// the per-packet increment is a single array store.
+  std::vector<std::uint64_t> claimed_;
 };
 
 }  // namespace p4runpro::dp

@@ -8,6 +8,8 @@ RecircBlock::RecircBlock(std::uint32_t capacity) : table_(2, capacity) {}
 
 void RecircBlock::process(rmt::Phv& phv) {
   if (phv.program_id == 0) return;
+  // Single-pass deployments leave this table empty: skip the lookup.
+  if (table_.size() == 0) return;
   const std::array<Word, 2> fields = {static_cast<Word>(phv.program_id),
                                       static_cast<Word>(phv.recirc_id)};
   if (table_.lookup(fields) != nullptr) {

@@ -28,8 +28,9 @@ class RecircBlock final : public rmt::PipelineStage {
   [[nodiscard]] std::size_t entries() const noexcept { return table_.size(); }
 
  private:
-  /// Keyed on (program_id, recirc_id); payload unused.
-  rmt::TernaryTable<bool> table_;
+  /// Keyed on (program_id, recirc_id); payload unused. Width fixed at
+  /// compile time so entries keep their keys inline.
+  rmt::TernaryTable<bool, 2> table_;
 };
 
 }  // namespace p4runpro::dp

@@ -29,11 +29,37 @@ Rpb::Rpb(int physical_id, bool ingress, std::uint32_t memory_size,
 
 void Rpb::process(rmt::Phv& phv) {
   if (phv.program_id == 0) return;  // no program claimed this packet
-  const std::array<Word, kRpbKeyWidth> fields = {
-      static_cast<Word>(phv.program_id), static_cast<Word>(phv.branch_id),
-      static_cast<Word>(phv.recirc_id),  phv.reg(Reg::Har),
-      phv.reg(Reg::Sar),                 phv.reg(Reg::Mar)};
-  const RpbAction* action = table_.lookup(fields);
+
+  // Provisioned-but-unused stage: nothing can match. Skip the cache and
+  // lookup machinery but keep the per-stage miss accounting identical.
+  if (table_.size() == 0) {
+    if (stats_ != nullptr) ++stats_->table_misses;
+    ++phv.pkt_table_misses;
+    return;
+  }
+
+  // Match cache: the winning entry for a (program, branch, recirc) triple
+  // is a pure function of the triple unless some candidate entry keys on
+  // the Har/Sar/Mar registers. Serve repeats from the cache; revalidate
+  // against the table generation so entry churn invalidates instantly.
+  const std::uint64_t generation = table_.generation();
+  const std::uint64_t key = cache_key(phv.program_id, phv.branch_id, phv.recirc_id);
+  CacheSlot& slot = match_cache_[cache_slot_index(key)];
+  const RpbAction* action;
+  if (slot.generation == generation && slot.key == key) {
+    action = slot.action;
+    ++match_cache_hits_;
+    if (stats_ != nullptr) ++stats_->match_cache_hits;
+  } else {
+    const std::array<Word, kRpbKeyWidth> fields = {
+        static_cast<Word>(phv.program_id), static_cast<Word>(phv.branch_id),
+        static_cast<Word>(phv.recirc_id),  phv.reg(Reg::Har),
+        phv.reg(Reg::Sar),                 phv.reg(Reg::Mar)};
+    action = table_.lookup(fields);
+    if ((table_.key_use(phv.program_id) & kRegisterKeyMask) == 0) {
+      slot = CacheSlot{generation, key, action};
+    }
+  }
   if (action == nullptr) {
     if (stats_ != nullptr) ++stats_->table_misses;
     ++phv.pkt_table_misses;
@@ -81,24 +107,23 @@ void Rpb::execute(const AtomicOp& op, rmt::Phv& phv) {
       return;
     case OpKind::Modify:
       rmt::write_field(phv.pkt, op.field, phv.reg(op.reg0));
+      phv.invalidate_five_tuple();
       return;
-    case OpKind::Hash5Tuple: {
-      const auto bytes = phv.pkt.five_tuple().bytes();
-      phv.set_reg(Reg::Har, rmt::run_hash(rmt::HashAlgo::Crc32, bytes));
+    case OpKind::Hash5Tuple:
+      phv.set_reg(Reg::Har,
+                  rmt::run_hash(rmt::HashAlgo::Crc32, phv.five_tuple_bytes()));
       return;
-    }
     case OpKind::HashHar: {
       const auto bytes = word_bytes(phv.reg(Reg::Har));
       phv.set_reg(Reg::Har, rmt::run_hash(rmt::HashAlgo::Crc32, bytes));
       return;
     }
-    case OpKind::Hash5TupleMem: {
+    case OpKind::Hash5TupleMem:
       // Mask step merged with the hash action: overflowed hash output is
       // invisible to later primitives (§4.1.2).
-      const auto bytes = phv.pkt.five_tuple().bytes();
-      phv.set_reg(Reg::Mar, rmt::run_hash(hash16_, bytes) & op.mask);
+      phv.set_reg(Reg::Mar,
+                  rmt::run_hash(hash16_, phv.five_tuple_bytes()) & op.mask);
       return;
-    }
     case OpKind::HashHarMem: {
       const auto bytes = word_bytes(phv.reg(Reg::Har));
       phv.set_reg(Reg::Mar, rmt::run_hash(hash16_, bytes) & op.mask);

@@ -5,6 +5,8 @@
 // hash unit.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 
@@ -40,6 +42,10 @@ enum RpbKeyField : int {
 };
 inline constexpr int kRpbKeyWidth = 6;
 
+/// The RPB's table type: key width fixed at compile time so every entry
+/// stores its keys inline (no per-entry heap hop on the lookup path).
+using RpbTable = rmt::TernaryTable<RpbAction, kRpbKeyWidth>;
+
 class Rpb final : public rmt::PipelineStage {
  public:
   /// `physical_id` is 1-based over all RPBs (ingress then egress); the hash
@@ -51,8 +57,8 @@ class Rpb final : public rmt::PipelineStage {
   void process(rmt::Phv& phv) override;
 
   /// Entry management (called by the update engine).
-  rmt::TernaryTable<RpbAction>& table() noexcept { return table_; }
-  [[nodiscard]] const rmt::TernaryTable<RpbAction>& table() const noexcept { return table_; }
+  RpbTable& table() noexcept { return table_; }
+  [[nodiscard]] const RpbTable& table() const noexcept { return table_; }
 
   rmt::StageMemory& memory() noexcept { return memory_; }
   [[nodiscard]] const rmt::StageMemory& memory() const noexcept { return memory_; }
@@ -65,15 +71,54 @@ class Rpb final : public rmt::PipelineStage {
   /// by the data plane at provisioning time.
   void set_stage_stats(rmt::StageStats* stats) noexcept { stats_ = stats; }
 
+  /// Packets whose winning entry was served from the match cache since
+  /// provisioning (also mirrored into StageStats::match_cache_hits).
+  [[nodiscard]] std::uint64_t match_cache_hits() const noexcept {
+    return match_cache_hits_;
+  }
+
  private:
   void execute(const AtomicOp& op, rmt::Phv& phv);
 
+  /// Direct-mapped match cache over the (program, branch, recirc) control
+  /// flags. A cached winner is valid only while the table generation is
+  /// unchanged AND no entry that could match the program keys on the
+  /// Har/Sar/Mar components (checked via RpbTable::key_use at fill time),
+  /// so conditional-branch and register-keyed programs stay exact. Misses
+  /// (nullptr winners) are cached too under the same validity rule.
+  struct CacheSlot {
+    std::uint64_t generation = 0;  ///< 0 = empty (table generations start at 1)
+    std::uint64_t key = 0;         ///< packed (program, branch, recirc) triple
+    const RpbAction* action = nullptr;
+  };
+  static constexpr std::size_t kMatchCacheSlots = 64;  // power of two
+  static constexpr std::uint32_t kRegisterKeyMask =
+      (1u << kKeyHar) | (1u << kKeySar) | (1u << kKeyMar);
+
+  /// The (program, branch, recirc) control flags packed into one word so a
+  /// cache probe is a single compare (ids are 16/16/8 bits).
+  [[nodiscard]] static std::uint64_t cache_key(ProgramId program, BranchId branch,
+                                               RecircId recirc) noexcept {
+    return (static_cast<std::uint64_t>(program) << 32) |
+           (static_cast<std::uint64_t>(branch) << 8) |
+           static_cast<std::uint64_t>(recirc);
+  }
+
+  [[nodiscard]] static std::size_t cache_slot_index(std::uint64_t key) noexcept {
+    const std::uint32_t h =
+        static_cast<std::uint32_t>(key >> 32) * 0x9e3779b1u ^
+        static_cast<std::uint32_t>(key);
+    return (h ^ (h >> 16)) & (kMatchCacheSlots - 1);
+  }
+
   int physical_id_;
   bool ingress_;
-  rmt::TernaryTable<RpbAction> table_;
+  RpbTable table_;
   rmt::StageMemory memory_;
   rmt::HashAlgo hash16_;
   rmt::StageStats* stats_ = nullptr;
+  std::array<CacheSlot, kMatchCacheSlots> match_cache_{};
+  std::uint64_t match_cache_hits_ = 0;
 };
 
 }  // namespace p4runpro::dp

@@ -17,22 +17,32 @@ RunproDataplane::RunproDataplane(DataplaneSpec spec, rmt::ParserConfig parser_co
   init_ = std::make_shared<InitBlock>(spec_.entries_per_rpb * 4);
   recirc_ = std::make_shared<RecircBlock>(spec_.entries_per_rpb);
 
-  pipeline_.add_ingress_stage(init_);
+  std::vector<std::shared_ptr<Rpb>> ingress_rpbs;
   for (int i = 1; i <= spec_.ingress_rpbs; ++i) {
     auto rpb = std::make_shared<Rpb>(i, /*ingress=*/true, spec_.memory_per_rpb,
                                      spec_.entries_per_rpb);
     rpb->set_stage_stats(&pipeline_.stage_stats());
     rpbs_.push_back(rpb);
-    pipeline_.add_ingress_stage(rpb);
+    ingress_rpbs.push_back(std::move(rpb));
   }
-  pipeline_.add_ingress_stage(recirc_);
+  std::vector<std::shared_ptr<Rpb>> egress_rpbs;
   for (int i = 1; i <= spec_.egress_rpbs; ++i) {
     auto rpb = std::make_shared<Rpb>(spec_.ingress_rpbs + i, /*ingress=*/false,
                                      spec_.memory_per_rpb, spec_.entries_per_rpb);
     rpb->set_stage_stats(&pipeline_.stage_stats());
     rpbs_.push_back(rpb);
-    pipeline_.add_egress_stage(rpb);
+    egress_rpbs.push_back(std::move(rpb));
   }
+  // The RPBs run through chain stages (one ingress, one egress): a chain
+  // skips the whole block sequence for unclaimed packets and empty-table
+  // stages for claimed ones, which is where the per-packet pass time goes
+  // on a lightly-populated switch (see docs/PERFORMANCE.md).
+  pipeline_.add_ingress_stage(init_);
+  pipeline_.add_ingress_stage(std::make_shared<RpbChain>(
+      std::move(ingress_rpbs), &pipeline_.stage_stats()));
+  pipeline_.add_ingress_stage(recirc_);
+  pipeline_.add_egress_stage(std::make_shared<RpbChain>(
+      std::move(egress_rpbs), &pipeline_.stage_stats()));
 }
 
 Rpb& RunproDataplane::rpb(int physical_id) {

@@ -4,12 +4,14 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "dataplane/dataplane_spec.h"
 #include "dataplane/init_block.h"
 #include "dataplane/recirc_block.h"
 #include "dataplane/rpb.h"
+#include "dataplane/rpb_chain.h"
 #include "rmt/pipeline.h"
 
 namespace p4runpro::dp {
@@ -20,6 +22,12 @@ class RunproDataplane {
 
   /// Run one packet through the pipeline (including recirculations).
   rmt::PipelineResult inject(const rmt::Packet& pkt) { return pipeline_.inject(pkt); }
+
+  /// Run a batch of packets and return aggregate results (the data-plane
+  /// fast path; see rmt::Pipeline::inject_batch).
+  rmt::Pipeline::BatchResult inject_batch(std::span<const rmt::Packet> pkts) {
+    return pipeline_.inject_batch(pkts);
+  }
 
   [[nodiscard]] const DataplaneSpec& spec() const noexcept { return spec_; }
 

@@ -1,14 +1,82 @@
 #include "rmt/crc.h"
 
+#include <array>
+
 namespace p4runpro::rmt {
 
 namespace {
-[[nodiscard]] std::uint32_t reflect_bits(std::uint32_t v, int width) noexcept {
+[[nodiscard]] constexpr std::uint32_t reflect_bits(std::uint32_t v,
+                                                   int width) noexcept {
   std::uint32_t r = 0;
   for (int i = 0; i < width; ++i) {
     if (v & (1u << i)) r |= 1u << (width - 1 - i);
   }
   return r;
+}
+
+// Byte-at-a-time CRC tables for the named hash units (the packet hot path:
+// every hash primitive runs one of these per packet). Two engine shapes
+// cover all five instances — straight (reflect neither) and reflected
+// (reflect both); crc_generic below stays the reference implementation for
+// arbitrary parameter combinations.
+using CrcTable = std::array<std::uint32_t, 256>;
+
+[[nodiscard]] constexpr CrcTable make_straight_table(std::uint32_t poly,
+                                                     int width) noexcept {
+  const std::uint32_t top_bit = 1u << (width - 1);
+  const std::uint32_t mask =
+      width == 32 ? 0xffffffffu : ((1u << width) - 1u);
+  CrcTable table{};
+  for (std::uint32_t b = 0; b < 256; ++b) {
+    std::uint32_t crc = b << (width - 8);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & top_bit) ? ((crc << 1) ^ poly) : (crc << 1);
+      crc &= mask;
+    }
+    table[b] = crc;
+  }
+  return table;
+}
+
+[[nodiscard]] constexpr CrcTable make_reflected_table(std::uint32_t poly,
+                                                      int width) noexcept {
+  const std::uint32_t poly_r = reflect_bits(poly, width);
+  CrcTable table{};
+  for (std::uint32_t b = 0; b < 256; ++b) {
+    std::uint32_t crc = b;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? ((crc >> 1) ^ poly_r) : (crc >> 1);
+    }
+    table[b] = crc;
+  }
+  return table;
+}
+
+template <std::uint32_t Poly, int Width, std::uint32_t Init, std::uint32_t XorOut>
+[[nodiscard]] std::uint32_t crc_straight(
+    std::span<const std::uint8_t> data) noexcept {
+  static constexpr CrcTable kTable = make_straight_table(Poly, Width);
+  constexpr std::uint32_t kMask =
+      Width == 32 ? 0xffffffffu : ((1u << Width) - 1u);
+  std::uint32_t crc = Init;
+  for (std::uint8_t byte : data) {
+    crc = ((crc << 8) ^ kTable[((crc >> (Width - 8)) ^ byte) & 0xffu]) & kMask;
+  }
+  return (crc ^ XorOut) & kMask;
+}
+
+template <std::uint32_t Poly, int Width, std::uint32_t Init, std::uint32_t XorOut>
+[[nodiscard]] std::uint32_t crc_reflected(
+    std::span<const std::uint8_t> data) noexcept {
+  static constexpr CrcTable kTable = make_reflected_table(Poly, Width);
+  constexpr std::uint32_t kMask =
+      Width == 32 ? 0xffffffffu : ((1u << Width) - 1u);
+  // Reflected engine: init and output reflections fold into the table walk.
+  std::uint32_t crc = reflect_bits(Init, Width);
+  for (std::uint8_t byte : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ byte) & 0xffu];
+  }
+  return (crc ^ XorOut) & kMask;
 }
 }  // namespace
 
@@ -32,30 +100,23 @@ std::uint32_t crc_generic(const CrcParams& params,
 }
 
 std::uint16_t crc16_buypass(std::span<const std::uint8_t> data) noexcept {
-  static constexpr CrcParams kParams{16, 0x8005, 0x0000, false, false, 0x0000};
-  return static_cast<std::uint16_t>(crc_generic(kParams, data));
+  return static_cast<std::uint16_t>(crc_straight<0x8005, 16, 0x0000, 0x0000>(data));
 }
 
 std::uint16_t crc16_mcrf4xx(std::span<const std::uint8_t> data) noexcept {
-  // Reflected algorithm expressed through the straight engine: reflect in/out.
-  static constexpr CrcParams kParams{16, 0x1021, 0xffff, true, true, 0x0000};
-  return static_cast<std::uint16_t>(crc_generic(kParams, data));
+  return static_cast<std::uint16_t>(crc_reflected<0x1021, 16, 0xffff, 0x0000>(data));
 }
 
 std::uint16_t crc16_aug_ccitt(std::span<const std::uint8_t> data) noexcept {
-  static constexpr CrcParams kParams{16, 0x1021, 0x1d0f, false, false, 0x0000};
-  return static_cast<std::uint16_t>(crc_generic(kParams, data));
+  return static_cast<std::uint16_t>(crc_straight<0x1021, 16, 0x1d0f, 0x0000>(data));
 }
 
 std::uint16_t crc16_dds110(std::span<const std::uint8_t> data) noexcept {
-  static constexpr CrcParams kParams{16, 0x8005, 0x800d, false, false, 0x0000};
-  return static_cast<std::uint16_t>(crc_generic(kParams, data));
+  return static_cast<std::uint16_t>(crc_straight<0x8005, 16, 0x800d, 0x0000>(data));
 }
 
 std::uint32_t crc32_iso_hdlc(std::span<const std::uint8_t> data) noexcept {
-  static constexpr CrcParams kParams{32, 0x04c11db7, 0xffffffffu, true, true,
-                                     0xffffffffu};
-  return crc_generic(kParams, data);
+  return crc_reflected<0x04c11db7, 32, 0xffffffffu, 0xffffffffu>(data);
 }
 
 std::uint32_t run_hash(HashAlgo algo, std::span<const std::uint8_t> data) noexcept {

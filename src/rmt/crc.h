@@ -20,8 +20,10 @@ struct CrcParams {
   std::uint32_t xor_out;
 };
 
-/// Compute a CRC over `data` with the given parameters. Bitwise
-/// implementation; the simulator is functional, not throughput-bound.
+/// Compute a CRC over `data` with the given parameters. Bitwise reference
+/// implementation for arbitrary parameters; the named instances below are
+/// table-driven (they sit on the per-packet hash hot path) and bit-exact
+/// against this engine.
 [[nodiscard]] std::uint32_t crc_generic(const CrcParams& params,
                                         std::span<const std::uint8_t> data) noexcept;
 

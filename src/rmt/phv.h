@@ -107,6 +107,24 @@ struct Phv {
   void set_reg(Reg r, Word v) noexcept {
     regs[static_cast<std::size_t>(r)] = v;
   }
+
+  /// Canonical 13-byte five-tuple serialization of `pkt`, computed lazily
+  /// and memoized: hash primitives may run several times per packet (one
+  /// per sketch row) and the serialization is a pure function of the packet
+  /// headers. Any primitive that writes a header field (MODIFY) must call
+  /// invalidate_five_tuple().
+  [[nodiscard]] const std::array<std::uint8_t, 13>& five_tuple_bytes() {
+    if (!ft_valid_) {
+      ft_bytes_ = pkt.five_tuple().bytes();
+      ft_valid_ = true;
+    }
+    return ft_bytes_;
+  }
+  void invalidate_five_tuple() noexcept { ft_valid_ = false; }
+
+ private:
+  std::array<std::uint8_t, 13> ft_bytes_{};
+  bool ft_valid_ = false;
 };
 
 }  // namespace p4runpro::rmt

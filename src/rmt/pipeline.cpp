@@ -34,9 +34,11 @@ void Pipeline::attach_telemetry(obs::Telemetry* telemetry) {
   probe("rmt.pipeline.packets_dropped", &packets_dropped_);
   probe("rmt.pipeline.packets_reported", &packets_reported_);
   probe("rmt.pipeline.recirc_passes", &recirc_passes_);
+  probe("rmt.pipeline.cpu_queue_drops", &cpu_queue_drops_);
   probe("rmt.stage.table_hits", &stage_stats_.table_hits);
   probe("rmt.stage.table_misses", &stage_stats_.table_misses);
   probe("rmt.stage.salu_execs", &stage_stats_.salu_execs);
+  probe("rmt.stage.match_cache_hits", &stage_stats_.match_cache_hits);
   m.register_probe("rmt.pipeline.cpu_queue_depth", this,
                    [this] { return static_cast<double>(cpu_queue_.size()); });
 }
@@ -93,7 +95,11 @@ Pipeline::PassResult Pipeline::process_pass(Phv& phv) {
     case FwdDecision::Report:
       ++packets_reported_;
       // Bounded CPU queue: the switch CPU PCIe channel drops under burst.
-      if (cpu_queue_.size() < 65536) cpu_queue_.push_back(phv.pkt);
+      if (cpu_queue_.size() < cpu_queue_capacity_) {
+        cpu_queue_.push_back(phv.pkt);
+      } else {
+        ++cpu_queue_drops_;
+      }
       result.fate = PacketFate::Reported;
       return result;
     case FwdDecision::Multicast: {
@@ -180,6 +186,57 @@ PipelineResult Pipeline::inject(const Packet& pkt) {
   return result;
 }
 
+Pipeline::BatchResult Pipeline::inject_batch(std::span<const Packet> pkts) {
+  BatchResult out;
+  out.packets = pkts.size();
+
+  const auto fold = [&out](PacketFate fate) {
+    switch (fate) {
+      case PacketFate::Forwarded: ++out.forwarded; break;
+      case PacketFate::Returned: ++out.returned; break;
+      case PacketFate::Dropped: ++out.dropped; break;
+      case PacketFate::Reported: ++out.reported; break;
+      case PacketFate::Multicasted: ++out.multicasted; break;
+      case PacketFate::RecircLimit: ++out.recirc_limited; break;
+    }
+  };
+
+  // Observer attached or tracing on: per-packet semantics (sampling
+  // decisions, journey capture, observation callbacks) must be preserved —
+  // delegate to inject() and only aggregate.
+  if (observer_ != nullptr || tracing_) {
+    for (const Packet& pkt : pkts) {
+      const PipelineResult result = inject(pkt);
+      fold(result.fate);
+      out.recirc_passes += static_cast<std::uint64_t>(result.recirc_passes);
+    }
+    return out;
+  }
+
+  // Lean path: no sampling query, no trace bookkeeping, no per-packet
+  // PipelineResult (and its Packet copy).
+  for (const Packet& pkt : pkts) {
+    ++packets_in_;
+    Phv phv = parser_.parse(pkt);
+    phv.qdepth = qdepth_;
+    for (int pass = 0;; ++pass) {
+      const PassResult step = process_pass(phv);
+      if (step.outcome == PassOutcome::Recirculate) {
+        ++out.recirc_passes;
+        if (pass >= max_recirculations_) {
+          ++packets_dropped_;
+          ++out.recirc_limited;
+          break;
+        }
+        continue;
+      }
+      fold(step.fate);
+      break;
+    }
+  }
+  return out;
+}
+
 std::vector<Packet> Pipeline::drain_cpu_queue() {
   std::vector<Packet> out;
   out.swap(cpu_queue_);
@@ -193,6 +250,7 @@ const PortCounters& Pipeline::port_counters(Port port) const {
 void Pipeline::clear_counters() {
   for (auto& p : ports_) p = PortCounters{};
   cpu_queue_.clear();
+  cpu_queue_drops_ = 0;
   recirc_passes_ = 0;
   packets_in_ = 0;
   packets_dropped_ = 0;

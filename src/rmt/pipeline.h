@@ -4,9 +4,11 @@
 // recirculation and port accounting.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "rmt/parser.h"
@@ -57,6 +59,10 @@ struct StageStats {
   std::uint64_t table_hits = 0;
   std::uint64_t table_misses = 0;
   std::uint64_t salu_execs = 0;
+  /// Lookups served from an RPB's (program, branch, recirc) match cache
+  /// instead of a full table scan (hits and misses both count as their
+  /// respective table_* outcome as well).
+  std::uint64_t match_cache_hits = 0;
 };
 
 /// Summary of one completed packet (all recirculation passes included),
@@ -105,6 +111,27 @@ class Pipeline {
 
   /// Run one packet to completion (including recirculation passes).
   PipelineResult inject(const Packet& pkt);
+
+  /// Aggregate outcome of an inject_batch() call: per-fate packet counts
+  /// plus the recirculation passes the batch consumed.
+  struct BatchResult {
+    std::uint64_t packets = 0;
+    std::uint64_t forwarded = 0;
+    std::uint64_t returned = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t reported = 0;
+    std::uint64_t multicasted = 0;
+    std::uint64_t recirc_limited = 0;
+    std::uint64_t recirc_passes = 0;
+  };
+
+  /// Run a batch of packets to completion and return aggregate results.
+  /// The observer/tracing/sampling checks are hoisted out of the per-packet
+  /// loop: with no observer and tracing off, packets take a lean path that
+  /// skips the per-packet sampling query, trace bookkeeping, and the
+  /// PipelineResult packet copy. All pipeline counters (ports, stage stats,
+  /// CPU queue) advance exactly as with per-packet inject().
+  BatchResult inject_batch(std::span<const Packet> pkts);
 
   /// Outcome of a single pipeline pass (ingress + traffic manager +
   /// egress). Used by inject()'s recirculation loop and by multi-switch
@@ -159,6 +186,21 @@ class Pipeline {
   [[nodiscard]] std::vector<Packet> drain_cpu_queue();
   [[nodiscard]] std::size_t cpu_queue_depth() const noexcept { return cpu_queue_.size(); }
 
+  /// Bound of the CPU punt queue (the switch-CPU PCIe channel drops under
+  /// burst). Reported packets arriving at a full queue still count as
+  /// Reported but their payload is lost; see cpu_queue_drops().
+  static constexpr std::size_t kDefaultCpuQueueCapacity = 65536;
+  void set_cpu_queue_capacity(std::size_t capacity) noexcept {
+    cpu_queue_capacity_ = capacity;
+  }
+  [[nodiscard]] std::size_t cpu_queue_capacity() const noexcept {
+    return cpu_queue_capacity_;
+  }
+  /// REPORTed packets dropped because the CPU queue was full.
+  [[nodiscard]] std::uint64_t cpu_queue_drops() const noexcept {
+    return cpu_queue_drops_;
+  }
+
   [[nodiscard]] const PortCounters& port_counters(Port port) const;
   [[nodiscard]] std::uint64_t total_recirc_passes() const noexcept { return recirc_passes_; }
   [[nodiscard]] std::uint64_t packets_in() const noexcept { return packets_in_; }
@@ -201,6 +243,8 @@ class Pipeline {
   std::vector<TraceEvent> trace_events_;
   std::vector<PortCounters> ports_;
   std::vector<Packet> cpu_queue_;
+  std::size_t cpu_queue_capacity_ = kDefaultCpuQueueCapacity;
+  std::uint64_t cpu_queue_drops_ = 0;
   std::map<Word, std::vector<Port>> mcast_groups_;
   std::uint64_t recirc_passes_ = 0;
   std::uint64_t packets_in_ = 0;

@@ -1,13 +1,21 @@
 // Ternary match-action table. All P4runpro tables use ternary match with
 // (value, mask) keys and priorities (paper §7 "Entry Expansion"), backed by
 // TCAM on the ASIC. The simulator models capacity and accelerates lookup
-// with an index on exact-match first-key entries (the RPB tables key
-// entries on the program id, which is always exact), mimicking the O(1)
-// TCAM lookup without a full TCAM model.
+// with compiled buckets: entries are grouped by exact-match first key (the
+// RPB tables key entries on the program id, which is always exact), stored
+// with fixed-width inline key storage (no per-entry heap hop), and kept
+// priority-sorted at insert time so a lookup can stop at the first match,
+// mimicking the O(1) TCAM lookup without a full TCAM model.
+//
+// Concurrency: a table instance is NOT thread-safe; shard by pipeline
+// replica (see docs/PERFORMANCE.md) instead of sharing one across threads.
 #pragma once
 
 #include <algorithm>
+#include <array>
+#include <cassert>
 #include <cstdint>
+#include <initializer_list>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -33,19 +41,38 @@ struct TernaryKey {
 
 using EntryHandle = std::uint64_t;
 
+/// Widest key any provisioned table uses (the init-block filter tables,
+/// kFilterKeyWidth = 7). The default inline key capacity of TernaryTable.
+inline constexpr int kMaxTernaryKeyWidth = 8;
+
+/// Hot-path instrumentation of a table: entries examined by lookups and by
+/// erases. The erase counters are what the regression tests use to prove
+/// that erase touches only the owning bucket (not every bucket).
+struct TernaryTableStats {
+  std::uint64_t lookup_probes = 0;  ///< entries examined across all lookups
+  std::uint64_t erase_probes = 0;   ///< entries examined across all erases
+  std::uint64_t erase_calls = 0;
+};
+
 /// Match-action table with ternary keys and an arbitrary action payload.
 /// Width (number of key components) is fixed per table; capacity models the
-/// TCAM budget of the stage.
-template <typename Action>
+/// TCAM budget of the stage. `MaxWidth` bounds the inline per-entry key
+/// storage at compile time (the RPB instantiates with kRpbKeyWidth).
+template <typename Action, int MaxWidth = kMaxTernaryKeyWidth>
 class TernaryTable {
  public:
+  static_assert(MaxWidth >= 1 && MaxWidth <= 32);
+
   TernaryTable(int key_width, std::size_t capacity)
-      : key_width_(key_width), capacity_(capacity) {}
+      : key_width_(key_width), capacity_(capacity) {
+    assert(key_width >= 1 && key_width <= MaxWidth);
+  }
 
   /// Insert an entry; higher `priority` wins on overlap, ties resolve to
   /// the earlier insertion. Fails when the table is full (the allocator
   /// must prevent this; hitting it at runtime indicates an accounting bug).
-  Result<EntryHandle> insert(std::vector<TernaryKey> keys, int priority, Action action) {
+  Result<EntryHandle> insert(std::span<const TernaryKey> keys, int priority,
+                             Action action) {
     if (keys.size() != static_cast<std::size_t>(key_width_)) {
       return Error{"key width mismatch", "TernaryTable"};
     }
@@ -53,39 +80,94 @@ class TernaryTable {
       return Error{"table full", "TernaryTable"};
     }
     const EntryHandle handle = next_handle_++;
-    Entry entry{std::move(keys), priority, std::move(action), handle};
-    if (entry.keys[0].mask == 0xffffffffu) {
-      indexed_[entry.keys[0].value].push_back(std::move(entry));
-    } else {
-      unindexed_.push_back(std::move(entry));
+    Entry entry;
+    std::copy(keys.begin(), keys.end(), entry.keys.begin());
+    entry.priority = priority;
+    entry.handle = handle;
+    entry.action = std::move(action);
+
+    const bool indexed = keys[0].mask == 0xffffffffu;
+    Bucket& bucket = indexed ? bucket_for_insert(keys[0].value) : unindexed_;
+    // Keep the bucket sorted by (priority desc, handle asc): handles grow
+    // monotonically, so inserting after every entry of priority >= p
+    // preserves insertion order within a priority level.
+    const auto pos = std::partition_point(
+        bucket.entries.begin(), bucket.entries.end(),
+        [priority](const Entry& e) { return e.priority >= priority; });
+    bucket.entries.insert(pos, std::move(entry));
+    for (int i = 0; i < key_width_; ++i) {
+      if (keys[static_cast<std::size_t>(i)].mask != 0) {
+        bucket.key_use |= 1u << i;
+      }
     }
+    locator_.emplace(handle, Locator{indexed, indexed ? keys[0].value : 0});
     ++size_;
+    ++generation_;
     return handle;
   }
 
-  /// Remove by handle; returns false if the handle is unknown.
-  bool erase(EntryHandle handle) {
-    for (auto it = indexed_.begin(); it != indexed_.end(); ++it) {
-      if (erase_from(it->second, handle)) {
-        if (it->second.empty()) indexed_.erase(it);
-        --size_;
-        return true;
-      }
-    }
-    if (erase_from(unindexed_, handle)) {
-      --size_;
-      return true;
-    }
-    return false;
+  Result<EntryHandle> insert(std::initializer_list<TernaryKey> keys, int priority,
+                             Action action) {
+    return insert(std::span<const TernaryKey>(keys.begin(), keys.size()), priority,
+                  std::move(action));
   }
 
-  /// Highest-priority matching action, or nullptr on miss.
+  /// Remove by handle; returns false if the handle is unknown. The
+  /// handle->bucket locator makes this touch only the owning bucket.
+  bool erase(EntryHandle handle) {
+    const auto loc = locator_.find(handle);
+    if (loc == locator_.end()) return false;
+    ++stats_.erase_calls;
+    if (loc->second.indexed) {
+      const Word first_key = loc->second.first_key;
+      if (first_key < kDenseFirstKeyLimit) {
+        assert(first_key < dense_.size());
+        erase_from(dense_[first_key], handle);
+      } else {
+        const auto it = indexed_.find(first_key);
+        assert(it != indexed_.end());
+        erase_from(it->second, handle);
+        if (it->second.entries.empty()) indexed_.erase(it);
+      }
+    } else {
+      erase_from(unindexed_, handle);
+    }
+    locator_.erase(loc);
+    --size_;
+    ++generation_;
+    return true;
+  }
+
+  /// Highest-priority matching action, or nullptr on miss. The returned
+  /// pointer stays valid until the next insert/erase (generation bump).
   [[nodiscard]] const Action* lookup(std::span<const Word> fields) const noexcept {
     const Entry* best = nullptr;
-    const auto bucket = indexed_.find(fields[0]);
-    if (bucket != indexed_.end()) scan(bucket->second, fields, best);
-    scan(unindexed_, fields, best);
+    if (const Bucket* bucket = find_bucket(fields[0])) {
+      best = first_match(*bucket, fields);
+    }
+    const Entry* wild = first_match(unindexed_, fields);
+    if (wild != nullptr &&
+        (best == nullptr || wild->priority > best->priority ||
+         (wild->priority == best->priority && wild->handle < best->handle))) {
+      best = wild;
+    }
     return best == nullptr ? nullptr : &best->action;
+  }
+
+  /// Monotonic counter bumped by every insert/erase; consumers caching
+  /// lookup results (the RPB match cache) revalidate against it.
+  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
+
+  /// Which key components are actually keyed on (nonzero mask) by any entry
+  /// that could match a packet whose exact first key is `first_key`: the
+  /// union over that bucket and all wildcard-first-key entries, as a bit per
+  /// component index. Bit 0 set means some entry keys on component 0, etc.
+  /// Conservative upper bound (not recomputed when erase removes the last
+  /// user of a component — the generation bump already invalidates caches).
+  [[nodiscard]] std::uint32_t key_use(Word first_key) const noexcept {
+    std::uint32_t use = unindexed_.key_use;
+    if (const Bucket* bucket = find_bucket(first_key)) use |= bucket->key_use;
+    return use;
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
@@ -93,30 +175,75 @@ class TernaryTable {
   [[nodiscard]] std::size_t free_entries() const noexcept { return capacity_ - size_; }
   [[nodiscard]] int key_width() const noexcept { return key_width_; }
 
+  [[nodiscard]] const TernaryTableStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
  private:
   struct Entry {
-    std::vector<TernaryKey> keys;
-    int priority;
-    Action action;
-    EntryHandle handle;
+    std::array<TernaryKey, MaxWidth> keys;  // components [0, key_width)
+    int priority = 0;
+    EntryHandle handle = 0;
+    Action action{};
   };
 
-  static bool erase_from(std::vector<Entry>& entries, EntryHandle handle) {
-    const auto it = std::find_if(entries.begin(), entries.end(),
-                                 [handle](const Entry& e) { return e.handle == handle; });
-    if (it == entries.end()) return false;
-    entries.erase(it);
-    return true;
+  /// Entries sharing one exact first key (or the wildcard-first-key pool),
+  /// sorted by (priority desc, handle asc) so the first match wins.
+  struct Bucket {
+    std::vector<Entry> entries;
+    std::uint32_t key_use = 0;  ///< OR of per-component mask!=0 over entries
+  };
+
+  struct Locator {
+    bool indexed = false;
+    Word first_key = 0;
+  };
+
+  /// Exact first keys below this bound live in a direct-indexed bucket
+  /// array (program ids and ports are small dense integers — the common
+  /// case — and a lookup then costs one bounds check instead of a hash
+  /// probe); larger keys fall back to the hash map.
+  static constexpr Word kDenseFirstKeyLimit = 4096;
+
+  [[nodiscard]] const Bucket* find_bucket(Word first_key) const noexcept {
+    if (first_key < dense_.size()) return &dense_[first_key];
+    if (first_key < kDenseFirstKeyLimit) return nullptr;  // never populated
+    const auto it = indexed_.find(first_key);
+    return it == indexed_.end() ? nullptr : &it->second;
   }
 
-  void scan(const std::vector<Entry>& entries, std::span<const Word> fields,
-            const Entry*& best) const noexcept {
-    for (const auto& entry : entries) {
-      if (best != nullptr && (entry.priority < best->priority ||
-                              (entry.priority == best->priority &&
-                               entry.handle > best->handle))) {
-        continue;
+  [[nodiscard]] Bucket& bucket_for_insert(Word first_key) {
+    if (first_key < kDenseFirstKeyLimit) {
+      // Growing moves the Bucket objects but not their heap-allocated entry
+      // storage, so cached Action pointers stay valid (and the generation
+      // bump of this insert revalidates every cache anyway).
+      if (dense_.size() <= first_key) dense_.resize(first_key + 1u);
+      return dense_[first_key];
+    }
+    return indexed_[first_key];
+  }
+
+  void erase_from(Bucket& bucket, EntryHandle handle) {
+    const auto it = std::find_if(
+        bucket.entries.begin(), bucket.entries.end(), [&](const Entry& e) {
+          ++stats_.erase_probes;
+          return e.handle == handle;
+        });
+    assert(it != bucket.entries.end());
+    bucket.entries.erase(it);
+    // Recompute the component-use summary from the survivors (erase is the
+    // control path; keeping the summary tight lets caches re-enable).
+    bucket.key_use = 0;
+    for (const Entry& e : bucket.entries) {
+      for (int i = 0; i < key_width_; ++i) {
+        if (e.keys[static_cast<std::size_t>(i)].mask != 0) bucket.key_use |= 1u << i;
       }
+    }
+  }
+
+  [[nodiscard]] const Entry* first_match(const Bucket& bucket,
+                                         std::span<const Word> fields) const noexcept {
+    for (const Entry& entry : bucket.entries) {
+      ++stats_.lookup_probes;
       bool hit = true;
       for (int i = 0; i < key_width_; ++i) {
         if (!entry.keys[static_cast<std::size_t>(i)].matches(
@@ -125,16 +252,23 @@ class TernaryTable {
           break;
         }
       }
-      if (hit) best = &entry;
+      // Entries are sorted (priority desc, handle asc): the first match is
+      // the bucket's winner.
+      if (hit) return &entry;
     }
+    return nullptr;
   }
 
   int key_width_;
   std::size_t capacity_;
   std::size_t size_ = 0;
-  std::unordered_map<Word, std::vector<Entry>> indexed_;
-  std::vector<Entry> unindexed_;
+  std::uint64_t generation_ = 1;
+  std::vector<Bucket> dense_;  ///< buckets for first keys < kDenseFirstKeyLimit
+  std::unordered_map<Word, Bucket> indexed_;  ///< buckets for large first keys
+  Bucket unindexed_;
+  std::unordered_map<EntryHandle, Locator> locator_;
   EntryHandle next_handle_ = 1;
+  mutable TernaryTableStats stats_;
 };
 
 }  // namespace p4runpro::rmt

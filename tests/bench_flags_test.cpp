@@ -1,0 +1,90 @@
+// The bench binaries share one sidecar-flag parser (bench_util.h): it must
+// accept both `--flag=path` and `--flag path` spellings, mark exactly the
+// argv slots it consumed (so benchmark::Initialize never sees them), and
+// leave unknown flags unconsumed so the google-benchmark layer still
+// rejects typos with a clean error instead of silently ignoring them.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+using p4runpro::bench::SidecarFlags;
+
+std::vector<char*> argv_of(std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  for (auto& a : args) argv.push_back(a.data());
+  return argv;
+}
+
+TEST(BenchFlags, EqualsFormIsParsedAndConsumed) {
+  std::vector<std::string> args = {"bench", "--bench-json-out=/tmp/x.json",
+                                   "--telemetry-out=/tmp/m.jsonl"};
+  auto argv = argv_of(args);
+  const auto flags = SidecarFlags::parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(flags.bench_json_path, "/tmp/x.json");
+  EXPECT_EQ(flags.metrics_path, "/tmp/m.jsonl");
+  ASSERT_EQ(flags.consumed.size(), 3u);
+  EXPECT_FALSE(flags.consumed[0]);  // argv[0] is never consumed
+  EXPECT_TRUE(flags.consumed[1]);
+  EXPECT_TRUE(flags.consumed[2]);
+}
+
+TEST(BenchFlags, SpaceFormConsumesBothSlots) {
+  std::vector<std::string> args = {"bench", "--bench-json-out", "out.json",
+                                   "--benchmark_filter=BM_Inject"};
+  auto argv = argv_of(args);
+  const auto flags = SidecarFlags::parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(flags.bench_json_path, "out.json");
+  EXPECT_TRUE(flags.consumed[1]);
+  EXPECT_TRUE(flags.consumed[2]);
+  // Benchmark-library flags pass through untouched.
+  EXPECT_FALSE(flags.consumed[3]);
+}
+
+TEST(BenchFlags, UnknownFlagsStayUnconsumed) {
+  // The smoke contract behind CI's unknown-flag check: the sidecar parser
+  // must not swallow a typo like --bench-json-outt, so the benchmark
+  // argument parser still sees it and errors out (nonzero exit).
+  std::vector<std::string> args = {"bench", "--bench-json-outt=x",
+                                   "--no-such-flag", "value"};
+  auto argv = argv_of(args);
+  const auto flags = SidecarFlags::parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(flags.bench_json_path.empty());
+  EXPECT_FALSE(flags.consumed[1]);
+  EXPECT_FALSE(flags.consumed[2]);
+  EXPECT_FALSE(flags.consumed[3]);
+}
+
+TEST(BenchFlags, AllSidecarFlagsParse) {
+  std::vector<std::string> args = {
+      "bench",           "--telemetry-out=m", "--trace-out", "t",
+      "--alerts-out=a",  "--flight-out", "f", "--bench-json-out=b"};
+  auto argv = argv_of(args);
+  const auto flags = SidecarFlags::parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(flags.metrics_path, "m");
+  EXPECT_EQ(flags.trace_path, "t");
+  EXPECT_EQ(flags.alerts_path, "a");
+  EXPECT_EQ(flags.flight_path, "f");
+  EXPECT_EQ(flags.bench_json_path, "b");
+  for (std::size_t i = 1; i < flags.consumed.size(); ++i) {
+    EXPECT_TRUE(flags.consumed[i]) << i;
+  }
+}
+
+TEST(BenchFlags, DanglingSpaceFormFlagIsNotConsumed) {
+  // `--bench-json-out` as the last token has no path to bind to; leaving it
+  // unconsumed lets the downstream parser report it instead of a silent
+  // half-parse.
+  std::vector<std::string> args = {"bench", "--bench-json-out"};
+  auto argv = argv_of(args);
+  const auto flags = SidecarFlags::parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(flags.bench_json_path.empty());
+  EXPECT_FALSE(flags.consumed[1]);
+}
+
+}  // namespace
