@@ -10,14 +10,60 @@
 
 namespace p4runpro {
 
+/// Failure class carried on every Error. Lets callers (and tests) branch on
+/// *what kind* of failure occurred instead of matching message substrings:
+/// a rolled-back deploy transaction reports ChannelError, an infeasible
+/// allocation AllocFailed, and so on. `Unknown` is the legacy default for
+/// untagged sites and is never printed.
+enum class ErrorCode : std::uint8_t {
+  Unknown = 0,
+  ParseError,       ///< lexer/parser rejected the source text
+  SemanticError,    ///< semantic check / translation rejected the program
+  AllocFailed,      ///< solver found no feasible allocation, or a resource
+                    ///< commit (memory block, table entries) was exhausted
+  ChannelError,     ///< simulated bfrt control-channel write failed
+  NotFound,         ///< unknown program / memory / address target
+  Conflict,         ///< name or resource clash with existing state
+  OutOfRange,       ///< address or index outside the valid range
+  InvalidArgument,  ///< malformed request (wrong arity, bad parameters)
+};
+
+[[nodiscard]] constexpr const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::Unknown: return "Unknown";
+    case ErrorCode::ParseError: return "ParseError";
+    case ErrorCode::SemanticError: return "SemanticError";
+    case ErrorCode::AllocFailed: return "AllocFailed";
+    case ErrorCode::ChannelError: return "ChannelError";
+    case ErrorCode::NotFound: return "NotFound";
+    case ErrorCode::Conflict: return "Conflict";
+    case ErrorCode::OutOfRange: return "OutOfRange";
+    case ErrorCode::InvalidArgument: return "InvalidArgument";
+  }
+  return "Unknown";
+}
+
 /// Error payload carried by Result. `where` is a coarse source location or
-/// subsystem tag, `message` is human-readable.
+/// subsystem tag, `message` is human-readable, `code` is the failure class
+/// (prefixed in str() so operators and tests can assert on it).
 struct Error {
   std::string message;
   std::string where;
+  ErrorCode code = ErrorCode::Unknown;
 
   [[nodiscard]] std::string str() const {
-    return where.empty() ? message : where + ": " + message;
+    std::string out;
+    if (code != ErrorCode::Unknown) {
+      out += '[';
+      out += error_code_name(code);
+      out += "] ";
+    }
+    if (!where.empty()) {
+      out += where;
+      out += ": ";
+    }
+    out += message;
+    return out;
   }
 };
 

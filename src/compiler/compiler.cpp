@@ -47,7 +47,8 @@ Result<TranslatedProgram> compile_single(std::string_view source) {
   auto programs = compile_source(source);
   if (!programs.ok()) return programs.error();
   if (programs.value().size() != 1) {
-    return Error{"expected exactly one program in source unit", "compiler"};
+    return Error{"expected exactly one program in source unit", "compiler",
+                 ErrorCode::InvalidArgument};
   }
   return std::move(programs.value().front());
 }

@@ -92,4 +92,53 @@ EntryPlan generate_entries(const TranslatedProgram& program,
   return plan;
 }
 
+void stage_install(const EntryPlan& plan, dp::WriteBatch& batch) {
+  // Step 1: recirculation entries (invisible without a program id). Always
+  // staged, even for single-pass programs: the channel still syncs one
+  // (empty) recirculation batch, matching the bfrt cost model.
+  batch.add_recirc(plan.program, plan.rounds);
+  // Step 2: RPB entries, in plan order.
+  for (const auto& spec : plan.rpb_entries) {
+    dp::RpbEntryWrite entry;
+    entry.rpb = spec.rpb;
+    entry.keys = spec.keys;
+    entry.priority = spec.priority;
+    entry.action = spec.action;
+    batch.add_rpb_entry(plan.program, std::move(entry));
+  }
+  // Step 3: init filters last — this atomically activates the program.
+  batch.add_filters(plan.program, plan.filters, plan.filter_priority);
+}
+
+void stage_remove(
+    const EntryPlan& plan,
+    const std::vector<dp::InitBlock::InstalledFilter>& filter_handles,
+    const std::vector<std::pair<int, rmt::EntryHandle>>& rpb_handles,
+    const std::vector<rmt::EntryHandle>& recirc_handles,
+    const std::map<std::string, ctrl::VmemPlacement>& placements,
+    dp::WriteBatch& batch) {
+  assert(rpb_handles.size() == plan.rpb_entries.size() &&
+         "handles must align with the plan's entry order");
+  // Step 1: delete the init filters first; without a program id every later
+  // component of the program stops matching at once.
+  batch.del_filters(plan.program, filter_handles, plan.filters,
+                    plan.filter_priority);
+  // Step 2: the remaining entries.
+  for (std::size_t i = 0; i < rpb_handles.size(); ++i) {
+    const auto& spec = plan.rpb_entries[i];
+    dp::RpbEntryWrite entry;
+    entry.rpb = spec.rpb;
+    entry.keys = spec.keys;
+    entry.priority = spec.priority;
+    entry.action = spec.action;
+    batch.del_rpb_entry(plan.program, std::move(entry), rpb_handles[i].second);
+  }
+  batch.del_recirc(plan.program, recirc_handles, plan.rounds);
+  // Step 3: lock, reset and release the program's memory (Fig. 6 step 4).
+  for (const auto& [vmem, placement] : placements) {
+    batch.reset_mem_range(placement.rpb, placement.block.base,
+                          placement.block.size, vmem);
+  }
+}
+
 }  // namespace p4runpro::rp

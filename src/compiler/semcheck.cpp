@@ -16,7 +16,8 @@ using lang::Primitive;
 using lang::PrimKind;
 
 [[nodiscard]] Error at_line(int line, std::string message) {
-  return Error{std::move(message), "line " + std::to_string(line)};
+  return Error{std::move(message), "line " + std::to_string(line),
+               ErrorCode::SemanticError};
 }
 
 /// Expected argument shapes. R = register, F = field, M = memory
@@ -198,18 +199,18 @@ Status check_unit(const lang::Unit& unit) {
     // mentions — e.g. `@ port_pool 10` in the paper's lb program).
     if (ann.size == 0) {
       return Error{"memory '" + ann.name + "' must have a non-zero size",
-                   "line " + std::to_string(ann.line)};
+                   "line " + std::to_string(ann.line), ErrorCode::SemanticError};
     }
     if (!names.insert(ann.name).second) {
       return Error{"duplicate memory declaration '" + ann.name + "'",
-                   "line " + std::to_string(ann.line)};
+                   "line " + std::to_string(ann.line), ErrorCode::SemanticError};
     }
   }
   std::set<std::string> prog_names;
   for (const auto& prog : unit.programs) {
     if (!prog_names.insert(prog.name).second) {
       return Error{"duplicate program name '" + prog.name + "'",
-                   "line " + std::to_string(prog.line)};
+                   "line " + std::to_string(prog.line), ErrorCode::SemanticError};
     }
     if (auto s = check_program(unit, prog); !s.ok()) return s;
   }

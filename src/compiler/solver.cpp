@@ -293,17 +293,18 @@ namespace {
 Result<AllocationResult> solve_allocation_impl(
     const TranslatedProgram& program, const dp::DataplaneSpec& spec,
     const ctrl::ResourceManager::Snapshot& snapshot, const Objective& objective) {
-  if (program.depth == 0) return Error{"empty program", "solver"};
+  if (program.depth == 0) return Error{"empty program", "solver", ErrorCode::SemanticError};
   const int logical = spec.logical_rpbs();
   if (program.depth > logical) {
     return Error{"program too deep: needs " + std::to_string(program.depth) +
                      " RPBs, data plane offers " + std::to_string(logical),
-                 "solver"};
+                 "solver", ErrorCode::SemanticError};
   }
 
   Search search(program, spec, snapshot);
   if (!search.globally_plausible()) {
-    return Error{"no feasible allocation for program '" + program.name + "'", "solver"};
+    return Error{"no feasible allocation for program '" + program.name + "'", "solver",
+                 ErrorCode::AllocFailed};
   }
   const int max_start = logical - program.depth + 1;
 
@@ -391,7 +392,8 @@ Result<AllocationResult> solve_allocation_impl(
   }
 
   if (!found) {
-    return Error{"no feasible allocation for program '" + program.name + "'", "solver"};
+    return Error{"no feasible allocation for program '" + program.name + "'", "solver",
+                 ErrorCode::AllocFailed};
   }
   best.rounds = dp::recirc_round(best.x.back(), spec.total_rpbs()) + 1;
   best.objective = best_obj;

@@ -179,7 +179,8 @@ class Translator {
   void fail(int line, std::string message) {
     if (failed_) return;
     failed_ = true;
-    error_ = Error{std::move(message), "line " + std::to_string(line)};
+    error_ = Error{std::move(message), "line " + std::to_string(line),
+                   ErrorCode::SemanticError};
   }
 
   /// Walk a primitive sequence under branch `bid`, chaining dependencies

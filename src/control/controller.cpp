@@ -1,7 +1,9 @@
 #include "control/controller.h"
 
 #include <cassert>
+#include <future>
 
+#include "control/deploy_txn.h"
 #include "obs/telemetry.h"
 
 namespace p4runpro::ctrl {
@@ -46,6 +48,16 @@ ProgramId Controller::next_program_id() {
   return next_id_++;
 }
 
+void Controller::recycle_failed_id(ProgramId id) {
+  if (id == next_id_ - 1) {
+    --next_id_;
+    return;
+  }
+  // The id was drawn from the recycle pool (its previous occupant was
+  // cleanly revoked); put it back.
+  free_ids_.push_back(id);
+}
+
 void Controller::record_event(ControlEvent::Kind kind, ProgramId id,
                               const std::string& name, const std::string& detail) {
   events_.push_back(ControlEvent{kind, clock_.now_ms(), id, name, detail});
@@ -56,11 +68,29 @@ void Controller::record_event(ControlEvent::Kind kind, ProgramId id,
     case ControlEvent::Kind::Relink: counter = "ctrl.events.relink"; break;
     case ControlEvent::Kind::Revoke: counter = "ctrl.events.revoke"; break;
     case ControlEvent::Kind::LinkFailed: counter = "ctrl.events.link_failed"; break;
+    case ControlEvent::Kind::RevokeFailed:
+      counter = "ctrl.events.revoke_failed";
+      break;
   }
   if (counter != nullptr) telemetry_->metrics.counter(counter).inc();
 }
 
+void Controller::record_link_histograms(const LinkResult& result) {
+  // Route the deployment-delay breakdown (LinkStats) through the registry:
+  // the §6.2.1 quantities become queryable histograms.
+  auto& m = telemetry_->metrics;
+  m.histogram("ctrl.link.parse_ms").observe(result.stats.parse_ms);
+  m.histogram("ctrl.link.alloc_ms").observe(result.stats.alloc_ms);
+  m.histogram("ctrl.link.update_ms").observe(result.stats.update_ms);
+  m.histogram("ctrl.link.deploy_ms").observe(result.stats.deploy_ms());
+}
+
 Result<std::vector<LinkResult>> Controller::link(std::string_view source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return link_locked(source);
+}
+
+Result<std::vector<LinkResult>> Controller::link_locked(std::string_view source) {
   auto link_span = telemetry_->tracer.span("link", "ctrl");
   // Parse + check + translate. The paper measures ~2 ms average parse time
   // on the switch CPU; charge it to the simulated clock. compile_source
@@ -77,13 +107,12 @@ Result<std::vector<LinkResult>> Controller::link(std::string_view source) {
 
   std::vector<LinkResult> results;
   for (const auto& ir : compiled.value()) {
-    auto linked = link_one(ir);
+    auto linked = link_one_locked(ir);
     if (!linked.ok()) {
-      record_event(ControlEvent::Kind::LinkFailed, 0, ir.name,
-                   linked.error().str());
       // All-or-nothing: revoke programs linked earlier in this unit.
+      // (link_one_locked already audited the failure.)
       for (const auto& r : results) {
-        const Status s = revoke(r.id);
+        const Status s = revoke_locked(r.id);
         assert(s.ok());
         (void)s;
       }
@@ -94,15 +123,7 @@ Result<std::vector<LinkResult>> Controller::link(std::string_view source) {
     results.back().stats.parse_ms = parse_ms / static_cast<double>(compiled.value().size());
   }
 
-  // Route the deployment-delay breakdown (LinkStats) through the registry:
-  // the §6.2.1 quantities become queryable histograms.
-  auto& m = telemetry_->metrics;
-  for (const auto& r : results) {
-    m.histogram("ctrl.link.parse_ms").observe(r.stats.parse_ms);
-    m.histogram("ctrl.link.alloc_ms").observe(r.stats.alloc_ms);
-    m.histogram("ctrl.link.update_ms").observe(r.stats.update_ms);
-    m.histogram("ctrl.link.deploy_ms").observe(r.stats.deploy_ms());
-  }
+  for (const auto& r : results) record_link_histograms(r);
   link_span.arg("programs", static_cast<std::uint64_t>(results.size()));
   return results;
 }
@@ -111,16 +132,27 @@ Result<LinkResult> Controller::link_single(std::string_view source) {
   auto results = link(source);
   if (!results.ok()) return results.error();
   if (results.value().size() != 1) {
-    return Error{"expected exactly one program in source unit", "Controller"};
+    return Error{"expected exactly one program in source unit", "Controller",
+                 ErrorCode::InvalidArgument};
   }
   return std::move(results.value().front());
 }
 
-Result<LinkResult> Controller::link_one(const rp::TranslatedProgram& ir,
-                                        ProgramId replacing) {
+Result<LinkResult> Controller::link_one_locked(const rp::TranslatedProgram& ir,
+                                               ProgramId replacing) {
+  // Every rollback leaves an audit trail: a LinkFailed event carrying the
+  // coded error, plus a TxnRollback entry in the monitor stream when a
+  // transaction (id assigned) was actually begun.
+  auto fail = [&](ProgramId id, const Error& err) -> Error {
+    if (id != 0) telemetry_->monitor.txn_rolled_back(id, ir.name, err.str());
+    record_event(ControlEvent::Kind::LinkFailed, id, ir.name, err.str());
+    return err;
+  };
+
   if (const InstalledProgram* existing = program_by_name(ir.name);
       existing != nullptr && existing->id != replacing) {
-    return Error{"a program named '" + ir.name + "' is already running", "Controller"};
+    return fail(0, Error{"a program named '" + ir.name + "' is already running",
+                         "Controller", ErrorCode::Conflict});
   }
 
   // Allocation (real measured solver time, §6.2.1 "allocation delay").
@@ -137,81 +169,31 @@ Result<LinkResult> Controller::link_one(const rp::TranslatedProgram& ir,
     solve_span.arg("rounds", static_cast<std::uint64_t>(alloc.value().rounds));
   }
   solve_span.end();
-  if (!alloc.ok()) return alloc.error();
+  if (!alloc.ok()) return fail(0, alloc.error());
 
-  // Commit resources: memory blocks at the pinned stages, then table
-  // entries per physical RPB.
+  // Transaction: reserve -> plan -> stage -> commit, rollback on any fault.
   const ProgramId id = next_program_id();
-  std::map<std::string, VmemPlacement> placements;
-  auto release_all = [&] {
-    for (const auto& [vmem, placement] : placements) {
-      resources_.free_memory(placement.rpb, placement.block);
-    }
-    free_ids_.push_back(id);
-  };
-
-  for (const auto& [vmem, rpb] : alloc.value().vmem_rpb) {
-    auto block = resources_.allocate_memory(rpb, ir.vmem_sizes.at(vmem));
-    if (!block.ok()) {
-      release_all();
-      return block.error();
-    }
-    placements[vmem] = VmemPlacement{rpb, block.value()};
+  DeployTransaction txn(
+      DeployContext{dataplane_, resources_, updates_, telemetry_}, ir,
+      std::move(alloc).take(), id, ++filter_generation_, replacing);
+  if (auto s = txn.reserve(); !s.ok()) {
+    recycle_failed_id(id);
+    return fail(id, s.error());
   }
-
-  auto entrygen_span = telemetry_->tracer.span("entrygen", "ctrl");
-  auto plan = rp::generate_entries(ir, alloc.value(), id, placements, dataplane_.spec());
-  plan.filter_priority = ++filter_generation_;
-  entrygen_span.arg("rpb_entries", static_cast<std::uint64_t>(plan.rpb_entries.size()));
-  entrygen_span.end();
-
-  // Incremental update: carry over the contents of virtual memories that
-  // survive the version change, before the new version becomes visible.
-  if (replacing != 0) {
-    if (const auto* old_placements = resources_.program_placements(replacing)) {
-      for (const auto& [vmem, placement] : placements) {
-        const auto old_it = old_placements->find(vmem);
-        if (old_it == old_placements->end()) continue;
-        const std::uint32_t count =
-            std::min(placement.block.size, old_it->second.block.size);
-        const auto& old_mem = dataplane_.rpb(old_it->second.rpb).memory();
-        auto& new_mem = dataplane_.rpb(placement.rpb).memory();
-        for (std::uint32_t a = 0; a < count; ++a) {
-          new_mem.write(placement.block.base + a,
-                        old_mem.read(old_it->second.block.base + a));
-        }
-      }
-    }
-  }
-
-  std::map<int, std::uint32_t> entries_per_rpb;
-  for (const auto& e : plan.rpb_entries) ++entries_per_rpb[e.rpb];
-  std::vector<int> reserved;
-  for (const auto& [rpb, count] : entries_per_rpb) {
-    if (auto s = resources_.reserve_entries(rpb, count); !s.ok()) {
-      for (int r : reserved) {
-        resources_.release_entries(r, entries_per_rpb.at(r));
-      }
-      release_all();
-      return s.error();
-    }
-    reserved.push_back(rpb);
-  }
+  txn.plan_entries();
+  txn.stage();
 
   // Consistent update (simulated bfrt writes; §6.2.1 "update delay").
   auto install_span = telemetry_->tracer.span("install", "ctrl");
   const double update_start_ms = clock_.now_ms();
-  auto installed = updates_.install(ir, alloc.value(), std::move(plan),
-                                    placements, ir.name);
+  auto installed = txn.commit();
   const double update_ms = clock_.now_ms() - update_start_ms;
   install_span.end();
   if (!installed.ok()) {
-    for (int r : reserved) resources_.release_entries(r, entries_per_rpb.at(r));
-    release_all();
-    return installed.error();
+    recycle_failed_id(id);
+    return fail(id, installed.error());
   }
-
-  resources_.record_program(id, placements);
+  telemetry_->monitor.txn_committed(id, ir.name);
   programs_.emplace(id, std::move(installed).take());
 
   LinkResult result;
@@ -222,30 +204,142 @@ Result<LinkResult> Controller::link_one(const rp::TranslatedProgram& ir,
   return result;
 }
 
+std::vector<Result<LinkResult>> Controller::link_many(
+    const std::vector<std::string>& sources, common::ThreadPool& pool,
+    ParallelLinkOptions options) {
+  std::vector<std::future<Result<LinkResult>>> futures;
+  futures.reserve(sources.size());
+  for (const auto& source : sources) {
+    futures.push_back(pool.submit(
+        [this, &source, options] { return link_one_parallel(source, options); }));
+  }
+  std::vector<Result<LinkResult>> results;
+  results.reserve(futures.size());
+  for (auto& future : futures) results.push_back(future.get());
+  return results;
+}
+
+Result<LinkResult> Controller::link_one_parallel(const std::string& source,
+                                                 ParallelLinkOptions options) {
+  // Compile + translate off-lock: pure compute over the source text. No
+  // telemetry — the tracer and clock are shared state behind mu_.
+  auto compiled = rp::compile_source(source, nullptr);
+  if (!compiled.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    clock_.advance_ms(2.0);
+    record_event(ControlEvent::Kind::LinkFailed, 0, "<compile>",
+                 compiled.error().str());
+    return compiled.error();
+  }
+  if (compiled.value().size() != 1) {
+    return Error{"link_many expects single-program source units", "Controller",
+                 ErrorCode::InvalidArgument};
+  }
+  const rp::TranslatedProgram& ir = compiled.value().front();
+
+  Error conflict{"parallel link: retries exhausted", "Controller",
+                 ErrorCode::AllocFailed};
+  for (int attempt = 0; attempt <= options.max_solve_retries; ++attempt) {
+    // Solve against a snapshot off-lock (the expensive phase runs in
+    // parallel across sessions).
+    ResourceManager::Snapshot snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      snapshot = resources_.snapshot();
+    }
+    WallTimer timer;
+    auto alloc =
+        rp::solve_allocation(ir, dataplane_.spec(), snapshot, objective_, nullptr);
+    const double solve_ms = timer.elapsed_ms();
+
+    // Reservation + staged commit serialize under the session lock; the
+    // dataplane, clock, telemetry and audit log are only touched here.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (attempt == 0) clock_.advance_ms(2.0);  // parse charge, once
+    const double alloc_ms =
+        fixed_alloc_charge_ms_ ? *fixed_alloc_charge_ms_ : solve_ms;
+    clock_.advance_ms(alloc_ms);
+    if (!alloc.ok()) {
+      record_event(ControlEvent::Kind::LinkFailed, 0, ir.name,
+                   alloc.error().str());
+      return alloc.error();
+    }
+    if (program_by_name(ir.name) != nullptr) {
+      const Error err{"a program named '" + ir.name + "' is already running",
+                      "Controller", ErrorCode::Conflict};
+      record_event(ControlEvent::Kind::LinkFailed, 0, ir.name, err.str());
+      return err;
+    }
+
+    const ProgramId id = next_program_id();
+    DeployTransaction txn(
+        DeployContext{dataplane_, resources_, updates_, telemetry_}, ir,
+        std::move(alloc).take(), id, ++filter_generation_, 0);
+    if (auto s = txn.reserve(); !s.ok()) {
+      recycle_failed_id(id);
+      if (s.error().code == ErrorCode::AllocFailed &&
+          attempt < options.max_solve_retries) {
+        // Another session took the resources between snapshot and lock:
+        // re-snapshot and re-solve.
+        conflict = s.error();
+        continue;
+      }
+      telemetry_->monitor.txn_rolled_back(id, ir.name, s.error().str());
+      record_event(ControlEvent::Kind::LinkFailed, id, ir.name, s.error().str());
+      return s.error();
+    }
+    txn.plan_entries();
+    txn.stage();
+
+    const double update_start_ms = clock_.now_ms();
+    auto installed = txn.commit();
+    const double update_ms = clock_.now_ms() - update_start_ms;
+    if (!installed.ok()) {
+      recycle_failed_id(id);
+      telemetry_->monitor.txn_rolled_back(id, ir.name, installed.error().str());
+      record_event(ControlEvent::Kind::LinkFailed, id, ir.name,
+                   installed.error().str());
+      return installed.error();
+    }
+    telemetry_->monitor.txn_committed(id, ir.name);
+    programs_.emplace(id, std::move(installed).take());
+    record_event(ControlEvent::Kind::Link, id, ir.name);
+
+    LinkResult result;
+    result.id = id;
+    result.name = ir.name;
+    result.stats.parse_ms = 2.0;
+    result.stats.alloc_ms = alloc_ms;
+    result.stats.update_ms = update_ms;
+    record_link_histograms(result);
+    return result;
+  }
+  return conflict;
+}
+
 Result<LinkResult> Controller::relink(ProgramId old_id, std::string_view source) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (program(old_id) == nullptr) {
-    return Error{"no running program with id " + std::to_string(old_id), "Controller"};
+    return Error{"no running program with id " + std::to_string(old_id),
+                 "Controller", ErrorCode::NotFound};
   }
   auto relink_span = telemetry_->tracer.span("relink", "ctrl");
   auto compiled = rp::compile_source(source, telemetry_);
   clock_.advance_ms(2.0);
   if (!compiled.ok()) return compiled.error();
   if (compiled.value().size() != 1) {
-    return Error{"relink expects exactly one program", "Controller"};
+    return Error{"relink expects exactly one program", "Controller",
+                 ErrorCode::InvalidArgument};
   }
 
   // Install the new version first (it stays invisible until its filter
   // lands, which outranks the old one), then retire the old version.
-  auto linked = link_one(compiled.value().front(), old_id);
-  if (!linked.ok()) {
-    record_event(ControlEvent::Kind::LinkFailed, old_id,
-                 compiled.value().front().name, linked.error().str());
-    return linked.error();
-  }
+  auto linked = link_one_locked(compiled.value().front(), old_id);
+  if (!linked.ok()) return linked.error();
   record_event(ControlEvent::Kind::Relink, linked.value().id,
                compiled.value().front().name);
-  if (auto s = revoke(old_id); !s.ok()) {
-    const Status undo = revoke(linked.value().id);
+  if (auto s = revoke_locked(old_id); !s.ok()) {
+    const Status undo = revoke_locked(linked.value().id);
     assert(undo.ok());
     (void)undo;
     return s.error();
@@ -254,9 +348,15 @@ Result<LinkResult> Controller::relink(ProgramId old_id, std::string_view source)
 }
 
 Status Controller::revoke(ProgramId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return revoke_locked(id);
+}
+
+Status Controller::revoke_locked(ProgramId id) {
   const auto it = programs_.find(id);
   if (it == programs_.end()) {
-    return Error{"no running program with id " + std::to_string(id), "Controller"};
+    return Error{"no running program with id " + std::to_string(id), "Controller",
+                 ErrorCode::NotFound};
   }
   auto revoke_span = telemetry_->tracer.span("revoke", "ctrl");
   InstalledProgram& program = it->second;
@@ -267,7 +367,14 @@ Status Controller::revoke(ProgramId id) {
     ++entries_per_rpb[rpb];
   }
 
-  updates_.remove(program);
+  if (auto s = updates_.remove(program); !s.ok()) {
+    // The removal journal restored the program (fresh handles); it keeps
+    // running and keeps all its resources.
+    telemetry_->monitor.txn_rolled_back(id, program.name, s.error().str());
+    record_event(ControlEvent::Kind::RevokeFailed, id, program.name,
+                 s.error().str());
+    return s.error();
+  }
 
   for (const auto& [rpb, count] : entries_per_rpb) {
     resources_.release_entries(rpb, count);
@@ -281,10 +388,12 @@ Status Controller::revoke(ProgramId id) {
 }
 
 Status Controller::revoke_by_name(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [id, program] : programs_) {
-    if (program.name == name) return revoke(id);
+    if (program.name == name) return revoke_locked(id);
   }
-  return Error{"no running program named '" + name + "'", "Controller"};
+  return Error{"no running program named '" + name + "'", "Controller",
+               ErrorCode::NotFound};
 }
 
 const InstalledProgram* Controller::program(ProgramId id) const {
@@ -322,9 +431,13 @@ std::uint64_t Controller::program_packets(ProgramId id) const {
 Result<std::vector<Word>> Controller::dump_memory(ProgramId id,
                                                   const std::string& vmem) const {
   const auto* placements = resources_.program_placements(id);
-  if (placements == nullptr) return Error{"unknown program", "Controller"};
+  if (placements == nullptr) {
+    return Error{"unknown program", "Controller", ErrorCode::NotFound};
+  }
   const auto it = placements->find(vmem);
-  if (it == placements->end()) return Error{"unknown memory '" + vmem + "'", "Controller"};
+  if (it == placements->end()) {
+    return Error{"unknown memory '" + vmem + "'", "Controller", ErrorCode::NotFound};
+  }
   std::vector<Word> out;
   out.reserve(it->second.block.size);
   const auto& memory = dataplane_.rpb(it->second.rpb).memory();
@@ -337,7 +450,9 @@ Result<std::vector<Word>> Controller::dump_memory(ProgramId id,
 Result<rmt::HashAlgo> Controller::hash_algo_for(ProgramId id,
                                                 const std::string& vmem) const {
   const InstalledProgram* prog = program(id);
-  if (prog == nullptr) return Error{"unknown program", "Controller"};
+  if (prog == nullptr) {
+    return Error{"unknown program", "Controller", ErrorCode::NotFound};
+  }
   for (const auto& node : prog->ir.nodes) {
     const bool hashes_mem = node.op.kind == dp::OpKind::Hash5TupleMem ||
                             node.op.kind == dp::OpKind::HashHarMem;
@@ -346,11 +461,13 @@ Result<rmt::HashAlgo> Controller::hash_algo_for(ProgramId id,
     const int phys = dp::physical_rpb(logical, dataplane_.spec().total_rpbs());
     return dataplane_.rpb(phys).hash16_algo();
   }
-  return Error{"program has no hash-addressed access to '" + vmem + "'", "Controller"};
+  return Error{"program has no hash-addressed access to '" + vmem + "'",
+               "Controller", ErrorCode::NotFound};
 }
 
 Status Controller::write_memory(ProgramId id, const std::string& vmem, MemAddr vaddr,
                                 Word value) {
+  std::lock_guard<std::mutex> lock(mu_);
   return resources_.write_virtual(dataplane_, id, vmem, vaddr, value);
 }
 

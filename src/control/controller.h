@@ -7,6 +7,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -14,6 +15,7 @@
 
 #include "common/clock.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "compiler/compiler.h"
 #include "compiler/solver.h"
 #include "control/resource_manager.h"
@@ -50,11 +52,22 @@ struct LinkResult {
 
 /// One control-plane lifecycle event (operator audit log).
 struct ControlEvent {
-  enum class Kind : std::uint8_t { Link, Relink, Revoke, LinkFailed } kind;
+  enum class Kind : std::uint8_t {
+    Link, Relink, Revoke, LinkFailed, RevokeFailed
+  } kind;
   double t_ms = 0.0;  ///< virtual time
   ProgramId id = 0;
   std::string name;
-  std::string detail;  ///< error text for LinkFailed
+  std::string detail;  ///< error text (with its [ErrorCode]) for *Failed kinds
+};
+
+/// Tuning for link_many's concurrent sessions.
+struct ParallelLinkOptions {
+  /// A session solves against a resource snapshot off-lock; by commit time
+  /// another session may have taken those resources. On such a reservation
+  /// conflict the session re-snapshots and re-solves, up to this many extra
+  /// attempts, before giving up with the conflict error.
+  int max_solve_retries = 3;
 };
 
 class Controller {
@@ -73,6 +86,17 @@ class Controller {
   /// Link a unit expected to contain exactly one program.
   Result<LinkResult> link_single(std::string_view source);
 
+  /// Concurrent link sessions: link every source (each a single-program
+  /// unit) on `pool` workers. Compile and allocation-solving run in
+  /// parallel against resource snapshots; reservation + staged commit are
+  /// serialized under the controller's session lock, so deployments stay
+  /// all-or-nothing and allocations never overlap. Results are positional
+  /// (results[i] belongs to sources[i]); each failure is per-session and
+  /// rolls back only its own transaction.
+  std::vector<Result<LinkResult>> link_many(const std::vector<std::string>& sources,
+                                            common::ThreadPool& pool,
+                                            ParallelLinkOptions options = {});
+
   /// Incremental update (paper §7): atomically replace a running program
   /// with a new version compiled from `source`, preserving the contents of
   /// virtual memories present in both versions. The new version is fully
@@ -80,7 +104,9 @@ class Controller {
   /// exactly one complete version.
   Result<LinkResult> relink(ProgramId old_id, std::string_view source);
 
-  /// Consistently remove a running program and release its resources.
+  /// Consistently remove a running program and release its resources. A
+  /// control-channel fault mid-removal rolls the removal back: the program
+  /// keeps running (with fresh entry handles) and the error is returned.
   Status revoke(ProgramId id);
   /// Revoke by program name (names are unique among running programs).
   Status revoke_by_name(const std::string& name);
@@ -142,9 +168,26 @@ class Controller {
   }
 
  private:
-  Result<LinkResult> link_one(const rp::TranslatedProgram& ir,
-                              ProgramId replacing = 0);
+  // Locking discipline (docs/ARCHITECTURE.md "Transactional deploys"): all
+  // mutations of controller/resource/dataplane/clock/telemetry state happen
+  // under mu_. Public mutators take the lock and delegate to the *_locked
+  // internals; link_many workers do their pure compute (compile, solve)
+  // off-lock against snapshots and re-enter mu_ for reserve+commit. Const
+  // queries are unsynchronized — call them only while no session runs.
+  Result<std::vector<LinkResult>> link_locked(std::string_view source);
+  Result<LinkResult> link_one_locked(const rp::TranslatedProgram& ir,
+                                     ProgramId replacing = 0);
+  Result<LinkResult> link_one_parallel(const std::string& source,
+                                       ParallelLinkOptions options);
+  Status revoke_locked(ProgramId id);
   [[nodiscard]] ProgramId next_program_id();
+  /// Return the id of a rolled-back deploy: the freshest id un-allocates
+  /// (next_id_ decrements), an id drawn from the recycle pool goes back to
+  /// it. A failed deploy never *adds* a new id to free_ids_ — only a
+  /// successful revoke does — so ids of programs that never ran can't leak
+  /// into the pool and alias monitor history.
+  void recycle_failed_id(ProgramId id);
+  void record_link_histograms(const LinkResult& result);
 
   dp::RunproDataplane& dataplane_;
   SimClock& clock_;
@@ -156,10 +199,11 @@ class Controller {
   void record_event(ControlEvent::Kind kind, ProgramId id, const std::string& name,
                     const std::string& detail = "");
 
+  mutable std::mutex mu_;  ///< session lock (see locking discipline above)
   std::deque<ControlEvent> events_;
   std::map<ProgramId, InstalledProgram> programs_;
   ProgramId next_id_ = 1;
-  std::vector<ProgramId> free_ids_;
+  std::vector<ProgramId> free_ids_;  ///< fed only by successful revokes
   int filter_generation_ = 0;
 };
 

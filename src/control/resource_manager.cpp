@@ -127,7 +127,29 @@ Result<MemBlock> ResourceManager::allocate_memory(int rpb, std::uint32_t size) {
   }
   return Error{"no contiguous free block of size " + std::to_string(size) +
                    " in RPB " + std::to_string(rpb),
-               "ResourceManager"};
+               "ResourceManager", ErrorCode::AllocFailed};
+}
+
+Status ResourceManager::reclaim_block(int rpb, const MemBlock& block) {
+  auto& list = free_list(rpb);
+  for (auto it = list.begin(); it != list.end(); ++it) {
+    if (it->base > block.base) break;
+    if (block.base >= it->base && block.base + block.size <= it->base + it->size) {
+      // Split the containing free partition around the reclaimed range.
+      const MemBlock before{it->base, block.base - it->base};
+      const MemBlock after{block.base + block.size,
+                           (it->base + it->size) - (block.base + block.size)};
+      it = list.erase(it);
+      if (after.size > 0) it = list.insert(it, after);
+      if (before.size > 0) list.insert(it, before);
+      memory_used_[static_cast<std::size_t>(rpb - 1)] += block.size;
+      return {};
+    }
+  }
+  return Error{"block [" + std::to_string(block.base) + ", +" +
+                   std::to_string(block.size) + ") of RPB " + std::to_string(rpb) +
+                   " is no longer free",
+               "ResourceManager", ErrorCode::Conflict};
 }
 
 void ResourceManager::insert_coalesced(std::list<MemBlock>& list, MemBlock block) {
@@ -172,7 +194,7 @@ Status ResourceManager::reserve_entries(int rpb, std::uint32_t count) {
   auto& used = entries_used_[static_cast<std::size_t>(rpb - 1)];
   if (used + count > spec_.entries_per_rpb) {
     return Error{"table entries exhausted in RPB " + std::to_string(rpb),
-                 "ResourceManager"};
+                 "ResourceManager", ErrorCode::AllocFailed};
   }
   used += count;
   push_occupancy(rpb, used);
@@ -209,10 +231,18 @@ Result<Word> ResourceManager::read_virtual(const dp::RunproDataplane& dataplane,
                                            ProgramId id, const std::string& vmem,
                                            MemAddr vaddr) const {
   const auto* placements = program_placements(id);
-  if (placements == nullptr) return Error{"unknown program", "ResourceManager"};
+  if (placements == nullptr) {
+    return Error{"unknown program", "ResourceManager", ErrorCode::NotFound};
+  }
   const auto it = placements->find(vmem);
-  if (it == placements->end()) return Error{"unknown memory '" + vmem + "'", "ResourceManager"};
-  if (vaddr >= it->second.block.size) return Error{"virtual address out of range", "ResourceManager"};
+  if (it == placements->end()) {
+    return Error{"unknown memory '" + vmem + "'", "ResourceManager",
+                 ErrorCode::NotFound};
+  }
+  if (vaddr >= it->second.block.size) {
+    return Error{"virtual address out of range", "ResourceManager",
+                 ErrorCode::OutOfRange};
+  }
   return dataplane.rpb(it->second.rpb).memory().read(it->second.block.base + vaddr);
 }
 
@@ -220,10 +250,18 @@ Status ResourceManager::write_virtual(dp::RunproDataplane& dataplane, ProgramId 
                                       const std::string& vmem, MemAddr vaddr,
                                       Word value) const {
   const auto* placements = program_placements(id);
-  if (placements == nullptr) return Error{"unknown program", "ResourceManager"};
+  if (placements == nullptr) {
+    return Error{"unknown program", "ResourceManager", ErrorCode::NotFound};
+  }
   const auto it = placements->find(vmem);
-  if (it == placements->end()) return Error{"unknown memory '" + vmem + "'", "ResourceManager"};
-  if (vaddr >= it->second.block.size) return Error{"virtual address out of range", "ResourceManager"};
+  if (it == placements->end()) {
+    return Error{"unknown memory '" + vmem + "'", "ResourceManager",
+                 ErrorCode::NotFound};
+  }
+  if (vaddr >= it->second.block.size) {
+    return Error{"virtual address out of range", "ResourceManager",
+                 ErrorCode::OutOfRange};
+  }
   dataplane.rpb(it->second.rpb).memory().write(it->second.block.base + vaddr, value);
   return {};
 }

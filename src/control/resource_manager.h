@@ -62,6 +62,12 @@ class ResourceManager {
   Result<MemBlock> allocate_memory(int rpb, std::uint32_t size);
   /// Return a block to the free list, coalescing with neighbours.
   void free_memory(int rpb, const MemBlock& block);
+  /// Carve a *specific* block back out of the free list (rollback of a
+  /// revoke transaction: the freed block must return to exactly its old
+  /// place so the pre-transaction occupancy is byte-identical). Fails with
+  /// Conflict when any part of the range has been re-allocated meanwhile —
+  /// impossible under the commit lock, so a failure indicates a journal bug.
+  Status reclaim_block(int rpb, const MemBlock& block);
   /// Take a block out of circulation during program termination; it stays
   /// unavailable until `unlock_memory` (lock-and-reset, Fig. 6 step 4).
   void lock_memory(int rpb, const MemBlock& block);

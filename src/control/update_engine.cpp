@@ -1,10 +1,40 @@
 #include "control/update_engine.h"
 
 #include <cassert>
+#include <cstddef>
 
 #include "obs/telemetry.h"
 
 namespace p4runpro::ctrl {
+
+namespace {
+
+/// Batch label an op is charged under, or nullptr for memory ops (carry-over
+/// writes are CPU-side copies; resets have their own block-API cost model).
+[[nodiscard]] const char* charge_label(dp::WriteOp::Kind kind) {
+  switch (kind) {
+    case dp::WriteOp::Kind::AddRecirc:
+      return "add.recirc";
+    case dp::WriteOp::Kind::AddRpbEntry:
+      return "add.rpb";
+    case dp::WriteOp::Kind::AddFilters:
+      return "add.filters";
+    case dp::WriteOp::Kind::DelFilters:
+      return "del.filters";
+    case dp::WriteOp::Kind::DelRpbEntry:
+      return "del.rpb";
+    case dp::WriteOp::Kind::DelRecirc:
+      return "del.recirc";
+    default:
+      return nullptr;
+  }
+}
+
+[[nodiscard]] Error channel_fault() {
+  return Error{"injected control-channel fault", "bfrt", ErrorCode::ChannelError};
+}
+
+}  // namespace
 
 void UpdateEngine::charge_entries(std::size_t count, const char* what) {
   auto batch_span = obs::span(telemetry_, "bfrt.batch", "bfrt");
@@ -22,121 +52,206 @@ void UpdateEngine::charge_entries(std::size_t count, const char* what) {
   }
 }
 
-Result<InstalledProgram> UpdateEngine::install(
-    const rp::TranslatedProgram& ir, const rp::AllocationResult& alloc,
-    rp::EntryPlan plan, std::map<std::string, VmemPlacement> placements,
-    const std::string& name) {
-  InstalledProgram out;
-  out.id = plan.program;
-  out.name = name;
-  out.ir = ir;
-  out.alloc = alloc;
-  out.placements = std::move(placements);
+void UpdateEngine::unwind(std::vector<JournalEntry>& journal) {
+  for (auto it = journal.rbegin(); it != journal.rend(); ++it) {
+    dataplane_.undo(it->inverse);
+  }
+  journal.clear();
+}
 
-  auto rollback = [&] {
-    for (const auto& [rpb, handle] : out.rpb_handles) {
-      dataplane_.rpb(rpb).table().erase(handle);
-    }
-    dataplane_.recirc_block().remove(out.recirc_handles);
-    dataplane_.init_block().remove(out.filter_handles);
+Result<UpdateEngine::AppliedEntries> UpdateEngine::execute_install(
+    const dp::WriteBatch& batch) {
+  AppliedEntries out;
+  std::vector<JournalEntry> journal;
+  journal.reserve(batch.ops.size());
+
+  // Consecutive ops of one kind form a single bfrt batch; the charge is
+  // flushed at every kind boundary so per-batch overheads match the channel
+  // model (one sync per batch, one write per entry).
+  dp::WriteOp::Kind group_kind = dp::WriteOp::Kind::AddRecirc;
+  bool group_open = false;
+  std::size_t group_count = 0;
+  auto flush = [&] {
+    if (group_open) charge_entries(group_count, charge_label(group_kind));
+    group_open = false;
+    group_count = 0;
+  };
+  auto fail = [&](Error err) -> Error {
+    unwind(journal);
+    return err;
   };
 
-  // Step 1: recirculation entries (invisible without a program id).
-  if (inject_fault()) return Error{"injected control-channel fault", "bfrt"};
-  auto recirc = dataplane_.recirc_block().install(plan.program, plan.rounds);
-  if (!recirc.ok()) return recirc.error();
-  out.recirc_handles = std::move(recirc).take();
-  charge_entries(out.recirc_handles.size(), "add.recirc");
-  observe_step();
+  for (std::size_t i = 0; i < batch.ops.size(); ++i) {
+    const dp::WriteOp& op = batch.ops[i];
+    const bool charged = charge_label(op.kind) != nullptr;
+    if (group_open && (!charged || op.kind != group_kind)) flush();
 
-  // Step 2: RPB entries, batched per program.
-  for (auto& spec : plan.rpb_entries) {
-    if (inject_fault()) {
-      rollback();
-      return Error{"injected control-channel fault", "bfrt"};
+    if (inject_fault()) return fail(channel_fault());
+    auto applied = dataplane_.apply(op);
+    if (!applied.ok()) return fail(applied.error());
+    dp::WriteOp inverse = std::move(applied).take();
+
+    switch (op.kind) {
+      case dp::WriteOp::Kind::AddRecirc:
+        out.recirc_handles = inverse.recirc_handles;
+        group_count += inverse.recirc_handles.size();
+        break;
+      case dp::WriteOp::Kind::AddRpbEntry:
+        out.rpb_handles.emplace_back(op.entry.rpb, inverse.rpb_handle);
+        ++group_count;
+        break;
+      case dp::WriteOp::Kind::AddFilters:
+        out.filter_handles = inverse.filter_handles;
+        group_count += inverse.filter_handles.size();
+        break;
+      case dp::WriteOp::Kind::WriteMemRange:
+        break;  // relink carry-over: uncharged CPU-side prefill
+      default:
+        return fail(Error{"unsupported op kind in install batch", "UpdateEngine",
+                          ErrorCode::InvalidArgument});
     }
-    auto handle = dataplane_.rpb(spec.rpb).table().insert(spec.keys, spec.priority,
-                                                          spec.action);
-    if (!handle.ok()) {
-      rollback();
-      return handle.error();
+    if (charged) {
+      group_kind = op.kind;
+      group_open = true;
     }
-    out.rpb_handles.emplace_back(spec.rpb, handle.value());
+    journal.push_back(JournalEntry{i, std::move(inverse)});
     observe_step();
   }
-  charge_entries(out.rpb_handles.size(), "add.rpb");
-
-  // Step 3: init filters last — this atomically activates the program.
-  if (inject_fault()) {
-    rollback();
-    return Error{"injected control-channel fault", "bfrt"};
-  }
-  auto filters = dataplane_.init_block().install(plan.program, plan.filters,
-                                                 plan.filter_priority);
-  if (!filters.ok()) {
-    rollback();
-    return filters.error();
-  }
-  out.filter_handles = std::move(filters).take();
-  charge_entries(out.filter_handles.size(), "add.filters");
-  observe_step();
-
-  out.plan = std::move(plan);
-  if (telemetry_ != nullptr) {
-    // The program became visible to traffic with the last filter write:
-    // announce the deploy to the health monitor (entry count = everything
-    // the update wrote, the same figure the dashboard reports).
-    telemetry_->monitor.program_deployed(
-        out.id, out.name,
-        out.filter_handles.size() + out.rpb_handles.size() +
-            out.recirc_handles.size());
-  }
+  flush();
   return out;
 }
 
-void UpdateEngine::remove(InstalledProgram& program) {
+dp::WriteOp UpdateEngine::apply_mem_reset(const dp::WriteOp& op) {
+  auto reset_span = obs::span(telemetry_, "bfrt.mem_reset", "bfrt");
+  reset_span.arg("vmem", op.vmem);
+  reset_span.arg("buckets", static_cast<std::uint64_t>(op.mem_size));
+  const MemBlock block{op.mem_base, op.mem_size};
+  resources_.lock_memory(op.mem_rpb, block);
+  auto applied = dataplane_.apply(op);  // captures the words -> RestoreMemRange
+  clock_.advance_us(cost_.memory_reset_us_per_kb *
+                    static_cast<double>(op.mem_size) * 4.0 / 1024.0);
+  resources_.unlock_memory(op.mem_rpb, block);
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics.counter("ctrl.bfrt.mem_resets").inc();
+  }
+  return std::move(applied).take();  // throws if the dataplane rejected the range
+}
+
+Status UpdateEngine::remove(InstalledProgram& program) {
   if (telemetry_ != nullptr) {
     // The first delete step (filters) atomically stops the program from
     // claiming packets, so the revoke is effective from here on.
     telemetry_->monitor.program_revoked(program.id);
   }
-  // Step 1: delete the init filters first; without a program id every
-  // later component of the program stops matching at once.
-  dataplane_.init_block().remove(program.filter_handles);
-  charge_entries(program.filter_handles.size(), "del.filters");
-  program.filter_handles.clear();
-  observe_step();
+  dp::WriteBatch batch;
+  rp::stage_remove(program.plan, program.filter_handles, program.rpb_handles,
+                   program.recirc_handles, program.placements, batch);
 
-  // Step 2: remove the remaining entries.
-  for (const auto& [rpb, handle] : program.rpb_handles) {
-    const bool erased = dataplane_.rpb(rpb).table().erase(handle);
-    assert(erased);
-    (void)erased;
-    observe_step();
-  }
-  charge_entries(program.rpb_handles.size(), "del.rpb");
-  program.rpb_handles.clear();
-  dataplane_.recirc_block().remove(program.recirc_handles);
-  charge_entries(program.recirc_handles.size(), "del.recirc");
-  program.recirc_handles.clear();
+  std::vector<JournalEntry> journal;
+  journal.reserve(batch.ops.size());
 
-  // Step 3: lock, reset and release the program's memory (Fig. 6 step 4).
-  for (const auto& [vmem, placement] : program.placements) {
-    auto reset_span = obs::span(telemetry_, "bfrt.mem_reset", "bfrt");
-    reset_span.arg("vmem", vmem);
-    reset_span.arg("buckets", static_cast<std::uint64_t>(placement.block.size));
-    resources_.lock_memory(placement.rpb, placement.block);
-    dataplane_.rpb(placement.rpb).memory().reset_range(placement.block.base,
-                                                       placement.block.size);
-    clock_.advance_us(cost_.memory_reset_us_per_kb *
-                      static_cast<double>(placement.block.size) * 4.0 / 1024.0);
-    resources_.unlock_memory(placement.rpb, placement.block);
-    if (telemetry_ != nullptr) {
-      telemetry_->metrics.counter("ctrl.bfrt.mem_resets").inc();
+  dp::WriteOp::Kind group_kind = dp::WriteOp::Kind::DelFilters;
+  bool group_open = false;
+  std::size_t group_count = 0;
+  auto flush = [&] {
+    if (group_open) charge_entries(group_count, charge_label(group_kind));
+    group_open = false;
+    group_count = 0;
+  };
+  auto fail = [&](Error err) -> Error {
+    rollback_remove(batch, journal, program);
+    // The program is back in service with fresh handles: re-announce it so
+    // the monitor's installed set matches reality.
+    announce_deploy(program);
+    return err;
+  };
+
+  for (std::size_t i = 0; i < batch.ops.size(); ++i) {
+    const dp::WriteOp& op = batch.ops[i];
+    if (op.kind == dp::WriteOp::Kind::ResetMemRange) {
+      flush();
+      if (inject_fault()) return fail(channel_fault());
+      journal.push_back(JournalEntry{i, apply_mem_reset(op)});
+      observe_step();
+      continue;
     }
+    if (group_open && op.kind != group_kind) flush();
+    if (inject_fault()) return fail(channel_fault());
+    auto applied = dataplane_.apply(op);
+    if (!applied.ok()) return fail(applied.error());
+    switch (op.kind) {
+      case dp::WriteOp::Kind::DelFilters:
+        group_count += op.filter_handles.size();
+        break;
+      case dp::WriteOp::Kind::DelRpbEntry:
+        ++group_count;
+        break;
+      case dp::WriteOp::Kind::DelRecirc:
+        group_count += op.recirc_handles.size();
+        break;
+      default:
+        return fail(Error{"unsupported op kind in remove batch", "UpdateEngine",
+                          ErrorCode::InvalidArgument});
+    }
+    group_kind = op.kind;
+    group_open = true;
+    journal.push_back(JournalEntry{i, std::move(applied).take()});
     observe_step();
   }
+  flush();
+
+  program.filter_handles.clear();
+  program.rpb_handles.clear();
+  program.recirc_handles.clear();
   program.placements.clear();
+  return {};
+}
+
+void UpdateEngine::rollback_remove(const dp::WriteBatch& batch,
+                                   std::vector<JournalEntry>& journal,
+                                   InstalledProgram& program) {
+  for (auto it = journal.rbegin(); it != journal.rend(); ++it) {
+    const dp::WriteOp& original = batch.ops[it->batch_index];
+    if (original.kind == dp::WriteOp::Kind::ResetMemRange) {
+      // The block was freed right after the reset; take it back out of the
+      // free list *before* restoring its bytes so neither occupancy nor
+      // contents can diverge from the pre-transaction state.
+      const Status reclaimed = resources_.reclaim_block(
+          original.mem_rpb, MemBlock{original.mem_base, original.mem_size});
+      assert(reclaimed.ok() && "journal block vanished from the free list");
+      (void)reclaimed;
+      dataplane_.undo(it->inverse);
+      continue;
+    }
+    // Re-adding yields fresh handles; patch them back into the program so a
+    // later revoke can find its entries. stage_remove's batch layout is
+    // [DelFilters][DelRpbEntry x N (plan order)][DelRecirc][resets...], so
+    // batch_index - 1 is the plan index of an RPB entry.
+    dp::WriteOp redo = dataplane_.undo(it->inverse);
+    switch (original.kind) {
+      case dp::WriteOp::Kind::DelFilters:
+        program.filter_handles = std::move(redo.filter_handles);
+        break;
+      case dp::WriteOp::Kind::DelRpbEntry:
+        program.rpb_handles[it->batch_index - 1] = {original.entry.rpb,
+                                                    redo.rpb_handle};
+        break;
+      case dp::WriteOp::Kind::DelRecirc:
+        program.recirc_handles = std::move(redo.recirc_handles);
+        break;
+      default:
+        break;
+    }
+  }
+  journal.clear();
+}
+
+void UpdateEngine::announce_deploy(const InstalledProgram& program) {
+  if (telemetry_ == nullptr) return;
+  telemetry_->monitor.program_deployed(
+      program.id, program.name,
+      program.filter_handles.size() + program.rpb_handles.size() +
+          program.recirc_handles.size());
 }
 
 }  // namespace p4runpro::ctrl

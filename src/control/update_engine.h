@@ -1,7 +1,13 @@
-// Consistent update engine (paper §4.3 "Consistent Update", Fig. 6).
-// Entries are written through a simulated bfrt channel whose latency model
-// is charged to the virtual clock; the paper's update-delay numbers are
-// dominated by exactly these per-entry gRPC writes.
+// Consistent update engine (paper §4.3 "Consistent Update", Fig. 6) —
+// the *executor* of staged op-logs. Deploy/relink/revoke transactions
+// (ctrl::DeployTransaction) stage a declarative dp::WriteBatch; this engine
+// walks the batch, pushing every write through a simulated bfrt channel
+// whose latency model is charged to the virtual clock (the paper's
+// update-delay numbers are dominated by exactly these per-entry gRPC
+// writes), and stacks the exact inverse of every applied op into a
+// rollback journal. A control-channel fault at ANY write index unwinds the
+// journal in reverse, restoring a byte-identical pre-transaction dataplane
+// — tables, memory contents and resource-manager occupancy included.
 //
 // Ordering guarantees (no incorrectly processed packet is ever exposed):
 //   add:    recirculation entries -> RPB entries -> init filters last
@@ -9,12 +15,14 @@
 //           lock + reset + unlock memory
 // Because the program id is assigned only by the init filter, a program is
 // invisible until its last add step and atomically disabled by the first
-// delete step.
+// delete step. The op-log builders (rp::stage_install / rp::stage_remove)
+// encode this order; the executor never reorders.
 #pragma once
 
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -24,6 +32,7 @@
 #include "compiler/solver.h"
 #include "control/resource_manager.h"
 #include "dataplane/runpro_dataplane.h"
+#include "dataplane/write_op.h"
 
 namespace p4runpro::obs {
 struct Telemetry;
@@ -61,16 +70,33 @@ class UpdateEngine {
                SimClock& clock, BfrtCostModel cost = {})
       : dataplane_(dataplane), resources_(resources), clock_(clock), cost_(cost) {}
 
-  /// Consistently install a program (entries already planned, memory
-  /// already committed in the resource manager).
-  Result<InstalledProgram> install(const rp::TranslatedProgram& ir,
-                                   const rp::AllocationResult& alloc,
-                                   rp::EntryPlan plan,
-                                   std::map<std::string, VmemPlacement> placements,
-                                   const std::string& name);
+  /// The handles an executed install op-log produced, in batch order.
+  struct AppliedEntries {
+    std::vector<dp::InitBlock::InstalledFilter> filter_handles;
+    std::vector<std::pair<int, rmt::EntryHandle>> rpb_handles;
+    std::vector<rmt::EntryHandle> recirc_handles;
+  };
 
-  /// Consistently remove a program and release its resources.
-  void remove(InstalledProgram& program);
+  /// Execute a staged install op-log (WriteMemRange carry-over ops plus
+  /// Add* entry ops in consistent-update order). Consecutive ops of one
+  /// kind are charged as one bfrt batch. On any failure — injected channel
+  /// fault or a rejected write — the rollback journal unwinds every applied
+  /// op and the error (ChannelError for faults) is returned; the dataplane
+  /// is then byte-identical to its pre-call state.
+  Result<AppliedEntries> execute_install(const dp::WriteBatch& batch);
+
+  /// Consistently remove a program and release its memory. On success the
+  /// program's handle vectors and placements are cleared (entry
+  /// reservations stay the caller's to release). On a mid-removal channel
+  /// fault the journal restores everything already deleted — including
+  /// re-reserving reset memory blocks and writing their contents back — and
+  /// `program` is left fully installed with its fresh handles.
+  Status remove(InstalledProgram& program);
+
+  /// Announce a completed deploy to the health monitor (the program became
+  /// visible to traffic with its last filter write). Entry count =
+  /// everything the update wrote, the same figure the dashboard reports.
+  void announce_deploy(const InstalledProgram& program);
 
   [[nodiscard]] const BfrtCostModel& cost_model() const noexcept { return cost_; }
 
@@ -79,7 +105,8 @@ class UpdateEngine {
   void set_telemetry(obs::Telemetry* telemetry) noexcept { telemetry_ = telemetry; }
 
   /// Fault injection (tests): make the Nth subsequent entry write fail,
-  /// simulating a control-channel error mid-update. -1 disables.
+  /// simulating a control-channel error mid-update. The fault fires once
+  /// and disarms (rollback writes are never faulted). -1 disables.
   void set_fault_after_writes(int writes) { fault_after_ = writes; }
 
   /// Test/verification hook: invoked after every individual entry
@@ -91,17 +118,39 @@ class UpdateEngine {
   }
 
  private:
+  /// One rollback-journal record: the inverse of an applied op, tagged with
+  /// the batch index it undoes (handle restoration after a failed remove).
+  struct JournalEntry {
+    std::size_t batch_index = 0;
+    dp::WriteOp inverse;
+  };
+
   /// Charge one batched bfrt write of `count` entries to the virtual clock
   /// and record it as a "bfrt.batch" span tagged with `what`.
   void charge_entries(std::size_t count, const char* what);
+  /// Apply one memory-reset op: lock, zero, charge the block-reset model,
+  /// unlock (returns the block to the free list).
+  dp::WriteOp apply_mem_reset(const dp::WriteOp& op);
+  /// Unwind a journal in reverse order (uncharged — rollback writes are
+  /// free, matching the pre-refactor unwinding).
+  void unwind(std::vector<JournalEntry>& journal);
+  /// Unwind a failed removal: re-reserve reset blocks, restore their bytes,
+  /// re-add deleted entries and patch the fresh handles back into `program`.
+  void rollback_remove(const dp::WriteBatch& batch,
+                       std::vector<JournalEntry>& journal,
+                       InstalledProgram& program);
+
   void observe_step() {
     if (step_observer_) step_observer_();
   }
 
-  /// Returns true when the next write should fail (and consumes it).
+  /// Returns true when the next write should fail (and disarms).
   [[nodiscard]] bool inject_fault() {
     if (fault_after_ < 0) return false;
-    if (fault_after_ == 0) return true;
+    if (fault_after_ == 0) {
+      fault_after_ = -1;
+      return true;
+    }
     --fault_after_;
     return false;
   }

@@ -127,7 +127,7 @@ Result<std::vector<InitBlock::InstalledFilter>> InitBlock::install(
     if (!slot) {
       return Error{"field cannot be used in a flow filter: " +
                        std::string(rmt::field_name(f.field)),
-                   "InitBlock"};
+                   "InitBlock", ErrorCode::SemanticError};
     }
     keys[static_cast<std::size_t>(*slot)] = rmt::TernaryKey{f.value, f.mask};
   }

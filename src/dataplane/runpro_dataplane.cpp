@@ -45,6 +45,100 @@ RunproDataplane::RunproDataplane(DataplaneSpec spec, rmt::ParserConfig parser_co
       std::move(egress_rpbs), &pipeline_.stage_stats()));
 }
 
+Result<WriteOp> RunproDataplane::apply(const WriteOp& op) {
+  WriteOp inverse;
+  inverse.program = op.program;
+  switch (op.kind) {
+    case WriteOp::Kind::AddRecirc: {
+      auto handles = recirc_block().install(op.program, op.rounds);
+      if (!handles.ok()) return handles.error();
+      inverse.kind = WriteOp::Kind::DelRecirc;
+      inverse.recirc_handles = std::move(handles).take();
+      inverse.rounds = op.rounds;
+      return inverse;
+    }
+    case WriteOp::Kind::AddRpbEntry: {
+      auto handle = rpb(op.entry.rpb).table().insert(op.entry.keys,
+                                                     op.entry.priority,
+                                                     op.entry.action);
+      if (!handle.ok()) return handle.error();
+      inverse.kind = WriteOp::Kind::DelRpbEntry;
+      inverse.entry = op.entry;
+      inverse.rpb_handle = handle.value();
+      return inverse;
+    }
+    case WriteOp::Kind::AddFilters: {
+      auto handles = init_block().install(op.program, op.filters,
+                                          op.filter_priority);
+      if (!handles.ok()) return handles.error();
+      inverse.kind = WriteOp::Kind::DelFilters;
+      inverse.filter_handles = std::move(handles).take();
+      inverse.filters = op.filters;
+      inverse.filter_priority = op.filter_priority;
+      return inverse;
+    }
+    case WriteOp::Kind::DelRecirc: {
+      recirc_block().remove(op.recirc_handles);
+      inverse.kind = WriteOp::Kind::AddRecirc;
+      inverse.rounds = op.rounds;
+      return inverse;
+    }
+    case WriteOp::Kind::DelRpbEntry: {
+      const bool erased = rpb(op.entry.rpb).table().erase(op.rpb_handle);
+      assert(erased);
+      (void)erased;
+      inverse.kind = WriteOp::Kind::AddRpbEntry;
+      inverse.entry = op.entry;
+      return inverse;
+    }
+    case WriteOp::Kind::DelFilters: {
+      init_block().remove(op.filter_handles);
+      inverse.kind = WriteOp::Kind::AddFilters;
+      inverse.filters = op.filters;
+      inverse.filter_priority = op.filter_priority;
+      return inverse;
+    }
+    case WriteOp::Kind::WriteMemRange:
+    case WriteOp::Kind::RestoreMemRange: {
+      auto& memory = rpb(op.mem_rpb).memory();
+      inverse.kind = WriteOp::Kind::RestoreMemRange;
+      inverse.mem_rpb = op.mem_rpb;
+      inverse.mem_base = op.mem_base;
+      inverse.mem_size = op.mem_size;
+      inverse.vmem = op.vmem;
+      inverse.mem_words.reserve(op.mem_words.size());
+      for (std::uint32_t a = 0; a < op.mem_words.size(); ++a) {
+        inverse.mem_words.push_back(memory.read(op.mem_base + a));
+        memory.write(op.mem_base + a, op.mem_words[a]);
+      }
+      return inverse;
+    }
+    case WriteOp::Kind::ResetMemRange: {
+      auto& memory = rpb(op.mem_rpb).memory();
+      inverse.kind = WriteOp::Kind::RestoreMemRange;
+      inverse.mem_rpb = op.mem_rpb;
+      inverse.mem_base = op.mem_base;
+      inverse.mem_size = op.mem_size;
+      inverse.vmem = op.vmem;
+      inverse.mem_words.reserve(op.mem_size);
+      for (std::uint32_t a = 0; a < op.mem_size; ++a) {
+        inverse.mem_words.push_back(memory.read(op.mem_base + a));
+      }
+      memory.reset_range(op.mem_base, op.mem_size);
+      return inverse;
+    }
+  }
+  return Error{"unknown write op", "dataplane", ErrorCode::InvalidArgument};
+}
+
+WriteOp RunproDataplane::undo(const WriteOp& inverse) {
+  auto redone = apply(inverse);
+  // Journal invariant: an inverse op restores state that existed moments
+  // ago (handles still free, capacity available), so it cannot fail.
+  assert(redone.ok() && "rollback journal op failed");
+  return std::move(redone).take();
+}
+
 Rpb& RunproDataplane::rpb(int physical_id) {
   assert(physical_id >= 1 && physical_id <= spec_.total_rpbs());
   return *rpbs_[static_cast<std::size_t>(physical_id - 1)];

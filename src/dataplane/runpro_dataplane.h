@@ -7,11 +7,13 @@
 #include <span>
 #include <vector>
 
+#include "common/result.h"
 #include "dataplane/dataplane_spec.h"
 #include "dataplane/init_block.h"
 #include "dataplane/recirc_block.h"
 #include "dataplane/rpb.h"
 #include "dataplane/rpb_chain.h"
+#include "dataplane/write_op.h"
 #include "rmt/pipeline.h"
 
 namespace p4runpro::dp {
@@ -34,6 +36,21 @@ class RunproDataplane {
   /// Physical RPB access, 1-based id in [1, total_rpbs()].
   [[nodiscard]] Rpb& rpb(int physical_id);
   [[nodiscard]] const Rpb& rpb(int physical_id) const;
+
+  /// Apply one declarative write op and return its exact inverse: the op
+  /// that, applied later, undoes this one (Add -> Del with the handles
+  /// filled in, Del -> Add, memory writes -> RestoreMemRange carrying the
+  /// overwritten words). The returned inverse is what the update engine
+  /// stacks into its rollback journal; applying the journal in reverse
+  /// order restores a byte-identical dataplane.
+  Result<WriteOp> apply(const WriteOp& op);
+
+  /// Apply a journal (inverse) op during rollback. Asserts success — an
+  /// inverse op re-establishes state that was just present, so it cannot
+  /// legitimately fail. Returns the re-created handles' op (the inverse of
+  /// the inverse) so callers restoring an InstalledProgram after a failed
+  /// revoke can pick up the fresh handles.
+  WriteOp undo(const WriteOp& inverse);
 
   [[nodiscard]] InitBlock& init_block() noexcept { return *init_; }
   [[nodiscard]] RecircBlock& recirc_block() noexcept { return *recirc_; }

@@ -14,18 +14,18 @@ class Scanner {
   Result<std::vector<Token>> run() {
     std::vector<Token> tokens;
     while (true) {
-      if (!skip_trivia()) return Error{error_, location()};
+      if (!skip_trivia()) return Error{error_, location(), ErrorCode::ParseError};
       if (at_end()) break;
       Token tok;
       tok.line = line_;
       tok.column = column_;
       const char c = peek();
       if (std::isdigit(static_cast<unsigned char>(c))) {
-        if (!scan_number(tok)) return Error{error_, location()};
+        if (!scan_number(tok)) return Error{error_, location(), ErrorCode::ParseError};
       } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
         scan_identifier(tok);
       } else {
-        if (!scan_punct(tok)) return Error{error_, location()};
+        if (!scan_punct(tok)) return Error{error_, location(), ErrorCode::ParseError};
       }
       tokens.push_back(std::move(tok));
     }

@@ -49,7 +49,8 @@ class Parser {
   Result<T> fail(std::string message) const {
     const Token& t = peek();
     return Error{std::move(message),
-                 "line " + std::to_string(t.line) + ":" + std::to_string(t.column)};
+                 "line " + std::to_string(t.line) + ":" + std::to_string(t.column),
+                 ErrorCode::ParseError};
   }
   Status expect(TokenKind kind, const char* what) {
     if (match(kind)) return {};
@@ -58,7 +59,8 @@ class Parser {
                      (t.kind == TokenKind::Identifier ? t.text
                                                       : token_kind_name(t.kind)) +
                      "'",
-                 "line " + std::to_string(t.line) + ":" + std::to_string(t.column)};
+                 "line " + std::to_string(t.line) + ":" + std::to_string(t.column),
+                 ErrorCode::ParseError};
   }
 
   Result<Annotation> parse_annotation() {

@@ -12,6 +12,8 @@ namespace {
     case MonitorEvent::Kind::Deploy: return "deploy";
     case MonitorEvent::Kind::Revoke: return "revoke";
     case MonitorEvent::Kind::Alert: return "alert";
+    case MonitorEvent::Kind::TxnCommit: return "txn_commit";
+    case MonitorEvent::Kind::TxnRollback: return "txn_rollback";
   }
   return "?";
 }
@@ -85,6 +87,24 @@ void ProgramHealthMonitor::program_revoked(ProgramId id) {
   event.kind = MonitorEvent::Kind::Revoke;
   event.program = id;
   event.program_name = s.health.name;
+  push_event(std::move(event));
+}
+
+void ProgramHealthMonitor::txn_committed(ProgramId id, std::string_view name) {
+  MonitorEvent event;
+  event.kind = MonitorEvent::Kind::TxnCommit;
+  event.program = id;
+  event.program_name = std::string(name);
+  push_event(std::move(event));
+}
+
+void ProgramHealthMonitor::txn_rolled_back(ProgramId id, std::string_view name,
+                                           std::string_view reason) {
+  MonitorEvent event;
+  event.kind = MonitorEvent::Kind::TxnRollback;
+  event.program = id;
+  event.program_name = std::string(name);
+  event.detail = std::string(reason);
   push_event(std::move(event));
 }
 
@@ -316,6 +336,10 @@ void export_alerts_jsonl(const ProgramHealthMonitor& monitor, std::ostream& out)
         out << ",\"entries\":" << e.entries;
         break;
       case MonitorEvent::Kind::Revoke:
+      case MonitorEvent::Kind::TxnCommit:
+        break;
+      case MonitorEvent::Kind::TxnRollback:
+        out << ",\"detail\":\"" << json_escape(e.detail) << "\"";
         break;
       case MonitorEvent::Kind::Alert:
         out << ",\"rule\":\"" << json_escape(e.rule)

@@ -109,15 +109,19 @@ struct AlertRule {
 };
 
 /// One entry of the monitor's event stream: program lifecycle (deploy /
-/// revoke, emitted by the update engine) and fired alerts share the stream
-/// so a dump shows alerts in deployment context.
+/// revoke, emitted by the update engine), deploy-transaction outcomes
+/// (commit / rollback, emitted by the controller) and fired alerts share
+/// the stream so a dump shows alerts in deployment context.
 struct MonitorEvent {
-  enum class Kind : std::uint8_t { Deploy, Revoke, Alert } kind = Kind::Deploy;
+  enum class Kind : std::uint8_t {
+    Deploy, Revoke, Alert, TxnCommit, TxnRollback
+  } kind = Kind::Deploy;
   std::uint64_t seq = 0;  ///< monotonically increasing stream position
   double t_ms = 0.0;      ///< virtual time
   ProgramId program = 0;
   std::string program_name;
   std::string rule;          ///< alert only: rule name
+  std::string detail;        ///< txn rollback only: the error that aborted it
   double value = 0.0;        ///< alert only: observed value
   double threshold = 0.0;    ///< alert only: rule threshold
   int rpb = 0;               ///< occupancy alerts: the stage
@@ -164,6 +168,13 @@ class ProgramHealthMonitor final : public rmt::PacketObserver {
   // --- lifecycle feed (update engine) ------------------------------------
   void program_deployed(ProgramId id, std::string_view name, std::uint64_t entries);
   void program_revoked(ProgramId id);
+
+  // --- transaction feed (controller) --------------------------------------
+  /// A deploy transaction committed (program fully visible) / rolled back
+  /// (journal unwound; `reason` is the aborting error). Health slots are
+  /// untouched — a rollback leaves no trace in per-program state, by design.
+  void txn_committed(ProgramId id, std::string_view name);
+  void txn_rolled_back(ProgramId id, std::string_view name, std::string_view reason);
 
   // --- occupancy feed (resource manager) ---------------------------------
   /// Report one stage's table-entry occupancy after it changed; evaluates

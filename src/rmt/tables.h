@@ -74,10 +74,10 @@ class TernaryTable {
   Result<EntryHandle> insert(std::span<const TernaryKey> keys, int priority,
                              Action action) {
     if (keys.size() != static_cast<std::size_t>(key_width_)) {
-      return Error{"key width mismatch", "TernaryTable"};
+      return Error{"key width mismatch", "TernaryTable", ErrorCode::InvalidArgument};
     }
     if (size_ >= capacity_) {
-      return Error{"table full", "TernaryTable"};
+      return Error{"table full", "TernaryTable", ErrorCode::AllocFailed};
     }
     const EntryHandle handle = next_handle_++;
     Entry entry;

@@ -23,6 +23,21 @@ TEST(Result, ValueAndError) {
   EXPECT_EQ((Error{"boom", ""}).str(), "boom");
 }
 
+TEST(Result, ErrorCodesPrefixTheMessage) {
+  // Tagged errors render their failure class so operators and tests can
+  // branch on what went wrong; the legacy Unknown default stays unprefixed.
+  const Error tagged{"write failed", "bfrt", ErrorCode::ChannelError};
+  EXPECT_EQ(tagged.code, ErrorCode::ChannelError);
+  EXPECT_EQ(tagged.str(), "[ChannelError] bfrt: write failed");
+  EXPECT_EQ((Error{"no fit", "", ErrorCode::AllocFailed}).str(),
+            "[AllocFailed] no fit");
+  EXPECT_EQ((Error{"boom", "here"}).code, ErrorCode::Unknown);
+  EXPECT_EQ((Error{"boom", "here"}).str(), "here: boom");
+
+  EXPECT_STREQ(error_code_name(ErrorCode::NotFound), "NotFound");
+  EXPECT_STREQ(error_code_name(ErrorCode::Unknown), "Unknown");
+}
+
 TEST(Result, TakeMoves) {
   Result<std::string> r(std::string(100, 'x'));
   const std::string taken = std::move(r).take();

@@ -1,0 +1,183 @@
+// Concurrent link sessions: link_many compiles and solves programs in
+// parallel on a thread pool while reservation + staged commit serialize
+// under the controller's session lock. Deployments must stay all-or-nothing
+// per session, allocations must never overlap, and the resource books must
+// balance afterwards. Run under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/program_library.h"
+#include "common/clock.h"
+#include "common/thread_pool.h"
+#include "control/controller.h"
+#include "dataplane/runpro_dataplane.h"
+
+namespace p4runpro {
+namespace {
+
+/// A workload of `n` single-program units with unique instance names,
+/// rotating over the catalog's memory-using templates.
+std::vector<std::string> workload(int n, std::uint32_t mem_buckets = 32) {
+  const std::vector<std::string> templates = {"cache", "lb", "hh"};
+  std::vector<std::string> sources;
+  sources.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    apps::ProgramConfig config;
+    config.instance_name = templates[i % templates.size()] + std::to_string(i);
+    config.mem_buckets = mem_buckets;
+    sources.push_back(
+        apps::make_program_source(templates[i % templates.size()], config));
+  }
+  return sources;
+}
+
+struct Testbed {
+  SimClock clock;
+  dp::RunproDataplane dataplane{dp::DataplaneSpec{}, rmt::ParserConfig{{7777}}};
+  ctrl::Controller controller{dataplane, clock};
+};
+
+/// Do the committed programs' placements and entry counts exactly account
+/// for the resource manager's occupancy?
+void expect_books_balance(const Testbed& bed) {
+  const auto& resources = bed.controller.resources();
+  std::map<int, std::uint32_t> entries;
+  std::map<int, std::uint32_t> memory;
+  // Per RPB: every program's memory blocks, for the overlap check.
+  std::map<int, std::vector<std::pair<std::uint32_t, std::uint32_t>>> blocks;
+  for (const ProgramId id : bed.controller.running_programs()) {
+    const auto* program = bed.controller.program(id);
+    ASSERT_NE(program, nullptr);
+    for (const auto& [rpb, handle] : program->rpb_handles) {
+      (void)handle;
+      ++entries[rpb];
+    }
+    for (const auto& [vmem, placement] : program->placements) {
+      (void)vmem;
+      memory[placement.rpb] += placement.block.size;
+      blocks[placement.rpb].emplace_back(placement.block.base,
+                                         placement.block.size);
+    }
+  }
+  for (int rpb = 1; rpb <= bed.dataplane.spec().total_rpbs(); ++rpb) {
+    EXPECT_EQ(resources.entries_used(rpb), entries[rpb]) << "rpb " << rpb;
+    EXPECT_EQ(resources.memory_used(rpb), memory[rpb]) << "rpb " << rpb;
+    // No two programs' blocks overlap.
+    auto& ranges = blocks[rpb];
+    std::sort(ranges.begin(), ranges.end());
+    for (std::size_t i = 1; i < ranges.size(); ++i) {
+      EXPECT_LE(ranges[i - 1].first + ranges[i - 1].second, ranges[i].first)
+          << "overlapping memory blocks on rpb " << rpb;
+    }
+  }
+}
+
+TEST(ConcurrentLink, ManySessionsAllCommitWithDisjointResources) {
+  Testbed bed;
+  common::ThreadPool pool(4);
+  const auto sources = workload(8);
+
+  const auto results = bed.controller.link_many(sources, pool);
+  ASSERT_EQ(results.size(), sources.size());
+
+  std::set<ProgramId> ids;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok())
+        << "source " << i << ": " << results[i].error().str();
+    EXPECT_TRUE(ids.insert(results[i].value().id).second)
+        << "duplicate program id";
+    // Results are positional: result i names source i's program.
+    EXPECT_NE(sources[i].find("program " + results[i].value().name),
+              std::string::npos);
+  }
+  EXPECT_EQ(bed.controller.program_count(), sources.size());
+  expect_books_balance(bed);
+
+  // Every session left a commit audit trail.
+  std::size_t links = 0;
+  for (const auto& event : bed.controller.events()) {
+    links += event.kind == ctrl::ControlEvent::Kind::Link ? 1 : 0;
+  }
+  EXPECT_EQ(links, sources.size());
+}
+
+TEST(ConcurrentLink, OneFaultedSessionRollsBackAloneAndOthersCommit) {
+  Testbed bed;
+  common::ThreadPool pool(4);
+  const auto sources = workload(6);
+
+  // The injected fault fires exactly once, so exactly one session (commit
+  // order is nondeterministic) rolls back; the rest must be unaffected.
+  bed.controller.updates().set_fault_after_writes(2);
+  const auto results = bed.controller.link_many(sources, pool);
+  ASSERT_EQ(results.size(), sources.size());
+
+  int failed = 0;
+  for (const auto& result : results) {
+    if (result.ok()) continue;
+    ++failed;
+    EXPECT_EQ(result.error().code, ErrorCode::ChannelError);
+  }
+  EXPECT_EQ(failed, 1);
+  EXPECT_EQ(bed.controller.program_count(), sources.size() - 1);
+  expect_books_balance(bed);
+
+  // The failed session's name is free again: a retry commits.
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].ok()) continue;
+    auto retry = bed.controller.link_single(sources[i]);
+    ASSERT_TRUE(retry.ok()) << retry.error().str();
+  }
+  EXPECT_EQ(bed.controller.program_count(), sources.size());
+  expect_books_balance(bed);
+}
+
+TEST(ConcurrentLink, WavesOfLinkAndRevokeLeaveNoResidue) {
+  Testbed bed;
+  common::ThreadPool pool(common::ThreadPool::default_thread_count());
+  for (int wave = 0; wave < 3; ++wave) {
+    const auto results = bed.controller.link_many(workload(9), pool);
+    for (const auto& result : results) {
+      ASSERT_TRUE(result.ok()) << result.error().str();
+    }
+    expect_books_balance(bed);
+    for (const ProgramId id : bed.controller.running_programs()) {
+      ASSERT_TRUE(bed.controller.revoke(id).ok());
+    }
+    EXPECT_EQ(bed.controller.program_count(), 0u);
+    for (int rpb = 1; rpb <= bed.dataplane.spec().total_rpbs(); ++rpb) {
+      EXPECT_EQ(bed.controller.resources().entries_used(rpb), 0u);
+      EXPECT_EQ(bed.controller.resources().memory_used(rpb), 0u);
+    }
+  }
+}
+
+TEST(ConcurrentLink, SerialAndParallelReachTheSameOccupancy) {
+  const auto sources = workload(6);
+
+  Testbed serial;
+  for (const auto& source : sources) {
+    ASSERT_TRUE(serial.controller.link_single(source).ok());
+  }
+
+  Testbed parallel;
+  common::ThreadPool pool(3);
+  const auto results = parallel.controller.link_many(sources, pool);
+  for (const auto& result : results) ASSERT_TRUE(result.ok());
+
+  // Totals match even though per-program placements may differ by commit
+  // order: the same workload consumes the same amount of switch resources.
+  EXPECT_EQ(serial.controller.resources().total_entry_utilization(),
+            parallel.controller.resources().total_entry_utilization());
+  EXPECT_EQ(serial.controller.resources().total_memory_utilization(),
+            parallel.controller.resources().total_memory_utilization());
+}
+
+}  // namespace
+}  // namespace p4runpro

@@ -143,13 +143,16 @@ TEST(Telemetry, LinkSingleProducesThePhaseSpanTree) {
   EXPECT_FALSE(root.open);
 
   // The deployment phases of §6.2 appear as direct children of the link
-  // span, in pipeline order.
+  // span, in transaction order: compile (parse+translate), solve, then the
+  // deploy-transaction phases reserve -> plan (entrygen) -> stage -> commit
+  // (the "install" span wrapping txn.commit).
   const auto children = tracer.children_of(root_idx);
   std::vector<std::string> names;
   names.reserve(children.size());
   for (const auto idx : children) names.push_back(tracer.spans()[idx].name);
-  const std::vector<std::string> expected = {"parse", "translate", "solve",
-                                             "entrygen", "install"};
+  const std::vector<std::string> expected = {
+      "parse", "translate", "solve", "txn.reserve", "entrygen", "txn.stage",
+      "install"};
   EXPECT_EQ(names, expected);
 
   // Children nest inside the root and their virtual durations sum to at
@@ -164,10 +167,15 @@ TEST(Telemetry, LinkSingleProducesThePhaseSpanTree) {
   }
   EXPECT_LE(child_sum, root.virtual_ns());
 
-  // The install phase contains the simulated bfrt batches, which carry the
-  // virtual cost of the update.
+  // The install phase wraps the commit span, which contains the simulated
+  // bfrt batches carrying the virtual cost of the update.
   const auto install_idx = tracer.find("install");
-  const auto batches = tracer.children_of(install_idx);
+  const auto install_children = tracer.children_of(install_idx);
+  ASSERT_EQ(install_children.size(), 1u);
+  const auto commit_idx = install_children.front();
+  EXPECT_EQ(tracer.spans()[commit_idx].name, "txn.commit");
+  EXPECT_EQ(tracer.spans()[commit_idx].cat, "ctrl");
+  const auto batches = tracer.children_of(commit_idx);
   EXPECT_FALSE(batches.empty());
   for (const auto idx : batches) {
     EXPECT_EQ(tracer.spans()[idx].name, "bfrt.batch");
