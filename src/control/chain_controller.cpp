@@ -1,0 +1,642 @@
+#include "control/chain_controller.h"
+
+#include <algorithm>
+#include <cassert>
+#include <future>
+#include <utility>
+
+#include "compiler/entrygen.h"
+#include "obs/telemetry.h"
+
+namespace p4runpro::ctrl {
+
+ChainController::ChainController(dp::SwitchChain& chain, SimClock& clock,
+                                 rp::Objective objective, BfrtCostModel cost,
+                                 obs::Telemetry* telemetry)
+    : chain_(chain),
+      clock_(clock),
+      objective_(objective),
+      telemetry_(&obs::telemetry_or_default(telemetry)),
+      solve_pool_(std::min<unsigned>(
+          static_cast<unsigned>(std::max(chain.length(), 1)),
+          common::ThreadPool::default_thread_count())) {
+  telemetry_->tracer.set_clock(&clock_);
+  telemetry_->monitor.set_clock(&clock_);
+  for (int h = 0; h < chain_.length(); ++h) {
+    hops_.push_back(std::make_unique<Hop>(chain_.switch_at(h), clock_, cost));
+    hops_.back()->updates.set_telemetry(telemetry_);
+  }
+}
+
+std::vector<ChainHop> ChainController::hop_contexts() {
+  std::vector<ChainHop> contexts;
+  contexts.reserve(hops_.size());
+  for (int h = 0; h < chain_.length(); ++h) {
+    contexts.push_back(ChainHop{&chain_.switch_at(h), &hops_[static_cast<std::size_t>(h)]->resources,
+                                &hops_[static_cast<std::size_t>(h)]->updates});
+  }
+  return contexts;
+}
+
+ProgramId ChainController::next_program_id() {
+  if (!free_ids_.empty()) {
+    const ProgramId id = free_ids_.back();
+    free_ids_.pop_back();
+    return id;
+  }
+  return next_id_++;
+}
+
+void ChainController::recycle_failed_id(ProgramId id) {
+  if (id == next_id_ - 1) {
+    --next_id_;
+    return;
+  }
+  free_ids_.push_back(id);
+}
+
+void ChainController::record_event(ControlEvent::Kind kind, ProgramId id,
+                                   const std::string& name,
+                                   const std::string& detail) {
+  events_.push_back(ControlEvent{kind, clock_.now_ms(), id, name, detail});
+  if (events_.size() > 1024) events_.pop_front();
+  const char* counter = nullptr;
+  switch (kind) {
+    case ControlEvent::Kind::Link: counter = "ctrl.chain.events.link"; break;
+    case ControlEvent::Kind::Relink: counter = "ctrl.chain.events.relink"; break;
+    case ControlEvent::Kind::Revoke: counter = "ctrl.chain.events.revoke"; break;
+    case ControlEvent::Kind::LinkFailed:
+      counter = "ctrl.chain.events.link_failed";
+      break;
+    case ControlEvent::Kind::RevokeFailed:
+      counter = "ctrl.chain.events.revoke_failed";
+      break;
+  }
+  if (counter != nullptr) telemetry_->metrics.counter(counter).inc();
+}
+
+const std::string* ChainController::running_name(ProgramId id) const {
+  const auto it = running_.find(id);
+  return it == running_.end() ? nullptr : &it->second;
+}
+
+bool ChainController::name_running(const std::string& name) const {
+  for (const auto& [id, running] : running_) {
+    (void)id;
+    if (running == name) return true;
+  }
+  return false;
+}
+
+Result<std::vector<rp::AllocationResult>> ChainController::solve_all_locked(
+    const rp::TranslatedProgram& ir, double* alloc_ms) {
+  auto solve_span = telemetry_->tracer.span("chain_txn.solve", "ctrl");
+  solve_span.arg("hops", static_cast<std::uint64_t>(hops_.size()));
+
+  // One solve per hop, in parallel on the internal pool, each against its
+  // hop's own free-resource snapshot. Occupancies evolve in lockstep, so
+  // the solves are expected to agree — check_allocs_agree enforces it.
+  WallTimer timer;
+  std::vector<std::future<Result<rp::AllocationResult>>> futures;
+  futures.reserve(hops_.size());
+  for (auto& hop : hops_) {
+    futures.push_back(solve_pool_.submit(
+        [&ir, snapshot = hop->resources.snapshot(),
+         spec = hop->resources.spec(), objective = objective_] {
+          return rp::solve_allocation(ir, spec, snapshot, objective, nullptr);
+        }));
+  }
+  std::vector<rp::AllocationResult> allocs;
+  allocs.reserve(futures.size());
+  std::optional<Error> first_error;
+  for (auto& future : futures) {
+    auto alloc = future.get();
+    if (!alloc.ok()) {
+      if (!first_error) first_error = alloc.error();
+      continue;
+    }
+    allocs.push_back(std::move(alloc).take());
+  }
+  const double charged_ms =
+      fixed_alloc_charge_ms_ ? *fixed_alloc_charge_ms_ : timer.elapsed_ms();
+  clock_.advance_ms(charged_ms);
+  if (alloc_ms != nullptr) *alloc_ms = charged_ms;
+  if (first_error) return *first_error;
+  if (auto s = check_allocs_agree(ir, allocs); !s.ok()) return s.error();
+  return allocs;
+}
+
+Status ChainController::check_allocs_agree(
+    const rp::TranslatedProgram& ir,
+    const std::vector<rp::AllocationResult>& allocs) const {
+  for (std::size_t h = 1; h < allocs.size(); ++h) {
+    if (allocs[h].x != allocs[0].x || allocs[h].vmem_rpb != allocs[0].vmem_rpb) {
+      return Error{"per-hop allocations diverged at hop " + std::to_string(h) +
+                       " — chain occupancies must evolve in lockstep",
+                   "ChainController", ErrorCode::Conflict};
+    }
+  }
+  const int total_rpbs = chain_.spec_at(0).total_rpbs();
+  if (auto s = dp::SwitchChain::chain_compatibility(ir.vmem_depths, allocs[0].x,
+                                                    total_rpbs);
+      !s.ok()) {
+    return s;
+  }
+  if (allocs[0].rounds > chain_.length()) {
+    return Error{"program '" + ir.name + "' needs " +
+                     std::to_string(allocs[0].rounds) + " rounds but the chain "
+                     "has only " + std::to_string(chain_.length()) + " hops",
+                 "ChainController", ErrorCode::InvalidArgument};
+  }
+  return {};
+}
+
+Result<ChainController::DeployOutcome> ChainController::deploy_locked(
+    const rp::TranslatedProgram& ir, ProgramId replacing) {
+  auto fail = [&](ProgramId id, int faulted_hop, const Error& err) -> Error {
+    if (id != 0) {
+      telemetry_->monitor.chain_txn_rolled_back(id, ir.name, length(),
+                                                faulted_hop, err.str());
+    }
+    record_event(ControlEvent::Kind::LinkFailed, id, ir.name, err.str());
+    return err;
+  };
+
+  if (auto s = chain_.uniform_specs(); !s.ok()) return fail(0, -1, s.error());
+  if (name_running(ir.name) &&
+      (replacing == 0 || running_.at(replacing) != ir.name)) {
+    return fail(0, -1,
+                Error{"a program named '" + ir.name + "' is already running",
+                      "ChainController", ErrorCode::Conflict});
+  }
+
+  double alloc_ms = 0.0;
+  auto allocs = solve_all_locked(ir, &alloc_ms);
+  if (!allocs.ok()) return fail(0, -1, allocs.error());
+
+  const ProgramId id = next_program_id();
+  auto txn = std::make_unique<ChainTransaction>(
+      hop_contexts(), ir, std::move(allocs).take(), id, ++filter_generation_,
+      replacing, telemetry_);
+  if (auto s = txn->stage_all(); !s.ok()) {
+    recycle_failed_id(id);
+    return fail(id, txn->faulted_hop(), s.error());
+  }
+  const double update_start_ms = clock_.now_ms();
+  if (auto s = txn->commit_all(); !s.ok()) {
+    recycle_failed_id(id);
+    return fail(id, txn->faulted_hop(), s.error());
+  }
+  const double update_ms = clock_.now_ms() - update_start_ms;
+  telemetry_->monitor.chain_txn_committed(id, ir.name, length());
+
+  DeployOutcome outcome;
+  outcome.result.id = id;
+  outcome.result.name = ir.name;
+  outcome.result.stats.alloc_ms = alloc_ms;
+  outcome.result.stats.update_ms = update_ms;
+  outcome.txn = std::move(txn);
+  telemetry_->metrics.histogram("ctrl.chain.deploy_ms")
+      .observe(outcome.result.stats.deploy_ms());
+  return outcome;
+}
+
+void ChainController::adopt_locked(DeployOutcome& outcome) {
+  const ProgramId id = outcome.result.id;
+  auto& installed = outcome.txn->installed();
+  assert(installed.size() == hops_.size());
+  for (std::size_t h = 0; h < hops_.size(); ++h) {
+    hops_[h]->programs.insert_or_assign(id, std::move(installed[h]));
+  }
+  running_.insert_or_assign(id, outcome.result.name);
+}
+
+Result<LinkResult> ChainController::link(std::string_view source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto link_span = telemetry_->tracer.span("chain_link", "ctrl");
+  const double parse_start_ms = clock_.now_ms();
+  auto compiled = rp::compile_source(source, telemetry_);
+  clock_.advance_ms(2.0);
+  if (!compiled.ok()) {
+    record_event(ControlEvent::Kind::LinkFailed, 0, "<compile>",
+                 compiled.error().str());
+    return compiled.error();
+  }
+  if (compiled.value().size() != 1) {
+    return Error{"chain link expects a single-program source unit",
+                 "ChainController", ErrorCode::InvalidArgument};
+  }
+  const double parse_ms = clock_.now_ms() - parse_start_ms;
+
+  auto outcome = deploy_locked(compiled.value().front(), 0);
+  if (!outcome.ok()) return outcome.error();
+  adopt_locked(outcome.value());
+  outcome.value().result.stats.parse_ms = parse_ms;
+  record_event(ControlEvent::Kind::Link, outcome.value().result.id,
+               outcome.value().result.name);
+  return std::move(outcome.value().result);
+}
+
+std::vector<Result<LinkResult>> ChainController::link_many(
+    const std::vector<std::string>& sources, common::ThreadPool& pool,
+    ParallelLinkOptions options) {
+  std::vector<std::future<Result<LinkResult>>> futures;
+  futures.reserve(sources.size());
+  for (const auto& source : sources) {
+    futures.push_back(pool.submit(
+        [this, &source, options] { return link_one_parallel(source, options); }));
+  }
+  std::vector<Result<LinkResult>> results;
+  results.reserve(futures.size());
+  for (auto& future : futures) results.push_back(future.get());
+  return results;
+}
+
+Result<LinkResult> ChainController::link_one_parallel(const std::string& source,
+                                                      ParallelLinkOptions options) {
+  // Compile off-lock: pure compute, no shared state.
+  auto compiled = rp::compile_source(source, nullptr);
+  if (!compiled.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    clock_.advance_ms(2.0);
+    record_event(ControlEvent::Kind::LinkFailed, 0, "<compile>",
+                 compiled.error().str());
+    return compiled.error();
+  }
+  if (compiled.value().size() != 1) {
+    return Error{"link_many expects single-program source units",
+                 "ChainController", ErrorCode::InvalidArgument};
+  }
+  const rp::TranslatedProgram& ir = compiled.value().front();
+
+  Error conflict{"parallel chain link: retries exhausted", "ChainController",
+                 ErrorCode::AllocFailed};
+  for (int attempt = 0; attempt <= options.max_solve_retries; ++attempt) {
+    // Per-hop snapshots under a brief lock, solves off-lock on the internal
+    // pool (chain specs and the objective are immutable after construction).
+    std::vector<ResourceManager::Snapshot> snapshots;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      snapshots.reserve(hops_.size());
+      for (auto& hop : hops_) snapshots.push_back(hop->resources.snapshot());
+    }
+    WallTimer timer;
+    std::vector<std::future<Result<rp::AllocationResult>>> futures;
+    futures.reserve(hops_.size());
+    for (std::size_t h = 0; h < hops_.size(); ++h) {
+      futures.push_back(solve_pool_.submit(
+          [&ir, snapshot = std::move(snapshots[h]),
+           spec = chain_.spec_at(static_cast<int>(h)), objective = objective_] {
+            return rp::solve_allocation(ir, spec, snapshot, objective, nullptr);
+          }));
+    }
+    std::vector<rp::AllocationResult> allocs;
+    allocs.reserve(futures.size());
+    std::optional<Error> solve_error;
+    for (auto& future : futures) {
+      auto alloc = future.get();
+      if (!alloc.ok()) {
+        if (!solve_error) solve_error = alloc.error();
+        continue;
+      }
+      allocs.push_back(std::move(alloc).take());
+    }
+    const double solve_ms = timer.elapsed_ms();
+
+    // Reservation + two-phase commit serialize under the session lock.
+    std::unique_lock<std::mutex> lock(mu_);
+    if (attempt == 0) clock_.advance_ms(2.0);  // parse charge, once
+    const double alloc_ms =
+        fixed_alloc_charge_ms_ ? *fixed_alloc_charge_ms_ : solve_ms;
+    clock_.advance_ms(alloc_ms);
+    if (solve_error) {
+      record_event(ControlEvent::Kind::LinkFailed, 0, ir.name,
+                   solve_error->str());
+      return *solve_error;
+    }
+    if (auto s = check_allocs_agree(ir, allocs); !s.ok()) {
+      record_event(ControlEvent::Kind::LinkFailed, 0, ir.name, s.error().str());
+      return s.error();
+    }
+    if (name_running(ir.name)) {
+      const Error err{"a program named '" + ir.name + "' is already running",
+                      "ChainController", ErrorCode::Conflict};
+      record_event(ControlEvent::Kind::LinkFailed, 0, ir.name, err.str());
+      return err;
+    }
+
+    const ProgramId id = next_program_id();
+    ChainTransaction txn(hop_contexts(), ir, std::move(allocs), id,
+                         ++filter_generation_, 0, telemetry_);
+    if (auto s = txn.stage_all(); !s.ok()) {
+      recycle_failed_id(id);
+      if (s.error().code == ErrorCode::AllocFailed &&
+          attempt < options.max_solve_retries) {
+        // Another session took the resources between snapshot and lock.
+        conflict = s.error();
+        continue;
+      }
+      telemetry_->monitor.chain_txn_rolled_back(id, ir.name, length(),
+                                                txn.faulted_hop(), s.error().str());
+      record_event(ControlEvent::Kind::LinkFailed, id, ir.name, s.error().str());
+      return s.error();
+    }
+    const double update_start_ms = clock_.now_ms();
+    if (auto s = txn.commit_all(); !s.ok()) {
+      recycle_failed_id(id);
+      telemetry_->monitor.chain_txn_rolled_back(id, ir.name, length(),
+                                                txn.faulted_hop(), s.error().str());
+      record_event(ControlEvent::Kind::LinkFailed, id, ir.name, s.error().str());
+      return s.error();
+    }
+    const double update_ms = clock_.now_ms() - update_start_ms;
+    telemetry_->monitor.chain_txn_committed(id, ir.name, length());
+    for (std::size_t h = 0; h < hops_.size(); ++h) {
+      hops_[h]->programs.insert_or_assign(id, std::move(txn.installed()[h]));
+    }
+    running_.insert_or_assign(id, ir.name);
+    record_event(ControlEvent::Kind::Link, id, ir.name);
+
+    LinkResult result;
+    result.id = id;
+    result.name = ir.name;
+    result.stats.parse_ms = 2.0;
+    result.stats.alloc_ms = alloc_ms;
+    result.stats.update_ms = update_ms;
+    telemetry_->metrics.histogram("ctrl.chain.deploy_ms")
+        .observe(result.stats.deploy_ms());
+    return result;
+  }
+  return conflict;
+}
+
+Result<LinkResult> ChainController::relink(ProgramId old_id,
+                                           std::string_view source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string* old_name = running_name(old_id);
+  if (old_name == nullptr) {
+    return Error{"no running program with id " + std::to_string(old_id),
+                 "ChainController", ErrorCode::NotFound};
+  }
+  auto relink_span = telemetry_->tracer.span("chain_relink", "ctrl");
+  auto compiled = rp::compile_source(source, telemetry_);
+  clock_.advance_ms(2.0);
+  if (!compiled.ok()) return compiled.error();
+  if (compiled.value().size() != 1) {
+    return Error{"relink expects exactly one program", "ChainController",
+                 ErrorCode::InvalidArgument};
+  }
+  const rp::TranslatedProgram& ir = compiled.value().front();
+
+  // The new version commits chain-wide first (invisible until each hop's
+  // filter lands, and the fresh filter generation outranks the old one);
+  // only then is the old version retired chain-wide.
+  auto outcome = deploy_locked(ir, old_id);
+  if (!outcome.ok()) return outcome.error();
+  const ProgramId new_id = outcome.value().result.id;
+
+  int faulted_hop = -1;
+  if (auto s = remove_chain_wide(old_id, &faulted_hop); !s.ok()) {
+    // The old version was restored on every hop; unwind the new version
+    // chain-wide so exactly the pre-relink truth remains.
+    outcome.value().txn->unwind_commit();
+    recycle_failed_id(new_id);
+    telemetry_->monitor.chain_txn_rolled_back(new_id, ir.name, length(),
+                                              faulted_hop, s.error().str());
+    record_event(ControlEvent::Kind::LinkFailed, new_id, ir.name,
+                 s.error().str());
+    return s.error();
+  }
+  const std::string retired_name = *running_name(old_id);
+  free_ids_.push_back(old_id);
+  running_.erase(old_id);
+  adopt_locked(outcome.value());
+  record_event(ControlEvent::Kind::Revoke, old_id, retired_name);
+  record_event(ControlEvent::Kind::Relink, new_id, ir.name);
+  return std::move(outcome.value().result);
+}
+
+Status ChainController::revoke(ProgramId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return revoke_locked(id);
+}
+
+Status ChainController::revoke_locked(ProgramId id) {
+  const std::string* name = running_name(id);
+  if (name == nullptr) {
+    return Error{"no running program with id " + std::to_string(id),
+                 "ChainController", ErrorCode::NotFound};
+  }
+  const std::string program_name = *name;
+  auto revoke_span = telemetry_->tracer.span("chain_revoke", "ctrl");
+  int faulted_hop = -1;
+  if (auto s = remove_chain_wide(id, &faulted_hop); !s.ok()) {
+    telemetry_->monitor.chain_txn_rolled_back(id, program_name, length(),
+                                              faulted_hop, s.error().str());
+    record_event(ControlEvent::Kind::RevokeFailed, id, program_name,
+                 s.error().str());
+    return s;
+  }
+  free_ids_.push_back(id);
+  running_.erase(id);
+  record_event(ControlEvent::Kind::Revoke, id, program_name);
+  return {};
+}
+
+Status ChainController::revoke_by_name(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, running] : running_) {
+    if (running == name) return revoke_locked(id);
+  }
+  return Error{"no running program named '" + name + "'", "ChainController",
+               ErrorCode::NotFound};
+}
+
+ChainController::HopImage ChainController::capture_image(
+    int hop, const InstalledProgram& program) const {
+  HopImage image;
+  image.program = program;
+  const dp::RunproDataplane& dataplane = chain_.switch_at(hop);
+  for (const auto& [vmem, placement] : program.placements) {
+    std::vector<Word> words;
+    words.reserve(placement.block.size);
+    const auto& memory = dataplane.rpb(placement.rpb).memory();
+    for (std::uint32_t a = 0; a < placement.block.size; ++a) {
+      words.push_back(memory.read(placement.block.base + a));
+    }
+    image.words.emplace(vmem, std::move(words));
+  }
+  return image;
+}
+
+Status ChainController::remove_chain_wide(ProgramId id, int* faulted_hop) {
+  // Pre-removal images first: a fault at hop h needs every hop already
+  // removed (0..h-1) re-installed byte-identically, contents included.
+  std::vector<HopImage> images;
+  images.reserve(hops_.size());
+  for (std::size_t h = 0; h < hops_.size(); ++h) {
+    images.push_back(capture_image(static_cast<int>(h),
+                                   hops_[h]->programs.at(id)));
+  }
+
+  for (std::size_t h = 0; h < hops_.size(); ++h) {
+    Hop& hop = *hops_[h];
+    InstalledProgram& program = hop.programs.at(id);
+    std::map<int, std::uint32_t> entries_per_rpb;
+    for (const auto& [rpb, handle] : program.rpb_handles) {
+      (void)handle;
+      ++entries_per_rpb[rpb];
+    }
+    if (auto s = hop.updates.remove(program); !s.ok()) {
+      // Hop h's removal journal restored the program there (fresh
+      // handles, resources intact). Re-install the hops already removed,
+      // nearest first.
+      for (std::size_t g = h; g-- > 0;) {
+        reinstall_hop(static_cast<int>(g), std::move(images[g]));
+      }
+      if (faulted_hop != nullptr) *faulted_hop = static_cast<int>(h);
+      return s;
+    }
+    for (const auto& [rpb, count] : entries_per_rpb) {
+      hop.resources.release_entries(rpb, count);
+    }
+    hop.resources.erase_program(id);
+    chain_.switch_at(static_cast<int>(h)).init_block().clear_counter(id);
+    hop.programs.erase(id);
+  }
+  return {};
+}
+
+void ChainController::reinstall_hop(int hop, HopImage image) {
+  Hop& h = *hops_[static_cast<std::size_t>(hop)];
+  const ProgramId id = image.program.id;
+
+  // The exact blocks are provably still free: nothing allocated between the
+  // removal and this unwind (session lock). A reclaim failure is a journal
+  // bug, same convention as the single-switch rollback.
+  for (const auto& [vmem, placement] : image.program.placements) {
+    (void)vmem;
+    const Status reclaimed = h.resources.reclaim_block(placement.rpb,
+                                                       placement.block);
+    assert(reclaimed.ok() && "chain unwind reclaim must not fail");
+    (void)reclaimed;
+  }
+  std::map<int, std::uint32_t> entries_per_rpb;
+  for (const auto& [rpb, handle] : image.program.rpb_handles) {
+    (void)handle;
+    ++entries_per_rpb[rpb];
+  }
+  for (const auto& [rpb, count] : entries_per_rpb) {
+    const Status reserved = h.resources.reserve_entries(rpb, count);
+    assert(reserved.ok() && "chain unwind re-reserve must not fail");
+    (void)reserved;
+  }
+
+  // Replay the install: saved memory contents first, then the entry plan in
+  // consistent-update order. The engine hands back fresh handles.
+  dp::WriteBatch batch;
+  for (const auto& [vmem, placement] : image.program.placements) {
+    batch.write_mem_range(placement.rpb, placement.block.base,
+                          std::move(image.words.at(vmem)), vmem);
+  }
+  rp::stage_install(image.program.plan, batch);
+  auto applied = h.updates.execute_install(batch);
+  assert(applied.ok() && "chain unwind reinstall must not fault");
+  image.program.filter_handles = std::move(applied.value().filter_handles);
+  image.program.rpb_handles = std::move(applied.value().rpb_handles);
+  image.program.recirc_handles = std::move(applied.value().recirc_handles);
+  h.resources.record_program(id, image.program.placements);
+  h.programs.insert_or_assign(id, std::move(image.program));
+}
+
+const InstalledProgram* ChainController::program_at(int hop, ProgramId id) const {
+  const auto& programs = hops_[static_cast<std::size_t>(hop)]->programs;
+  const auto it = programs.find(id);
+  return it == programs.end() ? nullptr : &it->second;
+}
+
+std::vector<ProgramId> ChainController::running_programs() const {
+  std::vector<ProgramId> ids;
+  ids.reserve(running_.size());
+  for (const auto& [id, name] : running_) {
+    (void)name;
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+Result<int> ChainController::owning_hop(ProgramId id,
+                                        const std::string& vmem) const {
+  const InstalledProgram* program = program_at(0, id);
+  if (program == nullptr) {
+    return Error{"unknown program", "ChainController", ErrorCode::NotFound};
+  }
+  const auto it = program->ir.vmem_depths.find(vmem);
+  if (it == program->ir.vmem_depths.end() || it->second.empty()) {
+    return Error{"unknown memory '" + vmem + "'", "ChainController",
+                 ErrorCode::NotFound};
+  }
+  // Chain compatibility guarantees every access shares one round = one hop.
+  const int logical =
+      program->alloc.x[static_cast<std::size_t>(it->second.front() - 1)];
+  return dp::recirc_round(logical, chain_.spec_at(0).total_rpbs());
+}
+
+Result<Word> ChainController::read_memory(ProgramId id, const std::string& vmem,
+                                          MemAddr vaddr) const {
+  auto hop = owning_hop(id, vmem);
+  if (!hop.ok()) return hop.error();
+  return hops_[static_cast<std::size_t>(hop.value())]->resources.read_virtual(
+      chain_.switch_at(hop.value()), id, vmem, vaddr);
+}
+
+Status ChainController::write_memory(ProgramId id, const std::string& vmem,
+                                     MemAddr vaddr, Word value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto hop = owning_hop(id, vmem);
+  if (!hop.ok()) return hop.error();
+  return hops_[static_cast<std::size_t>(hop.value())]->resources.write_virtual(
+      chain_.switch_at(hop.value()), id, vmem, vaddr, value);
+}
+
+Result<std::vector<Word>> ChainController::dump_memory(
+    ProgramId id, const std::string& vmem) const {
+  auto hop = owning_hop(id, vmem);
+  if (!hop.ok()) return hop.error();
+  const auto& resources = hops_[static_cast<std::size_t>(hop.value())]->resources;
+  const auto* placements = resources.program_placements(id);
+  if (placements == nullptr) {
+    return Error{"unknown program", "ChainController", ErrorCode::NotFound};
+  }
+  const auto it = placements->find(vmem);
+  if (it == placements->end()) {
+    return Error{"unknown memory '" + vmem + "'", "ChainController",
+                 ErrorCode::NotFound};
+  }
+  std::vector<Word> out;
+  out.reserve(it->second.block.size);
+  const auto& memory =
+      chain_.switch_at(hop.value()).rpb(it->second.rpb).memory();
+  for (std::uint32_t a = 0; a < it->second.block.size; ++a) {
+    out.push_back(memory.read(it->second.block.base + a));
+  }
+  return out;
+}
+
+std::uint64_t ChainController::program_packets(ProgramId id) const {
+  return chain_.switch_at(0).init_block().claimed_packets(id);
+}
+
+ResourceManager& ChainController::resources(int hop) {
+  return hops_[static_cast<std::size_t>(hop)]->resources;
+}
+
+const ResourceManager& ChainController::resources(int hop) const {
+  return hops_[static_cast<std::size_t>(hop)]->resources;
+}
+
+UpdateEngine& ChainController::updates(int hop) {
+  return hops_[static_cast<std::size_t>(hop)]->updates;
+}
+
+}  // namespace p4runpro::ctrl

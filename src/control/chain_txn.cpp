@@ -1,0 +1,180 @@
+#include "control/chain_txn.h"
+
+#include <cassert>
+#include <utility>
+
+#include "obs/telemetry.h"
+
+namespace p4runpro::ctrl {
+
+ChainTransaction::ChainTransaction(std::vector<ChainHop> hops,
+                                   const rp::TranslatedProgram& ir,
+                                   std::vector<rp::AllocationResult> allocs,
+                                   ProgramId id, int filter_priority,
+                                   ProgramId replacing, obs::Telemetry* telemetry)
+    : hops_(std::move(hops)),
+      ir_(ir),
+      allocs_(std::move(allocs)),
+      id_(id),
+      filter_priority_(filter_priority),
+      replacing_(replacing),
+      telemetry_(telemetry) {
+  assert(!hops_.empty());
+  assert(hops_.size() == allocs_.size());
+  residuals_.resize(hops_.size());
+}
+
+ChainTransaction::~ChainTransaction() {
+  if (phase_ == Phase::Solved || phase_ == Phase::Staged) rollback_all();
+}
+
+Status ChainTransaction::stage_all() {
+  assert(phase_ == Phase::Solved);
+  auto stage_span = obs::span(telemetry_, "chain_txn.stage", "ctrl");
+  stage_span.arg("hops", static_cast<std::uint64_t>(hops_.size()));
+
+  txns_.reserve(hops_.size());
+  for (std::size_t h = 0; h < hops_.size(); ++h) {
+    txns_.push_back(std::make_unique<DeployTransaction>(
+        DeployContext{*hops_[h].dataplane, *hops_[h].resources, *hops_[h].updates,
+                      telemetry_},
+        ir_, std::move(allocs_[h]), id_, filter_priority_, replacing_));
+  }
+
+  // Reserve everywhere first: any hop's AllocFailed aborts the chain before
+  // a single dataplane write is even staged.
+  for (std::size_t h = 0; h < txns_.size(); ++h) {
+    if (auto s = txns_[h]->reserve(); !s.ok()) {
+      faulted_hop_ = static_cast<int>(h);
+      rollback_all();
+      return s;
+    }
+  }
+  for (auto& txn : txns_) {
+    txn->plan_entries();
+    txn->stage();
+  }
+
+  // Capture the pre-transaction bytes of every reserved block now, while
+  // nothing has written to the dataplane: a later commit-unwind's memory
+  // reset must be able to restore free memory byte-identically.
+  for (std::size_t h = 0; h < txns_.size(); ++h) {
+    for (const auto& [vmem, placement] : txns_[h]->placements()) {
+      Residual residual;
+      residual.vmem = vmem;
+      residual.placement = placement;
+      residual.words.reserve(placement.block.size);
+      const auto& memory = hops_[h].dataplane->rpb(placement.rpb).memory();
+      for (std::uint32_t a = 0; a < placement.block.size; ++a) {
+        residual.words.push_back(memory.read(placement.block.base + a));
+      }
+      residuals_[h].push_back(std::move(residual));
+    }
+  }
+
+  phase_ = Phase::Staged;
+  return {};
+}
+
+Status ChainTransaction::commit_all() {
+  assert(phase_ == Phase::Staged);
+  auto commit_span = obs::span(telemetry_, "chain_txn.commit", "ctrl");
+  commit_span.arg("hops", static_cast<std::uint64_t>(hops_.size()));
+  commit_span.arg("ops", static_cast<std::uint64_t>(total_staged_ops()));
+
+  for (std::size_t h = 0; h < txns_.size(); ++h) {
+    auto installed = txns_[h]->commit();
+    if (!installed.ok()) {
+      // Hop h's engine journal already restored hop h and the transaction
+      // rolled its reservations back. Un-commit every hop before it and
+      // release the reservations of every hop after it.
+      faulted_hop_ = static_cast<int>(h);
+      auto unwind_span = obs::span(telemetry_, "chain_txn.unwind", "ctrl");
+      unwind_span.arg("committed_hops", static_cast<std::uint64_t>(h));
+      for (std::size_t g = h; g-- > 0;) unwind_committed_hop(static_cast<int>(g));
+      for (std::size_t g = h + 1; g < txns_.size(); ++g) txns_[g]->rollback();
+      installed_.clear();
+      phase_ = Phase::RolledBack;
+      return installed.error();
+    }
+    installed_.push_back(std::move(installed).take());
+  }
+  phase_ = Phase::Committed;
+  return {};
+}
+
+void ChainTransaction::rollback_all() {
+  if (phase_ == Phase::Committed || phase_ == Phase::RolledBack) return;
+  for (auto& txn : txns_) {
+    if (txn) txn->rollback();
+  }
+  installed_.clear();
+  phase_ = Phase::RolledBack;
+}
+
+void ChainTransaction::unwind_commit() {
+  assert(phase_ == Phase::Committed);
+  auto unwind_span = obs::span(telemetry_, "chain_txn.unwind", "ctrl");
+  unwind_span.arg("committed_hops", static_cast<std::uint64_t>(hops_.size()));
+  for (std::size_t g = hops_.size(); g-- > 0;) {
+    unwind_committed_hop(static_cast<int>(g));
+  }
+  installed_.clear();
+  phase_ = Phase::RolledBack;
+}
+
+void ChainTransaction::unwind_committed_hop(int hop) {
+  ChainHop& ctx = hops_[static_cast<std::size_t>(hop)];
+  InstalledProgram& program = installed_[static_cast<std::size_t>(hop)];
+
+  std::map<int, std::uint32_t> entries_per_rpb;
+  for (const auto& [rpb, handle] : program.rpb_handles) {
+    (void)handle;
+    ++entries_per_rpb[rpb];
+  }
+
+  // Consistent remove through the hop's own engine (filters first, so the
+  // half-deployed program is atomically invisible; memory reset last). The
+  // unwind itself must not fault: faults fire once and have already fired.
+  const Status removed = ctx.updates->remove(program);
+  assert(removed.ok() && "chain unwind remove must not fault (single-fault model)");
+  (void)removed;
+
+  for (const auto& [rpb, count] : entries_per_rpb) {
+    ctx.resources->release_entries(rpb, count);
+  }
+  ctx.resources->erase_program(id_);
+  ctx.dataplane->init_block().clear_counter(id_);
+
+  // remove() zeroed the blocks; put the pre-transaction residual bytes back
+  // so even free memory is byte-identical. The inverse op is discarded —
+  // this IS the rollback.
+  for (const Residual& residual : residuals_[static_cast<std::size_t>(hop)]) {
+    if (residual.words.empty()) continue;
+    dp::WriteOp op;
+    op.kind = dp::WriteOp::Kind::RestoreMemRange;
+    op.mem_rpb = residual.placement.rpb;
+    op.mem_base = residual.placement.block.base;
+    op.mem_size = static_cast<std::uint32_t>(residual.words.size());
+    op.mem_words = residual.words;
+    op.vmem = residual.vmem;
+    auto applied = ctx.dataplane->apply(op);
+    assert(applied.ok());
+    (void)applied;
+  }
+}
+
+std::size_t ChainTransaction::staged_ops(int hop) const {
+  const auto& txn = txns_[static_cast<std::size_t>(hop)];
+  return txn ? txn->staged_batch().size() : 0;
+}
+
+std::size_t ChainTransaction::total_staged_ops() const {
+  std::size_t total = 0;
+  for (const auto& txn : txns_) {
+    if (txn) total += txn->staged_batch().size();
+  }
+  return total;
+}
+
+}  // namespace p4runpro::ctrl

@@ -35,6 +35,8 @@ struct MemBlock {
 struct VmemPlacement {
   int rpb = 0;  // physical RPB id (1-based)
   MemBlock block;
+
+  friend bool operator==(const VmemPlacement&, const VmemPlacement&) = default;
 };
 
 class ResourceManager {

@@ -106,8 +106,23 @@ class UpdateEngine {
 
   /// Fault injection (tests): make the Nth subsequent entry write fail,
   /// simulating a control-channel error mid-update. The fault fires once
-  /// and disarms (rollback writes are never faulted). -1 disables.
+  /// and disarms (rollback writes are never faulted). -1 disables. Each
+  /// engine drives one switch's channel, so a chain harness arms exactly
+  /// the hop it wants to fault (per-hop injection; ChainController exposes
+  /// `updates(hop)` for this).
   void set_fault_after_writes(int writes) { fault_after_ = writes; }
+  /// True while an injected fault is armed and has not fired yet. Lets
+  /// fault-matrix sweeps distinguish "op succeeded past the batch end"
+  /// (fault still armed) from "fault fired and rolled back".
+  [[nodiscard]] bool fault_armed() const noexcept { return fault_after_ >= 0; }
+
+  /// Lifetime count of write ops this engine applied on the forward path
+  /// (entry writes, memory carry-overs and resets; journal unwinds are not
+  /// counted). One unit here is one fault index of set_fault_after_writes,
+  /// so `writes_applied()` after a clean run bounds a full fault sweep.
+  [[nodiscard]] std::uint64_t writes_applied() const noexcept {
+    return writes_applied_;
+  }
 
   /// Test/verification hook: invoked after every individual entry
   /// operation, i.e. at every intermediate data-plane state of an update.
@@ -140,7 +155,10 @@ class UpdateEngine {
                        std::vector<JournalEntry>& journal,
                        InstalledProgram& program);
 
+  /// Called once per applied forward op — the same granularity as the fault
+  /// indices — so it also maintains writes_applied().
   void observe_step() {
+    ++writes_applied_;
     if (step_observer_) step_observer_();
   }
 
@@ -156,6 +174,7 @@ class UpdateEngine {
   }
 
   int fault_after_ = -1;
+  std::uint64_t writes_applied_ = 0;
   std::function<void()> step_observer_;
   obs::Telemetry* telemetry_ = nullptr;
   dp::RunproDataplane& dataplane_;

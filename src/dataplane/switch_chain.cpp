@@ -11,6 +11,13 @@ SwitchChain::SwitchChain(int length, DataplaneSpec spec,
   }
 }
 
+SwitchChain::SwitchChain(const std::vector<DataplaneSpec>& specs,
+                         rmt::ParserConfig parser_config) {
+  for (const DataplaneSpec& spec : specs) {
+    switches_.push_back(std::make_unique<RunproDataplane>(spec, parser_config));
+  }
+}
+
 rmt::PipelineResult SwitchChain::inject(const rmt::Packet& pkt) {
   rmt::PipelineResult result;
   rmt::Phv phv = switches_.front()->pipeline().parse_packet(pkt);
@@ -36,7 +43,44 @@ rmt::PipelineResult SwitchChain::inject(const rmt::Packet& pkt) {
   return result;
 }
 
-bool SwitchChain::chain_compatible(
+Status SwitchChain::uniform_specs() const {
+  const DataplaneSpec& base = switches_.front()->spec();
+  const auto mismatch = [&](int hop, const char* field, long long got,
+                            long long want) -> Error {
+    return Error{"hop " + std::to_string(hop) + " spec mismatch: " + field +
+                     " = " + std::to_string(got) + ", hop 0 has " +
+                     std::to_string(want),
+                 "SwitchChain", ErrorCode::InvalidArgument};
+  };
+  for (std::size_t hop = 1; hop < switches_.size(); ++hop) {
+    const DataplaneSpec& spec = switches_[hop]->spec();
+    const int h = static_cast<int>(hop);
+    if (spec.ingress_rpbs != base.ingress_rpbs) {
+      return mismatch(h, "ingress_rpbs", spec.ingress_rpbs, base.ingress_rpbs);
+    }
+    if (spec.egress_rpbs != base.egress_rpbs) {
+      return mismatch(h, "egress_rpbs", spec.egress_rpbs, base.egress_rpbs);
+    }
+    if (spec.memory_per_rpb != base.memory_per_rpb) {
+      return mismatch(h, "memory_per_rpb", spec.memory_per_rpb, base.memory_per_rpb);
+    }
+    if (spec.entries_per_rpb != base.entries_per_rpb) {
+      return mismatch(h, "entries_per_rpb", spec.entries_per_rpb,
+                      base.entries_per_rpb);
+    }
+    if (spec.max_recirculations != base.max_recirculations) {
+      return mismatch(h, "max_recirculations", spec.max_recirculations,
+                      base.max_recirculations);
+    }
+    if (spec.hash_output_bits != base.hash_output_bits) {
+      return mismatch(h, "hash_output_bits", spec.hash_output_bits,
+                      base.hash_output_bits);
+    }
+  }
+  return {};
+}
+
+Status SwitchChain::chain_compatibility(
     const std::map<std::string, std::vector<int>>& vmem_depths,
     const std::vector<int>& x, int total_rpbs) {
   for (const auto& [vmem, depths] : vmem_depths) {
@@ -44,9 +88,26 @@ bool SwitchChain::chain_compatible(
     for (int depth : depths) {
       rounds.insert(recirc_round(x[static_cast<std::size_t>(depth - 1)], total_rpbs));
     }
-    if (rounds.size() > 1) return false;
+    if (rounds.size() > 1) {
+      std::string listed;
+      for (int round : rounds) {
+        if (!listed.empty()) listed += ", ";
+        listed += std::to_string(round);
+      }
+      return Error{"virtual memory '" + vmem + "' is accessed in rounds " +
+                       listed + " — each round runs on a different chain hop "
+                       "with its own physical memory, so the program needs a "
+                       "recirculating switch",
+                   "SwitchChain", ErrorCode::InvalidArgument};
+    }
   }
-  return true;
+  return {};
+}
+
+bool SwitchChain::chain_compatible(
+    const std::map<std::string, std::vector<int>>& vmem_depths,
+    const std::vector<int>& x, int total_rpbs) {
+  return chain_compatibility(vmem_depths, x, total_rpbs).ok();
 }
 
 }  // namespace p4runpro::dp

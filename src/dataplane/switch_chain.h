@@ -12,13 +12,16 @@
 // exact). Programs whose memory is touched in more than one round are
 // rejected for chains — the rounds live on different switches with
 // different physical memories (this is the constraint-(5) adjustment the
-// paper notes).
+// paper notes). ctrl::ChainController layers atomic chain-wide deploy
+// transactions on top (reserve on every hop, two-phase commit, per-hop
+// rollback journals; docs/ARCHITECTURE.md "Chain transactions").
 #pragma once
 
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "dataplane/runpro_dataplane.h"
 
 namespace p4runpro::dp {
@@ -30,6 +33,13 @@ class SwitchChain {
   /// of rounds = hops a program may use; it should equal length - 1).
   SwitchChain(int length, DataplaneSpec spec, rmt::ParserConfig parser_config);
 
+  /// Heterogeneous chain: one spec per hop. Mirror deployment (and the
+  /// chain controller) requires uniform specs — `uniform_specs()` reports
+  /// the first divergence — but packets still traverse a mixed chain, so
+  /// misprovisioned chains are representable and diagnosable.
+  SwitchChain(const std::vector<DataplaneSpec>& specs,
+              rmt::ParserConfig parser_config);
+
   /// Run one packet across the chain. Throughput is unaffected by long
   /// programs: every hop is a fresh pipeline at line rate (the trade-off
   /// is one switch per extra round instead of recirculation bandwidth).
@@ -37,11 +47,30 @@ class SwitchChain {
 
   [[nodiscard]] int length() const noexcept { return static_cast<int>(switches_.size()); }
   [[nodiscard]] RunproDataplane& switch_at(int hop) { return *switches_[static_cast<std::size_t>(hop)]; }
+  [[nodiscard]] const RunproDataplane& switch_at(int hop) const {
+    return *switches_[static_cast<std::size_t>(hop)];
+  }
+  [[nodiscard]] const DataplaneSpec& spec_at(int hop) const {
+    return switch_at(hop).spec();
+  }
+
+  /// Mirror deployment requires every hop provisioned identically (the
+  /// same allocation must be valid on each switch). Names the first hop —
+  /// and the first DataplaneSpec field — that diverges from hop 0.
+  [[nodiscard]] Status uniform_specs() const;
 
   /// True iff a program's allocation is chain-compatible: no virtual
   /// memory is accessed in more than one round.
   [[nodiscard]] static bool chain_compatible(const std::map<std::string, std::vector<int>>& vmem_depths,
                                              const std::vector<int>& x, int total_rpbs);
+
+  /// Diagnostic form of chain_compatible: on failure the error names the
+  /// offending virtual memory and the conflicting rounds (= chain hops),
+  /// so the operator knows exactly which access pattern pins the program
+  /// to a recirculating switch.
+  [[nodiscard]] static Status chain_compatibility(
+      const std::map<std::string, std::vector<int>>& vmem_depths,
+      const std::vector<int>& x, int total_rpbs);
 
  private:
   std::vector<std::unique_ptr<RunproDataplane>> switches_;

@@ -14,6 +14,8 @@ namespace {
     case MonitorEvent::Kind::Alert: return "alert";
     case MonitorEvent::Kind::TxnCommit: return "txn_commit";
     case MonitorEvent::Kind::TxnRollback: return "txn_rollback";
+    case MonitorEvent::Kind::ChainTxnCommit: return "chain_txn_commit";
+    case MonitorEvent::Kind::ChainTxnRollback: return "chain_txn_rollback";
   }
   return "?";
 }
@@ -104,6 +106,29 @@ void ProgramHealthMonitor::txn_rolled_back(ProgramId id, std::string_view name,
   event.kind = MonitorEvent::Kind::TxnRollback;
   event.program = id;
   event.program_name = std::string(name);
+  event.detail = std::string(reason);
+  push_event(std::move(event));
+}
+
+void ProgramHealthMonitor::chain_txn_committed(ProgramId id, std::string_view name,
+                                               int hops) {
+  MonitorEvent event;
+  event.kind = MonitorEvent::Kind::ChainTxnCommit;
+  event.program = id;
+  event.program_name = std::string(name);
+  event.hops = hops;
+  push_event(std::move(event));
+}
+
+void ProgramHealthMonitor::chain_txn_rolled_back(ProgramId id, std::string_view name,
+                                                 int hops, int faulted_hop,
+                                                 std::string_view reason) {
+  MonitorEvent event;
+  event.kind = MonitorEvent::Kind::ChainTxnRollback;
+  event.program = id;
+  event.program_name = std::string(name);
+  event.hops = hops;
+  event.faulted_hop = faulted_hop;
   event.detail = std::string(reason);
   push_event(std::move(event));
 }
@@ -340,6 +365,13 @@ void export_alerts_jsonl(const ProgramHealthMonitor& monitor, std::ostream& out)
         break;
       case MonitorEvent::Kind::TxnRollback:
         out << ",\"detail\":\"" << json_escape(e.detail) << "\"";
+        break;
+      case MonitorEvent::Kind::ChainTxnCommit:
+        out << ",\"hops\":" << e.hops;
+        break;
+      case MonitorEvent::Kind::ChainTxnRollback:
+        out << ",\"hops\":" << e.hops << ",\"faulted_hop\":" << e.faulted_hop
+            << ",\"detail\":\"" << json_escape(e.detail) << "\"";
         break;
       case MonitorEvent::Kind::Alert:
         out << ",\"rule\":\"" << json_escape(e.rule)

@@ -114,7 +114,8 @@ struct AlertRule {
 /// the stream so a dump shows alerts in deployment context.
 struct MonitorEvent {
   enum class Kind : std::uint8_t {
-    Deploy, Revoke, Alert, TxnCommit, TxnRollback
+    Deploy, Revoke, Alert, TxnCommit, TxnRollback, ChainTxnCommit,
+    ChainTxnRollback
   } kind = Kind::Deploy;
   std::uint64_t seq = 0;  ///< monotonically increasing stream position
   double t_ms = 0.0;      ///< virtual time
@@ -126,6 +127,9 @@ struct MonitorEvent {
   double threshold = 0.0;    ///< alert only: rule threshold
   int rpb = 0;               ///< occupancy alerts: the stage
   std::uint64_t entries = 0; ///< deploy only: installed RPB+filter entries
+  int hops = 0;              ///< chain txn only: chain length of the deploy
+  int faulted_hop = -1;      ///< chain rollback only: hop whose write faulted
+                             ///< (-1: aborted before any write, e.g. reserve)
 };
 
 /// Lifetime per-program attribution counters.
@@ -175,6 +179,14 @@ class ProgramHealthMonitor final : public rmt::PacketObserver {
   /// untouched — a rollback leaves no trace in per-program state, by design.
   void txn_committed(ProgramId id, std::string_view name);
   void txn_rolled_back(ProgramId id, std::string_view name, std::string_view reason);
+
+  /// A chain transaction committed on every hop of an N-hop switch chain /
+  /// rolled back chain-wide. `faulted_hop` is the hop whose control-channel
+  /// write (or reservation) aborted the transaction, or -1 when the abort
+  /// happened before any hop was named (e.g. compile failure).
+  void chain_txn_committed(ProgramId id, std::string_view name, int hops);
+  void chain_txn_rolled_back(ProgramId id, std::string_view name, int hops,
+                             int faulted_hop, std::string_view reason);
 
   // --- occupancy feed (resource manager) ---------------------------------
   /// Report one stage's table-entry occupancy after it changed; evaluates

@@ -1,0 +1,212 @@
+// Chain lifecycle fuzz: seeded random link/relink/revoke/memory-write
+// interleavings against a 3-hop chain, with a random fault schedule arming
+// one hop's control channel per operation. After EVERY operation the three
+// hops' free-resource books must agree exactly (mirror deployments evolve
+// in lockstep), the running-program registry must match the shadow model,
+// and at the end of every round a full teardown must return each hop to
+// zero occupancy — any leak, double-free or half-committed hop shows up as
+// a books divergence with the seed in the failure trace.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/program_library.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "control/chain_controller.h"
+#include "dataplane/switch_chain.h"
+#include "obs/telemetry.h"
+
+namespace p4runpro {
+namespace {
+
+constexpr int kHops = 3;
+constexpr int kOpsPerRound = 30;
+
+dp::DataplaneSpec fuzz_spec() {
+  dp::DataplaneSpec spec;
+  spec.memory_per_rpb = 4096;
+  spec.entries_per_rpb = 256;
+  spec.max_recirculations = kHops - 1;
+  return spec;
+}
+
+struct FuzzBed {
+  SimClock clock;
+  obs::Telemetry telemetry;
+  dp::SwitchChain chain{kHops, fuzz_spec(), rmt::ParserConfig{{7777}}};
+  ctrl::ChainController controller{chain, clock, {}, {}, &telemetry};
+};
+
+struct ShadowProgram {
+  ProgramId id = 0;
+  std::string key;  // catalog key ("cache" / "hh")
+};
+
+std::string program_source(const std::string& key, int instance) {
+  apps::ProgramConfig config;
+  config.instance_name = key + "_p" + std::to_string(instance);
+  config.mem_buckets = 64;
+  return apps::make_program_source(key, config);
+}
+
+/// The three hops' free-resource books must be identical after every
+/// chain-wide operation — committed or rolled back.
+void expect_books_in_lockstep(FuzzBed& bed) {
+  const auto reference = bed.controller.resources(0).snapshot();
+  for (int h = 1; h < kHops; ++h) {
+    const auto snap = bed.controller.resources(h).snapshot();
+    EXPECT_EQ(snap.free_entries, reference.free_entries)
+        << "hop " << h << " entry books diverged from hop 0";
+    EXPECT_EQ(snap.free_mem, reference.free_mem)
+        << "hop " << h << " memory books diverged from hop 0";
+  }
+}
+
+void expect_registry_matches(FuzzBed& bed,
+                             const std::vector<ShadowProgram>& shadow) {
+  ASSERT_EQ(bed.controller.program_count(), shadow.size());
+  for (const auto& prog : shadow) {
+    for (int h = 0; h < kHops; ++h) {
+      ASSERT_NE(bed.controller.program_at(h, prog.id), nullptr)
+          << "program " << prog.id << " missing on hop " << h;
+    }
+  }
+}
+
+void run_round(std::uint32_t seed) {
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  FuzzBed bed;
+  Rng rng(seed);
+  std::vector<ShadowProgram> shadow;
+  int instances = 0;
+
+  for (int op = 0; op < kOpsPerRound; ++op) {
+    SCOPED_TRACE("op " + std::to_string(op));
+
+    // Fault schedule: one in three operations runs with a random hop's
+    // channel armed to fail at a random write index.
+    const bool armed = rng.uniform(3) == 0;
+    const int armed_hop = static_cast<int>(rng.uniform(kHops));
+    if (armed) {
+      bed.controller.updates(armed_hop).set_fault_after_writes(
+          static_cast<int>(rng.uniform(15)));
+    }
+
+    const std::uint32_t action = rng.uniform(4);
+    if (action == 0 || shadow.empty()) {
+      const std::string key = rng.uniform(2) == 0 ? "cache" : "hh";
+      auto linked = bed.controller.link(program_source(key, instances++));
+      if (linked.ok()) {
+        shadow.push_back(ShadowProgram{linked.value().id, key});
+      } else {
+        EXPECT_TRUE(linked.error().code == ErrorCode::ChannelError ||
+                    linked.error().code == ErrorCode::AllocFailed)
+            << linked.error().str();
+      }
+    } else if (action == 1) {
+      const std::size_t victim = rng.uniform(static_cast<std::uint32_t>(shadow.size()));
+      const Status s = bed.controller.revoke(shadow[victim].id);
+      if (s.ok()) {
+        shadow.erase(shadow.begin() + static_cast<std::ptrdiff_t>(victim));
+      } else {
+        EXPECT_EQ(s.error().code, ErrorCode::ChannelError) << s.error().str();
+      }
+    } else if (action == 2) {
+      const std::size_t victim = rng.uniform(static_cast<std::uint32_t>(shadow.size()));
+      // New version of the same instance (same name, fresh id on success).
+      auto relinked = bed.controller.relink(
+          shadow[victim].id, program_source(shadow[victim].key, instances++));
+      if (relinked.ok()) {
+        shadow[victim].id = relinked.value().id;
+      } else {
+        EXPECT_TRUE(relinked.error().code == ErrorCode::ChannelError ||
+                    relinked.error().code == ErrorCode::AllocFailed)
+            << relinked.error().str();
+      }
+    } else {
+      const std::size_t victim = rng.uniform(static_cast<std::uint32_t>(shadow.size()));
+      if (shadow[victim].key == "cache") {
+        const Status s = bed.controller.write_memory(
+            shadow[victim].id, "mem1", rng.uniform(16), rng.next_u32());
+        EXPECT_TRUE(s.ok()) << s.error().str();
+      }
+    }
+
+    for (int h = 0; h < kHops; ++h) {
+      bed.controller.updates(h).set_fault_after_writes(-1);
+    }
+    expect_books_in_lockstep(bed);
+    expect_registry_matches(bed, shadow);
+    if (::testing::Test::HasFailure()) return;  // seed + op already traced
+  }
+
+  // Full teardown: every hop must return to zero occupancy — the leak
+  // check the whole round builds up to.
+  for (const auto& prog : shadow) {
+    ASSERT_TRUE(bed.controller.revoke(prog.id).ok());
+  }
+  EXPECT_EQ(bed.controller.program_count(), 0u);
+  for (int h = 0; h < kHops; ++h) {
+    EXPECT_EQ(bed.controller.resources(h).total_entry_utilization(), 0.0)
+        << "hop " << h << " leaked table entries";
+    EXPECT_EQ(bed.controller.resources(h).total_memory_utilization(), 0.0)
+        << "hop " << h << " leaked memory";
+    const auto snap = bed.controller.resources(h).snapshot();
+    for (std::size_t i = 0; i < snap.free_entries.size(); ++i) {
+      EXPECT_EQ(snap.free_entries[i], fuzz_spec().entries_per_rpb)
+          << "hop " << h << " rpb " << i + 1 << " entries not fully returned";
+      ASSERT_EQ(snap.free_mem[i].size(), 1u)
+          << "hop " << h << " rpb " << i + 1 << " free list fragmented";
+      EXPECT_EQ(snap.free_mem[i].front().size, fuzz_spec().memory_per_rpb);
+    }
+  }
+}
+
+TEST(ChainFuzz, SeededLifecycleInterleavingsLeakNothing) {
+  for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+    run_round(seed);
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+TEST(ChainFuzz, HeavyChurnSingleSeedDeepRound) {
+  // One deeper round with a denser fault schedule: every second op armed.
+  SCOPED_TRACE("deep round, seed 99");
+  FuzzBed bed;
+  Rng rng(99);
+  std::vector<ProgramId> live;
+  int instances = 0;
+  for (int op = 0; op < 80; ++op) {
+    SCOPED_TRACE("op " + std::to_string(op));
+    if (rng.uniform(2) == 0) {
+      bed.controller.updates(static_cast<int>(rng.uniform(kHops)))
+          .set_fault_after_writes(static_cast<int>(rng.uniform(10)));
+    }
+    if (live.size() < 3 || rng.uniform(2) == 0) {
+      auto linked = bed.controller.link(program_source("cache", instances++));
+      if (linked.ok()) live.push_back(linked.value().id);
+    } else {
+      const std::size_t victim = rng.uniform(static_cast<std::uint32_t>(live.size()));
+      if (bed.controller.revoke(live[victim]).ok()) {
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+      }
+    }
+    for (int h = 0; h < kHops; ++h) {
+      bed.controller.updates(h).set_fault_after_writes(-1);
+    }
+    expect_books_in_lockstep(bed);
+    if (::testing::Test::HasFailure()) return;
+  }
+  for (const ProgramId id : live) ASSERT_TRUE(bed.controller.revoke(id).ok());
+  for (int h = 0; h < kHops; ++h) {
+    EXPECT_EQ(bed.controller.resources(h).total_entry_utilization(), 0.0);
+    EXPECT_EQ(bed.controller.resources(h).total_memory_utilization(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace p4runpro

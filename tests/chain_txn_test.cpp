@@ -1,0 +1,623 @@
+// Chain-transaction fault matrix: a control-channel fault at ANY
+// (hop, write-index) pair of a chain-wide deploy, relink or revoke must
+// unwind the whole chain — every hop's tables, memory contents, resource
+// occupancy, free lists and running-program registry — back to a
+// byte-identical pre-transaction state. The harness sweeps every fault
+// point per hop over chain lengths 2..4 and compares full per-hop
+// snapshots against the pre-transaction baseline after every faulted
+// attempt.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/program_library.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "control/chain_controller.h"
+#include "dataplane/switch_chain.h"
+#include "obs/telemetry.h"
+
+namespace p4runpro {
+namespace {
+
+// Small per-switch spec so full-memory chain snapshots stay cheap; the
+// compiler's round bound matches the chain length (R = hops - 1).
+dp::DataplaneSpec chain_spec(int length) {
+  dp::DataplaneSpec spec;
+  spec.memory_per_rpb = 4096;
+  spec.entries_per_rpb = 256;
+  spec.max_recirculations = length - 1;
+  return spec;
+}
+
+std::string cache_source(std::uint32_t mem_buckets = 64) {
+  apps::ProgramConfig config;
+  config.instance_name = "cache";
+  config.mem_buckets = mem_buckets;
+  return apps::make_program_source("cache", config);
+}
+
+std::string hh_source() {
+  apps::ProgramConfig config;
+  config.instance_name = "hh";
+  config.mem_buckets = 64;
+  return apps::make_program_source("hh", config);
+}
+
+rmt::Packet cache_read(Word key) {
+  rmt::Packet pkt;
+  pkt.ipv4 = rmt::Ipv4Header{.src = 0x0a000001, .dst = 0x0a000002, .proto = 17};
+  pkt.udp = rmt::UdpHeader{.src_port = 4000, .dst_port = 7777};
+  pkt.app = rmt::AppHeader{.op = 1, .key1 = key, .key2 = 0, .value = 0};
+  pkt.ingress_port = 5;
+  return pkt;
+}
+
+struct ChainBed {
+  SimClock clock;
+  obs::Telemetry telemetry;
+  dp::SwitchChain chain;
+  ctrl::ChainController controller;
+
+  explicit ChainBed(int length)
+      : chain(length, chain_spec(length), rmt::ParserConfig{{7777}}),
+        controller(chain, clock, {}, {}, &telemetry) {}
+};
+
+/// Everything a rolled-back chain transaction must leave untouched on one
+/// hop.
+struct HopSnapshot {
+  std::vector<std::size_t> rpb_table_sizes;
+  std::vector<std::vector<Word>> rpb_memory;  ///< full physical contents
+  std::vector<std::size_t> filter_table_sizes;
+  std::size_t recirc_entries = 0;
+  std::vector<std::uint32_t> entries_free;
+  std::vector<std::uint32_t> memory_used;
+  std::vector<std::vector<ctrl::MemBlock>> free_mem;
+
+  friend bool operator==(const HopSnapshot&, const HopSnapshot&) = default;
+};
+
+struct ChainSnapshot {
+  std::vector<HopSnapshot> hops;
+  std::vector<ProgramId> running;
+
+  friend bool operator==(const ChainSnapshot&, const ChainSnapshot&) = default;
+};
+
+ChainSnapshot capture(ChainBed& bed) {
+  ChainSnapshot snap;
+  for (int hop = 0; hop < bed.chain.length(); ++hop) {
+    dp::RunproDataplane& dataplane = bed.chain.switch_at(hop);
+    HopSnapshot hs;
+    const int total = dataplane.spec().total_rpbs();
+    for (int rpb = 1; rpb <= total; ++rpb) {
+      hs.rpb_table_sizes.push_back(dataplane.rpb(rpb).table().size());
+      std::vector<Word> words;
+      words.reserve(dataplane.spec().memory_per_rpb);
+      for (std::uint32_t a = 0; a < dataplane.spec().memory_per_rpb; ++a) {
+        words.push_back(dataplane.rpb(rpb).memory().read(a));
+      }
+      hs.rpb_memory.push_back(std::move(words));
+      hs.memory_used.push_back(bed.controller.resources(hop).memory_used(rpb));
+    }
+    for (int p = 0; p < dp::kNumParsePaths; ++p) {
+      hs.filter_table_sizes.push_back(
+          dataplane.init_block().table(static_cast<dp::ParsePath>(p)).size());
+    }
+    hs.recirc_entries = dataplane.recirc_block().entries();
+    const auto resources = bed.controller.resources(hop).snapshot();
+    hs.entries_free = resources.free_entries;
+    hs.free_mem = resources.free_mem;
+    snap.hops.push_back(std::move(hs));
+  }
+  snap.running = bed.controller.running_programs();
+  return snap;
+}
+
+void disarm_all(ChainBed& bed) {
+  for (int hop = 0; hop < bed.chain.length(); ++hop) {
+    bed.controller.updates(hop).set_fault_after_writes(-1);
+  }
+}
+
+const obs::MonitorEvent* last_event(const ChainBed& bed,
+                                    obs::MonitorEvent::Kind kind) {
+  const auto& events = bed.telemetry.monitor.events();
+  for (auto it = events.rbegin(); it != events.rend(); ++it) {
+    if (it->kind == kind) return &*it;
+  }
+  return nullptr;
+}
+
+class ChainFaultMatrix : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainFaultMatrix, DeployFaultSweepRestoresChainByteIdentically) {
+  const int length = GetParam();
+  ChainBed bed(length);
+  auto cache = bed.controller.link(cache_source());
+  ASSERT_TRUE(cache.ok()) << cache.error().str();
+  for (MemAddr a = 0; a < 16; ++a) {
+    ASSERT_TRUE(
+        bed.controller.write_memory(cache.value().id, "mem1", a, 100 + a).ok());
+  }
+  const ChainSnapshot before = capture(bed);
+
+  for (int hop = 0; hop < length; ++hop) {
+    SCOPED_TRACE("faulted hop " + std::to_string(hop));
+    int fault = 0;
+    for (;; ++fault) {
+      ASSERT_LT(fault, 10'000) << "fault index never exceeded the write count";
+      bed.controller.updates(hop).set_fault_after_writes(fault);
+      auto linked = bed.controller.link(hh_source());
+      if (linked.ok()) {
+        // The fault index landed beyond this hop's batch: the deploy went
+        // through on every hop. Undo it to restore the sweep baseline.
+        disarm_all(bed);
+        ASSERT_TRUE(bed.controller.revoke(linked.value().id).ok());
+        EXPECT_TRUE(capture(bed) == before)
+            << "revoke of the successful control deploy diverged";
+        break;
+      }
+      EXPECT_EQ(linked.error().code, ErrorCode::ChannelError);
+      EXPECT_TRUE(capture(bed) == before)
+          << "chain state diverged after a fault at hop " << hop
+          << " write index " << fault;
+      const auto* rollback =
+          last_event(bed, obs::MonitorEvent::Kind::ChainTxnRollback);
+      ASSERT_NE(rollback, nullptr);
+      EXPECT_EQ(rollback->hops, length);
+      EXPECT_EQ(rollback->faulted_hop, hop);
+    }
+    // The sweep faulted from inside every update batch of this hop, not
+    // just the first write.
+    EXPECT_GT(fault, 3);
+  }
+}
+
+TEST_P(ChainFaultMatrix, RelinkFaultSweepKeepsOldVersionChainWide) {
+  const int length = GetParam();
+  ChainBed bed(length);
+  auto cache = bed.controller.link(cache_source());
+  ASSERT_TRUE(cache.ok()) << cache.error().str();
+  ProgramId old_id = cache.value().id;
+  for (MemAddr a = 0; a < 16; ++a) {
+    ASSERT_TRUE(bed.controller.write_memory(old_id, "mem1", a, 7000 + a).ok());
+  }
+  ChainSnapshot before = capture(bed);
+  auto before_mem = bed.controller.dump_memory(old_id, "mem1");
+  ASSERT_TRUE(before_mem.ok());
+
+  // Relink faults hit two windows on every hop: committing the new version
+  // (chain transaction) and retiring the old one (chain-wide removal with
+  // re-install unwind). Both must leave the old version running everywhere
+  // with its memory intact.
+  for (int hop = 0; hop < length; ++hop) {
+    SCOPED_TRACE("faulted hop " + std::to_string(hop));
+    int fault = 0;
+    for (;; ++fault) {
+      ASSERT_LT(fault, 10'000);
+      bed.controller.updates(hop).set_fault_after_writes(fault);
+      auto relinked = bed.controller.relink(old_id, cache_source());
+      if (relinked.ok()) {
+        // Baseline moves to the new version for the next hop's sweep.
+        disarm_all(bed);
+        old_id = relinked.value().id;
+        const auto carried = bed.controller.dump_memory(old_id, "mem1");
+        ASSERT_TRUE(carried.ok());
+        EXPECT_EQ(carried.value(), before_mem.value())
+            << "relink did not carry memory over chain-wide";
+        before = capture(bed);
+        before_mem = std::move(carried);
+        break;
+      }
+      EXPECT_EQ(relinked.error().code, ErrorCode::ChannelError);
+      for (int h = 0; h < length; ++h) {
+        ASSERT_NE(bed.controller.program_at(h, old_id), nullptr)
+            << "old version missing on hop " << h;
+      }
+      EXPECT_EQ(bed.controller.program_count(), 1u);
+      EXPECT_TRUE(capture(bed) == before)
+          << "chain state diverged after a relink fault at hop " << hop
+          << " write index " << fault;
+      const auto mem = bed.controller.dump_memory(old_id, "mem1");
+      ASSERT_TRUE(mem.ok());
+      EXPECT_EQ(mem.value(), before_mem.value());
+    }
+    EXPECT_GT(fault, 3);
+  }
+}
+
+TEST_P(ChainFaultMatrix, RevokeFaultSweepRestoresProgramChainWide) {
+  const int length = GetParam();
+  for (int hop = 0; hop < length; ++hop) {
+    SCOPED_TRACE("faulted hop " + std::to_string(hop));
+    ChainBed bed(length);
+    auto cache = bed.controller.link(cache_source());
+    ASSERT_TRUE(cache.ok()) << cache.error().str();
+    const ProgramId id = cache.value().id;
+    for (MemAddr a = 0; a < 8; ++a) {
+      ASSERT_TRUE(bed.controller.write_memory(id, "mem1", a, 42 + a).ok());
+    }
+    const ChainSnapshot before = capture(bed);
+
+    int fault = 0;
+    for (;; ++fault) {
+      ASSERT_LT(fault, 10'000);
+      bed.controller.updates(hop).set_fault_after_writes(fault);
+      const Status s = bed.controller.revoke(id);
+      if (s.ok()) break;
+      EXPECT_EQ(s.error().code, ErrorCode::ChannelError);
+      // The program survived its failed chain removal on every hop...
+      for (int h = 0; h < length; ++h) {
+        ASSERT_NE(bed.controller.program_at(h, id), nullptr)
+            << "program missing on hop " << h;
+      }
+      EXPECT_TRUE(capture(bed) == before)
+          << "chain state diverged after a revoke fault at hop " << hop
+          << " write index " << fault;
+      ASSERT_FALSE(bed.controller.events().empty());
+      EXPECT_EQ(bed.controller.events().back().kind,
+                ctrl::ControlEvent::Kind::RevokeFailed);
+      // ...and still claims its traffic end to end (fresh handles on the
+      // unwound hops, same behaviour).
+      const std::uint64_t claimed = bed.controller.program_packets(id);
+      EXPECT_EQ(bed.chain.inject(cache_read(0x8888)).fate,
+                rmt::PacketFate::Returned);
+      EXPECT_EQ(bed.controller.program_packets(id), claimed + 1);
+    }
+    EXPECT_GT(fault, 2);
+    disarm_all(bed);
+    EXPECT_EQ(bed.controller.program_count(), 0u);
+    // Post-revoke: every hop's occupancy is back to empty.
+    for (int h = 0; h < length; ++h) {
+      EXPECT_EQ(bed.controller.resources(h).total_memory_utilization(), 0.0);
+      EXPECT_EQ(bed.controller.resources(h).total_entry_utilization(), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, ChainFaultMatrix, ::testing::Values(2, 3, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "chain" + std::to_string(info.param);
+                         });
+
+TEST(ChainTxn, StarvedHopAbortsTheWholeDeployBeforeAnyWrite) {
+  ChainBed bed(3);
+  ASSERT_TRUE(bed.controller.link(cache_source()).ok());
+
+  // Exhaust hop 1's table entries: the per-hop solve sees the starved
+  // snapshot and the deploy aborts with AllocFailed before a single
+  // dataplane write lands on ANY hop.
+  auto& starved = bed.controller.resources(1);
+  const auto free_entries = starved.snapshot().free_entries;
+  for (std::size_t i = 0; i < free_entries.size(); ++i) {
+    ASSERT_TRUE(
+        starved.reserve_entries(static_cast<int>(i) + 1, free_entries[i]).ok());
+  }
+  const ChainSnapshot before = capture(bed);
+  std::vector<std::uint64_t> writes_before;
+  for (int h = 0; h < 3; ++h) {
+    writes_before.push_back(bed.controller.updates(h).writes_applied());
+  }
+
+  auto linked = bed.controller.link(hh_source());
+  ASSERT_FALSE(linked.ok());
+  EXPECT_EQ(linked.error().code, ErrorCode::AllocFailed);
+  EXPECT_TRUE(capture(bed) == before);
+  for (int h = 0; h < 3; ++h) {
+    EXPECT_EQ(bed.controller.updates(h).writes_applied(), writes_before[h])
+        << "hop " << h << " saw a write during an aborted deploy";
+  }
+
+  // Releasing the starved hop unblocks the very same deploy.
+  for (std::size_t i = 0; i < free_entries.size(); ++i) {
+    starved.release_entries(static_cast<int>(i) + 1, free_entries[i]);
+  }
+  EXPECT_TRUE(bed.controller.link(hh_source()).ok());
+}
+
+TEST(ChainTxn, ReserveFailureInPhaseOneRollsBackEveryHop) {
+  // Drive ChainTransaction directly with allocations solved BEFORE hop 1 is
+  // starved: phase 1 then reserves hops 0 fine, fails at hop 1's entry
+  // reservation, and must return hop 0's reservations untouched — the
+  // commit path is never reached.
+  ChainBed bed(3);
+  auto compiled = rp::compile_source(hh_source(), nullptr);
+  ASSERT_TRUE(compiled.ok());
+  const rp::TranslatedProgram& ir = compiled.value().front();
+
+  std::vector<rp::AllocationResult> allocs;
+  std::vector<ctrl::ChainHop> contexts;
+  for (int h = 0; h < 3; ++h) {
+    auto alloc = rp::solve_allocation(ir, bed.chain.spec_at(h),
+                                      bed.controller.resources(h).snapshot(),
+                                      rp::Objective{});
+    ASSERT_TRUE(alloc.ok());
+    allocs.push_back(std::move(alloc).take());
+    contexts.push_back(ctrl::ChainHop{&bed.chain.switch_at(h),
+                                      &bed.controller.resources(h),
+                                      &bed.controller.updates(h)});
+  }
+
+  auto& starved = bed.controller.resources(1);
+  const auto free_entries = starved.snapshot().free_entries;
+  for (std::size_t i = 0; i < free_entries.size(); ++i) {
+    ASSERT_TRUE(
+        starved.reserve_entries(static_cast<int>(i) + 1, free_entries[i]).ok());
+  }
+  const ChainSnapshot before = capture(bed);
+
+  ctrl::ChainTransaction txn(contexts, ir, std::move(allocs), 42, 1, 0, nullptr);
+  const Status staged = txn.stage_all();
+  ASSERT_FALSE(staged.ok());
+  EXPECT_EQ(staged.error().code, ErrorCode::AllocFailed);
+  EXPECT_EQ(txn.faulted_hop(), 1);
+  EXPECT_EQ(txn.phase(), ctrl::ChainTransaction::Phase::RolledBack);
+  EXPECT_TRUE(capture(bed) == before)
+      << "an aborted phase 1 leaked reservations on some hop";
+  for (int h = 0; h < 3; ++h) {
+    EXPECT_EQ(bed.controller.updates(h).writes_applied(), 0u)
+        << "hop " << h << " saw a write during an aborted phase 1";
+  }
+}
+
+TEST(ChainTxn, DroppingAStagedTransactionRollsBackEveryHop) {
+  // A transaction staged on every hop but never committed (e.g. the caller
+  // errors out between the phases) must undo itself on destruction: no
+  // reservations survive, no write ever reaches a dataplane.
+  ChainBed bed(3);
+  auto compiled = rp::compile_source(hh_source(), nullptr);
+  ASSERT_TRUE(compiled.ok());
+  const rp::TranslatedProgram& ir = compiled.value().front();
+  const ChainSnapshot before = capture(bed);
+
+  {
+    std::vector<rp::AllocationResult> allocs;
+    std::vector<ctrl::ChainHop> contexts;
+    for (int h = 0; h < 3; ++h) {
+      auto alloc = rp::solve_allocation(ir, bed.chain.spec_at(h),
+                                        bed.controller.resources(h).snapshot(),
+                                        rp::Objective{});
+      ASSERT_TRUE(alloc.ok());
+      allocs.push_back(std::move(alloc).take());
+      contexts.push_back(ctrl::ChainHop{&bed.chain.switch_at(h),
+                                        &bed.controller.resources(h),
+                                        &bed.controller.updates(h)});
+    }
+    ctrl::ChainTransaction txn(contexts, ir, std::move(allocs), 42, 1, 0,
+                               nullptr);
+    ASSERT_TRUE(txn.stage_all().ok());
+    ASSERT_EQ(txn.phase(), ctrl::ChainTransaction::Phase::Staged);
+    EXPECT_GT(txn.total_staged_ops(), 0u);
+    // Reservations ARE held while staged: hop books differ from baseline.
+    EXPECT_FALSE(capture(bed) == before);
+  }  // destructor rolls back
+
+  EXPECT_TRUE(capture(bed) == before)
+      << "a dropped staged transaction leaked reservations on some hop";
+  for (int h = 0; h < 3; ++h) {
+    EXPECT_EQ(bed.controller.updates(h).writes_applied(), 0u)
+        << "hop " << h << " saw a write from a never-committed transaction";
+  }
+}
+
+TEST(ChainTxn, FaultFreeDeployCommitsOnEveryHop) {
+  ChainBed bed(3);
+  auto linked = bed.controller.link(cache_source());
+  ASSERT_TRUE(linked.ok()) << linked.error().str();
+  const ProgramId id = linked.value().id;
+
+  // Mirror mode: the same program, the same id, the same placements on
+  // every hop.
+  const auto* hop0 = bed.controller.program_at(0, id);
+  ASSERT_NE(hop0, nullptr);
+  for (int h = 1; h < 3; ++h) {
+    const auto* prog = bed.controller.program_at(h, id);
+    ASSERT_NE(prog, nullptr) << "program missing on hop " << h;
+    EXPECT_EQ(prog->id, id);
+    EXPECT_EQ(prog->name, hop0->name);
+    EXPECT_EQ(prog->placements, hop0->placements)
+        << "hop " << h << " placed memory differently";
+  }
+  EXPECT_EQ(bed.controller.running_programs(), std::vector<ProgramId>{id});
+
+  const auto* commit = last_event(bed, obs::MonitorEvent::Kind::ChainTxnCommit);
+  ASSERT_NE(commit, nullptr);
+  EXPECT_EQ(commit->hops, 3);
+  EXPECT_EQ(commit->program, id);
+
+  // Traffic flows through the chain and is attributed at the entry hop.
+  EXPECT_EQ(bed.chain.inject(cache_read(0x8888)).fate,
+            rmt::PacketFate::Returned);
+  EXPECT_EQ(bed.controller.program_packets(id), 1u);
+}
+
+TEST(ChainTxn, MemoryAccessRoutesToTheOwningHop) {
+  ChainBed bed(3);
+  auto linked = bed.controller.link(cache_source());
+  ASSERT_TRUE(linked.ok());
+  const ProgramId id = linked.value().id;
+
+  auto hop = bed.controller.owning_hop(id, "mem1");
+  ASSERT_TRUE(hop.ok()) << hop.error().str();
+  ASSERT_GE(hop.value(), 0);
+  ASSERT_LT(hop.value(), 3);
+
+  ASSERT_TRUE(bed.controller.write_memory(id, "mem1", 3, 0xabcd).ok());
+  auto read = bed.controller.read_memory(id, "mem1", 3);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), 0xabcdu);
+
+  auto dump = bed.controller.dump_memory(id, "mem1");
+  ASSERT_TRUE(dump.ok());
+  EXPECT_EQ(dump.value()[3], 0xabcdu);
+
+  // The write landed on the owning hop's switch — and only there.
+  const auto* prog = bed.controller.program_at(hop.value(), id);
+  ASSERT_NE(prog, nullptr);
+  const auto placement = prog->placements.at("mem1");
+  EXPECT_EQ(bed.chain.switch_at(hop.value())
+                .rpb(placement.rpb)
+                .memory()
+                .read(placement.block.base + 3),
+            0xabcdu);
+  for (int h = 0; h < 3; ++h) {
+    if (h == hop.value()) continue;
+    EXPECT_EQ(bed.chain.switch_at(h).rpb(placement.rpb).memory().read(
+                  placement.block.base + 3),
+              0u);
+  }
+
+  auto missing = bed.controller.read_memory(id, "nope", 0);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, ErrorCode::NotFound);
+}
+
+TEST(ChainTxn, FailedChainDeploysDoNotBurnProgramIds) {
+  ChainBed bed(2);
+  // A faulted first deploy (fault on the far hop) rolls back chain-wide;
+  // the id it briefly held is reissued instead of leaking.
+  bed.controller.updates(1).set_fault_after_writes(0);
+  ASSERT_FALSE(bed.controller.link(cache_source()).ok());
+  disarm_all(bed);
+  auto cache = bed.controller.link(cache_source());
+  ASSERT_TRUE(cache.ok());
+  EXPECT_EQ(cache.value().id, 1u);
+
+  bed.controller.updates(0).set_fault_after_writes(1);
+  ASSERT_FALSE(bed.controller.link(hh_source()).ok());
+  disarm_all(bed);
+  auto hh = bed.controller.link(hh_source());
+  ASSERT_TRUE(hh.ok());
+  EXPECT_EQ(hh.value().id, 2u);
+
+  // Only a successful chain revoke feeds the recycle pool.
+  ASSERT_TRUE(bed.controller.revoke(cache.value().id).ok());
+  auto cache2 = bed.controller.link(cache_source());
+  ASSERT_TRUE(cache2.ok());
+  EXPECT_EQ(cache2.value().id, 1u);
+
+  int link_failed = 0;
+  for (const auto& event : bed.controller.events()) {
+    if (event.kind != ctrl::ControlEvent::Kind::LinkFailed) continue;
+    ++link_failed;
+    EXPECT_NE(event.detail.find("[ChannelError]"), std::string::npos);
+    EXPECT_NE(event.id, 0u);
+  }
+  EXPECT_EQ(link_failed, 2);
+}
+
+TEST(ChainTxn, MonitorEventsCarryHopDetailAndExport) {
+  ChainBed bed(2);
+  auto linked = bed.controller.link(cache_source());
+  ASSERT_TRUE(linked.ok());
+  bed.controller.updates(1).set_fault_after_writes(0);
+  ASSERT_FALSE(bed.controller.link(hh_source()).ok());
+  disarm_all(bed);
+
+  const auto* rollback =
+      last_event(bed, obs::MonitorEvent::Kind::ChainTxnRollback);
+  ASSERT_NE(rollback, nullptr);
+  EXPECT_EQ(rollback->hops, 2);
+  EXPECT_EQ(rollback->faulted_hop, 1);
+  EXPECT_NE(rollback->detail.find("[ChannelError]"), std::string::npos);
+
+  std::ostringstream out;
+  obs::export_alerts_jsonl(bed.telemetry.monitor, out);
+  const std::string jsonl = out.str();
+  EXPECT_NE(jsonl.find("\"kind\":\"chain_txn_commit\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"kind\":\"chain_txn_rollback\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"hops\":2"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"faulted_hop\":1"), std::string::npos);
+}
+
+TEST(ChainTxn, ChainErrorsCarryCodes) {
+  ChainBed bed(2);
+  auto parse = bed.controller.link("program broken { @@@ }");
+  ASSERT_FALSE(parse.ok());
+  EXPECT_EQ(parse.error().code, ErrorCode::ParseError);
+
+  ASSERT_TRUE(bed.controller.link(cache_source()).ok());
+  auto dup = bed.controller.link(cache_source());
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.error().code, ErrorCode::Conflict);
+
+  auto missing = bed.controller.revoke(99);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, ErrorCode::NotFound);
+  EXPECT_FALSE(bed.controller.revoke_by_name("nope").ok());
+
+  apps::ProgramConfig huge;
+  huge.instance_name = "huge";
+  huge.mem_buckets = chain_spec(2).memory_per_rpb * 2;
+  auto alloc = bed.controller.link(apps::make_program_source("cache", huge));
+  ASSERT_FALSE(alloc.ok());
+  EXPECT_EQ(alloc.error().code, ErrorCode::AllocFailed);
+}
+
+// --- dp::SwitchChain diagnostics (uniform specs, chain compatibility) ----
+
+TEST(SwitchChainDiagnostics, UniformSpecsNamesHopAndField) {
+  const rmt::ParserConfig parser{{7777}};
+  std::vector<dp::DataplaneSpec> specs(3, chain_spec(3));
+  specs[2].memory_per_rpb = 8192;
+  dp::SwitchChain chain(specs, parser);
+
+  const Status s = chain.uniform_specs();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, ErrorCode::InvalidArgument);
+  EXPECT_NE(s.error().str().find("hop 2"), std::string::npos) << s.error().str();
+  EXPECT_NE(s.error().str().find("memory_per_rpb"), std::string::npos)
+      << s.error().str();
+
+  // A uniform chain reports ok.
+  dp::SwitchChain uniform(3, chain_spec(3), parser);
+  EXPECT_TRUE(uniform.uniform_specs().ok());
+}
+
+TEST(SwitchChainDiagnostics, NonUniformChainRejectedByController) {
+  const rmt::ParserConfig parser{{7777}};
+  std::vector<dp::DataplaneSpec> specs(2, chain_spec(2));
+  specs[1].entries_per_rpb = 128;
+  dp::SwitchChain chain(specs, parser);
+  SimClock clock;
+  ctrl::ChainController controller(chain, clock);
+
+  auto linked = controller.link(cache_source());
+  ASSERT_FALSE(linked.ok());
+  EXPECT_EQ(linked.error().code, ErrorCode::InvalidArgument);
+  EXPECT_NE(linked.error().str().find("entries_per_rpb"), std::string::npos);
+  ASSERT_FALSE(controller.events().empty());
+  EXPECT_EQ(controller.events().back().kind,
+            ctrl::ControlEvent::Kind::LinkFailed);
+}
+
+TEST(SwitchChainDiagnostics, ChainCompatibilityNamesVmemAndRounds) {
+  // Synthetic allocation: "acc" is touched at depths 1 and 2, whose logical
+  // RPBs land in rounds 0 and 1 — i.e. on different chain hops.
+  const int total_rpbs = 4;
+  std::map<std::string, std::vector<int>> vmem_depths{{"acc", {1, 2}}};
+  const std::vector<int> split{1, total_rpbs + 1};
+
+  EXPECT_FALSE(dp::SwitchChain::chain_compatible(vmem_depths, split, total_rpbs));
+  const Status s =
+      dp::SwitchChain::chain_compatibility(vmem_depths, split, total_rpbs);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, ErrorCode::InvalidArgument);
+  EXPECT_NE(s.error().str().find("'acc'"), std::string::npos) << s.error().str();
+  EXPECT_NE(s.error().str().find("rounds 0, 1"), std::string::npos)
+      << s.error().str();
+
+  // Same rounds -> compatible, and the diagnostic agrees with the predicate.
+  const std::vector<int> same{1, 2};
+  EXPECT_TRUE(dp::SwitchChain::chain_compatible(vmem_depths, same, total_rpbs));
+  EXPECT_TRUE(
+      dp::SwitchChain::chain_compatibility(vmem_depths, same, total_rpbs).ok());
+}
+
+}  // namespace
+}  // namespace p4runpro

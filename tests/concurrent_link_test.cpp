@@ -15,8 +15,11 @@
 #include "apps/program_library.h"
 #include "common/clock.h"
 #include "common/thread_pool.h"
+#include "control/chain_controller.h"
 #include "control/controller.h"
 #include "dataplane/runpro_dataplane.h"
+#include "dataplane/switch_chain.h"
+#include "obs/telemetry.h"
 
 namespace p4runpro {
 namespace {
@@ -177,6 +180,136 @@ TEST(ConcurrentLink, SerialAndParallelReachTheSameOccupancy) {
             parallel.controller.resources().total_entry_utilization());
   EXPECT_EQ(serial.controller.resources().total_memory_utilization(),
             parallel.controller.resources().total_memory_utilization());
+}
+
+// --- chain variant: concurrent sessions against a ChainController --------
+// Same session discipline, but every commit is a chain-wide two-phase
+// transaction; the invariant sharpens to "all hops' books stay identical".
+// The suite name keeps the ConcurrentLink stem so the TSan CI gate
+// (-R "ConcurrentLink|DeployTxn") picks it up.
+
+constexpr int kChainHops = 3;
+
+dp::DataplaneSpec chain_spec() {
+  dp::DataplaneSpec spec;
+  spec.memory_per_rpb = 4096;
+  spec.entries_per_rpb = 256;
+  spec.max_recirculations = kChainHops - 1;
+  return spec;
+}
+
+struct ChainTestbed {
+  SimClock clock;
+  obs::Telemetry telemetry;
+  dp::SwitchChain chain{kChainHops, chain_spec(), rmt::ParserConfig{{7777}}};
+  ctrl::ChainController controller{chain, clock, {}, {}, &telemetry};
+};
+
+/// Every hop's occupancy must exactly account for the committed programs,
+/// and all hops must agree (mirror deployments evolve in lockstep).
+void expect_chain_books_balance(ChainTestbed& bed) {
+  const auto reference = bed.controller.resources(0).snapshot();
+  for (int hop = 0; hop < kChainHops; ++hop) {
+    std::map<int, std::uint32_t> entries;
+    std::map<int, std::uint32_t> memory;
+    for (const ProgramId id : bed.controller.running_programs()) {
+      const auto* program = bed.controller.program_at(hop, id);
+      ASSERT_NE(program, nullptr) << "program " << id << " missing on hop " << hop;
+      for (const auto& [rpb, handle] : program->rpb_handles) {
+        (void)handle;
+        ++entries[rpb];
+      }
+      for (const auto& [vmem, placement] : program->placements) {
+        (void)vmem;
+        memory[placement.rpb] += placement.block.size;
+      }
+    }
+    const auto& resources = bed.controller.resources(hop);
+    for (int rpb = 1; rpb <= chain_spec().total_rpbs(); ++rpb) {
+      EXPECT_EQ(resources.entries_used(rpb), entries[rpb])
+          << "hop " << hop << " rpb " << rpb;
+      EXPECT_EQ(resources.memory_used(rpb), memory[rpb])
+          << "hop " << hop << " rpb " << rpb;
+    }
+    const auto snap = resources.snapshot();
+    EXPECT_EQ(snap.free_entries, reference.free_entries) << "hop " << hop;
+    EXPECT_EQ(snap.free_mem, reference.free_mem) << "hop " << hop;
+  }
+}
+
+TEST(ChainConcurrentLink, ManySessionsCommitOnEveryHop) {
+  ChainTestbed bed;
+  common::ThreadPool pool(4);
+  const auto sources = workload(6);
+
+  const auto results = bed.controller.link_many(sources, pool);
+  ASSERT_EQ(results.size(), sources.size());
+
+  std::set<ProgramId> ids;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok())
+        << "source " << i << ": " << results[i].error().str();
+    EXPECT_TRUE(ids.insert(results[i].value().id).second) << "duplicate id";
+    EXPECT_NE(sources[i].find("program " + results[i].value().name),
+              std::string::npos);
+  }
+  EXPECT_EQ(bed.controller.program_count(), sources.size());
+  expect_chain_books_balance(bed);
+}
+
+TEST(ChainConcurrentLink, OneFaultedSessionRollsBackChainWideOthersCommit) {
+  ChainTestbed bed;
+  common::ThreadPool pool(4);
+  const auto sources = workload(5);
+
+  // A single fault on a MIDDLE hop: the victim session must unwind the
+  // hops it already committed, and no other session may be perturbed.
+  bed.controller.updates(1).set_fault_after_writes(2);
+  const auto results = bed.controller.link_many(sources, pool);
+  ASSERT_EQ(results.size(), sources.size());
+
+  int failed = 0;
+  for (const auto& result : results) {
+    if (result.ok()) continue;
+    ++failed;
+    EXPECT_EQ(result.error().code, ErrorCode::ChannelError);
+  }
+  EXPECT_EQ(failed, 1);
+  EXPECT_EQ(bed.controller.program_count(), sources.size() - 1);
+  expect_chain_books_balance(bed);
+
+  // The failed session's name is free chain-wide: a retry commits.
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].ok()) continue;
+    auto retry = bed.controller.link(sources[i]);
+    ASSERT_TRUE(retry.ok()) << retry.error().str();
+  }
+  EXPECT_EQ(bed.controller.program_count(), sources.size());
+  expect_chain_books_balance(bed);
+}
+
+TEST(ChainConcurrentLink, WavesOfChainLinkAndRevokeLeaveNoResidue) {
+  ChainTestbed bed;
+  common::ThreadPool pool(common::ThreadPool::default_thread_count());
+  for (int wave = 0; wave < 3; ++wave) {
+    const auto results = bed.controller.link_many(workload(6), pool);
+    for (const auto& result : results) {
+      ASSERT_TRUE(result.ok()) << result.error().str();
+    }
+    expect_chain_books_balance(bed);
+    for (const ProgramId id : bed.controller.running_programs()) {
+      ASSERT_TRUE(bed.controller.revoke(id).ok());
+    }
+    EXPECT_EQ(bed.controller.program_count(), 0u);
+    for (int hop = 0; hop < kChainHops; ++hop) {
+      for (int rpb = 1; rpb <= chain_spec().total_rpbs(); ++rpb) {
+        EXPECT_EQ(bed.controller.resources(hop).entries_used(rpb), 0u)
+            << "hop " << hop;
+        EXPECT_EQ(bed.controller.resources(hop).memory_used(rpb), 0u)
+            << "hop " << hop;
+      }
+    }
+  }
 }
 
 }  // namespace
