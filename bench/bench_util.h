@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -29,6 +30,11 @@ struct SidecarFlags {
   std::string alerts_path;   ///< --alerts-out: monitor event/alert JSONL
   std::string flight_path;   ///< --flight-out: flight-recorder journey JSONL
   std::string bench_json_path;  ///< --bench-json-out: machine-readable rates
+  /// --telemetry-every: periodic time-series sampling cadence in *virtual*
+  /// milliseconds ("" = disabled). Enables the default bundle's
+  /// TimeSeriesStore; the sampled series are appended to the
+  /// --telemetry-out JSONL as {"type":"series",...} lines.
+  std::string telemetry_every_ms;
   std::vector<bool> consumed;  ///< per-argv index, true = ours
 
   [[nodiscard]] static SidecarFlags parse(int argc, char** argv) {
@@ -55,6 +61,7 @@ struct SidecarFlags {
     };
     for (int i = 1; i < argc; ++i) {
       if (match(i, "--telemetry-out", flags.metrics_path)) continue;
+      if (match(i, "--telemetry-every", flags.telemetry_every_ms)) continue;
       if (match(i, "--trace-out", flags.trace_path)) continue;
       if (match(i, "--alerts-out", flags.alerts_path)) continue;
       if (match(i, "--flight-out", flags.flight_path)) continue;
@@ -74,9 +81,15 @@ struct SidecarFlags {
 ///   --bench-json-out=<path>  machine-readable packet-rate baseline (written
 ///                            by the binaries that measure rates, e.g.
 ///                            micro_dataplane -> BENCH_dataplane.json)
+///   --telemetry-every=<ms>   periodic time-series flush: sample the default
+///                            registry every <ms> virtual milliseconds into
+///                            the bundle's TimeSeriesStore; the series are
+///                            appended to the --telemetry-out JSONL
 /// and writes the files when the scope dies, after the benchmark printed its
 /// regular stdout tables (which stay byte-for-byte unchanged). Unknown
-/// arguments are ignored so harness runners can pass extra flags through.
+/// arguments are ignored so harness runners can pass extra flags through
+/// (but benchmark::Initialize still rejects unknown --flags, so typos like
+/// --telemetry-everyy fail loudly instead of silently disabling sampling).
 class TelemetryScope {
  public:
   TelemetryScope(int argc, char** argv) : flags_(SidecarFlags::parse(argc, argv)) {
@@ -85,13 +98,27 @@ class TelemetryScope {
       // asking for the dump opts into sampling.
       obs::default_telemetry().flight.set_sample_every(64);
     }
+    if (!flags_.telemetry_every_ms.empty()) {
+      const double every_ms = std::strtod(flags_.telemetry_every_ms.c_str(), nullptr);
+      if (every_ms > 0.0) {
+        obs::default_telemetry().series.set_cadence(
+            static_cast<SimClock::Nanos>(every_ms * 1e6));
+      }
+    }
   }
 
   ~TelemetryScope() {
     const auto& telemetry = obs::default_telemetry();
     if (!flags_.metrics_path.empty()) {
       std::ofstream out(flags_.metrics_path);
-      if (out) export_metrics_jsonl(telemetry.metrics, out);
+      if (out) {
+        export_metrics_jsonl(telemetry.metrics, out);
+        // Periodic-flush series ride in the same JSONL (one valid JSON
+        // object per line, so line-wise consumers are unaffected).
+        if (telemetry.series.samples_taken() > 0) {
+          export_series_jsonl(telemetry.series, out);
+        }
+      }
     }
     if (!flags_.trace_path.empty()) {
       std::ofstream out(flags_.trace_path);

@@ -25,6 +25,7 @@ ChainController::ChainController(dp::SwitchChain& chain, SimClock& clock,
   for (int h = 0; h < chain_.length(); ++h) {
     hops_.push_back(std::make_unique<Hop>(chain_.switch_at(h), clock_, cost));
     hops_.back()->updates.set_telemetry(telemetry_);
+    hops_.back()->updates.set_hop_label(h);
   }
 }
 
@@ -213,6 +214,7 @@ void ChainController::adopt_locked(DeployOutcome& outcome) {
 
 Result<LinkResult> ChainController::link(std::string_view source) {
   std::lock_guard<std::mutex> lock(mu_);
+  obs::TraceScope trace(telemetry_);
   auto link_span = telemetry_->tracer.span("chain_link", "ctrl");
   const double parse_start_ms = clock_.now_ms();
   auto compiled = rp::compile_source(source, telemetry_);
@@ -232,6 +234,7 @@ Result<LinkResult> ChainController::link(std::string_view source) {
   if (!outcome.ok()) return outcome.error();
   adopt_locked(outcome.value());
   outcome.value().result.stats.parse_ms = parse_ms;
+  outcome.value().result.trace = trace.trace_id();
   record_event(ControlEvent::Kind::Link, outcome.value().result.id,
                outcome.value().result.name);
   return std::move(outcome.value().result);
@@ -305,6 +308,8 @@ Result<LinkResult> ChainController::link_one_parallel(const std::string& source,
 
     // Reservation + two-phase commit serialize under the session lock.
     std::unique_lock<std::mutex> lock(mu_);
+    // Per-attempt trace scope (bundle-shared state, lock-protected).
+    obs::TraceScope trace(telemetry_);
     if (attempt == 0) clock_.advance_ms(2.0);  // parse charge, once
     const double alloc_ms =
         fixed_alloc_charge_ms_ ? *fixed_alloc_charge_ms_ : solve_ms;
@@ -363,6 +368,7 @@ Result<LinkResult> ChainController::link_one_parallel(const std::string& source,
     result.stats.parse_ms = 2.0;
     result.stats.alloc_ms = alloc_ms;
     result.stats.update_ms = update_ms;
+    result.trace = trace.trace_id();
     telemetry_->metrics.histogram("ctrl.chain.deploy_ms")
         .observe(result.stats.deploy_ms());
     return result;
@@ -378,6 +384,7 @@ Result<LinkResult> ChainController::relink(ProgramId old_id,
     return Error{"no running program with id " + std::to_string(old_id),
                  "ChainController", ErrorCode::NotFound};
   }
+  obs::TraceScope trace(telemetry_);
   auto relink_span = telemetry_->tracer.span("chain_relink", "ctrl");
   auto compiled = rp::compile_source(source, telemetry_);
   clock_.advance_ms(2.0);
@@ -411,6 +418,7 @@ Result<LinkResult> ChainController::relink(ProgramId old_id,
   free_ids_.push_back(old_id);
   running_.erase(old_id);
   adopt_locked(outcome.value());
+  outcome.value().result.trace = trace.trace_id();
   record_event(ControlEvent::Kind::Revoke, old_id, retired_name);
   record_event(ControlEvent::Kind::Relink, new_id, ir.name);
   return std::move(outcome.value().result);
@@ -418,6 +426,7 @@ Result<LinkResult> ChainController::relink(ProgramId old_id,
 
 Status ChainController::revoke(ProgramId id) {
   std::lock_guard<std::mutex> lock(mu_);
+  obs::TraceScope trace(telemetry_);
   return revoke_locked(id);
 }
 
@@ -445,6 +454,7 @@ Status ChainController::revoke_locked(ProgramId id) {
 
 Status ChainController::revoke_by_name(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
+  obs::TraceScope trace(telemetry_);
   for (const auto& [id, running] : running_) {
     if (running == name) return revoke_locked(id);
   }

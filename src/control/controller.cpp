@@ -87,7 +87,15 @@ void Controller::record_link_histograms(const LinkResult& result) {
 
 Result<std::vector<LinkResult>> Controller::link(std::string_view source) {
   std::lock_guard<std::mutex> lock(mu_);
-  return link_locked(source);
+  // Causal trace for the whole operation (adopted when a ChainController
+  // entry point is already active). Constructed inside the lock: the
+  // context is bundle-shared state, like the tracer.
+  obs::TraceScope trace(telemetry_);
+  auto results = link_locked(source);
+  if (results.ok()) {
+    for (auto& r : results.value()) r.trace = trace.trace_id();
+  }
+  return results;
 }
 
 Result<std::vector<LinkResult>> Controller::link_locked(std::string_view source) {
@@ -255,6 +263,9 @@ Result<LinkResult> Controller::link_one_parallel(const std::string& source,
     // Reservation + staged commit serialize under the session lock; the
     // dataplane, clock, telemetry and audit log are only touched here.
     std::lock_guard<std::mutex> lock(mu_);
+    // Per-attempt trace scope (the context is lock-protected shared state);
+    // the successful attempt's id is the one the LinkResult reports.
+    obs::TraceScope trace(telemetry_);
     if (attempt == 0) clock_.advance_ms(2.0);  // parse charge, once
     const double alloc_ms =
         fixed_alloc_charge_ms_ ? *fixed_alloc_charge_ms_ : solve_ms;
@@ -311,6 +322,7 @@ Result<LinkResult> Controller::link_one_parallel(const std::string& source,
     result.stats.parse_ms = 2.0;
     result.stats.alloc_ms = alloc_ms;
     result.stats.update_ms = update_ms;
+    result.trace = trace.trace_id();
     record_link_histograms(result);
     return result;
   }
@@ -323,6 +335,7 @@ Result<LinkResult> Controller::relink(ProgramId old_id, std::string_view source)
     return Error{"no running program with id " + std::to_string(old_id),
                  "Controller", ErrorCode::NotFound};
   }
+  obs::TraceScope trace(telemetry_);
   auto relink_span = telemetry_->tracer.span("relink", "ctrl");
   auto compiled = rp::compile_source(source, telemetry_);
   clock_.advance_ms(2.0);
@@ -344,11 +357,13 @@ Result<LinkResult> Controller::relink(ProgramId old_id, std::string_view source)
     (void)undo;
     return s.error();
   }
+  linked.value().trace = trace.trace_id();
   return linked;
 }
 
 Status Controller::revoke(ProgramId id) {
   std::lock_guard<std::mutex> lock(mu_);
+  obs::TraceScope trace(telemetry_);
   return revoke_locked(id);
 }
 
@@ -389,6 +404,7 @@ Status Controller::revoke_locked(ProgramId id) {
 
 Status Controller::revoke_by_name(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
+  obs::TraceScope trace(telemetry_);
   for (const auto& [id, program] : programs_) {
     if (program.name == name) return revoke_locked(id);
   }

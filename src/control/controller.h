@@ -48,6 +48,9 @@ struct LinkResult {
   ProgramId id = 0;
   std::string name;
   LinkStats stats;
+  /// Causal trace id minted for the link operation (obs::TraceScope); pass
+  /// it to ctrl::trace_report to assemble the operation's cross-tier story.
+  std::uint64_t trace = 0;
 };
 
 /// One control-plane lifecycle event (operator audit log).

@@ -40,6 +40,9 @@ void UpdateEngine::charge_entries(std::size_t count, const char* what) {
   auto batch_span = obs::span(telemetry_, "bfrt.batch", "bfrt");
   batch_span.arg("what", what);
   batch_span.arg("entries", static_cast<std::uint64_t>(count));
+  if (hop_label_ >= 0) {
+    batch_span.arg("hop", static_cast<std::uint64_t>(hop_label_));
+  }
   clock_.advance_us(cost_.per_batch_overhead_us +
                     cost_.per_entry_write_us * static_cast<double>(count));
   if (telemetry_ != nullptr) {
@@ -118,6 +121,11 @@ Result<UpdateEngine::AppliedEntries> UpdateEngine::execute_install(
     observe_step();
   }
   flush();
+  // Forward path completed: the pipeline's table state now belongs to the
+  // active control operation. (Rollbacks do NOT stamp — the reverted state
+  // still belongs to whichever earlier operation installed it.)
+  dataplane_.pipeline().note_table_update(
+      telemetry_ != nullptr ? telemetry_->active_trace.trace_id : 0);
   return out;
 }
 
@@ -204,6 +212,8 @@ Status UpdateEngine::remove(InstalledProgram& program) {
   program.rpb_handles.clear();
   program.recirc_handles.clear();
   program.placements.clear();
+  dataplane_.pipeline().note_table_update(
+      telemetry_ != nullptr ? telemetry_->active_trace.trace_id : 0);
   return {};
 }
 

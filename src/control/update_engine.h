@@ -104,6 +104,13 @@ class UpdateEngine {
   /// "ctrl.bfrt.*" write counters; null disables (set by the controller).
   void set_telemetry(obs::Telemetry* telemetry) noexcept { telemetry_ = telemetry; }
 
+  /// Chain-hop label for this engine's write spans: ChainController tags
+  /// each hop's engine with its index so "bfrt.batch" spans (and trace
+  /// reports built from them) say which switch the write landed on. -1 (the
+  /// default, single-switch) omits the tag.
+  void set_hop_label(int hop) noexcept { hop_label_ = hop; }
+  [[nodiscard]] int hop_label() const noexcept { return hop_label_; }
+
   /// Fault injection (tests): make the Nth subsequent entry write fail,
   /// simulating a control-channel error mid-update. The fault fires once
   /// and disarms (rollback writes are never faulted). -1 disables. Each
@@ -174,6 +181,7 @@ class UpdateEngine {
   }
 
   int fault_after_ = -1;
+  int hop_label_ = -1;
   std::uint64_t writes_applied_ = 0;
   std::function<void()> step_observer_;
   obs::Telemetry* telemetry_ = nullptr;

@@ -1,6 +1,7 @@
 #include "obs/flight_recorder.h"
 
 #include "obs/json.h"
+#include "obs/trace_context.h"
 
 namespace p4runpro::obs {
 
@@ -75,8 +76,12 @@ void export_flight_jsonl(const FlightRecorder& recorder, std::ostream& out) {
         << fate_name(j.fate) << "\",\"ingress_port\":" << j.ingress_port
         << ",\"egress_port\":" << j.egress_port
         << ",\"recirc_passes\":" << j.recirc_passes
-        << ",\"table_hits\":" << j.table_hits << ",\"salu_execs\":" << j.salu_execs
-        << ",\"events\":[";
+        << ",\"table_hits\":" << j.table_hits << ",\"salu_execs\":" << j.salu_execs;
+    if (j.table_trace != 0) {
+      out << ",\"table_trace\":\"" << format_trace_id(j.table_trace)
+          << "\",\"table_generation\":" << j.table_generation;
+    }
+    out << ",\"events\":[";
     bool first = true;
     for (const auto& e : j.events) {
       if (!first) out << ",";

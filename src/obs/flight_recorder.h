@@ -31,6 +31,10 @@ struct PacketJourney {
   int recirc_passes = 0;
   std::uint32_t table_hits = 0;
   std::uint32_t salu_execs = 0;
+  /// Causal trace id + generation of the table state this packet ran
+  /// against (see rmt::Pipeline::note_table_update; 0 = untraced tables).
+  std::uint64_t table_trace = 0;
+  std::uint64_t table_generation = 0;
   std::vector<rmt::TraceEvent> events;  ///< per-operation execution trace
 };
 

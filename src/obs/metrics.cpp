@@ -157,6 +157,9 @@ void export_metrics_jsonl(const MetricsRegistry& registry, std::ostream& out) {
         << json_number(value) << "}\n";
   }
   for (const auto& [name, h] : registry.histograms()) {
+    // Empty histograms are skipped: their 0-valued p50/p90/p99 read as
+    // measurements when they are really "no data" (see Histogram::quantile).
+    if (h.count() == 0) continue;
     out << "{\"name\":\"" << json_escape(name) << "\",\"type\":\"histogram\",\"count\":"
         << h.count() << ",\"sum\":" << json_number(h.sum())
         << ",\"min\":" << json_number(h.min()) << ",\"max\":" << json_number(h.max())

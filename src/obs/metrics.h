@@ -61,7 +61,11 @@ class Histogram {
   [[nodiscard]] double mean() const noexcept {
     return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
   }
-  /// q in [0, 1]; p50/p90/p99 are quantile(0.5) etc.
+  /// q in [0, 1]; p50/p90/p99 are quantile(0.5) etc. An empty histogram
+  /// returns 0.0 for every q (never NaN) — but 0 is a *sentinel*, not a
+  /// measurement: check count() before treating it as one. The JSONL
+  /// exporter and the time-series rollups skip empty histograms entirely
+  /// for this reason.
   [[nodiscard]] double quantile(double q) const noexcept;
 
   [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }

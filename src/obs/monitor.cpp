@@ -1,7 +1,10 @@
 #include "obs/monitor.h"
 
+#include <chrono>
+
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 
 namespace p4runpro::obs {
 
@@ -35,6 +38,7 @@ std::string_view alert_kind_name(AlertKind kind) noexcept {
 }
 
 void ProgramHealthMonitor::attach_metrics(MetricsRegistry* registry) {
+  registry_ = registry;
   if (registry == nullptr) {
     packets_counter_ = nullptr;
     alerts_counter_ = nullptr;
@@ -42,6 +46,18 @@ void ProgramHealthMonitor::attach_metrics(MetricsRegistry* registry) {
   }
   packets_counter_ = &registry->counter("obs.monitor.packets");
   alerts_counter_ = &registry->counter("obs.monitor.alerts");
+  // Self-overhead probes: wall time this monitor spends in its packet hook
+  // (only accumulates with set_overhead_accounting(true)).
+  registry->register_probe("obs.self.monitor_hook_ns", this, [this] {
+    return static_cast<double>(hook_ns_);
+  });
+  registry->register_probe("obs.self.monitor_hook_calls", this, [this] {
+    return static_cast<double>(hook_calls_);
+  });
+}
+
+ProgramHealthMonitor::~ProgramHealthMonitor() {
+  if (registry_ != nullptr) registry_->unregister_probes(this);
 }
 
 ProgramHealthMonitor::Slot& ProgramHealthMonitor::slot(ProgramId id) {
@@ -174,8 +190,14 @@ void ProgramHealthMonitor::clear_rules() {
 }
 
 void ProgramHealthMonitor::on_packet(const rmt::PacketObservation& obs) {
+  // Optional self-overhead accounting: two steady_clock reads bracketing
+  // the hook. Off by default — the reads are themselves overhead.
+  const auto hook_start = account_overhead_
+                              ? std::chrono::steady_clock::now()
+                              : std::chrono::steady_clock::time_point{};
   ++packets_observed_;
   if (packets_counter_ != nullptr) packets_counter_->inc();
+  last_table_trace_ = obs.table_trace;
 
   Slot& s = slot(obs.program);
   ProgramHealth& h = s.health;
@@ -209,11 +231,26 @@ void ProgramHealthMonitor::on_packet(const rmt::PacketObservation& obs) {
     journey.recirc_passes = obs.recirc_passes;
     journey.table_hits = obs.table_hits;
     journey.salu_execs = obs.salu_execs;
+    journey.table_trace = obs.table_trace;
+    journey.table_generation = obs.table_generation;
     journey.events = *obs.events;
     flight_->record(std::move(journey));
   }
 
   if (!rules_.empty()) evaluate_rules(obs.program, s);
+
+  // Cadence-gated time-series tick: a single compare when not due.
+  if (series_ != nullptr && registry_ != nullptr) {
+    series_->maybe_sample(*registry_, now);
+  }
+
+  if (account_overhead_) {
+    ++hook_calls_;
+    hook_ns_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - hook_start)
+            .count());
+  }
 }
 
 double ProgramHealthMonitor::rule_value(const AlertRule& rule, const Slot& s,
@@ -277,14 +314,44 @@ void ProgramHealthMonitor::fire_alert(const AlertRule& rule, std::size_t rule_in
   event.value = value;
   event.threshold = rule.threshold;
   event.rpb = rpb;
+  // Packet-path alerts fire outside any control operation: attribute them
+  // to the operation that installed the table state the traffic ran
+  // against. Control-path alerts (occupancy during an install) are stamped
+  // from the active context by push_event instead.
+  if (trace_ctx_ == nullptr || !trace_ctx_->valid()) {
+    event.trace = last_table_trace_;
+  }
   push_event(std::move(event));
 
   if (flight_ != nullptr) flight_->freeze(rule.name, now_ms());
 }
 
+void ProgramHealthMonitor::series_alert(std::string_view series,
+                                        std::string_view rule, double value,
+                                        double threshold) {
+  ++alerts_fired_;
+  if (alerts_counter_ != nullptr) alerts_counter_->inc();
+
+  MonitorEvent event;
+  event.kind = MonitorEvent::Kind::Alert;
+  event.rule = std::string(rule);
+  event.series = std::string(series);
+  event.value = value;
+  event.threshold = threshold;
+  event.trace = last_table_trace_;
+  push_event(std::move(event));
+
+  if (flight_ != nullptr) flight_->freeze(std::string(rule), now_ms());
+}
+
 void ProgramHealthMonitor::push_event(MonitorEvent event) {
   event.seq = next_event_seq_++;
   event.t_ms = now_ms();
+  // Control-path events inherit the active control operation's trace id;
+  // packet-path callers (fire_alert) stamp their own fallback beforehand.
+  if (event.trace == 0 && trace_ctx_ != nullptr && trace_ctx_->valid()) {
+    event.trace = trace_ctx_->trace_id;
+  }
   events_.push_back(std::move(event));
   if (events_.size() > config_.max_events) {
     events_.pop_front();
@@ -349,6 +416,7 @@ void ProgramHealthMonitor::clear() {
   events_dropped_ = 0;
   alerts_fired_ = 0;
   packets_observed_ = 0;
+  last_table_trace_ = 0;
 }
 
 void export_alerts_jsonl(const ProgramHealthMonitor& monitor, std::ostream& out) {
@@ -378,7 +446,13 @@ void export_alerts_jsonl(const ProgramHealthMonitor& monitor, std::ostream& out)
             << "\",\"value\":" << json_number(e.value)
             << ",\"threshold\":" << json_number(e.threshold);
         if (e.rpb != 0) out << ",\"rpb\":" << e.rpb;
+        if (!e.series.empty()) {
+          out << ",\"series\":\"" << json_escape(e.series) << "\"";
+        }
         break;
+    }
+    if (e.trace != 0) {
+      out << ",\"trace\":\"" << format_trace_id(e.trace) << "\"";
     }
     out << "}\n";
   }

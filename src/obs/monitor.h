@@ -23,12 +23,14 @@
 #include "common/clock.h"
 #include "common/types.h"
 #include "obs/flight_recorder.h"
+#include "obs/trace_context.h"
 #include "rmt/pipeline.h"
 
 namespace p4runpro::obs {
 
 class MetricsRegistry;
 class Counter;
+class TimeSeriesStore;
 
 /// Fixed-bucket rolling window over SimClock virtual time. Events land in
 /// the bucket of their timestamp; queries sum the buckets that fall inside
@@ -130,6 +132,12 @@ struct MonitorEvent {
   int hops = 0;              ///< chain txn only: chain length of the deploy
   int faulted_hop = -1;      ///< chain rollback only: hop whose write faulted
                              ///< (-1: aborted before any write, e.g. reserve)
+  /// Causal trace id: the control operation this event belongs to (deploy /
+  /// revoke / txn events), or — for alerts fired from the packet path — the
+  /// operation that installed the table state the alerting traffic ran
+  /// against. 0 when no trace is known.
+  std::uint64_t trace = 0;
+  std::string series;        ///< anomaly alerts only: the offending series
 };
 
 /// Lifetime per-program attribution counters.
@@ -158,6 +166,7 @@ class ProgramHealthMonitor final : public rmt::PacketObserver {
 
   ProgramHealthMonitor() : ProgramHealthMonitor(Config{}) {}
   explicit ProgramHealthMonitor(Config config) : config_(config) {}
+  ~ProgramHealthMonitor() override;
 
   /// Virtual-time source for event timestamps and window bucketing; unset,
   /// everything lands at t=0 (still deterministic).
@@ -168,6 +177,20 @@ class ProgramHealthMonitor final : public rmt::PacketObserver {
   /// Pre-resolve the monitor's own registry handles (hot-path rule: no
   /// name lookups per packet). Null detaches.
   void attach_metrics(MetricsRegistry* registry);
+  /// Active trace context (the Telemetry bundle's; see obs::TraceScope).
+  /// Events emitted while it is valid carry its trace id.
+  void set_trace_context(const TraceContext* context) noexcept {
+    trace_ctx_ = context;
+  }
+  /// Time-series store to tick from the packet hot path (cadence-gated;
+  /// needs attach_metrics for the registry to sample). Null disables.
+  void set_series_store(TimeSeriesStore* store) noexcept { series_ = store; }
+  /// Account wall nanoseconds spent inside on_packet (the telemetry
+  /// self-overhead the obs_overhead bench measures). Off by default — the
+  /// two clock reads per packet are themselves overhead.
+  void set_overhead_accounting(bool enabled) noexcept { account_overhead_ = enabled; }
+  [[nodiscard]] std::uint64_t hook_ns() const noexcept { return hook_ns_; }
+  [[nodiscard]] std::uint64_t hook_calls() const noexcept { return hook_calls_; }
 
   // --- lifecycle feed (update engine) ------------------------------------
   void program_deployed(ProgramId id, std::string_view name, std::uint64_t entries);
@@ -192,6 +215,14 @@ class ProgramHealthMonitor final : public rmt::PacketObserver {
   /// Report one stage's table-entry occupancy after it changed; evaluates
   /// the StageOccupancy rules.
   void on_stage_occupancy(int rpb, std::uint32_t used, std::uint32_t capacity);
+
+  // --- anomaly feed (time-series detector) --------------------------------
+  /// An anomaly detector tripped on `series` (TimeSeriesStore's EWMA /
+  /// z-score watches): emit one Alert event carrying the series name and
+  /// freeze the flight recorder. Edge triggering is the detector's job —
+  /// every call here produces exactly one event.
+  void series_alert(std::string_view series, std::string_view rule, double value,
+                    double threshold);
 
   // --- alert rules --------------------------------------------------------
   void add_rule(AlertRule rule);
@@ -260,6 +291,15 @@ class ProgramHealthMonitor final : public rmt::PacketObserver {
   Config config_;
   const SimClock* clock_ = nullptr;
   FlightRecorder* flight_ = nullptr;
+  const TraceContext* trace_ctx_ = nullptr;
+  TimeSeriesStore* series_ = nullptr;
+  MetricsRegistry* registry_ = nullptr;
+  bool account_overhead_ = false;
+  std::uint64_t hook_ns_ = 0;
+  std::uint64_t hook_calls_ = 0;
+  /// Trace id of the table state the most recent packet executed against
+  /// (alerts fired from the packet path inherit it).
+  std::uint64_t last_table_trace_ = 0;
   std::vector<Slot> slots_;  ///< indexed by ProgramId (dense, ids are small)
   std::vector<AlertRule> rules_;
   struct StageState {

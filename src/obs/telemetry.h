@@ -15,19 +15,38 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/monitor.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace p4runpro::obs {
 
 struct Telemetry {
-  MetricsRegistry metrics;
+  MetricsRegistry metrics;  ///< declared first: destroyed last, so probe
+                            ///< owners (monitor, series) unregister safely
   SpanTracer tracer;
   FlightRecorder flight;
   ProgramHealthMonitor monitor;
+  TimeSeriesStore series;
+
+  /// The bundle's active causal trace context. obs::TraceScope mints a
+  /// fresh trace id here at each controller public entry point (or adopts
+  /// the existing one for nested entries); tracer spans and monitor events
+  /// opened while it is valid carry its id.
+  TraceContext active_trace;
+  /// Next trace id to mint. Deterministic: monotonically increasing from 1
+  /// per bundle (0 means "no trace"); clear() restarts it, so ids recycle
+  /// across clears — trace reports are only meaningful within one epoch.
+  std::uint64_t next_trace_id = 1;
 
   Telemetry() {
     monitor.set_flight_recorder(&flight);
     monitor.attach_metrics(&metrics);
+    monitor.set_trace_context(&active_trace);
+    monitor.set_series_store(&series);
+    tracer.set_trace_context(&active_trace);
+    series.set_alert_sink(&monitor);
+    series.attach_self_probes(metrics);
   }
 
   void clear() {
@@ -35,9 +54,14 @@ struct Telemetry {
     tracer.clear();
     flight.clear();
     monitor.clear();
+    series.clear();
+    active_trace = TraceContext{};
+    next_trace_id = 1;
     // clear() empties the registry, invalidating the monitor's cached
-    // counter handles — re-resolve them against the fresh registry.
+    // counter handles and both components' probes — re-attach against the
+    // fresh registry.
     monitor.attach_metrics(&metrics);
+    series.attach_self_probes(metrics);
   }
 };
 
@@ -55,5 +79,47 @@ struct Telemetry {
   if (telemetry == nullptr) return {};
   return telemetry->tracer.span(name, cat);
 }
+
+/// RAII causal-trace scope for controller public entry points. On
+/// construction, mints a fresh trace id into the bundle's active context —
+/// or, when a valid context is already active (a nested entry point, e.g.
+/// ChainController::link driving per-hop Controller calls), adopts it so
+/// the whole operation shares one id. Restores the previous context on
+/// destruction. Inert when `telemetry` is null.
+///
+/// Thread discipline: the context is bundle-shared state — construct
+/// TraceScope only inside the controller's locked regions (the same rule
+/// the tracer already follows).
+class TraceScope {
+ public:
+  TraceScope() = default;
+  explicit TraceScope(Telemetry* telemetry) : telemetry_(telemetry) {
+    if (telemetry_ == nullptr) return;
+    prev_ = telemetry_->active_trace;
+    if (!prev_.valid()) {
+      telemetry_->active_trace =
+          TraceContext{telemetry_->next_trace_id++, 0};
+      minted_ = true;
+    }
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+  ~TraceScope() {
+    if (telemetry_ != nullptr) telemetry_->active_trace = prev_;
+  }
+
+  /// The operation's trace id (the adopted one for nested entries);
+  /// 0 when inert.
+  [[nodiscard]] std::uint64_t trace_id() const noexcept {
+    return telemetry_ == nullptr ? 0 : telemetry_->active_trace.trace_id;
+  }
+  /// True when this scope minted a fresh id (outermost entry point).
+  [[nodiscard]] bool minted() const noexcept { return minted_; }
+
+ private:
+  Telemetry* telemetry_ = nullptr;
+  TraceContext prev_;
+  bool minted_ = false;
+};
 
 }  // namespace p4runpro::obs

@@ -62,6 +62,13 @@ SpanTracer::Scope SpanTracer::span(std::string_view name, std::string_view cat) 
   record.start_vns = clock_ != nullptr ? clock_->now_ns() : 0;
   record.end_vns = record.start_vns;
   record.start_wall_ms = wall_.elapsed_ms();
+  if (trace_ctx_ != nullptr && trace_ctx_->valid()) {
+    record.trace = trace_ctx_->trace_id;
+    if (trace_ctx_->parent_span == 0) {
+      // First span under a fresh context: it anchors the whole operation.
+      trace_ctx_->parent_span = spans_.size() + 1;
+    }
+  }
   const std::size_t index = spans_.size();
   spans_.push_back(std::move(record));
   open_stack_.push_back(index);
@@ -128,9 +135,13 @@ void export_chrome_trace(const SpanTracer& tracer, std::ostream& out,
         << json_escape(span.cat.empty() ? "default" : span.cat)
         << "\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":" << micros_fixed(span.start_vns)
         << ",\"dur\":" << micros_fixed(span.virtual_ns());
-    if (include_wall || !span.args.empty()) {
+    if (include_wall || !span.args.empty() || span.trace != 0) {
       out << ",\"args\":{";
       bool first_arg = true;
+      if (span.trace != 0) {
+        out << "\"trace\":\"" << format_trace_id(span.trace) << "\"";
+        first_arg = false;
+      }
       for (const auto& [key, value] : span.args) {
         if (!first_arg) out << ",";
         first_arg = false;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "obs/trace_context.h"
 
 namespace p4runpro::obs {
 
@@ -27,6 +28,9 @@ struct SpanRecord {
   std::string cat;              ///< layer tag: "ctrl", "compiler", "bfrt", ...
   std::ptrdiff_t parent = -1;   ///< index into SpanTracer::spans(), -1 = root
   int depth = 0;                ///< nesting level (0 = root)
+  /// Causal trace id of the control operation this span belongs to
+  /// (0 = opened outside any traced entry point).
+  std::uint64_t trace = 0;
   SimClock::Nanos start_vns = 0;  ///< virtual start
   SimClock::Nanos end_vns = 0;    ///< virtual end (== start while open)
   double start_wall_ms = 0.0;   ///< wall-clock start, relative to tracer birth
@@ -86,6 +90,12 @@ class SpanTracer {
   /// still measured).
   void set_clock(const SimClock* clock) noexcept { clock_ = clock; }
 
+  /// Active trace context (owned by the Telemetry bundle; obs::TraceScope
+  /// swaps it at controller entry points). New spans are stamped with its
+  /// trace id; the first span opened under a fresh context becomes the
+  /// context's root (parent_span). Null disables stamping.
+  void set_trace_context(TraceContext* context) noexcept { trace_ctx_ = context; }
+
   /// Open a nested span. Scope ends it; out-of-order ends close any still
   /// open descendants at the same instant.
   [[nodiscard]] Scope span(std::string_view name, std::string_view cat = "");
@@ -111,6 +121,7 @@ class SpanTracer {
   [[nodiscard]] SpanRecord* live_span(std::size_t index, std::uint64_t generation);
 
   const SimClock* clock_ = nullptr;
+  TraceContext* trace_ctx_ = nullptr;
   std::vector<SpanRecord> spans_;
   std::vector<std::size_t> open_stack_;
   std::size_t max_spans_ = 1u << 20;

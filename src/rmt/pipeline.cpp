@@ -180,6 +180,8 @@ PipelineResult Pipeline::inject(const Packet& pkt) {
     obs.table_misses = phv.pkt_table_misses;
     obs.salu_execs = phv.pkt_salu_execs;
     obs.events = tracing_ ? &trace_events_ : nullptr;
+    obs.table_trace = table_trace_;
+    obs.table_generation = table_generation_;
     observer_->on_packet(obs);
   }
   tracing_ = saved_tracing;

@@ -81,6 +81,13 @@ struct PacketObservation {
   /// Structured execution trace; non-null only when the packet was traced
   /// (global tracing on, or the observer sampled this packet).
   const std::vector<TraceEvent>* events = nullptr;
+  /// Causal trace id of the control operation that last installed table
+  /// state into this pipeline (0 = tables never touched by a traced op),
+  /// and the monotonically increasing table generation it bumped. Together
+  /// they tie a packet's journey to the exact control-plane write history
+  /// it executed against.
+  std::uint64_t table_trace = 0;
+  std::uint64_t table_generation = 0;
 };
 
 /// Per-packet attribution hook (implemented by obs::ProgramHealthMonitor).
@@ -219,6 +226,19 @@ class Pipeline {
   void set_observer(PacketObserver* observer) noexcept { observer_ = observer; }
   [[nodiscard]] PacketObserver* observer() const noexcept { return observer_; }
 
+  /// Record that a control operation just mutated this pipeline's table
+  /// state: bumps the table generation and remembers the operation's trace
+  /// id. Called by the update engine after each successful install/remove
+  /// batch; subsequent packet observations carry both values.
+  void note_table_update(std::uint64_t trace) noexcept {
+    ++table_generation_;
+    table_trace_ = trace;
+  }
+  [[nodiscard]] std::uint64_t table_trace() const noexcept { return table_trace_; }
+  [[nodiscard]] std::uint64_t table_generation() const noexcept {
+    return table_generation_;
+  }
+
   /// Route the pipeline counters through a telemetry registry as sampled
   /// probes under "rmt.pipeline.*" / "rmt.stage.*" (the members stay the
   /// source of truth). Re-attaching replaces the previous registration;
@@ -251,6 +271,8 @@ class Pipeline {
   std::uint64_t packets_dropped_ = 0;
   std::uint64_t packets_reported_ = 0;
   StageStats stage_stats_;
+  std::uint64_t table_trace_ = 0;       ///< see note_table_update()
+  std::uint64_t table_generation_ = 0;  ///< bumped per control write batch
   obs::Telemetry* telemetry_ = nullptr;
   PacketObserver* observer_ = nullptr;
 };

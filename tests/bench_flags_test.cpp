@@ -76,6 +76,46 @@ TEST(BenchFlags, AllSidecarFlagsParse) {
   }
 }
 
+TEST(BenchFlags, TelemetryEveryParsesBothSpellings) {
+  std::vector<std::string> eq = {"bench", "--telemetry-every=5"};
+  auto eq_argv = argv_of(eq);
+  const auto eq_flags =
+      SidecarFlags::parse(static_cast<int>(eq_argv.size()), eq_argv.data());
+  EXPECT_EQ(eq_flags.telemetry_every_ms, "5");
+  EXPECT_TRUE(eq_flags.consumed[1]);
+
+  std::vector<std::string> sp = {"bench", "--telemetry-every", "2.5"};
+  auto sp_argv = argv_of(sp);
+  const auto sp_flags =
+      SidecarFlags::parse(static_cast<int>(sp_argv.size()), sp_argv.data());
+  EXPECT_EQ(sp_flags.telemetry_every_ms, "2.5");
+  EXPECT_TRUE(sp_flags.consumed[1]);
+  EXPECT_TRUE(sp_flags.consumed[2]);
+}
+
+TEST(BenchFlags, TelemetryEveryDoesNotShadowTelemetryOut) {
+  // Both flags share the "--telemetry-" prefix; each must bind its own
+  // value regardless of order.
+  std::vector<std::string> args = {"bench", "--telemetry-every=7",
+                                   "--telemetry-out=m.jsonl"};
+  auto argv = argv_of(args);
+  const auto flags = SidecarFlags::parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(flags.telemetry_every_ms, "7");
+  EXPECT_EQ(flags.metrics_path, "m.jsonl");
+}
+
+TEST(BenchFlags, TelemetryEveryTypoStaysUnconsumed) {
+  // --telemetry-everyy must NOT be swallowed by the --telemetry-every
+  // prefix match: the leftover "y=5" is neither "=" nor empty. The slot
+  // reaches benchmark::Initialize, which rejects the unknown flag loudly
+  // instead of silently disabling periodic sampling.
+  std::vector<std::string> args = {"bench", "--telemetry-everyy=5"};
+  auto argv = argv_of(args);
+  const auto flags = SidecarFlags::parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(flags.telemetry_every_ms.empty());
+  EXPECT_FALSE(flags.consumed[1]);
+}
+
 TEST(BenchFlags, DanglingSpaceFormFlagIsNotConsumed) {
   // `--bench-json-out` as the last token has no path to bind to; leaving it
   // unconsumed lets the downstream parser report it instead of a silent

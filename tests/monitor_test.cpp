@@ -214,6 +214,109 @@ TEST(Monitor, MetricHandlesStayLiveAcrossBundleClear) {
   EXPECT_EQ(telemetry.metrics.counter("obs.monitor.packets").value(), 1u);
 }
 
+// --------------------------------------------- causal trace attribution
+
+TEST(Monitor, ControlPathEventsInheritTheActiveTraceContext) {
+  obs::Telemetry telemetry;
+  std::uint64_t minted = 0;
+  {
+    obs::TraceScope trace(&telemetry);
+    minted = trace.trace_id();
+    telemetry.monitor.program_deployed(1, "cache", 12);
+    telemetry.monitor.txn_committed(1, "cache");
+  }
+  // Outside any scope: no trace to inherit.
+  telemetry.monitor.program_revoked(1);
+
+  const auto& events = telemetry.monitor.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].trace, minted);
+  EXPECT_EQ(events[1].trace, minted);
+  EXPECT_EQ(events[2].trace, 0u);
+
+  std::ostringstream out;
+  export_alerts_jsonl(telemetry.monitor, out);
+  const std::string jsonl = out.str();
+  EXPECT_NE(jsonl.find("\"trace\":\"" + obs::format_trace_id(minted) + "\""),
+            std::string::npos)
+      << jsonl;
+}
+
+TEST(Monitor, PacketPathAlertsInheritTheTableStateTrace) {
+  obs::Telemetry telemetry;
+  telemetry.monitor.add_rule(
+      {"drop-storm", obs::AlertKind::DropFraction, 0.5});
+  telemetry.monitor.program_deployed(1, "cache", 4);
+
+  // The packet executed against table state installed by traced op 77; the
+  // alert it trips is attributed to that operation, not to whatever control
+  // context happens to be active.
+  auto obs = observation(1, rmt::PacketFate::Dropped);
+  obs.table_trace = 77;
+  obs.table_generation = 3;
+  telemetry.monitor.on_packet(obs);
+  ASSERT_EQ(telemetry.monitor.alerts_fired(), 1u);
+
+  const auto& events = telemetry.monitor.events();
+  const auto& alert = events.back();
+  ASSERT_EQ(alert.kind, obs::MonitorEvent::Kind::Alert);
+  EXPECT_EQ(alert.trace, 77u);
+  EXPECT_TRUE(alert.series.empty());  // threshold alert, not an anomaly
+
+  std::ostringstream out;
+  export_alerts_jsonl(telemetry.monitor, out);
+  EXPECT_NE(out.str().find("\"trace\":\"" + obs::format_trace_id(77) + "\""),
+            std::string::npos);
+  // Non-anomaly alerts emit no empty "series" field.
+  EXPECT_EQ(out.str().find("\"series\""), std::string::npos);
+}
+
+TEST(Monitor, SeriesAlertCarriesSeriesFreezesFlightAndExports) {
+  obs::Telemetry telemetry;
+  // A packet stamped the table-state trace; the later anomaly inherits it.
+  auto obs = observation(0, rmt::PacketFate::Forwarded);
+  obs.table_trace = 9;
+  telemetry.monitor.on_packet(obs);
+
+  telemetry.monitor.series_alert("rmt.packets.rate", "anomaly.z_score",
+                                 120.5, 40.0);
+  EXPECT_EQ(telemetry.monitor.alerts_fired(), 1u);
+  EXPECT_TRUE(telemetry.flight.frozen());
+  EXPECT_EQ(telemetry.flight.freeze_reason(), "anomaly.z_score");
+
+  const auto& alert = telemetry.monitor.events().back();
+  EXPECT_EQ(alert.kind, obs::MonitorEvent::Kind::Alert);
+  EXPECT_EQ(alert.series, "rmt.packets.rate");
+  EXPECT_EQ(alert.trace, 9u);
+  EXPECT_DOUBLE_EQ(alert.value, 120.5);
+  EXPECT_DOUBLE_EQ(alert.threshold, 40.0);
+
+  std::ostringstream out;
+  export_alerts_jsonl(telemetry.monitor, out);
+  const std::string jsonl = out.str();
+  EXPECT_NE(jsonl.find("\"rule\":\"anomaly.z_score\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"series\":\"rmt.packets.rate\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"trace\":\"" + obs::format_trace_id(9) + "\""),
+            std::string::npos);
+}
+
+TEST(Monitor, OverheadAccountingCountsHookCalls) {
+  obs::Telemetry telemetry;
+  // Off by default: the two clock reads per packet are themselves overhead.
+  telemetry.monitor.on_packet(observation(0, rmt::PacketFate::Forwarded));
+  EXPECT_EQ(telemetry.monitor.hook_calls(), 0u);
+
+  telemetry.monitor.set_overhead_accounting(true);
+  for (int i = 0; i < 5; ++i) {
+    telemetry.monitor.on_packet(observation(0, rmt::PacketFate::Forwarded));
+  }
+  EXPECT_EQ(telemetry.monitor.hook_calls(), 5u);
+  // Wall time is machine-dependent; only its presence is asserted via the
+  // self-probe the registry exposes.
+  EXPECT_DOUBLE_EQ(telemetry.metrics.gauge_value("obs.self.monitor_hook_calls"),
+                   5.0);
+}
+
 // ------------------------------------------- end-to-end scenario harness
 
 rmt::Packet cache_packet() {

@@ -4,6 +4,7 @@
 // registry level.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "common/clock.h"
@@ -11,7 +12,9 @@
 #include "obs/metrics.h"
 #include "obs/monitor.h"
 #include "obs/telemetry.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace p4runpro::obs {
 namespace {
@@ -72,6 +75,32 @@ TEST(Metrics, HistogramQuantiles) {
   EXPECT_LE(h.quantile(1.0), h.max());
   // Empty histogram: all quantiles are 0.
   EXPECT_DOUBLE_EQ(registry.histogram("empty", bounds).quantile(0.5), 0.0);
+}
+
+TEST(Metrics, EmptyHistogramQuantileIsZeroSentinelNeverNaN) {
+  MetricsRegistry registry;
+  auto& h = registry.histogram("empty.lat");
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 0.0);
+    EXPECT_FALSE(std::isnan(h.quantile(q)));
+  }
+  EXPECT_EQ(h.count(), 0u);  // the caller's cue that 0.0 means "no data"
+
+  // The JSONL exporter skips empty histograms entirely — a 0-valued p50
+  // would read as a measurement.
+  registry.counter("keep").inc();
+  std::ostringstream out;
+  export_metrics_jsonl(registry, out);
+  EXPECT_EQ(out.str().find("empty.lat"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("keep"), std::string::npos);
+
+  // One observation and the histogram exports again.
+  h.observe(2.5);
+  std::ostringstream out2;
+  export_metrics_jsonl(registry, out2);
+  EXPECT_NE(out2.str().find("\"name\":\"empty.lat\",\"type\":\"histogram\""),
+            std::string::npos);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.5);
 }
 
 TEST(Metrics, HistogramOverflowQuantileClampsToMax) {
@@ -349,6 +378,63 @@ TEST(Escaping, FlightJsonlEscapesJourneyStrings) {
   EXPECT_NE(jsonl.find("\"reason\":\"why \\\"so\\\"\""), std::string::npos) << jsonl;
   EXPECT_NE(jsonl.find("name\\twith\\\"tabs\\\\"), std::string::npos);
   EXPECT_NE(jsonl.find("OP(\\\"arg\\\")\\n"), std::string::npos);
+}
+
+TEST(Escaping, TraceIdsRenderAsFixedWidthLowercaseHex) {
+  EXPECT_EQ(format_trace_id(0), "0000000000000000");
+  EXPECT_EQ(format_trace_id(1), "0000000000000001");
+  EXPECT_EQ(format_trace_id(0xDEADBEEFull), "00000000deadbeef");
+  EXPECT_EQ(format_trace_id(~0ull), "ffffffffffffffff");
+}
+
+TEST(Escaping, ChromeTraceEmitsTraceIdArg) {
+  Telemetry telemetry;
+  std::uint64_t minted = 0;
+  {
+    TraceScope trace(&telemetry);
+    minted = trace.trace_id();
+    auto scope = telemetry.tracer.span("op", "ctrl");
+  }
+  { auto untraced = telemetry.tracer.span("outside"); }
+  std::ostringstream out;
+  export_chrome_trace(telemetry.tracer, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"trace\":\"" + format_trace_id(minted) + "\""),
+            std::string::npos)
+      << json;
+  // Untraced spans carry no trace arg at all (0 is not serialized).
+  EXPECT_EQ(json.find(format_trace_id(0)), std::string::npos);
+}
+
+TEST(Escaping, SeriesJsonlEscapesNamesWithDotsAndQuotes) {
+  MetricsRegistry registry;
+  registry.counter("ctrl.weird\"series\\name").inc(4);
+  TimeSeriesStore store;
+  store.sample(registry, 1'000'000);
+
+  std::ostringstream out;
+  export_series_jsonl(store, out);
+  const std::string jsonl = out.str();
+  EXPECT_NE(jsonl.find("\"name\":\"ctrl.weird\\\"series\\\\name\""),
+            std::string::npos)
+      << jsonl;
+  // Dots pass through unescaped — they are series-name structure, not JSON.
+  EXPECT_NE(jsonl.find("ctrl.weird"), std::string::npos);
+  for (char c : jsonl) {
+    if (c == '\n') continue;
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
+TEST(Escaping, AlertsJsonlEscapesSeriesNames) {
+  Telemetry telemetry;
+  telemetry.monitor.series_alert("series\"with\\escapes", "anomaly.z_score",
+                                 9.0, 3.0);
+  std::ostringstream out;
+  export_alerts_jsonl(telemetry.monitor, out);
+  EXPECT_NE(out.str().find("\"series\":\"series\\\"with\\\\escapes\""),
+            std::string::npos)
+      << out.str();
 }
 
 TEST(Telemetry, NullSafeSpanHelper) {

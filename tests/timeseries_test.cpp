@@ -1,0 +1,318 @@
+// Time-series telemetry store: ring-buffer retention, the query API
+// (last_n / delta / rate), cadence-gated sampling, histogram rollups, and
+// the EWMA/z-score anomaly detector. The detector test is the acceptance
+// scenario for the causal-observability work: a synthetic rate step must
+// trip exactly one edge-triggered alert, visible in the alerts JSONL with
+// the offending series name and the active trace id.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "common/clock.h"
+#include "obs/metrics.h"
+#include "obs/monitor.h"
+#include "obs/telemetry.h"
+#include "obs/timeseries.h"
+#include "obs/trace_context.h"
+
+namespace p4runpro {
+namespace {
+
+constexpr SimClock::Nanos kMs = 1'000'000;
+
+TEST(TimeSeries, RingEvictsOldestWhenFull) {
+  obs::TimeSeries s(4);
+  for (int i = 0; i < 6; ++i) {
+    s.push(static_cast<SimClock::Nanos>(i) * kMs, static_cast<double>(i * 10));
+  }
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.capacity(), 4u);
+  EXPECT_EQ(s.total(), 6u);  // evicted samples still count
+  EXPECT_DOUBLE_EQ(s.at(0).value, 20.0);  // 0 and 10 were evicted
+  EXPECT_DOUBLE_EQ(s.at(3).value, 50.0);
+  EXPECT_DOUBLE_EQ(s.newest().value, 50.0);
+  EXPECT_EQ(s.newest().t_ns, 5 * kMs);
+}
+
+TEST(TimeSeries, QueriesOverTheRetainedWindow) {
+  obs::TimeSeries s(8);
+  for (int i = 0; i < 5; ++i) {
+    s.push(static_cast<SimClock::Nanos>(i) * kMs, static_cast<double>(100 * i));
+  }
+  const auto last2 = s.last_n(2);
+  ASSERT_EQ(last2.size(), 2u);
+  EXPECT_DOUBLE_EQ(last2[0].value, 300.0);  // oldest first
+  EXPECT_DOUBLE_EQ(last2[1].value, 400.0);
+  // Asking for more than retained returns what exists.
+  EXPECT_EQ(s.last_n(99).size(), 5u);
+
+  EXPECT_DOUBLE_EQ(s.delta(1), 100.0);
+  EXPECT_DOUBLE_EQ(s.delta(4), 400.0);
+  EXPECT_DOUBLE_EQ(s.delta(5), 0.0);  // not enough samples
+
+  // 400 units over 4 ms of virtual time = 100'000 per second.
+  EXPECT_DOUBLE_EQ(s.rate_per_s(), 100'000.0);
+}
+
+TEST(TimeSeries, RateNeedsTwoSamples) {
+  obs::TimeSeries s(4);
+  EXPECT_DOUBLE_EQ(s.rate_per_s(), 0.0);
+  s.push(kMs, 5.0);
+  EXPECT_DOUBLE_EQ(s.rate_per_s(), 0.0);
+}
+
+TEST(TimeSeriesStore, SamplesCountersGaugesAndQueryApi) {
+  obs::MetricsRegistry registry;
+  obs::TimeSeriesStore store;
+  auto& pkts = registry.counter("ctrl.links");
+  registry.gauge("rmt.occupancy").set(0.25);
+
+  pkts.inc(10);
+  store.sample(registry, 1 * kMs);
+  pkts.inc(30);
+  store.sample(registry, 2 * kMs);
+
+  const auto* series = store.series("ctrl.links");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->size(), 2u);
+  // Counters are recorded cumulatively; rates fall out of the query API.
+  EXPECT_DOUBLE_EQ(store.delta("ctrl.links"), 30.0);
+  EXPECT_DOUBLE_EQ(store.rate("ctrl.links"), 30'000.0);
+  ASSERT_EQ(store.last_n("ctrl.links", 1).size(), 1u);
+  EXPECT_DOUBLE_EQ(store.last_n("ctrl.links", 1)[0].value, 40.0);
+
+  const auto* gauge_series = store.series("rmt.occupancy");
+  ASSERT_NE(gauge_series, nullptr);
+  EXPECT_DOUBLE_EQ(gauge_series->newest().value, 0.25);
+
+  // Unknown series: empty results, not crashes.
+  EXPECT_EQ(store.series("nope"), nullptr);
+  EXPECT_TRUE(store.last_n("nope", 3).empty());
+  EXPECT_DOUBLE_EQ(store.rate("nope"), 0.0);
+  EXPECT_DOUBLE_EQ(store.delta("nope"), 0.0);
+
+  const auto names = store.series_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "ctrl.links");  // sorted
+  EXPECT_EQ(names[1], "rmt.occupancy");
+}
+
+TEST(TimeSeriesStore, CadenceGatesMaybeSample) {
+  obs::MetricsRegistry registry;
+  registry.counter("c").inc();
+  obs::TimeSeriesStore store;
+
+  // Cadence 0 (default): maybe_sample is a no-op.
+  store.maybe_sample(registry, 50 * kMs);
+  EXPECT_EQ(store.samples_taken(), 0u);
+
+  store.set_cadence(10 * kMs);
+  store.maybe_sample(registry, 0);  // first tick is immediately due
+  store.maybe_sample(registry, 5 * kMs);
+  store.maybe_sample(registry, 9 * kMs);
+  EXPECT_EQ(store.samples_taken(), 1u);
+  store.maybe_sample(registry, 10 * kMs);
+  EXPECT_EQ(store.samples_taken(), 2u);
+  store.maybe_sample(registry, 11 * kMs);
+  EXPECT_EQ(store.samples_taken(), 2u);
+}
+
+TEST(TimeSeriesStore, HistogramRollupsSkipEmptyHistograms) {
+  obs::MetricsRegistry registry;
+  auto& lat = registry.histogram("ctrl.link_ms");
+  obs::TimeSeriesStore store;
+
+  // Empty histogram: no quantile series — a 0-valued p50 would read as a
+  // measurement when it is really "no data" (Histogram::quantile sentinel).
+  store.sample(registry, 1 * kMs);
+  EXPECT_EQ(store.series("ctrl.link_ms.p50"), nullptr);
+
+  lat.observe(1.0);
+  lat.observe(2.0);
+  lat.observe(100.0);
+  store.sample(registry, 2 * kMs);
+  const auto* p50 = store.series("ctrl.link_ms.p50");
+  const auto* p99 = store.series("ctrl.link_ms.p99");
+  ASSERT_NE(p50, nullptr);
+  ASSERT_NE(p99, nullptr);
+  EXPECT_EQ(p50->size(), 1u);  // only the tick after data arrived
+  EXPECT_GT(p99->newest().value, 0.0);
+}
+
+// The acceptance scenario: a synthetic rate step trips the EWMA/z-score
+// watch exactly once (edge-triggered), the alert lands in the monitor's
+// stream and the JSONL export carries the series and trace metadata.
+TEST(TimeSeriesStore, RateStepFiresExactlyOneAnomalyAlert) {
+  obs::Telemetry telemetry;
+  SimClock clock;
+  telemetry.monitor.set_clock(&clock);
+
+  auto& pkts = telemetry.metrics.counter("rmt.packets");
+  obs::AnomalyConfig config;
+  config.warmup_samples = 4;
+  telemetry.series.watch_rate("rmt.packets", config);
+
+  SimClock::Nanos t = 0;
+  // Steady state: 100 packets per 1 ms tick, well past warmup.
+  for (int i = 0; i < 20; ++i) {
+    pkts.inc(100);
+    t += kMs;
+    telemetry.series.sample(telemetry.metrics, t);
+  }
+  EXPECT_EQ(telemetry.series.anomalies_fired(), 0u);
+  EXPECT_EQ(telemetry.monitor.alerts_fired(), 0u);
+
+  // A 100x rate step, sustained. The detector must fire on the step edge
+  // and then adapt (the EWMA estimate converges to the new level, |z|
+  // falls, the watch re-arms) without firing again.
+  {
+    // Sampling here runs under an active control trace, as it would when
+    // the step is observed during a traced operation; the alert inherits
+    // the id.
+    obs::TraceScope scope(&telemetry);
+    for (int i = 0; i < 30; ++i) {
+      pkts.inc(10'000);
+      t += kMs;
+      telemetry.series.sample(telemetry.metrics, t);
+    }
+    EXPECT_EQ(scope.trace_id(), 1u);
+  }
+  EXPECT_EQ(telemetry.series.anomalies_fired(), 1u);
+  EXPECT_EQ(telemetry.monitor.alerts_fired(), 1u);
+
+  const obs::MonitorEvent* alert = nullptr;
+  for (const auto& event : telemetry.monitor.events()) {
+    if (event.kind == obs::MonitorEvent::Kind::Alert) {
+      EXPECT_EQ(alert, nullptr) << "second alert from one sustained step";
+      alert = &event;
+    }
+  }
+  ASSERT_NE(alert, nullptr);
+  EXPECT_EQ(alert->rule, "anomaly.z_score");
+  EXPECT_EQ(alert->series, "rmt.packets.rate");
+  EXPECT_GT(alert->value, alert->threshold);
+  EXPECT_EQ(alert->trace, 1u);
+
+  // The alert froze the flight recorder so the journeys leading up to the
+  // anomaly survive.
+  EXPECT_TRUE(telemetry.flight.frozen());
+  EXPECT_EQ(telemetry.flight.freeze_reason(), "anomaly.z_score");
+
+  // JSONL export carries the series and trace metadata.
+  std::ostringstream out;
+  obs::export_alerts_jsonl(telemetry.monitor, out);
+  const std::string jsonl = out.str();
+  EXPECT_NE(jsonl.find("\"kind\":\"alert\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"rule\":\"anomaly.z_score\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"series\":\"rmt.packets.rate\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"trace\":\"0000000000000001\""), std::string::npos);
+}
+
+TEST(TimeSeriesStore, ValueWatchAndRearmOnNextStep) {
+  obs::Telemetry telemetry;
+  auto& depth = telemetry.metrics.gauge("ctrl.queue_depth");
+  obs::AnomalyConfig config;
+  config.warmup_samples = 4;
+  telemetry.series.watch_value("ctrl.queue_depth", config);
+
+  SimClock::Nanos t = 0;
+  for (int i = 0; i < 12; ++i) {
+    depth.set(10.0);
+    t += kMs;
+    telemetry.series.sample(telemetry.metrics, t);
+  }
+  EXPECT_EQ(telemetry.series.anomalies_fired(), 0u);
+
+  // First step fires once, then the estimate adapts and the watch re-arms.
+  for (int i = 0; i < 30; ++i) {
+    depth.set(500.0);
+    t += kMs;
+    telemetry.series.sample(telemetry.metrics, t);
+  }
+  EXPECT_EQ(telemetry.series.anomalies_fired(), 1u);
+
+  // A second, later step is a new anomaly: the re-armed watch fires again.
+  for (int i = 0; i < 30; ++i) {
+    depth.set(20'000.0);
+    t += kMs;
+    telemetry.series.sample(telemetry.metrics, t);
+  }
+  EXPECT_EQ(telemetry.series.anomalies_fired(), 2u);
+}
+
+TEST(TimeSeriesStore, SelfOverheadProbesBecomeSeries) {
+  obs::Telemetry telemetry;
+  telemetry.metrics.counter("c").inc();
+  telemetry.series.sample(telemetry.metrics, 1 * kMs);
+  telemetry.series.sample(telemetry.metrics, 2 * kMs);
+
+  // The bundle attaches the store's obs.self.* probes to its registry, so
+  // the store's own cost shows up as series on later ticks.
+  const auto* samples = telemetry.series.series("obs.self.series_samples");
+  ASSERT_NE(samples, nullptr);
+  // The second tick observed the count as of its own sampling pass.
+  EXPECT_GE(samples->newest().value, 1.0);
+  EXPECT_NE(telemetry.series.series("obs.self.series_count"), nullptr);
+  EXPECT_GE(telemetry.series.samples_taken(), 2u);
+}
+
+TEST(TimeSeriesStore, ClearDropsSeriesButKeepsCadenceAndWatches) {
+  obs::Telemetry telemetry;
+  auto& pkts = telemetry.metrics.counter("rmt.packets");
+  telemetry.series.set_cadence(10 * kMs);
+  obs::AnomalyConfig config;
+  config.warmup_samples = 2;
+  telemetry.series.watch_rate("rmt.packets", config);
+
+  pkts.inc(5);
+  telemetry.series.sample(telemetry.metrics, kMs);
+  EXPECT_NE(telemetry.series.series("rmt.packets"), nullptr);
+
+  telemetry.series.clear();
+  EXPECT_EQ(telemetry.series.series("rmt.packets"), nullptr);
+  EXPECT_EQ(telemetry.series.samples_taken(), 0u);
+  EXPECT_EQ(telemetry.series.cadence(), 10 * kMs);
+
+  // The watch survives the clear and detects again after a fresh warmup.
+  SimClock::Nanos t = 0;
+  for (int i = 0; i < 10; ++i) {
+    pkts.inc(100);
+    t += kMs;
+    telemetry.series.sample(telemetry.metrics, t);
+  }
+  for (int i = 0; i < 5; ++i) {
+    pkts.inc(50'000);
+    t += kMs;
+    telemetry.series.sample(telemetry.metrics, t);
+  }
+  EXPECT_EQ(telemetry.series.anomalies_fired(), 1u);
+}
+
+TEST(TimeSeriesStore, SeriesJsonlIsDeterministicAndSorted) {
+  obs::MetricsRegistry registry;
+  registry.counter("b.second").inc(2);
+  registry.counter("a.first").inc(1);
+  obs::TimeSeriesStore store;
+  store.sample(registry, 1 * kMs);
+  store.sample(registry, 2 * kMs);
+
+  std::ostringstream out1, out2;
+  obs::export_series_jsonl(store, out1);
+  obs::export_series_jsonl(store, out2);
+  EXPECT_EQ(out1.str(), out2.str());
+
+  const std::string jsonl = out1.str();
+  const auto first = jsonl.find("\"name\":\"a.first\"");
+  const auto second = jsonl.find("\"name\":\"b.second\"");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);
+  EXPECT_NE(jsonl.find("\"type\":\"series\""), std::string::npos);
+  // Samples are [t_ms, value] pairs; t=1ms value=1 for a.first.
+  EXPECT_NE(jsonl.find("\"samples\":[[1,1],[2,1]]"), std::string::npos) << jsonl;
+}
+
+}  // namespace
+}  // namespace p4runpro
