@@ -1,0 +1,52 @@
+#include "control/async_writer.h"
+
+#include <utility>
+
+namespace p4runpro::ctrl {
+
+AsyncWriter::AsyncWriter() : thread_([this] { run(); }) {}
+
+AsyncWriter::~AsyncWriter() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  thread_.join();
+}
+
+void AsyncWriter::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void AsyncWriter::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !running_job_; });
+}
+
+std::size_t AsyncWriter::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + (running_job_ ? 1u : 0u);
+}
+
+void AsyncWriter::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop_ set and nothing left to drain
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    running_job_ = true;
+    lock.unlock();
+    job();
+    lock.lock();
+    running_job_ = false;
+    if (queue_.empty()) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace p4runpro::ctrl

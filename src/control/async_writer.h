@@ -1,0 +1,61 @@
+// Asynchronous control-channel writer: a single-thread FIFO executor that
+// drains staged op-log jobs for one UpdateEngine. One writer models one
+// switch's bfrt channel, so jobs execute strictly in submission order — the
+// channel serializes writes even when sessions overlap — and the engine's
+// channel-cursor state (virtual-time position, coalescing label) is touched
+// only from this thread.
+//
+// Synchronization contract: enqueue() and depth() are safe from any thread;
+// wait_idle() blocks the caller until the queue is empty AND no job is
+// mid-execution (the cv/mutex pair provides the happens-before edge that
+// makes everything the jobs wrote visible to the waiter). The destructor
+// drains every queued job before joining, so an engine can be torn down
+// with writes still in flight without dropping their completion promises.
+//
+// The writer itself never touches the session lock, the virtual clock or
+// the telemetry bundle — those stay caller-side (see UpdateEngine's
+// submit/finish split) — which is what makes wait_idle() under the session
+// lock deadlock-free.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace p4runpro::ctrl {
+
+class AsyncWriter {
+ public:
+  /// Starts the writer thread immediately.
+  AsyncWriter();
+  /// Drains all queued jobs, then joins the thread.
+  ~AsyncWriter();
+  AsyncWriter(const AsyncWriter&) = delete;
+  AsyncWriter& operator=(const AsyncWriter&) = delete;
+
+  /// Append a job to the FIFO; it runs on the writer thread after every
+  /// previously enqueued job has completed.
+  void enqueue(std::function<void()> job);
+
+  /// Block until the queue is empty and no job is executing.
+  void wait_idle();
+
+  /// Jobs queued plus the one executing (the writer-queue depth gauge).
+  [[nodiscard]] std::size_t depth() const;
+
+ private:
+  void run();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< signals the writer: job or stop
+  std::condition_variable idle_cv_;  ///< signals waiters: drained + idle
+  std::deque<std::function<void()>> queue_;
+  bool running_job_ = false;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace p4runpro::ctrl

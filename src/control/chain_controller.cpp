@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "compiler/entrygen.h"
+#include "control/lock_hold.h"
 #include "obs/telemetry.h"
 
 namespace p4runpro::ctrl {
@@ -215,6 +216,7 @@ void ChainController::adopt_locked(DeployOutcome& outcome) {
 Result<LinkResult> ChainController::link(std::string_view source) {
   std::lock_guard<std::mutex> lock(mu_);
   obs::TraceScope trace(telemetry_);
+  LockHoldTimer hold(clock_, telemetry_);
   auto link_span = telemetry_->tracer.span("chain_link", "ctrl");
   const double parse_start_ms = clock_.now_ms();
   auto compiled = rp::compile_source(source, telemetry_);
@@ -310,6 +312,7 @@ Result<LinkResult> ChainController::link_one_parallel(const std::string& source,
     std::unique_lock<std::mutex> lock(mu_);
     // Per-attempt trace scope (bundle-shared state, lock-protected).
     obs::TraceScope trace(telemetry_);
+    LockHoldTimer hold(clock_, telemetry_);
     if (attempt == 0) clock_.advance_ms(2.0);  // parse charge, once
     const double alloc_ms =
         fixed_alloc_charge_ms_ ? *fixed_alloc_charge_ms_ : solve_ms;
@@ -385,6 +388,7 @@ Result<LinkResult> ChainController::relink(ProgramId old_id,
                  "ChainController", ErrorCode::NotFound};
   }
   obs::TraceScope trace(telemetry_);
+  LockHoldTimer hold(clock_, telemetry_);
   auto relink_span = telemetry_->tracer.span("chain_relink", "ctrl");
   auto compiled = rp::compile_source(source, telemetry_);
   clock_.advance_ms(2.0);
@@ -427,6 +431,7 @@ Result<LinkResult> ChainController::relink(ProgramId old_id,
 Status ChainController::revoke(ProgramId id) {
   std::lock_guard<std::mutex> lock(mu_);
   obs::TraceScope trace(telemetry_);
+  LockHoldTimer hold(clock_, telemetry_);
   return revoke_locked(id);
 }
 
@@ -455,6 +460,7 @@ Status ChainController::revoke_locked(ProgramId id) {
 Status ChainController::revoke_by_name(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   obs::TraceScope trace(telemetry_);
+  LockHoldTimer hold(clock_, telemetry_);
   for (const auto& [id, running] : running_) {
     if (running == name) return revoke_locked(id);
   }
@@ -481,12 +487,67 @@ ChainController::HopImage ChainController::capture_image(
 
 Status ChainController::remove_chain_wide(ProgramId id, int* faulted_hop) {
   // Pre-removal images first: a fault at hop h needs every hop already
-  // removed (0..h-1) re-installed byte-identically, contents included.
+  // removed re-installed byte-identically, contents included.
   std::vector<HopImage> images;
   images.reserve(hops_.size());
   for (std::size_t h = 0; h < hops_.size(); ++h) {
     images.push_back(capture_image(static_cast<int>(h),
                                    hops_[h]->programs.at(id)));
+  }
+
+  bool all_async = true;
+  for (const auto& hop : hops_) all_async = all_async && hop->updates.async();
+  if (all_async) {
+    // Pipelined removal: submit every hop's consistent remove up front so
+    // the per-hop channels drain concurrently, then settle in hop order
+    // with per-hop resource bookkeeping.
+    std::vector<std::map<int, std::uint32_t>> entries(hops_.size());
+    std::vector<UpdateEngine::PendingWrite> pendings;
+    pendings.reserve(hops_.size());
+    for (std::size_t h = 0; h < hops_.size(); ++h) {
+      InstalledProgram& program = hops_[h]->programs.at(id);
+      for (const auto& [rpb, handle] : program.rpb_handles) {
+        (void)handle;
+        ++entries[h][rpb];
+      }
+      pendings.push_back(hops_[h]->updates.submit_remove(program));
+    }
+    std::vector<bool> removed_ok(hops_.size(), false);
+    int first_fault = -1;
+    Status first_error;
+    for (std::size_t h = 0; h < hops_.size(); ++h) {
+      Hop& hop = *hops_[h];
+      InstalledProgram& program = hop.programs.at(id);
+      const Status s = hop.updates.finish_remove(pendings[h], program);
+      if (!s.ok()) {
+        // Hop h's removal journal restored the program there. Keep settling
+        // the remaining hops — their writes are already in flight.
+        if (first_fault < 0) {
+          first_fault = static_cast<int>(h);
+          first_error = s;
+        }
+        continue;
+      }
+      removed_ok[h] = true;
+      for (const auto& [rpb, count] : entries[h]) {
+        hop.resources.release_entries(rpb, count);
+      }
+      hop.resources.erase_program(id);
+      chain_.switch_at(static_cast<int>(h)).init_block().clear_counter(id);
+      hop.programs.erase(id);
+    }
+    if (first_fault >= 0) {
+      // Re-install every hop that removed cleanly — including hops AFTER
+      // the faulted one (their removes were in flight when the fault
+      // surfaced) — nearest-last so hop order of the restore mirrors the
+      // serial unwind.
+      for (std::size_t g = hops_.size(); g-- > 0;) {
+        if (removed_ok[g]) reinstall_hop(static_cast<int>(g), std::move(images[g]));
+      }
+      if (faulted_hop != nullptr) *faulted_hop = first_fault;
+      return first_error;
+    }
+    return {};
   }
 
   for (std::size_t h = 0; h < hops_.size(); ++h) {
@@ -559,13 +620,38 @@ void ChainController::reinstall_hop(int hop, HopImage image) {
   h.programs.insert_or_assign(id, std::move(image.program));
 }
 
-const InstalledProgram* ChainController::program_at(int hop, ProgramId id) const {
+void ChainController::set_async_writes(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& hop : hops_) hop->updates.set_async(enabled);
+}
+
+bool ChainController::async_writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool all = !hops_.empty();
+  for (const auto& hop : hops_) all = all && hop->updates.async();
+  return all;
+}
+
+void ChainController::quiesce_all() const {
+  for (const auto& hop : hops_) hop->updates.wait_idle();
+}
+
+const InstalledProgram* ChainController::program_at_unlocked(int hop,
+                                                             ProgramId id) const {
   const auto& programs = hops_[static_cast<std::size_t>(hop)]->programs;
   const auto it = programs.find(id);
   return it == programs.end() ? nullptr : &it->second;
 }
 
+const InstalledProgram* ChainController::program_at(int hop, ProgramId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  quiesce_all();
+  return program_at_unlocked(hop, id);
+}
+
 std::vector<ProgramId> ChainController::running_programs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  quiesce_all();
   std::vector<ProgramId> ids;
   ids.reserve(running_.size());
   for (const auto& [id, name] : running_) {
@@ -575,9 +661,21 @@ std::vector<ProgramId> ChainController::running_programs() const {
   return ids;
 }
 
-Result<int> ChainController::owning_hop(ProgramId id,
-                                        const std::string& vmem) const {
-  const InstalledProgram* program = program_at(0, id);
+std::size_t ChainController::program_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  quiesce_all();
+  return running_.size();
+}
+
+std::deque<ControlEvent> ChainController::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  quiesce_all();
+  return events_;
+}
+
+Result<int> ChainController::owning_hop_unlocked(ProgramId id,
+                                                 const std::string& vmem) const {
+  const InstalledProgram* program = program_at_unlocked(0, id);
   if (program == nullptr) {
     return Error{"unknown program", "ChainController", ErrorCode::NotFound};
   }
@@ -592,9 +690,18 @@ Result<int> ChainController::owning_hop(ProgramId id,
   return dp::recirc_round(logical, chain_.spec_at(0).total_rpbs());
 }
 
+Result<int> ChainController::owning_hop(ProgramId id,
+                                        const std::string& vmem) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  quiesce_all();
+  return owning_hop_unlocked(id, vmem);
+}
+
 Result<Word> ChainController::read_memory(ProgramId id, const std::string& vmem,
                                           MemAddr vaddr) const {
-  auto hop = owning_hop(id, vmem);
+  std::lock_guard<std::mutex> lock(mu_);
+  quiesce_all();
+  auto hop = owning_hop_unlocked(id, vmem);
   if (!hop.ok()) return hop.error();
   return hops_[static_cast<std::size_t>(hop.value())]->resources.read_virtual(
       chain_.switch_at(hop.value()), id, vmem, vaddr);
@@ -603,7 +710,10 @@ Result<Word> ChainController::read_memory(ProgramId id, const std::string& vmem,
 Status ChainController::write_memory(ProgramId id, const std::string& vmem,
                                      MemAddr vaddr, Word value) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto hop = owning_hop(id, vmem);
+  // The writers own the dataplanes while jobs are in flight; drain before
+  // touching memory from this thread.
+  quiesce_all();
+  auto hop = owning_hop_unlocked(id, vmem);
   if (!hop.ok()) return hop.error();
   return hops_[static_cast<std::size_t>(hop.value())]->resources.write_virtual(
       chain_.switch_at(hop.value()), id, vmem, vaddr, value);
@@ -611,7 +721,9 @@ Status ChainController::write_memory(ProgramId id, const std::string& vmem,
 
 Result<std::vector<Word>> ChainController::dump_memory(
     ProgramId id, const std::string& vmem) const {
-  auto hop = owning_hop(id, vmem);
+  std::lock_guard<std::mutex> lock(mu_);
+  quiesce_all();
+  auto hop = owning_hop_unlocked(id, vmem);
   if (!hop.ok()) return hop.error();
   const auto& resources = hops_[static_cast<std::size_t>(hop.value())]->resources;
   const auto* placements = resources.program_placements(id);
@@ -634,6 +746,8 @@ Result<std::vector<Word>> ChainController::dump_memory(
 }
 
 std::uint64_t ChainController::program_packets(ProgramId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  quiesce_all();
   return chain_.switch_at(0).init_block().claimed_packets(id);
 }
 

@@ -82,12 +82,23 @@ class ChainController {
   Status revoke(ProgramId id);
   Status revoke_by_name(const std::string& name);
 
+  /// Toggle the asynchronous control channel on EVERY hop's update engine.
+  /// With all hops async, phase 2 of every chain transaction pipelines: all
+  /// hops' op-logs are submitted up front and drain their per-hop channels
+  /// concurrently, so chain update latency is max(hop) instead of sum(hop).
+  /// Off by default; call with no deployment in progress.
+  void set_async_writes(bool enabled);
+  [[nodiscard]] bool async_writes() const;
+
   // --- monitoring --------------------------------------------------------
+  // Read-side queries take the session lock and quiesce every hop's channel
+  // before reading (same discipline and pointer-lifetime caveat as
+  // ctrl::Controller's monitoring block).
 
   [[nodiscard]] int length() const noexcept { return chain_.length(); }
   [[nodiscard]] const InstalledProgram* program_at(int hop, ProgramId id) const;
   [[nodiscard]] std::vector<ProgramId> running_programs() const;
-  [[nodiscard]] std::size_t program_count() const noexcept { return running_.size(); }
+  [[nodiscard]] std::size_t program_count() const;
 
   /// The hop whose switch physically holds `vmem` of program `id` — i.e.
   /// the chain hop of the (single, chain-compatibility-guaranteed) round
@@ -107,14 +118,15 @@ class ChainController {
   [[nodiscard]] std::uint64_t program_packets(ProgramId id) const;
 
   /// Per-hop internals (fault injection arms exactly one hop's engine).
+  /// Unlocked test-harness access — do not call while sessions run on other
+  /// threads.
   [[nodiscard]] ResourceManager& resources(int hop);
   [[nodiscard]] const ResourceManager& resources(int hop) const;
   [[nodiscard]] UpdateEngine& updates(int hop);
 
-  /// Chain-wide lifecycle audit log (most recent last, bounded).
-  [[nodiscard]] const std::deque<ControlEvent>& events() const noexcept {
-    return events_;
-  }
+  /// Chain-wide lifecycle audit log (most recent last, bounded). Returned
+  /// by value: a snapshot taken under the session lock.
+  [[nodiscard]] std::deque<ControlEvent> events() const;
 
   [[nodiscard]] obs::Telemetry& telemetry() noexcept { return *telemetry_; }
   [[nodiscard]] rp::Objective objective() const noexcept { return objective_; }
@@ -172,9 +184,18 @@ class ChainController {
       const rp::TranslatedProgram& ir,
       const std::vector<rp::AllocationResult>& allocs) const;
   Status revoke_locked(ProgramId id);
+  [[nodiscard]] const InstalledProgram* program_at_unlocked(int hop,
+                                                           ProgramId id) const;
+  [[nodiscard]] Result<int> owning_hop_unlocked(ProgramId id,
+                                                const std::string& vmem) const;
+  /// Drain every hop's async channel (no-op for serial hops). Caller holds
+  /// mu_; deadlock-free because writers never take mu_.
+  void quiesce_all() const;
   /// Remove `id` from every hop with chain-wide atomicity; on a fault at
-  /// hop h (restored by its journal) re-installs hops 0..h-1 from their
-  /// pre-removal images. `faulted_hop` (may be null) reports h.
+  /// hop h (restored by its journal) re-installs every already-removed hop
+  /// from its pre-removal image. `faulted_hop` (may be null) reports h.
+  /// Pipelined (all hops submitted up front, settled in hop order) when
+  /// every hop's engine is async.
   Status remove_chain_wide(ProgramId id, int* faulted_hop);
   /// Re-install a pre-removal image on one hop: re-claim the exact memory
   /// blocks, re-reserve entries, replay the install op-log (fresh handles).

@@ -82,6 +82,53 @@ Status ChainTransaction::commit_all() {
   commit_span.arg("hops", static_cast<std::uint64_t>(hops_.size()));
   commit_span.arg("ops", static_cast<std::uint64_t>(total_staged_ops()));
 
+  bool all_async = true;
+  for (const auto& hop : hops_) {
+    all_async = all_async && hop.updates != nullptr && hop.updates->async();
+  }
+  if (all_async) {
+    commit_span.arg("pipelined", "1");
+    // Submit every hop's op-log before settling any: the per-hop writer
+    // threads drain their channels concurrently, so chain update latency is
+    // the slowest hop, not the sum of hops.
+    for (auto& txn : txns_) txn->commit_submit();
+
+    std::vector<std::unique_ptr<InstalledProgram>> committed(txns_.size());
+    Status first_error;
+    for (std::size_t h = 0; h < txns_.size(); ++h) {
+      auto installed = txns_[h]->commit_finish();
+      if (!installed.ok()) {
+        // Keep settling the remaining hops — their writer jobs reference
+        // their staged batches and must complete before we unwind anything.
+        if (first_error.ok()) {
+          faulted_hop_ = static_cast<int>(h);
+          first_error = installed.error();
+        }
+        continue;
+      }
+      committed[h] = std::make_unique<InstalledProgram>(std::move(installed).take());
+    }
+    if (!first_error.ok()) {
+      // Faulted hops rolled themselves back at finish; un-commit every hop
+      // that settled successfully — including those AFTER the faulted hop
+      // (they were already in flight when the fault surfaced).
+      std::size_t committed_hops = 0;
+      for (const auto& p : committed) committed_hops += p != nullptr ? 1u : 0u;
+      auto unwind_span = obs::span(telemetry_, "chain_txn.unwind", "ctrl");
+      unwind_span.arg("committed_hops", static_cast<std::uint64_t>(committed_hops));
+      for (std::size_t g = committed.size(); g-- > 0;) {
+        if (committed[g]) unwind_committed_hop(static_cast<int>(g), *committed[g]);
+      }
+      installed_.clear();
+      phase_ = Phase::RolledBack;
+      return first_error;
+    }
+    installed_.reserve(committed.size());
+    for (auto& program : committed) installed_.push_back(std::move(*program));
+    phase_ = Phase::Committed;
+    return {};
+  }
+
   for (std::size_t h = 0; h < txns_.size(); ++h) {
     auto installed = txns_[h]->commit();
     if (!installed.ok()) {
@@ -124,8 +171,11 @@ void ChainTransaction::unwind_commit() {
 }
 
 void ChainTransaction::unwind_committed_hop(int hop) {
+  unwind_committed_hop(hop, installed_[static_cast<std::size_t>(hop)]);
+}
+
+void ChainTransaction::unwind_committed_hop(int hop, InstalledProgram& program) {
   ChainHop& ctx = hops_[static_cast<std::size_t>(hop)];
-  InstalledProgram& program = installed_[static_cast<std::size_t>(hop)];
 
   std::map<int, std::uint32_t> entries_per_rpb;
   for (const auto& [rpb, handle] : program.rpb_handles) {

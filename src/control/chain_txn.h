@@ -76,6 +76,16 @@ class ChainTransaction {
   /// Phase 2: execute the staged op-logs hop by hop. On a fault the whole
   /// chain is restored (see class comment) and the transaction is
   /// RolledBack; faulted_hop() names the hop whose write failed.
+  ///
+  /// Pipelined mode: when EVERY hop's update engine is async, phase 2
+  /// submits all hops' op-logs up front and the per-hop writer threads
+  /// drain their channels concurrently — chain update latency becomes
+  /// max(per-hop channel time) instead of the sum. Consistency is
+  /// unchanged: each hop's op-log still runs in consistent-update order on
+  /// its own channel (filters land last per hop), settlement is in hop
+  /// order, and a fault on any hop still restores the whole chain
+  /// byte-identically (committed hops are un-committed whether they settled
+  /// before or after the faulted one).
   Status commit_all();
 
   /// Release phase-1 reservations on every hop (idempotent; no-op once
@@ -113,6 +123,9 @@ class ChainTransaction {
   /// Un-commit one hop: consistent remove, release entries, erase the
   /// program record, restore the blocks' residual bytes.
   void unwind_committed_hop(int hop);
+  /// Same, for a program not (yet) adopted into installed_ — the pipelined
+  /// fault path unwinds hops that settled successfully around the fault.
+  void unwind_committed_hop(int hop, InstalledProgram& program);
 
   std::vector<ChainHop> hops_;
   const rp::TranslatedProgram& ir_;

@@ -4,6 +4,7 @@
 #include <future>
 
 #include "control/deploy_txn.h"
+#include "control/lock_hold.h"
 #include "obs/telemetry.h"
 
 namespace p4runpro::ctrl {
@@ -91,6 +92,7 @@ Result<std::vector<LinkResult>> Controller::link(std::string_view source) {
   // entry point is already active). Constructed inside the lock: the
   // context is bundle-shared state, like the tracer.
   obs::TraceScope trace(telemetry_);
+  LockHoldTimer hold(clock_, telemetry_);
   auto results = link_locked(source);
   if (results.ok()) {
     for (auto& r : results.value()) r.trace = trace.trace_id();
@@ -157,8 +159,9 @@ Result<LinkResult> Controller::link_one_locked(const rp::TranslatedProgram& ir,
     return err;
   };
 
-  if (const InstalledProgram* existing = program_by_name(ir.name);
-      existing != nullptr && existing->id != replacing) {
+  if (const InstalledProgram* existing = program_by_name_unlocked(ir.name);
+      (existing != nullptr && existing->id != replacing) ||
+      pending_names_.count(ir.name) != 0) {
     return fail(0, Error{"a program named '" + ir.name + "' is already running",
                          "Controller", ErrorCode::Conflict});
   }
@@ -261,11 +264,15 @@ Result<LinkResult> Controller::link_one_parallel(const std::string& source,
     const double solve_ms = timer.elapsed_ms();
 
     // Reservation + staged commit serialize under the session lock; the
-    // dataplane, clock, telemetry and audit log are only touched here.
-    std::lock_guard<std::mutex> lock(mu_);
+    // clock, telemetry and audit log are only touched here. (A unique_lock:
+    // the async channel path parks off-lock while its write is in flight.)
+    std::unique_lock<std::mutex> lock(mu_);
     // Per-attempt trace scope (the context is lock-protected shared state);
-    // the successful attempt's id is the one the LinkResult reports.
-    obs::TraceScope trace(telemetry_);
+    // the successful attempt's id is the one the LinkResult reports. Held in
+    // an optional so the async path can drop it across the unlocked wait and
+    // re-adopt the captured context afterwards.
+    std::optional<obs::TraceScope> trace(std::in_place, telemetry_);
+    LockHoldTimer hold(clock_, telemetry_);
     if (attempt == 0) clock_.advance_ms(2.0);  // parse charge, once
     const double alloc_ms =
         fixed_alloc_charge_ms_ ? *fixed_alloc_charge_ms_ : solve_ms;
@@ -275,7 +282,8 @@ Result<LinkResult> Controller::link_one_parallel(const std::string& source,
                    alloc.error().str());
       return alloc.error();
     }
-    if (program_by_name(ir.name) != nullptr) {
+    if (program_by_name_unlocked(ir.name) != nullptr ||
+        pending_names_.count(ir.name) != 0) {
       const Error err{"a program named '" + ir.name + "' is already running",
                       "Controller", ErrorCode::Conflict};
       record_event(ControlEvent::Kind::LinkFailed, 0, ir.name, err.str());
@@ -303,8 +311,28 @@ Result<LinkResult> Controller::link_one_parallel(const std::string& source,
     txn.stage();
 
     const double update_start_ms = clock_.now_ms();
-    auto installed = txn.commit();
-    const double update_ms = clock_.now_ms() - update_start_ms;
+    Result<InstalledProgram> installed = [&]() -> Result<InstalledProgram> {
+      if (!updates_.async()) return txn.commit();
+      // Pipelined commit: submit under the lock, park OFF-lock while the
+      // writer drains the channel, settle under the lock again. The name
+      // guard keeps concurrent sessions from double-booking the name while
+      // we are away; reservations and the staged batch are already ours.
+      pending_names_.insert(ir.name);
+      txn.commit_submit();
+      const obs::TraceContext ctx = telemetry_->active_trace;
+      trace.reset();  // shared state: never leave a context installed off-lock
+      hold.pause();
+      lock.unlock();
+      txn.commit_wait();
+      lock.lock();
+      hold.resume();
+      trace.emplace(telemetry_, ctx);  // finish-side spans carry our trace id
+      auto result = txn.commit_finish();
+      pending_names_.erase(ir.name);
+      return result;
+    }();
+    const double update_ms =
+        updates_.async() ? txn.channel_ms() : clock_.now_ms() - update_start_ms;
     if (!installed.ok()) {
       recycle_failed_id(id);
       telemetry_->monitor.txn_rolled_back(id, ir.name, installed.error().str());
@@ -322,7 +350,7 @@ Result<LinkResult> Controller::link_one_parallel(const std::string& source,
     result.stats.parse_ms = 2.0;
     result.stats.alloc_ms = alloc_ms;
     result.stats.update_ms = update_ms;
-    result.trace = trace.trace_id();
+    result.trace = trace->trace_id();
     record_link_histograms(result);
     return result;
   }
@@ -331,11 +359,17 @@ Result<LinkResult> Controller::link_one_parallel(const std::string& source,
 
 Result<LinkResult> Controller::relink(ProgramId old_id, std::string_view source) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (program(old_id) == nullptr) {
+  if (program_unlocked(old_id) == nullptr) {
     return Error{"no running program with id " + std::to_string(old_id),
                  "Controller", ErrorCode::NotFound};
   }
+  if (busy_ids_.count(old_id) != 0) {
+    return Error{"program " + std::to_string(old_id) +
+                     " has a revoke in flight on the async channel",
+                 "Controller", ErrorCode::Conflict};
+  }
   obs::TraceScope trace(telemetry_);
+  LockHoldTimer hold(clock_, telemetry_);
   auto relink_span = telemetry_->tracer.span("relink", "ctrl");
   auto compiled = rp::compile_source(source, telemetry_);
   clock_.advance_ms(2.0);
@@ -362,9 +396,70 @@ Result<LinkResult> Controller::relink(ProgramId old_id, std::string_view source)
 }
 
 Status Controller::revoke(ProgramId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  obs::TraceScope trace(telemetry_);
-  return revoke_locked(id);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!updates_.async()) {
+    obs::TraceScope trace(telemetry_);
+    LockHoldTimer hold(clock_, telemetry_);
+    return revoke_locked(id);
+  }
+
+  // Async revoke dance: submit the consistent remove under the lock, park
+  // off-lock while the writer drains it, settle under the lock again. The
+  // busy guard keeps relink/revoke sessions off this program while the
+  // writer owns its handle vectors.
+  const auto it = programs_.find(id);
+  if (it == programs_.end()) {
+    return Error{"no running program with id " + std::to_string(id), "Controller",
+                 ErrorCode::NotFound};
+  }
+  if (busy_ids_.count(id) != 0) {
+    return Error{"program " + std::to_string(id) +
+                     " already has a revoke in flight on the async channel",
+                 "Controller", ErrorCode::Conflict};
+  }
+  std::optional<obs::TraceScope> trace(std::in_place, telemetry_);
+  LockHoldTimer hold(clock_, telemetry_);
+
+  std::map<int, std::uint32_t> entries_per_rpb;
+  for (const auto& [rpb, handle] : it->second.rpb_handles) {
+    (void)handle;
+    ++entries_per_rpb[rpb];
+  }
+
+  busy_ids_.insert(id);
+  auto revoke_span = telemetry_->tracer.span("revoke", "ctrl");
+  auto pending = updates_.submit_remove(it->second);
+  const obs::TraceContext ctx = telemetry_->active_trace;
+  revoke_span.end();  // shared state: close before the unlocked wait
+  trace.reset();
+  hold.pause();
+  lock.unlock();
+  pending.done.wait();
+  lock.lock();
+  hold.resume();
+  trace.emplace(telemetry_, ctx);
+
+  // The busy guard kept the program in the map while we were away.
+  InstalledProgram& program = programs_.find(id)->second;
+  const Status removed = updates_.finish_remove(pending, program);
+  busy_ids_.erase(id);
+  if (!removed.ok()) {
+    // The removal journal restored the program (fresh handles); it keeps
+    // running and keeps all its resources.
+    telemetry_->monitor.txn_rolled_back(id, program.name, removed.error().str());
+    record_event(ControlEvent::Kind::RevokeFailed, id, program.name,
+                 removed.error().str());
+    return removed.error();
+  }
+  for (const auto& [rpb, count] : entries_per_rpb) {
+    resources_.release_entries(rpb, count);
+  }
+  resources_.erase_program(id);
+  dataplane_.init_block().clear_counter(id);
+  record_event(ControlEvent::Kind::Revoke, id, program.name);
+  free_ids_.push_back(id);
+  programs_.erase(id);
+  return {};
 }
 
 Status Controller::revoke_locked(ProgramId id) {
@@ -372,6 +467,11 @@ Status Controller::revoke_locked(ProgramId id) {
   if (it == programs_.end()) {
     return Error{"no running program with id " + std::to_string(id), "Controller",
                  ErrorCode::NotFound};
+  }
+  if (busy_ids_.count(id) != 0) {
+    return Error{"program " + std::to_string(id) +
+                     " has a revoke in flight on the async channel",
+                 "Controller", ErrorCode::Conflict};
   }
   auto revoke_span = telemetry_->tracer.span("revoke", "ctrl");
   InstalledProgram& program = it->second;
@@ -405,6 +505,7 @@ Status Controller::revoke_locked(ProgramId id) {
 Status Controller::revoke_by_name(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   obs::TraceScope trace(telemetry_);
+  LockHoldTimer hold(clock_, telemetry_);
   for (const auto& [id, program] : programs_) {
     if (program.name == name) return revoke_locked(id);
   }
@@ -412,40 +513,85 @@ Status Controller::revoke_by_name(const std::string& name) {
                ErrorCode::NotFound};
 }
 
-const InstalledProgram* Controller::program(ProgramId id) const {
+void Controller::set_async_writes(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  updates_.set_async(enabled);
+}
+
+bool Controller::async_writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return updates_.async();
+}
+
+const InstalledProgram* Controller::program_unlocked(ProgramId id) const {
   const auto it = programs_.find(id);
   return it == programs_.end() ? nullptr : &it->second;
 }
 
-const InstalledProgram* Controller::program_by_name(const std::string& name) const {
+const InstalledProgram* Controller::program_by_name_unlocked(
+    const std::string& name) const {
   for (const auto& [id, program] : programs_) {
     if (program.name == name) return &program;
   }
   return nullptr;
 }
 
+const InstalledProgram* Controller::program(ProgramId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  updates_.wait_idle();
+  return program_unlocked(id);
+}
+
+const InstalledProgram* Controller::program_by_name(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  updates_.wait_idle();
+  return program_by_name_unlocked(name);
+}
+
 std::vector<ProgramId> Controller::running_programs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  updates_.wait_idle();
   std::vector<ProgramId> ids;
   ids.reserve(programs_.size());
   for (const auto& [id, program] : programs_) ids.push_back(id);
   return ids;
 }
 
+std::size_t Controller::program_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  updates_.wait_idle();
+  return programs_.size();
+}
+
+std::deque<ControlEvent> Controller::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  updates_.wait_idle();
+  return events_;
+}
+
 Result<Word> Controller::read_memory(ProgramId id, const std::string& vmem,
                                      MemAddr vaddr) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  updates_.wait_idle();
   return resources_.read_virtual(dataplane_, id, vmem, vaddr);
 }
 
 std::vector<rmt::Packet> Controller::drain_reports() {
+  std::lock_guard<std::mutex> lock(mu_);
+  updates_.wait_idle();
   return dataplane_.pipeline().drain_cpu_queue();
 }
 
 std::uint64_t Controller::program_packets(ProgramId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  updates_.wait_idle();
   return dataplane_.init_block().claimed_packets(id);
 }
 
 Result<std::vector<Word>> Controller::dump_memory(ProgramId id,
                                                   const std::string& vmem) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  updates_.wait_idle();
   const auto* placements = resources_.program_placements(id);
   if (placements == nullptr) {
     return Error{"unknown program", "Controller", ErrorCode::NotFound};
@@ -465,7 +611,9 @@ Result<std::vector<Word>> Controller::dump_memory(ProgramId id,
 
 Result<rmt::HashAlgo> Controller::hash_algo_for(ProgramId id,
                                                 const std::string& vmem) const {
-  const InstalledProgram* prog = program(id);
+  std::lock_guard<std::mutex> lock(mu_);
+  updates_.wait_idle();
+  const InstalledProgram* prog = program_unlocked(id);
   if (prog == nullptr) {
     return Error{"unknown program", "Controller", ErrorCode::NotFound};
   }
@@ -484,6 +632,9 @@ Result<rmt::HashAlgo> Controller::hash_algo_for(ProgramId id,
 Status Controller::write_memory(ProgramId id, const std::string& vmem, MemAddr vaddr,
                                 Word value) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Quiesce the async channel: the writer owns the dataplane while jobs are
+  // in flight, and a CPU-side memory write must not race its entry writes.
+  updates_.wait_idle();
   return resources_.write_virtual(dataplane_, id, vmem, vaddr, value);
 }
 

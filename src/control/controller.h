@@ -9,6 +9,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -114,11 +115,27 @@ class Controller {
   /// Revoke by program name (names are unique among running programs).
   Status revoke_by_name(const std::string& name);
 
+  /// Toggle the asynchronous control channel: a per-engine writer thread
+  /// drains committed op-logs through the simulated bfrt channel so commit
+  /// paths can release the session lock (or pipeline hops) while writes are
+  /// in flight (docs/ARCHITECTURE.md "Async control channel"). Off by
+  /// default; toggling drains any in-flight writes first. Call with no
+  /// deployment in progress.
+  void set_async_writes(bool enabled);
+  [[nodiscard]] bool async_writes() const;
+
   // --- monitoring --------------------------------------------------------
+  // Read-side queries take the session lock and quiesce the async channel
+  // (writer drained) before reading, so they are safe to call while
+  // sessions run on other threads. The pointer-returning queries release
+  // the lock before returning: the pointee is stable (map nodes never
+  // move) but its *contents* are only guaranteed until the next mutating
+  // call on this controller — hold results across sessions by value, not by
+  // pointer.
   [[nodiscard]] const InstalledProgram* program(ProgramId id) const;
   [[nodiscard]] const InstalledProgram* program_by_name(const std::string& name) const;
   [[nodiscard]] std::vector<ProgramId> running_programs() const;
-  [[nodiscard]] std::size_t program_count() const noexcept { return programs_.size(); }
+  [[nodiscard]] std::size_t program_count() const;
 
   /// Control-plane memory access (virtual addresses).
   [[nodiscard]] Result<Word> read_memory(ProgramId id, const std::string& vmem,
@@ -141,10 +158,9 @@ class Controller {
   Status write_memory(ProgramId id, const std::string& vmem, MemAddr vaddr, Word value);
 
   /// Lifecycle audit log (most recent last; bounded to the last 1,024
-  /// events).
-  [[nodiscard]] const std::deque<ControlEvent>& events() const noexcept {
-    return events_;
-  }
+  /// events). Returned by value: a snapshot taken under the session lock,
+  /// safe to iterate while sessions keep appending.
+  [[nodiscard]] std::deque<ControlEvent> events() const;
 
   [[nodiscard]] ResourceManager& resources() noexcept { return resources_; }
   [[nodiscard]] UpdateEngine& updates() noexcept { return updates_; }
@@ -171,18 +187,29 @@ class Controller {
   }
 
  private:
-  // Locking discipline (docs/ARCHITECTURE.md "Transactional deploys"): all
-  // mutations of controller/resource/dataplane/clock/telemetry state happen
-  // under mu_. Public mutators take the lock and delegate to the *_locked
+  // Locking discipline (docs/ARCHITECTURE.md "Async control channel"): all
+  // mutations of controller/resource/clock/telemetry state happen under
+  // mu_. Public mutators take the lock and delegate to the *_locked
   // internals; link_many workers do their pure compute (compile, solve)
   // off-lock against snapshots and re-enter mu_ for reserve+commit. Const
-  // queries are unsynchronized — call them only while no session runs.
+  // queries take mu_ and quiesce the async channel before reading (use the
+  // *_unlocked internals from code already holding mu_ — the public
+  // versions would self-deadlock). Dataplane writes are serialized by the
+  // engine: on the caller's thread under mu_ in serial mode, on the single
+  // writer thread in async mode (the writer never takes mu_, which is why
+  // quiescing under mu_ is deadlock-free). Async sessions that release mu_
+  // mid-commit leave a guard behind — pending_names_ for an in-flight
+  // install, busy_ids_ for an in-flight revoke — so concurrent sessions
+  // can't double-book a name or mutate a program the writer still owns.
   Result<std::vector<LinkResult>> link_locked(std::string_view source);
   Result<LinkResult> link_one_locked(const rp::TranslatedProgram& ir,
                                      ProgramId replacing = 0);
   Result<LinkResult> link_one_parallel(const std::string& source,
                                        ParallelLinkOptions options);
   Status revoke_locked(ProgramId id);
+  [[nodiscard]] const InstalledProgram* program_unlocked(ProgramId id) const;
+  [[nodiscard]] const InstalledProgram* program_by_name_unlocked(
+      const std::string& name) const;
   [[nodiscard]] ProgramId next_program_id();
   /// Return the id of a rolled-back deploy: the freshest id un-allocates
   /// (next_id_ decrements), an id drawn from the recycle pool goes back to
@@ -205,6 +232,12 @@ class Controller {
   mutable std::mutex mu_;  ///< session lock (see locking discipline above)
   std::deque<ControlEvent> events_;
   std::map<ProgramId, InstalledProgram> programs_;
+  /// Names of installs submitted to the async channel whose session released
+  /// mu_ before settling — name-conflict checks treat them as running.
+  std::set<std::string> pending_names_;
+  /// Programs with an async revoke in flight: the writer owns their handle
+  /// vectors, so relink/revoke of these ids conflicts until settled.
+  std::set<ProgramId> busy_ids_;
   ProgramId next_id_ = 1;
   std::vector<ProgramId> free_ids_;  ///< fed only by successful revokes
   int filter_generation_ = 0;

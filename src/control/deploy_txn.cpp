@@ -21,6 +21,12 @@ DeployTransaction::DeployTransaction(DeployContext ctx,
       replacing_(replacing) {}
 
 DeployTransaction::~DeployTransaction() {
+  if (phase_ == Phase::Submitted) {
+    // Abandoning an in-flight transaction would leave the writer's job
+    // referencing our staged batch: settle it first. (The write completes —
+    // submission is the commit point on the async channel.)
+    (void)commit_finish();
+  }
   if (phase_ != Phase::Committed && phase_ != Phase::RolledBack) rollback();
 }
 
@@ -113,10 +119,48 @@ void DeployTransaction::stage() {
 
 Result<InstalledProgram> DeployTransaction::commit() {
   assert(phase_ == Phase::Staged);
+  if (ctx_.updates.async()) {
+    // Single-call flows in async mode submit and settle inline; only the
+    // pipelined paths use the split directly.
+    commit_submit();
+    return commit_finish();
+  }
   auto commit_span = obs::span(ctx_.telemetry, "txn.commit", "ctrl");
   commit_span.arg("ops", static_cast<std::uint64_t>(batch_.size()));
+  return finalize(ctx_.updates.execute_install(batch_));
+}
 
-  auto applied = ctx_.updates.execute_install(batch_);
+void DeployTransaction::commit_submit() {
+  assert(phase_ == Phase::Staged);
+  assert(ctx_.updates.async() && "commit_submit requires an async update engine");
+  {
+    // Closed immediately: the channel time is reported by the bfrt spans the
+    // finish replays, not by the submission.
+    auto commit_span = obs::span(ctx_.telemetry, "txn.commit", "ctrl");
+    commit_span.arg("ops", static_cast<std::uint64_t>(batch_.size()));
+    commit_span.arg("async", "1");
+  }
+  pending_ = ctx_.updates.submit_install(batch_);
+  phase_ = Phase::Submitted;
+}
+
+void DeployTransaction::commit_wait() {
+  assert(phase_ == Phase::Submitted);
+  pending_.done.wait();
+}
+
+Result<InstalledProgram> DeployTransaction::commit_finish() {
+  assert(phase_ == Phase::Submitted);
+  auto applied = ctx_.updates.finish_install(pending_);
+  channel_ms_ = static_cast<double>(pending_.outcome->completion_ns -
+                                    pending_.submitted_ns) /
+                1e6;
+  phase_ = Phase::Staged;  // settled; finalize() decides Committed/RolledBack
+  return finalize(std::move(applied));
+}
+
+Result<InstalledProgram> DeployTransaction::finalize(
+    Result<UpdateEngine::AppliedEntries> applied) {
   if (!applied.ok()) {
     // The engine's journal already restored the dataplane; return the
     // reservations so nothing of the transaction survives.

@@ -55,6 +55,7 @@ class DeployTransaction {
     Reserved,    ///< memory blocks + table entries held
     Planned,     ///< entry plan generated against the reservations
     Staged,      ///< op-log built, dataplane still untouched
+    Submitted,   ///< op-log in flight on the async channel (writer thread)
     Committed,   ///< op-log executed; resources belong to the program now
     RolledBack,  ///< every reservation returned
   };
@@ -82,8 +83,40 @@ class DeployTransaction {
   /// Execute the op-log through the update engine. On success the program
   /// is recorded with the resource manager and announced to the monitor; on
   /// failure the engine's journal has already unwound the dataplane and
-  /// this transaction rolls its reservations back before returning.
+  /// this transaction rolls its reservations back before returning. In
+  /// async mode this routes through commit_submit + commit_finish inline.
   Result<InstalledProgram> commit();
+
+  // --- split commit (async channel) --------------------------------------
+  // The pipelined paths separate submission from settlement so a session
+  // can release its lock (or submit the next hop) while the writer drains
+  // the channel:
+  //   commit_submit()  — under the session lock: hand the op-log to the
+  //                      writer, phase -> Submitted, return immediately.
+  //   commit_wait()    — OPTIONAL, lock-free: block until the writer
+  //                      signals completion (no shared state touched).
+  //   commit_finish()  — under the session lock: settle the write (clock
+  //                      advance, telemetry replay), then the same
+  //                      success/rollback handling as commit().
+  // Requires the context's update engine to be in async mode.
+
+  /// Submit the staged op-log to the engine's writer thread. Caller must
+  /// hold the session lock and must keep this transaction alive until
+  /// commit_finish (the in-flight job references the staged batch).
+  void commit_submit();
+  /// Block until the submitted write completes. Safe to call WITHOUT the
+  /// session lock — this is the point a session parks while other sessions
+  /// (or other hops) use the lock and the channel.
+  void commit_wait();
+  /// Settle the submitted write under the session lock: on success record +
+  /// announce the program (phase Committed); on a writer-reported fault the
+  /// dataplane is already unwound — roll reservations back and return the
+  /// error.
+  Result<InstalledProgram> commit_finish();
+  /// Virtual milliseconds the write spent on the channel, from submission
+  /// to completion (valid after commit_finish). The pipelined chain uses it
+  /// to report per-hop channel occupancy.
+  [[nodiscard]] double channel_ms() const noexcept { return channel_ms_; }
   /// Release reservations (idempotent; no-op once Committed).
   void rollback();
 
@@ -96,6 +129,10 @@ class DeployTransaction {
   [[nodiscard]] const dp::WriteBatch& staged_batch() const noexcept { return batch_; }
 
  private:
+  /// Shared tail of commit()/commit_finish(): on success build + record +
+  /// announce the InstalledProgram; on failure roll reservations back.
+  Result<InstalledProgram> finalize(Result<UpdateEngine::AppliedEntries> applied);
+
   DeployContext ctx_;
   const rp::TranslatedProgram& ir_;
   rp::AllocationResult alloc_;
@@ -108,6 +145,8 @@ class DeployTransaction {
   std::map<int, std::uint32_t> reserved_entries_;  ///< rpb -> count held
   rp::EntryPlan plan_;
   dp::WriteBatch batch_;
+  UpdateEngine::PendingWrite pending_;  ///< valid while Submitted
+  double channel_ms_ = 0.0;
 };
 
 }  // namespace p4runpro::ctrl

@@ -1,6 +1,8 @@
 #include "control/update_engine.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstddef>
 
 #include "obs/telemetry.h"
@@ -34,25 +36,52 @@ namespace {
   return Error{"injected control-channel fault", "bfrt", ErrorCode::ChannelError};
 }
 
+/// Channel time of `us` microseconds, rounded exactly like
+/// SimClock::advance_us so async charge sums are byte-identical to the
+/// serial clock advances they replace.
+[[nodiscard]] SimClock::Nanos channel_ns(double us) {
+  return static_cast<SimClock::Nanos>(std::llround(us * 1000.0));
+}
+
 }  // namespace
 
-void UpdateEngine::charge_entries(std::size_t count, const char* what) {
-  auto batch_span = obs::span(telemetry_, "bfrt.batch", "bfrt");
-  batch_span.arg("what", what);
-  batch_span.arg("entries", static_cast<std::uint64_t>(count));
-  if (hop_label_ >= 0) {
-    batch_span.arg("hop", static_cast<std::uint64_t>(hop_label_));
+void UpdateEngine::charge_batch(std::size_t count, const char* what,
+                                ChannelCursor* cursor) {
+  if (cursor == nullptr) {
+    auto batch_span = obs::span(telemetry_, "bfrt.batch", "bfrt");
+    batch_span.arg("what", what);
+    batch_span.arg("entries", static_cast<std::uint64_t>(count));
+    if (hop_label_ >= 0) {
+      batch_span.arg("hop", static_cast<std::uint64_t>(hop_label_));
+    }
+    clock_.advance_us(cost_.per_batch_overhead_us +
+                      cost_.per_entry_write_us * static_cast<double>(count));
+    if (telemetry_ != nullptr) {
+      auto& m = telemetry_->metrics;
+      m.counter("ctrl.bfrt.batches").inc();
+      m.counter("ctrl.bfrt.entry_writes").inc(count);
+      const auto bounds = obs::Histogram::count_bounds();
+      m.histogram("ctrl.bfrt.batch_entries", bounds)
+          .observe(static_cast<double>(count));
+    }
+    return;
   }
-  clock_.advance_us(cost_.per_batch_overhead_us +
-                    cost_.per_entry_write_us * static_cast<double>(count));
-  if (telemetry_ != nullptr) {
-    auto& m = telemetry_->metrics;
-    m.counter("ctrl.bfrt.batches").inc();
-    m.counter("ctrl.bfrt.entry_writes").inc(count);
-    const auto bounds = obs::Histogram::count_bounds();
-    m.histogram("ctrl.bfrt.batch_entries", bounds)
-        .observe(static_cast<double>(count));
-  }
+  // Writer thread: record the charge against the channel cursor. A batch
+  // directly behind a same-kind batch (no idle gap, no other kind between)
+  // coalesces into the predecessor's submission and skips the per-batch
+  // sync overhead.
+  ChannelCharge charge;
+  charge.kind = ChannelCharge::Kind::Batch;
+  charge.label = what;
+  charge.entries = count;
+  charge.coalesced = !cursor->last_label.empty() && cursor->last_label == what;
+  const double us = (charge.coalesced ? 0.0 : cost_.per_batch_overhead_us) +
+                    cost_.per_entry_write_us * static_cast<double>(count);
+  charge.start_ns = cursor->now;
+  cursor->now += channel_ns(us);
+  charge.end_ns = cursor->now;
+  cursor->last_label = what;
+  cursor->charges->push_back(std::move(charge));
 }
 
 void UpdateEngine::unwind(std::vector<JournalEntry>& journal) {
@@ -62,8 +91,8 @@ void UpdateEngine::unwind(std::vector<JournalEntry>& journal) {
   journal.clear();
 }
 
-Result<UpdateEngine::AppliedEntries> UpdateEngine::execute_install(
-    const dp::WriteBatch& batch) {
+Result<UpdateEngine::AppliedEntries> UpdateEngine::run_install(
+    const dp::WriteBatch& batch, ChannelCursor* cursor) {
   AppliedEntries out;
   std::vector<JournalEntry> journal;
   journal.reserve(batch.ops.size());
@@ -75,7 +104,7 @@ Result<UpdateEngine::AppliedEntries> UpdateEngine::execute_install(
   bool group_open = false;
   std::size_t group_count = 0;
   auto flush = [&] {
-    if (group_open) charge_entries(group_count, charge_label(group_kind));
+    if (group_open) charge_batch(group_count, charge_label(group_kind), cursor);
     group_open = false;
     group_count = 0;
   };
@@ -121,40 +150,68 @@ Result<UpdateEngine::AppliedEntries> UpdateEngine::execute_install(
     observe_step();
   }
   flush();
-  // Forward path completed: the pipeline's table state now belongs to the
-  // active control operation. (Rollbacks do NOT stamp — the reverted state
-  // still belongs to whichever earlier operation installed it.)
-  dataplane_.pipeline().note_table_update(
-      telemetry_ != nullptr ? telemetry_->active_trace.trace_id : 0);
   return out;
 }
 
-dp::WriteOp UpdateEngine::apply_mem_reset(const dp::WriteOp& op) {
-  auto reset_span = obs::span(telemetry_, "bfrt.mem_reset", "bfrt");
-  reset_span.arg("vmem", op.vmem);
-  reset_span.arg("buckets", static_cast<std::uint64_t>(op.mem_size));
-  const MemBlock block{op.mem_base, op.mem_size};
-  resources_.lock_memory(op.mem_rpb, block);
-  auto applied = dataplane_.apply(op);  // captures the words -> RestoreMemRange
-  clock_.advance_us(cost_.memory_reset_us_per_kb *
-                    static_cast<double>(op.mem_size) * 4.0 / 1024.0);
-  resources_.unlock_memory(op.mem_rpb, block);
-  if (telemetry_ != nullptr) {
-    telemetry_->metrics.counter("ctrl.bfrt.mem_resets").inc();
+Result<UpdateEngine::AppliedEntries> UpdateEngine::execute_install(
+    const dp::WriteBatch& batch) {
+  if (writer_) {
+    // Auto-route: single-call flows stay correct in async mode (the caller
+    // already holds the session lock, so blocking inline is safe).
+    PendingWrite pending = submit_install(batch);
+    return finish_install(pending);
   }
-  return std::move(applied).take();  // throws if the dataplane rejected the range
+  auto out = run_install(batch, nullptr);
+  if (out.ok()) {
+    // Forward path completed: the pipeline's table state now belongs to the
+    // active control operation. (Rollbacks do NOT stamp — the reverted state
+    // still belongs to whichever earlier operation installed it.)
+    dataplane_.pipeline().note_table_update(
+        telemetry_ != nullptr ? telemetry_->active_trace.trace_id : 0);
+  }
+  return out;
 }
 
-Status UpdateEngine::remove(InstalledProgram& program) {
-  if (telemetry_ != nullptr) {
-    // The first delete step (filters) atomically stops the program from
-    // claiming packets, so the revoke is effective from here on.
-    telemetry_->monitor.program_revoked(program.id);
+dp::WriteOp UpdateEngine::apply_mem_reset(const dp::WriteOp& op,
+                                          ChannelCursor* cursor,
+                                          WriteOutcome* outcome) {
+  const double us = cost_.memory_reset_us_per_kb *
+                    static_cast<double>(op.mem_size) * 4.0 / 1024.0;
+  if (cursor == nullptr) {
+    auto reset_span = obs::span(telemetry_, "bfrt.mem_reset", "bfrt");
+    reset_span.arg("vmem", op.vmem);
+    reset_span.arg("buckets", static_cast<std::uint64_t>(op.mem_size));
+    const MemBlock block{op.mem_base, op.mem_size};
+    resources_.lock_memory(op.mem_rpb, block);
+    auto applied = dataplane_.apply(op);  // captures the words -> RestoreMemRange
+    clock_.advance_us(us);
+    resources_.unlock_memory(op.mem_rpb, block);
+    if (telemetry_ != nullptr) {
+      telemetry_->metrics.counter("ctrl.bfrt.mem_resets").inc();
+    }
+    return std::move(applied).take();  // throws if the dataplane rejected the range
   }
-  dp::WriteBatch batch;
-  rp::stage_remove(program.plan, program.filter_handles, program.rpb_handles,
-                   program.recirc_handles, program.placements, batch);
+  // Writer thread: zero the range and record the charge; the block free is
+  // deferred to finish_remove (the writer never touches the resource
+  // manager, so a fault-unwind finds the block still reserved).
+  auto applied = dataplane_.apply(op);
+  ChannelCharge charge;
+  charge.kind = ChannelCharge::Kind::MemReset;
+  charge.label = op.vmem;
+  charge.entries = op.mem_size;
+  charge.start_ns = cursor->now;
+  cursor->now += channel_ns(us);
+  charge.end_ns = cursor->now;
+  cursor->last_label.clear();  // a reset breaks batch adjacency on the channel
+  cursor->charges->push_back(std::move(charge));
+  outcome->deferred_frees.emplace_back(op.mem_rpb,
+                                       MemBlock{op.mem_base, op.mem_size});
+  return std::move(applied).take();
+}
 
+Status UpdateEngine::run_remove(const dp::WriteBatch& batch,
+                                InstalledProgram& program,
+                                ChannelCursor* cursor, WriteOutcome* outcome) {
   std::vector<JournalEntry> journal;
   journal.reserve(batch.ops.size());
 
@@ -162,15 +219,17 @@ Status UpdateEngine::remove(InstalledProgram& program) {
   bool group_open = false;
   std::size_t group_count = 0;
   auto flush = [&] {
-    if (group_open) charge_entries(group_count, charge_label(group_kind));
+    if (group_open) charge_batch(group_count, charge_label(group_kind), cursor);
     group_open = false;
     group_count = 0;
   };
   auto fail = [&](Error err) -> Error {
-    rollback_remove(batch, journal, program);
-    // The program is back in service with fresh handles: re-announce it so
-    // the monitor's installed set matches reality.
-    announce_deploy(program);
+    rollback_remove(batch, journal, program, /*deferred_frees=*/cursor != nullptr);
+    if (outcome != nullptr) {
+      // The reset blocks were restored in place, never freed — nothing for
+      // finish_remove to release.
+      outcome->deferred_frees.clear();
+    }
     return err;
   };
 
@@ -179,7 +238,7 @@ Status UpdateEngine::remove(InstalledProgram& program) {
     if (op.kind == dp::WriteOp::Kind::ResetMemRange) {
       flush();
       if (inject_fault()) return fail(channel_fault());
-      journal.push_back(JournalEntry{i, apply_mem_reset(op)});
+      journal.push_back(JournalEntry{i, apply_mem_reset(op, cursor, outcome)});
       observe_step();
       continue;
     }
@@ -212,24 +271,53 @@ Status UpdateEngine::remove(InstalledProgram& program) {
   program.rpb_handles.clear();
   program.recirc_handles.clear();
   program.placements.clear();
+  return {};
+}
+
+Status UpdateEngine::remove(InstalledProgram& program) {
+  if (writer_) {
+    PendingWrite pending = submit_remove(program);
+    return finish_remove(pending, program);
+  }
+  if (telemetry_ != nullptr) {
+    // The first delete step (filters) atomically stops the program from
+    // claiming packets, so the revoke is effective from here on.
+    telemetry_->monitor.program_revoked(program.id);
+  }
+  dp::WriteBatch batch;
+  rp::stage_remove(program.plan, program.filter_handles, program.rpb_handles,
+                   program.recirc_handles, program.placements, batch);
+  Status removed = run_remove(batch, program, nullptr, nullptr);
+  if (!removed.ok()) {
+    // The program is back in service with fresh handles: re-announce it so
+    // the monitor's installed set matches reality.
+    announce_deploy(program);
+    return removed;
+  }
   dataplane_.pipeline().note_table_update(
       telemetry_ != nullptr ? telemetry_->active_trace.trace_id : 0);
-  return {};
+  return removed;
 }
 
 void UpdateEngine::rollback_remove(const dp::WriteBatch& batch,
                                    std::vector<JournalEntry>& journal,
-                                   InstalledProgram& program) {
+                                   InstalledProgram& program,
+                                   bool deferred_frees) {
   for (auto it = journal.rbegin(); it != journal.rend(); ++it) {
     const dp::WriteOp& original = batch.ops[it->batch_index];
     if (original.kind == dp::WriteOp::Kind::ResetMemRange) {
-      // The block was freed right after the reset; take it back out of the
-      // free list *before* restoring its bytes so neither occupancy nor
-      // contents can diverge from the pre-transaction state.
-      const Status reclaimed = resources_.reclaim_block(
-          original.mem_rpb, MemBlock{original.mem_base, original.mem_size});
-      assert(reclaimed.ok() && "journal block vanished from the free list");
-      (void)reclaimed;
+      if (!deferred_frees) {
+        // The block was freed right after the reset; take it back out of the
+        // free list *before* restoring its bytes so neither occupancy nor
+        // contents can diverge from the pre-transaction state.
+        const Status reclaimed = resources_.reclaim_block(
+            original.mem_rpb, MemBlock{original.mem_base, original.mem_size});
+        assert(reclaimed.ok() && "journal block vanished from the free list");
+        (void)reclaimed;
+      }
+      // Async path: the free was deferred to finish_remove and never
+      // happened, so the block is still reserved — only the bytes need
+      // restoring.
       dataplane_.undo(it->inverse);
       continue;
     }
@@ -254,6 +342,175 @@ void UpdateEngine::rollback_remove(const dp::WriteBatch& batch,
     }
   }
   journal.clear();
+}
+
+// --- asynchronous channel --------------------------------------------------
+
+void UpdateEngine::set_async(bool enabled) {
+  if (enabled == async()) return;
+  if (enabled) {
+    writer_ = std::make_unique<AsyncWriter>();
+    channel_cursor_ns_ = clock_.now_ns();
+    channel_last_label_.clear();
+  } else {
+    writer_->wait_idle();
+    writer_.reset();
+    if (telemetry_ != nullptr) {
+      telemetry_->metrics.gauge("ctrl.channel.queue_depth").set(0.0);
+    }
+  }
+}
+
+UpdateEngine::ChannelCursor UpdateEngine::begin_job(SimClock::Nanos submitted_ns,
+                                                    WriteOutcome* outcome) {
+  ChannelCursor cursor;
+  cursor.now = std::max(submitted_ns, channel_cursor_ns_);
+  if (cursor.now == channel_cursor_ns_) {
+    // Back-to-back on the channel: the predecessor's trailing batch can
+    // still absorb a same-kind follow-up.
+    cursor.last_label = channel_last_label_;
+  }
+  // (Idle gap: the previous batch's sync completed long ago, nothing to
+  // coalesce with — last_label stays empty.)
+  cursor.charges = &outcome->charges;
+  return cursor;
+}
+
+void UpdateEngine::end_job(const ChannelCursor& cursor) {
+  channel_cursor_ns_ = cursor.now;
+  channel_last_label_ = cursor.last_label;
+}
+
+UpdateEngine::PendingWrite UpdateEngine::submit_install(
+    const dp::WriteBatch& batch) {
+  assert(writer_ && "submit_install requires async mode");
+  PendingWrite pending;
+  pending.outcome = std::make_shared<WriteOutcome>();
+  pending.submitted_ns = clock_.now_ns();
+  pending.ops = batch.ops.size();
+  pending.outcome->trace =
+      telemetry_ != nullptr ? telemetry_->active_trace.trace_id : 0;
+
+  auto promise = std::make_shared<std::promise<void>>();
+  pending.done = promise->get_future();
+  std::shared_ptr<WriteOutcome> outcome = pending.outcome;
+  const dp::WriteBatch* batch_ptr = &batch;  // caller keeps it alive to finish
+  const SimClock::Nanos submitted = pending.submitted_ns;
+  writer_->enqueue([this, outcome, batch_ptr, submitted, promise] {
+    ChannelCursor cursor = begin_job(submitted, outcome.get());
+    outcome->applied = run_install(*batch_ptr, &cursor);
+    end_job(cursor);
+    outcome->completion_ns = cursor.now;
+    promise->set_value();
+  });
+  update_queue_gauge();
+  return pending;
+}
+
+Result<UpdateEngine::AppliedEntries> UpdateEngine::finish_install(
+    PendingWrite& pending) {
+  pending.done.wait();  // happens-before: the outcome is ours now
+  WriteOutcome& outcome = *pending.outcome;
+  clock_.advance_to_ns(outcome.completion_ns);
+  emit_charges(outcome);
+  update_queue_gauge();
+  assert(outcome.applied.has_value());
+  if (outcome.applied->ok()) {
+    dataplane_.pipeline().note_table_update(outcome.trace);
+  }
+  return std::move(*outcome.applied);
+}
+
+UpdateEngine::PendingWrite UpdateEngine::submit_remove(
+    InstalledProgram& program) {
+  assert(writer_ && "submit_remove requires async mode");
+  if (telemetry_ != nullptr) {
+    // The program is logically retired at submission: its first delete step
+    // (filters) is ordered on the channel before anything submitted later.
+    telemetry_->monitor.program_revoked(program.id);
+  }
+  PendingWrite pending;
+  pending.outcome = std::make_shared<WriteOutcome>();
+  pending.outcome->batch = std::make_shared<dp::WriteBatch>();
+  rp::stage_remove(program.plan, program.filter_handles, program.rpb_handles,
+                   program.recirc_handles, program.placements,
+                   *pending.outcome->batch);
+  pending.submitted_ns = clock_.now_ns();
+  pending.ops = pending.outcome->batch->ops.size();
+  pending.outcome->trace =
+      telemetry_ != nullptr ? telemetry_->active_trace.trace_id : 0;
+
+  auto promise = std::make_shared<std::promise<void>>();
+  pending.done = promise->get_future();
+  std::shared_ptr<WriteOutcome> outcome = pending.outcome;
+  InstalledProgram* prog = &program;  // caller guards it (busy set) to finish
+  const SimClock::Nanos submitted = pending.submitted_ns;
+  writer_->enqueue([this, outcome, prog, submitted, promise] {
+    ChannelCursor cursor = begin_job(submitted, outcome.get());
+    outcome->removed = run_remove(*outcome->batch, *prog, &cursor, outcome.get());
+    end_job(cursor);
+    outcome->completion_ns = cursor.now;
+    promise->set_value();
+  });
+  update_queue_gauge();
+  return pending;
+}
+
+Status UpdateEngine::finish_remove(PendingWrite& pending,
+                                   InstalledProgram& program) {
+  pending.done.wait();
+  WriteOutcome& outcome = *pending.outcome;
+  clock_.advance_to_ns(outcome.completion_ns);
+  emit_charges(outcome);
+  update_queue_gauge();
+  assert(outcome.removed.has_value());
+  if (outcome.removed->ok()) {
+    for (const auto& [rpb, block] : outcome.deferred_frees) {
+      resources_.unlock_memory(rpb, block);
+    }
+    dataplane_.pipeline().note_table_update(outcome.trace);
+  } else {
+    // Fault-unwind restored the program with fresh handles on the writer
+    // thread; re-announce it so the monitor's installed set matches reality.
+    announce_deploy(program);
+  }
+  return *outcome.removed;
+}
+
+void UpdateEngine::emit_charges(const WriteOutcome& outcome) {
+  if (telemetry_ == nullptr) return;
+  auto& m = telemetry_->metrics;
+  for (const ChannelCharge& charge : outcome.charges) {
+    std::vector<std::pair<std::string, std::string>> args;
+    if (charge.kind == ChannelCharge::Kind::Batch) {
+      args.emplace_back("what", charge.label);
+      args.emplace_back("entries", std::to_string(charge.entries));
+      if (hop_label_ >= 0) args.emplace_back("hop", std::to_string(hop_label_));
+      if (charge.coalesced) args.emplace_back("coalesced", "1");
+      telemetry_->tracer.record_span("bfrt.batch", "bfrt", charge.start_ns,
+                                     charge.end_ns, outcome.trace,
+                                     std::move(args));
+      m.counter("ctrl.bfrt.batches").inc();
+      m.counter("ctrl.bfrt.entry_writes").inc(charge.entries);
+      const auto bounds = obs::Histogram::count_bounds();
+      m.histogram("ctrl.bfrt.batch_entries", bounds)
+          .observe(static_cast<double>(charge.entries));
+      if (charge.coalesced) m.counter("ctrl.bfrt.coalesced_batches").inc();
+    } else {
+      args.emplace_back("vmem", charge.label);
+      args.emplace_back("buckets", std::to_string(charge.entries));
+      telemetry_->tracer.record_span("bfrt.mem_reset", "bfrt", charge.start_ns,
+                                     charge.end_ns, outcome.trace,
+                                     std::move(args));
+      m.counter("ctrl.bfrt.mem_resets").inc();
+    }
+  }
+}
+
+void UpdateEngine::update_queue_gauge() {
+  if (telemetry_ == nullptr || writer_ == nullptr) return;
+  telemetry_->metrics.gauge("ctrl.channel.queue_depth")
+      .set(static_cast<double>(writer_->depth()));
 }
 
 void UpdateEngine::announce_deploy(const InstalledProgram& program) {

@@ -17,10 +17,32 @@
 // invisible until its last add step and atomically disabled by the first
 // delete step. The op-log builders (rp::stage_install / rp::stage_remove)
 // encode this order; the executor never reorders.
+//
+// Asynchronous channel (docs/ARCHITECTURE.md "Async control channel"):
+// set_async(true) attaches a per-engine writer thread (AsyncWriter) that
+// drains submitted op-logs through the simulated channel off the caller's
+// thread. submit_install / submit_remove capture the virtual submission
+// time under the session lock and enqueue the job; the writer applies the
+// dataplane ops and *records* the channel charges against its own channel
+// cursor (it never touches the clock or the telemetry bundle); finish_*
+// waits for completion, advances the clock to the channel's completion
+// time, and replays the recorded charges as closed "bfrt.*" spans carrying
+// the submit-time trace id. execute_install / remove auto-route through
+// the writer in async mode, so single-call flows (and the chain unwind
+// paths) behave identically — they just block inline. Adjacent same-kind
+// batches with no idle channel gap coalesce into one multi-batch
+// submission: the follow-up batch skips the per-batch channel overhead
+// (ctrl.bfrt.coalesced_batches counts them). Faults reported by the writer
+// unwind on the writer thread exactly like the serial path, so a fault at
+// any write index still restores byte-identical state.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <future>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,6 +52,7 @@
 #include "compiler/entrygen.h"
 #include "compiler/ir.h"
 #include "compiler/solver.h"
+#include "control/async_writer.h"
 #include "control/resource_manager.h"
 #include "dataplane/runpro_dataplane.h"
 #include "dataplane/write_op.h"
@@ -77,12 +100,52 @@ class UpdateEngine {
     std::vector<rmt::EntryHandle> recirc_handles;
   };
 
+  /// One charge the writer pushed through the virtual channel, in channel
+  /// order. Replayed into the tracer/metrics at finish time.
+  struct ChannelCharge {
+    enum class Kind : std::uint8_t { Batch, MemReset };
+    Kind kind = Kind::Batch;
+    std::string label;        ///< batch: "add.rpb" etc.; mem reset: vmem name
+    std::size_t entries = 0;  ///< batch: entry count; mem reset: bucket count
+    SimClock::Nanos start_ns = 0;
+    SimClock::Nanos end_ns = 0;
+    bool coalesced = false;   ///< batch rode a same-kind predecessor's sync
+  };
+
+  /// Everything an async write job produces. Filled on the writer thread,
+  /// read by the caller after the completion future resolves (the future
+  /// wait is the happens-before edge).
+  struct WriteOutcome {
+    std::optional<Result<AppliedEntries>> applied;  ///< install jobs
+    std::optional<Status> removed;                  ///< remove jobs
+    std::vector<ChannelCharge> charges;
+    /// Memory blocks a successful remove reset; freed by finish_remove
+    /// (the writer never touches the resource manager).
+    std::vector<std::pair<int, MemBlock>> deferred_frees;
+    SimClock::Nanos completion_ns = 0;
+    std::uint64_t trace = 0;  ///< trace id active at submission
+    /// Remove jobs own their staged batch (install batches are owned by the
+    /// transaction, which outlives the finish).
+    std::shared_ptr<dp::WriteBatch> batch;
+  };
+
+  /// Handle to an in-flight submitted write. Obtain with submit_*, settle
+  /// with the matching finish_* (every submit MUST be finished — the job
+  /// references caller-owned state).
+  struct PendingWrite {
+    std::shared_ptr<WriteOutcome> outcome;
+    std::future<void> done;
+    SimClock::Nanos submitted_ns = 0;
+    std::size_t ops = 0;
+  };
+
   /// Execute a staged install op-log (WriteMemRange carry-over ops plus
   /// Add* entry ops in consistent-update order). Consecutive ops of one
   /// kind are charged as one bfrt batch. On any failure — injected channel
   /// fault or a rejected write — the rollback journal unwinds every applied
   /// op and the error (ChannelError for faults) is returned; the dataplane
-  /// is then byte-identical to its pre-call state.
+  /// is then byte-identical to its pre-call state. In async mode this
+  /// routes through the writer and blocks inline (submit + finish).
   Result<AppliedEntries> execute_install(const dp::WriteBatch& batch);
 
   /// Consistently remove a program and release its memory. On success the
@@ -90,8 +153,50 @@ class UpdateEngine {
   /// reservations stay the caller's to release). On a mid-removal channel
   /// fault the journal restores everything already deleted — including
   /// re-reserving reset memory blocks and writing their contents back — and
-  /// `program` is left fully installed with its fresh handles.
+  /// `program` is left fully installed with its fresh handles. Async mode
+  /// routes through the writer and blocks inline.
   Status remove(InstalledProgram& program);
+
+  // --- asynchronous channel ----------------------------------------------
+
+  /// Attach (true) or drain-and-detach (false) the writer thread. Call only
+  /// under the session lock with no write in flight. Async mode is opt-in;
+  /// the default (serial) behavior is unchanged.
+  void set_async(bool enabled);
+  [[nodiscard]] bool async() const noexcept { return writer_ != nullptr; }
+
+  /// Submit an install op-log to the writer. Caller must hold the session
+  /// lock (the submission time is read off the virtual clock) and must keep
+  /// `batch` alive until finish_install returns. Returns immediately; the
+  /// channel latency is charged when finish_install resolves the write.
+  [[nodiscard]] PendingWrite submit_install(const dp::WriteBatch& batch);
+  /// Settle a submitted install: wait for the writer, advance the clock to
+  /// the channel completion time, replay the recorded charges into the
+  /// telemetry bundle and return the applied handles (or the fault, with
+  /// the dataplane already unwound). Caller must hold the session lock.
+  Result<AppliedEntries> finish_install(PendingWrite& pending);
+
+  /// Submit a consistent remove. Stages the op-log from the program's
+  /// current handles under the session lock and announces the revoke (the
+  /// program is logically retired at submission — its first delete step is
+  /// ordered before any later submission on this channel). The writer
+  /// mutates `program`'s handles (cleared on success, patched fresh on a
+  /// fault-unwind); callers must not touch the program until finish_remove.
+  [[nodiscard]] PendingWrite submit_remove(InstalledProgram& program);
+  /// Settle a submitted remove: on success frees the reset memory blocks
+  /// (deferred from the writer) — entry reservations stay the caller's to
+  /// release; on a fault re-announces the restored program. Caller must
+  /// hold the session lock.
+  Status finish_remove(PendingWrite& pending, InstalledProgram& program);
+
+  /// Block until the writer has drained every submitted job (no-op in
+  /// serial mode). The read-side quiesce point: const queries take the
+  /// session lock and wait here, so they never observe a half-written
+  /// program. Deadlock-free because the writer never takes the session
+  /// lock.
+  void wait_idle() const {
+    if (writer_) writer_->wait_idle();
+  }
 
   /// Announce a completed deploy to the health monitor (the program became
   /// visible to traffic with its last filter write). Entry count =
@@ -116,11 +221,13 @@ class UpdateEngine {
   /// and disarms (rollback writes are never faulted). -1 disables. Each
   /// engine drives one switch's channel, so a chain harness arms exactly
   /// the hop it wants to fault (per-hop injection; ChainController exposes
-  /// `updates(hop)` for this).
+  /// `updates(hop)` for this). In async mode the fault fires from the
+  /// writer thread, at the same write index.
   void set_fault_after_writes(int writes) { fault_after_ = writes; }
   /// True while an injected fault is armed and has not fired yet. Lets
   /// fault-matrix sweeps distinguish "op succeeded past the batch end"
-  /// (fault still armed) from "fault fired and rolled back".
+  /// (fault still armed) from "fault fired and rolled back". In async mode
+  /// call only with the channel quiesced (e.g. after a finish).
   [[nodiscard]] bool fault_armed() const noexcept { return fault_after_ >= 0; }
 
   /// Lifetime count of write ops this engine applied on the forward path
@@ -135,6 +242,8 @@ class UpdateEngine {
   /// operation, i.e. at every intermediate data-plane state of an update.
   /// Used by the consistency property tests to inject packets mid-update
   /// and assert no incorrectly processed packet is ever exposed (§4.3).
+  /// Serial mode only (in async mode the hook would run on the writer
+  /// thread).
   void set_step_observer(std::function<void()> observer) {
     step_observer_ = std::move(observer);
   }
@@ -147,20 +256,59 @@ class UpdateEngine {
     dp::WriteOp inverse;
   };
 
-  /// Charge one batched bfrt write of `count` entries to the virtual clock
-  /// and record it as a "bfrt.batch" span tagged with `what`.
-  void charge_entries(std::size_t count, const char* what);
-  /// Apply one memory-reset op: lock, zero, charge the block-reset model,
-  /// unlock (returns the block to the free list).
-  dp::WriteOp apply_mem_reset(const dp::WriteOp& op);
+  /// The writer thread's position on the virtual channel. `now` advances as
+  /// charges are recorded; `last_label` is the label of the last batch
+  /// pushed with no idle gap after it (the coalescing predecessor). Owned
+  /// by the writer thread while a job runs; persisted into the engine's
+  /// channel_cursor state between jobs.
+  struct ChannelCursor {
+    SimClock::Nanos now = 0;
+    std::string last_label;
+    std::vector<ChannelCharge>* charges = nullptr;
+  };
+
+  /// Charge one batched bfrt write of `count` entries. Serial (null
+  /// cursor): advance the clock, open a live "bfrt.batch" span, bump the
+  /// write counters. Async (writer thread): record a ChannelCharge against
+  /// the cursor, coalescing with a same-label predecessor (skips the
+  /// per-batch overhead).
+  void charge_batch(std::size_t count, const char* what, ChannelCursor* cursor);
+  /// Apply one memory-reset op. Serial: lock, zero, charge the block-reset
+  /// model, unlock (returns the block to the free list). Async: zero and
+  /// record the charge; the free is deferred to finish_remove via
+  /// `outcome->deferred_frees`.
+  dp::WriteOp apply_mem_reset(const dp::WriteOp& op, ChannelCursor* cursor,
+                              WriteOutcome* outcome);
   /// Unwind a journal in reverse order (uncharged — rollback writes are
   /// free, matching the pre-refactor unwinding).
   void unwind(std::vector<JournalEntry>& journal);
   /// Unwind a failed removal: re-reserve reset blocks, restore their bytes,
   /// re-add deleted entries and patch the fresh handles back into `program`.
+  /// `deferred_frees` true (async): the reset blocks were never freed (the
+  /// free is deferred to finish), so reclaiming them is skipped.
   void rollback_remove(const dp::WriteBatch& batch,
                        std::vector<JournalEntry>& journal,
-                       InstalledProgram& program);
+                       InstalledProgram& program, bool deferred_frees);
+
+  /// Shared forward-path cores. Null cursor = serial (live telemetry, clock
+  /// charges); non-null = writer thread (charge recording only).
+  Result<AppliedEntries> run_install(const dp::WriteBatch& batch,
+                                     ChannelCursor* cursor);
+  Status run_remove(const dp::WriteBatch& batch, InstalledProgram& program,
+                    ChannelCursor* cursor, WriteOutcome* outcome);
+
+  /// Writer-thread bracket around one job: position the cursor at
+  /// max(submission, channel backlog), dropping the coalescing label across
+  /// idle gaps; persist the cursor when the job ends.
+  [[nodiscard]] ChannelCursor begin_job(SimClock::Nanos submitted_ns,
+                                        WriteOutcome* outcome);
+  void end_job(const ChannelCursor& cursor);
+
+  /// Replay a completed job's charges into the tracer (closed spans at the
+  /// recorded virtual times, stamped with the submit-time trace id) and the
+  /// ctrl.bfrt.* counters. Caller holds the session lock.
+  void emit_charges(const WriteOutcome& outcome);
+  void update_queue_gauge();
 
   /// Called once per applied forward op — the same granularity as the fault
   /// indices — so it also maintains writes_applied().
@@ -189,6 +337,13 @@ class UpdateEngine {
   ResourceManager& resources_;
   SimClock& clock_;
   BfrtCostModel cost_;
+
+  // Channel-cursor state between async jobs: virtual time the channel
+  // drains at, and the coalescing label. Touched only on the writer thread
+  // (begin_job/end_job); the jobs' FIFO order makes it deterministic.
+  SimClock::Nanos channel_cursor_ns_ = 0;
+  std::string channel_last_label_;
+  std::unique_ptr<AsyncWriter> writer_;  ///< non-null = async mode
 };
 
 }  // namespace p4runpro::ctrl

@@ -102,6 +102,15 @@ class TraceScope {
       minted_ = true;
     }
   }
+  /// Re-adopt a previously captured context (async commit dance): a session
+  /// that released the lock for a channel wait captures the active context
+  /// before unlocking and re-installs it here after re-locking, so the
+  /// finish-side spans and monitor events carry the operation's trace id.
+  TraceScope(Telemetry* telemetry, TraceContext adopt) : telemetry_(telemetry) {
+    if (telemetry_ == nullptr) return;
+    prev_ = telemetry_->active_trace;
+    telemetry_->active_trace = adopt;
+  }
   TraceScope(const TraceScope&) = delete;
   TraceScope& operator=(const TraceScope&) = delete;
   ~TraceScope() {

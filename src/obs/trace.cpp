@@ -75,6 +75,31 @@ SpanTracer::Scope SpanTracer::span(std::string_view name, std::string_view cat) 
   return Scope{this, index, generation_};
 }
 
+void SpanTracer::record_span(std::string_view name, std::string_view cat,
+                             SimClock::Nanos start_vns, SimClock::Nanos end_vns,
+                             std::uint64_t trace,
+                             std::vector<std::pair<std::string, std::string>> args) {
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return;
+  }
+  SpanRecord record;
+  record.name = std::string(name);
+  record.cat = std::string(cat);
+  record.parent = open_stack_.empty()
+                      ? -1
+                      : static_cast<std::ptrdiff_t>(open_stack_.back());
+  record.depth = static_cast<int>(open_stack_.size());
+  record.trace = trace;
+  record.start_vns = start_vns;
+  record.end_vns = end_vns;
+  record.start_wall_ms = wall_.elapsed_ms();
+  record.wall_ms = 0.0;  // retrospective record: no wall duration to report
+  record.open = false;
+  record.args = std::move(args);
+  spans_.push_back(std::move(record));
+}
+
 SpanRecord* SpanTracer::live_span(std::size_t index, std::uint64_t generation) {
   if (generation != generation_ || index >= spans_.size()) return nullptr;
   return spans_[index].open ? &spans_[index] : nullptr;

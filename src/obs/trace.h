@@ -100,6 +100,18 @@ class SpanTracer {
   /// open descendants at the same instant.
   [[nodiscard]] Scope span(std::string_view name, std::string_view cat = "");
 
+  /// Record an already-completed span with explicit virtual start/end times
+  /// and an explicit trace id. Used by the async control channel: the
+  /// writer thread charges batches off-thread, and the caller replays them
+  /// into the tracer at completion time, stamped with the trace id captured
+  /// at submission (not whatever context is active at finish). The record
+  /// parents under the currently open span and never anchors the active
+  /// trace context. Subject to the same capacity cap as span().
+  void record_span(std::string_view name, std::string_view cat,
+                   SimClock::Nanos start_vns, SimClock::Nanos end_vns,
+                   std::uint64_t trace,
+                   std::vector<std::pair<std::string, std::string>> args = {});
+
   [[nodiscard]] const std::vector<SpanRecord>& spans() const noexcept { return spans_; }
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
 

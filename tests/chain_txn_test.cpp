@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "apps/program_library.h"
@@ -133,11 +134,21 @@ const obs::MonitorEvent* last_event(const ChainBed& bed,
   return nullptr;
 }
 
-class ChainFaultMatrix : public ::testing::TestWithParam<int> {};
+/// (chain length, async channel). The async rows drive every sweep through
+/// the pipelined phase 2: faults surface on a hop's writer thread at settle
+/// time, with later hops' writes already in flight — the unwind must still
+/// restore every hop byte-identically.
+class ChainFaultMatrix
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {
+ protected:
+  [[nodiscard]] int length() const { return std::get<0>(GetParam()); }
+  [[nodiscard]] bool async() const { return std::get<1>(GetParam()); }
+};
 
 TEST_P(ChainFaultMatrix, DeployFaultSweepRestoresChainByteIdentically) {
-  const int length = GetParam();
+  const int length = this->length();
   ChainBed bed(length);
+  bed.controller.set_async_writes(async());
   auto cache = bed.controller.link(cache_source());
   ASSERT_TRUE(cache.ok()) << cache.error().str();
   for (MemAddr a = 0; a < 16; ++a) {
@@ -179,8 +190,9 @@ TEST_P(ChainFaultMatrix, DeployFaultSweepRestoresChainByteIdentically) {
 }
 
 TEST_P(ChainFaultMatrix, RelinkFaultSweepKeepsOldVersionChainWide) {
-  const int length = GetParam();
+  const int length = this->length();
   ChainBed bed(length);
+  bed.controller.set_async_writes(async());
   auto cache = bed.controller.link(cache_source());
   ASSERT_TRUE(cache.ok()) << cache.error().str();
   ProgramId old_id = cache.value().id;
@@ -232,10 +244,11 @@ TEST_P(ChainFaultMatrix, RelinkFaultSweepKeepsOldVersionChainWide) {
 }
 
 TEST_P(ChainFaultMatrix, RevokeFaultSweepRestoresProgramChainWide) {
-  const int length = GetParam();
+  const int length = this->length();
   for (int hop = 0; hop < length; ++hop) {
     SCOPED_TRACE("faulted hop " + std::to_string(hop));
     ChainBed bed(length);
+    bed.controller.set_async_writes(async());
     auto cache = bed.controller.link(cache_source());
     ASSERT_TRUE(cache.ok()) << cache.error().str();
     const ProgramId id = cache.value().id;
@@ -280,10 +293,72 @@ TEST_P(ChainFaultMatrix, RevokeFaultSweepRestoresProgramChainWide) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Lengths, ChainFaultMatrix, ::testing::Values(2, 3, 4),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return "chain" + std::to_string(info.param);
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Lengths, ChainFaultMatrix,
+    ::testing::Combine(::testing::Values(2, 3, 4), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<int, bool>>& info) {
+      return "chain" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_async" : "_serial");
+    });
+
+TEST(ChainTxn, PipelinedCommitOverlapsHopChannels) {
+  // Same deploy, same chain, two channel modes. The pipelined commit must
+  // (a) leave every hop byte-identical to the serial commit and (b) cut the
+  // chain's update delay from sum-of-hops to roughly max-of-hops.
+  ChainBed serial(4);
+  ChainBed pipelined(4);
+  serial.controller.set_fixed_alloc_charge_ms(5.0);
+  pipelined.controller.set_fixed_alloc_charge_ms(5.0);
+  pipelined.controller.set_async_writes(true);
+
+  auto serial_link = serial.controller.link(cache_source());
+  ASSERT_TRUE(serial_link.ok()) << serial_link.error().str();
+  auto pipelined_link = pipelined.controller.link(cache_source());
+  ASSERT_TRUE(pipelined_link.ok()) << pipelined_link.error().str();
+
+  // Byte-identical outcome: pipelining reorders channel traffic across
+  // hops, never the per-hop write sequence (§4.3 ordering is per-hop).
+  EXPECT_TRUE(capture(serial) == capture(pipelined))
+      << "pipelined commit produced different chain state than serial";
+
+  const double serial_update = serial_link.value().stats.update_ms;
+  const double pipelined_update = pipelined_link.value().stats.update_ms;
+  ASSERT_GT(serial_update, 0.0);
+  ASSERT_GT(pipelined_update, 0.0);
+  // 4 hops drain concurrently: the pipelined update delay collapses to one
+  // hop's channel time (plus submit slivers), far below half the serial sum.
+  EXPECT_LT(pipelined_update, serial_update / 2.0)
+      << "pipelined=" << pipelined_update << " serial=" << serial_update;
+  EXPECT_LT(pipelined_link.value().stats.deploy_ms(),
+            serial_link.value().stats.deploy_ms());
+
+  // The pipelined revoke overlaps the hop channels the same way.
+  const double t0 = pipelined.clock.now_ms();
+  ASSERT_TRUE(pipelined.controller.revoke(pipelined_link.value().id).ok());
+  const double pipelined_revoke = pipelined.clock.now_ms() - t0;
+  const double s0 = serial.clock.now_ms();
+  ASSERT_TRUE(serial.controller.revoke(serial_link.value().id).ok());
+  const double serial_revoke = serial.clock.now_ms() - s0;
+  EXPECT_LT(pipelined_revoke, serial_revoke / 2.0)
+      << "pipelined=" << pipelined_revoke << " serial=" << serial_revoke;
+  EXPECT_TRUE(capture(serial) == capture(pipelined));
+}
+
+TEST(ChainTxn, PipelinedUpdateDelayIsFlatInChainLength) {
+  // max-of-hops, not sum-of-hops: the pipelined update delay of a mirror
+  // deploy must not grow with the number of hops.
+  std::vector<double> update_ms;
+  for (const int length : {2, 3, 4}) {
+    ChainBed bed(length);
+    bed.controller.set_fixed_alloc_charge_ms(5.0);
+    bed.controller.set_async_writes(true);
+    auto linked = bed.controller.link(cache_source());
+    ASSERT_TRUE(linked.ok()) << linked.error().str();
+    update_ms.push_back(linked.value().stats.update_ms);
+  }
+  EXPECT_DOUBLE_EQ(update_ms[0], update_ms[1]);
+  EXPECT_DOUBLE_EQ(update_ms[1], update_ms[2]);
+}
 
 TEST(ChainTxn, StarvedHopAbortsTheWholeDeployBeforeAnyWrite) {
   ChainBed bed(3);

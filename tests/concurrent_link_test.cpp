@@ -161,6 +161,89 @@ TEST(ConcurrentLink, WavesOfLinkAndRevokeLeaveNoResidue) {
   }
 }
 
+// --- async-channel stress: sessions park off-lock while the writer thread
+// drains their batches. Exercises the submit/park/settle dance, the
+// pending-name guard and the writer's fault reporting under real
+// concurrency; runs under TSan in CI alongside the rest of this file.
+
+TEST(ConcurrentLink, AsyncSessionsOverlapWriterAndCommit) {
+  Testbed bed;
+  bed.controller.set_async_writes(true);
+  common::ThreadPool pool(4);
+  const auto sources = workload(8);
+
+  const auto results = bed.controller.link_many(sources, pool);
+  ASSERT_EQ(results.size(), sources.size());
+  std::set<ProgramId> ids;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok())
+        << "source " << i << ": " << results[i].error().str();
+    EXPECT_TRUE(ids.insert(results[i].value().id).second)
+        << "duplicate program id";
+  }
+  EXPECT_EQ(bed.controller.program_count(), sources.size());
+  expect_books_balance(bed);
+
+  // Monitoring queries quiesce the channel: safe concurrently with nothing
+  // in flight and consistent afterwards.
+  EXPECT_EQ(bed.controller.running_programs().size(), sources.size());
+}
+
+TEST(ConcurrentLink, AsyncFaultedSessionRollsBackAloneAndOthersCommit) {
+  Testbed bed;
+  bed.controller.set_async_writes(true);
+  common::ThreadPool pool(4);
+  const auto sources = workload(6);
+
+  // The fault fires once, on the WRITER thread, and surfaces when the
+  // victim session settles; its rollback runs on the session thread while
+  // other sessions keep submitting.
+  bed.controller.updates().set_fault_after_writes(2);
+  const auto results = bed.controller.link_many(sources, pool);
+  ASSERT_EQ(results.size(), sources.size());
+
+  int failed = 0;
+  for (const auto& result : results) {
+    if (result.ok()) continue;
+    ++failed;
+    EXPECT_EQ(result.error().code, ErrorCode::ChannelError);
+  }
+  EXPECT_EQ(failed, 1);
+  EXPECT_EQ(bed.controller.program_count(), sources.size() - 1);
+  expect_books_balance(bed);
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].ok()) continue;
+    auto retry = bed.controller.link_single(sources[i]);
+    ASSERT_TRUE(retry.ok()) << retry.error().str();
+  }
+  EXPECT_EQ(bed.controller.program_count(), sources.size());
+  expect_books_balance(bed);
+}
+
+TEST(ConcurrentLink, AsyncWavesOfLinkAndRevokeLeaveNoResidue) {
+  Testbed bed;
+  bed.controller.set_async_writes(true);
+  common::ThreadPool pool(common::ThreadPool::default_thread_count());
+  for (int wave = 0; wave < 3; ++wave) {
+    const auto results = bed.controller.link_many(workload(9), pool);
+    for (const auto& result : results) {
+      ASSERT_TRUE(result.ok()) << result.error().str();
+    }
+    expect_books_balance(bed);
+    // Async revokes defer their memory frees to settle time; after the
+    // wave every book must still drain to zero.
+    for (const ProgramId id : bed.controller.running_programs()) {
+      ASSERT_TRUE(bed.controller.revoke(id).ok());
+    }
+    EXPECT_EQ(bed.controller.program_count(), 0u);
+    for (int rpb = 1; rpb <= bed.dataplane.spec().total_rpbs(); ++rpb) {
+      EXPECT_EQ(bed.controller.resources().entries_used(rpb), 0u);
+      EXPECT_EQ(bed.controller.resources().memory_used(rpb), 0u);
+    }
+  }
+}
+
 TEST(ConcurrentLink, SerialAndParallelReachTheSameOccupancy) {
   const auto sources = workload(6);
 
@@ -286,6 +369,34 @@ TEST(ChainConcurrentLink, OneFaultedSessionRollsBackChainWideOthersCommit) {
   }
   EXPECT_EQ(bed.controller.program_count(), sources.size());
   expect_chain_books_balance(bed);
+}
+
+TEST(ChainConcurrentLink, AsyncPipelinedSessionsCommitOnEveryHop) {
+  ChainTestbed bed;
+  bed.controller.set_async_writes(true);
+  common::ThreadPool pool(4);
+  const auto sources = workload(6);
+
+  const auto results = bed.controller.link_many(sources, pool);
+  ASSERT_EQ(results.size(), sources.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok())
+        << "source " << i << ": " << results[i].error().str();
+  }
+  EXPECT_EQ(bed.controller.program_count(), sources.size());
+  expect_chain_books_balance(bed);
+
+  // Pipelined chain revokes drain the books on every hop.
+  for (const ProgramId id : bed.controller.running_programs()) {
+    ASSERT_TRUE(bed.controller.revoke(id).ok());
+  }
+  EXPECT_EQ(bed.controller.program_count(), 0u);
+  for (int hop = 0; hop < kChainHops; ++hop) {
+    for (int rpb = 1; rpb <= chain_spec().total_rpbs(); ++rpb) {
+      EXPECT_EQ(bed.controller.resources(hop).entries_used(rpb), 0u);
+      EXPECT_EQ(bed.controller.resources(hop).memory_used(rpb), 0u);
+    }
+  }
 }
 
 TEST(ChainConcurrentLink, WavesOfChainLinkAndRevokeLeaveNoResidue) {

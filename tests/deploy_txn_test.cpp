@@ -85,8 +85,24 @@ struct Testbed {
   ctrl::Controller controller{dataplane, clock};
 };
 
-TEST(DeployTxn, FaultSweepRestoresStateByteIdentically) {
+/// Every fault sweep runs twice: once through the serial channel (fault
+/// raised on the caller's thread, unwound in place) and once through the
+/// async writer (fault raised on the writer thread, reported at settle
+/// time, unwound by the same journal). Both must restore byte-identical
+/// state at every write index.
+class DeployTxnFaults : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override { bed.controller.set_async_writes(GetParam()); }
   Testbed bed;
+};
+
+INSTANTIATE_TEST_SUITE_P(Channels, DeployTxnFaults, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "async" : "serial";
+                         });
+
+TEST_P(DeployTxnFaults, FaultSweepRestoresStateByteIdentically) {
+  Testbed& bed = this->bed;
   auto cache = bed.controller.link_single(cache_source());
   ASSERT_TRUE(cache.ok()) << cache.error().str();
   // Populate the running program's memory so a sloppy rollback that resets
@@ -121,8 +137,8 @@ TEST(DeployTxn, FaultSweepRestoresStateByteIdentically) {
   EXPECT_TRUE(capture(bed.dataplane, bed.controller) == before);
 }
 
-TEST(DeployTxn, RelinkFaultSweepKeepsOldVersionIntact) {
-  Testbed bed;
+TEST_P(DeployTxnFaults, RelinkFaultSweepKeepsOldVersionIntact) {
+  Testbed& bed = this->bed;
   auto cache = bed.controller.link_single(cache_source());
   ASSERT_TRUE(cache.ok()) << cache.error().str();
   const ProgramId old_id = cache.value().id;
@@ -165,8 +181,8 @@ TEST(DeployTxn, RelinkFaultSweepKeepsOldVersionIntact) {
   EXPECT_EQ(bed.controller.program_count(), 1u);
 }
 
-TEST(DeployTxn, RevokeFaultRestoresTheProgram) {
-  Testbed bed;
+TEST_P(DeployTxnFaults, RevokeFaultRestoresTheProgram) {
+  Testbed& bed = this->bed;
   auto cache = bed.controller.link_single(cache_source());
   ASSERT_TRUE(cache.ok());
   const ProgramId id = cache.value().id;
