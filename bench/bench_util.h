@@ -35,6 +35,10 @@ struct SidecarFlags {
   /// TimeSeriesStore; the sampled series are appended to the
   /// --telemetry-out JSONL as {"type":"series",...} lines.
   std::string telemetry_every_ms;
+  /// --shards: shard counts for the binaries with a sharded mode
+  /// (micro_dataplane rate suite, fig9_capacity trial pool). "" = binary
+  /// default. micro_dataplane accepts a comma list ("1,2,4").
+  std::string shards;
   std::vector<bool> consumed;  ///< per-argv index, true = ours
 
   [[nodiscard]] static SidecarFlags parse(int argc, char** argv) {
@@ -66,6 +70,7 @@ struct SidecarFlags {
       if (match(i, "--alerts-out", flags.alerts_path)) continue;
       if (match(i, "--flight-out", flags.flight_path)) continue;
       if (match(i, "--bench-json-out", flags.bench_json_path)) continue;
+      if (match(i, "--shards", flags.shards)) continue;
     }
     return flags;
   }

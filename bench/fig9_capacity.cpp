@@ -6,6 +6,7 @@
 // elastic-block growth hurts capacity more than memory growth (TCAM is the
 // scarcer resource).
 #include <cstdio>
+#include <cstdlib>
 #include <future>
 #include <iterator>
 #include <vector>
@@ -42,6 +43,13 @@ traffic::WorkloadGenerator make(const std::string& key, std::uint32_t mem,
 
 int main(int argc, char** argv) {
   p4runpro::bench::TelemetryScope telemetry_scope(argc, argv);
+  // --shards N: width of the trial pool (how many capacity trials run
+  // concurrently). Default: the hardware thread count.
+  unsigned pool_width = common::ThreadPool::default_thread_count();
+  if (!telemetry_scope.flags().shards.empty()) {
+    const int parsed = std::atoi(telemetry_scope.flags().shards.c_str());
+    if (parsed > 0) pool_width = static_cast<unsigned>(parsed);
+  }
   bench::heading("Fig. 9: program capacity");
   std::printf("%-10s | %9s | %9s | %9s | %11s | %11s\n", "workload",
               "base", "mem 2KB", "mem 4KB", "elastic 16", "elastic 256");
@@ -55,7 +63,7 @@ int main(int argc, char** argv) {
     int elastic;
   } kConfigs[] = {{256, 2}, {512, 2}, {1024, 2}, {256, 16}, {256, 256}};
 
-  common::ThreadPool pool;
+  common::ThreadPool pool(pool_width);
   std::vector<std::vector<std::future<int>>> trials;
   for (const char* key : kWorkloads) {
     auto& row = trials.emplace_back();

@@ -9,11 +9,17 @@
 // root is regenerated exactly this way (see docs/PERFORMANCE.md).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <future>
+#include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/program_library.h"
@@ -279,6 +285,115 @@ std::vector<RateSample> run_rate_suite(std::chrono::milliseconds budget) {
   return samples;
 }
 
+// --- sharded multi-pipe suite (one shared switch state, N pipes) ----------
+
+struct ShardedSample {
+  std::string name;     ///< program shape, e.g. "cache_hit"
+  int shards;           ///< pipe count
+  double capacity_pps;  ///< CPU-time-normalized: pkts / (busy_cpu / shards)
+  double wall_pps;      ///< wall-clock rate (machine-dependent; see docs)
+};
+
+double thread_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// The snapshot-data-plane scaling measurement: ONE bed (one shared set of
+/// master tables and one snapshot hub), N shard workers hammering
+/// inject_batch_on concurrently. capacity_pps divides total packets by the
+/// average busy CPU time per shard — the throughput of N hardware pipes —
+/// so the committed numbers are meaningful on any host core count (CI runs
+/// on 1-2 cores where wall_pps cannot scale; see docs/PERFORMANCE.md).
+std::vector<ShardedSample> run_sharded_suite(std::chrono::milliseconds budget,
+                                             const std::vector<int>& counts) {
+  struct Shape {
+    const char* name;
+    const char* program;  // nullptr = no program linked
+    rmt::Packet pkt;
+  };
+  const Shape kShapes[] = {
+      {"unclaimed", nullptr, hh_packet()},
+      {"cache_hit", "cache", cache_packet()},
+  };
+
+  std::vector<ShardedSample> samples;
+  for (const Shape& shape : kShapes) {
+    Bed bed;
+    if (shape.program != nullptr) link_program(bed, shape.program);
+    bed.dataplane.pipeline().set_observer(nullptr);
+    const auto pkts = batch_of(shape.pkt);
+
+    for (const int shards : counts) {
+      bed.dataplane.enable_sharding(shards);
+      std::atomic<bool> stop{false};
+      std::atomic<std::uint64_t> total_pkts{0};
+      std::vector<double> busy(static_cast<std::size_t>(shards), 0.0);
+
+      std::vector<std::thread> workers;
+      workers.reserve(static_cast<std::size_t>(shards));
+      const auto start = std::chrono::steady_clock::now();
+      for (int s = 0; s < shards; ++s) {
+        workers.emplace_back([&, s] {
+          const double cpu0 = thread_cpu_seconds();
+          std::uint64_t local = 0;
+          while (!stop.load(std::memory_order_relaxed)) {
+            benchmark::DoNotOptimize(bed.dataplane.inject_batch_on(s, pkts));
+            local += pkts.size();
+          }
+          busy[static_cast<std::size_t>(s)] = thread_cpu_seconds() - cpu0;
+          total_pkts.fetch_add(local, std::memory_order_relaxed);
+        });
+      }
+      std::this_thread::sleep_for(budget);
+      stop.store(true, std::memory_order_relaxed);
+      for (auto& worker : workers) worker.join();
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+      const double busy_total = std::accumulate(busy.begin(), busy.end(), 0.0);
+
+      ShardedSample sample;
+      sample.name = shape.name;
+      sample.shards = shards;
+      const double pkts_total = static_cast<double>(total_pkts.load());
+      sample.capacity_pps =
+          busy_total > 0.0 ? pkts_total / (busy_total / shards) : 0.0;
+      sample.wall_pps = wall > 0.0 ? pkts_total / wall : 0.0;
+      samples.push_back(std::move(sample));
+      bed.dataplane.disable_sharding();
+    }
+  }
+  return samples;
+}
+
+void print_sharded_suite(const std::vector<ShardedSample>& samples) {
+  bench::heading("Sharded multi-pipe rate (pkts/sec, one shared switch)");
+  std::printf("%-20s | %6s | %14s | %14s\n", "shape", "shards", "capacity",
+              "wall-clock");
+  bench::rule(64);
+  for (const auto& s : samples) {
+    std::printf("%-20s | %6d | %14.0f | %14.0f\n", s.name.c_str(), s.shards,
+                s.capacity_pps, s.wall_pps);
+  }
+}
+
+/// Comma-separated --shards list ("1,2,4"); the default when absent/empty.
+std::vector<int> parse_shard_counts(const std::string& csv) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const int value = std::atoi(csv.substr(pos, comma - pos).c_str());
+    if (value > 0) out.push_back(value);
+    pos = comma + 1;
+  }
+  if (out.empty()) out = {1, 2, 4};
+  return out;
+}
+
 void print_rate_suite(const std::vector<RateSample>& samples) {
   bench::heading("Packet-rate baseline (pkts/sec)");
   std::printf("%-20s | %14s | %14s\n", "shape", "batch fastpath", "inject+monitor");
@@ -290,6 +405,7 @@ void print_rate_suite(const std::vector<RateSample>& samples) {
 }
 
 void write_rate_json(const std::vector<RateSample>& samples,
+                     const std::vector<ShardedSample>& sharded,
                      const std::string& path) {
   std::ofstream out(path);
   if (!out) {
@@ -306,6 +422,17 @@ void write_rate_json(const std::vector<RateSample>& samples,
                   "\"inject_pps\": %.0f}%s\n",
                   s.name.c_str(), s.batch_pps, s.inject_pps,
                   i + 1 < samples.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n  \"sharded\": [\n";
+  for (std::size_t i = 0; i < sharded.size(); ++i) {
+    const auto& s = sharded[i];
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"shards\": %d, "
+                  "\"capacity_pps\": %.0f, \"wall_pps\": %.0f}%s\n",
+                  s.name.c_str(), s.shards, s.capacity_pps, s.wall_pps,
+                  i + 1 < sharded.size() ? "," : "");
     out << buf;
   }
   out << "  ]\n}\n";
@@ -342,8 +469,19 @@ int main(int argc, char** argv) {
   const auto budget = std::chrono::milliseconds(quick ? 20 : 300);
   const auto samples = run_rate_suite(budget);
   print_rate_suite(samples);
+  const auto shard_counts =
+      parse_shard_counts(telemetry_scope.flags().shards);
+  // The sharded rows feed a CI scaling gate, and their workers contend
+  // for cores with each other (and whatever else the runner schedules),
+  // so a 20 ms window can catch one shard mid-preemption and skew the
+  // busy-CPU normalization. Give them a longer floor even in quick mode;
+  // the suite is only shapes x shard-counts rows, so this stays cheap.
+  const auto shard_budget =
+      std::max(budget, std::chrono::milliseconds(100));
+  const auto sharded = run_sharded_suite(shard_budget, shard_counts);
+  print_sharded_suite(sharded);
   if (!telemetry_scope.flags().bench_json_path.empty()) {
-    write_rate_json(samples, telemetry_scope.flags().bench_json_path);
+    write_rate_json(samples, sharded, telemetry_scope.flags().bench_json_path);
   }
   return 0;
 }

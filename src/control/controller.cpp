@@ -22,7 +22,7 @@ Controller::Controller(dp::RunproDataplane& dataplane, SimClock& clock,
   // controller's virtual clock, and every layer reports into one registry.
   telemetry_->tracer.set_clock(&clock_);
   telemetry_->monitor.set_clock(&clock_);
-  dataplane_.pipeline().attach_telemetry(telemetry_);
+  dataplane_.attach_telemetry(telemetry_);
   dataplane_.pipeline().set_observer(&telemetry_->monitor);
   resources_.attach_telemetry(telemetry_);
   updates_.set_telemetry(telemetry_);
@@ -455,7 +455,7 @@ Status Controller::revoke(ProgramId id) {
     resources_.release_entries(rpb, count);
   }
   resources_.erase_program(id);
-  dataplane_.init_block().clear_counter(id);
+  dataplane_.clear_claim_counter(id);
   record_event(ControlEvent::Kind::Revoke, id, program.name);
   free_ids_.push_back(id);
   programs_.erase(id);
@@ -495,7 +495,7 @@ Status Controller::revoke_locked(ProgramId id) {
     resources_.release_entries(rpb, count);
   }
   resources_.erase_program(id);
-  dataplane_.init_block().clear_counter(id);
+  dataplane_.clear_claim_counter(id);
   record_event(ControlEvent::Kind::Revoke, id, program.name);
   free_ids_.push_back(id);
   programs_.erase(it);
@@ -585,7 +585,7 @@ std::vector<rmt::Packet> Controller::drain_reports() {
 std::uint64_t Controller::program_packets(ProgramId id) const {
   std::lock_guard<std::mutex> lock(mu_);
   updates_.wait_idle();
-  return dataplane_.init_block().claimed_packets(id);
+  return dataplane_.claimed_packets(id);
 }
 
 Result<std::vector<Word>> Controller::dump_memory(ProgramId id,

@@ -166,7 +166,7 @@ Result<UpdateEngine::AppliedEntries> UpdateEngine::execute_install(
     // Forward path completed: the pipeline's table state now belongs to the
     // active control operation. (Rollbacks do NOT stamp — the reverted state
     // still belongs to whichever earlier operation installed it.)
-    dataplane_.pipeline().note_table_update(
+    dataplane_.note_table_update(
         telemetry_ != nullptr ? telemetry_->active_trace.trace_id : 0);
   }
   return out;
@@ -294,7 +294,7 @@ Status UpdateEngine::remove(InstalledProgram& program) {
     announce_deploy(program);
     return removed;
   }
-  dataplane_.pipeline().note_table_update(
+  dataplane_.note_table_update(
       telemetry_ != nullptr ? telemetry_->active_trace.trace_id : 0);
   return removed;
 }
@@ -399,6 +399,12 @@ UpdateEngine::PendingWrite UpdateEngine::submit_install(
   writer_->enqueue([this, outcome, batch_ptr, submitted, promise] {
     ChannelCursor cursor = begin_job(submitted, outcome.get());
     outcome->applied = run_install(*batch_ptr, &cursor);
+    // Publish on the writer thread: it is the only table mutator in async
+    // mode, so the snapshot deep-copy cannot race a later queued job (the
+    // session thread in finish_install may run concurrently with one).
+    // Rollback (the !ok branch) publishes nothing — shard traffic never
+    // sees the faulted intermediate state.
+    if (outcome->applied->ok()) dataplane_.note_table_update(outcome->trace);
     end_job(cursor);
     outcome->completion_ns = cursor.now;
     promise->set_value();
@@ -415,9 +421,8 @@ Result<UpdateEngine::AppliedEntries> UpdateEngine::finish_install(
   emit_charges(outcome);
   update_queue_gauge();
   assert(outcome.applied.has_value());
-  if (outcome.applied->ok()) {
-    dataplane_.pipeline().note_table_update(outcome.trace);
-  }
+  // Table stamp + snapshot publication already happened on the writer
+  // thread, immediately after the run core (see submit_install).
   return std::move(*outcome.applied);
 }
 
@@ -448,6 +453,9 @@ UpdateEngine::PendingWrite UpdateEngine::submit_remove(
   writer_->enqueue([this, outcome, prog, submitted, promise] {
     ChannelCursor cursor = begin_job(submitted, outcome.get());
     outcome->removed = run_remove(*outcome->batch, *prog, &cursor, outcome.get());
+    // Same single-mutator rule as submit_install: publish here, not in
+    // finish_remove, and never after a fault-unwind.
+    if (outcome->removed->ok()) dataplane_.note_table_update(outcome->trace);
     end_job(cursor);
     outcome->completion_ns = cursor.now;
     promise->set_value();
@@ -468,7 +476,8 @@ Status UpdateEngine::finish_remove(PendingWrite& pending,
     for (const auto& [rpb, block] : outcome.deferred_frees) {
       resources_.unlock_memory(rpb, block);
     }
-    dataplane_.pipeline().note_table_update(outcome.trace);
+    // Table stamp + snapshot publication already happened on the writer
+    // thread, immediately after the run core (see submit_remove).
   } else {
     // Fault-unwind restored the program with fresh handles on the writer
     // thread; re-announce it so the monitor's installed set matches reality.

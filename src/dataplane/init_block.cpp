@@ -69,7 +69,11 @@ InitBlock::InitBlock(std::uint32_t per_table_capacity)
               FilterTable(kFilterKeyWidth, per_table_capacity),
               FilterTable(kFilterKeyWidth, per_table_capacity),
               FilterTable(kFilterKeyWidth, per_table_capacity),
-              FilterTable(kFilterKeyWidth, per_table_capacity)} {}
+              FilterTable(kFilterKeyWidth, per_table_capacity)},
+      // Every installed program occupies at least one filter entry, and the
+      // controller recycles ids of revoked programs, so the largest id ever
+      // handed out is bounded by the total entry capacity.
+      claimed_(static_cast<std::size_t>(kNumParsePaths) * per_table_capacity + 2) {}
 
 ParsePath InitBlock::path_of(const rmt::Phv& phv) noexcept {
   if (phv.parse_bitmap & rmt::kParseApp) return ParsePath::App;
@@ -100,11 +104,17 @@ void InitBlock::process(rmt::Phv& phv) {
       l4_src,
       l4_dst,
       pkt.eth.ether_type};
-  const ProgramId* program = tables_[static_cast<std::size_t>(path)].lookup(fields);
+  // Bound (snapshot) lookups use a null stats sink: the snapshot tables
+  // are shared across shards and their probe counters must stay untouched.
+  const ProgramId* program =
+      bound_ != nullptr
+          ? (*bound_)[static_cast<std::size_t>(path)].lookup(fields, nullptr)
+          : tables_[static_cast<std::size_t>(path)].lookup(fields);
   if (program != nullptr) {
     phv.program_id = *program;
-    if (claimed_.size() <= *program) claimed_.resize(*program + 1u, 0);
-    ++claimed_[*program];
+    if (*program < claimed_.size()) {
+      claimed_[*program].fetch_add(1, std::memory_order_relaxed);
+    }
     if (phv.trace != nullptr) {
       phv.trace->push_back("init: claimed by program " + std::to_string(*program));
     }
@@ -156,11 +166,15 @@ const FilterTable& InitBlock::table(ParsePath path) const {
 }
 
 std::uint64_t InitBlock::claimed_packets(ProgramId program) const {
-  return claimed_.size() <= program ? 0 : claimed_[program];
+  return claimed_.size() <= program
+             ? 0
+             : claimed_[program].load(std::memory_order_relaxed);
 }
 
 void InitBlock::clear_counter(ProgramId program) {
-  if (claimed_.size() > program) claimed_[program] = 0;
+  if (claimed_.size() > program) {
+    claimed_[program].store(0, std::memory_order_relaxed);
+  }
 }
 
 std::size_t InitBlock::total_entries() const noexcept {

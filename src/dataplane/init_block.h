@@ -5,6 +5,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -73,6 +74,14 @@ class InitBlock final : public rmt::PipelineStage {
   [[nodiscard]] const FilterTable& table(ParsePath path) const;
   [[nodiscard]] std::size_t total_entries() const noexcept;
 
+  /// Redirect claim lookups to a frozen snapshot's filter tables (nullptr =
+  /// back to the own/master tables). Shard instances are re-bound at every
+  /// batch start; the per-program claim counters stay on THIS instance
+  /// (shard-local mutable state), only the match tables are shared.
+  void bind_tables(const std::array<FilterTable, kNumParsePaths>* tables) noexcept {
+    bound_ = tables;
+  }
+
   /// Which path a parsed packet takes (deepest parsed header wins).
   [[nodiscard]] static ParsePath path_of(const rmt::Phv& phv) noexcept;
 
@@ -83,10 +92,14 @@ class InitBlock final : public rmt::PipelineStage {
 
  private:
   std::array<FilterTable, kNumParsePaths> tables_;
-  /// Per-program claim counters, indexed by program id (grown on demand;
-  /// program ids are small controller-assigned integers). Vector-indexed so
-  /// the per-packet increment is a single array store.
-  std::vector<std::uint64_t> claimed_;
+  const std::array<FilterTable, kNumParsePaths>* bound_ = nullptr;
+  /// Per-program claim counters, indexed by program id. Fixed capacity
+  /// (program ids are recycled, so the max live id is bounded by the total
+  /// filter-entry capacity) and relaxed atomics: they model pipe-local
+  /// hardware registers, where a control-plane clear racing the owning
+  /// pipe's increment resolves per-word without tearing. Only the owning
+  /// shard's traffic increments a given instance's counters.
+  std::vector<std::atomic<std::uint64_t>> claimed_;
 };
 
 }  // namespace p4runpro::dp

@@ -8,11 +8,16 @@ RecircBlock::RecircBlock(std::uint32_t capacity) : table_(2, capacity) {}
 
 void RecircBlock::process(rmt::Phv& phv) {
   if (phv.program_id == 0) return;
+  const auto& table = read_table();
   // Single-pass deployments leave this table empty: skip the lookup.
-  if (table_.size() == 0) return;
+  if (table.size() == 0) return;
   const std::array<Word, 2> fields = {static_cast<Word>(phv.program_id),
                                       static_cast<Word>(phv.recirc_id)};
-  if (table_.lookup(fields) != nullptr) {
+  // Bound (snapshot) lookups drop probe accounting: the snapshot table is
+  // shared across shards and its mutable stats member must stay untouched.
+  const bool hit = bound_ != nullptr ? table.lookup(fields, nullptr) != nullptr
+                                     : table.lookup(fields) != nullptr;
+  if (hit) {
     phv.recirculate = true;
     if (phv.trace != nullptr) {
       phv.trace->push_back("recirc: another round (r" +

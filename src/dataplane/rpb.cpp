@@ -30,9 +30,11 @@ Rpb::Rpb(int physical_id, bool ingress, std::uint32_t memory_size,
 void Rpb::process(rmt::Phv& phv) {
   if (phv.program_id == 0) return;  // no program claimed this packet
 
+  const bool bound = bound_ != nullptr;
+  const RpbTable& table = read_table();
   // Provisioned-but-unused stage: nothing can match. Skip the cache and
   // lookup machinery but keep the per-stage miss accounting identical.
-  if (table_.size() == 0) {
+  if (table.size() == 0) {
     if (stats_ != nullptr) ++stats_->table_misses;
     ++phv.pkt_table_misses;
     return;
@@ -41,12 +43,15 @@ void Rpb::process(rmt::Phv& phv) {
   // Match cache: the winning entry for a (program, branch, recirc) triple
   // is a pure function of the triple unless some candidate entry keys on
   // the Har/Sar/Mar registers. Serve repeats from the cache; revalidate
-  // against the table generation so entry churn invalidates instantly.
-  const std::uint64_t generation = table_.generation();
+  // against the table generation (master path) or the bound snapshot's
+  // never-repeating epoch (sharded path) so entry churn and snapshot swaps
+  // both invalidate instantly and a stale slot can never resurrect a
+  // pointer into a superseded snapshot.
+  const std::uint64_t tag = bound ? bound_epoch_ : table.generation();
   const std::uint64_t key = cache_key(phv.program_id, phv.branch_id, phv.recirc_id);
   CacheSlot& slot = match_cache_[cache_slot_index(key)];
   const RpbAction* action;
-  if (slot.generation == generation && slot.key == key) {
+  if (slot.tag == tag && slot.key == key) {
     action = slot.action;
     ++match_cache_hits_;
     if (stats_ != nullptr) ++stats_->match_cache_hits;
@@ -55,9 +60,11 @@ void Rpb::process(rmt::Phv& phv) {
         static_cast<Word>(phv.program_id), static_cast<Word>(phv.branch_id),
         static_cast<Word>(phv.recirc_id),  phv.reg(Reg::Har),
         phv.reg(Reg::Sar),                 phv.reg(Reg::Mar)};
-    action = table_.lookup(fields);
-    if ((table_.key_use(phv.program_id) & kRegisterKeyMask) == 0) {
-      slot = CacheSlot{generation, key, action};
+    // Bound (snapshot) lookups use a null stats sink: the snapshot table
+    // is shared across shards and its probe counters must stay untouched.
+    action = bound ? table.lookup(fields, nullptr) : table.lookup(fields);
+    if ((table.key_use(phv.program_id) & kRegisterKeyMask) == 0) {
+      slot = CacheSlot{tag, key, action};
     }
   }
   if (action == nullptr) {

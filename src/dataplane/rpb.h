@@ -56,9 +56,30 @@ class Rpb final : public rmt::PipelineStage {
 
   void process(rmt::Phv& phv) override;
 
-  /// Entry management (called by the update engine).
+  /// Entry management (called by the update engine). Always the master
+  /// table, even when a snapshot is bound: control writes never touch a
+  /// published snapshot.
   RpbTable& table() noexcept { return table_; }
   [[nodiscard]] const RpbTable& table() const noexcept { return table_; }
+
+  /// Redirect match lookups to a frozen snapshot table, tagged with the
+  /// snapshot's globally unique epoch (nullptr/0 = back to the own table).
+  /// Shard instances are re-bound at every batch start. The epoch becomes
+  /// the match-cache validity tag: epochs never repeat, so a cache slot
+  /// filled against a superseded snapshot can never validate again — a
+  /// per-table generation could collide across snapshots whose OTHER
+  /// tables differ, and the cached action pointer would dangle into freed
+  /// snapshot storage.
+  void bind_table(const RpbTable* table, std::uint64_t epoch) noexcept {
+    bound_ = table;
+    bound_epoch_ = epoch;
+  }
+
+  /// The table lookups currently read from: the bound snapshot table when
+  /// sharded, the own/master table otherwise.
+  [[nodiscard]] const RpbTable& read_table() const noexcept {
+    return bound_ != nullptr ? *bound_ : table_;
+  }
 
   rmt::StageMemory& memory() noexcept { return memory_; }
   [[nodiscard]] const rmt::StageMemory& memory() const noexcept { return memory_; }
@@ -81,14 +102,16 @@ class Rpb final : public rmt::PipelineStage {
   void execute(const AtomicOp& op, rmt::Phv& phv);
 
   /// Direct-mapped match cache over the (program, branch, recirc) control
-  /// flags. A cached winner is valid only while the table generation is
+  /// flags. A cached winner is valid only while the validity tag is
   /// unchanged AND no entry that could match the program keys on the
   /// Har/Sar/Mar components (checked via RpbTable::key_use at fill time),
   /// so conditional-branch and register-keyed programs stay exact. Misses
   /// (nullptr winners) are cached too under the same validity rule.
+  /// The tag is the own table's generation on the master path and the
+  /// bound snapshot's epoch on the sharded path (see bind_table).
   struct CacheSlot {
-    std::uint64_t generation = 0;  ///< 0 = empty (table generations start at 1)
-    std::uint64_t key = 0;         ///< packed (program, branch, recirc) triple
+    std::uint64_t tag = 0;  ///< 0 = empty (generations and epochs start at 1)
+    std::uint64_t key = 0;  ///< packed (program, branch, recirc) triple
     const RpbAction* action = nullptr;
   };
   static constexpr std::size_t kMatchCacheSlots = 64;  // power of two
@@ -114,6 +137,8 @@ class Rpb final : public rmt::PipelineStage {
   int physical_id_;
   bool ingress_;
   RpbTable table_;
+  const RpbTable* bound_ = nullptr;
+  std::uint64_t bound_epoch_ = 0;
   rmt::StageMemory memory_;
   rmt::HashAlgo hash16_;
   rmt::StageStats* stats_ = nullptr;

@@ -2,47 +2,176 @@
 
 #include <cassert>
 
+#include "obs/telemetry.h"
+
 namespace p4runpro::dp {
 
-RunproDataplane::RunproDataplane(DataplaneSpec spec, rmt::ParserConfig parser_config)
-    : spec_(spec),
-      // The pipeline's recirculation allowance is a hardware property; the
-      // compiler-facing R in the spec bounds *programs*, while the frame
-      // tolerates one extra pass as headroom for misconfigured entries.
-      pipeline_(std::move(parser_config), spec.max_recirculations + 1) {
+namespace {
+
+/// Wires one pipeline's stages (master and shard pipes are built the same
+/// way; only the master's blocks ever receive control writes).
+struct WiredBlocks {
+  std::shared_ptr<InitBlock> init;
+  std::vector<std::shared_ptr<Rpb>> rpbs;
+  std::shared_ptr<RecircBlock> recirc;
+};
+
+WiredBlocks wire_blocks(rmt::Pipeline& pipeline, const DataplaneSpec& spec) {
+  WiredBlocks blocks;
   // The filtering tables sit in stage 0 alongside no RPB, so they get a
   // deeper TCAM share: program capacity must not be bottlenecked by
   // filters (the paper's lb capacity of ~2.8K programs needs > 2048
   // filter entries per parse path).
-  init_ = std::make_shared<InitBlock>(spec_.entries_per_rpb * 4);
-  recirc_ = std::make_shared<RecircBlock>(spec_.entries_per_rpb);
+  blocks.init = std::make_shared<InitBlock>(spec.entries_per_rpb * 4);
+  blocks.recirc = std::make_shared<RecircBlock>(spec.entries_per_rpb);
 
   std::vector<std::shared_ptr<Rpb>> ingress_rpbs;
-  for (int i = 1; i <= spec_.ingress_rpbs; ++i) {
-    auto rpb = std::make_shared<Rpb>(i, /*ingress=*/true, spec_.memory_per_rpb,
-                                     spec_.entries_per_rpb);
-    rpb->set_stage_stats(&pipeline_.stage_stats());
-    rpbs_.push_back(rpb);
+  for (int i = 1; i <= spec.ingress_rpbs; ++i) {
+    auto rpb = std::make_shared<Rpb>(i, /*ingress=*/true, spec.memory_per_rpb,
+                                     spec.entries_per_rpb);
+    rpb->set_stage_stats(&pipeline.stage_stats());
+    blocks.rpbs.push_back(rpb);
     ingress_rpbs.push_back(std::move(rpb));
   }
   std::vector<std::shared_ptr<Rpb>> egress_rpbs;
-  for (int i = 1; i <= spec_.egress_rpbs; ++i) {
-    auto rpb = std::make_shared<Rpb>(spec_.ingress_rpbs + i, /*ingress=*/false,
-                                     spec_.memory_per_rpb, spec_.entries_per_rpb);
-    rpb->set_stage_stats(&pipeline_.stage_stats());
-    rpbs_.push_back(rpb);
+  for (int i = 1; i <= spec.egress_rpbs; ++i) {
+    auto rpb = std::make_shared<Rpb>(spec.ingress_rpbs + i, /*ingress=*/false,
+                                     spec.memory_per_rpb, spec.entries_per_rpb);
+    rpb->set_stage_stats(&pipeline.stage_stats());
+    blocks.rpbs.push_back(rpb);
     egress_rpbs.push_back(std::move(rpb));
   }
   // The RPBs run through chain stages (one ingress, one egress): a chain
   // skips the whole block sequence for unclaimed packets and empty-table
   // stages for claimed ones, which is where the per-packet pass time goes
   // on a lightly-populated switch (see docs/PERFORMANCE.md).
-  pipeline_.add_ingress_stage(init_);
-  pipeline_.add_ingress_stage(std::make_shared<RpbChain>(
-      std::move(ingress_rpbs), &pipeline_.stage_stats()));
-  pipeline_.add_ingress_stage(recirc_);
-  pipeline_.add_egress_stage(std::make_shared<RpbChain>(
-      std::move(egress_rpbs), &pipeline_.stage_stats()));
+  pipeline.add_ingress_stage(blocks.init);
+  pipeline.add_ingress_stage(std::make_shared<RpbChain>(
+      std::move(ingress_rpbs), &pipeline.stage_stats()));
+  pipeline.add_ingress_stage(blocks.recirc);
+  pipeline.add_egress_stage(std::make_shared<RpbChain>(
+      std::move(egress_rpbs), &pipeline.stage_stats()));
+  return blocks;
+}
+
+}  // namespace
+
+RunproDataplane::RunproDataplane(DataplaneSpec spec, rmt::ParserConfig parser_config)
+    : spec_(spec),
+      parser_config_(parser_config),
+      // The pipeline's recirculation allowance is a hardware property; the
+      // compiler-facing R in the spec bounds *programs*, while the frame
+      // tolerates one extra pass as headroom for misconfigured entries.
+      pipeline_(std::move(parser_config), spec.max_recirculations + 1) {
+  WiredBlocks blocks = wire_blocks(pipeline_, spec_);
+  init_ = std::move(blocks.init);
+  rpbs_ = std::move(blocks.rpbs);
+  recirc_ = std::move(blocks.recirc);
+}
+
+RunproDataplane::PipeShard::PipeShard(const DataplaneSpec& spec,
+                                      rmt::ParserConfig parser_config)
+    : pipeline(std::move(parser_config), spec.max_recirculations + 1) {
+  WiredBlocks blocks = wire_blocks(pipeline, spec);
+  init = std::move(blocks.init);
+  rpbs = std::move(blocks.rpbs);
+  recirc = std::move(blocks.recirc);
+}
+
+void RunproDataplane::PipeShard::bind(const TableSnapshot& snap) {
+  init->bind_tables(&snap.filters);
+  for (std::size_t i = 0; i < rpbs.size(); ++i) {
+    rpbs[i]->bind_table(&snap.rpb_tables[i], snap.epoch);
+  }
+  recirc->bind_table(&snap.recirc);
+  // The observation stamp travels inside the snapshot; mirror it into this
+  // pipe so PacketObservation::table_trace names the snapshot the batch
+  // actually matched against (never the master's concurrently-moving
+  // members).
+  pipeline.set_table_stamp(snap.table_trace, snap.table_generation);
+}
+
+void RunproDataplane::enable_sharding(int shards) {
+  assert(shards >= 1);
+  disable_sharding();
+  hub_ = std::make_unique<SnapshotHub>(shards);
+  if (telemetry_ != nullptr) hub_->attach_telemetry(telemetry_);
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<PipeShard>(spec_, parser_config_);
+    // Pipe-local frame config mirrors the master at enable time (these are
+    // provisioning-time knobs; changing them mid-traffic is not supported
+    // on either path).
+    shard->pipeline.set_qdepth(pipeline_.qdepth());
+    shard->pipeline.set_cpu_queue_capacity(pipeline_.cpu_queue_capacity());
+    for (const auto& [group, ports] : pipeline_.multicast_groups()) {
+      shard->pipeline.set_multicast_group(group, ports);
+    }
+    shards_.push_back(std::move(shard));
+  }
+  publish_snapshot();
+}
+
+void RunproDataplane::disable_sharding() {
+  if (hub_ == nullptr) return;
+  hub_->synchronize();
+  shards_.clear();
+  hub_.reset();
+}
+
+rmt::Pipeline::BatchResult RunproDataplane::inject_batch_on(
+    int shard, std::span<const rmt::Packet> pkts) {
+  assert(hub_ != nullptr && shard >= 0 && shard < shard_count());
+  PipeShard& pipe = *shards_[static_cast<std::size_t>(shard)];
+  // Pin the current snapshot for the whole batch: every packet matches one
+  // consistent table state, and the guard's epoch announcement defers the
+  // reclamation of a snapshot superseded mid-batch (the grace period).
+  const SnapshotHub::ReadGuard guard = hub_->acquire(shard);
+  pipe.bind(*guard);
+  rmt::Pipeline::BatchResult result = pipe.pipeline.inject_batch(pkts);
+  result.snapshot_epoch = guard->epoch;
+  result.table_trace = guard->table_trace;
+  result.table_generation = guard->table_generation;
+  return result;
+}
+
+void RunproDataplane::note_table_update(std::uint64_t trace) {
+  pipeline_.note_table_update(trace);
+  publish_snapshot();
+}
+
+void RunproDataplane::publish_snapshot() {
+  if (hub_ == nullptr) return;
+  hub_->publish(std::make_unique<TableSnapshot>(*init_, rpbs_, *recirc_,
+                                                pipeline_.table_trace(),
+                                                pipeline_.table_generation()));
+}
+
+std::uint64_t RunproDataplane::claimed_packets(ProgramId program) const {
+  std::uint64_t total = init_->claimed_packets(program);
+  for (const auto& shard : shards_) total += shard->init->claimed_packets(program);
+  return total;
+}
+
+void RunproDataplane::clear_claim_counter(ProgramId program) {
+  init_->clear_counter(program);
+  for (const auto& shard : shards_) shard->init->clear_counter(program);
+}
+
+rmt::Pipeline& RunproDataplane::shard_pipeline(int shard) {
+  assert(shard >= 0 && shard < shard_count());
+  return shards_[static_cast<std::size_t>(shard)]->pipeline;
+}
+
+const InitBlock& RunproDataplane::shard_init(int shard) const {
+  assert(shard >= 0 && shard < shard_count());
+  return *shards_[static_cast<std::size_t>(shard)]->init;
+}
+
+void RunproDataplane::attach_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  pipeline_.attach_telemetry(telemetry);
+  if (hub_ != nullptr) hub_->attach_telemetry(telemetry);
 }
 
 Result<WriteOp> RunproDataplane::apply(const WriteOp& op) {
@@ -111,6 +240,16 @@ Result<WriteOp> RunproDataplane::apply(const WriteOp& op) {
         inverse.mem_words.push_back(memory.read(op.mem_base + a));
         memory.write(op.mem_base + a, op.mem_words[a]);
       }
+      // Register writes land in every pipe (pipe-local register memories;
+      // the inverse captured the master bytes above, so a later rollback
+      // re-broadcasts those — control values win over in-flight traffic).
+      for (const auto& shard : shards_) {
+        auto& shard_mem =
+            shard->rpbs[static_cast<std::size_t>(op.mem_rpb - 1)]->memory();
+        for (std::uint32_t a = 0; a < op.mem_words.size(); ++a) {
+          shard_mem.write(op.mem_base + a, op.mem_words[a]);
+        }
+      }
       return inverse;
     }
     case WriteOp::Kind::ResetMemRange: {
@@ -125,6 +264,10 @@ Result<WriteOp> RunproDataplane::apply(const WriteOp& op) {
         inverse.mem_words.push_back(memory.read(op.mem_base + a));
       }
       memory.reset_range(op.mem_base, op.mem_size);
+      for (const auto& shard : shards_) {
+        shard->rpbs[static_cast<std::size_t>(op.mem_rpb - 1)]->memory().reset_range(
+            op.mem_base, op.mem_size);
+      }
       return inverse;
     }
   }

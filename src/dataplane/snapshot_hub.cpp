@@ -1,0 +1,118 @@
+#include "dataplane/snapshot_hub.h"
+
+#include <cassert>
+#include <thread>
+
+#include "dataplane/table_snapshot.h"
+#include "obs/telemetry.h"
+
+namespace p4runpro::dp {
+
+SnapshotHub::SnapshotHub(int readers) : slots_(static_cast<std::size_t>(readers)) {
+  assert(readers >= 1);
+}
+
+SnapshotHub::~SnapshotHub() {
+  synchronize();
+  delete current_.load(std::memory_order_seq_cst);
+  if (telemetry_ != nullptr) telemetry_->metrics.unregister_probes(this);
+}
+
+SnapshotHub::ReadGuard::~ReadGuard() {
+  if (hub_ != nullptr) hub_->release(slot_);
+}
+
+SnapshotHub::ReadGuard SnapshotHub::acquire(int reader) noexcept {
+  assert(reader >= 0 && reader < readers());
+  auto& slot = slots_[static_cast<std::size_t>(reader)].epoch;
+  assert(slot.load(std::memory_order_relaxed) == 0 &&
+         "one in-flight batch per shard: previous guard still alive");
+  // Announce before loading the pointer: a writer that retires the old
+  // snapshot after our announcement sees our slot <= its retire epoch and
+  // defers the free; a writer that swapped before our pointer load hands
+  // us the new snapshot, so the announcement is at worst conservative.
+  slot.store(epoch_.load(std::memory_order_seq_cst), std::memory_order_seq_cst);
+  const TableSnapshot* snap = current_.load(std::memory_order_seq_cst);
+  assert(snap != nullptr && "acquire() before the first publish()");
+  acquires_.fetch_add(1, std::memory_order_relaxed);
+  return ReadGuard(this, reader, snap);
+}
+
+void SnapshotHub::release(int slot) noexcept {
+  slots_[static_cast<std::size_t>(slot)].epoch.store(0, std::memory_order_seq_cst);
+}
+
+void SnapshotHub::publish(std::unique_ptr<TableSnapshot> next) {
+  assert(next != nullptr);
+  // Single writer (control-plane session lock held): the plain read-bump
+  // of epoch_ below cannot race another publish.
+  const std::uint64_t prior = epoch_.load(std::memory_order_seq_cst);
+  next->epoch = prior + 1;
+  const TableSnapshot* old = current_.exchange(next.release(),
+                                               std::memory_order_seq_cst);
+  epoch_.store(prior + 1, std::memory_order_seq_cst);
+  if (old != nullptr) {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    // Any reader that obtained `old` announced an epoch <= `prior` before
+    // our exchange (seq_cst total order), so "slot == 0 or slot > prior"
+    // proves the grace period elapsed.
+    retired_.push_back(Retired{std::unique_ptr<const TableSnapshot>(old), prior});
+  }
+  try_reclaim();
+}
+
+bool SnapshotHub::drained(std::uint64_t retire_epoch) const noexcept {
+  for (const ReaderSlot& slot : slots_) {
+    const std::uint64_t announced = slot.epoch.load(std::memory_order_seq_cst);
+    if (announced != 0 && announced <= retire_epoch) return false;
+  }
+  return true;
+}
+
+std::size_t SnapshotHub::try_reclaim() {
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  std::size_t freed = 0;
+  for (std::size_t i = 0; i < retired_.size();) {
+    if (drained(retired_[i].retire_epoch)) {
+      retired_.erase(retired_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++freed;
+    } else {
+      ++i;
+    }
+  }
+  if (freed != 0) reclaimed_.fetch_add(freed, std::memory_order_relaxed);
+  return freed;
+}
+
+void SnapshotHub::synchronize() {
+  for (;;) {
+    try_reclaim();
+    {
+      std::lock_guard<std::mutex> lock(retired_mu_);
+      if (retired_.empty()) return;
+    }
+    std::this_thread::yield();
+  }
+}
+
+std::size_t SnapshotHub::retired_pending() const {
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  return retired_.size();
+}
+
+void SnapshotHub::attach_telemetry(obs::Telemetry* telemetry) {
+  if (telemetry_ != nullptr) telemetry_->metrics.unregister_probes(this);
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) return;
+  auto& m = telemetry_->metrics;
+  m.register_probe("rmt.snapshot.epoch", this,
+                   [this] { return static_cast<double>(epoch()); });
+  m.register_probe("rmt.snapshot.retired_pending", this,
+                   [this] { return static_cast<double>(retired_pending()); });
+  m.register_probe("rmt.snapshot.reclaimed", this,
+                   [this] { return static_cast<double>(reclaimed()); });
+  m.register_probe("rmt.snapshot.acquires", this,
+                   [this] { return static_cast<double>(acquires()); });
+}
+
+}  // namespace p4runpro::dp

@@ -1,0 +1,19 @@
+#include "dataplane/table_snapshot.h"
+
+namespace p4runpro::dp {
+
+TableSnapshot::TableSnapshot(const InitBlock& init,
+                             const std::vector<std::shared_ptr<Rpb>>& rpbs,
+                             const RecircBlock& recirc_block, std::uint64_t trace,
+                             std::uint64_t generation)
+    : table_trace(trace),
+      table_generation(generation),
+      filters{init.table(ParsePath::Eth), init.table(ParsePath::Ipv4),
+              init.table(ParsePath::Tcp), init.table(ParsePath::Udp),
+              init.table(ParsePath::App)},
+      recirc(recirc_block.table()) {
+  rpb_tables.reserve(rpbs.size());
+  for (const auto& rpb : rpbs) rpb_tables.push_back(rpb->table());
+}
+
+}  // namespace p4runpro::dp

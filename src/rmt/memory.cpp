@@ -6,8 +6,11 @@ namespace p4runpro::rmt {
 
 void StageMemory::reset_range(MemAddr base, std::size_t count) noexcept {
   if (base >= buckets_.size()) return;
-  const std::size_t end = std::min(buckets_.size(), static_cast<std::size_t>(base) + count);
-  std::fill(buckets_.begin() + base, buckets_.begin() + static_cast<std::ptrdiff_t>(end), 0u);
+  const std::size_t end =
+      std::min(buckets_.size(), static_cast<std::size_t>(base) + count);
+  for (std::size_t a = base; a < end; ++a) {
+    buckets_[a].store(0, std::memory_order_relaxed);
+  }
 }
 
 SaluResult StageMemory::execute(SaluOp op, MemAddr addr, Word sar_in) noexcept {
@@ -15,29 +18,31 @@ SaluResult StageMemory::execute(SaluOp op, MemAddr addr, Word sar_in) noexcept {
     // Invalid physical address: reads see 0, writes are dropped.
     return {0, op != SaluOp::Write && op != SaluOp::Max};
   }
-  Word& bucket = buckets_[addr];
+  std::atomic<Word>& bucket = buckets_[addr];
+  // One load and at most one store per packet, matching the hardware's
+  // single read-modify-write window (see the class comment for why these
+  // are relaxed atomics rather than plain words or atomic RMWs).
+  const Word old = bucket.load(std::memory_order_relaxed);
   switch (op) {
     case SaluOp::Add:
-      bucket += sar_in;
-      return {bucket, true};
+      bucket.store(old + sar_in, std::memory_order_relaxed);
+      return {old + sar_in, true};
     case SaluOp::Sub:
-      bucket -= sar_in;
-      return {bucket, true};
+      bucket.store(old - sar_in, std::memory_order_relaxed);
+      return {old - sar_in, true};
     case SaluOp::And:
-      bucket &= sar_in;
-      return {bucket, true};
-    case SaluOp::Or: {
-      const Word old = bucket;
-      bucket |= sar_in;
+      bucket.store(old & sar_in, std::memory_order_relaxed);
+      return {old & sar_in, true};
+    case SaluOp::Or:
+      bucket.store(old | sar_in, std::memory_order_relaxed);
       return {old, true};
-    }
     case SaluOp::Read:
-      return {bucket, true};
+      return {old, true};
     case SaluOp::Write:
-      bucket = sar_in;
+      bucket.store(sar_in, std::memory_order_relaxed);
       return {sar_in, false};
     case SaluOp::Max:
-      if (sar_in > bucket) bucket = sar_in;
+      if (sar_in > old) bucket.store(sar_in, std::memory_order_relaxed);
       return {sar_in, false};
   }
   return {0, false};

@@ -5,6 +5,7 @@
 // guarded by a conditional comparison (used for MEMMAX, as in FlyMon).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -32,19 +33,32 @@ struct SaluResult {
 };
 
 /// A stage's register array + SALU.
+///
+/// Words are relaxed atomics: in the sharded data plane a control-plane
+/// memory write (broadcast to every pipe, see RunproDataplane::apply) can
+/// race a shard's SALU execution on the same bucket. The hardware resolves
+/// that race per 32-bit word (last write wins); relaxed atomic load/store
+/// models exactly that — no torn words, no cross-word ordering — and costs
+/// a plain mov on x86, so the single-threaded master path is unaffected.
+/// SALU read-modify-writes are NOT atomic RMWs on purpose: only the owning
+/// shard executes packets against a given StageMemory, so the only
+/// concurrent writer is the control plane, which wins the race wholesale.
 class StageMemory {
  public:
-  explicit StageMemory(std::size_t size) : buckets_(size, 0) {}
+  explicit StageMemory(std::size_t size) : buckets_(size) {}
 
   [[nodiscard]] std::size_t size() const noexcept { return buckets_.size(); }
 
   /// Raw control-plane access (the resource manager's register read/write
   /// path; bounds-checked).
   [[nodiscard]] Word read(MemAddr addr) const noexcept {
-    return addr < buckets_.size() ? buckets_[addr] : 0;
+    return addr < buckets_.size() ? buckets_[addr].load(std::memory_order_relaxed)
+                                  : 0;
   }
   void write(MemAddr addr, Word value) noexcept {
-    if (addr < buckets_.size()) buckets_[addr] = value;
+    if (addr < buckets_.size()) {
+      buckets_[addr].store(value, std::memory_order_relaxed);
+    }
   }
 
   /// Reset a contiguous range to zero (program-termination memory reset,
@@ -58,7 +72,7 @@ class StageMemory {
   [[nodiscard]] SaluResult execute(SaluOp op, MemAddr addr, Word sar_in) noexcept;
 
  private:
-  std::vector<Word> buckets_;
+  std::vector<std::atomic<Word>> buckets_;  // value-initialized to 0
 };
 
 }  // namespace p4runpro::rmt

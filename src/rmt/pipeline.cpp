@@ -191,6 +191,8 @@ PipelineResult Pipeline::inject(const Packet& pkt) {
 Pipeline::BatchResult Pipeline::inject_batch(std::span<const Packet> pkts) {
   BatchResult out;
   out.packets = pkts.size();
+  out.table_trace = table_trace_;
+  out.table_generation = table_generation_;
 
   const auto fold = [&out](PacketFate fate) {
     switch (fate) {

@@ -130,6 +130,14 @@ class Pipeline {
     std::uint64_t multicasted = 0;
     std::uint64_t recirc_limited = 0;
     std::uint64_t recirc_passes = 0;
+    /// Table state the whole batch matched against. On the sharded path
+    /// every packet of a batch sees exactly one published TableSnapshot:
+    /// its epoch plus the trace/generation that travel inside it. On the
+    /// serial path the epoch stays 0 and trace/generation mirror the
+    /// pipeline's note_table_update state at batch start.
+    std::uint64_t snapshot_epoch = 0;
+    std::uint64_t table_trace = 0;
+    std::uint64_t table_generation = 0;
   };
 
   /// Run a batch of packets to completion and return aggregate results.
@@ -182,6 +190,11 @@ class Pipeline {
     const auto it = mcast_groups_.find(group);
     return it == mcast_groups_.end() ? nullptr : &it->second;
   }
+  /// All configured groups (copied into shard pipelines at enable time).
+  [[nodiscard]] const std::map<Word, std::vector<Port>>& multicast_groups()
+      const noexcept {
+    return mcast_groups_;
+  }
 
   /// Queue-depth signal exposed to programs as meta.qdepth (the functional
   /// model does not simulate queuing; tests and workloads set it).
@@ -233,6 +246,15 @@ class Pipeline {
   void note_table_update(std::uint64_t trace) noexcept {
     ++table_generation_;
     table_trace_ = trace;
+  }
+  /// Overwrite the trace/generation pair wholesale. Shard pipelines are
+  /// stamped from the bound TableSnapshot at every batch start so packet
+  /// observations name the snapshot actually matched against — the
+  /// authoritative values travel inside the snapshot, these members are
+  /// just the per-shard mirror the observation path reads.
+  void set_table_stamp(std::uint64_t trace, std::uint64_t generation) noexcept {
+    table_trace_ = trace;
+    table_generation_ = generation;
   }
   [[nodiscard]] std::uint64_t table_trace() const noexcept { return table_trace_; }
   [[nodiscard]] std::uint64_t table_generation() const noexcept {

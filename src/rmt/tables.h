@@ -7,8 +7,12 @@
 // priority-sorted at insert time so a lookup can stop at the first match,
 // mimicking the O(1) TCAM lookup without a full TCAM model.
 //
-// Concurrency: a table instance is NOT thread-safe; shard by pipeline
-// replica (see docs/PERFORMANCE.md) instead of sharing one across threads.
+// Concurrency: a table instance is NOT thread-safe for mutation. A frozen
+// instance (no insert/erase, e.g. inside a published dp::TableSnapshot) may
+// be read from many threads concurrently via the lookup overload that takes
+// an explicit TernaryTableStats sink (nullptr or a shard-local struct); the
+// default overload counts probes into a mutable member and must stay
+// single-threaded (see docs/ARCHITECTURE.md "Snapshot data plane").
 #pragma once
 
 #include <algorithm>
@@ -141,11 +145,20 @@ class TernaryTable {
   /// Highest-priority matching action, or nullptr on miss. The returned
   /// pointer stays valid until the next insert/erase (generation bump).
   [[nodiscard]] const Action* lookup(std::span<const Word> fields) const noexcept {
+    return lookup(fields, &stats_);
+  }
+
+  /// Lookup with an explicit probe-counter sink. Concurrent readers of a
+  /// frozen table (the snapshot data plane) pass their own shard-local
+  /// stats or nullptr — the default overload's `mutable stats_` increment
+  /// would be a data race across shards.
+  [[nodiscard]] const Action* lookup(std::span<const Word> fields,
+                                     TernaryTableStats* stats) const noexcept {
     const Entry* best = nullptr;
     if (const Bucket* bucket = find_bucket(fields[0])) {
-      best = first_match(*bucket, fields);
+      best = first_match(*bucket, fields, stats);
     }
-    const Entry* wild = first_match(unindexed_, fields);
+    const Entry* wild = first_match(unindexed_, fields, stats);
     if (wild != nullptr &&
         (best == nullptr || wild->priority > best->priority ||
          (wild->priority == best->priority && wild->handle < best->handle))) {
@@ -241,9 +254,10 @@ class TernaryTable {
   }
 
   [[nodiscard]] const Entry* first_match(const Bucket& bucket,
-                                         std::span<const Word> fields) const noexcept {
+                                         std::span<const Word> fields,
+                                         TernaryTableStats* stats) const noexcept {
     for (const Entry& entry : bucket.entries) {
-      ++stats_.lookup_probes;
+      if (stats != nullptr) ++stats->lookup_probes;
       bool hit = true;
       for (int i = 0; i < key_width_; ++i) {
         if (!entry.keys[static_cast<std::size_t>(i)].matches(

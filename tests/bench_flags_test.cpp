@@ -63,7 +63,8 @@ TEST(BenchFlags, UnknownFlagsStayUnconsumed) {
 TEST(BenchFlags, AllSidecarFlagsParse) {
   std::vector<std::string> args = {
       "bench",           "--telemetry-out=m", "--trace-out", "t",
-      "--alerts-out=a",  "--flight-out", "f", "--bench-json-out=b"};
+      "--alerts-out=a",  "--flight-out", "f", "--bench-json-out=b",
+      "--shards=1,2,4"};
   auto argv = argv_of(args);
   const auto flags = SidecarFlags::parse(static_cast<int>(argv.size()), argv.data());
   EXPECT_EQ(flags.metrics_path, "m");
@@ -71,9 +72,27 @@ TEST(BenchFlags, AllSidecarFlagsParse) {
   EXPECT_EQ(flags.alerts_path, "a");
   EXPECT_EQ(flags.flight_path, "f");
   EXPECT_EQ(flags.bench_json_path, "b");
+  EXPECT_EQ(flags.shards, "1,2,4");
   for (std::size_t i = 1; i < flags.consumed.size(); ++i) {
     EXPECT_TRUE(flags.consumed[i]) << i;
   }
+}
+
+TEST(BenchFlags, ShardsParsesBothSpellings) {
+  std::vector<std::string> eq = {"bench", "--shards=4"};
+  auto eq_argv = argv_of(eq);
+  const auto eq_flags =
+      SidecarFlags::parse(static_cast<int>(eq_argv.size()), eq_argv.data());
+  EXPECT_EQ(eq_flags.shards, "4");
+  EXPECT_TRUE(eq_flags.consumed[1]);
+
+  std::vector<std::string> sp = {"bench", "--shards", "1,2"};
+  auto sp_argv = argv_of(sp);
+  const auto sp_flags =
+      SidecarFlags::parse(static_cast<int>(sp_argv.size()), sp_argv.data());
+  EXPECT_EQ(sp_flags.shards, "1,2");
+  EXPECT_TRUE(sp_flags.consumed[1]);
+  EXPECT_TRUE(sp_flags.consumed[2]);
 }
 
 TEST(BenchFlags, TelemetryEveryParsesBothSpellings) {
