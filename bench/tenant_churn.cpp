@@ -1,0 +1,432 @@
+// Multi-tenant churn benchmark: sustained link/revoke churn against a
+// switch held at >= 90% stage-memory occupancy, with the free space
+// deliberately fragmented (many 8-word holes, no larger contiguous block)
+// so that every 16-word request depends on defragmentation. Two scenario
+// rows measure the admission rate and the p99 session latency with
+// auto-defrag off vs on — the acceptance property is that the
+// defrag-enabled row's admit rate strictly exceeds the defrag-disabled
+// row's at the same occupancy. A third scenario drives an oversubscribed
+// admission controller (inflight cap 1, queue bound 0) with barrier-
+// released sessions and checks every rejected session carries
+// ErrorCode::AdmissionShed — shed, not retry-spun.
+//
+//   ./tenant_churn [--churn-waves=N] [--churn-width=N] [--shed-sessions=N]
+//                  [--bench-json-out=BENCH_tenant.json] [telemetry flags]
+//
+// The JSON artifact (BENCH_tenant.json) is the machine-readable baseline
+// CI gates on (admit-rate ordering, occupancy floor, shed coding).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "apps/program_library.h"
+#include "bench_util.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "control/controller.h"
+#include "dataplane/runpro_dataplane.h"
+#include "obs/telemetry.h"
+
+namespace {
+
+using namespace p4runpro;
+
+int int_flag(int argc, char** argv, const char* name, int fallback) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return std::atoi(argv[i] + len + 1);
+    }
+  }
+  return fallback;
+}
+
+[[noreturn]] void die(const std::string& what) {
+  std::fprintf(stderr, "tenant_churn: %s\n", what.c_str());
+  std::exit(1);
+}
+
+/// The paper's prototype geometry with small stage memories: ~190 mixed
+/// programs saturate the switch, so the fill phase stays fast while the
+/// free-space geometry after hole punching is exact.
+dp::DataplaneSpec churn_spec() {
+  dp::DataplaneSpec spec;
+  spec.memory_per_rpb = 256;
+  return spec;
+}
+
+std::string program_source(const std::string& app, const std::string& name,
+                           std::uint32_t mem_buckets) {
+  apps::ProgramConfig config;
+  config.instance_name = name;
+  config.mem_buckets = mem_buckets;
+  return apps::make_program_source(app, config);
+}
+
+/// One isolated switch + controller per scenario (sequential scenarios must
+/// not share the process-wide bundle: the controller registers occupancy
+/// probes under fixed names).
+struct Bed {
+  obs::Telemetry telemetry;
+  SimClock clock;
+  dp::RunproDataplane dataplane{churn_spec(),
+                                rmt::ParserConfig{{7777, 7788, 9999, 5555}}};
+  ctrl::Controller controller{dataplane, clock, rp::Objective{},
+                              ctrl::BfrtCostModel{}, &telemetry};
+};
+
+struct Baseline {
+  std::size_t fill_count = 0;
+  std::size_t holes = 0;
+  double occupancy = 0.0;        ///< used / capacity after punching holes
+  std::uint64_t frag_words = 0;  ///< fragmentation metric at churn start
+};
+
+/// Saturate the switch, then fragment it while keeping occupancy >= 90%.
+///
+/// Fill: round-robin over the three catalog apps (cache / lb / hh — their
+/// different depth structures pin memory to different stages, which is what
+/// reaches every RPB), retiring an app once it no longer fits, then top off
+/// with progressively smaller programs until nothing fits at all.
+///
+/// Fragment: revoke single-vmem 8-word cache programs at stride 3 of their
+/// per-RPB placement order — every hole is 8 words with live blocks on both
+/// sides, so no free block anywhere exceeds 8 words — bounded by a 9%
+/// free-words budget so occupancy stays above the 90% floor.
+Baseline fill_and_fragment(Bed& bed) {
+  Baseline baseline;
+  int next = 0;
+  std::vector<ProgramId> cache8;
+  for (const std::uint32_t buckets : {8u, 4u, 2u, 1u}) {
+    std::vector<std::string> live = {"cache", "lb", "hh"};
+    while (!live.empty()) {
+      for (auto it = live.begin(); it != live.end();) {
+        auto linked = bed.controller.link_single(
+            program_source(*it, "fill" + std::to_string(next++), buckets));
+        if (!linked.ok()) {
+          if (linked.error().code != ErrorCode::AllocFailed) {
+            die("fill failed with unexpected error: " + linked.error().str());
+          }
+          it = live.erase(it);
+          continue;
+        }
+        if (*it == "cache" && buckets == 8) cache8.push_back(linked.value().id);
+        ++baseline.fill_count;
+        ++it;
+      }
+    }
+  }
+  if (cache8.size() < 16) die("fill phase produced too few 8-word cache programs");
+
+  std::map<int, std::vector<std::pair<std::uint32_t, ProgramId>>> by_rpb;
+  for (const ProgramId id : cache8) {
+    const auto* program = bed.controller.program(id);
+    if (program == nullptr) die("installed program vanished during fill");
+    const auto& placement = program->placements.at("mem1");
+    by_rpb[placement.rpb].emplace_back(placement.block.base, id);
+  }
+  const auto& spec = bed.dataplane.spec();
+  const auto capacity =
+      static_cast<std::uint64_t>(spec.total_rpbs()) * spec.memory_per_rpb;
+  const std::uint64_t hole_budget_words = (capacity * 9) / 100;
+  std::vector<ProgramId> punch_order;  // round-robin over RPBs: holes spread
+  for (std::size_t pass = 0; true; ++pass) {
+    bool any = false;
+    for (auto& [rpb, blocks] : by_rpb) {
+      (void)rpb;
+      if (pass == 0) std::sort(blocks.begin(), blocks.end());
+      const std::size_t index = pass * 3;  // stride 3: live blocks between holes
+      if (index >= blocks.size()) continue;
+      punch_order.push_back(blocks[index].second);
+      any = true;
+    }
+    if (!any) break;
+  }
+  for (const ProgramId id : punch_order) {
+    if ((baseline.holes + 1) * 8 > hole_budget_words) break;
+    auto revoked = bed.controller.revoke(id);
+    if (!revoked.ok()) die("hole punch revoke failed: " + revoked.error().str());
+    ++baseline.holes;
+  }
+
+  std::uint64_t used = 0;
+  for (int rpb = 1; rpb <= spec.total_rpbs(); ++rpb) {
+    used += bed.controller.resources().memory_used(rpb);
+  }
+  baseline.occupancy =
+      static_cast<double>(used) / static_cast<double>(capacity);
+  baseline.frag_words = bed.controller.resources().total_fragmentation_words();
+  return baseline;
+}
+
+struct ChurnRow {
+  std::string name;
+  Baseline baseline;
+  int attempts = 0;
+  int admitted = 0;
+  double admit_rate = 0.0;
+  double p99_session_ms = 0.0;
+  std::uint64_t frag_words_end = 0;
+  std::uint64_t defrag_moves = 0;
+  std::uint64_t link_retries = 0;
+};
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto rank =
+      static_cast<std::size_t>(p * static_cast<double>(samples.size() - 1));
+  return samples[rank];
+}
+
+/// Sustained churn at the fragmented baseline: waves of concurrent link
+/// sessions, alternating 8-word programs (fit the holes) and 16-word
+/// programs (need compaction), each wave revoked before the next so the
+/// occupancy stays pinned. Sessions are spread over four weighted tenants
+/// to exercise the fair-queued admission path.
+ChurnRow run_churn(bool defrag_on, int waves, int width) {
+  Bed bed;
+  ChurnRow row;
+  row.name = defrag_on ? "defrag_on" : "defrag_off";
+  row.baseline = fill_and_fragment(bed);
+  bed.controller.set_auto_defrag(defrag_on);
+  const double tenant_weights[4] = {4.0, 2.0, 1.0, 1.0};
+  for (ctrl::TenantId tenant = 1; tenant <= 4; ++tenant) {
+    bed.controller.tenants().register_tenant(
+        tenant, ctrl::TenantQuota{.weight = tenant_weights[tenant - 1]});
+  }
+
+  struct Outcome {
+    std::string name;
+    bool ok = false;
+    std::string error;
+    ErrorCode code = ErrorCode::AllocFailed;
+    double wall_ms = 0.0;
+  };
+
+  common::ThreadPool pool(4);
+  std::vector<double> latencies;
+  int next_name = 0;
+  for (int wave = 0; wave < waves; ++wave) {
+    std::vector<std::future<Outcome>> sessions;
+    sessions.reserve(static_cast<std::size_t>(width));
+    for (int s = 0; s < width; ++s) {
+      const std::uint32_t buckets = (s % 2 == 0) ? 8u : 16u;
+      const ctrl::TenantId tenant = 1u + static_cast<ctrl::TenantId>(s % 4);
+      std::string name = "churn" + std::to_string(next_name++);
+      sessions.push_back(pool.submit([&bed, name, buckets, tenant] {
+        Outcome outcome;
+        outcome.name = name;
+        const auto start = std::chrono::steady_clock::now();
+        auto linked = bed.controller.link_session(
+            ctrl::SessionSpec{program_source("cache", name, buckets), tenant});
+        outcome.wall_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+        outcome.ok = linked.ok();
+        if (!linked.ok()) {
+          outcome.code = linked.error().code;
+          outcome.error = linked.error().str();
+        }
+        return outcome;
+      }));
+    }
+    for (auto& session : sessions) {
+      Outcome outcome = session.get();
+      ++row.attempts;
+      latencies.push_back(outcome.wall_ms);
+      if (outcome.ok) {
+        ++row.admitted;
+        auto revoked = bed.controller.revoke_by_name(outcome.name);
+        if (!revoked.ok()) die("churn revoke failed: " + revoked.error().str());
+      } else if (outcome.code != ErrorCode::AllocFailed) {
+        // The only legitimate failure at this occupancy is an allocation
+        // miss; anything else (quota, shed, compile) is a bench bug.
+        die("churn session failed with unexpected error: " + outcome.error);
+      }
+    }
+  }
+
+  row.admit_rate =
+      row.attempts == 0 ? 0.0 : static_cast<double>(row.admitted) / row.attempts;
+  row.p99_session_ms = percentile(latencies, 0.99);
+  row.frag_words_end = bed.controller.resources().total_fragmentation_words();
+  row.defrag_moves = bed.telemetry.metrics.counter("ctrl.defrag.moves").value();
+  row.link_retries = bed.telemetry.metrics.counter("ctrl.link.retries").value();
+  return row;
+}
+
+struct ShedRow {
+  int sessions = 0;
+  int committed = 0;
+  int shed = 0;
+  int other_failures = 0;
+  int rounds = 0;
+  std::uint64_t sheds_counted = 0;
+  std::uint64_t grants_counted = 0;
+};
+
+/// Oversubscribed admission: one in-flight slot, no queue, `session_count`
+/// sessions released through a start barrier so they slam the admission
+/// gate together. Everything past the bound must shed with AdmissionShed
+/// (the dedicated error code), and the controller's shed accounting must
+/// agree with the per-session results exactly. Overlap at a capacity-1
+/// slot is a scheduling race, so the round repeats (fresh sessions, same
+/// bed) until at least one shed is observed.
+ShedRow run_shed(int session_count) {
+  Bed bed;
+  bed.controller.set_admission_config(
+      ctrl::AdmissionConfig{.max_inflight = 1, .max_queued = 0});
+
+  ShedRow row;
+  row.sessions = 0;
+  int next_name = 0;
+  for (int round = 0; round < 10 && row.shed == 0; ++round) {
+    ++row.rounds;
+    row.sessions += session_count;
+    struct Outcome {
+      std::string name;
+      bool ok = false;
+      ErrorCode code = ErrorCode::AdmissionShed;
+      std::string error;
+    };
+    std::vector<Outcome> outcomes(static_cast<std::size_t>(session_count));
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(session_count));
+    for (int i = 0; i < session_count; ++i) {
+      const std::string name = "shed" + std::to_string(next_name++);
+      outcomes[static_cast<std::size_t>(i)].name = name;
+      threads.emplace_back([&bed, &go, &outcomes, i, name] {
+        // hh is the heaviest catalog program (4 vmems): its solve holds
+        // the single slot long enough that barrier-released peers overlap.
+        const std::string source = program_source("hh", name, 8);
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        auto linked = bed.controller.link_session(ctrl::SessionSpec{
+            source, 1u + static_cast<ctrl::TenantId>(i % 4)});
+        auto& outcome = outcomes[static_cast<std::size_t>(i)];
+        outcome.ok = linked.ok();
+        if (!linked.ok()) {
+          outcome.code = linked.error().code;
+          outcome.error = linked.error().str();
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto& thread : threads) thread.join();
+    for (const auto& outcome : outcomes) {
+      if (outcome.ok) {
+        ++row.committed;
+        // Keep the bed near-empty so later rounds never hit AllocFailed.
+        auto revoked = bed.controller.revoke_by_name(outcome.name);
+        if (!revoked.ok()) die("shed-round revoke failed: " + revoked.error().str());
+      } else if (outcome.code == ErrorCode::AdmissionShed) {
+        ++row.shed;
+      } else {
+        ++row.other_failures;
+      }
+    }
+  }
+  row.sheds_counted = bed.controller.admission().sheds();
+  row.grants_counted = bed.controller.admission().grants();
+  return row;
+}
+
+void write_json(const std::string& path, const ChurnRow& off, const ChurnRow& on,
+                const ShedRow& shed) {
+  std::ofstream out(path);
+  if (!out) die("cannot open --bench-json-out path: " + path);
+  char line[512];
+  out << "{\n";
+  out << "  \"bench\": \"tenant_churn\",\n";
+  out << "  \"unit\": \"admit_rate\",\n";
+  out << "  \"rows\": [\n";
+  const ChurnRow* rows[2] = {&off, &on};
+  for (int i = 0; i < 2; ++i) {
+    const ChurnRow& row = *rows[i];
+    std::snprintf(line, sizeof(line),
+                  "    {\"name\": \"%s\", \"occupancy\": %.4f, "
+                  "\"frag_words_start\": %llu, \"frag_words_end\": %llu, "
+                  "\"attempts\": %d, \"admitted\": %d, \"admit_rate\": %.4f, "
+                  "\"p99_session_ms\": %.3f, \"defrag_moves\": %llu, "
+                  "\"link_retries\": %llu}%s\n",
+                  row.name.c_str(), row.baseline.occupancy,
+                  static_cast<unsigned long long>(row.baseline.frag_words),
+                  static_cast<unsigned long long>(row.frag_words_end),
+                  row.attempts, row.admitted, row.admit_rate, row.p99_session_ms,
+                  static_cast<unsigned long long>(row.defrag_moves),
+                  static_cast<unsigned long long>(row.link_retries),
+                  i == 0 ? "," : "");
+    out << line;
+  }
+  out << "  ],\n";
+  std::snprintf(line, sizeof(line),
+                "  \"shed\": {\"sessions\": %d, \"rounds\": %d, "
+                "\"committed\": %d, \"shed\": %d, \"other_failures\": %d, "
+                "\"sheds_counted\": %llu, \"grants_counted\": %llu, "
+                "\"all_sheds_admission_coded\": %s}\n",
+                shed.sessions, shed.rounds, shed.committed, shed.shed,
+                shed.other_failures,
+                static_cast<unsigned long long>(shed.sheds_counted),
+                static_cast<unsigned long long>(shed.grants_counted),
+                shed.other_failures == 0 && shed.shed > 0 ? "true" : "false");
+  out << line;
+  out << "}\n";
+}
+
+void print_row(const ChurnRow& row) {
+  std::printf(
+      "%-12s occupancy %.1f%%  frag %4llu -> %-4llu  admit %3d/%-3d (%.0f%%)  "
+      "p99 %7.3f ms  moves %llu  retries %llu\n",
+      row.name.c_str(), 100.0 * row.baseline.occupancy,
+      static_cast<unsigned long long>(row.baseline.frag_words),
+      static_cast<unsigned long long>(row.frag_words_end), row.admitted,
+      row.attempts, 100.0 * row.admit_rate, row.p99_session_ms,
+      static_cast<unsigned long long>(row.defrag_moves),
+      static_cast<unsigned long long>(row.link_retries));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry_scope(argc, argv);
+  const int waves = int_flag(argc, argv, "--churn-waves", 8);
+  const int width = int_flag(argc, argv, "--churn-width", 8);
+  const int shed_sessions = int_flag(argc, argv, "--shed-sessions", 48);
+
+  bench::heading("tenant churn at >=90% occupancy (fragmented free space)");
+  std::printf("waves=%d width=%d (alternating 8-word / 16-word sessions, "
+              "4 weighted tenants)\n", waves, width);
+  bench::rule();
+  const ChurnRow off = run_churn(/*defrag_on=*/false, waves, width);
+  print_row(off);
+  const ChurnRow on = run_churn(/*defrag_on=*/true, waves, width);
+  print_row(on);
+
+  bench::heading("oversubscribed admission (inflight cap 1, queue bound 0)");
+  const ShedRow shed = run_shed(shed_sessions);
+  std::printf("sessions %d over %d round(s): committed %d, shed %d, other "
+              "failures %d (controller counted %llu sheds / %llu grants)\n",
+              shed.sessions, shed.rounds, shed.committed, shed.shed,
+              shed.other_failures,
+              static_cast<unsigned long long>(shed.sheds_counted),
+              static_cast<unsigned long long>(shed.grants_counted));
+
+  if (!telemetry_scope.flags().bench_json_path.empty()) {
+    write_json(telemetry_scope.flags().bench_json_path, off, on, shed);
+    std::printf("\nwrote %s\n", telemetry_scope.flags().bench_json_path.c_str());
+  }
+  return 0;
+}

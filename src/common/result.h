@@ -26,6 +26,8 @@ enum class ErrorCode : std::uint8_t {
   Conflict,         ///< name or resource clash with existing state
   OutOfRange,       ///< address or index outside the valid range
   InvalidArgument,  ///< malformed request (wrong arity, bad parameters)
+  AdmissionShed,    ///< admission controller shed the session (queue full)
+  QuotaExceeded,    ///< tenant quota would be exceeded by the request
 };
 
 [[nodiscard]] constexpr const char* error_code_name(ErrorCode code) noexcept {
@@ -39,6 +41,8 @@ enum class ErrorCode : std::uint8_t {
     case ErrorCode::Conflict: return "Conflict";
     case ErrorCode::OutOfRange: return "OutOfRange";
     case ErrorCode::InvalidArgument: return "InvalidArgument";
+    case ErrorCode::AdmissionShed: return "AdmissionShed";
+    case ErrorCode::QuotaExceeded: return "QuotaExceeded";
   }
   return "Unknown";
 }

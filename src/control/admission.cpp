@@ -1,0 +1,133 @@
+#include "control/admission.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace p4runpro::ctrl {
+
+double AdmissionController::stamp_finish_locked(TenantId tenant, double weight) {
+  const double w = weight > 0.0 ? weight : 1.0;
+  double& last = last_finish_[tenant];
+  // An idle tenant re-enters at the current virtual time (no banked
+  // credit); a backlogged one continues from its previous finish.
+  const double finish = std::max(vtime_, last) + 1.0 / w;
+  last = finish;
+  return finish;
+}
+
+void AdmissionController::grant_waiters_locked() {
+  const int max_inflight = std::max(config_.max_inflight, 1);
+  bool granted_any = false;
+  while (inflight_ < max_inflight && !waiters_.empty()) {
+    auto best = waiters_.end();
+    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+      if (it->granted) continue;
+      if (best == waiters_.end() || it->vfinish < best->vfinish ||
+          (it->vfinish == best->vfinish && it->arrival < best->arrival)) {
+        best = it;
+      }
+    }
+    if (best == waiters_.end()) break;  // every remaining node already granted
+    best->granted = true;
+    best->grant_seq = ++next_grant_;
+    ++inflight_;
+    vtime_ = std::max(vtime_, best->vfinish);
+    ++tenant_grants_[best->tenant];
+    granted_any = true;
+  }
+  if (granted_any) cv_.notify_all();
+}
+
+Result<AdmissionController::Grant> AdmissionController::acquire(TenantId tenant,
+                                                                double weight) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool immediate =
+      inflight_ < std::max(config_.max_inflight, 1) && waiters_.empty();
+  // Granted-but-not-yet-departed nodes are not waiting — only un-granted
+  // waiters count against the queue bound.
+  std::size_t waiting = 0;
+  for (const Waiter& other : waiters_) {
+    if (!other.granted) ++waiting;
+  }
+  if (!immediate &&
+      waiting >= static_cast<std::size_t>(std::max(config_.max_queued, 0))) {
+    ++sheds_;
+    ++tenant_sheds_[tenant];
+    return Error{"admission queue full (" + std::to_string(waiting) +
+                     " waiting, " + std::to_string(inflight_) +
+                     " in flight); session shed",
+                 "AdmissionController", ErrorCode::AdmissionShed};
+  }
+  Waiter& w = waiters_.emplace_back();
+  w.tenant = tenant;
+  w.vfinish = stamp_finish_locked(tenant, weight);
+  w.arrival = ++next_arrival_;
+  grant_waiters_locked();
+  if (!w.granted) cv_.wait(lock, [&w] { return w.granted; });
+
+  Grant grant;
+  grant.seq = w.grant_seq;
+  grant.queued = !immediate;
+  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+    if (&*it == &w) {
+      waiters_.erase(it);
+      break;
+    }
+  }
+  return grant;
+}
+
+void AdmissionController::release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(inflight_ > 0 && "release without a matching acquire");
+  --inflight_;
+  grant_waiters_locked();
+}
+
+void AdmissionController::set_config(AdmissionConfig config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_ = config;
+}
+
+AdmissionConfig AdmissionController::config() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return config_;
+}
+
+int AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+std::size_t AdmissionController::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t waiting = 0;
+  for (const Waiter& w : waiters_) {
+    if (!w.granted) ++waiting;
+  }
+  return waiting;
+}
+
+std::uint64_t AdmissionController::grants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_grant_;
+}
+
+std::uint64_t AdmissionController::sheds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sheds_;
+}
+
+std::uint64_t AdmissionController::tenant_grants(TenantId tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenant_grants_.find(tenant);
+  return it == tenant_grants_.end() ? 0 : it->second;
+}
+
+std::uint64_t AdmissionController::tenant_sheds(TenantId tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenant_sheds_.find(tenant);
+  return it == tenant_sheds_.end() ? 0 : it->second;
+}
+
+}  // namespace p4runpro::ctrl

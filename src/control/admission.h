@@ -1,0 +1,105 @@
+// Admission controller for concurrent link sessions: bounds the number of
+// in-flight reservations and schedules queued sessions across tenants with
+// weighted fair queuing, shedding arrivals past the queue bound instead of
+// letting them solve-retry-spin against a full switch (ROADMAP
+// "Multi-tenant control plane at scale").
+//
+// Scheduling: start-time fair queuing over a virtual clock. Each arrival is
+// stamped with a virtual finish time F = max(V, F_last[tenant]) + 1/weight;
+// the waiter with the smallest F is granted first and advances V to its F.
+// A tenant that was idle re-enters at the current V (no banked credit), so
+// a heavy tenant's backlog cannot starve a light one: between any two
+// grants of tenant A, every backlogged tenant B receives ~weight_B/weight_A
+// grants. FIFO order within a tenant (ties broken by arrival seq).
+//
+// States of a session: granted immediately (slot free, queue empty) ->
+// Admitted; queued (slot full, queue below bound) -> blocks in acquire()
+// until granted; shed (queue at bound) -> acquire() returns AdmissionShed
+// without blocking. Every grant must be released exactly once.
+//
+// Thread safety: internally synchronized. The admission mutex is a leaf
+// lock and is NEVER held together with a controller session lock — callers
+// acquire admission before taking the session lock and release after
+// dropping it, so a granted session can park on the async channel without
+// blocking admission bookkeeping. Deadlock-free by construction: a slot
+// holder never waits on admission, so grants always drain.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+
+#include "common/result.h"
+#include "control/tenant.h"
+
+namespace p4runpro::ctrl {
+
+struct AdmissionConfig {
+  /// Sessions allowed past admission concurrently (reservation in flight).
+  int max_inflight = 8;
+  /// Waiters allowed in the fair queue; arrivals beyond are shed.
+  int max_queued = 256;
+};
+
+class AdmissionController {
+ public:
+  AdmissionController() = default;
+  explicit AdmissionController(AdmissionConfig config) : config_(config) {}
+
+  struct Grant {
+    std::uint64_t seq = 0;     ///< global admission order (1-based)
+    bool queued = false;       ///< false: granted immediately on arrival
+  };
+
+  /// Admit a session for `tenant`. Returns immediately with a grant when a
+  /// slot is free and nobody is queued; blocks until granted when queued;
+  /// fails with AdmissionShed (without blocking) when the queue is at its
+  /// bound. `weight` is the tenant's fair share (values <= 0 count as 1).
+  Result<Grant> acquire(TenantId tenant, double weight);
+
+  /// Return a granted slot; wakes the fairest waiter. Exactly once per
+  /// successful acquire.
+  void release();
+
+  /// Reconfigure the bounds. Call with no session in flight.
+  void set_config(AdmissionConfig config);
+  [[nodiscard]] AdmissionConfig config() const;
+
+  // --- stats (each takes the internal mutex; safe from metric probes) ----
+  [[nodiscard]] int inflight() const;
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] std::uint64_t grants() const;
+  [[nodiscard]] std::uint64_t sheds() const;
+  [[nodiscard]] std::uint64_t tenant_grants(TenantId tenant) const;
+  [[nodiscard]] std::uint64_t tenant_sheds(TenantId tenant) const;
+
+ private:
+  struct Waiter {
+    TenantId tenant = 0;
+    double vfinish = 0.0;
+    std::uint64_t arrival = 0;  ///< FIFO tiebreak within equal vfinish
+    bool granted = false;
+    std::uint64_t grant_seq = 0;
+  };
+
+  /// Fill free slots with the fairest waiters (min vfinish, then arrival).
+  void grant_waiters_locked();
+  [[nodiscard]] double stamp_finish_locked(TenantId tenant, double weight);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  AdmissionConfig config_;
+  int inflight_ = 0;
+  double vtime_ = 0.0;
+  std::uint64_t next_arrival_ = 0;
+  std::uint64_t next_grant_ = 0;
+  std::uint64_t sheds_ = 0;
+  std::list<Waiter> waiters_;  ///< stable addresses: acquire blocks on its node
+  std::map<TenantId, double> last_finish_;
+  std::map<TenantId, std::uint64_t> tenant_grants_;
+  std::map<TenantId, std::uint64_t> tenant_sheds_;
+};
+
+}  // namespace p4runpro::ctrl

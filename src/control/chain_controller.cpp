@@ -274,6 +274,23 @@ Result<LinkResult> ChainController::link_one_parallel(const std::string& source,
   }
   const rp::TranslatedProgram& ir = compiled.value().front();
 
+  // Admission gate (blocking; strictly before mu_): bounds in-flight chain
+  // sessions and sheds past the queue bound with AdmissionShed. Chain
+  // sessions all run as the default tenant at weight 1, so the fair queue
+  // degrades to FIFO.
+  auto grant = admission_.acquire(0, 1.0);
+  if (!grant.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    telemetry_->metrics.counter("ctrl.tenant.shed").inc();
+    telemetry_->monitor.admission_shed(0, ir.name, grant.error().str());
+    record_event(ControlEvent::Kind::LinkFailed, 0, ir.name, grant.error().str());
+    return grant.error();
+  }
+  struct Release {
+    AdmissionController& admission;
+    ~Release() { admission.release(); }
+  } releaser{admission_};
+
   Error conflict{"parallel chain link: retries exhausted", "ChainController",
                  ErrorCode::AllocFailed};
   for (int attempt = 0; attempt <= options.max_solve_retries; ++attempt) {
@@ -342,6 +359,7 @@ Result<LinkResult> ChainController::link_one_parallel(const std::string& source,
           attempt < options.max_solve_retries) {
         // Another session took the resources between snapshot and lock.
         conflict = s.error();
+        telemetry_->metrics.counter("ctrl.link.retries").inc();
         continue;
       }
       telemetry_->monitor.chain_txn_rolled_back(id, ir.name, length(),

@@ -137,6 +137,16 @@ class ChainController {
     fixed_alloc_charge_ms_ = ms;
   }
 
+  /// Admission bounds for link_many sessions (same semantics as
+  /// Controller::set_admission_config; chain sessions run as the default
+  /// tenant at weight 1). Reconfigure only with no session in flight.
+  void set_admission_config(AdmissionConfig config) {
+    admission_.set_config(config);
+  }
+  [[nodiscard]] const AdmissionController& admission() const noexcept {
+    return admission_;
+  }
+
  private:
   /// One hop's control-plane state. ResourceManager is non-movable, hence
   /// the unique_ptr indirection.
@@ -222,6 +232,8 @@ class ChainController {
   ProgramId next_id_ = 1;
   std::vector<ProgramId> free_ids_;  ///< fed only by successful revokes
   int filter_generation_ = 0;
+  /// Blocking leaf lock — sessions acquire their grant before taking mu_.
+  AdmissionController admission_;
 };
 
 }  // namespace p4runpro::ctrl

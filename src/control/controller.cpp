@@ -9,6 +9,38 @@
 
 namespace p4runpro::ctrl {
 
+namespace {
+
+// A session's resource demand is computable straight from the IR — before
+// solving — and equals the committed footprint exactly (reserve takes
+// ir.vmem_sizes words per vmem and one entry per node / per branch case).
+// That exactness is what makes charge-at-admission quota accounting sound.
+[[nodiscard]] std::uint64_t memory_demand(const rp::TranslatedProgram& ir) {
+  std::uint64_t words = 0;
+  for (const auto& [vmem, size] : ir.vmem_sizes) {
+    (void)vmem;
+    words += size;
+  }
+  return words;
+}
+
+[[nodiscard]] std::uint64_t entry_demand(const rp::TranslatedProgram& ir) {
+  return static_cast<std::uint64_t>(ir.total_entries());
+}
+
+/// Stage-memory words an installed program holds (== memory_demand of its
+/// IR; read from the placements so revoke can release without the IR).
+[[nodiscard]] std::uint64_t footprint_words(const InstalledProgram& program) {
+  std::uint64_t words = 0;
+  for (const auto& [vmem, placement] : program.placements) {
+    (void)vmem;
+    words += placement.block.size;
+  }
+  return words;
+}
+
+}  // namespace
+
 Controller::Controller(dp::RunproDataplane& dataplane, SimClock& clock,
                        rp::Objective objective, BfrtCostModel cost,
                        obs::Telemetry* telemetry)
@@ -26,7 +58,17 @@ Controller::Controller(dp::RunproDataplane& dataplane, SimClock& clock,
   dataplane_.pipeline().set_observer(&telemetry_->monitor);
   resources_.attach_telemetry(telemetry_);
   updates_.set_telemetry(telemetry_);
+  // Admission gauges as probes: the admission controller is internally
+  // synchronized, so sampling at export time is safe from any thread.
+  telemetry_->metrics.register_probe("ctrl.tenant.queue_depth", this, [this] {
+    return static_cast<double>(admission_.queue_depth());
+  });
+  telemetry_->metrics.register_probe("ctrl.tenant.inflight", this, [this] {
+    return static_cast<double>(admission_.inflight());
+  });
 }
+
+Controller::~Controller() { telemetry_->metrics.unregister_probes(this); }
 
 obs::ProgramHealthMonitor& Controller::monitor() noexcept {
   return telemetry_->monitor;
@@ -149,7 +191,8 @@ Result<LinkResult> Controller::link_single(std::string_view source) {
 }
 
 Result<LinkResult> Controller::link_one_locked(const rp::TranslatedProgram& ir,
-                                               ProgramId replacing) {
+                                               ProgramId replacing,
+                                               TenantId tenant) {
   // Every rollback leaves an audit trail: a LinkFailed event carrying the
   // coded error, plus a TxnRollback entry in the monitor stream when a
   // transaction (id assigned) was actually begun.
@@ -205,7 +248,13 @@ Result<LinkResult> Controller::link_one_locked(const rp::TranslatedProgram& ir,
     return fail(id, installed.error());
   }
   telemetry_->monitor.txn_committed(id, ir.name);
-  programs_.emplace(id, std::move(installed).take());
+  InstalledProgram program = std::move(installed).take();
+  program.tenant = tenant;
+  // Unchecked charge: serial/relink/defrag callers bypass the quota gate
+  // (the concurrent session path charges at admission instead and never
+  // reaches this function).
+  tenants_.charge(tenant, memory_demand(ir), entry_demand(ir));
+  programs_.emplace(id, std::move(program));
 
   LinkResult result;
   result.id = id;
@@ -218,11 +267,20 @@ Result<LinkResult> Controller::link_one_locked(const rp::TranslatedProgram& ir,
 std::vector<Result<LinkResult>> Controller::link_many(
     const std::vector<std::string>& sources, common::ThreadPool& pool,
     ParallelLinkOptions options) {
+  std::vector<SessionSpec> sessions;
+  sessions.reserve(sources.size());
+  for (const auto& source : sources) sessions.push_back(SessionSpec{source, 0});
+  return link_many(sessions, pool, options);
+}
+
+std::vector<Result<LinkResult>> Controller::link_many(
+    const std::vector<SessionSpec>& sessions, common::ThreadPool& pool,
+    ParallelLinkOptions options) {
   std::vector<std::future<Result<LinkResult>>> futures;
-  futures.reserve(sources.size());
-  for (const auto& source : sources) {
+  futures.reserve(sessions.size());
+  for (const auto& session : sessions) {
     futures.push_back(pool.submit(
-        [this, &source, options] { return link_one_parallel(source, options); }));
+        [this, &session, options] { return link_session(session, options); }));
   }
   std::vector<Result<LinkResult>> results;
   results.reserve(futures.size());
@@ -230,11 +288,11 @@ std::vector<Result<LinkResult>> Controller::link_many(
   return results;
 }
 
-Result<LinkResult> Controller::link_one_parallel(const std::string& source,
-                                                 ParallelLinkOptions options) {
+Result<LinkResult> Controller::link_session(const SessionSpec& session,
+                                            ParallelLinkOptions options) {
   // Compile + translate off-lock: pure compute over the source text. No
   // telemetry — the tracer and clock are shared state behind mu_.
-  auto compiled = rp::compile_source(source, nullptr);
+  auto compiled = rp::compile_source(session.source, nullptr);
   if (!compiled.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
     clock_.advance_ms(2.0);
@@ -247,6 +305,58 @@ Result<LinkResult> Controller::link_one_parallel(const std::string& source,
                  ErrorCode::InvalidArgument};
   }
   const rp::TranslatedProgram& ir = compiled.value().front();
+  const TenantId tenant = session.tenant;
+
+  // Admission gate. The controller BLOCKS queued sessions (weighted fair
+  // order), so it runs strictly before mu_ is taken; a shed returns
+  // immediately with AdmissionShed instead of spinning retries against a
+  // saturated switch.
+  WallTimer wait_timer;
+  auto grant = admission_.acquire(tenant, tenants_.weight(tenant));
+  if (!grant.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    telemetry_->metrics.counter("ctrl.tenant.shed").inc();
+    telemetry_->monitor.admission_shed(tenant, ir.name, grant.error().str());
+    record_event(ControlEvent::Kind::LinkFailed, 0, ir.name, grant.error().str());
+    return grant.error();
+  }
+  const double queue_wait_ms = wait_timer.elapsed_ms();
+
+  auto result = link_session_admitted(ir, tenant, options);
+  admission_.release();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& m = telemetry_->metrics;
+  m.counter("ctrl.tenant.admitted").inc();
+  m.histogram("ctrl.tenant.queue_wait_ms").observe(queue_wait_ms);
+  return result;
+}
+
+Result<LinkResult> Controller::link_session_admitted(
+    const rp::TranslatedProgram& ir, TenantId tenant,
+    ParallelLinkOptions options) {
+  // Quota gate: charge the session's full demand up front (demand equals
+  // the committed footprint exactly, see memory_demand) and refund on every
+  // failure path. Charging before reserving keeps the invariant one-sided:
+  // registry usage >= sum of installed footprints, so concurrent sessions
+  // can never oversubscribe a quota between check and commit.
+  const std::uint64_t mem_words = memory_demand(ir);
+  const std::uint64_t entry_count = entry_demand(ir);
+  if (auto s = tenants_.admit(tenant, mem_words, entry_count); !s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    telemetry_->metrics.counter("ctrl.tenant.quota_rejected").inc();
+    record_event(ControlEvent::Kind::LinkFailed, 0, ir.name, s.error().str());
+    return s.error();
+  }
+  struct ChargeGuard {
+    TenantRegistry& tenants;
+    TenantId tenant;
+    std::uint64_t mem, entries;
+    bool armed = true;
+    ~ChargeGuard() {
+      if (armed) tenants.refund(tenant, mem, entries);
+    }
+  } charge_guard{tenants_, tenant, mem_words, entry_count};
 
   Error conflict{"parallel link: retries exhausted", "Controller",
                  ErrorCode::AllocFailed};
@@ -278,6 +388,17 @@ Result<LinkResult> Controller::link_one_parallel(const std::string& source,
         fixed_alloc_charge_ms_ ? *fixed_alloc_charge_ms_ : solve_ms;
     clock_.advance_ms(alloc_ms);
     if (!alloc.ok()) {
+      if (alloc.error().code == ErrorCode::AllocFailed && auto_defrag_ &&
+          attempt < options.max_solve_retries) {
+        // The snapshot had the words but not the contiguity: compact, then
+        // burn a retry on the improved memory map instead of an unchanged
+        // one. Bounded like every retry — a genuinely full switch still
+        // exhausts the cap and reports AllocFailed.
+        conflict = alloc.error();
+        telemetry_->metrics.counter("ctrl.link.retries").inc();
+        defragment_locked(DefragOptions{});
+        continue;
+      }
       record_event(ControlEvent::Kind::LinkFailed, 0, ir.name,
                    alloc.error().str());
       return alloc.error();
@@ -301,6 +422,8 @@ Result<LinkResult> Controller::link_one_parallel(const std::string& source,
         // Another session took the resources between snapshot and lock:
         // re-snapshot and re-solve.
         conflict = s.error();
+        telemetry_->metrics.counter("ctrl.link.retries").inc();
+        if (auto_defrag_) defragment_locked(DefragOptions{});
         continue;
       }
       telemetry_->monitor.txn_rolled_back(id, ir.name, s.error().str());
@@ -341,7 +464,10 @@ Result<LinkResult> Controller::link_one_parallel(const std::string& source,
       return installed.error();
     }
     telemetry_->monitor.txn_committed(id, ir.name);
-    programs_.emplace(id, std::move(installed).take());
+    InstalledProgram program = std::move(installed).take();
+    program.tenant = tenant;
+    charge_guard.armed = false;  // install owns the admission charge now
+    programs_.emplace(id, std::move(program));
     record_event(ControlEvent::Kind::Link, id, ir.name);
 
     LinkResult result;
@@ -380,8 +506,10 @@ Result<LinkResult> Controller::relink(ProgramId old_id, std::string_view source)
   }
 
   // Install the new version first (it stays invisible until its filter
-  // lands, which outranks the old one), then retire the old version.
-  auto linked = link_one_locked(compiled.value().front(), old_id);
+  // lands, which outranks the old one), then retire the old version. The
+  // new version stays attributed to the old version's tenant.
+  const TenantId tenant = program_unlocked(old_id)->tenant;
+  auto linked = link_one_locked(compiled.value().front(), old_id, tenant);
   if (!linked.ok()) return linked.error();
   record_event(ControlEvent::Kind::Relink, linked.value().id,
                compiled.value().front().name);
@@ -425,6 +553,12 @@ Status Controller::revoke(ProgramId id) {
     (void)handle;
     ++entries_per_rpb[rpb];
   }
+  // Tenant footprint, captured now: a successful remove clears the
+  // program's placement and handle vectors.
+  const TenantId tenant = it->second.tenant;
+  const std::uint64_t tenant_words = footprint_words(it->second);
+  const auto tenant_entries =
+      static_cast<std::uint64_t>(it->second.rpb_handles.size());
 
   busy_ids_.insert(id);
   auto revoke_span = telemetry_->tracer.span("revoke", "ctrl");
@@ -456,6 +590,7 @@ Status Controller::revoke(ProgramId id) {
   }
   resources_.erase_program(id);
   dataplane_.clear_claim_counter(id);
+  tenants_.release(tenant, tenant_words, tenant_entries);
   record_event(ControlEvent::Kind::Revoke, id, program.name);
   free_ids_.push_back(id);
   programs_.erase(id);
@@ -481,6 +616,12 @@ Status Controller::revoke_locked(ProgramId id) {
     (void)handle;
     ++entries_per_rpb[rpb];
   }
+  // Tenant footprint, captured now: a successful remove clears the
+  // program's placement and handle vectors.
+  const TenantId tenant = program.tenant;
+  const std::uint64_t tenant_words = footprint_words(program);
+  const auto tenant_entries =
+      static_cast<std::uint64_t>(program.rpb_handles.size());
 
   if (auto s = updates_.remove(program); !s.ok()) {
     // The removal journal restored the program (fresh handles); it keeps
@@ -496,6 +637,7 @@ Status Controller::revoke_locked(ProgramId id) {
   }
   resources_.erase_program(id);
   dataplane_.clear_claim_counter(id);
+  tenants_.release(tenant, tenant_words, tenant_entries);
   record_event(ControlEvent::Kind::Revoke, id, program.name);
   free_ids_.push_back(id);
   programs_.erase(it);
@@ -636,6 +778,137 @@ Status Controller::write_memory(ProgramId id, const std::string& vmem, MemAddr v
   // in flight, and a CPU-side memory write must not race its entry writes.
   updates_.wait_idle();
   return resources_.write_virtual(dataplane_, id, vmem, vaddr, value);
+}
+
+Result<DefragReport> Controller::defragment(DefragOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  obs::TraceScope trace(telemetry_);
+  LockHoldTimer hold(clock_, telemetry_);
+  return defragment_locked(options);
+}
+
+DefragReport Controller::defragment_locked(const DefragOptions& options) {
+  auto defrag_span = telemetry_->tracer.span("defrag", "ctrl");
+  // Quiesce the channel: a move revokes the old copy, and the writer must
+  // not own any handle vectors while we walk the program table. Moves
+  // themselves commit inline *through* the writer in async mode.
+  updates_.wait_idle();
+  updates_.set_maintenance(true);
+
+  DefragReport report;
+  report.frag_start = resources_.total_fragmentation_words();
+  std::set<ProgramId> skip;  // programs whose move failed this pass
+  while (static_cast<int>(report.moves.size()) < options.max_moves) {
+    const std::uint64_t frag_now = resources_.total_fragmentation_words();
+    if (frag_now < options.min_gain_words) break;
+
+    // Pick the move with the best *simulated* gain. Simulation replays the
+    // exact reserve/release walk the transaction will take, so "gain" here
+    // is what the metric will actually do — the monotonicity guarantee is
+    // decided before any state changes.
+    const auto snap = resources_.snapshot();
+    ProgramId best_id = 0;
+    std::uint64_t best_after = frag_now;
+    for (const auto& [id, program] : programs_) {
+      if (busy_ids_.count(id) != 0 || skip.count(id) != 0) continue;
+      if (program.placements.empty()) continue;
+      std::uint64_t after = 0;
+      if (!simulate_compaction(snap, program, &after)) continue;
+      if (after < best_after) {
+        best_after = after;
+        best_id = id;
+      }
+    }
+    if (best_id == 0 || frag_now - best_after < options.min_gain_words) break;
+
+    auto moved = compact_program_locked(best_id);
+    if (!moved.ok()) {
+      // Rolled back (injected fault or transient entry pressure): state is
+      // exactly as before the attempt. Skip the program for this pass.
+      ++report.failed_moves;
+      skip.insert(best_id);
+      continue;
+    }
+    const std::uint64_t frag_after = resources_.total_fragmentation_words();
+    assert(frag_after == best_after && "defrag move diverged from simulation");
+
+    DefragMove move;
+    move.old_id = best_id;
+    move.new_id = moved.value();
+    move.name = programs_.at(moved.value()).name;
+    move.frag_before = frag_now;
+    move.frag_after = frag_after;
+    telemetry_->monitor.defrag_moved(best_id, moved.value(), move.name, frag_now,
+                                     frag_after);
+    auto& m = telemetry_->metrics;
+    m.counter("ctrl.defrag.moves").inc();
+    m.counter("ctrl.defrag.words_reclaimed").inc(frag_now - frag_after);
+    report.moves.push_back(std::move(move));
+  }
+
+  updates_.set_maintenance(false);
+  report.frag_end = resources_.total_fragmentation_words();
+  telemetry_->metrics.counter("ctrl.defrag.passes").inc();
+  defrag_span.arg("moves", static_cast<std::uint64_t>(report.moves.size()));
+  defrag_span.arg("reclaimed_words", report.frag_start - report.frag_end);
+  return report;
+}
+
+Result<ProgramId> Controller::compact_program_locked(ProgramId old_id) {
+  const InstalledProgram& old_program = programs_.at(old_id);
+  // Local copies: the transaction holds the IR by reference for its whole
+  // lifetime, and revoking the old copy erases its map node mid-function.
+  const rp::TranslatedProgram ir = old_program.ir;
+  rp::AllocationResult alloc = old_program.alloc;
+  const TenantId tenant = old_program.tenant;
+
+  // Same pinned stages (the stored alloc), fresh first-fit placements;
+  // replacing=old_id carries the old copy's memory bytes into the new
+  // blocks inside the same transaction, so program state survives the move.
+  const ProgramId new_id = next_program_id();
+  DeployTransaction txn(
+      DeployContext{dataplane_, resources_, updates_, telemetry_}, ir,
+      std::move(alloc), new_id, ++filter_generation_, old_id);
+  if (auto s = txn.reserve(); !s.ok()) {
+    recycle_failed_id(new_id);
+    telemetry_->monitor.txn_rolled_back(new_id, ir.name, s.error().str());
+    return s.error();
+  }
+  txn.plan_entries();
+  txn.stage();
+  auto installed = txn.commit();
+  if (!installed.ok()) {
+    recycle_failed_id(new_id);
+    telemetry_->monitor.txn_rolled_back(new_id, ir.name, installed.error().str());
+    record_event(ControlEvent::Kind::LinkFailed, new_id, ir.name,
+                 installed.error().str());
+    return installed.error();
+  }
+  telemetry_->monitor.txn_committed(new_id, ir.name);
+  InstalledProgram program = std::move(installed).take();
+  program.tenant = tenant;
+  tenants_.charge(tenant, memory_demand(ir), entry_demand(ir));
+  programs_.emplace(new_id, std::move(program));
+  record_event(ControlEvent::Kind::Relink, new_id, ir.name, "defrag move");
+
+  if (auto s = revoke_locked(old_id); !s.ok()) {
+    // Old copy rolled back into service; retire the new copy instead.
+    const Status undo = revoke_locked(new_id);
+    assert(undo.ok());
+    (void)undo;
+    return s.error();
+  }
+  return new_id;
+}
+
+void Controller::set_auto_defrag(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto_defrag_ = enabled;
+}
+
+bool Controller::auto_defrag() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return auto_defrag_;
 }
 
 }  // namespace p4runpro::ctrl

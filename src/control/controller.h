@@ -19,7 +19,10 @@
 #include "common/thread_pool.h"
 #include "compiler/compiler.h"
 #include "compiler/solver.h"
+#include "control/admission.h"
+#include "control/defrag.h"
 #include "control/resource_manager.h"
+#include "control/tenant.h"
 #include "control/update_engine.h"
 #include "dataplane/runpro_dataplane.h"
 
@@ -70,8 +73,17 @@ struct ParallelLinkOptions {
   /// A session solves against a resource snapshot off-lock; by commit time
   /// another session may have taken those resources. On such a reservation
   /// conflict the session re-snapshots and re-solves, up to this many extra
-  /// attempts, before giving up with the conflict error.
+  /// attempts, before giving up with the conflict error. This is a hard cap
+  /// on the retry spin: every extra attempt bumps "ctrl.link.retries", so an
+  /// oversubscribed switch shows up as a counter, not as livelock.
   int max_solve_retries = 3;
+};
+
+/// One concurrent link session: a single-program source unit tagged with the
+/// tenant whose quota and fair share it runs under (0 = default tenant).
+struct SessionSpec {
+  std::string source;
+  TenantId tenant = 0;
 };
 
 class Controller {
@@ -100,6 +112,19 @@ class Controller {
   std::vector<Result<LinkResult>> link_many(const std::vector<std::string>& sources,
                                             common::ThreadPool& pool,
                                             ParallelLinkOptions options = {});
+  /// Tenant-attributed variant: every session passes admission (bounded
+  /// in-flight reservations, weighted fair queuing, shed past the queue
+  /// bound with ErrorCode::AdmissionShed) and its tenant's quota gate
+  /// (ErrorCode::QuotaExceeded) before reserving.
+  std::vector<Result<LinkResult>> link_many(const std::vector<SessionSpec>& sessions,
+                                            common::ThreadPool& pool,
+                                            ParallelLinkOptions options = {});
+  /// One admission-gated link session (the unit link_many maps over a
+  /// pool). Safe to call concurrently from any thread — this is the
+  /// entry point for callers that drive their own session threads (e.g.
+  /// bench/tenant_churn measuring per-session latency).
+  Result<LinkResult> link_session(const SessionSpec& session,
+                                  ParallelLinkOptions options = {});
 
   /// Incremental update (paper §7): atomically replace a running program
   /// with a new version compiled from `source`, preserving the contents of
@@ -186,6 +211,39 @@ class Controller {
     fixed_alloc_charge_ms_ = ms;
   }
 
+  // --- multi-tenant control plane -----------------------------------------
+  // (docs/ARCHITECTURE.md "Multi-tenant control plane")
+
+  /// Per-tenant quotas and usage. Internally synchronized; register quotas
+  /// before launching the tenant's sessions.
+  [[nodiscard]] TenantRegistry& tenants() noexcept { return tenants_; }
+  [[nodiscard]] const TenantRegistry& tenants() const noexcept { return tenants_; }
+
+  /// Admission bounds for link sessions (in-flight cap + queue bound).
+  /// Reconfigure only with no session in flight.
+  void set_admission_config(AdmissionConfig config) {
+    admission_.set_config(config);
+  }
+  [[nodiscard]] const AdmissionController& admission() const noexcept {
+    return admission_;
+  }
+
+  /// Run one defragmentation pass: greedily migrate installed programs
+  /// (best simulated fragmentation gain first) through relink transactions
+  /// until no move gains at least `min_gain_words` or `max_moves` is
+  /// reached. Quiesces the async channel first; commits route through the
+  /// writer (inline) in async mode. The fragmentation metric is
+  /// non-increasing across every executed move by construction.
+  Result<DefragReport> defragment(DefragOptions options = {});
+
+  /// Auto-defrag: when a session's reservation fails with AllocFailed, run
+  /// a bounded defrag pass under the lock and retry the reservation (still
+  /// within the session's retry cap). Off by default.
+  void set_auto_defrag(bool enabled);
+  [[nodiscard]] bool auto_defrag() const;
+
+  ~Controller();
+
  private:
   // Locking discipline (docs/ARCHITECTURE.md "Async control channel"): all
   // mutations of controller/resource/clock/telemetry state happen under
@@ -203,10 +261,20 @@ class Controller {
   // can't double-book a name or mutate a program the writer still owns.
   Result<std::vector<LinkResult>> link_locked(std::string_view source);
   Result<LinkResult> link_one_locked(const rp::TranslatedProgram& ir,
-                                     ProgramId replacing = 0);
-  Result<LinkResult> link_one_parallel(const std::string& source,
-                                       ParallelLinkOptions options);
+                                     ProgramId replacing = 0,
+                                     TenantId tenant = 0);
+  /// Admitted session body: everything after the admission grant (quota
+  /// gate, off-lock solve, locked reserve+commit, retry loop). The caller
+  /// (link_session) owns the grant and releases it afterwards.
+  Result<LinkResult> link_session_admitted(const rp::TranslatedProgram& ir,
+                                           TenantId tenant,
+                                           ParallelLinkOptions options);
   Status revoke_locked(ProgramId id);
+  /// One defrag pass under mu_ (channel quiesced by the caller).
+  DefragReport defragment_locked(const DefragOptions& options);
+  /// Migrate one program: commit a copy at its stored allocation
+  /// (replacing = old id, memory carried over), then retire the old copy.
+  Result<ProgramId> compact_program_locked(ProgramId id);
   [[nodiscard]] const InstalledProgram* program_unlocked(ProgramId id) const;
   [[nodiscard]] const InstalledProgram* program_by_name_unlocked(
       const std::string& name) const;
@@ -241,6 +309,16 @@ class Controller {
   ProgramId next_id_ = 1;
   std::vector<ProgramId> free_ids_;  ///< fed only by successful revokes
   int filter_generation_ = 0;
+
+  // Multi-tenant state. Both are internally synchronized leaf locks that
+  // never acquire anything themselves. The admission controller BLOCKS
+  // (queued sessions wait on its cv), so it is never entered with mu_ held
+  // — sessions acquire their grant first, then take mu_. The tenant
+  // registry never blocks, so charging/releasing under mu_ is fine.
+  // auto_defrag_ is guarded by mu_.
+  TenantRegistry tenants_;
+  AdmissionController admission_;
+  bool auto_defrag_ = false;
 };
 
 }  // namespace p4runpro::ctrl

@@ -67,6 +67,33 @@ void ResourceManager::attach_telemetry(obs::Telemetry* telemetry) {
                    [this] { return total_memory_utilization(); });
   m.register_probe("ctrl.resources.programs", this,
                    [this] { return static_cast<double>(programs_.size()); });
+  m.register_probe("ctrl.resources.fragmentation_words", this, [this] {
+    return static_cast<double>(total_fragmentation_words());
+  });
+}
+
+std::uint64_t ResourceManager::fragmentation_words(int rpb) const {
+  std::uint64_t total = 0;
+  std::uint64_t largest = 0;
+  for (const MemBlock& b : free_list(rpb)) {
+    total += b.size;
+    largest = std::max<std::uint64_t>(largest, b.size);
+  }
+  return total - largest;
+}
+
+std::uint64_t ResourceManager::total_fragmentation_words() const {
+  std::uint64_t frag = 0;
+  for (int rpb = 1; rpb <= spec_.total_rpbs(); ++rpb) {
+    frag += fragmentation_words(rpb);
+  }
+  return frag;
+}
+
+std::uint32_t ResourceManager::largest_free_block(int rpb) const {
+  std::uint32_t largest = 0;
+  for (const MemBlock& b : free_list(rpb)) largest = std::max(largest, b.size);
+  return largest;
 }
 
 std::list<MemBlock>& ResourceManager::free_list(int rpb) {

@@ -105,6 +105,14 @@ class ResourceManager {
   /// programs occupy the stage's SALU and hash unit (one of each per stage).
   [[nodiscard]] std::uint32_t stateful_programs(int rpb) const;
 
+  /// External fragmentation of one RPB's stage memory: free words minus the
+  /// largest free block — the words that exist but cannot serve a maximal
+  /// contiguous request (§7; the defrag pass drives this toward zero).
+  [[nodiscard]] std::uint64_t fragmentation_words(int rpb) const;
+  [[nodiscard]] std::uint64_t total_fragmentation_words() const;
+  /// Largest contiguous free block of one RPB (0 when fully used).
+  [[nodiscard]] std::uint32_t largest_free_block(int rpb) const;
+
   /// Publish per-stage occupancy gauges ("ctrl.rpb.NN.{tcam_used,sram_used,
   /// salu_programs,hash_programs}") and the total-utilization gauges as
   /// sampled probes of `telemetry`'s registry; the manager stays the source

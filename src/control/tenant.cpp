@@ -1,0 +1,87 @@
+#include "control/tenant.h"
+
+namespace p4runpro::ctrl {
+
+void TenantRegistry::register_tenant(TenantId tenant, TenantQuota quota) {
+  std::lock_guard<std::mutex> lock(mu_);
+  quotas_[tenant] = quota;
+}
+
+TenantQuota TenantRegistry::quota(TenantId tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = quotas_.find(tenant);
+  return it == quotas_.end() ? TenantQuota{} : it->second;
+}
+
+TenantUsage TenantRegistry::usage(TenantId tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = usage_.find(tenant);
+  return it == usage_.end() ? TenantUsage{} : it->second;
+}
+
+double TenantRegistry::weight(TenantId tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = quotas_.find(tenant);
+  const double w = it == quotas_.end() ? 1.0 : it->second.weight;
+  return w > 0.0 ? w : 1.0;
+}
+
+Status TenantRegistry::admit(TenantId tenant, std::uint64_t memory_words,
+                             std::uint64_t entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantUsage& u = usage_[tenant];
+  const auto qit = quotas_.find(tenant);
+  if (qit != quotas_.end()) {
+    const TenantQuota& q = qit->second;
+    const bool over_programs = q.max_programs != 0 && u.programs + 1 > q.max_programs;
+    const bool over_memory =
+        q.max_memory_words != 0 && u.memory_words + memory_words > q.max_memory_words;
+    const bool over_entries =
+        q.max_entries != 0 && u.entries + entries > q.max_entries;
+    if (over_programs || over_memory || over_entries) {
+      ++u.quota_rejected;
+      const char* dim = over_programs ? "program count"
+                        : over_memory ? "memory words"
+                                      : "table entries";
+      return Error{"tenant " + std::to_string(tenant) + " quota exceeded (" +
+                       dim + ")",
+                   "TenantRegistry", ErrorCode::QuotaExceeded};
+    }
+  }
+  ++u.programs;
+  u.memory_words += memory_words;
+  u.entries += entries;
+  ++u.admitted;
+  return {};
+}
+
+void TenantRegistry::charge(TenantId tenant, std::uint64_t memory_words,
+                            std::uint64_t entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantUsage& u = usage_[tenant];
+  ++u.programs;
+  u.memory_words += memory_words;
+  u.entries += entries;
+}
+
+void TenantRegistry::uncharge_locked(TenantId tenant, std::uint64_t memory_words,
+                                     std::uint64_t entries) {
+  TenantUsage& u = usage_[tenant];
+  u.programs = u.programs > 0 ? u.programs - 1 : 0;
+  u.memory_words = u.memory_words >= memory_words ? u.memory_words - memory_words : 0;
+  u.entries = u.entries >= entries ? u.entries - entries : 0;
+}
+
+void TenantRegistry::refund(TenantId tenant, std::uint64_t memory_words,
+                            std::uint64_t entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uncharge_locked(tenant, memory_words, entries);
+}
+
+void TenantRegistry::release(TenantId tenant, std::uint64_t memory_words,
+                             std::uint64_t entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uncharge_locked(tenant, memory_words, entries);
+}
+
+}  // namespace p4runpro::ctrl

@@ -1,0 +1,87 @@
+// Tenant registry: per-tenant resource quotas and usage accounting for the
+// multi-tenant control plane (docs/ARCHITECTURE.md "Multi-tenant control
+// plane"). Quotas bound what one tenant can hold across all its installed
+// programs — program count, total stage-memory words and total table
+// entries — so a noisy tenant cannot starve the switch.
+//
+// Accounting model: sessions CHARGE their demand at admission time (before
+// solving), not at commit time. Demand is computable straight from the IR
+// (memory = sum of vmem sizes, entries = one per node / one per branch
+// case) and equals the committed footprint exactly, so charge-then-refund
+// keeps concurrent same-tenant sessions from overshooting a quota between
+// check and commit. Any session failure refunds; revoke releases.
+//
+// Thread safety: internally synchronized (own mutex), never calls out while
+// holding it — safe to use both off-lock (admission, before the session
+// lock) and under the controller's session lock (revoke release). The
+// registry mutex is a leaf lock: nothing else is ever acquired under it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+
+namespace p4runpro::ctrl {
+
+/// Tenant identity. 0 is the default tenant: untagged sessions (the
+/// single-operator paths: link, relink, chain links) charge against it, and
+/// it is unlimited unless a quota is explicitly registered.
+using TenantId = std::uint32_t;
+
+/// Per-tenant resource bounds. 0 = unlimited for each dimension.
+struct TenantQuota {
+  std::uint32_t max_programs = 0;       ///< concurrently installed programs
+  std::uint64_t max_memory_words = 0;   ///< total stage-memory words held
+  std::uint64_t max_entries = 0;        ///< total table entries held
+  double weight = 1.0;                  ///< fair-share weight (admission WFQ)
+};
+
+/// What a tenant currently holds (admitted sessions included: demand is
+/// charged at admission and refunded on failure).
+struct TenantUsage {
+  std::uint32_t programs = 0;
+  std::uint64_t memory_words = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t admitted = 0;        ///< lifetime successful quota admissions
+  std::uint64_t quota_rejected = 0;  ///< lifetime QuotaExceeded rejections
+};
+
+class TenantRegistry {
+ public:
+  /// Register (or replace) a tenant's quota. Unregistered tenants are
+  /// unlimited with weight 1.0 — registration is opt-in throttling.
+  void register_tenant(TenantId tenant, TenantQuota quota);
+
+  [[nodiscard]] TenantQuota quota(TenantId tenant) const;
+  [[nodiscard]] TenantUsage usage(TenantId tenant) const;
+  [[nodiscard]] double weight(TenantId tenant) const;
+
+  /// Check the tenant's quota against its current usage plus this demand
+  /// and, when it fits, charge it (one program, `memory_words`, `entries`).
+  /// Fails with QuotaExceeded (and counts the rejection) otherwise.
+  Status admit(TenantId tenant, std::uint64_t memory_words, std::uint64_t entries);
+
+  /// Charge without a quota check: serial/maintenance paths (relink of an
+  /// existing program, defragmentation copies) must never be blocked by a
+  /// full quota — their net usage is zero once the old version is released.
+  void charge(TenantId tenant, std::uint64_t memory_words, std::uint64_t entries);
+
+  /// Return a charge: `refund` for a session that failed after admission,
+  /// `release` when an installed program is revoked. Identical accounting;
+  /// the two names keep call sites self-describing. Clamped at zero.
+  void refund(TenantId tenant, std::uint64_t memory_words, std::uint64_t entries);
+  void release(TenantId tenant, std::uint64_t memory_words, std::uint64_t entries);
+
+ private:
+  void uncharge_locked(TenantId tenant, std::uint64_t memory_words,
+                       std::uint64_t entries);
+
+  mutable std::mutex mu_;
+  std::map<TenantId, TenantQuota> quotas_;
+  std::map<TenantId, TenantUsage> usage_;
+};
+
+}  // namespace p4runpro::ctrl

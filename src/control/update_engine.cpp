@@ -60,6 +60,7 @@ void UpdateEngine::charge_batch(std::size_t count, const char* what,
       auto& m = telemetry_->metrics;
       m.counter("ctrl.bfrt.batches").inc();
       m.counter("ctrl.bfrt.entry_writes").inc(count);
+      if (maintenance_) m.counter("ctrl.bfrt.maintenance_batches").inc();
       const auto bounds = obs::Histogram::count_bounds();
       m.histogram("ctrl.bfrt.batch_entries", bounds)
           .observe(static_cast<double>(count));
@@ -390,6 +391,7 @@ UpdateEngine::PendingWrite UpdateEngine::submit_install(
   pending.ops = batch.ops.size();
   pending.outcome->trace =
       telemetry_ != nullptr ? telemetry_->active_trace.trace_id : 0;
+  pending.outcome->maintenance = maintenance_;
 
   auto promise = std::make_shared<std::promise<void>>();
   pending.done = promise->get_future();
@@ -444,6 +446,7 @@ UpdateEngine::PendingWrite UpdateEngine::submit_remove(
   pending.ops = pending.outcome->batch->ops.size();
   pending.outcome->trace =
       telemetry_ != nullptr ? telemetry_->active_trace.trace_id : 0;
+  pending.outcome->maintenance = maintenance_;
 
   auto promise = std::make_shared<std::promise<void>>();
   pending.done = promise->get_future();
@@ -501,6 +504,7 @@ void UpdateEngine::emit_charges(const WriteOutcome& outcome) {
                                      std::move(args));
       m.counter("ctrl.bfrt.batches").inc();
       m.counter("ctrl.bfrt.entry_writes").inc(charge.entries);
+      if (outcome.maintenance) m.counter("ctrl.bfrt.maintenance_batches").inc();
       const auto bounds = obs::Histogram::count_bounds();
       m.histogram("ctrl.bfrt.batch_entries", bounds)
           .observe(static_cast<double>(charge.entries));

@@ -54,6 +54,7 @@
 #include "compiler/solver.h"
 #include "control/async_writer.h"
 #include "control/resource_manager.h"
+#include "control/tenant.h"
 #include "dataplane/runpro_dataplane.h"
 #include "dataplane/write_op.h"
 
@@ -76,6 +77,8 @@ struct BfrtCostModel {
 struct InstalledProgram {
   ProgramId id = 0;
   std::string name;
+  /// Owning tenant (quota accounting); 0 = default tenant.
+  TenantId tenant = 0;
   rp::TranslatedProgram ir;
   rp::AllocationResult alloc;
   rp::EntryPlan plan;
@@ -124,6 +127,7 @@ class UpdateEngine {
     std::vector<std::pair<int, MemBlock>> deferred_frees;
     SimClock::Nanos completion_ns = 0;
     std::uint64_t trace = 0;  ///< trace id active at submission
+    bool maintenance = false;  ///< submitted while in maintenance mode
     /// Remove jobs own their staged batch (install batches are owned by the
     /// transaction, which outlives the finish).
     std::shared_ptr<dp::WriteBatch> batch;
@@ -208,6 +212,13 @@ class UpdateEngine {
   /// Telemetry sink for per-batch write spans ("bfrt.batch") and the
   /// "ctrl.bfrt.*" write counters; null disables (set by the controller).
   void set_telemetry(obs::Telemetry* telemetry) noexcept { telemetry_ = telemetry; }
+
+  /// Maintenance mode: batches charged while set also count toward
+  /// "ctrl.bfrt.maintenance_batches", so operator dashboards can separate
+  /// defrag/compaction channel traffic from tenant-driven deploys. Toggled
+  /// by Controller::defragment around its moves (under the session lock).
+  void set_maintenance(bool on) noexcept { maintenance_ = on; }
+  [[nodiscard]] bool maintenance() const noexcept { return maintenance_; }
 
   /// Chain-hop label for this engine's write spans: ChainController tags
   /// each hop's engine with its index so "bfrt.batch" spans (and trace
@@ -330,6 +341,7 @@ class UpdateEngine {
 
   int fault_after_ = -1;
   int hop_label_ = -1;
+  bool maintenance_ = false;
   std::uint64_t writes_applied_ = 0;
   std::function<void()> step_observer_;
   obs::Telemetry* telemetry_ = nullptr;

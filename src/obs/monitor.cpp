@@ -19,6 +19,8 @@ namespace {
     case MonitorEvent::Kind::TxnRollback: return "txn_rollback";
     case MonitorEvent::Kind::ChainTxnCommit: return "chain_txn_commit";
     case MonitorEvent::Kind::ChainTxnRollback: return "chain_txn_rollback";
+    case MonitorEvent::Kind::AdmissionShed: return "admission_shed";
+    case MonitorEvent::Kind::DefragMove: return "defrag_move";
   }
   return "?";
 }
@@ -146,6 +148,30 @@ void ProgramHealthMonitor::chain_txn_rolled_back(ProgramId id, std::string_view 
   event.hops = hops;
   event.faulted_hop = faulted_hop;
   event.detail = std::string(reason);
+  push_event(std::move(event));
+}
+
+void ProgramHealthMonitor::admission_shed(std::uint32_t tenant,
+                                          std::string_view name,
+                                          std::string_view reason) {
+  MonitorEvent event;
+  event.kind = MonitorEvent::Kind::AdmissionShed;
+  event.program_name = std::string(name);
+  event.tenant = tenant;
+  event.detail = std::string(reason);
+  push_event(std::move(event));
+}
+
+void ProgramHealthMonitor::defrag_moved(ProgramId old_id, ProgramId new_id,
+                                        std::string_view name,
+                                        std::uint64_t frag_before,
+                                        std::uint64_t frag_after) {
+  MonitorEvent event;
+  event.kind = MonitorEvent::Kind::DefragMove;
+  event.program = new_id;
+  event.program_name = std::string(name);
+  event.old_program = old_id;
+  event.gain = frag_before >= frag_after ? frag_before - frag_after : 0;
   push_event(std::move(event));
 }
 
@@ -449,6 +475,13 @@ void export_alerts_jsonl(const ProgramHealthMonitor& monitor, std::ostream& out)
         if (!e.series.empty()) {
           out << ",\"series\":\"" << json_escape(e.series) << "\"";
         }
+        break;
+      case MonitorEvent::Kind::AdmissionShed:
+        out << ",\"tenant\":" << e.tenant << ",\"detail\":\""
+            << json_escape(e.detail) << "\"";
+        break;
+      case MonitorEvent::Kind::DefragMove:
+        out << ",\"old_program\":" << e.old_program << ",\"gain\":" << e.gain;
         break;
     }
     if (e.trace != 0) {

@@ -117,7 +117,7 @@ struct AlertRule {
 struct MonitorEvent {
   enum class Kind : std::uint8_t {
     Deploy, Revoke, Alert, TxnCommit, TxnRollback, ChainTxnCommit,
-    ChainTxnRollback
+    ChainTxnRollback, AdmissionShed, DefragMove
   } kind = Kind::Deploy;
   std::uint64_t seq = 0;  ///< monotonically increasing stream position
   double t_ms = 0.0;      ///< virtual time
@@ -138,6 +138,9 @@ struct MonitorEvent {
   /// against. 0 when no trace is known.
   std::uint64_t trace = 0;
   std::string series;        ///< anomaly alerts only: the offending series
+  std::uint32_t tenant = 0;  ///< admission sheds: the shed session's tenant
+  ProgramId old_program = 0; ///< defrag moves: the retired copy's id
+  std::uint64_t gain = 0;    ///< defrag moves: fragmentation words reclaimed
 };
 
 /// Lifetime per-program attribution counters.
@@ -210,6 +213,17 @@ class ProgramHealthMonitor final : public rmt::PacketObserver {
   void chain_txn_committed(ProgramId id, std::string_view name, int hops);
   void chain_txn_rolled_back(ProgramId id, std::string_view name, int hops,
                              int faulted_hop, std::string_view reason);
+
+  // --- admission / defrag feed (controller) -------------------------------
+  /// The admission controller shed a session for `tenant` (queue at its
+  /// bound): the session returned AdmissionShed instead of queuing.
+  void admission_shed(std::uint32_t tenant, std::string_view name,
+                      std::string_view reason);
+  /// The defrag pass migrated a program: the copy `new_id` committed and the
+  /// old copy `old_id` was retired, reclaiming `frag_before - frag_after`
+  /// fragmentation words.
+  void defrag_moved(ProgramId old_id, ProgramId new_id, std::string_view name,
+                    std::uint64_t frag_before, std::uint64_t frag_after);
 
   // --- occupancy feed (resource manager) ---------------------------------
   /// Report one stage's table-entry occupancy after it changed; evaluates
